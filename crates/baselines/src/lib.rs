@@ -1,0 +1,25 @@
+//! Baselines for the MeNDA evaluation.
+//!
+//! The paper compares MeNDA against:
+//!
+//! * **scanTrans** and **mergeTrans** — the two parallel sparse matrix
+//!   transposition algorithms of Wang et al. (ICS'16) \[49\], run on a
+//!   32-core CPU. Both are implemented here as real multi-threaded Rust
+//!   algorithms ([`scan_trans`], [`merge_trans`]) and as *memory-trace
+//!   generators* ([`trace`]) whose traces replay on the cycle-level DRAM
+//!   simulator, reproducing the paper's Ramulator cpu-mode methodology
+//!   (§5.1) for the roofline and thread-scaling studies of Fig. 3 and the
+//!   Fig. 10 baseline timings,
+//! * **cuSPARSE `csr2cscEx2`** on a V100 GPU — modeled analytically in
+//!   [`gpu`] (no CUDA in this environment; see DESIGN.md for the
+//!   substitution argument),
+//! * the hardware specifications of Table 2 ([`specs`]).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod gpu;
+pub mod merge_trans;
+pub mod scan_trans;
+pub mod specs;
+pub mod trace;

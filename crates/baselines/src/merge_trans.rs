@@ -1,0 +1,199 @@
+//! mergeTrans: the merge-sort based parallel transposition of Wang et al.
+//! ICS'16 \[49\] — the algorithm MeNDA accelerates in hardware.
+//!
+//! Phase 1: the rows are split into `threads` contiguous blocks; each
+//! thread transposes its block locally (a small count sort), producing one
+//! sorted run of `(column, row, value)` entries. Phase 2: the runs are
+//! merged pairwise in `log2 threads` parallel rounds until one run — the
+//! CSC output — remains. The sequential streaming merges give mergeTrans
+//! its spatial locality, but also the `O(nnz · log T)` intermediate
+//! traffic that MeNDA's wide hardware tree collapses into
+//! `ceil(log_l N)` passes.
+
+use menda_sparse::partition::RowPartition;
+use menda_sparse::{CscMatrix, CsrMatrix, Index, Value};
+
+/// One sorted run of transposed entries: `(col, row, value)` ordered by
+/// `(col, row)`.
+type Run = Vec<(Index, Index, Value)>;
+
+/// Sequential reference implementation (identical algorithm, one thread).
+pub fn merge_trans_seq(matrix: &CsrMatrix) -> CscMatrix {
+    merge_trans(matrix, 1)
+}
+
+/// Transposes `matrix` (CSR → CSC) with `threads` worker threads.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn merge_trans(matrix: &CsrMatrix, threads: usize) -> CscMatrix {
+    assert!(threads > 0, "need at least one thread");
+    let threads = threads.min(matrix.nrows().max(1));
+    let partition = RowPartition::by_nnz(matrix, threads);
+
+    // Phase 1: local transposition of each row block.
+    let mut runs: Vec<Run> = Vec::with_capacity(threads);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let partition = &partition;
+            handles.push(scope.spawn(move |_| {
+                let range = partition.range(t);
+                local_transpose(matrix, range.start, range.end)
+            }));
+        }
+        for h in handles {
+            runs.push(h.join().expect("phase-1 worker panicked"));
+        }
+    })
+    .expect("scope");
+
+    // Phase 2: pairwise parallel merge rounds.
+    while runs.len() > 1 {
+        let mut next: Vec<Run> = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut pairs: Vec<(Run, Option<Run>)> = Vec::new();
+        let mut it = runs.into_iter();
+        while let Some(a) = it.next() {
+            pairs.push((a, it.next()));
+        }
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (a, b) in pairs {
+                handles.push(scope.spawn(move |_| match b {
+                    Some(b) => merge_two(a, b),
+                    None => a,
+                }));
+            }
+            for h in handles {
+                next.push(h.join().expect("merge worker panicked"));
+            }
+        })
+        .expect("scope");
+        runs = next;
+    }
+
+    let run = runs.pop().unwrap_or_default();
+    run_to_csc(matrix.nrows(), matrix.ncols(), run)
+}
+
+/// Transposes rows `[start, end)` locally with a count sort, producing one
+/// `(col, row)`-sorted run.
+fn local_transpose(matrix: &CsrMatrix, start: usize, end: usize) -> Run {
+    let ncols = matrix.ncols();
+    let base = matrix.row_ptr()[start];
+    let nnz = matrix.row_ptr()[end] - base;
+    let mut counts = vec![0usize; ncols + 1];
+    for r in start..end {
+        let (cols, _) = matrix.row(r);
+        for &c in cols {
+            counts[c as usize + 1] += 1;
+        }
+    }
+    for c in 0..ncols {
+        counts[c + 1] += counts[c];
+    }
+    let mut run: Run = vec![(0, 0, 0.0); nnz];
+    let mut cursor = counts;
+    for r in start..end {
+        let (cols, vals) = matrix.row(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            let dst = cursor[c as usize];
+            run[dst] = (c, r as Index, v);
+            cursor[c as usize] += 1;
+        }
+    }
+    run
+}
+
+/// Merges two `(col, row)`-sorted runs.
+fn merge_two(a: Run, b: Run) -> Run {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if (a[i].0, a[i].1) <= (b[j].0, b[j].1) {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+fn run_to_csc(nrows: usize, ncols: usize, run: Run) -> CscMatrix {
+    let mut col_ptr = vec![0usize; ncols + 1];
+    for &(c, _, _) in &run {
+        col_ptr[c as usize + 1] += 1;
+    }
+    for c in 0..ncols {
+        col_ptr[c + 1] += col_ptr[c];
+    }
+    let mut row_idx = Vec::with_capacity(run.len());
+    let mut values = Vec::with_capacity(run.len());
+    for (_, r, v) in run {
+        row_idx.push(r);
+        values.push(v);
+    }
+    CscMatrix::from_parts_unchecked(nrows, ncols, col_ptr, row_idx, values)
+}
+
+/// Number of pairwise merge rounds mergeTrans executes for `threads`
+/// initial runs (`ceil(log2 threads)`), i.e. how many times the whole
+/// intermediate dataset crosses the memory interface.
+pub fn merge_rounds(threads: usize) -> u32 {
+    threads.max(1).next_power_of_two().trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menda_sparse::gen;
+
+    #[test]
+    fn matches_golden_single_thread() {
+        let m = gen::uniform(64, 500, 6);
+        assert_eq!(merge_trans_seq(&m), m.to_csc());
+    }
+
+    #[test]
+    fn matches_golden_multi_thread() {
+        for threads in [2, 3, 5, 8, 16] {
+            let m = gen::rmat(128, 2000, gen::RmatParams::PAPER, 7);
+            assert_eq!(merge_trans(&m, threads), m.to_csc(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn agrees_with_scan_trans() {
+        let m = gen::uniform(100, 1500, 8);
+        assert_eq!(
+            merge_trans(&m, 4),
+            crate::scan_trans::scan_trans(&m, 4)
+        );
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CsrMatrix::zeros(5, 5);
+        assert_eq!(merge_trans(&m, 4), m.to_csc());
+    }
+
+    #[test]
+    fn more_threads_than_rows() {
+        let m = gen::uniform(4, 10, 9);
+        assert_eq!(merge_trans(&m, 32), m.to_csc());
+    }
+
+    #[test]
+    fn merge_rounds_formula() {
+        assert_eq!(merge_rounds(1), 0);
+        assert_eq!(merge_rounds(2), 1);
+        assert_eq!(merge_rounds(8), 3);
+        assert_eq!(merge_rounds(12), 4);
+        assert_eq!(merge_rounds(64), 6);
+    }
+}

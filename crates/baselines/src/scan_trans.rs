@@ -1,0 +1,165 @@
+//! scanTrans: the count-sort based parallel transposition of Wang et al.
+//! ICS'16 \[49\].
+//!
+//! Phase 1: each thread scans a chunk of nonzeros and builds a private
+//! per-column histogram. Phase 2: a prefix sum over the `(column, thread)`
+//! histogram matrix yields, for every thread, the exact output offset of
+//! its first nonzero of every column. Phase 3: each thread re-scans its
+//! chunk and scatters nonzeros to their final positions. The scatter phase
+//! is random-access heavy, which is why scanTrans exhibits poor spatial
+//! locality compared to mergeTrans (§3).
+
+use menda_sparse::{CscMatrix, CsrMatrix, Index, Value};
+
+/// Sequential reference implementation (identical algorithm, one thread).
+pub fn scan_trans_seq(matrix: &CsrMatrix) -> CscMatrix {
+    scan_trans(matrix, 1)
+}
+
+/// Transposes `matrix` (CSR → CSC) with `threads` worker threads.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn scan_trans(matrix: &CsrMatrix, threads: usize) -> CscMatrix {
+    assert!(threads > 0, "need at least one thread");
+    let nnz = matrix.nnz();
+    let ncols = matrix.ncols();
+    let nrows = matrix.nrows();
+    let threads = threads.min(nnz.max(1));
+
+    // Expand row indices so phase 1/3 can work on flat NZ chunks, as the
+    // original implementation does with its `csrRowIdx` array.
+    let mut row_of = vec![0 as Index; nnz];
+    for r in 0..nrows {
+        let (s, e) = (matrix.row_ptr()[r], matrix.row_ptr()[r + 1]);
+        for x in row_of.iter_mut().take(e).skip(s) {
+            *x = r as Index;
+        }
+    }
+
+    let chunk = nnz.div_ceil(threads).max(1);
+    // Phase 1: private histograms.
+    let mut histograms: Vec<Vec<usize>> = vec![Vec::new(); threads];
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let col_idx = matrix.col_idx();
+            handles.push(scope.spawn(move |_| {
+                let mut hist = vec![0usize; ncols];
+                let start = (t * chunk).min(nnz);
+                let end = ((t + 1) * chunk).min(nnz);
+                for &c in &col_idx[start..end] {
+                    hist[c as usize] += 1;
+                }
+                hist
+            }));
+        }
+        for (t, h) in handles.into_iter().enumerate() {
+            histograms[t] = h.join().expect("phase-1 worker panicked");
+        }
+    })
+    .expect("scope");
+
+    // Phase 2: column-major prefix sum over (column, thread).
+    let mut col_ptr = vec![0usize; ncols + 1];
+    let mut offsets = vec![0usize; ncols * threads];
+    let mut running = 0usize;
+    for c in 0..ncols {
+        for t in 0..threads {
+            offsets[c * threads + t] = running;
+            running += histograms[t][c];
+        }
+        col_ptr[c + 1] = running;
+    }
+
+    // Phase 3: scatter.
+    let mut row_idx = vec![0 as Index; nnz];
+    let mut values = vec![0.0 as Value; nnz];
+    crossbeam::thread::scope(|scope| {
+        let row_of = &row_of;
+        let offsets = &offsets;
+        // Chunks are disjoint in the output because offsets are exact, so
+        // each worker writes through a raw pointer wrapper.
+        let out_rows = SendPtr(row_idx.as_mut_ptr());
+        let out_vals = SendPtr(values.as_mut_ptr());
+        for t in 0..threads {
+            let col_idx = matrix.col_idx();
+            let vals_in = matrix.values();
+            scope.spawn(move |_| {
+                let out_rows = out_rows;
+                let out_vals = out_vals;
+                let mut cursor = vec![0usize; ncols];
+                let start = (t * chunk).min(nnz);
+                let end = ((t + 1) * chunk).min(nnz);
+                for i in start..end {
+                    let c = col_idx[i] as usize;
+                    let dst = offsets[c * threads + t] + cursor[c];
+                    cursor[c] += 1;
+                    // SAFETY: `dst` positions are disjoint across threads by
+                    // construction of `offsets` (exact per-thread,
+                    // per-column slots).
+                    unsafe {
+                        *out_rows.0.add(dst) = row_of[i];
+                        *out_vals.0.add(dst) = vals_in[i];
+                    }
+                }
+            });
+        }
+    })
+    .expect("scope");
+
+    CscMatrix::from_parts_unchecked(nrows, ncols, col_ptr, row_idx, values)
+}
+
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+// SAFETY: workers write disjoint index sets (see phase 3).
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menda_sparse::gen;
+
+    #[test]
+    fn matches_golden_single_thread() {
+        let m = gen::uniform(64, 500, 1);
+        assert_eq!(scan_trans_seq(&m), m.to_csc());
+    }
+
+    #[test]
+    fn matches_golden_multi_thread() {
+        for threads in [2, 3, 4, 8] {
+            let m = gen::rmat(128, 2000, gen::RmatParams::PAPER, 2);
+            assert_eq!(scan_trans(&m, threads), m.to_csc(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_nonzeros() {
+        let m = gen::uniform(8, 5, 3);
+        assert_eq!(scan_trans(&m, 64), m.to_csc());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CsrMatrix::zeros(10, 10);
+        assert_eq!(scan_trans(&m, 4), m.to_csc());
+    }
+
+    #[test]
+    fn rectangular_matrix() {
+        let m = gen::uniform(64, 300, 4);
+        let part = menda_sparse::partition::RowPartition::by_nnz(&m, 3).extract(&m, 1);
+        assert_eq!(scan_trans(&part, 4), part.to_csc());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let m = gen::uniform(4, 4, 5);
+        let _ = scan_trans(&m, 0);
+    }
+}

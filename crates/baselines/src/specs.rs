@@ -1,0 +1,115 @@
+//! The baseline hardware specifications of Table 2, plus the published
+//! comparator numbers used by the motivation and SpMV figures.
+
+/// Specification of a baseline platform (one row of Table 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlatformSpec {
+    /// Platform name.
+    pub name: &'static str,
+    /// Processor description.
+    pub processor: &'static str,
+    /// Core (or CUDA-core) count.
+    pub cores: u32,
+    /// Hardware threads.
+    pub threads: u32,
+    /// Clock in GHz (base).
+    pub clock_ghz: f64,
+    /// Memory description.
+    pub memory: &'static str,
+    /// Peak memory bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+    /// Die area in mm².
+    pub area_mm2: f64,
+    /// Process node in nm.
+    pub node_nm: u32,
+}
+
+/// Table 2's CPU: AMD Ryzen Threadripper 2990WX.
+pub const CPU: PlatformSpec = PlatformSpec {
+    name: "CPU",
+    processor: "AMD Ryzen Threadripper 2990WX",
+    cores: 32,
+    threads: 64,
+    clock_ghz: 3.0,
+    memory: "128 GB DDR4",
+    bandwidth_gbs: 68.3,
+    area_mm2: 213.0,
+    node_nm: 12,
+};
+
+/// Table 2's GPU: NVIDIA Tesla V100.
+pub const GPU: PlatformSpec = PlatformSpec {
+    name: "GPU",
+    processor: "NVIDIA Tesla V100",
+    cores: 5120,
+    threads: 5120,
+    clock_ghz: 1.25,
+    memory: "16 GB HBM2",
+    bandwidth_gbs: 900.0,
+    area_mm2: 815.0,
+    node_nm: 12,
+};
+
+/// The characterization host's theoretical peak DRAM bandwidth (Fig. 3b's
+/// green line): 4 channels of DDR4-2400.
+pub const HOST_PEAK_BANDWIDTH_GBS: f64 = 76.8;
+/// The achievable maximum of that interface per \[24\] (Fig. 3b text).
+pub const HOST_ACHIEVABLE_BANDWIDTH_GBS: f64 = 62.0;
+/// Bandwidth mergeTrans reaches at 64 threads (§2.2.2).
+pub const MERGETRANS_64T_BANDWIDTH_GBS: f64 = 59.6;
+
+/// Measured package power of the Table 2 CPU under a 64-thread
+/// transposition load (AMDuProf-style measurement; the 2990WX TDP is
+/// 250 W).
+pub const CPU_LOAD_POWER_W: f64 = 180.0;
+/// Measured board power of the Table 2 GPU under the conversion kernels
+/// (nvidia-smi; V100 TDP is 300 W).
+pub const GPU_LOAD_POWER_W: f64 = 210.0;
+
+/// Sadi et al. \[42\] HBM SpMV accelerator: average iso-bandwidth
+/// throughput in GTEPS/(GB/s) (§6.8).
+pub const SADI_GTEPS_PER_GBS: f64 = 0.049;
+/// MeNDA's reported average iso-bandwidth throughput (§6.8).
+pub const MENDA_GTEPS_PER_GBS_REPORTED: f64 = 0.043;
+/// Sadi et al. aggregate HBM bandwidth (four stacks).
+pub const SADI_BANDWIDTH_GBS: f64 = 4.0 * 256.0;
+/// Sadi et al. power estimate in watts at the matched technology node
+/// (derived from the paper's 3.8× average GTEPS/W gain for MeNDA).
+pub const SADI_POWER_W: f64 = 45.0;
+
+/// Published relative execution times behind Fig. 2(b): transposition
+/// (mergeTrans) versus SpMM on OuterSPACE (2018) and SpArch (2020),
+/// normalized to mergeTrans = 1.0.
+pub const FIG2B_RELATIVE_TIMES: [(&str, f64); 3] = [
+    ("mergeTrans transposition", 1.00),
+    ("OuterSPACE SpMM (2018)", 0.85),
+    ("SpArch SpMM (2020)", 0.12),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values() {
+        assert_eq!(CPU.cores, 32);
+        assert_eq!(CPU.threads, 64);
+        assert!((CPU.bandwidth_gbs - 68.3).abs() < 1e-9);
+        assert_eq!(GPU.cores, 5120);
+        assert!((GPU.bandwidth_gbs - 900.0).abs() < 1e-9);
+        assert_eq!(CPU.node_nm, GPU.node_nm);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the ordering
+    fn bandwidth_ordering_matches_section_2_2() {
+        assert!(MERGETRANS_64T_BANDWIDTH_GBS < HOST_ACHIEVABLE_BANDWIDTH_GBS);
+        assert!(HOST_ACHIEVABLE_BANDWIDTH_GBS < HOST_PEAK_BANDWIDTH_GBS);
+    }
+
+    #[test]
+    fn sparch_is_fastest_in_fig2b() {
+        let times: Vec<f64> = FIG2B_RELATIVE_TIMES.iter().map(|(_, t)| *t).collect();
+        assert!(times[2] < times[1] && times[1] <= times[0]);
+    }
+}

@@ -1,0 +1,374 @@
+//! Memory-trace generators for the CPU transposition baselines.
+//!
+//! The paper characterizes mergeTrans by collecting its memory trace and
+//! replaying it in Ramulator's cpu mode with barrier synchronization
+//! (§5.1). These generators do the equivalent: they walk the actual
+//! algorithm over the actual matrix and emit every load/store it performs
+//! against a virtual address map, producing per-thread [`CoreTrace`]s for
+//! [`menda_dram::cpu_mode::CpuMode`].
+
+use menda_dram::cpu_mode::{CoreTrace, CpuMode, CpuModeConfig, CpuModeResult};
+use menda_dram::DramConfig;
+use menda_sparse::partition::RowPartition;
+use menda_sparse::CsrMatrix;
+
+/// Which baseline algorithm to trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceAlgo {
+    /// Merge-sort based transposition (good spatial locality).
+    MergeTrans,
+    /// Count-sort based transposition (scatter-heavy phase 3).
+    ScanTrans,
+}
+
+/// Virtual address map of the traced program.
+#[derive(Debug, Clone, Copy)]
+struct Map {
+    row_ptr: u64,
+    col_idx: u64,
+    values: u64,
+    /// Ping-pong run regions (12 B per entry).
+    run: [u64; 2],
+    /// Per-thread private histogram/cursor region.
+    scratch: u64,
+    /// Output CSC arrays.
+    out: u64,
+}
+
+impl Map {
+    fn new() -> Self {
+        const G: u64 = 1 << 30;
+        Self {
+            row_ptr: 0,
+            col_idx: G,
+            values: 2 * G,
+            run: [4 * G, 6 * G],
+            scratch: 8 * G,
+            out: 10 * G,
+        }
+    }
+}
+
+/// Average non-memory instructions between traced accesses (loop control,
+/// comparisons and index arithmetic of the real implementation; a merge
+/// step or scatter slot computation costs on the order of ten
+/// instructions).
+const OPS: u32 = 10;
+
+/// Generates per-thread traces of mergeTrans over `matrix`.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+#[allow(clippy::needless_range_loop)] // t is a thread id across several arrays
+pub fn merge_trans_traces(matrix: &CsrMatrix, threads: usize) -> Vec<CoreTrace> {
+    assert!(threads > 0, "need at least one thread");
+    let threads = threads.min(matrix.nrows().max(1));
+    let map = Map::new();
+    let partition = RowPartition::by_nnz(matrix, threads);
+    let mut traces = vec![CoreTrace::new(); threads];
+
+    // Phase 1: local transposition (count sort within each row block).
+    for t in 0..threads {
+        let tr = &mut traces[t];
+        let range = partition.range(t);
+        let base = matrix.row_ptr()[range.start] as u64;
+        // Count pass: stream pointers and column indices, bump counters.
+        for r in range.clone() {
+            tr.access(OPS, map.row_ptr + r as u64 * 8, false);
+            let (s, e) = (matrix.row_ptr()[r], matrix.row_ptr()[r + 1]);
+            for i in s..e {
+                tr.access(OPS, map.col_idx + i as u64 * 4, false);
+                let c = matrix.col_idx()[i] as u64;
+                tr.access(OPS, map.scratch + (((t as u64) << 24) | (c * 8)), true);
+            }
+        }
+        // Prefix pass over the private counters.
+        for c in 0..matrix.ncols() as u64 {
+            tr.access(1, map.scratch + (((t as u64) << 24) | (c * 8)), true);
+        }
+        // Scatter pass: stream the block again, write run entries grouped
+        // by column (random within the block's run slice).
+        let mut cursor = vec![0u64; matrix.ncols()];
+        let mut counts = vec![0u64; matrix.ncols()];
+        for r in range.clone() {
+            let (cols, _) = matrix.row(r);
+            for &c in cols {
+                counts[c as usize] += 1;
+            }
+        }
+        let mut offsets = vec![0u64; matrix.ncols()];
+        let mut acc = 0u64;
+        for c in 0..matrix.ncols() {
+            offsets[c] = acc;
+            acc += counts[c];
+        }
+        for r in range {
+            let (s, e) = (matrix.row_ptr()[r], matrix.row_ptr()[r + 1]);
+            for i in s..e {
+                tr.access(OPS, map.col_idx + i as u64 * 4, false);
+                tr.access(0, map.values + i as u64 * 4, false);
+                let c = matrix.col_idx()[i] as usize;
+                let dst = base + offsets[c] + cursor[c];
+                cursor[c] += 1;
+                tr.access(OPS, map.run[0] + dst * 12, true);
+            }
+        }
+        tr.barrier();
+    }
+
+    // Phase 2: pairwise merge rounds over the run regions.
+    let mut run_sizes: Vec<u64> = (0..threads)
+        .map(|t| partition.nnz_of(matrix, t) as u64)
+        .collect();
+    let mut region = 0usize;
+    while run_sizes.len() > 1 {
+        let mut offsets = Vec::with_capacity(run_sizes.len());
+        let mut acc = 0u64;
+        for &s in &run_sizes {
+            offsets.push(acc);
+            acc += s;
+        }
+        let pairs = run_sizes.len() / 2;
+        let mut next_sizes = Vec::new();
+        for p in 0..pairs {
+            let (a, b) = (2 * p, 2 * p + 1);
+            let out_off = offsets[a];
+            let total = run_sizes[a] + run_sizes[b];
+            // All threads cooperate in every pair merge via merge-path
+            // output partitioning (Wang et al.'s block-based merging):
+            // thread t produces output slice [t*total/T, (t+1)*total/T),
+            // reading proportional slices of both inputs. The merge order
+            // is data dependent but the addresses are sequential per run,
+            // so an interleaved walk is traffic-faithful.
+            for t in 0..threads as u64 {
+                let tr = &mut traces[t as usize];
+                let seg_s = total * t / threads as u64;
+                let seg_e = total * (t + 1) / threads as u64;
+                let (mut ia, mut ib) = (
+                    run_sizes[a] * t / threads as u64,
+                    run_sizes[b] * t / threads as u64,
+                );
+                for k in seg_s..seg_e {
+                    let take_a = if ia >= run_sizes[a] {
+                        false
+                    } else if ib >= run_sizes[b] {
+                        true
+                    } else {
+                        k % 2 == 0
+                    };
+                    let src = if take_a {
+                        ia += 1;
+                        map.run[region] + (offsets[a] + ia - 1) * 12
+                    } else {
+                        ib += 1;
+                        map.run[region] + (offsets[b] + ib - 1) * 12
+                    };
+                    tr.access(OPS, src, false);
+                    tr.access(0, map.run[1 - region] + (out_off + k) * 12, true);
+                }
+            }
+            next_sizes.push(total);
+        }
+        if run_sizes.len() % 2 == 1 {
+            // Odd run carried over: copy traffic, split across threads.
+            let last = run_sizes.len() - 1;
+            for t in 0..threads as u64 {
+                let tr = &mut traces[t as usize];
+                let seg_s = run_sizes[last] * t / threads as u64;
+                let seg_e = run_sizes[last] * (t + 1) / threads as u64;
+                for k in seg_s..seg_e {
+                    tr.access(1, map.run[region] + (offsets[last] + k) * 12, false);
+                    tr.access(0, map.run[1 - region] + (offsets[last] + k) * 12, true);
+                }
+            }
+            next_sizes.push(run_sizes[last]);
+        }
+        for tr in &mut traces {
+            tr.barrier();
+        }
+        run_sizes = next_sizes;
+        region = 1 - region;
+    }
+    traces
+}
+
+/// Generates per-thread traces of scanTrans over `matrix`.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+#[allow(clippy::needless_range_loop)] // t is a thread id across several arrays
+pub fn scan_trans_traces(matrix: &CsrMatrix, threads: usize) -> Vec<CoreTrace> {
+    assert!(threads > 0, "need at least one thread");
+    let nnz = matrix.nnz();
+    let threads = threads.min(nnz.max(1));
+    let map = Map::new();
+    let chunk = nnz.div_ceil(threads).max(1);
+    let mut traces = vec![CoreTrace::new(); threads];
+
+    // Phase 1: private histograms over flat NZ chunks.
+    for t in 0..threads {
+        let tr = &mut traces[t];
+        let start = (t * chunk).min(nnz);
+        let end = ((t + 1) * chunk).min(nnz);
+        for i in start..end {
+            tr.access(OPS, map.col_idx + i as u64 * 4, false);
+            let c = matrix.col_idx()[i] as u64;
+            tr.access(OPS, map.scratch + (((t as u64) << 24) | (c * 8)), true);
+        }
+        tr.barrier();
+    }
+    // Phase 2: prefix sum over the (column, thread) offsets array,
+    // parallelized by column ranges as in the original implementation.
+    // The offsets array is laid out contiguously (index c*threads + t), so
+    // the scan streams sequentially.
+    let ncols = matrix.ncols() as u64;
+    for t in 0..threads as u64 {
+        let c0 = ncols * t / threads as u64;
+        let c1 = ncols * (t + 1) / threads as u64;
+        for c in c0..c1 {
+            for tt in 0..threads as u64 {
+                traces[t as usize]
+                    .access(1, map.run[1] + (c * threads as u64 + tt) * 8, true);
+            }
+        }
+    }
+    for tr in &mut traces {
+        tr.barrier();
+    }
+    // Phase 3: scatter. Destinations are exact CSC offsets — the random
+    // writes that give scanTrans its poor locality.
+    let csc = matrix.to_csc();
+    let mut cursor: Vec<u64> = vec![0; matrix.ncols()];
+    let mut per_thread_cursor: Vec<Vec<u64>> = Vec::with_capacity(threads);
+    // Precompute per-thread scatter destinations by replaying the exact
+    // algorithm order.
+    for t in 0..threads {
+        per_thread_cursor.push(cursor.clone());
+        let start = (t * chunk).min(nnz);
+        let end = ((t + 1) * chunk).min(nnz);
+        for i in start..end {
+            cursor[matrix.col_idx()[i] as usize] += 1;
+        }
+    }
+    for t in 0..threads {
+        let tr = &mut traces[t];
+        let start = (t * chunk).min(nnz);
+        let end = ((t + 1) * chunk).min(nnz);
+        let cur = &mut per_thread_cursor[t];
+        for i in start..end {
+            tr.access(OPS, map.col_idx + i as u64 * 4, false);
+            tr.access(0, map.values + i as u64 * 4, false);
+            // The expanded csrRowIdx array the original builds up front.
+            tr.access(0, map.row_ptr + i as u64 * 4, false);
+            let c = matrix.col_idx()[i] as usize;
+            // Per-(column, thread) offset lookup in the contiguous array.
+            tr.access(0, map.run[1] + ((c * threads + t) as u64) * 8, false);
+            let dst = csc.col_ptr()[c] as u64 + cur[c];
+            cur[c] += 1;
+            tr.access(OPS, map.out + dst * 8, true);
+        }
+        tr.barrier();
+    }
+    traces
+}
+
+/// Replays the chosen algorithm's trace on the DRAM simulator and returns
+/// timing/bandwidth results (the paper's Fig. 3 methodology).
+pub fn simulate(
+    matrix: &CsrMatrix,
+    threads: usize,
+    algo: TraceAlgo,
+    dram: DramConfig,
+) -> CpuModeResult {
+    simulate_with(matrix, threads, algo, dram, CpuModeConfig::default())
+}
+
+/// [`simulate`] with an explicit CPU-mode configuration. Experiments that
+/// scale the matrices down should scale the caches too
+/// ([`CpuModeConfig::with_cache_scale`]) so the cache-to-working-set ratio
+/// matches the paper's full-size runs.
+pub fn simulate_with(
+    matrix: &CsrMatrix,
+    threads: usize,
+    algo: TraceAlgo,
+    dram: DramConfig,
+    cpu: CpuModeConfig,
+) -> CpuModeResult {
+    let traces = match algo {
+        TraceAlgo::MergeTrans => merge_trans_traces(matrix, threads),
+        TraceAlgo::ScanTrans => scan_trans_traces(matrix, threads),
+    };
+    CpuMode::new(dram, cpu).run(traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menda_sparse::gen;
+
+    fn dram() -> DramConfig {
+        let mut c = DramConfig::ddr4_2400r().with_channels(4);
+        c.refresh_enabled = false;
+        c
+    }
+
+    #[test]
+    fn merge_trace_covers_all_nonzeros() {
+        let m = gen::uniform(64, 500, 1);
+        let traces = merge_trans_traces(&m, 4);
+        assert_eq!(traces.len(), 4);
+        let total_ops: usize = traces.iter().map(|t| t.len()).sum();
+        // At least one read + one write per NZ per phase.
+        assert!(total_ops > 2 * m.nnz());
+    }
+
+    #[test]
+    fn scan_trace_covers_all_nonzeros() {
+        let m = gen::uniform(64, 500, 2);
+        let traces = scan_trans_traces(&m, 4);
+        let total_ops: usize = traces.iter().map(|t| t.len()).sum();
+        assert!(total_ops > 2 * m.nnz());
+    }
+
+    #[test]
+    fn traces_replay_to_completion() {
+        let m = gen::uniform(128, 1000, 3);
+        let r = simulate(&m, 4, TraceAlgo::MergeTrans, dram());
+        assert!(r.cycles > 0);
+        assert!(r.dram.reads > 0);
+        assert!(r.bandwidth_gbs > 0.0);
+    }
+
+    #[test]
+    fn merge_trans_traffic_grows_with_threads() {
+        // More threads → more merge rounds → more intermediate traffic.
+        let m = gen::uniform(256, 4000, 4);
+        let t2: usize = merge_trans_traces(&m, 2).iter().map(|t| t.len()).sum();
+        let t16: usize = merge_trans_traces(&m, 16).iter().map(|t| t.len()).sum();
+        assert!(t16 > t2, "16-thread trace {t16} not larger than 2-thread {t2}");
+    }
+
+    #[test]
+    fn more_threads_speed_up_replay() {
+        let m = gen::uniform(512, 8000, 5);
+        let r1 = simulate(&m, 1, TraceAlgo::MergeTrans, dram());
+        let r8 = simulate(&m, 8, TraceAlgo::MergeTrans, dram());
+        let speedup = r1.cycles as f64 / r8.cycles as f64;
+        // Faster, but sub-linear — the §2.2.2 scaling behaviour (extra
+        // merge rounds and memory contention eat the parallelism).
+        assert!(speedup > 1.4, "8-thread speedup only {speedup:.2}");
+        assert!(speedup < 8.0, "8-thread speedup {speedup:.2} implausibly linear");
+    }
+
+    #[test]
+    fn scan_trans_has_worse_locality_than_merge_trans() {
+        let m = gen::uniform(1 << 12, 40_000, 6);
+        let rs = simulate(&m, 8, TraceAlgo::ScanTrans, dram());
+        let rm = simulate(&m, 8, TraceAlgo::MergeTrans, dram());
+        // scanTrans's scatter phase misses more per access.
+        assert!(rs.cache_hit_rates[0] < rm.cache_hit_rates[0] + 0.2);
+        assert!(rs.dram.row_hit_rate() <= rm.dram.row_hit_rate() + 0.05);
+    }
+}

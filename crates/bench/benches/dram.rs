@@ -1,0 +1,43 @@
+//! DRAM simulator microbenchmarks: scheduler throughput under streaming
+//! and random access patterns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use menda_dram::{DramConfig, MemRequest, MemorySystem};
+
+fn run_pattern(stride: u64, count: u64) -> u64 {
+    let mut cfg = DramConfig::ddr4_2400r();
+    cfg.refresh_enabled = false;
+    let mut mem = MemorySystem::new(cfg);
+    let mut sent = 0u64;
+    let mut done = 0u64;
+    let mut cycles = 0u64;
+    while done < count {
+        if sent < count {
+            let addr = sent * stride;
+            if mem.try_enqueue(MemRequest::read(addr, sent)) {
+                sent += 1;
+            }
+        }
+        mem.tick();
+        cycles += 1;
+        while mem.pop_response().is_some() {
+            done += 1;
+        }
+    }
+    cycles
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram");
+    let count = 4096u64;
+    group.throughput(Throughput::Elements(count));
+    for (name, stride) in [("stream_64B", 64u64), ("stride_4K", 4096), ("stride_1M", 1 << 20)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &stride, |b, &stride| {
+            b.iter(|| run_pattern(stride, count))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dram);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Merge-tree microbenchmarks: structural simulation throughput for
+//! different tree widths (the component behind Fig. 15's leaf sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use menda_core::{MergeTree, Packet, SliceLeafSource};
+
+fn build_source(leaves: usize, per_stream: u32) -> SliceLeafSource {
+    let streams: Vec<Vec<Packet>> = (0..leaves as u32)
+        .map(|p| {
+            (0..per_stream)
+                .map(|i| Packet::nz(i * leaves as u32 + p, p, 1.0))
+                .collect()
+        })
+        .collect();
+    SliceLeafSource::from_streams(leaves, streams)
+}
+
+fn bench_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_tree");
+    for leaves in [16usize, 64, 256, 1024] {
+        let per_stream = (16384 / leaves) as u32;
+        let total = leaves as u64 * per_stream as u64;
+        group.throughput(Throughput::Elements(total));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(leaves),
+            &leaves,
+            |b, &leaves| {
+                b.iter_batched(
+                    || (MergeTree::new(leaves, 2), build_source(leaves, per_stream)),
+                    |(mut tree, mut src)| {
+                        let mut guard = 0u64;
+                        while tree.rounds_completed() < 1 {
+                            let _ = tree.tick(&mut src, 1);
+                            guard += 1;
+                            assert!(guard < 10 * total + 10_000);
+                        }
+                        tree.pops()
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Regenerates the MeNDA paper's tables and figures.
+//!
+//! ```text
+//! repro all                 # every experiment at the default 1/64 scale
+//! repro fig10 fig13         # selected experiments
+//! repro fig10 --scale 16    # bigger matrices (slower, closer to paper)
+//! repro all --out results   # additionally write each report to results/<id>.txt
+//! repro --list              # available experiment ids
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use menda_bench::experiments;
+use menda_bench::Scale;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale = Scale::default_scale();
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--list" => {
+                println!("available experiments: {}", experiments::ALL.join(", "));
+                return ExitCode::SUCCESS;
+            }
+            "--scale" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(f) if f > 0 => scale = Scale(f),
+                _ => {
+                    eprintln!("--scale requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match iter.next() {
+                Some(dir) => out_dir = Some(dir.into()),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "all" => ids.extend(experiments::ALL.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("usage: repro [--scale N] [--out DIR] [--list] <experiment...|all>");
+        eprintln!("available: {}", experiments::ALL.join(", "));
+        return ExitCode::FAILURE;
+    }
+
+    for id in &ids {
+        let started = Instant::now();
+        match experiments::run(id, scale) {
+            Ok(report) => {
+                println!("==================== {id} ====================");
+                println!("{report}");
+                println!("[{id} completed in {:.1?}]\n", started.elapsed());
+                if let Some(dir) = &out_dir {
+                    if let Err(e) = std::fs::create_dir_all(dir)
+                        .and_then(|_| std::fs::write(dir.join(format!("{id}.txt")), &report))
+                    {
+                        eprintln!("error writing {id}.txt: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            Err(err) => {
+                eprintln!("error: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

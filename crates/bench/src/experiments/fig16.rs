@@ -1,0 +1,67 @@
+//! Fig. 16: SpMV energy efficiency against the HBM-based accelerator of
+//! Sadi et al. \[42\].
+
+use menda_baselines::specs::{SADI_GTEPS_PER_GBS, SADI_POWER_W, SADI_BANDWIDTH_GBS};
+use menda_core::energy::{gteps_per_watt, PowerModel};
+use menda_core::{spmv, MendaConfig};
+
+use crate::experiments::tables::suite_matrices;
+use crate::util::{geomean, Scale, Table};
+
+/// Runs SpMV over the Table 4 matrices and reports iso-bandwidth
+/// throughput and GTEPS/W against Sadi et al.
+pub fn run(scale: Scale) -> String {
+    let cfg = MendaConfig::paper();
+    let power = PowerModel::spmv(&cfg.pu);
+    let sadi_gteps_w = (SADI_GTEPS_PER_GBS * SADI_BANDWIDTH_GBS) / SADI_POWER_W;
+
+    let mut out = format!(
+        "Fig. 16: SpMV efficiency vs Sadi et al. [42] (matrices at 1/{} scale)\n\n",
+        scale.factor()
+    );
+    let mut t = Table::new(&[
+        "matrix",
+        "GTEPS",
+        "GTEPS/(GB/s)",
+        "GTEPS/W",
+        "gain vs [42]",
+    ]);
+    let mut gains = Vec::new();
+    let mut isos = Vec::new();
+    for (spec, m) in suite_matrices(scale) {
+        let x: Vec<f32> = (0..m.ncols()).map(|i| ((i % 13) as f32) * 0.25).collect();
+        let r = spmv::run(&cfg, &m, &x);
+        let golden = m.spmv(&x);
+        for (got, want) in r.y.iter().zip(&golden) {
+            assert!(
+                (got - want).abs() <= 1e-2 * want.abs().max(1.0),
+                "functional check {}",
+                spec.name
+            );
+        }
+        let iso = r.gteps_per_gbs(cfg.internal_bandwidth_gbs());
+        let eff = gteps_per_watt(r.gteps, cfg.num_pus(), power);
+        let gain = eff / sadi_gteps_w;
+        isos.push(iso);
+        gains.push(gain);
+        t.row(&[
+            spec.name.to_string(),
+            format!("{:.3}", r.gteps),
+            format!("{iso:.3}"),
+            format!("{eff:.2}"),
+            format!("{gain:.1}x"),
+        ]);
+    }
+    t.row(&[
+        "geomean".to_string(),
+        "-".to_string(),
+        format!("{:.3}", geomean(&isos)),
+        "-".to_string(),
+        format!("{:.1}x", geomean(&gains)),
+    ]);
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nPaper: MeNDA reaches 0.043 GTEPS/(GB/s) average iso-bandwidth throughput\n(max 0.073) vs 0.049 for [42], and a 3.8x average GTEPS/W efficiency gain.\nReference [42] efficiency used here: {sadi_gteps_w:.2} GTEPS/W.\n",
+    ));
+    out
+}

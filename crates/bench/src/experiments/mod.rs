@@ -1,0 +1,62 @@
+//! One module per paper artifact (table or figure).
+//!
+//! Every experiment exposes `run(scale) -> String` returning the rendered
+//! report; the `repro` binary prints it. EXPERIMENTS.md records the
+//! paper-reported values next to a captured run.
+
+pub mod conflicts;
+pub mod energy;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig15;
+pub mod fig16;
+pub mod fig2;
+pub mod host;
+pub mod fig3;
+pub mod tables;
+
+#[cfg(test)]
+mod smoke_tests;
+
+use crate::util::Scale;
+
+/// All experiment ids in presentation order.
+pub const ALL: &[&str] = &[
+    "tab1", "tab2", "tab3", "tab4", "fig2a", "fig2b", "fig3a", "fig3b", "fig10", "fig11",
+    "fig12", "fig13", "fig14", "fig15", "fig16", "power", "energy", "host", "conflicts",
+];
+
+/// Dispatches an experiment by id.
+///
+/// # Errors
+///
+/// Returns an error message for unknown ids.
+pub fn run(id: &str, scale: Scale) -> Result<String, String> {
+    match id {
+        "tab1" => Ok(tables::tab1()),
+        "tab2" => Ok(tables::tab2()),
+        "tab3" => Ok(tables::tab3(scale)),
+        "tab4" => Ok(tables::tab4(scale)),
+        "fig2a" => Ok(fig2::fig2a(scale)),
+        "fig2b" => Ok(fig2::fig2b()),
+        "fig3a" => Ok(fig3::fig3a(scale)),
+        "fig3b" => Ok(fig3::fig3b(scale)),
+        "fig10" => Ok(fig10::run(scale)),
+        "fig11" => Ok(fig11::run(scale)),
+        "fig12" => Ok(fig12::run(scale)),
+        "fig13" => Ok(fig13::fig13(scale)),
+        "fig14" => Ok(fig13::fig14(scale)),
+        "fig15" => Ok(fig15::run(scale)),
+        "fig16" => Ok(fig16::run(scale)),
+        "power" => Ok(fig15::power()),
+        "energy" => Ok(energy::run(scale)),
+        "host" => Ok(host::run(scale)),
+        "conflicts" => Ok(conflicts::run(scale)),
+        other => Err(format!(
+            "unknown experiment '{other}'; available: {}",
+            ALL.join(", ")
+        )),
+    }
+}

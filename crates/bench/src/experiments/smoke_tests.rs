@@ -1,0 +1,139 @@
+//! Smoke tests for the experiment harness itself: every experiment must
+//! run at a tiny scale and produce a report containing its key markers.
+//! These catch regressions in the reproduction pipeline without the cost
+//! of the full-scale runs.
+
+#![cfg(test)]
+
+use crate::experiments;
+use crate::util::Scale;
+
+/// Large scale factor = tiny matrices = fast runs.
+fn tiny() -> Scale {
+    Scale(512)
+}
+
+fn run(id: &str) -> String {
+    experiments::run(id, tiny()).expect("experiment runs")
+}
+
+#[test]
+fn tab1_contains_table1_values() {
+    let r = run("tab1");
+    assert!(r.contains("DDR4_2400R"));
+    assert!(r.contains("FRFCFS_PriorHit"));
+    assert!(r.contains("1024"));
+    assert!(r.contains("800"));
+}
+
+#[test]
+fn tab2_contains_platforms() {
+    let r = run("tab2");
+    assert!(r.contains("Threadripper"));
+    assert!(r.contains("V100"));
+}
+
+#[test]
+fn tab3_lists_all_synthetic_matrices() {
+    let r = run("tab3");
+    for name in ["N1", "N8", "P1", "P8"] {
+        assert!(r.contains(name), "{name} missing");
+    }
+}
+
+#[test]
+fn tab4_lists_all_suite_matrices() {
+    let r = run("tab4");
+    for name in ["amazon", "wiki-Talk", "bcsstk32", "webbase-1M"] {
+        assert!(r.contains(name), "{name} missing");
+    }
+}
+
+#[test]
+fn fig2a_reports_overheads() {
+    let r = run("fig2a");
+    assert!(r.contains("mergeTrans"));
+    assert!(r.contains("MeNDA"));
+    assert!(r.contains("overhead"));
+}
+
+#[test]
+fn fig2b_reports_published_ratios() {
+    let r = run("fig2b");
+    assert!(r.contains("SpArch"));
+    assert!(r.contains("0.12"));
+}
+
+#[test]
+fn fig3_reports_bandwidth() {
+    let a = run("fig3a");
+    assert!(a.contains("roof"));
+    let b = run("fig3b");
+    assert!(b.contains("GB/s"));
+    assert!(b.contains("64"));
+}
+
+#[test]
+fn fig11_reports_three_configurations() {
+    let r = run("fig11");
+    assert!(r.contains("~2x storage"));
+    assert!(r.contains("mergeTrans"));
+    assert!(r.contains("MeNDA"));
+    assert!(r.contains("storage"));
+}
+
+#[test]
+fn fig12_reports_all_variants() {
+    let r = run("fig12");
+    for v in ["baseline (16)", "prefetch+coal (64)", "normalized"] {
+        assert!(r.contains(v), "{v} missing");
+    }
+}
+
+#[test]
+fn fig14_reports_ratio_column() {
+    let r = run("fig14");
+    assert!(r.contains("P/N ratio"));
+    assert!(r.contains("N8/P8"));
+}
+
+#[test]
+fn fig15_reports_both_sweeps() {
+    let r = run("fig15");
+    assert!(r.contains("frequency (MHz)"));
+    assert!(r.contains("leaves"));
+    assert!(r.contains("EDP"));
+}
+
+#[test]
+fn power_reports_paper_numbers() {
+    let r = run("power");
+    assert!(r.contains("78.6 mW"));
+    assert!(r.contains("7.1 mm2"));
+}
+
+#[test]
+fn energy_reports_comparison() {
+    let r = run("energy");
+    assert!(r.contains("MeNDA (8 PUs)"));
+    assert!(r.contains("mergeTrans (CPU)"));
+    assert!(r.contains("less energy"));
+}
+
+#[test]
+fn unknown_experiment_is_an_error() {
+    assert!(experiments::run("fig99", tiny()).is_err());
+}
+
+#[test]
+fn all_ids_dispatch() {
+    // Excludes the heaviest experiments (15+ cycle-level simulations each,
+    // or fixed large effective scales); their components are covered
+    // elsewhere.
+    for id in experiments::ALL {
+        if matches!(*id, "fig10" | "fig13" | "fig16" | "conflicts") {
+            continue;
+        }
+        assert!(experiments::run(id, tiny()).is_ok(), "{id} failed");
+    }
+}

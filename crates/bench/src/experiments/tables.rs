@@ -1,0 +1,121 @@
+//! Tables 1–4: system parameters and benchmark inventories.
+
+use menda_core::{MendaConfig, PuConfig};
+use menda_dram::DramConfig;
+use menda_sparse::gen::{SuiteMatrixSpec, TABLE3_POWER_LAW, TABLE3_UNIFORM, TABLE4};
+use menda_sparse::stats::MatrixStats;
+
+use crate::util::{Scale, Table};
+
+/// Table 1: Ramulator and MeNDA parameters, read back from the live
+/// configuration defaults so drift is impossible.
+pub fn tab1() -> String {
+    let d = DramConfig::ddr4_2400r();
+    let t = d.timing;
+    let p = PuConfig::paper();
+    let mut out = String::from("Table 1: parameters of the DRAM simulator and MeNDA\n\n");
+    let mut dram = Table::new(&["DRAM parameter", "value"]);
+    dram.row(&["standard".to_string(), "DDR4_2400R".into()]);
+    dram.row(&["organization".to_string(), "4Gb_x8".into()]);
+    dram.row(&["scheduling".to_string(), format!("{}-entry RD/WR queue, FRFCFS_PriorHit", d.read_queue)]);
+    dram.row(&["tRC".to_string(), t.t_rc.to_string()]);
+    dram.row(&["tRCD".to_string(), t.t_rcd.to_string()]);
+    dram.row(&["tCL".to_string(), t.t_cl.to_string()]);
+    dram.row(&["tRP".to_string(), t.t_rp.to_string()]);
+    dram.row(&["tBL".to_string(), t.t_bl.to_string()]);
+    dram.row(&["tCCDS".to_string(), t.t_ccd_s.to_string()]);
+    dram.row(&["tCCDL".to_string(), t.t_ccd_l.to_string()]);
+    dram.row(&["tRRDS".to_string(), t.t_rrd_s.to_string()]);
+    dram.row(&["tRRDL".to_string(), t.t_rrd_l.to_string()]);
+    dram.row(&["tFAW".to_string(), t.t_faw.to_string()]);
+    out.push_str(&dram.render());
+    out.push('\n');
+    let mut pu = Table::new(&["PU parameter", "value"]);
+    pu.row(&["frequency (MHz)".to_string(), p.frequency_mhz.to_string()]);
+    pu.row(&["number of leaves".to_string(), p.leaves.to_string()]);
+    pu.row(&["FIFO entries".to_string(), p.fifo_entries.to_string()]);
+    pu.row(&["prefetch buffer entries".to_string(), p.prefetch_buffer_entries.to_string()]);
+    pu.row(&["read/write queue entries".to_string(), format!("{}/{}", p.read_queue_entries, p.write_queue_entries)]);
+    pu.row(&["system (channels x ranks)".to_string(), {
+        let m = MendaConfig::paper();
+        format!("{} x {} = {} PUs", m.channels, m.ranks_per_channel, m.num_pus())
+    }]);
+    out.push_str(&pu.render());
+    out
+}
+
+/// Table 2: CPU and GPU baseline specifications.
+pub fn tab2() -> String {
+    use menda_baselines::specs::{CPU, GPU};
+    let mut out = String::from("Table 2: baseline platform specifications\n\n");
+    let mut t = Table::new(&["platform", "processor", "cores/threads", "clock", "memory", "bandwidth", "area", "node"]);
+    for s in [CPU, GPU] {
+        t.row(&[
+            s.name.to_string(),
+            s.processor.to_string(),
+            format!("{}/{}", s.cores, s.threads),
+            format!("{} GHz", s.clock_ghz),
+            s.memory.to_string(),
+            format!("{} GB/s", s.bandwidth_gbs),
+            format!("{} mm2", s.area_mm2),
+            format!("{} nm", s.node_nm),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Table 3: synthetic matrices (plus the scaled instances actually run).
+pub fn tab3(scale: Scale) -> String {
+    let mut out = format!(
+        "Table 3: synthetic matrices (full spec; harness runs at 1/{} scale)\n\n",
+        scale.factor()
+    );
+    let mut t = Table::new(&["matrix", "dimension", "NNZ", "scaled dim", "scaled NNZ", "row gini"]);
+    for spec in TABLE3_UNIFORM.iter().chain(TABLE3_POWER_LAW.iter()) {
+        let m = spec.generate_scaled(scale.factor(), 42);
+        let s = MatrixStats::compute(&m);
+        t.row(&[
+            spec.name.to_string(),
+            spec.dimension.to_string(),
+            spec.nnz.to_string(),
+            m.nrows().to_string(),
+            m.nnz().to_string(),
+            format!("{:.2}", s.row_gini),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\nUniform rows have low Gini; GenRMat(0.1,0.2,0.3) power-law rows are skewed.\n");
+    out
+}
+
+/// Table 4: SuiteSparse matrices and their synthetic stand-ins.
+pub fn tab4(scale: Scale) -> String {
+    let mut out = format!(
+        "Table 4: SuiteSparse matrices (stand-ins generated at 1/{} scale)\n\n",
+        scale.factor()
+    );
+    let mut t = Table::new(&["matrix", "kind", "dimension", "NNZ", "nnz/row", "standin gini"]);
+    for spec in &TABLE4 {
+        let m = spec.generate_scaled(scale.factor(), 42);
+        let s = MatrixStats::compute(&m);
+        t.row(&[
+            spec.name.to_string(),
+            spec.kind.label().to_string(),
+            spec.dimension.to_string(),
+            spec.nnz.to_string(),
+            format!("{:.1}", spec.avg_row_nnz()),
+            format!("{:.2}", s.row_gini),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Full-size Table 4 stand-in generator shared by the figure experiments.
+pub fn suite_matrices(scale: Scale) -> Vec<(SuiteMatrixSpec, menda_sparse::CsrMatrix)> {
+    TABLE4
+        .iter()
+        .map(|spec| (*spec, spec.generate_scaled(scale.factor(), 42)))
+        .collect()
+}

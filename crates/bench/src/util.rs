@@ -1,0 +1,150 @@
+//! Shared helpers for the experiment harness.
+
+use std::fmt::Display;
+
+/// Downscaling factor applied to the paper's matrix sizes.
+///
+/// The evaluation matrices (Tables 3 and 4) have millions of nonzeros;
+/// cycle-accurate simulation of the full sizes is possible but slow, so
+/// the harness divides dimension and NNZ by this factor (preserving
+/// density and structure class). `Scale(1)` reproduces full size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale(pub usize);
+
+impl Scale {
+    /// The default harness scale.
+    pub fn default_scale() -> Self {
+        Scale(64)
+    }
+
+    /// The factor.
+    pub fn factor(&self) -> usize {
+        self.0
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self::default_scale()
+    }
+}
+
+/// A simple fixed-width text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Display>(header: &[S]) -> Self {
+        Self {
+            header: header.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifying each cell).
+    pub fn row<S: Display>(&mut self, cells: &[S]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = width[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            let mut line = String::from("| ");
+            for (i, c) in cells.iter().enumerate() {
+                line.push_str(&format!("{:>w$} | ", c, w = width[i]));
+            }
+            line.trim_end().to_string() + "\n"
+        };
+        out.push_str(&fmt_row(&self.header, &width));
+        let sep: String = width
+            .iter()
+            .map(|w| format!("|{}", "-".repeat(w + 2)))
+            .collect::<String>()
+            + "|\n";
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &width));
+        }
+        out
+    }
+}
+
+/// Formats seconds with an appropriate unit.
+pub fn fmt_time(seconds: f64) -> String {
+    if seconds == 0.0 {
+        "0".into()
+    } else if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.1} us", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.2} s", seconds)
+    }
+}
+
+/// Geometric mean of a slice (ignores non-positive entries).
+pub fn geomean(xs: &[f64]) -> f64 {
+    let positives: Vec<f64> = xs.iter().copied().filter(|&x| x > 0.0).collect();
+    if positives.is_empty() {
+        return 0.0;
+    }
+    (positives.iter().map(|x| x.ln()).sum::<f64>() / positives.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a", "1"]);
+        t.row(&["long-name", "12345"]);
+        let s = t.render();
+        assert!(s.contains("long-name"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].len(), lines[3].len());
+    }
+
+    #[test]
+    fn time_units() {
+        assert_eq!(fmt_time(0.0), "0");
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-6).ends_with("us"));
+        assert!(fmt_time(5e-3).ends_with("ms"));
+        assert!(fmt_time(5.0).ends_with("s"));
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[1.0, 0.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn bad_row_panics() {
+        let mut t = Table::new(&["one"]);
+        t.row(&["a", "b"]);
+    }
+}

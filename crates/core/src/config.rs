@@ -1,0 +1,262 @@
+use menda_dram::DramConfig;
+
+/// Configuration of one MeNDA processing unit (Table 1, bottom).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PuConfig {
+    /// PU clock frequency in MHz (nominal 800).
+    pub frequency_mhz: u64,
+    /// Number of merge-tree leaves, i.e. input ports / prefetch buffers
+    /// (nominal 1024). Must be a power of two ≥ 2.
+    pub leaves: usize,
+    /// Entries per inter-PE FIFO (nominal 2).
+    pub fifo_entries: usize,
+    /// Nonzeros a prefetch buffer can hold (nominal 32).
+    pub prefetch_buffer_entries: usize,
+    /// PU-side read request queue entries (nominal 32).
+    pub read_queue_entries: usize,
+    /// PU-side write request queue entries (nominal 32).
+    pub write_queue_entries: usize,
+    /// Stall-reducing prefetching (§3.4) enabled.
+    pub stall_reducing_prefetch: bool,
+    /// Request coalescing (§3.4) enabled.
+    pub request_coalescing: bool,
+    /// Output buffer capacity in bytes (stores are sent at 64 B
+    /// granularity).
+    pub output_buffer_bytes: usize,
+    /// Maximum outstanding pointer-array block reads held by the
+    /// controller FSM.
+    pub pointer_read_depth: usize,
+    /// Concurrent host access (§4): when set, the host injects one 64 B
+    /// read into this PU's rank every `N` PU cycles while the PU runs.
+    /// The paper supports concurrent access (via \[11\]) but warns that a
+    /// memory-intensive co-runner hurts both tasks — this knob lets the
+    /// harness quantify that.
+    pub host_read_interval: Option<u64>,
+}
+
+impl PuConfig {
+    /// The paper's nominal PU: 800 MHz, 1024 leaves, 2-entry FIFOs,
+    /// 32-entry prefetch buffers and request queues, both optimizations on.
+    pub fn paper() -> Self {
+        Self {
+            frequency_mhz: 800,
+            leaves: 1024,
+            fifo_entries: 2,
+            prefetch_buffer_entries: 32,
+            read_queue_entries: 32,
+            write_queue_entries: 32,
+            stall_reducing_prefetch: true,
+            request_coalescing: true,
+            output_buffer_bytes: 256,
+            pointer_read_depth: 8,
+            host_read_interval: None,
+        }
+    }
+
+    /// A small PU for fast unit tests (16 leaves).
+    pub fn small_test() -> Self {
+        Self {
+            leaves: 16,
+            ..Self::paper()
+        }
+    }
+
+    /// Validates structural invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves` is not a power of two ≥ 2, or any queue/FIFO
+    /// capacity is zero.
+    pub fn validate(&self) {
+        assert!(
+            self.leaves.is_power_of_two() && self.leaves >= 2,
+            "leaves must be a power of two >= 2, got {}",
+            self.leaves
+        );
+        assert!(self.fifo_entries > 0, "fifo_entries must be positive");
+        assert!(
+            self.prefetch_buffer_entries > 0,
+            "prefetch_buffer_entries must be positive"
+        );
+        assert!(self.read_queue_entries > 0);
+        assert!(self.write_queue_entries > 0);
+        assert!(self.output_buffer_bytes >= 64);
+        assert!(self.pointer_read_depth > 0);
+    }
+
+    /// Number of merge-tree levels (`log2 leaves`).
+    pub fn levels(&self) -> u32 {
+        self.leaves.trailing_zeros()
+    }
+
+    /// With or without stall-reducing prefetching.
+    pub fn with_prefetch(mut self, on: bool) -> Self {
+        self.stall_reducing_prefetch = on;
+        self
+    }
+
+    /// With or without request coalescing.
+    pub fn with_coalescing(mut self, on: bool) -> Self {
+        self.request_coalescing = on;
+        self
+    }
+
+    /// With a different leaf count.
+    pub fn with_leaves(mut self, leaves: usize) -> Self {
+        self.leaves = leaves;
+        self
+    }
+
+    /// With a different prefetch buffer capacity.
+    pub fn with_buffer_entries(mut self, entries: usize) -> Self {
+        self.prefetch_buffer_entries = entries;
+        self
+    }
+
+    /// With a different clock frequency.
+    pub fn with_frequency(mut self, mhz: u64) -> Self {
+        self.frequency_mhz = mhz;
+        self
+    }
+
+    /// With concurrent host reads every `interval` PU cycles (§4).
+    pub fn with_host_interference(mut self, interval: u64) -> Self {
+        self.host_read_interval = Some(interval.max(1));
+        self
+    }
+}
+
+impl Default for PuConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Configuration of a complete MeNDA system: one PU per DRAM rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MendaConfig {
+    /// Per-PU configuration.
+    pub pu: PuConfig,
+    /// Memory channels populated with MeNDA DIMMs.
+    pub channels: usize,
+    /// Ranks (and therefore PUs) per channel.
+    pub ranks_per_channel: usize,
+    /// DRAM configuration of each rank (one PU sees one rank's worth of
+    /// DDR4-2400 bandwidth through the DIMM buffer chip).
+    pub dram: DramConfig,
+}
+
+impl MendaConfig {
+    /// The paper's evaluation system: 4 channels × 2 ranks = 8 PUs with
+    /// nominal PU parameters.
+    pub fn paper() -> Self {
+        Self {
+            pu: PuConfig::paper(),
+            channels: 4,
+            ranks_per_channel: 2,
+            dram: DramConfig::ddr4_2400r(),
+        }
+    }
+
+    /// A small configuration for fast unit tests: 2 PUs with 16-leaf trees
+    /// and refresh disabled.
+    pub fn small_test() -> Self {
+        let mut dram = DramConfig::ddr4_2400r();
+        dram.refresh_enabled = false;
+        Self {
+            pu: PuConfig::small_test(),
+            channels: 1,
+            ranks_per_channel: 2,
+            dram,
+        }
+    }
+
+    /// Total number of PUs (= total ranks).
+    pub fn num_pus(&self) -> usize {
+        self.channels * self.ranks_per_channel
+    }
+
+    /// With a different channel count (the Fig. 13 sweep).
+    pub fn with_channels(mut self, channels: usize) -> Self {
+        self.channels = channels;
+        self
+    }
+
+    /// With a different per-channel rank count.
+    pub fn with_ranks_per_channel(mut self, ranks: usize) -> Self {
+        self.ranks_per_channel = ranks;
+        self
+    }
+
+    /// Aggregate internal memory bandwidth exposed to the PUs, in GB/s
+    /// (each rank's PU sees a full DDR4-2400 interface).
+    pub fn internal_bandwidth_gbs(&self) -> f64 {
+        19.2 * self.num_pus() as f64
+    }
+
+    /// DRAM bus cycles per PU cycle numerator/denominator
+    /// (bus 1200 MHz : PU 800 MHz = 3 : 2 at nominal frequency).
+    pub fn dram_ticks_ratio(&self) -> (u64, u64) {
+        (self.dram.clock_mhz, self.pu.frequency_mhz)
+    }
+}
+
+impl Default for MendaConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_match_table1() {
+        let c = PuConfig::paper();
+        assert_eq!(c.frequency_mhz, 800);
+        assert_eq!(c.leaves, 1024);
+        assert_eq!(c.fifo_entries, 2);
+        assert_eq!(c.prefetch_buffer_entries, 32);
+        assert_eq!(c.read_queue_entries, 32);
+        assert_eq!(c.write_queue_entries, 32);
+        assert_eq!(c.levels(), 10);
+        c.validate();
+    }
+
+    #[test]
+    fn system_pu_count() {
+        let s = MendaConfig::paper();
+        assert_eq!(s.num_pus(), 8);
+        assert!((s.internal_bandwidth_gbs() - 153.6).abs() < 0.1);
+        assert_eq!(s.with_channels(1).num_pus(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_leaves_rejected() {
+        PuConfig::paper().with_leaves(48).validate();
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = PuConfig::paper()
+            .with_prefetch(false)
+            .with_coalescing(false)
+            .with_leaves(64)
+            .with_buffer_entries(16)
+            .with_frequency(600);
+        assert!(!c.stall_reducing_prefetch);
+        assert!(!c.request_coalescing);
+        assert_eq!(c.leaves, 64);
+        assert_eq!(c.prefetch_buffer_entries, 16);
+        assert_eq!(c.frequency_mhz, 600);
+        c.validate();
+    }
+
+    #[test]
+    fn dram_tick_ratio_nominal() {
+        let c = MendaConfig::paper();
+        assert_eq!(c.dram_ticks_ratio(), (1200, 800));
+    }
+}

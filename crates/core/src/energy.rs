@@ -1,0 +1,163 @@
+//! Area, power and energy model (§6.2, §6.7).
+//!
+//! Calibrated to the paper's 40 nm Synopsys Design Compiler synthesis
+//! results: a PU consumes 78.6 mW at 800 MHz and occupies 7.1 mm²; the
+//! extra SpMV logic adds up to 13.8 mW and negligible area. Frequency and
+//! leaf-count scaling follow first-order CMOS models (dynamic power scales
+//! with frequency, PE/buffer power scales with leaf count); the constants
+//! below reproduce the Fig. 15 EDP shapes.
+
+use crate::config::PuConfig;
+
+/// PU power at the nominal design point, in milliwatts (§6.2).
+pub const PU_POWER_MW: f64 = 78.6;
+/// Additional power of the SpMV units when active, in milliwatts (§6.2).
+pub const SPMV_EXTRA_MW: f64 = 13.8;
+/// PU area in mm² at 40 nm (§6.2).
+pub const PU_AREA_MM2: f64 = 7.1;
+/// Area of a typical DIMM data buffer chip in mm² (\[35\] in the paper).
+pub const BUFFER_CHIP_AREA_MM2: f64 = 100.0;
+/// Nominal frequency of the synthesis point, MHz.
+pub const NOMINAL_MHZ: f64 = 800.0;
+/// Nominal leaf count of the synthesis point.
+pub const NOMINAL_LEAVES: f64 = 1024.0;
+/// Fraction of PU power that is frequency-dependent (dynamic).
+pub const DYNAMIC_FRACTION: f64 = 0.8;
+/// Fraction of PU power in the merge tree + prefetch buffers (scales with
+/// the leaf count); the remainder — controller, request queues, memory
+/// interface unit and clock distribution — is leaf-independent.
+pub const TREE_FRACTION: f64 = 0.5;
+
+/// First-order power model of one PU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// PU power in milliwatts.
+    pub pu_mw: f64,
+    /// Whether SpMV units are powered (gated off for transposition, §3.6).
+    pub spmv_active: bool,
+}
+
+impl PowerModel {
+    /// Power of a PU with the given configuration running transposition.
+    pub fn transpose(config: &PuConfig) -> Self {
+        Self {
+            pu_mw: scaled_power_mw(config),
+            spmv_active: false,
+        }
+    }
+
+    /// Power of a PU with the given configuration running SpMV (adds the
+    /// multiplier, adders and delay buffer).
+    pub fn spmv(config: &PuConfig) -> Self {
+        Self {
+            pu_mw: scaled_power_mw(config) + SPMV_EXTRA_MW * (config.frequency_mhz as f64 / NOMINAL_MHZ),
+            spmv_active: true,
+        }
+    }
+
+    /// Total power in watts.
+    pub fn watts(&self) -> f64 {
+        self.pu_mw / 1e3
+    }
+
+    /// Energy in joules over `seconds` of execution.
+    pub fn energy_j(&self, seconds: f64) -> f64 {
+        self.watts() * seconds
+    }
+
+    /// Energy-delay product in joule-seconds over `seconds` of execution.
+    pub fn edp(&self, seconds: f64) -> f64 {
+        self.energy_j(seconds) * seconds
+    }
+}
+
+/// PU power scaled from the nominal design point to `config`'s frequency
+/// and leaf count.
+pub fn scaled_power_mw(config: &PuConfig) -> f64 {
+    let f_scale = config.frequency_mhz as f64 / NOMINAL_MHZ;
+    let l_scale = config.leaves as f64 / NOMINAL_LEAVES;
+    let freq_part = 1.0 - DYNAMIC_FRACTION + DYNAMIC_FRACTION * f_scale;
+    let leaf_part = 1.0 - TREE_FRACTION + TREE_FRACTION * l_scale;
+    PU_POWER_MW * freq_part * leaf_part
+}
+
+/// PU area scaled by leaf count (tree + buffers dominate).
+pub fn scaled_area_mm2(config: &PuConfig) -> f64 {
+    let l_scale = config.leaves as f64 / NOMINAL_LEAVES;
+    PU_AREA_MM2 * (1.0 - TREE_FRACTION + TREE_FRACTION * l_scale)
+}
+
+/// Whether the PU fits a commodity DIMM buffer chip (§6.2's feasibility
+/// argument).
+pub fn fits_buffer_chip(config: &PuConfig) -> bool {
+    scaled_area_mm2(config) < BUFFER_CHIP_AREA_MM2
+}
+
+/// System-level efficiency in GTEPS per watt across `pus` PUs.
+pub fn gteps_per_watt(gteps: f64, pus: usize, model: PowerModel) -> f64 {
+    let total_w = model.watts() * pus as f64;
+    if total_w == 0.0 {
+        return 0.0;
+    }
+    gteps / total_w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_point_matches_paper() {
+        let c = PuConfig::paper();
+        assert!((scaled_power_mw(&c) - PU_POWER_MW).abs() < 1e-9);
+        assert!((scaled_area_mm2(&c) - PU_AREA_MM2).abs() < 1e-9);
+        assert!(fits_buffer_chip(&c));
+    }
+
+    #[test]
+    fn spmv_adds_extra_power() {
+        let c = PuConfig::paper();
+        let t = PowerModel::transpose(&c);
+        let s = PowerModel::spmv(&c);
+        assert!((s.pu_mw - t.pu_mw - SPMV_EXTRA_MW).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_scales_down_with_frequency() {
+        let p600 = scaled_power_mw(&PuConfig::paper().with_frequency(600));
+        let p800 = scaled_power_mw(&PuConfig::paper());
+        let p1200 = scaled_power_mw(&PuConfig::paper().with_frequency(1200));
+        assert!(p600 < p800 && p800 < p1200);
+        // Static fraction keeps the curve affine, not proportional.
+        assert!(p600 > PU_POWER_MW * 600.0 / 800.0);
+    }
+
+    #[test]
+    fn power_scales_down_with_leaves() {
+        let p64 = scaled_power_mw(&PuConfig::paper().with_leaves(64));
+        let p1024 = scaled_power_mw(&PuConfig::paper());
+        assert!(p64 < 0.6 * p1024);
+        assert!(p64 > 0.3 * p1024);
+    }
+
+    #[test]
+    fn edp_prefers_lower_frequency_at_equal_performance() {
+        // If execution time barely changes (memory bound), a lower clock
+        // must win on EDP — the Fig. 15 observation.
+        let c600 = PuConfig::paper().with_frequency(600);
+        let c800 = PuConfig::paper();
+        let t600 = 1.05; // 5% slower
+        let t800 = 1.0;
+        let edp600 = PowerModel::transpose(&c600).edp(t600);
+        let edp800 = PowerModel::transpose(&c800).edp(t800);
+        assert!(edp600 < edp800);
+    }
+
+    #[test]
+    fn efficiency_metric() {
+        let m = PowerModel::spmv(&PuConfig::paper());
+        let e = gteps_per_watt(0.8, 8, m);
+        assert!(e > 0.0);
+        assert!(e < 0.8 / (8.0 * 0.078));
+    }
+}

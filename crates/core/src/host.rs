@@ -1,0 +1,314 @@
+//! The heterogeneous programming model of §4.
+//!
+//! The host allocates and partitions data structures (`alloc_csr`),
+//! launches non-blocking NMP kernels (`transpose`, `spmv`) that set the
+//! PUs' start signals through memory-mapped registers, blocks on
+//! completion (`wait`, a condition variable over the PUs' finish signals),
+//! and queries the per-rank addresses of the transposed partitions
+//! (`addr_of`). Under simulation the kernel executes eagerly at launch,
+//! but results are only observable through `wait`, preserving the paper's
+//! API contract (Fig. 8).
+
+use menda_sparse::partition::RowPartition;
+use menda_sparse::CsrMatrix;
+
+use crate::config::MendaConfig;
+use crate::spgemm::{self, SpgemmResult};
+use crate::spmv::{self, SpmvResult};
+use crate::system::{MendaSystem, TransposeResult};
+
+/// Handle to a matrix allocated on the NMP device with the §3.5 layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixHandle(usize);
+
+/// Handle to an in-flight transposition (returned by the non-blocking
+/// launch).
+#[derive(Debug, PartialEq, Eq)]
+#[must_use = "transposition results are only observable through wait()"]
+pub struct TransposeHandle(usize);
+
+/// Handle to an in-flight SpMV.
+#[derive(Debug, PartialEq, Eq)]
+#[must_use = "SpMV results are only observable through wait_spmv()"]
+pub struct SpmvHandle(usize);
+
+/// Handle to an in-flight SpGEMM.
+#[derive(Debug, PartialEq, Eq)]
+#[must_use = "SpGEMM results are only observable through wait_spgemm()"]
+pub struct SpgemmHandle(usize);
+
+/// Per-rank addresses of a transposed partition, as exposed through the
+/// memory-mapped registers (`NMP::getAddr(i)` in Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankAddrs {
+    /// Rows `[start, end)` of the partition this rank holds (in CSC).
+    pub row_start: usize,
+    /// One past the last row.
+    pub row_end: usize,
+    /// Base address of the partition's column pointer array.
+    pub col_ptr_addr: u64,
+    /// Base address of the partition's row index array.
+    pub row_idx_addr: u64,
+    /// Base address of the partition's value array.
+    pub values_addr: u64,
+}
+
+#[derive(Debug)]
+struct Allocation {
+    matrix: CsrMatrix,
+    partition: RowPartition,
+}
+
+/// The NMP device façade.
+///
+/// # Example
+///
+/// The Fig. 8 workload shape — allocate, launch, overlap host work, wait,
+/// then read the per-rank addresses:
+///
+/// ```
+/// use menda_core::host::NmpDevice;
+/// use menda_core::MendaConfig;
+/// use menda_sparse::gen;
+///
+/// let mut dev = NmpDevice::new(MendaConfig::small_test());
+/// let m = gen::uniform(64, 512, 3);
+/// let h = dev.alloc_csr(m.clone());
+/// let t = dev.transpose(h);
+/// // ... host executes other kernels concurrently ...
+/// let result = dev.wait(t);
+/// assert_eq!(result.output, m.to_csc());
+/// let addrs = dev.addr_of(h, 0);
+/// assert_eq!(addrs.row_start, 0);
+/// ```
+#[derive(Debug)]
+pub struct NmpDevice {
+    config: MendaConfig,
+    allocations: Vec<Allocation>,
+    transposes: Vec<Option<TransposeResult>>,
+    spmvs: Vec<Option<SpmvResult>>,
+    spgemms: Vec<Option<SpgemmResult>>,
+}
+
+impl NmpDevice {
+    /// Creates a device with the given system configuration.
+    pub fn new(config: MendaConfig) -> Self {
+        config.pu.validate();
+        Self {
+            config,
+            allocations: Vec::new(),
+            transposes: Vec::new(),
+            spmvs: Vec::new(),
+            spgemms: Vec::new(),
+        }
+    }
+
+    /// Number of PUs (ranks) on the device.
+    pub fn num_pus(&self) -> usize {
+        self.config.num_pus()
+    }
+
+    /// Allocates a CSR matrix on the device: performs the NNZ-balanced
+    /// partitioning of §3.5 and writes the partition metadata to the
+    /// (modeled) memory-mapped registers.
+    pub fn alloc_csr(&mut self, matrix: CsrMatrix) -> MatrixHandle {
+        let partition = RowPartition::by_nnz(&matrix, self.config.num_pus());
+        self.allocations.push(Allocation { matrix, partition });
+        MatrixHandle(self.allocations.len() - 1)
+    }
+
+    /// The NNZ imbalance of an allocation's partitioning (1.0 = perfect).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is not a live handle from this device.
+    pub fn partition_imbalance(&self, h: MatrixHandle) -> f64 {
+        let a = &self.allocations[h.0];
+        a.partition.imbalance(&a.matrix)
+    }
+
+    /// Launches a (non-blocking) transposition of `h`. The host may run
+    /// other kernels before calling [`NmpDevice::wait`] — though §4 warns
+    /// that co-running memory-intensive kernels hurts both tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is not a live handle from this device.
+    pub fn transpose(&mut self, h: MatrixHandle) -> TransposeHandle {
+        let a = &self.allocations[h.0];
+        let mut system = MendaSystem::new(self.config.clone());
+        let result = system.transpose(&a.matrix);
+        self.transposes.push(Some(result));
+        TransposeHandle(self.transposes.len() - 1)
+    }
+
+    /// Blocks until the transposition finishes and returns its result
+    /// (the `NMP::wait()` of Fig. 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle was already waited on.
+    pub fn wait(&mut self, h: TransposeHandle) -> TransposeResult {
+        self.transposes[h.0]
+            .take()
+            .expect("transpose handle already waited on")
+    }
+
+    /// Launches a (non-blocking) SpMV of `h` against `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is not live or `x` has the wrong length.
+    pub fn spmv(&mut self, h: MatrixHandle, x: &[f32]) -> SpmvHandle {
+        let a = &self.allocations[h.0];
+        let result = spmv::run(&self.config, &a.matrix, x);
+        self.spmvs.push(Some(result));
+        SpmvHandle(self.spmvs.len() - 1)
+    }
+
+    /// Blocks until the SpMV finishes and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle was already waited on.
+    pub fn wait_spmv(&mut self, h: SpmvHandle) -> SpmvResult {
+        self.spmvs[h.0]
+            .take()
+            .expect("spmv handle already waited on")
+    }
+
+    /// Launches a (non-blocking) SpGEMM `C = A·B` of two allocations (the
+    /// extensibility demonstration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either handle is stale or the inner dimensions disagree.
+    pub fn spgemm(&mut self, a: MatrixHandle, b: MatrixHandle) -> SpgemmHandle {
+        let result = spgemm::run(
+            &self.config,
+            &self.allocations[a.0].matrix,
+            &self.allocations[b.0].matrix,
+        );
+        self.spgemms.push(Some(result));
+        SpgemmHandle(self.spgemms.len() - 1)
+    }
+
+    /// Blocks until the SpGEMM finishes and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle was already waited on.
+    pub fn wait_spgemm(&mut self, h: SpgemmHandle) -> SpgemmResult {
+        self.spgemms[h.0]
+            .take()
+            .expect("spgemm handle already waited on")
+    }
+
+    /// Per-rank addresses of partition `rank` of allocation `h`
+    /// (`NMP::getAddr(i)`, Fig. 8 line 12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is not live or `rank >= self.num_pus()`.
+    pub fn addr_of(&self, h: MatrixHandle, rank: usize) -> RankAddrs {
+        let a = &self.allocations[h.0];
+        let range = a.partition.range(rank);
+        let layout = crate::layout::AddressLayout::rank_default();
+        RankAddrs {
+            row_start: range.start,
+            row_end: range.end,
+            col_ptr_addr: layout.out_ptr,
+            row_idx_addr: layout.out_idx,
+            values_addr: layout.out_val,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menda_sparse::gen;
+
+    #[test]
+    fn alloc_transpose_wait_roundtrip() {
+        let mut dev = NmpDevice::new(MendaConfig::small_test());
+        let m = gen::uniform(96, 700, 41);
+        let h = dev.alloc_csr(m.clone());
+        let t = dev.transpose(h);
+        let r = dev.wait(t);
+        assert_eq!(r.output, m.to_csc());
+    }
+
+    #[test]
+    fn spmv_through_device() {
+        let mut dev = NmpDevice::new(MendaConfig::small_test());
+        let m = gen::uniform(64, 400, 42);
+        let x: Vec<f32> = (0..64).map(|i| (i % 7) as f32).collect();
+        let h = dev.alloc_csr(m.clone());
+        let s = dev.spmv(h, &x);
+        let r = dev.wait_spmv(s);
+        let golden = m.spmv(&x);
+        for (got, want) in r.y.iter().zip(&golden) {
+            assert!((got - want).abs() <= 1e-3 * want.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn addr_of_reports_partition_ranges() {
+        let mut dev = NmpDevice::new(MendaConfig::small_test());
+        let m = gen::uniform(64, 512, 43);
+        let h = dev.alloc_csr(m);
+        let pus = dev.num_pus();
+        let mut next = 0;
+        for r in 0..pus {
+            let a = dev.addr_of(h, r);
+            assert_eq!(a.row_start, next);
+            next = a.row_end;
+        }
+        assert_eq!(next, 64);
+    }
+
+    #[test]
+    fn imbalance_is_reported() {
+        let mut dev = NmpDevice::new(MendaConfig::small_test());
+        let m = gen::rmat(512, 4096, gen::RmatParams::PAPER, 44);
+        let h = dev.alloc_csr(m);
+        assert!(dev.partition_imbalance(h) < 1.8);
+    }
+
+    #[test]
+    fn spgemm_through_device() {
+        let mut dev = NmpDevice::new(MendaConfig::small_test());
+        let a = gen::uniform(40, 250, 48);
+        let ha = dev.alloc_csr(a.clone());
+        let h = dev.spgemm(ha, ha);
+        let r = dev.wait_spgemm(h);
+        let golden = crate::spgemm::spgemm_golden(&a, &a);
+        assert_eq!(r.c.nnz(), golden.nnz());
+    }
+
+    #[test]
+    #[should_panic(expected = "already waited")]
+    fn double_wait_panics() {
+        let mut dev = NmpDevice::new(MendaConfig::small_test());
+        let m = gen::uniform(16, 64, 45);
+        let h = dev.alloc_csr(m);
+        let t = dev.transpose(h);
+        let t2 = TransposeHandle(0);
+        let _ = dev.wait(t);
+        let _ = dev.wait(t2);
+    }
+
+    #[test]
+    fn multiple_allocations_coexist() {
+        let mut dev = NmpDevice::new(MendaConfig::small_test());
+        let m1 = gen::uniform(32, 128, 46);
+        let m2 = gen::uniform(48, 256, 47);
+        let h1 = dev.alloc_csr(m1.clone());
+        let h2 = dev.alloc_csr(m2.clone());
+        let t2 = dev.transpose(h2);
+        let t1 = dev.transpose(h1);
+        assert_eq!(dev.wait(t1).output, m1.to_csc());
+        assert_eq!(dev.wait(t2).output, m2.to_csc());
+    }
+}

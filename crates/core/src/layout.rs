@@ -1,0 +1,158 @@
+//! Physical address layout of a PU's rank.
+//!
+//! Each PU owns one rank and sees its partition's arrays at fixed base
+//! addresses (the host writes these to memory-mapped registers, §3.5).
+//! Regions are spaced far apart so they never alias within a 4 GB rank.
+
+/// Byte sizes of the stored elements.
+pub const PTR_BYTES: u64 = 8;
+/// Bytes per index element (32-bit, §3.2).
+pub const IDX_BYTES: u64 = 4;
+/// Bytes per value element (32-bit).
+pub const VAL_BYTES: u64 = 4;
+/// Memory block (transaction) size.
+pub const BLOCK_BYTES: u64 = 64;
+
+/// Base addresses of the arrays a PU works on within its rank.
+///
+/// The input matrix partition is CSR (`row_ptr`, `col_idx`, `values`);
+/// intermediate merge rounds ping-pong between two COO regions, each with
+/// separate row/column/value arrays so accesses exploit bank-level
+/// parallelism (§3.1); the output is CSC (`out_ptr`, `out_idx`,
+/// `out_val`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressLayout {
+    /// Input CSR row pointer array base.
+    pub row_ptr: u64,
+    /// Input CSR column index array base.
+    pub col_idx: u64,
+    /// Input CSR value array base.
+    pub values: u64,
+    /// COO region bases, ping-pong buffered: `[region][array]` where array
+    /// 0 = row indices, 1 = column indices, 2 = values.
+    pub coo: [[u64; 3]; 2],
+    /// Output CSC column pointer array base.
+    pub out_ptr: u64,
+    /// Output CSC row index array base.
+    pub out_idx: u64,
+    /// Output CSC value array base.
+    pub out_val: u64,
+    /// Auxiliary pointer array base (SpMV, §3.6).
+    pub aux_ptr: u64,
+    /// Input vector base (SpMV).
+    pub vector: u64,
+}
+
+impl AddressLayout {
+    /// The default layout: 256 MB regions within a 4 GB rank, each
+    /// staggered by one 8 KB DRAM row so concurrently streamed arrays land
+    /// in *different banks* (the bank-level parallelism §3.1 prescribes
+    /// for the COO intermediates; without the stagger every array base
+    /// would decode to bank 0 and concurrent streams would ping-pong one
+    /// row buffer).
+    pub fn rank_default() -> Self {
+        const M256: u64 = 256 << 20;
+        // 40 KB = one bank-group stride (32 KB) + one bank stride (8 KB)
+        // under the RoBaRaCoCh mapping, so consecutive regions rotate both
+        // the bank group (different tCCD_S domains) and the bank.
+        const STAGGER: u64 = 40 << 10;
+        let base = |k: u64| k * M256 + k * STAGGER;
+        Self {
+            row_ptr: base(0),
+            col_idx: base(1),
+            values: base(2),
+            coo: [
+                [base(3), base(4), base(5)],
+                [base(6), base(7), base(8)],
+            ],
+            out_ptr: base(9),
+            out_idx: base(10),
+            out_val: base(11),
+            aux_ptr: base(12),
+            vector: base(13),
+        }
+    }
+
+    /// Address of pointer entry `i`.
+    pub fn ptr_addr(&self, base: u64, i: u64) -> u64 {
+        base + i * PTR_BYTES
+    }
+
+    /// Address of 4-byte element `i` of the array at `base`.
+    pub fn elem_addr(&self, base: u64, i: u64) -> u64 {
+        base + i * IDX_BYTES
+    }
+
+    /// The 64 B-aligned block containing byte address `a`.
+    pub fn block_of(a: u64) -> u64 {
+        a & !(BLOCK_BYTES - 1)
+    }
+
+    /// Blocks covered by elements `[start, end)` of a 4-byte array at
+    /// `base` (an iterator of block addresses).
+    pub fn elem_blocks(&self, base: u64, start: u64, end: u64) -> impl Iterator<Item = u64> {
+        let range = if end > start {
+            let first = Self::block_of(base + start * IDX_BYTES) / BLOCK_BYTES;
+            let last = Self::block_of(base + (end - 1) * IDX_BYTES) / BLOCK_BYTES;
+            first..last + 1
+        } else {
+            1..1 // empty
+        };
+        range.map(|b| b * BLOCK_BYTES)
+    }
+}
+
+impl Default for AddressLayout {
+    fn default() -> Self {
+        Self::rank_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint() {
+        let l = AddressLayout::rank_default();
+        let mut bases = vec![
+            l.row_ptr, l.col_idx, l.values, l.out_ptr, l.out_idx, l.out_val, l.aux_ptr, l.vector,
+        ];
+        for r in &l.coo {
+            bases.extend_from_slice(r);
+        }
+        bases.sort_unstable();
+        for w in bases.windows(2) {
+            assert!(w[1] - w[0] >= 256 << 20);
+        }
+        assert!(*bases.last().unwrap() < 4 << 30);
+    }
+
+    #[test]
+    fn block_alignment() {
+        assert_eq!(AddressLayout::block_of(0), 0);
+        assert_eq!(AddressLayout::block_of(63), 0);
+        assert_eq!(AddressLayout::block_of(64), 64);
+        assert_eq!(AddressLayout::block_of(130), 128);
+    }
+
+    #[test]
+    fn elem_blocks_counts() {
+        let l = AddressLayout::rank_default();
+        // 16 elements of 4 B = 64 B starting at an aligned base: one block.
+        assert_eq!(l.elem_blocks(l.col_idx, 0, 16).count(), 1);
+        // 17 elements cross into a second block.
+        assert_eq!(l.elem_blocks(l.col_idx, 0, 17).count(), 2);
+        // Unaligned start.
+        assert_eq!(l.elem_blocks(l.col_idx, 15, 17).count(), 2);
+        // Empty range: no blocks.
+        assert_eq!(l.elem_blocks(l.col_idx, 5, 5).count(), 0);
+    }
+
+    #[test]
+    fn addresses_scale_with_index() {
+        let l = AddressLayout::rank_default();
+        assert_eq!(l.ptr_addr(l.row_ptr, 3), 24);
+        assert_eq!(l.elem_addr(l.col_idx, 3), l.col_idx + 12);
+    }
+}

@@ -1,0 +1,612 @@
+//! The structural hardware merge tree of Fig. 5.
+//!
+//! An `l`-leaf tree has `l - 1` processing elements (PEs) arranged in
+//! `log2 l` levels. Each PE owns two input FIFOs fed by its children (child
+//! PEs, or prefetch buffers at the leaf level). A PE pops the packet with
+//! the smaller sort key when both inputs are valid and forwards it to its
+//! parent; the root PE emits one packet per cycle into the output buffer.
+//! End-of-line (EOL) markers delimit sorted streams and let consecutive
+//! rounds of merge sort flow through the tree back to back (§3.3, Fig. 6).
+
+use std::collections::VecDeque;
+
+/// A merge-tree data packet.
+///
+/// The hardware packet carries a valid bit, 32-bit row index, 32-bit column
+/// index and 32-bit value (§3.2), plus the end-of-line bit of §3.3. Here
+/// the indices are generalized to a (major, minor) sort key so the same
+/// tree serves transposition (major = column, minor = row) and SpMV
+/// (major = row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Packet {
+    /// A nonzero element.
+    Nz {
+        /// Primary sort key (column index for transposition, row index for
+        /// SpMV).
+        major: u32,
+        /// Secondary sort key (row index for transposition).
+        minor: u32,
+        /// The element value.
+        value: f32,
+    },
+    /// End-of-line marker: the sorted stream on this path has ended.
+    Eol,
+}
+
+impl Packet {
+    /// Creates a nonzero packet.
+    pub fn nz(major: u32, minor: u32, value: f32) -> Self {
+        Packet::Nz {
+            major,
+            minor,
+            value,
+        }
+    }
+
+    /// The sort key, or `None` for EOL markers.
+    pub fn key(&self) -> Option<(u32, u32)> {
+        match self {
+            Packet::Nz { major, minor, .. } => Some((*major, *minor)),
+            Packet::Eol => None,
+        }
+    }
+
+    /// Whether this is an EOL marker.
+    pub fn is_eol(&self) -> bool {
+        matches!(self, Packet::Eol)
+    }
+}
+
+/// Supplies packets to the leaf input ports of a [`MergeTree`].
+///
+/// Port `p` of an `l`-leaf tree (`0 <= p < l`) corresponds to prefetch
+/// buffer `p`. The tree pulls at most one packet per port per cycle.
+pub trait LeafSource {
+    /// The packet at the head of port `p`, if any.
+    fn peek(&self, port: usize) -> Option<Packet>;
+    /// Removes the head packet of port `p`.
+    ///
+    /// Only called after `peek` returned `Some`.
+    fn pop(&mut self, port: usize);
+}
+
+/// A [`LeafSource`] over in-memory queues, used by tests and by the
+/// functional golden model.
+#[derive(Debug, Clone, Default)]
+pub struct SliceLeafSource {
+    ports: Vec<VecDeque<Packet>>,
+}
+
+impl SliceLeafSource {
+    /// Creates a source with `ports` empty ports.
+    pub fn new(ports: usize) -> Self {
+        Self {
+            ports: (0..ports).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    /// Builds a source where each port holds one sorted stream followed by
+    /// an EOL marker.
+    pub fn from_streams(ports: usize, streams: Vec<Vec<Packet>>) -> Self {
+        assert!(streams.len() <= ports, "more streams than ports");
+        let mut src = Self::new(ports);
+        for (p, s) in streams.into_iter().enumerate() {
+            for pkt in s {
+                src.ports[p].push_back(pkt);
+            }
+            src.ports[p].push_back(Packet::Eol);
+        }
+        // Ports without a stream still emit a bare EOL so the round
+        // terminates.
+        for p in src.ports.iter_mut() {
+            if p.is_empty() {
+                p.push_back(Packet::Eol);
+            }
+        }
+        src
+    }
+
+    /// Appends a packet to port `p`.
+    pub fn push(&mut self, port: usize, packet: Packet) {
+        self.ports[port].push_back(packet);
+    }
+
+    /// Total packets across ports.
+    pub fn remaining(&self) -> usize {
+        self.ports.iter().map(|p| p.len()).sum()
+    }
+}
+
+impl LeafSource for SliceLeafSource {
+    fn peek(&self, port: usize) -> Option<Packet> {
+        self.ports[port].front().copied()
+    }
+
+    fn pop(&mut self, port: usize) {
+        self.ports[port].pop_front();
+    }
+}
+
+/// One processing element: two input FIFOs.
+#[derive(Debug, Clone, Default)]
+struct Pe {
+    in0: VecDeque<Packet>,
+    in1: VecDeque<Packet>,
+}
+
+/// The structural merge tree.
+///
+/// PEs live in heap order: PE 0 is the root; the children of PE `i` are
+/// PEs `2i+1` and `2i+2`. With `l` leaves there are `l-1` PEs; the last
+/// `l/2` are leaf PEs whose inputs pull from [`LeafSource`] ports
+/// (leaf PE `j` pulls ports `2j` and `2j+1` where `j` counts leaf PEs from
+/// the left).
+///
+/// Simulation is activity-driven: only PEs that might move a packet are
+/// visited, so a quiescent or memory-stalled tree costs almost nothing per
+/// cycle while remaining cycle-exact (packets advance one level per cycle,
+/// bounded by FIFO capacity and the one-pop-per-cycle root).
+#[derive(Debug)]
+pub struct MergeTree {
+    leaves: usize,
+    fifo_cap: usize,
+    pes: Vec<Pe>,
+    active: Vec<bool>,
+    worklist: Vec<u32>,
+    /// Root pops produced (NZ packets only).
+    pops: u64,
+    /// EOLs popped from the root (= completed merge rounds).
+    rounds_completed: u64,
+}
+
+impl MergeTree {
+    /// Creates an `l`-leaf tree with the given per-FIFO capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves` is not a power of two ≥ 2 or `fifo_cap` is zero.
+    pub fn new(leaves: usize, fifo_cap: usize) -> Self {
+        assert!(
+            leaves.is_power_of_two() && leaves >= 2,
+            "leaves must be a power of two >= 2"
+        );
+        assert!(fifo_cap > 0, "fifo capacity must be positive");
+        let n = leaves - 1;
+        Self {
+            leaves,
+            fifo_cap,
+            pes: vec![Pe::default(); n],
+            active: vec![true; n],
+            worklist: (0..n as u32).collect(),
+            pops: 0,
+            rounds_completed: 0,
+        }
+    }
+
+    /// Number of leaf ports.
+    pub fn leaves(&self) -> usize {
+        self.leaves
+    }
+
+    /// Number of levels (`log2 leaves`).
+    pub fn levels(&self) -> u32 {
+        self.leaves.trailing_zeros()
+    }
+
+    /// NZ packets popped from the root so far.
+    pub fn pops(&self) -> u64 {
+        self.pops
+    }
+
+    /// Merge rounds completed (root EOLs observed).
+    pub fn rounds_completed(&self) -> u64 {
+        self.rounds_completed
+    }
+
+    /// Whether every FIFO is empty.
+    pub fn is_drained(&self) -> bool {
+        self.pes.iter().all(|p| p.in0.is_empty() && p.in1.is_empty())
+    }
+
+    /// Marks the leaf PE serving `port` as active (call when the backing
+    /// prefetch buffer gains data).
+    pub fn wake_port(&mut self, port: usize) {
+        debug_assert!(port < self.leaves);
+        let leaf_pe = self.first_leaf_pe() + port / 2;
+        self.activate(leaf_pe);
+    }
+
+    fn first_leaf_pe(&self) -> usize {
+        self.leaves / 2 - 1
+    }
+
+    fn activate(&mut self, pe: usize) {
+        if !self.active[pe] {
+            self.active[pe] = true;
+            self.worklist.push(pe as u32);
+        }
+    }
+
+    /// Advances one cycle.
+    ///
+    /// `root_space` is the number of packets the output side can accept
+    /// this cycle (0 or more; the root emits at most one). Returns the
+    /// packet popped from the root, if any. EOL markers are consumed
+    /// internally and counted in [`MergeTree::rounds_completed`]; they are
+    /// also returned so callers can track run boundaries.
+    pub fn tick(&mut self, src: &mut dyn LeafSource, root_space: usize) -> Option<Packet> {
+        // Root must be considered every cycle the sink has space (external
+        // availability isn't tracked by internal activation).
+        if root_space > 0 {
+            self.activate(0);
+        }
+        let mut work = std::mem::take(&mut self.worklist);
+        work.sort_unstable();
+        work.dedup();
+        let mut rooted = None;
+        for &pe in &work {
+            self.active[pe as usize] = false;
+        }
+        for &pe in &work {
+            let pe = pe as usize;
+            let moved = self.step_pe(pe, src, root_space, &mut rooted);
+            let pulled = self.pull_leaf(pe, src);
+            if moved || pulled {
+                self.activate(pe);
+                if pe > 0 {
+                    self.activate((pe - 1) / 2);
+                }
+                let (c0, c1) = (2 * pe + 1, 2 * pe + 2);
+                if c0 < self.pes.len() {
+                    self.activate(c0);
+                }
+                if c1 < self.pes.len() {
+                    self.activate(c1);
+                }
+            }
+        }
+        rooted
+    }
+
+    /// Performs the merge-move of PE `pe` (at most one packet toward the
+    /// parent). Returns whether a packet moved.
+    fn step_pe(
+        &mut self,
+        pe: usize,
+        _src: &mut dyn LeafSource,
+        root_space: usize,
+        rooted: &mut Option<Packet>,
+    ) -> bool {
+        // Check output capacity.
+        if pe == 0 {
+            if root_space == 0 || rooted.is_some() {
+                return false;
+            }
+        } else {
+            let parent = (pe - 1) / 2;
+            let side = (pe - 1) % 2;
+            let pfifo = if side == 0 {
+                &self.pes[parent].in0
+            } else {
+                &self.pes[parent].in1
+            };
+            if pfifo.len() >= self.fifo_cap {
+                return false;
+            }
+        }
+        let (h0, h1) = (
+            self.pes[pe].in0.front().copied(),
+            self.pes[pe].in1.front().copied(),
+        );
+        let out = match (h0, h1) {
+            (Some(Packet::Eol), Some(Packet::Eol)) => {
+                self.pes[pe].in0.pop_front();
+                self.pes[pe].in1.pop_front();
+                Packet::Eol
+            }
+            (Some(a @ Packet::Nz { .. }), Some(Packet::Eol)) => {
+                self.pes[pe].in0.pop_front();
+                a
+            }
+            (Some(Packet::Eol), Some(b @ Packet::Nz { .. })) => {
+                self.pes[pe].in1.pop_front();
+                b
+            }
+            (Some(a @ Packet::Nz { .. }), Some(b @ Packet::Nz { .. })) => {
+                if a.key() <= b.key() {
+                    self.pes[pe].in0.pop_front();
+                    a
+                } else {
+                    self.pes[pe].in1.pop_front();
+                    b
+                }
+            }
+            _ => return false,
+        };
+        if pe == 0 {
+            match out {
+                Packet::Eol => self.rounds_completed += 1,
+                Packet::Nz { .. } => self.pops += 1,
+            }
+            *rooted = Some(out);
+        } else {
+            let parent = (pe - 1) / 2;
+            let side = (pe - 1) % 2;
+            if side == 0 {
+                self.pes[parent].in0.push_back(out);
+            } else {
+                self.pes[parent].in1.push_back(out);
+            }
+        }
+        true
+    }
+
+    /// Pulls up to one packet per input port from the leaf source into a
+    /// leaf PE's FIFOs. Returns whether anything was pulled.
+    fn pull_leaf(&mut self, pe: usize, src: &mut dyn LeafSource) -> bool {
+        let first = self.first_leaf_pe();
+        if pe < first {
+            return false;
+        }
+        let base_port = 2 * (pe - first);
+        let mut pulled = false;
+        if self.pes[pe].in0.len() < self.fifo_cap {
+            if let Some(pkt) = src.peek(base_port) {
+                src.pop(base_port);
+                self.pes[pe].in0.push_back(pkt);
+                pulled = true;
+            }
+        }
+        if self.pes[pe].in1.len() < self.fifo_cap {
+            if let Some(pkt) = src.peek(base_port + 1) {
+                src.pop(base_port + 1);
+                self.pes[pe].in1.push_back(pkt);
+                pulled = true;
+            }
+        }
+        pulled
+    }
+
+    /// Functional reference: merges `streams` (each sorted by key) into one
+    /// sorted stream, bypassing timing. Used as the golden model in tests.
+    pub fn merge_functional(streams: &[Vec<Packet>]) -> Vec<Packet> {
+        let mut all: Vec<Packet> = streams
+            .iter()
+            .flat_map(|s| s.iter().copied())
+            .filter(|p| !p.is_eol())
+            .collect();
+        all.sort_by_key(|p| p.key());
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs the tree until `count` NZ pops plus `rounds` EOLs, with a cycle
+    /// bound.
+    fn run_tree(
+        tree: &mut MergeTree,
+        src: &mut SliceLeafSource,
+        rounds: u64,
+        max_cycles: u64,
+    ) -> (Vec<Packet>, u64) {
+        let mut out = Vec::new();
+        let mut cycles = 0;
+        while tree.rounds_completed() < rounds {
+            if let Some(p) = tree.tick(src, 1) {
+                if !p.is_eol() {
+                    out.push(p);
+                }
+            }
+            cycles += 1;
+            assert!(cycles < max_cycles, "tree deadlocked after {cycles} cycles");
+        }
+        (out, cycles)
+    }
+
+    fn nz(major: u32) -> Packet {
+        Packet::nz(major, 0, major as f32)
+    }
+
+    #[test]
+    fn merges_four_sorted_streams() {
+        let streams = vec![
+            vec![nz(1), nz(5), nz(9)],
+            vec![nz(2), nz(6)],
+            vec![nz(3), nz(7), nz(11)],
+            vec![nz(4)],
+        ];
+        let mut src = SliceLeafSource::from_streams(4, streams.clone());
+        let mut tree = MergeTree::new(4, 2);
+        let (out, _) = run_tree(&mut tree, &mut src, 1, 1000);
+        assert_eq!(out, MergeTree::merge_functional(&streams));
+        assert_eq!(tree.pops(), 9);
+        assert!(tree.is_drained());
+    }
+
+    #[test]
+    fn secondary_key_breaks_ties() {
+        let streams = vec![
+            vec![Packet::nz(5, 2, 1.0)],
+            vec![Packet::nz(5, 1, 2.0)],
+        ];
+        let mut src = SliceLeafSource::from_streams(2, streams);
+        let mut tree = MergeTree::new(2, 2);
+        let (out, _) = run_tree(&mut tree, &mut src, 1, 100);
+        assert_eq!(out[0], Packet::nz(5, 1, 2.0));
+        assert_eq!(out[1], Packet::nz(5, 2, 1.0));
+    }
+
+    #[test]
+    fn empty_ports_emit_single_eol_round() {
+        let mut src = SliceLeafSource::from_streams(8, vec![vec![nz(3)]]);
+        let mut tree = MergeTree::new(8, 2);
+        let (out, _) = run_tree(&mut tree, &mut src, 1, 1000);
+        assert_eq!(out, vec![nz(3)]);
+        assert_eq!(tree.rounds_completed(), 1);
+    }
+
+    #[test]
+    fn back_to_back_rounds_do_not_mix() {
+        // Round 1 has large keys, round 2 small keys; output must keep
+        // rounds separate (round 2's 0-keys must not pass round 1's).
+        let mut src = SliceLeafSource::new(4);
+        for port in 0..4u32 {
+            src.push(port as usize, Packet::nz(100 + port, 0, 0.0));
+            src.push(port as usize, Packet::Eol);
+            src.push(port as usize, Packet::nz(port, 0, 0.0));
+            src.push(port as usize, Packet::Eol);
+        }
+        let mut tree = MergeTree::new(4, 2);
+        let mut out: Vec<(u64, Packet)> = Vec::new();
+        let mut cycles = 0u64;
+        while tree.rounds_completed() < 2 {
+            if let Some(p) = tree.tick(&mut src, 1) {
+                out.push((tree.rounds_completed(), p));
+            }
+            cycles += 1;
+            assert!(cycles < 1000);
+        }
+        let round1: Vec<u32> = out
+            .iter()
+            .filter(|(r, p)| *r == 0 && !p.is_eol())
+            .map(|(_, p)| p.key().unwrap().0)
+            .collect();
+        let round2: Vec<u32> = out
+            .iter()
+            .filter(|(r, p)| *r == 1 && !p.is_eol())
+            .map(|(_, p)| p.key().unwrap().0)
+            .collect();
+        assert_eq!(round1, vec![100, 101, 102, 103]);
+        assert_eq!(round2, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn seamless_execution_has_no_bubble_between_rounds() {
+        // With data always available at the leaves, the root must sustain
+        // one pop per cycle across a round boundary (the §3.3 claim).
+        let per_stream = 32;
+        let mut src = SliceLeafSource::new(4);
+        for port in 0..4usize {
+            for round in 0..2u32 {
+                for i in 0..per_stream {
+                    src.push(port, Packet::nz(round * 1000 + i * 4 + port as u32, 0, 0.0));
+                }
+                src.push(port, Packet::Eol);
+            }
+        }
+        let mut tree = MergeTree::new(4, 2);
+        let mut pops_at: Vec<u64> = Vec::new();
+        let mut cycles = 0u64;
+        while tree.rounds_completed() < 2 {
+            if let Some(p) = tree.tick(&mut src, 1) {
+                if !p.is_eol() {
+                    pops_at.push(cycles);
+                }
+            }
+            cycles += 1;
+            assert!(cycles < 10_000);
+        }
+        assert_eq!(pops_at.len(), 4 * per_stream as usize * 2);
+        // After the pipeline fills, pops are consecutive; the only extra
+        // cycles are the fill (levels) and the two EOL pop cycles.
+        let total = pops_at.len() as u64;
+        let span = pops_at.last().unwrap() - pops_at.first().unwrap() + 1;
+        assert!(
+            span <= total + 2,
+            "rounds did not flow seamlessly: {total} pops over {span} cycles"
+        );
+    }
+
+    #[test]
+    fn throughput_is_one_per_cycle_when_fed() {
+        let n = 256u32;
+        let streams: Vec<Vec<Packet>> = (0..16)
+            .map(|p| (0..n / 16).map(|i| nz(i * 16 + p)).collect())
+            .collect();
+        let mut src = SliceLeafSource::from_streams(16, streams);
+        let mut tree = MergeTree::new(16, 2);
+        let (out, cycles) = run_tree(&mut tree, &mut src, 1, 10_000);
+        assert_eq!(out.len(), n as usize);
+        // Fill latency is log2(16)=4; allow small overhead.
+        assert!(
+            cycles <= n as u64 + 16,
+            "{cycles} cycles for {n} elements"
+        );
+    }
+
+    #[test]
+    fn root_backpressure_stalls_tree() {
+        let streams = vec![vec![nz(1), nz(2)], vec![nz(3)]];
+        let mut src = SliceLeafSource::from_streams(2, streams);
+        let mut tree = MergeTree::new(2, 2);
+        // No root space: nothing pops, tree holds packets.
+        for _ in 0..50 {
+            assert_eq!(tree.tick(&mut src, 0), None);
+        }
+        assert_eq!(tree.pops(), 0);
+        // Release: everything flows.
+        let (out, _) = run_tree(&mut tree, &mut src, 1, 100);
+        assert_eq!(out, vec![nz(1), nz(2), nz(3)]);
+    }
+
+    #[test]
+    fn pipeline_latency_is_at_least_levels() {
+        // A single element at a leaf takes >= log2(l) cycles to reach the
+        // root (§3.2: "at least log2 l cycles ... from a leaf PE to the
+        // root PE").
+        let mut src = SliceLeafSource::from_streams(16, vec![vec![nz(7)]]);
+        let mut tree = MergeTree::new(16, 2);
+        let mut first_pop = None;
+        for cycle in 0..100 {
+            if let Some(p) = tree.tick(&mut src, 1) {
+                if !p.is_eol() {
+                    first_pop = Some(cycle);
+                    break;
+                }
+            }
+        }
+        let latency = first_pop.expect("element must emerge") + 1;
+        assert!(latency >= tree.levels() as u64, "latency {latency}");
+    }
+
+    #[test]
+    fn large_tree_merges_correctly() {
+        let leaves = 128;
+        let streams: Vec<Vec<Packet>> = (0..leaves as u32)
+            .map(|p| (0..5).map(|i| nz(i * leaves as u32 + p)).collect())
+            .collect();
+        let mut src = SliceLeafSource::from_streams(leaves, streams.clone());
+        let mut tree = MergeTree::new(leaves, 2);
+        let (out, _) = run_tree(&mut tree, &mut src, 1, 100_000);
+        assert_eq!(out, MergeTree::merge_functional(&streams));
+    }
+
+    #[test]
+    fn wake_port_reactivates_quiescent_tree() {
+        let mut src = SliceLeafSource::new(4);
+        let mut tree = MergeTree::new(4, 2);
+        // Spin until quiescent (no packets anywhere).
+        for _ in 0..20 {
+            tree.tick(&mut src, 1);
+        }
+        // Now feed a full round and wake only the touched ports.
+        for p in 0..4 {
+            src.push(p, if p == 2 { nz(9) } else { Packet::Eol });
+            if p == 2 {
+                src.push(p, Packet::Eol);
+            }
+            tree.wake_port(p);
+        }
+        let (out, _) = run_tree(&mut tree, &mut src, 1, 200);
+        assert_eq!(out, vec![nz(9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_leaf_count_panics() {
+        let _ = MergeTree::new(6, 2);
+    }
+}

@@ -1,0 +1,531 @@
+//! Prefetch buffers (§3.2, §3.4).
+//!
+//! Each merge-tree leaf port is fed by one prefetch buffer implemented as
+//! multi-bank SRAM in hardware. A buffer walks a queue of stream
+//! descriptors (one per merge round, enabling seamless back-to-back merge
+//! sort), fetches the stream's elements block by block through the read
+//! request queue, and presents decoded packets to the leaf PE, appending an
+//! end-of-line marker after each stream.
+//!
+//! With **stall-reducing prefetching** (§3.4) a buffer issues the next
+//! chunk's loads whenever the chunk fits in its free space; without it, a
+//! buffer only issues loads once it has fully drained. Either way a buffer
+//! keeps at most one chunk outstanding — the paper found it better to keep
+//! every buffer non-empty than to serially fill each one.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+
+use crate::layout::{AddressLayout, BLOCK_BYTES, IDX_BYTES};
+use crate::merge_tree::Packet;
+
+/// What kind of data a stream reads, which determines the arrays fetched
+/// per element and how packets are decoded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StreamKind {
+    /// Iteration-0 transposition stream: one CSR row. Fetches the column
+    /// index and value arrays; the row index is implicit.
+    CsrRow {
+        /// The row this stream carries (becomes the packet's minor key).
+        row: u32,
+    },
+    /// Intermediate COO stream in ping-pong `region`. Fetches row, column
+    /// and value arrays.
+    Coo {
+        /// Ping-pong region index (0 or 1).
+        region: u8,
+    },
+    /// SpMV iteration-0 stream: one CSC column, values pre-scaled by the
+    /// matching vector element (the vectorized multiplier of §3.6).
+    SpmvCol {
+        /// The vector element this column is multiplied by.
+        scale: f32,
+    },
+    /// SpMV intermediate stream: (index, value) pairs in `region`.
+    Pair {
+        /// Ping-pong region index (0 or 1).
+        region: u8,
+    },
+}
+
+/// A sorted stream for the merge tree: elements `[start, end)` of the
+/// arrays selected by `kind`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamDescriptor {
+    /// First element offset.
+    pub start: u64,
+    /// One past the last element offset (may equal `start` for a bare-EOL
+    /// placeholder stream).
+    pub end: u64,
+    /// Data kind.
+    pub kind: StreamKind,
+}
+
+impl StreamDescriptor {
+    /// An empty placeholder stream that only emits an EOL marker.
+    pub fn empty() -> Self {
+        Self {
+            start: 0,
+            end: 0,
+            kind: StreamKind::CsrRow { row: 0 },
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the stream has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// A planned fetch: the next chunk of the current stream and the block
+/// loads it requires.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkPlan {
+    /// Elements covered.
+    pub elems: Range<u64>,
+    /// Block addresses to load (one per backing array).
+    pub blocks: Vec<u64>,
+    /// Whether this chunk ends the stream.
+    pub last: bool,
+}
+
+#[derive(Debug, Clone)]
+struct PendingChunk {
+    elems: Range<u64>,
+    awaiting: Vec<u64>,
+    last: bool,
+}
+
+/// One prefetch buffer.
+#[derive(Debug, Clone)]
+pub struct PrefetchBuffer {
+    id: u32,
+    capacity: usize,
+    max_fetch_blocks: usize,
+    prefetch: bool,
+    layout: AddressLayout,
+    streams: VecDeque<StreamDescriptor>,
+    current: Option<(StreamDescriptor, u64)>,
+    pending: Option<PendingChunk>,
+    packets: VecDeque<Packet>,
+    nz_held: usize,
+}
+
+impl PrefetchBuffer {
+    /// Creates buffer `id` holding up to `capacity` nonzeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(id: u32, capacity: usize, prefetch: bool, layout: AddressLayout) -> Self {
+        Self::with_fetch_limit(id, capacity, 16, prefetch, layout)
+    }
+
+    /// Like [`PrefetchBuffer::new`] with an explicit bound on block loads
+    /// per fetch (must not exceed the read request queue capacity, or the
+    /// fetch could never be enqueued atomically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `max_fetch_blocks` is zero.
+    pub fn with_fetch_limit(
+        id: u32,
+        capacity: usize,
+        max_fetch_blocks: usize,
+        prefetch: bool,
+        layout: AddressLayout,
+    ) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(max_fetch_blocks > 0, "max_fetch_blocks must be positive");
+        Self {
+            id,
+            capacity,
+            max_fetch_blocks,
+            prefetch,
+            layout,
+            streams: VecDeque::new(),
+            current: None,
+            pending: None,
+            packets: VecDeque::new(),
+            nz_held: 0,
+        }
+    }
+
+    /// This buffer's id (its leaf port number).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Appends stream descriptors for upcoming rounds.
+    pub fn assign_streams<I: IntoIterator<Item = StreamDescriptor>>(&mut self, streams: I) {
+        self.streams.extend(streams);
+    }
+
+    /// Whether all assigned streams have been fully decoded and consumed.
+    pub fn is_done(&self) -> bool {
+        self.streams.is_empty()
+            && self.current.is_none()
+            && self.pending.is_none()
+            && self.packets.is_empty()
+    }
+
+    /// Nonzeros currently held.
+    pub fn held(&self) -> usize {
+        self.nz_held
+    }
+
+    /// The packet at the head, for the leaf PE.
+    pub fn peek(&self) -> Option<Packet> {
+        self.packets.front().copied()
+    }
+
+    /// Pops the head packet (leaf PE consumed it).
+    pub fn pop(&mut self) {
+        if let Some(p) = self.packets.pop_front() {
+            if !p.is_eol() {
+                self.nz_held -= 1;
+            }
+        }
+    }
+
+    /// Advances stream bookkeeping and, following the §3.4 policy, returns
+    /// the chunk whose loads should be issued now, if any.
+    ///
+    /// Zero-length streams are consumed here directly (they emit only an
+    /// EOL marker and need no memory traffic).
+    pub fn plan_fetch(&mut self) -> Option<ChunkPlan> {
+        if self.pending.is_some() {
+            return None; // at most one outstanding chunk (§3.4)
+        }
+        // Start the next stream if none is active.
+        while self.current.is_none() {
+            let desc = self.streams.pop_front()?;
+            if desc.is_empty() {
+                self.packets.push_back(Packet::Eol);
+            } else {
+                self.current = Some((desc, desc.start));
+            }
+        }
+        let (desc, next) = self.current.expect("active stream");
+        // Chunk: as many elements as fit in the free space, §3.4 ("load
+        // requests are sent whenever a prefetch buffer can fit the
+        // requested data"), bounded to whole block windows past the first.
+        let per_block = BLOCK_BYTES / IDX_BYTES; // 16
+        let free = self.capacity.saturating_sub(self.nz_held + self.in_flight_nzs());
+        let may_issue = if self.prefetch {
+            free > 0
+        } else {
+            self.nz_held == 0 && self.packets.is_empty()
+        };
+        if !may_issue {
+            return None;
+        }
+        let arrays = self.array_bases(&desc).len() as u64;
+        let max_windows = ((self.max_fetch_blocks as u64 / arrays).max(1)) * per_block;
+        let budget = (if self.prefetch { free } else { self.capacity } as u64)
+            .min(max_windows.saturating_sub(next % per_block));
+        let first_window_end = ((next / per_block + 1) * per_block).min(desc.end);
+        let first_span = first_window_end - next;
+        // Wait until the whole first window fits — unless it can *never*
+        // fit this buffer, in which case a partial-window fetch is the only
+        // way to make progress (the remainder of the block is re-fetched
+        // later; coalescing absorbs most of the duplicate traffic).
+        if budget < first_span && first_span as usize <= self.capacity {
+            return None;
+        }
+        let mut chunk_end = (next + budget).min(desc.end);
+        if chunk_end > first_window_end && chunk_end < desc.end {
+            // Multi-window chunk: trim to a whole window boundary so later
+            // chunks stay block-aligned.
+            chunk_end -= chunk_end % per_block;
+            chunk_end = chunk_end.max(first_window_end);
+        }
+        debug_assert!(chunk_end > next, "chunk must make progress");
+        let mut blocks = Vec::new();
+        for base in self.array_bases(&desc) {
+            let first = AddressLayout::block_of(base + next * IDX_BYTES);
+            let last = AddressLayout::block_of(base + (chunk_end - 1) * IDX_BYTES);
+            let mut b = first;
+            while b <= last {
+                blocks.push(b);
+                b += BLOCK_BYTES;
+            }
+        }
+        Some(ChunkPlan {
+            elems: next..chunk_end,
+            blocks,
+            last: chunk_end == desc.end,
+        })
+    }
+
+    fn in_flight_nzs(&self) -> usize {
+        self.pending
+            .as_ref()
+            .map(|p| (p.elems.end - p.elems.start) as usize)
+            .unwrap_or(0)
+    }
+
+    /// The base addresses of the arrays stream `desc` reads (one block load
+    /// per covered window per array).
+    fn array_bases(&self, desc: &StreamDescriptor) -> Vec<u64> {
+        let l = &self.layout;
+        match desc.kind {
+            StreamKind::CsrRow { .. } => vec![l.col_idx, l.values],
+            StreamKind::Coo { region } => l.coo[region as usize].to_vec(),
+            StreamKind::SpmvCol { .. } => vec![l.col_idx, l.values],
+            StreamKind::Pair { region } => {
+                let r = &l.coo[region as usize];
+                vec![r[0], r[2]]
+            }
+        }
+    }
+
+    /// Records that the chunk's loads were enqueued; `blocks` are the block
+    /// addresses awaited.
+    pub fn commit_fetch(&mut self, plan: &ChunkPlan) {
+        debug_assert!(self.pending.is_none());
+        self.pending = Some(PendingChunk {
+            elems: plan.elems.clone(),
+            awaiting: plan.blocks.clone(),
+            last: plan.last,
+        });
+    }
+
+    /// Notifies the buffer that `block` arrived. Returns the element range
+    /// to materialize when the whole chunk is now present.
+    pub fn block_arrived(&mut self, block: u64) -> Option<(StreamDescriptor, Range<u64>, bool)> {
+        let pending = self.pending.as_mut()?;
+        if let Some(pos) = pending.awaiting.iter().position(|&b| b == block) {
+            pending.awaiting.swap_remove(pos);
+        }
+        if pending.awaiting.is_empty() {
+            let done = self.pending.take().expect("pending");
+            let (desc, _) = self.current.expect("active stream");
+            if done.last {
+                self.current = None;
+            } else {
+                self.current = Some((desc, done.elems.end));
+            }
+            return Some((desc, done.elems, done.last));
+        }
+        None
+    }
+
+    /// Delivers decoded packets for a ready chunk; appends an EOL marker if
+    /// the stream ended.
+    pub fn deliver(&mut self, packets: Vec<Packet>, stream_ended: bool) {
+        for p in packets {
+            debug_assert!(!p.is_eol());
+            self.nz_held += 1;
+            self.packets.push_back(p);
+        }
+        if stream_ended {
+            self.packets.push_back(Packet::Eol);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> AddressLayout {
+        AddressLayout::rank_default()
+    }
+
+    fn csr_stream(row: u32, start: u64, end: u64) -> StreamDescriptor {
+        StreamDescriptor {
+            start,
+            end,
+            kind: StreamKind::CsrRow { row },
+        }
+    }
+
+    #[test]
+    fn empty_stream_emits_bare_eol() {
+        let mut b = PrefetchBuffer::new(0, 32, true, layout());
+        b.assign_streams([StreamDescriptor::empty()]);
+        assert_eq!(b.plan_fetch(), None);
+        assert_eq!(b.peek(), Some(Packet::Eol));
+        b.pop();
+        assert!(b.is_done());
+    }
+
+    #[test]
+    fn chunk_fills_free_space_across_windows() {
+        let mut b = PrefetchBuffer::new(0, 32, true, layout());
+        // Elements 10..40 fit the 32-entry buffer entirely: one chunk
+        // covering three block windows per array (bytes 40..160).
+        b.assign_streams([csr_stream(5, 10, 40)]);
+        let plan = b.plan_fetch().unwrap();
+        assert_eq!(plan.elems, 10..40);
+        assert!(plan.last);
+        assert_eq!(plan.blocks.len(), 6); // 3 windows x (idx + val)
+        b.commit_fetch(&plan);
+        // One outstanding chunk max (§3.4).
+        assert_eq!(b.plan_fetch(), None);
+    }
+
+    #[test]
+    fn long_stream_chunk_snaps_to_window_boundary() {
+        let mut b = PrefetchBuffer::new(0, 24, true, layout());
+        // 24 free entries against a long stream: chunk ends at the last
+        // whole window boundary (element 16), not mid-window.
+        b.assign_streams([csr_stream(5, 0, 100)]);
+        let plan = b.plan_fetch().unwrap();
+        assert_eq!(plan.elems, 0..16);
+        assert!(!plan.last);
+    }
+
+    #[test]
+    fn chunk_sequence_covers_stream() {
+        let mut b = PrefetchBuffer::new(0, 64, true, layout());
+        b.assign_streams([csr_stream(1, 0, 40)]);
+        let mut covered = 0;
+        while let Some(plan) = b.plan_fetch() {
+            covered += plan.elems.end - plan.elems.start;
+            b.commit_fetch(&plan);
+            let last = plan.last;
+            let mut out = None;
+            for &blk in &plan.blocks {
+                out = b.block_arrived(blk);
+            }
+            let (desc, range, ended) = out.expect("chunk complete");
+            assert_eq!(ended, last);
+            let packets = (range.start..range.end)
+                .map(|i| Packet::nz(i as u32, desc.start as u32, 0.0))
+                .collect();
+            b.deliver(packets, ended);
+            if ended {
+                break;
+            }
+        }
+        assert_eq!(covered, 40);
+        // 40 NZs + 1 EOL present.
+        let mut count = 0;
+        while let Some(p) = b.peek() {
+            b.pop();
+            if p.is_eol() {
+                break;
+            }
+            count += 1;
+        }
+        assert_eq!(count, 40);
+        assert!(b.is_done());
+    }
+
+    /// Completes every block of `plan`, delivering synthetic packets.
+    fn complete_plan(b: &mut PrefetchBuffer, plan: &ChunkPlan) {
+        b.commit_fetch(plan);
+        for &blk in &plan.blocks {
+            if let Some((_, range, ended)) = b.block_arrived(blk) {
+                let pk = (range.start..range.end)
+                    .map(|i| Packet::nz(i as u32, 0, 0.0))
+                    .collect();
+                b.deliver(pk, ended);
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_only_fetches_when_empty() {
+        let mut b = PrefetchBuffer::new(0, 32, false, layout());
+        b.assign_streams([csr_stream(1, 0, 48)]);
+        let plan = b.plan_fetch().unwrap();
+        assert_eq!(plan.elems, 0..32); // fills the whole buffer
+        complete_plan(&mut b, &plan);
+        // Buffer holds 32 NZs: baseline must NOT issue the next chunk
+        // until fully drained.
+        assert_eq!(b.held(), 32);
+        assert_eq!(b.plan_fetch(), None);
+        for _ in 0..31 {
+            b.pop();
+        }
+        assert_eq!(b.plan_fetch(), None);
+        b.pop();
+        let next = b.plan_fetch().unwrap();
+        assert_eq!(next.elems, 32..48);
+    }
+
+    #[test]
+    fn prefetch_issues_when_space_fits() {
+        let mut b = PrefetchBuffer::new(0, 32, true, layout());
+        b.assign_streams([csr_stream(1, 0, 64)]);
+        let p1 = b.plan_fetch().unwrap();
+        assert_eq!(p1.elems, 0..32);
+        complete_plan(&mut b, &p1);
+        // Full: no prefetch.
+        assert_eq!(b.plan_fetch(), None);
+        // Pop 16: the next 16-NZ window fits → prefetch fires (§3.4's
+        // "whenever a prefetch buffer can fit the requested data").
+        for _ in 0..16 {
+            b.pop();
+        }
+        let p2 = b.plan_fetch().unwrap();
+        assert_eq!(p2.elems, 32..48);
+    }
+
+    #[test]
+    fn prefetch_waits_when_chunk_does_not_fit() {
+        let mut b = PrefetchBuffer::new(0, 16, true, layout());
+        b.assign_streams([csr_stream(1, 0, 64)]);
+        let p1 = b.plan_fetch().unwrap();
+        b.commit_fetch(&p1);
+        for &blk in &p1.blocks.clone() {
+            if let Some((_, range, ended)) = b.block_arrived(blk) {
+                let pk = (range.start..range.end)
+                    .map(|i| Packet::nz(i as u32, 0, 0.0))
+                    .collect();
+                b.deliver(pk, ended);
+            }
+        }
+        assert_eq!(b.held(), 16);
+        // Full: cannot prefetch.
+        assert_eq!(b.plan_fetch(), None);
+        // Pop 15: still can't fit a 16-NZ chunk.
+        for _ in 0..15 {
+            b.pop();
+        }
+        assert_eq!(b.plan_fetch(), None);
+        b.pop();
+        assert!(b.plan_fetch().is_some());
+    }
+
+    #[test]
+    fn coo_streams_need_three_blocks() {
+        let mut b = PrefetchBuffer::new(0, 32, true, layout());
+        b.assign_streams([StreamDescriptor {
+            start: 0,
+            end: 8,
+            kind: StreamKind::Coo { region: 1 },
+        }]);
+        let plan = b.plan_fetch().unwrap();
+        assert_eq!(plan.blocks.len(), 3);
+        assert!(plan.last);
+    }
+
+    #[test]
+    fn back_to_back_streams_queue_up() {
+        let mut b = PrefetchBuffer::new(0, 32, true, layout());
+        b.assign_streams([csr_stream(1, 0, 4), csr_stream(9, 100, 104)]);
+        let p1 = b.plan_fetch().unwrap();
+        assert!(p1.last);
+        b.commit_fetch(&p1);
+        for &blk in &p1.blocks.clone() {
+            if let Some((_, range, ended)) = b.block_arrived(blk) {
+                let pk = (range.start..range.end)
+                    .map(|i| Packet::nz(i as u32, 0, 0.0))
+                    .collect();
+                b.deliver(pk, ended);
+            }
+        }
+        // Immediately plans the second stream (seamless §3.3).
+        let p2 = b.plan_fetch().unwrap();
+        assert_eq!(p2.elems, 100..104);
+    }
+}

@@ -1,0 +1,906 @@
+//! One MeNDA processing unit (Fig. 5): merge tree + prefetch buffers +
+//! controller FSM + request queues + memory interface unit, attached to
+//! one DRAM rank simulated cycle-accurately by [`menda_dram`].
+
+use std::collections::VecDeque;
+
+use menda_dram::{MemRequest, MemorySystem, ReqKind};
+use menda_sparse::CsrMatrix;
+
+use crate::coalesce::{CoalescingQueue, EnqueueOutcome};
+use crate::config::MendaConfig;
+use crate::layout::{AddressLayout, BLOCK_BYTES, PTR_BYTES};
+use crate::merge_tree::{LeafSource, MergeTree, Packet};
+use crate::prefetch::{PrefetchBuffer, StreamDescriptor, StreamKind};
+use crate::stats::{IterationStats, PuStats};
+
+/// Reserved waiter id for controller pointer-array reads.
+const PTR_WAITER: u32 = u32::MAX;
+/// Reserved waiter id for SpMV vector reads (traffic only).
+const VEC_WAITER: u32 = u32::MAX - 1;
+/// Request-id bit marking concurrent host traffic (§4); responses with
+/// this bit are dropped (the host consumes them, not the PU).
+const HOST_REQ_BIT: u64 = 1 << 63;
+
+/// The data backing an iteration's streams, used to decode fetched blocks
+/// into packets (the DRAM simulator provides timing; contents live here).
+#[derive(Debug, Clone, Copy)]
+pub enum IterSource<'a> {
+    /// Iteration-0 transposition: CSR column indices and values.
+    Csr {
+        /// Column index array.
+        cols: &'a [u32],
+        /// Value array.
+        vals: &'a [f32],
+    },
+    /// Intermediate COO runs.
+    Coo {
+        /// Row index array.
+        rows: &'a [u32],
+        /// Column index array.
+        cols: &'a [u32],
+        /// Value array.
+        vals: &'a [f32],
+    },
+    /// SpMV iteration-0: CSC row indices and values (values are scaled by
+    /// the per-column vector element embedded in the stream descriptor).
+    ScaledCsc {
+        /// Row index array.
+        rows: &'a [u32],
+        /// Value array.
+        vals: &'a [f32],
+    },
+    /// SpMV intermediate (index, value) pairs.
+    Pair {
+        /// Index array.
+        idx: &'a [u32],
+        /// Value array.
+        vals: &'a [f32],
+    },
+}
+
+impl IterSource<'_> {
+    fn materialize(&self, desc: &StreamDescriptor, range: std::ops::Range<u64>) -> Vec<Packet> {
+        let mut out = Vec::with_capacity((range.end - range.start) as usize);
+        match (self, desc.kind) {
+            (IterSource::Csr { cols, vals }, StreamKind::CsrRow { row }) => {
+                for e in range {
+                    out.push(Packet::nz(cols[e as usize], row, vals[e as usize]));
+                }
+            }
+            (IterSource::Coo { rows, cols, vals }, StreamKind::Coo { .. }) => {
+                for e in range {
+                    out.push(Packet::nz(
+                        cols[e as usize],
+                        rows[e as usize],
+                        vals[e as usize],
+                    ));
+                }
+            }
+            (IterSource::ScaledCsc { rows, vals }, StreamKind::SpmvCol { scale }) => {
+                for e in range {
+                    out.push(Packet::nz(rows[e as usize], 0, vals[e as usize] * scale));
+                }
+            }
+            (IterSource::Pair { idx, vals }, StreamKind::Pair { .. }) => {
+                for e in range {
+                    out.push(Packet::nz(idx[e as usize], 0, vals[e as usize]));
+                }
+            }
+            _ => panic!("stream kind does not match iteration source"),
+        }
+        out
+    }
+}
+
+/// Pointer-array read gating for iteration 0 (§3.2's controller FSM): the
+/// controller streams the pointer array from memory and only then knows
+/// each stream's start/end addresses.
+#[derive(Debug, Clone)]
+pub struct PtrGate {
+    /// Base address of the pointer array.
+    pub ptr_base: u64,
+    /// Ascending block indices (within the pointer array) to read. For
+    /// SpMV this is pre-filtered by the auxiliary pointer array (§3.6).
+    pub blocks: Vec<u64>,
+    /// For descriptor `i`, how many of `blocks` must have arrived before
+    /// its addresses are known (non-decreasing).
+    pub release_after: Vec<usize>,
+    /// Also fetch the input-vector block alongside each pointer block
+    /// (SpMV; adds traffic, data is functional).
+    pub vector_base: Option<u64>,
+}
+
+/// How an iteration's root output is stored.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OutputMode {
+    /// COO runs into ping-pong `region` (12 B per nonzero, three arrays).
+    Intermediate {
+        /// Destination ping-pong region.
+        region: u8,
+    },
+    /// SpMV (index, value) runs into `region` (8 B per nonzero).
+    IntermediatePair {
+        /// Destination ping-pong region.
+        region: u8,
+    },
+    /// Final CSC output: index + value arrays (8 B per nonzero) plus the
+    /// column pointer array (`ncols + 1` entries, paced by column cursor).
+    FinalCsc {
+        /// Columns in the output pointer array.
+        ncols: u64,
+    },
+    /// Final dense SpMV vector (4 B per output row, paced by row cursor).
+    FinalDense {
+        /// Rows of the output vector partition.
+        rows: u64,
+    },
+}
+
+/// Emitted output of one iteration: `(minor keys, major keys, values)`.
+pub type EmittedTriples = (Vec<u32>, Vec<u32>, Vec<f32>);
+
+/// Everything `run_rounds` needs for one iteration.
+#[derive(Debug)]
+pub struct IterationSetup<'a> {
+    /// Stream descriptors in assignment order.
+    pub descriptors: Vec<StreamDescriptor>,
+    /// Backing data.
+    pub source: IterSource<'a>,
+    /// Pointer-read gating, if the controller must read pointers first.
+    pub gate: Option<PtrGate>,
+    /// Output mode.
+    pub out: OutputMode,
+    /// Merge packets with equal (major, minor) keys at the root — the
+    /// reduction unit of §3.6. For SpMV the minor key is constant 0, so
+    /// this reduces equal row indices; for the SpGEMM extension it reduces
+    /// equal (row, column) pairs.
+    pub reduce: bool,
+}
+
+/// Result of one full PU execution (all iterations of one partition).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PuResult {
+    /// Output major keys (column indices for transposition), sorted.
+    pub majors: Vec<u32>,
+    /// Output minor keys (row indices for transposition).
+    pub minors: Vec<u32>,
+    /// Output values.
+    pub values: Vec<f32>,
+    /// Execution statistics.
+    pub stats: PuStats,
+}
+
+struct BufferPorts<'a> {
+    buffers: &'a mut [PrefetchBuffer],
+    popped: Vec<u32>,
+}
+
+impl LeafSource for BufferPorts<'_> {
+    fn peek(&self, port: usize) -> Option<Packet> {
+        self.buffers[port].peek()
+    }
+
+    fn pop(&mut self, port: usize) {
+        self.buffers[port].pop();
+        self.popped.push(port as u32);
+    }
+}
+
+/// One near-memory processing unit beside one DRAM rank.
+#[derive(Debug)]
+pub struct ProcessingUnit {
+    config: MendaConfig,
+    layout: AddressLayout,
+    mem: MemorySystem,
+    dram_tick_accum: u64,
+    next_req_id: u64,
+}
+
+impl ProcessingUnit {
+    /// Creates a PU with its own single-rank memory system.
+    pub fn new(config: MendaConfig) -> Self {
+        config.pu.validate();
+        let dram = config.dram.clone().with_channels(1).with_ranks(1);
+        Self {
+            layout: AddressLayout::rank_default(),
+            mem: MemorySystem::new(dram),
+            dram_tick_accum: 0,
+            next_req_id: 0,
+            config,
+        }
+    }
+
+    /// The address layout this PU uses.
+    pub fn layout(&self) -> &AddressLayout {
+        &self.layout
+    }
+
+    /// The DRAM command stream of this PU's rank (empty unless
+    /// `config.dram.log_commands` is set). Feed it to
+    /// [`menda_dram::validate_trace`] to check protocol compliance.
+    pub fn dram_command_log(&self) -> &[menda_dram::CommandRecord] {
+        self.mem.command_log(0)
+    }
+
+    /// Transposes `part` (a horizontal partition whose local row 0 is
+    /// global row `row_offset`), returning the partition's nonzeros in
+    /// CSC order (sorted by column, then global row) plus statistics.
+    pub fn transpose(&mut self, part: &CsrMatrix, row_offset: usize) -> PuResult {
+        let l = self.config.pu.leaves as u64;
+        let layout = self.layout;
+        let mut stats = PuStats::default();
+
+        // Iteration 0 descriptors: one stream per non-empty row, gated on
+        // pointer-array reads covering all partition rows.
+        let mut descriptors = Vec::new();
+        let mut release_after = Vec::new();
+        let row_ptr = part.row_ptr();
+        let entries_per_block = BLOCK_BYTES / PTR_BYTES; // 8
+        for r in 0..part.nrows() {
+            let (s, e) = (row_ptr[r], row_ptr[r + 1]);
+            if s == e {
+                continue;
+            }
+            descriptors.push(StreamDescriptor {
+                start: s as u64,
+                end: e as u64,
+                kind: StreamKind::CsrRow {
+                    row: (row_offset + r) as u32,
+                },
+            });
+            // Needs pointer entries r and r+1.
+            release_after.push(((r as u64 + 1) / entries_per_block + 1) as usize);
+        }
+        let total_ptr_blocks = (part.nrows() as u64 + 1).div_ceil(entries_per_block);
+        let gate = PtrGate {
+            ptr_base: layout.row_ptr,
+            blocks: (0..total_ptr_blocks).collect(),
+            release_after: release_after
+                .iter()
+                .map(|&b| b.min(total_ptr_blocks as usize))
+                .collect(),
+            vector_base: None,
+        };
+
+        let n_streams = descriptors.len() as u64;
+        let iterations = iterations_needed(n_streams, l);
+        if iterations == 0 {
+            stats.dram = self.mem.stats();
+            return PuResult {
+                majors: Vec::new(),
+                minors: Vec::new(),
+                values: Vec::new(),
+                stats,
+            };
+        }
+        let mut cur_region = 0u8;
+        let mut rows_buf: Vec<u32>;
+        let mut cols_buf: Vec<u32>;
+        let mut vals_buf: Vec<f32>;
+
+        let out_mode = |is_final: bool, region: u8| {
+            if is_final {
+                OutputMode::FinalCsc {
+                    ncols: part.ncols() as u64,
+                }
+            } else {
+                OutputMode::Intermediate { region }
+            }
+        };
+
+        // Iteration 0.
+        let setup = IterationSetup {
+            descriptors,
+            source: IterSource::Csr {
+                cols: part.col_idx(),
+                vals: part.values(),
+            },
+            gate: Some(gate),
+            out: out_mode(iterations <= 1, cur_region),
+            reduce: false,
+        };
+        let (mut emitted, mut boundaries, it_stats) = self.run_rounds(setup);
+        stats.iterations.push(it_stats);
+
+        // Further iterations over COO runs.
+        for it in 1..iterations {
+            rows_buf = emitted.0;
+            cols_buf = emitted.1;
+            vals_buf = emitted.2;
+            let descriptors = runs_to_descriptors(&boundaries, cur_region);
+            let setup = IterationSetup {
+                descriptors,
+                source: IterSource::Coo {
+                    rows: &rows_buf,
+                    cols: &cols_buf,
+                    vals: &vals_buf,
+                },
+                gate: None,
+                out: out_mode(it + 1 == iterations, 1 - cur_region),
+                reduce: false,
+            };
+            let (e, b, s) = self.run_rounds(setup);
+            emitted = e;
+            boundaries = b;
+            stats.iterations.push(s);
+            cur_region = 1 - cur_region;
+        }
+
+        stats.dram = self.mem.stats();
+        PuResult {
+            majors: emitted.1,
+            minors: emitted.0,
+            values: emitted.2,
+            stats,
+        }
+    }
+
+    /// Runs all merge rounds of one iteration, cycle by cycle. Returns the
+    /// emitted `(minors, majors, values)`, the run boundaries (prefix
+    /// lengths at each root EOL) and the iteration statistics.
+    ///
+    /// This is the heart of the simulator: per PU cycle it
+    /// 1. delivers DRAM responses (pointer blocks to the controller FSM,
+    ///    data blocks to every coalesced waiter),
+    /// 2. issues one read and one write from the PU queues to the rank,
+    /// 3. lets the controller issue pointer reads and release stream
+    ///    descriptors to the prefetch buffers,
+    /// 4. lets active prefetch buffers plan and enqueue block loads
+    ///    (coalescing duplicates, §3.4),
+    /// 5. ticks the merge tree one cycle and handles the root pop
+    ///    (output-buffer accounting, store requests, pointer-write pacing,
+    ///    optional SpMV reduction),
+    /// 6. advances the rank's DRAM clock by 1.5 bus cycles.
+    pub fn run_rounds(
+        &mut self,
+        setup: IterationSetup<'_>,
+    ) -> (EmittedTriples, Vec<usize>, IterationStats) {
+        let pu_cfg = self.config.pu.clone();
+        let l = pu_cfg.leaves;
+        let layout = self.layout;
+        let mut it = IterationStats::default();
+        let dram_before = self.mem.stats();
+
+        let n_streams = setup.descriptors.len();
+        let total_rounds = n_streams.div_ceil(l).max(if n_streams == 0 { 0 } else { 1 });
+        if n_streams == 0 {
+            return ((Vec::new(), Vec::new(), Vec::new()), Vec::new(), it);
+        }
+        // Pad to full rounds so every buffer gets a descriptor per round.
+        let padded = total_rounds * l;
+
+        let mut tree = MergeTree::new(l, pu_cfg.fifo_entries);
+        let mut buffers: Vec<PrefetchBuffer> = (0..l)
+            .map(|i| {
+                PrefetchBuffer::new(
+                    i as u32,
+                    pu_cfg.prefetch_buffer_entries,
+                    pu_cfg.stall_reducing_prefetch,
+                    layout,
+                )
+            })
+            .collect();
+        let mut read_q = CoalescingQueue::new(pu_cfg.read_queue_entries, pu_cfg.request_coalescing);
+        let mut write_q: VecDeque<u64> = VecDeque::new();
+
+        // Controller: pointer reads + descriptor release.
+        let mut next_release = 0usize; // next descriptor index to release
+        let mut ptr_blocks_arrived = 0usize; // contiguous watermark
+        let mut ptr_arrived_set: Vec<bool> = Vec::new();
+        let mut ptr_next_issue = 0usize;
+        let mut ptr_outstanding = 0usize;
+        if let Some(g) = &setup.gate {
+            ptr_arrived_set = vec![false; g.blocks.len()];
+        }
+
+        // Output state.
+        let mut out_minor: Vec<u32> = Vec::new();
+        let mut out_major: Vec<u32> = Vec::new();
+        let mut out_val: Vec<f32> = Vec::new();
+        let mut boundaries: Vec<usize> = Vec::new();
+        let mut bytes_accum: u64 = 0; // bytes waiting in the output buffer
+        let mut stored_nzs: u64 = 0; // NZs already covered by stores
+        let mut ptr_cursor: u64 = 0; // output pointer entries finalized
+        let mut final_flush_pushed: usize = 0; // partial-block stores sent
+        let mut pending_ptr_blocks: u64 = 0; // pointer blocks awaiting store
+        let elem_bytes: u64 = match setup.out {
+            OutputMode::Intermediate { .. } => 12,
+            OutputMode::IntermediatePair { .. } | OutputMode::FinalCsc { .. } => 8,
+            OutputMode::FinalDense { .. } => 4,
+        };
+        let out_bases: Vec<u64> = match setup.out {
+            OutputMode::Intermediate { region } => layout.coo[region as usize].to_vec(),
+            OutputMode::IntermediatePair { region } => vec![
+                layout.coo[region as usize][0],
+                layout.coo[region as usize][2],
+            ],
+            OutputMode::FinalCsc { .. } => vec![layout.out_idx, layout.out_val],
+            OutputMode::FinalDense { .. } => vec![layout.out_val],
+        };
+
+        // Buffer activity tracking.
+        let mut buf_active = vec![false; l];
+        let mut buf_worklist: Vec<u32> = Vec::new();
+        let activate_buf = |idx: usize,
+                                buf_active: &mut Vec<bool>,
+                                buf_worklist: &mut Vec<u32>| {
+            if !buf_active[idx] {
+                buf_active[idx] = true;
+                buf_worklist.push(idx as u32);
+            }
+        };
+
+        let mut cycles: u64 = 0;
+        let (dram_num, dram_den) = self.config.dram_ticks_ratio();
+        let max_cycles: u64 = 20_000_000_000;
+        let mut last_key_in_run: Option<(u32, u32)> = None;
+
+        loop {
+            // Termination: all rounds merged and all output flushed.
+            if tree.rounds_completed() as usize >= total_rounds
+                && bytes_accum == 0
+                && pending_ptr_blocks == 0
+                && write_q.is_empty()
+                && self.mem.is_idle()
+            {
+                break;
+            }
+            cycles += 1;
+            assert!(cycles < max_cycles, "PU deadlock suspected");
+
+            // 1. DRAM responses.
+            while let Some(resp) = self.mem.pop_response() {
+                if resp.kind == ReqKind::Write || resp.id & HOST_REQ_BIT != 0 {
+                    continue;
+                }
+                let block = resp.addr;
+                let waiters = read_q.complete(block);
+                for w in waiters {
+                    match w {
+                        PTR_WAITER => {
+                            if let Some(g) = &setup.gate {
+                                // Which gate block is this?
+                                let rel = (block - AddressLayout::block_of(g.ptr_base))
+                                    / BLOCK_BYTES;
+                                if let Ok(pos) = g.blocks.binary_search(&rel) {
+                                    ptr_arrived_set[pos] = true;
+                                    while ptr_blocks_arrived < ptr_arrived_set.len()
+                                        && ptr_arrived_set[ptr_blocks_arrived]
+                                    {
+                                        ptr_blocks_arrived += 1;
+                                    }
+                                    ptr_outstanding = ptr_outstanding.saturating_sub(1);
+                                }
+                            }
+                        }
+                        VEC_WAITER => {}
+                        buf_id => {
+                            let b = buf_id as usize;
+                            if let Some((desc, range, ended)) =
+                                buffers[b].block_arrived(block)
+                            {
+                                let packets = setup.source.materialize(&desc, range);
+                                buffers[b].deliver(packets, ended);
+                                tree.wake_port(b);
+                            }
+                            activate_buf(b, &mut buf_active, &mut buf_worklist);
+                        }
+                    }
+                }
+            }
+
+            // 2. Memory interface: one read and one write per cycle.
+            if let Some(block) = read_q.next_to_issue() {
+                let req = MemRequest::read(block, self.next_req_id);
+                if self.mem.can_accept(&req) && self.mem.try_enqueue(req) {
+                    self.next_req_id += 1;
+                    read_q.mark_issued(block);
+                    it.loads_issued += 1;
+                }
+            }
+            // 2b. Concurrent host access (§4): inject a host read into the
+            // shared rank at the configured rate, after the PU's own issue
+            // so the host cannot monopolize queue slots and livelock the
+            // PU (the host-side controller of [11] arbitrates similarly).
+            if let Some(interval) = pu_cfg.host_read_interval {
+                // Only while the PU is actually working — otherwise the
+                // endless host stream would keep the memory system busy
+                // and the iteration could never drain to completion.
+                if cycles.is_multiple_of(interval)
+                    && (tree.rounds_completed() as usize) < total_rounds
+                {
+                    let addr = 0xC000_0000u64
+                        + (cycles / interval).wrapping_mul(0x9E37) % (64 << 20);
+                    let req = MemRequest::read(addr & !63, HOST_REQ_BIT | cycles);
+                    if self.mem.can_accept(&req) {
+                        let _ = self.mem.try_enqueue(req);
+                    }
+                }
+            }
+            if let Some(&block) = write_q.front() {
+                let req = MemRequest::write(block, self.next_req_id);
+                if self.mem.can_accept(&req) && self.mem.try_enqueue(req) {
+                    self.next_req_id += 1;
+                    write_q.pop_front();
+                    it.stores_issued += 1;
+                }
+            }
+
+            // 3. Controller FSM: pointer reads + descriptor release.
+            if let Some(g) = &setup.gate {
+                while ptr_outstanding < pu_cfg.pointer_read_depth
+                    && ptr_next_issue < g.blocks.len()
+                    && !read_q.is_full()
+                {
+                    let block =
+                        AddressLayout::block_of(g.ptr_base) + g.blocks[ptr_next_issue] * BLOCK_BYTES;
+                    match read_q.enqueue(block, PTR_WAITER) {
+                        EnqueueOutcome::Full => break,
+                        _ => {
+                            // SpMV: fetch the matching vector block too.
+                            if let Some(vb) = g.vector_base {
+                                let vblock = AddressLayout::block_of(
+                                    vb + g.blocks[ptr_next_issue] * BLOCK_BYTES,
+                                );
+                                let _ = read_q.enqueue(vblock, VEC_WAITER);
+                            }
+                            ptr_next_issue += 1;
+                            ptr_outstanding += 1;
+                        }
+                    }
+                }
+            }
+            while next_release < padded {
+                if next_release < n_streams {
+                    if let Some(g) = &setup.gate {
+                        if g.release_after[next_release] > ptr_blocks_arrived {
+                            break;
+                        }
+                    }
+                    let desc = setup.descriptors[next_release];
+                    let b = next_release % l;
+                    buffers[b].assign_streams([desc]);
+                    activate_buf(b, &mut buf_active, &mut buf_worklist);
+                    tree.wake_port(b);
+                } else {
+                    let b = next_release % l;
+                    buffers[b].assign_streams([StreamDescriptor::empty()]);
+                    activate_buf(b, &mut buf_active, &mut buf_worklist);
+                    tree.wake_port(b);
+                }
+                next_release += 1;
+            }
+
+            // 4. Prefetch buffers plan fetches.
+            let mut work = std::mem::take(&mut buf_worklist);
+            work.sort_unstable();
+            work.dedup();
+            for &bi in &work {
+                buf_active[bi as usize] = false;
+            }
+            for &bi in &work {
+                let b = bi as usize;
+                let had_head = buffers[b].peek().is_some();
+                if let Some(plan) = buffers[b].plan_fetch() {
+                    // Conservative slot pre-check so the whole chunk
+                    // enqueues atomically (coalesced blocks would not even
+                    // need slots, but partial enqueue must never happen).
+                    if read_q.len() + plan.blocks.len() <= pu_cfg.read_queue_entries {
+                        for &blk in &plan.blocks {
+                            match read_q.enqueue(blk, bi) {
+                                EnqueueOutcome::Full => {
+                                    unreachable!("slot pre-check guarantees space")
+                                }
+                                EnqueueOutcome::Coalesced => it.loads_coalesced += 1,
+                                EnqueueOutcome::Queued => {}
+                            }
+                        }
+                        buffers[b].commit_fetch(&plan);
+                    } else {
+                        // Queue pressure: retry next cycle.
+                        activate_buf(b, &mut buf_active, &mut buf_worklist);
+                    }
+                }
+                if !had_head && buffers[b].peek().is_some() {
+                    tree.wake_port(b);
+                }
+            }
+
+            // 5. Merge tree.
+            let root_space = usize::from(
+                bytes_accum + elem_bytes <= pu_cfg.output_buffer_bytes as u64
+                    && pending_ptr_blocks < 16
+                    && write_q.len() < pu_cfg.write_queue_entries,
+            );
+            if root_space == 0 {
+                it.output_stall_cycles += 1;
+            }
+            let mut ports = BufferPorts {
+                buffers: &mut buffers,
+                popped: Vec::new(),
+            };
+            let popped = tree.tick(&mut ports, root_space);
+            let awoken = std::mem::take(&mut ports.popped);
+            for p in awoken {
+                activate_buf(p as usize, &mut buf_active, &mut buf_worklist);
+            }
+            match popped {
+                Some(Packet::Nz {
+                    major,
+                    minor,
+                    value,
+                }) => {
+                    it.nz_emitted += 1;
+                    let merged = setup.reduce && last_key_in_run == Some((major, minor));
+                    if merged {
+                        let lv = out_val.last_mut().expect("reduce has prior element");
+                        *lv += value;
+                    } else {
+                        // Pointer-write pacing for FinalCsc output.
+                        if let OutputMode::FinalCsc { .. } = setup.out {
+                            let group = major as u64 / 8; // 8 ptr entries per block
+                            if group > ptr_cursor {
+                                pending_ptr_blocks += group - ptr_cursor;
+                                ptr_cursor = group;
+                            }
+                        }
+                        out_major.push(major);
+                        out_minor.push(minor);
+                        out_val.push(value);
+                        bytes_accum += elem_bytes;
+                        last_key_in_run = Some((major, minor));
+                        // Issue stores at block granularity per output
+                        // array (16 4-byte elements per block).
+                        let emitted = out_major.len() as u64;
+                        if emitted - stored_nzs >= 16 {
+                            let off = stored_nzs * 4;
+                            for base in &out_bases {
+                                write_q.push_back(AddressLayout::block_of(base + off));
+                            }
+                            stored_nzs += 16;
+                            bytes_accum = bytes_accum.saturating_sub(16 * elem_bytes);
+                        }
+                    }
+                }
+                Some(Packet::Eol) => {
+                    boundaries.push(out_major.len());
+                    last_key_in_run = None;
+                }
+                None => {
+                    if root_space == 1 && (tree.rounds_completed() as usize) < total_rounds {
+                        it.root_stall_cycles += 1;
+                    }
+                }
+            }
+            // Drain one pending pointer-block store per cycle.
+            if pending_ptr_blocks > 0 && write_q.len() < pu_cfg.write_queue_entries {
+                write_q.push_back(AddressLayout::block_of(
+                    layout.out_ptr + (ptr_cursor - pending_ptr_blocks) * BLOCK_BYTES,
+                ));
+                pending_ptr_blocks -= 1;
+            }
+            // Final flush when merging finished: one partial-block store
+            // per cycle so even a tiny write queue drains it.
+            if tree.rounds_completed() as usize >= total_rounds {
+                if bytes_accum > 0 && write_q.len() < pu_cfg.write_queue_entries {
+                    let off = stored_nzs * 4;
+                    write_q.push_back(AddressLayout::block_of(
+                        out_bases[final_flush_pushed] + off,
+                    ));
+                    final_flush_pushed += 1;
+                    if final_flush_pushed == out_bases.len() {
+                        bytes_accum = 0;
+                    }
+                }
+                // Trailing pointer blocks of the output CSC pointer array
+                // (the dense SpMV output is fully covered by the per-16
+                // element stores above).
+                if pending_ptr_blocks == 0 {
+                    if let OutputMode::FinalCsc { ncols } = setup.out {
+                        let total_groups = (ncols + 1).div_ceil(8);
+                        if ptr_cursor < total_groups {
+                            pending_ptr_blocks += total_groups - ptr_cursor;
+                            ptr_cursor = total_groups;
+                        }
+                    }
+                }
+            }
+
+            // 6. DRAM clock (bus runs dram_num : dram_den faster).
+            self.dram_tick_accum += dram_num;
+            while self.dram_tick_accum >= dram_den {
+                self.mem.tick();
+                self.dram_tick_accum -= dram_den;
+            }
+        }
+
+        it.cycles = cycles;
+        it.rounds = total_rounds as u64;
+        let dram_after = self.mem.stats();
+        it.dram_row_hits = dram_after.row_hits - dram_before.row_hits;
+        it.dram_row_misses = dram_after.row_misses - dram_before.row_misses;
+        it.dram_row_conflicts = dram_after.row_conflicts - dram_before.row_conflicts;
+        ((out_minor, out_major, out_val), boundaries, it)
+    }
+}
+
+/// Number of merge iterations to reduce `streams` sorted streams with an
+/// `l`-leaf tree (`ceil(log_l streams)`, minimum 1 when there is anything
+/// to sort — §3.1).
+pub fn iterations_needed(streams: u64, l: u64) -> u32 {
+    if streams == 0 {
+        return 0;
+    }
+    let mut iters = 0;
+    let mut s = streams;
+    while s > 1 || iters == 0 {
+        s = s.div_ceil(l);
+        iters += 1;
+        if s == 1 {
+            break;
+        }
+    }
+    iters
+}
+
+/// Converts the previous iteration's run boundaries into COO stream
+/// descriptors over `region`.
+pub fn runs_to_descriptors(boundaries: &[usize], region: u8) -> Vec<StreamDescriptor> {
+    let mut descs = Vec::new();
+    let mut start = 0usize;
+    for &end in boundaries {
+        if end > start {
+            descs.push(StreamDescriptor {
+                start: start as u64,
+                end: end as u64,
+                kind: StreamKind::Coo { region },
+            });
+        }
+        start = end;
+    }
+    descs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menda_sparse::gen;
+
+    fn small_config() -> MendaConfig {
+        MendaConfig::small_test()
+    }
+
+    fn check_transpose(m: &CsrMatrix) {
+        let mut pu = ProcessingUnit::new(small_config());
+        let result = pu.transpose(m, 0);
+        let golden = m.to_csc();
+        assert_eq!(result.values.len(), golden.nnz(), "nnz mismatch");
+        let mut k = 0;
+        for c in 0..golden.ncols() {
+            let (rows, vals) = golden.col(c);
+            for (&r, &v) in rows.iter().zip(vals) {
+                assert_eq!(result.majors[k], c as u32, "col at {k}");
+                assert_eq!(result.minors[k], r, "row at {k}");
+                assert_eq!(result.values[k], v, "val at {k}");
+                k += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn transposes_fig1_matrix() {
+        let m = CsrMatrix::new(
+            8,
+            7,
+            vec![0, 2, 4, 7, 9, 12, 14, 17, 17],
+            vec![0, 2, 1, 4, 0, 4, 6, 3, 5, 0, 2, 5, 1, 3, 2, 5, 6],
+            (1..=17).map(|v| v as f32).collect(),
+        )
+        .unwrap();
+        check_transpose(&m);
+    }
+
+    #[test]
+    fn transposes_uniform_random() {
+        check_transpose(&gen::uniform(64, 512, 3));
+    }
+
+    #[test]
+    fn transposes_power_law() {
+        check_transpose(&gen::rmat(128, 1024, gen::RmatParams::PAPER, 5));
+    }
+
+    #[test]
+    fn multi_iteration_when_rows_exceed_leaves() {
+        // 64 non-empty rows on a 16-leaf tree: 2 iterations.
+        let m = gen::uniform(64, 512, 7);
+        let mut pu = ProcessingUnit::new(small_config());
+        let result = pu.transpose(&m, 0);
+        assert_eq!(result.stats.num_iterations(), 2);
+        check_transpose(&m);
+    }
+
+    #[test]
+    fn single_iteration_when_rows_fit() {
+        let m = gen::uniform(12, 100, 9);
+        let mut pu = ProcessingUnit::new(small_config());
+        let result = pu.transpose(&m, 0);
+        assert_eq!(result.stats.num_iterations(), 1);
+    }
+
+    #[test]
+    fn row_offset_shifts_minors() {
+        let m = gen::uniform(8, 32, 1);
+        let mut pu = ProcessingUnit::new(small_config());
+        let r = pu.transpose(&m, 100);
+        assert!(r.minors.iter().all(|&x| (100..108).contains(&x)));
+    }
+
+    #[test]
+    fn iterations_needed_formula() {
+        assert_eq!(iterations_needed(0, 16), 0);
+        assert_eq!(iterations_needed(1, 16), 1);
+        assert_eq!(iterations_needed(16, 16), 1);
+        assert_eq!(iterations_needed(17, 16), 2);
+        assert_eq!(iterations_needed(256, 16), 2);
+        assert_eq!(iterations_needed(257, 16), 3);
+        assert_eq!(iterations_needed(1024 * 1024, 1024), 2);
+    }
+
+    #[test]
+    fn runs_to_descriptors_skips_empty_runs() {
+        let descs = runs_to_descriptors(&[3, 3, 10], 1);
+        assert_eq!(descs.len(), 2);
+        assert_eq!(descs[0].start, 0);
+        assert_eq!(descs[0].end, 3);
+        assert_eq!(descs[1].start, 3);
+        assert_eq!(descs[1].end, 10);
+    }
+
+    #[test]
+    fn empty_matrix_finishes_immediately() {
+        let m = CsrMatrix::zeros(16, 16);
+        let mut pu = ProcessingUnit::new(small_config());
+        let r = pu.transpose(&m, 0);
+        assert!(r.majors.is_empty());
+        assert_eq!(r.stats.num_iterations(), 0);
+    }
+
+    #[test]
+    fn coalescing_reduces_issued_loads_on_short_rows() {
+        // Many 1-NZ rows share blocks: coalescing should fire.
+        let m = gen::uniform(256, 256, 11);
+        let run = |coal: bool| {
+            let mut cfg = small_config();
+            cfg.pu.request_coalescing = coal;
+            let mut pu = ProcessingUnit::new(cfg);
+            let r = pu.transpose(&m, 0);
+            (
+                r.stats.iterations[0].loads_issued,
+                r.stats.total_coalesced(),
+            )
+        };
+        let (issued_on, coalesced_on) = run(true);
+        let (issued_off, coalesced_off) = run(false);
+        assert_eq!(coalesced_off, 0);
+        assert!(coalesced_on > 0, "no coalescing observed");
+        assert!(
+            issued_on < issued_off,
+            "coalescing did not reduce traffic: {issued_on} vs {issued_off}"
+        );
+    }
+
+    #[test]
+    fn stats_traffic_accounts_loads_and_stores() {
+        let m = gen::uniform(32, 256, 13);
+        let mut pu = ProcessingUnit::new(small_config());
+        let r = pu.transpose(&m, 0);
+        let it = &r.stats.iterations[0];
+        assert!(it.loads_issued > 0);
+        assert!(it.stores_issued > 0);
+        assert!(it.cycles > 0);
+        // At minimum the NZ data must be read: 256 NZs * 8 B / 64 B.
+        assert!(it.loads_issued >= 256 * 8 / 64);
+    }
+}

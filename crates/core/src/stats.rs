@@ -1,0 +1,128 @@
+use menda_dram::DramStats;
+
+/// Statistics of one merge-sort iteration on one PU.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IterationStats {
+    /// PU cycles spent in this iteration.
+    pub cycles: u64,
+    /// Nonzeros emitted by the root.
+    pub nz_emitted: u64,
+    /// Merge rounds executed.
+    pub rounds: u64,
+    /// Block load requests issued (post coalescing).
+    pub loads_issued: u64,
+    /// Load requests merged into an existing queue entry by coalescing.
+    pub loads_coalesced: u64,
+    /// Block store requests issued.
+    pub stores_issued: u64,
+    /// Cycles the root wanted to pop but no packet was ready.
+    pub root_stall_cycles: u64,
+    /// Cycles the root was blocked by output-buffer back-pressure.
+    pub output_stall_cycles: u64,
+    /// DRAM row hits during this iteration (delta of the rank's stats).
+    pub dram_row_hits: u64,
+    /// DRAM row misses during this iteration.
+    pub dram_row_misses: u64,
+    /// DRAM row conflicts during this iteration — the §6.7 metric behind
+    /// the N6-vs-N7 discussion.
+    pub dram_row_conflicts: u64,
+}
+
+impl IterationStats {
+    /// Bytes moved to/from memory this iteration (64 B per block request).
+    pub fn traffic_bytes(&self) -> u64 {
+        (self.loads_issued + self.stores_issued) * 64
+    }
+
+    /// Fraction of this iteration's DRAM accesses that were row conflicts.
+    pub fn row_conflict_rate(&self) -> f64 {
+        let total = self.dram_row_hits + self.dram_row_misses + self.dram_row_conflicts;
+        if total == 0 {
+            return 0.0;
+        }
+        self.dram_row_conflicts as f64 / total as f64
+    }
+}
+
+/// Statistics of a complete multi-iteration execution on one PU.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PuStats {
+    /// Per-iteration breakdown.
+    pub iterations: Vec<IterationStats>,
+    /// DRAM-side statistics of the PU's rank.
+    pub dram: DramStats,
+}
+
+impl PuStats {
+    /// Total PU cycles across iterations.
+    pub fn total_cycles(&self) -> u64 {
+        self.iterations.iter().map(|i| i.cycles).sum()
+    }
+
+    /// Total memory traffic in bytes.
+    pub fn total_traffic_bytes(&self) -> u64 {
+        self.iterations.iter().map(|i| i.traffic_bytes()).sum()
+    }
+
+    /// Total loads merged by request coalescing.
+    pub fn total_coalesced(&self) -> u64 {
+        self.iterations.iter().map(|i| i.loads_coalesced).sum()
+    }
+
+    /// Number of iterations executed.
+    pub fn num_iterations(&self) -> usize {
+        self.iterations.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_counts_loads_and_stores() {
+        let it = IterationStats {
+            loads_issued: 10,
+            stores_issued: 5,
+            ..Default::default()
+        };
+        assert_eq!(it.traffic_bytes(), 15 * 64);
+    }
+
+    #[test]
+    fn conflict_rate_handles_zero_and_counts() {
+        assert_eq!(IterationStats::default().row_conflict_rate(), 0.0);
+        let it = IterationStats {
+            dram_row_hits: 6,
+            dram_row_misses: 1,
+            dram_row_conflicts: 3,
+            ..Default::default()
+        };
+        assert!((it.row_conflict_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_aggregate_iterations() {
+        let stats = PuStats {
+            iterations: vec![
+                IterationStats {
+                    cycles: 100,
+                    loads_issued: 4,
+                    loads_coalesced: 1,
+                    ..Default::default()
+                },
+                IterationStats {
+                    cycles: 50,
+                    stores_issued: 2,
+                    loads_coalesced: 2,
+                    ..Default::default()
+                },
+            ],
+            dram: DramStats::default(),
+        };
+        assert_eq!(stats.total_cycles(), 150);
+        assert_eq!(stats.total_traffic_bytes(), 6 * 64);
+        assert_eq!(stats.total_coalesced(), 3);
+        assert_eq!(stats.num_iterations(), 2);
+    }
+}

@@ -1,0 +1,40 @@
+//! §4's concurrent-host-access warning, quantified: a memory-intensive
+//! co-runner on the PU's rank slows transposition monotonically but never
+//! changes its result.
+
+use menda_core::{MendaConfig, MendaSystem};
+use menda_sparse::gen;
+
+#[test]
+fn host_interference_slows_but_preserves_results() {
+    let m = gen::uniform(128, 1500, 9);
+    let golden = m.to_csc();
+    let mut cycles = Vec::new();
+    for interval in [None, Some(16u64), Some(4), Some(1)] {
+        let mut cfg = MendaConfig::small_test();
+        cfg.pu.host_read_interval = interval;
+        let r = MendaSystem::new(cfg).transpose(&m);
+        assert_eq!(r.output, golden, "interval {interval:?}");
+        cycles.push((interval, r.cycles));
+    }
+    // Heavier host traffic must not speed the PU up; the heaviest setting
+    // must be measurably slower than no interference.
+    let base = cycles[0].1;
+    let heaviest = cycles.last().unwrap().1;
+    assert!(
+        heaviest > base,
+        "heavy host traffic did not slow the PU: {cycles:?}"
+    );
+    for w in cycles.windows(2) {
+        assert!(
+            w[1].1 as f64 >= 0.95 * w[0].1 as f64,
+            "non-monotone slowdown: {cycles:?}"
+        );
+    }
+}
+
+#[test]
+fn builder_clamps_zero_interval() {
+    let cfg = menda_core::PuConfig::small_test().with_host_interference(0);
+    assert_eq!(cfg.host_read_interval, Some(1));
+}

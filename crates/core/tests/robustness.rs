@@ -1,0 +1,146 @@
+//! Robustness tests of the PU across configuration extremes and matrix
+//! edge cases — the configurations Fig. 12/15 sweep must all stay
+//! functionally exact.
+
+use menda_core::{spgemm, spmv, MendaConfig, MendaSystem};
+use menda_sparse::{gen, CsrMatrix};
+
+fn check(cfg: MendaConfig, m: &CsrMatrix) {
+    let r = MendaSystem::new(cfg).transpose(m);
+    assert_eq!(r.output, m.to_csc());
+}
+
+#[test]
+fn extreme_tree_widths() {
+    let m = gen::rmat(128, 900, gen::RmatParams::PAPER, 51);
+    for leaves in [2usize, 4, 64, 256] {
+        let mut cfg = MendaConfig::small_test();
+        cfg.pu.leaves = leaves;
+        check(cfg, &m);
+    }
+}
+
+#[test]
+fn extreme_fifo_depths() {
+    let m = gen::uniform(96, 700, 52);
+    for fifo in [1usize, 2, 8] {
+        let mut cfg = MendaConfig::small_test();
+        cfg.pu.fifo_entries = fifo;
+        check(cfg, &m);
+    }
+}
+
+#[test]
+fn tiny_queues_and_buffers() {
+    let m = gen::uniform(96, 700, 53);
+    let mut cfg = MendaConfig::small_test();
+    cfg.pu.read_queue_entries = 4;
+    cfg.pu.write_queue_entries = 2;
+    cfg.pu.prefetch_buffer_entries = 4;
+    cfg.pu.pointer_read_depth = 1;
+    check(cfg, &m);
+}
+
+#[test]
+fn single_element_and_single_row_matrices() {
+    let one = CsrMatrix::new(1, 1, vec![0, 1], vec![0], vec![42.0]).unwrap();
+    check(MendaConfig::small_test(), &one);
+    let row = CsrMatrix::new(1, 64, (0..=1).map(|i| i * 32).collect::<Vec<_>>(), (0..32).map(|c| c * 2).collect(), vec![1.0; 32]).unwrap();
+    check(MendaConfig::small_test(), &row);
+}
+
+#[test]
+fn single_dense_column_matrix() {
+    // Every row has one element in column 0: maximal tie-breaking on the
+    // major key during the merge.
+    let n = 200;
+    let m = CsrMatrix::new(
+        n,
+        4,
+        (0..=n).collect(),
+        vec![0; n],
+        (0..n).map(|v| v as f32).collect(),
+    )
+    .unwrap();
+    check(MendaConfig::small_test(), &m);
+}
+
+#[test]
+fn matrix_with_many_empty_rows() {
+    // 1 non-empty row in 50.
+    let n = 400;
+    let mut ptr = vec![0usize; n + 1];
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for r in 0..n {
+        if r % 50 == 0 {
+            cols.push((r % 7) as u32);
+            vals.push(r as f32);
+        }
+        ptr[r + 1] = cols.len();
+    }
+    let m = CsrMatrix::new(n, 7, ptr, cols, vals).unwrap();
+    check(MendaConfig::small_test(), &m);
+}
+
+#[test]
+fn spmv_with_zero_vector_and_negative_values() {
+    let m = gen::uniform(64, 400, 54);
+    let zeros = vec![0.0f32; 64];
+    let r = spmv::run(&MendaConfig::small_test(), &m, &zeros);
+    assert!(r.y.iter().all(|&v| v == 0.0));
+    let negs: Vec<f32> = (0..64).map(|i| -((i % 9) as f32)).collect();
+    let r = spmv::run(&MendaConfig::small_test(), &m, &negs);
+    let golden = m.spmv(&negs);
+    for (g, w) in r.y.iter().zip(&golden) {
+        assert!((g - w).abs() <= 1e-3 * w.abs().max(1.0));
+    }
+}
+
+#[test]
+fn spgemm_with_identity_is_identity_via_simulation() {
+    let a = gen::uniform(48, 300, 55);
+    let i = CsrMatrix::identity(48);
+    let r = spgemm::run(&MendaConfig::small_test(), &a, &i);
+    assert_eq!(r.c.nnz(), a.nnz());
+    for (row, col, v) in a.iter() {
+        let got = r.c.get(row, col).unwrap();
+        assert!((got - v).abs() < 1e-4);
+    }
+}
+
+#[test]
+fn frequency_changes_time_not_results() {
+    let m = gen::uniform(96, 700, 56);
+    let golden = m.to_csc();
+    let mut seconds = Vec::new();
+    for mhz in [400u64, 800, 1600] {
+        let mut cfg = MendaConfig::small_test();
+        cfg.pu.frequency_mhz = mhz;
+        let r = MendaSystem::new(cfg).transpose(&m);
+        assert_eq!(r.output, golden);
+        seconds.push(r.seconds);
+    }
+    // Higher clock never slows wall-clock time down.
+    assert!(seconds[0] >= seconds[1] && seconds[1] >= seconds[2]);
+}
+
+#[test]
+fn all_rows_identical_columns() {
+    // Every row has the same column set: worst case for coalescing's
+    // broadcast (every buffer wants the same blocks).
+    let n = 64;
+    let cols_per_row = 4;
+    let mut ptr = vec![0usize; n + 1];
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for r in 0..n {
+        for c in 0..cols_per_row {
+            cols.push((c * 3) as u32);
+            vals.push((r * cols_per_row + c) as f32);
+        }
+        ptr[r + 1] = cols.len();
+    }
+    let m = CsrMatrix::new(n, 16, ptr, cols, vals).unwrap();
+    check(MendaConfig::small_test(), &m);
+}

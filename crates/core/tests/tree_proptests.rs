@@ -1,0 +1,123 @@
+//! Property-based tests of the structural merge tree: arbitrary sorted
+//! streams, arbitrary tree widths and FIFO depths, multiple back-to-back
+//! rounds — the output must always equal the functional merge, round by
+//! round.
+
+use proptest::prelude::*;
+
+use menda_core::{MergeTree, Packet, SliceLeafSource};
+
+/// Strategy: per-round sorted streams for a tree of `leaves` ports.
+fn arb_rounds(
+    leaves: usize,
+    max_rounds: usize,
+    max_len: usize,
+) -> impl Strategy<Value = Vec<Vec<Vec<Packet>>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            proptest::collection::vec((0u32..1000, 0u32..50), 0..max_len).prop_map(|mut keys| {
+                keys.sort_unstable();
+                keys.dedup();
+                keys.into_iter()
+                    .map(|(maj, min)| Packet::nz(maj, min, (maj + min) as f32))
+                    .collect::<Vec<Packet>>()
+            }),
+            leaves,
+        ),
+        1..=max_rounds,
+    )
+}
+
+fn run_rounds(leaves: usize, fifo: usize, rounds: &[Vec<Vec<Packet>>]) -> Vec<Vec<Packet>> {
+    let mut src = SliceLeafSource::new(leaves);
+    for round in rounds {
+        for (port, stream) in round.iter().enumerate() {
+            for &p in stream {
+                src.push(port, p);
+            }
+            src.push(port, Packet::Eol);
+        }
+    }
+    let mut tree = MergeTree::new(leaves, fifo);
+    let mut out: Vec<Vec<Packet>> = vec![Vec::new()];
+    let mut cycles = 0u64;
+    let budget: u64 = 100_000
+        + 10 * rounds
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|s| s.len() as u64)
+            .sum::<u64>();
+    while (tree.rounds_completed() as usize) < rounds.len() {
+        if let Some(p) = tree.tick(&mut src, 1) {
+            if p.is_eol() {
+                out.push(Vec::new());
+            } else {
+                out.last_mut().expect("round bucket").push(p);
+            }
+        }
+        cycles += 1;
+        assert!(cycles < budget, "tree deadlocked");
+    }
+    out.pop(); // trailing empty bucket after the last EOL
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For arbitrary stream content the tree emits, per round, exactly the
+    /// functional multi-way merge of that round's streams.
+    #[test]
+    fn tree_equals_functional_merge(
+        leaves_pow in 1u32..5,
+        fifo in 1usize..4,
+        rounds in arb_rounds(16, 3, 12),
+    ) {
+        let leaves = 1usize << leaves_pow;
+        let rounds: Vec<Vec<Vec<Packet>>> = rounds
+            .into_iter()
+            .map(|r| r.into_iter().take(leaves).collect())
+            .collect();
+        let out = run_rounds(leaves, fifo, &rounds);
+        prop_assert_eq!(out.len(), rounds.len());
+        for (got, round) in out.iter().zip(&rounds) {
+            let want = MergeTree::merge_functional(round);
+            prop_assert_eq!(got, &want);
+        }
+    }
+
+    /// The root never emits more than one packet per cycle and the total
+    /// cycle count is bounded by a small constant factor of the work.
+    #[test]
+    fn throughput_bound(
+        rounds in arb_rounds(8, 2, 20),
+    ) {
+        let total: usize = rounds.iter().flat_map(|r| r.iter()).map(|s| s.len()).sum();
+        let mut src = SliceLeafSource::new(8);
+        for round in &rounds {
+            for (port, stream) in round.iter().enumerate() {
+                for &p in stream {
+                    src.push(port, p);
+                }
+                src.push(port, Packet::Eol);
+            }
+        }
+        let mut tree = MergeTree::new(8, 2);
+        let mut cycles = 0u64;
+        let mut pops = 0usize;
+        while (tree.rounds_completed() as usize) < rounds.len() {
+            if let Some(p) = tree.tick(&mut src, 1) {
+                if !p.is_eol() {
+                    pops += 1;
+                }
+            }
+            cycles += 1;
+            prop_assert!(cycles < 100_000);
+        }
+        prop_assert_eq!(pops, total);
+        // Fill latency is log2(8)=3 per round plus one cycle per element
+        // and per EOL; allow 3x slack for pathological stalls.
+        let bound = 3 * (total as u64 + rounds.len() as u64 * 8 + 16);
+        prop_assert!(cycles <= bound, "{cycles} cycles for {total} elements");
+    }
+}

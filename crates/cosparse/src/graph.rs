@@ -1,0 +1,167 @@
+use menda_sparse::{CscMatrix, CsrMatrix, Value};
+
+/// A weighted directed graph: vertices `0..nv`, an edge `(u, v, w)` per
+/// nonzero `A[u][v] = w` of the adjacency matrix.
+///
+/// The graph keeps the out-edge view (CSR of `A`). The in-edge view (CSC
+/// of `A`, equivalently `Aᵀ`) is what pull iterations need; it is either
+/// attached up front ([`Graph::with_transpose`], the 2×-storage strategy)
+/// or supplied later from a runtime transposition
+/// ([`Graph::attach_transpose`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    out_edges: CsrMatrix,
+    in_edges: Option<CscMatrix>,
+}
+
+impl Graph {
+    /// Wraps an adjacency matrix (out-edge CSR view only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn new(adjacency: CsrMatrix) -> Self {
+        assert_eq!(
+            adjacency.nrows(),
+            adjacency.ncols(),
+            "adjacency matrix must be square"
+        );
+        Self {
+            out_edges: adjacency,
+            in_edges: None,
+        }
+    }
+
+    /// Wraps an adjacency matrix and eagerly stores its transpose (the
+    /// "~2× storage" configuration of Fig. 11).
+    pub fn with_transpose(adjacency: CsrMatrix) -> Self {
+        let t = adjacency.to_csc();
+        let mut g = Self::new(adjacency);
+        g.in_edges = Some(t);
+        g
+    }
+
+    /// Attaches a transpose produced at runtime (by mergeTrans or MeNDA).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` does not have the adjacency matrix's shape.
+    pub fn attach_transpose(&mut self, t: CscMatrix) {
+        assert_eq!(t.nrows(), self.nv());
+        assert_eq!(t.ncols(), self.nv());
+        self.in_edges = Some(t);
+    }
+
+    /// Drops the transpose (e.g. after the graph mutated).
+    pub fn drop_transpose(&mut self) {
+        self.in_edges = None;
+    }
+
+    /// Number of vertices.
+    pub fn nv(&self) -> usize {
+        self.out_edges.nrows()
+    }
+
+    /// Number of edges.
+    pub fn ne(&self) -> usize {
+        self.out_edges.nnz()
+    }
+
+    /// The out-edge (CSR) view.
+    pub fn out_edges(&self) -> &CsrMatrix {
+        &self.out_edges
+    }
+
+    /// The in-edge (CSC / transpose) view, if available.
+    pub fn in_edges(&self) -> Option<&CscMatrix> {
+        self.in_edges.as_ref()
+    }
+
+    /// Whether a pull iteration can run without transposing first.
+    pub fn has_transpose(&self) -> bool {
+        self.in_edges.is_some()
+    }
+
+    /// Out-neighbors of `u` with weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= self.nv()`.
+    pub fn out_neighbors(&self, u: usize) -> (&[u32], &[Value]) {
+        self.out_edges.row(u)
+    }
+
+    /// In-neighbors of `v` with weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transpose is attached or `v >= self.nv()`.
+    pub fn in_neighbors(&self, v: usize) -> (&[u32], &[Value]) {
+        self.in_edges
+            .as_ref()
+            .expect("pull access requires the transpose (attach_transpose)")
+            .col(v)
+    }
+
+    /// Graph storage in bytes (doubles when the transpose is attached —
+    /// the Fig. 11 storage argument).
+    pub fn storage_bytes(&self) -> usize {
+        self.out_edges.storage_bytes()
+            + self
+                .in_edges
+                .as_ref()
+                .map(|t| t.storage_bytes())
+                .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menda_sparse::gen;
+
+    #[test]
+    fn views_agree() {
+        let m = gen::rmat(64, 400, gen::RmatParams::PAPER, 1);
+        let g = Graph::with_transpose(m.clone());
+        assert_eq!(g.nv(), 64);
+        assert_eq!(g.ne(), 400);
+        // Every out-edge appears as an in-edge.
+        for u in 0..g.nv() {
+            let (vs, ws) = g.out_neighbors(u);
+            for (&v, &w) in vs.iter().zip(ws) {
+                let (ins, inw) = g.in_neighbors(v as usize);
+                let pos = ins.iter().position(|&x| x == u as u32).unwrap();
+                assert_eq!(inw[pos], w);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_lifecycle() {
+        let m = gen::uniform(32, 200, 2);
+        let mut g = Graph::new(m.clone());
+        assert!(!g.has_transpose());
+        let base = g.storage_bytes();
+        g.attach_transpose(m.to_csc());
+        assert!(g.has_transpose());
+        assert!(g.storage_bytes() > 2 * base - 300); // roughly doubles
+        g.drop_transpose();
+        assert_eq!(g.storage_bytes(), base);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_rejected() {
+        let m = gen::uniform(16, 32, 3);
+        let rect = menda_sparse::partition::RowPartition::by_nnz(&m, 2).extract(&m, 0);
+        let _ = Graph::new(rect);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the transpose")]
+    fn pull_without_transpose_panics() {
+        let g = Graph::new(gen::uniform(8, 16, 4));
+        let _ = g.in_neighbors(0);
+    }
+}

@@ -1,0 +1,208 @@
+//! End-to-end integration of MeNDA with CoSPARSE (Fig. 2a, Fig. 11, §6.3).
+//!
+//! Runs direction-optimizing SSSP under the three transposition
+//! strategies the paper compares:
+//!
+//! * **two stored copies** — no runtime transposition, ~2× graph storage,
+//! * **runtime mergeTrans** — the CPU transposes on the fly; its time
+//!   comes from the trace-driven simulation of the actual algorithm,
+//! * **runtime MeNDA** — the near-memory system transposes; its time
+//!   comes from the cycle-level PU simulation.
+
+use menda_baselines::trace::{simulate_with, TraceAlgo};
+use menda_dram::cpu_mode::CpuModeConfig;
+use menda_core::{MendaConfig, MendaSystem};
+use menda_dram::DramConfig;
+use menda_sparse::CsrMatrix;
+
+use crate::algorithms::{sssp, FrontierRun};
+
+use crate::timing::CoSparseModel;
+use crate::Graph;
+
+/// How the pull-direction representation (the transpose) is obtained.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // strategies are built once per experiment
+pub enum TransposeStrategy {
+    /// Both `A` and `Aᵀ` stored up front (CoSPARSE(~2×Storage)).
+    TwoCopies,
+    /// Runtime transposition with mergeTrans on the host CPU.
+    RuntimeMergeTrans {
+        /// CPU threads used by mergeTrans.
+        threads: usize,
+        /// Cache down-scaling matching the matrix down-scaling (1 = the
+        /// full Table 1 hierarchy).
+        cache_scale: usize,
+    },
+    /// Runtime transposition on the MeNDA system.
+    RuntimeMenda(MendaConfig),
+}
+
+/// End-to-end SSSP breakdown (one bar of Fig. 11).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndToEnd {
+    /// Seconds in dense (pull) iterations.
+    pub dense_s: f64,
+    /// Seconds in sparse (push) iterations.
+    pub sparse_s: f64,
+    /// Seconds transposing at runtime (0 for two copies).
+    pub transpose_s: f64,
+    /// Number of runtime transpositions performed.
+    pub transpositions: usize,
+    /// Graph storage in bytes under this strategy.
+    pub storage_bytes: usize,
+    /// The algorithm result (identical across strategies).
+    pub distances: FrontierRun<f32>,
+}
+
+impl EndToEnd {
+    /// Total seconds including transposition.
+    pub fn total_s(&self) -> f64 {
+        self.dense_s + self.sparse_s + self.transpose_s
+    }
+
+    /// Transposition overhead relative to the algorithm time (the paper's
+    /// "126% overhead" metric).
+    pub fn transpose_overhead(&self) -> f64 {
+        self.transpose_s / (self.dense_s + self.sparse_s)
+    }
+}
+
+/// The vertex with the largest out-degree — a reasonable SSSP source for
+/// experiments (a random low-degree source may never grow a dense
+/// frontier, trivially avoiding transposition).
+pub fn high_degree_source(adjacency: &CsrMatrix) -> usize {
+    (0..adjacency.nrows())
+        .max_by_key(|&r| adjacency.row_nnz(r))
+        .unwrap_or(0)
+}
+
+/// Runs SSSP on `adjacency` from `source` under `strategy`, timing
+/// iterations with `model`.
+///
+/// The paper observes transposition is "commonly performed at most twice"
+/// per execution; runtime strategies therefore pay for
+/// `min(direction switches, 2)` transpositions.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn sssp_end_to_end(
+    adjacency: &CsrMatrix,
+    source: usize,
+    strategy: &TransposeStrategy,
+    model: &CoSparseModel,
+) -> EndToEnd {
+    let graph = Graph::with_transpose(adjacency.clone());
+    let run = sssp(&graph, source);
+    let (dense_s, sparse_s) = model.run_seconds(&run, graph.nv());
+    let transpositions = match strategy {
+        TransposeStrategy::TwoCopies => 0,
+        _ => run.direction_switches().min(2),
+    };
+    let per_transpose_s = match strategy {
+        TransposeStrategy::TwoCopies => 0.0,
+        TransposeStrategy::RuntimeMergeTrans { threads, cache_scale } => {
+            let mut dram = DramConfig::ddr4_2400r().with_channels(4);
+            dram.refresh_enabled = false;
+            simulate_with(
+                adjacency,
+                *threads,
+                TraceAlgo::MergeTrans,
+                dram,
+                CpuModeConfig::with_cache_scale(*cache_scale),
+            )
+            .seconds
+        }
+        TransposeStrategy::RuntimeMenda(cfg) => {
+            MendaSystem::new(cfg.clone()).transpose(adjacency).seconds
+        }
+    };
+    let storage_bytes = match strategy {
+        TransposeStrategy::TwoCopies => {
+            adjacency.storage_bytes() + adjacency.to_csc().storage_bytes()
+        }
+        _ => adjacency.storage_bytes(),
+    };
+    EndToEnd {
+        dense_s,
+        sparse_s,
+        transpose_s: per_transpose_s * transpositions as f64,
+        transpositions,
+        storage_bytes,
+        distances: run,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menda_sparse::gen;
+
+    fn amazon_like() -> CsrMatrix {
+        // Scaled-down stand-in for the `amazon` graph of Fig. 11.
+        gen::suite_matrix("amazon").unwrap().generate_scaled(256, 7)
+    }
+
+    #[test]
+    fn strategies_agree_on_distances() {
+        let m = amazon_like();
+        let model = CoSparseModel::paper();
+        let src = high_degree_source(&m);
+        let a = sssp_end_to_end(&m, src, &TransposeStrategy::TwoCopies, &model);
+        let b = sssp_end_to_end(
+            &m,
+            src,
+            &TransposeStrategy::RuntimeMenda(MendaConfig::small_test()),
+            &model,
+        );
+        assert_eq!(a.distances.state, b.distances.state);
+    }
+
+    #[test]
+    fn two_copies_doubles_storage_but_has_no_overhead() {
+        let m = amazon_like();
+        let model = CoSparseModel::paper();
+        let src = high_degree_source(&m);
+        let two = sssp_end_to_end(&m, src, &TransposeStrategy::TwoCopies, &model);
+        let menda = sssp_end_to_end(
+            &m,
+            src,
+            &TransposeStrategy::RuntimeMenda(MendaConfig::small_test()),
+            &model,
+        );
+        assert_eq!(two.transpose_s, 0.0);
+        assert!(two.storage_bytes as f64 > 1.8 * menda.storage_bytes as f64);
+    }
+
+    #[test]
+    fn menda_overhead_far_below_mergetrans() {
+        // The Fig. 11 shape: runtime MeNDA cuts the transposition
+        // overhead by an order of magnitude versus runtime mergeTrans.
+        let m = amazon_like();
+        let model = CoSparseModel::paper();
+        let src = high_degree_source(&m);
+        let mt = sssp_end_to_end(
+            &m,
+            src,
+            &TransposeStrategy::RuntimeMergeTrans { threads: 16, cache_scale: 256 },
+            &model,
+        );
+        // The paper-shaped MeNDA (wide tree, 8 ranks) finishes in one
+        // iteration; a deliberately tiny test tree would need three.
+        let nd = sssp_end_to_end(
+            &m,
+            src,
+            &TransposeStrategy::RuntimeMenda(MendaConfig::paper()),
+            &model,
+        );
+        assert!(mt.transpositions > 0, "no runtime transposition happened");
+        assert!(
+            nd.transpose_s < 0.4 * mt.transpose_s,
+            "MeNDA {} vs mergeTrans {}",
+            nd.transpose_s,
+            mt.transpose_s
+        );
+        assert!(nd.transpose_overhead() < mt.transpose_overhead());
+    }
+}

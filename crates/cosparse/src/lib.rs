@@ -1,0 +1,32 @@
+//! A CoSPARSE-like direction-optimizing graph analytics framework.
+//!
+//! CoSPARSE \[17\] is the reconfigurable SpMV framework the paper uses to
+//! study end-to-end integration (Fig. 2a, Fig. 8, Fig. 11, §4.1, §6.3).
+//! Its defining property is *dynamic dataflow reconfiguration*: iterations
+//! run **push** (sparse frontier, outer-product over out-edges in CSC) or
+//! **pull** (dense frontier, inner-product over in-edges in row-major COO)
+//! depending on the active vertex set — which requires both the graph `A`
+//! and its transpose `Aᵀ`, motivating either 2× graph storage or runtime
+//! transposition.
+//!
+//! This crate provides:
+//!
+//! * [`Graph`] — weighted digraph over the sparse substrate,
+//! * [`algorithms`] — direction-optimizing SSSP, BFS and PageRank that
+//!   record per-iteration direction and traffic,
+//! * [`timing`] — a first-order timing model of the CoSPARSE 8-tile ×
+//!   16-PE substrate (memory-bandwidth based, with utilization constants
+//!   per dataflow), plus the §3.5 re-mapping experiment,
+//! * [`integration`] — end-to-end SSSP breakdowns under the three
+//!   transposition strategies of Fig. 11: two stored copies, runtime
+//!   mergeTrans, and runtime MeNDA.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod algorithms;
+mod graph;
+pub mod integration;
+pub mod timing;
+
+pub use graph::Graph;

@@ -1,0 +1,374 @@
+//! Set-associative cache model used by the trace-driven CPU mode.
+//!
+//! Table 1 gives the CPU cache hierarchy the paper simulates in front of
+//! Ramulator: L1 32 KB, L2 256 KB, L3 3 MB, all with 64 B blocks and 8-way
+//! associativity. This module implements an LRU write-back, write-allocate
+//! cache and a three-level hierarchy that filters a memory trace down to
+//! the DRAM accesses.
+
+/// Configuration of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity: usize,
+    /// Block (line) size in bytes.
+    pub block_size: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// Table 1's L1: 32 KB, 64 B blocks, 8-way.
+    pub fn l1() -> Self {
+        Self {
+            capacity: 32 << 10,
+            block_size: 64,
+            ways: 8,
+        }
+    }
+
+    /// Table 1's L2: 256 KB, 64 B blocks, 8-way.
+    pub fn l2() -> Self {
+        Self {
+            capacity: 256 << 10,
+            block_size: 64,
+            ways: 8,
+        }
+    }
+
+    /// Table 1's L3: 3 MB, 64 B blocks, 8-way.
+    pub fn l3() -> Self {
+        Self {
+            capacity: 3 << 20,
+            block_size: 64,
+            ways: 8,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.capacity / (self.block_size * self.ways)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU stamp: larger = more recently used.
+    lru: u64,
+}
+
+/// One set-associative, write-back, write-allocate cache with LRU
+/// replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// Result of a cache access at one level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Address of a dirty block evicted to make room, if any.
+    pub writeback: Option<u64>,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is not a power-of-two block size or yields
+    /// zero sets.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.block_size.is_power_of_two());
+        let sets = config.sets();
+        assert!(sets > 0, "cache has no sets");
+        Self {
+            config,
+            sets: vec![
+                vec![
+                    Line {
+                        tag: 0,
+                        valid: false,
+                        dirty: false,
+                        lru: 0
+                    };
+                    config.ways
+                ];
+                sets
+            ],
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn index_tag(&self, addr: u64) -> (usize, u64) {
+        let block = addr / self.config.block_size as u64;
+        let set = (block % self.sets.len() as u64) as usize;
+        let tag = block / self.sets.len() as u64;
+        (set, tag)
+    }
+
+    /// Accesses `addr`; on a miss the block is allocated, possibly evicting
+    /// a dirty victim whose address is returned for write-back.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> AccessOutcome {
+        self.stamp += 1;
+        let (set_idx, tag) = self.index_tag(addr);
+        let sets_count = self.sets.len() as u64;
+        let block_size = self.config.block_size as u64;
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = self.stamp;
+            line.dirty |= is_write;
+            self.hits += 1;
+            return AccessOutcome {
+                hit: true,
+                writeback: None,
+            };
+        }
+        self.misses += 1;
+        // Choose victim: invalid first, else LRU.
+        let victim = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.lru + 1 } else { 0 })
+            .map(|(i, _)| i)
+            .expect("nonzero ways");
+        let old = set[victim];
+        let writeback = if old.valid && old.dirty {
+            Some((old.tag * sets_count + set_idx as u64) * block_size)
+        } else {
+            None
+        };
+        set[victim] = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            lru: self.stamp,
+        };
+        AccessOutcome { hit: false, writeback }
+    }
+
+    /// Invalidates the block containing `addr` without write-back.
+    pub fn invalidate(&mut self, addr: u64) {
+        let (set, tag) = self.index_tag(addr);
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.valid = false;
+            line.dirty = false;
+        }
+    }
+
+    /// Hits observed.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses observed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate over all accesses (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// The DRAM-side traffic produced by one hierarchy access.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DramTraffic {
+    /// Line-aligned fill address when the access missed every level.
+    pub fill: Option<u64>,
+    /// Dirty evictions that must be written back to DRAM.
+    pub writebacks: Vec<u64>,
+}
+
+/// The Table 1 three-level hierarchy (per-core L1/L2, shared L3 modeled as
+/// one cache; the CPU-mode simulator instantiates one hierarchy per core
+/// and a shared L3 separately).
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    levels: Vec<Cache>,
+}
+
+impl CacheHierarchy {
+    /// Builds the L1/L2/L3 hierarchy of Table 1.
+    pub fn table1() -> Self {
+        Self::new(vec![CacheConfig::l1(), CacheConfig::l2(), CacheConfig::l3()])
+    }
+
+    /// Builds a hierarchy from outermost-last configs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty.
+    pub fn new(configs: Vec<CacheConfig>) -> Self {
+        assert!(!configs.is_empty(), "need at least one level");
+        Self {
+            levels: configs.into_iter().map(Cache::new).collect(),
+        }
+    }
+
+    /// Accesses the hierarchy; returns the DRAM traffic required (empty on
+    /// a hit at any level). Inclusive allocation: a miss fills every level.
+    /// Dirty victims cascade: an eviction from level *i* is written into
+    /// level *i + 1*, and only last-level dirty victims reach DRAM.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> DramTraffic {
+        let mut traffic = DramTraffic::default();
+        let mut wbs: Vec<u64> = Vec::new();
+        let mut demand = Some(addr);
+        for (depth, cache) in self.levels.iter_mut().enumerate() {
+            let mut next_wbs = Vec::new();
+            for wb in wbs.drain(..) {
+                let out = cache.access(wb, true);
+                if let Some(v) = out.writeback {
+                    next_wbs.push(v);
+                }
+            }
+            if let Some(a) = demand {
+                let out = cache.access(a, is_write && depth == 0);
+                if let Some(v) = out.writeback {
+                    next_wbs.push(v);
+                }
+                if out.hit {
+                    demand = None;
+                }
+            }
+            wbs = next_wbs;
+            if demand.is_none() && wbs.is_empty() {
+                return traffic;
+            }
+        }
+        let block = self.levels.last().expect("nonempty").config.block_size as u64;
+        traffic.writebacks = wbs;
+        traffic.fill = demand.map(|a| a & !(block - 1));
+        traffic
+    }
+
+    /// Per-level hit rates, innermost first.
+    pub fn hit_rates(&self) -> Vec<f64> {
+        self.levels.iter().map(|c| c.hit_rate()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_of_table1() {
+        assert_eq!(CacheConfig::l1().sets(), 64);
+        assert_eq!(CacheConfig::l2().sets(), 512);
+        assert_eq!(CacheConfig::l3().sets(), 6144);
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = Cache::new(CacheConfig::l1());
+        assert!(!c.access(0x1000, false).hit);
+        assert!(c.access(0x1000, false).hit);
+        assert!(c.access(0x1020, false).hit); // same 64B line
+        assert!(!c.access(0x1040, false).hit); // next line
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 1-set cache: capacity = 64B * 2 ways.
+        let cfg = CacheConfig {
+            capacity: 128,
+            block_size: 64,
+            ways: 2,
+        };
+        let mut c = Cache::new(cfg);
+        c.access(0, false); // A
+        c.access(64, false); // B
+        c.access(0, false); // touch A; B is LRU
+        c.access(128, false); // evicts B
+        assert!(c.access(0, false).hit);
+        assert!(!c.access(64, false).hit);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback_address() {
+        let cfg = CacheConfig {
+            capacity: 64,
+            block_size: 64,
+            ways: 1,
+        };
+        let mut c = Cache::new(cfg);
+        c.access(0x40, true);
+        let out = c.access(0x80, false);
+        assert_eq!(out.writeback, Some(0x40));
+        // Clean eviction has no writeback.
+        let out = c.access(0xC0, false);
+        assert_eq!(out.writeback, None);
+    }
+
+    #[test]
+    fn invalidate_forces_miss() {
+        let mut c = Cache::new(CacheConfig::l1());
+        c.access(0x2000, true);
+        c.invalidate(0x2000);
+        assert!(!c.access(0x2000, false).hit);
+    }
+
+    #[test]
+    fn hierarchy_filters_repeats() {
+        let mut h = CacheHierarchy::table1();
+        let first = h.access(0x3000, false);
+        assert_eq!(first.fill, Some(0x3000));
+        let second = h.access(0x3000, false);
+        assert_eq!(second.fill, None);
+        assert!(second.writebacks.is_empty());
+    }
+
+    #[test]
+    fn hierarchy_l2_catches_l1_evictions() {
+        let mut h = CacheHierarchy::table1();
+        // Touch enough distinct lines to overflow L1 (512 lines) but not L2.
+        for i in 0..1024u64 {
+            h.access(i * 64, false);
+        }
+        // Re-touch the first line: L1 misses, L2 should hit → no DRAM fill.
+        let t = h.access(0, false);
+        assert_eq!(t.fill, None);
+    }
+
+    #[test]
+    fn hierarchy_emits_llc_writebacks() {
+        // Tiny custom hierarchy so evictions are easy to force.
+        let small = CacheConfig {
+            capacity: 64,
+            block_size: 64,
+            ways: 1,
+        };
+        let mut h = CacheHierarchy::new(vec![small, small]);
+        h.access(0, true);
+        let t = h.access(64, false);
+        assert_eq!(t.fill, Some(64));
+        assert_eq!(t.writebacks, vec![0]);
+    }
+
+    #[test]
+    fn writes_only_dirty_l1() {
+        let mut h = CacheHierarchy::table1();
+        h.access(0x5000, true);
+        let rates = h.hit_rates();
+        assert_eq!(rates.len(), 3);
+    }
+}

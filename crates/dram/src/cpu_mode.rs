@@ -1,0 +1,496 @@
+//! Trace-driven CPU-mode simulation.
+//!
+//! Replays per-thread memory traces against the DRAM simulator the way the
+//! paper runs mergeTrans traces in Ramulator's cpu mode (§5.1): each core
+//! has the Table 1 private L1/L2, a shared L3 filters the remaining
+//! traffic, each core may have up to 16 outstanding misses (MSHRs), and a
+//! custom barrier synchronization keeps threads aligned at algorithm phase
+//! boundaries.
+
+use crate::{CacheConfig, CacheHierarchy, Cache, DramStats, DramConfig, MemRequest, MemorySystem};
+
+/// One operation of a core's trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Execute `cpu_ops` non-memory instructions, then perform one memory
+    /// access at `addr`.
+    Access {
+        /// Non-memory instructions preceding the access.
+        cpu_ops: u32,
+        /// Byte address accessed.
+        addr: u64,
+        /// Whether the access is a store.
+        is_write: bool,
+    },
+    /// Wait until every core reaches its barrier and all memory traffic
+    /// drains.
+    Barrier,
+}
+
+/// A per-core memory trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoreTrace {
+    ops: Vec<TraceOp>,
+}
+
+impl CoreTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a memory access preceded by `cpu_ops` non-memory
+    /// instructions.
+    pub fn access(&mut self, cpu_ops: u32, addr: u64, is_write: bool) {
+        self.ops.push(TraceOp::Access {
+            cpu_ops,
+            addr,
+            is_write,
+        });
+    }
+
+    /// Appends a barrier.
+    pub fn barrier(&mut self) {
+        self.ops.push(TraceOp::Barrier);
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operations.
+    pub fn ops(&self) -> &[TraceOp] {
+        &self.ops
+    }
+}
+
+impl FromIterator<TraceOp> for CoreTrace {
+    fn from_iter<T: IntoIterator<Item = TraceOp>>(iter: T) -> Self {
+        Self {
+            ops: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Configuration of the CPU-mode replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuModeConfig {
+    /// Non-memory instructions retired per core per CPU cycle.
+    pub ipc: u32,
+    /// Outstanding misses per core (Table 1: 16 MSHR entries).
+    pub mshr_entries: usize,
+    /// CPU cycles per DRAM bus cycle (3 GHz core / 1.2 GHz bus ≈ 2.5 → 2).
+    pub cpu_per_dram_tick: u32,
+    /// Whether per-core L1/L2 and shared L3 filter the trace.
+    pub caches_enabled: bool,
+    /// Divides every cache capacity (minimum one set). When the traced
+    /// *matrices* are scaled down by N relative to the paper, scaling the
+    /// caches by the same N preserves the cache-to-working-set proportion
+    /// the paper's experiments had; otherwise a scaled-down intermediate
+    /// dataset can sit entirely in the Table 1 L3 and hide the memory
+    /// behaviour under study.
+    pub cache_scale: usize,
+}
+
+impl CpuModeConfig {
+    /// Default configuration with caches scaled down by `n`.
+    pub fn with_cache_scale(n: usize) -> Self {
+        Self {
+            cache_scale: n.max(1),
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for CpuModeConfig {
+    fn default() -> Self {
+        Self {
+            ipc: 4,
+            mshr_entries: 16,
+            cpu_per_dram_tick: 2,
+            caches_enabled: true,
+            cache_scale: 1,
+        }
+    }
+}
+
+/// Scales a cache configuration down by `n`, keeping at least one set.
+fn scaled_cache(base: CacheConfig, n: usize) -> CacheConfig {
+    let min = base.block_size * base.ways;
+    CacheConfig {
+        capacity: (base.capacity / n.max(1)).max(min),
+        ..base
+    }
+}
+
+/// Result of a CPU-mode replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuModeResult {
+    /// DRAM bus cycles to complete every trace.
+    pub cycles: u64,
+    /// Wall-clock seconds implied by the bus clock.
+    pub seconds: f64,
+    /// Aggregated DRAM statistics.
+    pub dram: DramStats,
+    /// Achieved DRAM bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+    /// Per-level cache hit rates (L1 averaged over cores, then L3).
+    pub cache_hit_rates: Vec<f64>,
+}
+
+#[derive(Debug)]
+struct Core {
+    trace: Vec<TraceOp>,
+    pc: usize,
+    cpu_remaining: u32,
+    op_started: bool,
+    outstanding: usize,
+    at_barrier: bool,
+    // Private L1+L2.
+    private: CacheHierarchy,
+    // Pending DRAM requests that failed to enqueue (retry next tick).
+    retry: Vec<MemRequest>,
+    done: bool,
+}
+
+/// Replays per-core traces on a [`MemorySystem`] and reports timing and
+/// bandwidth.
+///
+/// # Example
+///
+/// ```
+/// use menda_dram::cpu_mode::{CoreTrace, CpuMode, CpuModeConfig};
+/// use menda_dram::DramConfig;
+///
+/// let mut t = CoreTrace::new();
+/// for i in 0..64 { t.access(2, i * 64, false); }
+/// let result = CpuMode::new(DramConfig::ddr4_2400r(), CpuModeConfig::default())
+///     .run(vec![t]);
+/// assert!(result.cycles > 0);
+/// ```
+#[derive(Debug)]
+pub struct CpuMode {
+    dram_config: DramConfig,
+    config: CpuModeConfig,
+}
+
+impl CpuMode {
+    /// Creates a replayer over the given DRAM and CPU configurations.
+    pub fn new(dram_config: DramConfig, config: CpuModeConfig) -> Self {
+        Self {
+            dram_config,
+            config,
+        }
+    }
+
+    /// Runs the traces to completion and returns timing/bandwidth results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty.
+    pub fn run(&self, traces: Vec<CoreTrace>) -> CpuModeResult {
+        assert!(!traces.is_empty(), "need at least one core trace");
+        let mut mem = MemorySystem::new(self.dram_config.clone());
+        let ncores = traces.len();
+        let mut cores: Vec<Core> = traces
+            .into_iter()
+            .map(|t| Core {
+                trace: t.ops,
+                pc: 0,
+                cpu_remaining: 0,
+                op_started: false,
+                outstanding: 0,
+                at_barrier: false,
+                private: CacheHierarchy::new(vec![
+                    scaled_cache(CacheConfig::l1(), self.config.cache_scale),
+                    scaled_cache(CacheConfig::l2(), self.config.cache_scale),
+                ]),
+                retry: Vec::new(),
+                done: false,
+            })
+            .collect();
+        let mut l3 = Cache::new(scaled_cache(CacheConfig::l3(), self.config.cache_scale));
+        let mut cycles: u64 = 0;
+        // Request ids encode the issuing core so responses can free MSHRs:
+        // id = core * 2^32 + seq. Writes use core = ncores (nobody waits).
+        let mut seq: u64 = 0;
+
+        loop {
+            let all_done = cores.iter().all(|c| c.done);
+            if all_done && mem.is_idle() {
+                break;
+            }
+            // Barrier release: every active core at barrier with no
+            // outstanding traffic.
+            let barrier_release = cores
+                .iter()
+                .all(|c| c.done || (c.at_barrier && c.outstanding == 0 && c.retry.is_empty()));
+            if barrier_release && cores.iter().any(|c| c.at_barrier) {
+                for c in &mut cores {
+                    if c.at_barrier {
+                        c.at_barrier = false;
+                        c.pc += 1;
+                        if c.pc >= c.trace.len() {
+                            c.done = true;
+                        }
+                    }
+                }
+            }
+
+            for _ in 0..self.config.cpu_per_dram_tick {
+                for (ci, core) in cores.iter_mut().enumerate() {
+                    Self::tick_core(
+                        ci, core, &mut mem, &mut l3, &self.config, ncores, &mut seq,
+                    );
+                }
+            }
+            mem.tick();
+            cycles += 1;
+            while let Some(resp) = mem.pop_response() {
+                let core_idx = (resp.id >> 32) as usize;
+                if core_idx < ncores {
+                    cores[core_idx].outstanding =
+                        cores[core_idx].outstanding.saturating_sub(1);
+                }
+            }
+            debug_assert!(cycles < u64::MAX);
+        }
+
+        let dram = mem.stats();
+        let seconds = cycles as f64 / (self.dram_config.clock_mhz as f64 * 1e6);
+        let bandwidth = dram.utilized_bandwidth_gbs(
+            self.dram_config.clock_mhz,
+            self.dram_config.org.transaction_bytes,
+        );
+        let mut hit_rates = vec![0.0, 0.0];
+        for c in &cores {
+            let r = c.private.hit_rates();
+            hit_rates[0] += r[0] / ncores as f64;
+            hit_rates[1] += r[1] / ncores as f64;
+        }
+        hit_rates.push(l3.hit_rate());
+        CpuModeResult {
+            cycles,
+            seconds,
+            dram,
+            bandwidth_gbs: bandwidth,
+            cache_hit_rates: hit_rates,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn tick_core(
+        ci: usize,
+        core: &mut Core,
+        mem: &mut MemorySystem,
+        l3: &mut Cache,
+        cfg: &CpuModeConfig,
+        ncores: usize,
+        seq: &mut u64,
+    ) {
+        // Flush retries first; they already passed the caches.
+        while let Some(req) = core.retry.pop() {
+            if !mem.try_enqueue(req) {
+                core.retry.push(req);
+                return;
+            }
+        }
+        if core.done || core.at_barrier {
+            return;
+        }
+        let Some(&op) = core.trace.get(core.pc) else {
+            core.done = true;
+            return;
+        };
+        match op {
+            TraceOp::Barrier => {
+                core.at_barrier = true;
+            }
+            TraceOp::Access {
+                cpu_ops,
+                addr,
+                is_write,
+            } => {
+                if !core.op_started {
+                    core.cpu_remaining = cpu_ops;
+                    core.op_started = true;
+                }
+                if core.cpu_remaining > 0 {
+                    core.cpu_remaining = core.cpu_remaining.saturating_sub(cfg.ipc);
+                    if core.cpu_remaining > 0 {
+                        return;
+                    }
+                }
+                // MSHR gate: stall until a miss slot is free (the access may
+                // need one; checking before touching cache state keeps the
+                // model consistent).
+                if core.outstanding >= cfg.mshr_entries {
+                    return;
+                }
+                // Memory access through the caches.
+                let mut fills: Vec<u64> = Vec::new();
+                let mut writebacks: Vec<u64> = Vec::new();
+                if cfg.caches_enabled {
+                    let t = core.private.access(addr, is_write);
+                    writebacks.extend(t.writebacks);
+                    if let Some(fill) = t.fill {
+                        let out = l3.access(fill, false);
+                        if let Some(wb) = out.writeback {
+                            writebacks.push(wb);
+                        }
+                        if !out.hit {
+                            fills.push(fill);
+                        }
+                    }
+                } else {
+                    fills.push(addr & !63);
+                }
+                for fill in fills {
+                    core.outstanding += 1;
+                    let id = ((ci as u64) << 32) | (*seq & 0xffff_ffff);
+                    *seq += 1;
+                    let req = MemRequest::read(fill, id);
+                    if !mem.try_enqueue(req) {
+                        core.retry.push(req);
+                    }
+                }
+                for wb in writebacks {
+                    let id = ((ncores as u64) << 32) | (*seq & 0xffff_ffff);
+                    *seq += 1;
+                    let req = MemRequest::write(wb, id);
+                    if !mem.try_enqueue(req) {
+                        core.retry.push(req);
+                    }
+                }
+                core.pc += 1;
+                core.op_started = false;
+                if core.pc >= core.trace.len() {
+                    core.done = true;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> DramConfig {
+        let mut c = DramConfig::ddr4_2400r();
+        c.refresh_enabled = false;
+        c
+    }
+
+    #[test]
+    fn single_core_streaming_completes() {
+        let mut t = CoreTrace::new();
+        for i in 0..256u64 {
+            t.access(0, i * 64, false);
+        }
+        let r = CpuMode::new(dram(), CpuModeConfig::default()).run(vec![t]);
+        assert_eq!(r.dram.reads, 256);
+        assert!(r.cycles > 256, "cycles {}", r.cycles);
+        assert!(r.bandwidth_gbs > 0.0);
+    }
+
+    #[test]
+    fn caches_filter_repeated_accesses() {
+        let mut t = CoreTrace::new();
+        for _ in 0..4 {
+            for i in 0..64u64 {
+                t.access(0, i * 64, false);
+            }
+        }
+        let r = CpuMode::new(dram(), CpuModeConfig::default()).run(vec![t]);
+        // 64 distinct lines: only 64 DRAM reads despite 256 accesses.
+        assert_eq!(r.dram.reads, 64);
+        assert!(r.cache_hit_rates[0] > 0.7);
+    }
+
+    #[test]
+    fn more_cores_more_bandwidth_until_saturation() {
+        // 4-channel system (the paper's host): a single compute-bound core
+        // cannot saturate it; four cores should scale close to linearly.
+        let make = |cores: usize| -> f64 {
+            let traces: Vec<CoreTrace> = (0..cores)
+                .map(|c| {
+                    let mut t = CoreTrace::new();
+                    // Disjoint 16 MB regions, strided to miss caches, with
+                    // enough compute per access to be core-bound alone.
+                    for i in 0..512u64 {
+                        t.access(64, (c as u64) << 24 | (i * 4096), false);
+                    }
+                    t
+                })
+                .collect();
+            CpuMode::new(dram().with_channels(4), CpuModeConfig::default())
+                .run(traces)
+                .bandwidth_gbs
+        };
+        let one = make(1);
+        let four = make(4);
+        assert!(four > 1.5 * one, "1 core {one} GB/s, 4 cores {four} GB/s");
+    }
+
+    #[test]
+    fn barrier_synchronizes_cores() {
+        // Core 0 has much more work before the barrier; both must still
+        // finish, and the post-barrier access happens after all pre-barrier
+        // traffic (checked implicitly by completion).
+        let mut t0 = CoreTrace::new();
+        for i in 0..128u64 {
+            t0.access(8, i * 4096, false);
+        }
+        t0.barrier();
+        t0.access(0, 1 << 26, false);
+        let mut t1 = CoreTrace::new();
+        t1.access(0, 1 << 27, false);
+        t1.barrier();
+        t1.access(0, (1 << 27) + 4096, false);
+        let r = CpuMode::new(dram(), CpuModeConfig::default()).run(vec![t0, t1]);
+        assert_eq!(r.dram.reads, 128 + 1 + 1 + 1);
+    }
+
+    #[test]
+    fn cpu_ops_slow_execution() {
+        let mut fast = CoreTrace::new();
+        let mut slow = CoreTrace::new();
+        for i in 0..64u64 {
+            fast.access(0, i * 4096, false);
+            slow.access(400, i * 4096, false);
+        }
+        let cfg = CpuModeConfig::default();
+        let rf = CpuMode::new(dram(), cfg).run(vec![fast]);
+        let rs = CpuMode::new(dram(), cfg).run(vec![slow]);
+        assert!(
+            rs.cycles > 2 * rf.cycles,
+            "compute-heavy trace not slower: {} vs {}",
+            rs.cycles,
+            rf.cycles
+        );
+    }
+
+    #[test]
+    fn writes_generate_dram_writebacks() {
+        let mut t = CoreTrace::new();
+        // Write a region twice the 3 MB L3 so dirty lines reach DRAM.
+        for i in 0..(2 * (3 << 20) / 64_u64) {
+            t.access(0, i * 64, true);
+        }
+        let r = CpuMode::new(dram(), CpuModeConfig::default()).run(vec![t]);
+        assert!(r.dram.writes > 10_000, "writebacks {}", r.dram.writes);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn empty_run_panics() {
+        let _ = CpuMode::new(dram(), CpuModeConfig::default()).run(vec![]);
+    }
+}

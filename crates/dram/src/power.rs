@@ -1,0 +1,182 @@
+//! First-order DDR4 energy model (Micron power-calculator style).
+//!
+//! Converts the event counts in [`DramStats`] into energy: each command
+//! class carries a fixed energy derived from IDD currents at 1.2 V, plus
+//! time-proportional background power. MeNDA's energy claims rest on
+//! *traffic reduction* (fewer intermediate passes) and on avoiding the
+//! off-chip interface; this model quantifies the device-side part.
+
+use crate::{DramConfig, DramStats};
+
+/// Energy per ACT+PRE pair, in nanojoules (IDD0-derived, 4 Gb x8 DDR4).
+pub const ACT_PRE_NJ: f64 = 2.0;
+/// Energy per 64 B read burst, device side (IDD4R-derived).
+pub const READ_NJ: f64 = 2.7;
+/// Energy per 64 B write burst (IDD4W-derived).
+pub const WRITE_NJ: f64 = 2.9;
+/// Additional I/O + termination energy per 64 B transferred across the
+/// *off-chip* interface. Near-memory access through the DIMM buffer chip
+/// avoids most of this — the NMP energy advantage.
+pub const OFFCHIP_IO_NJ: f64 = 4.3;
+/// On-DIMM (buffer-chip) I/O energy per 64 B, much shorter wires.
+pub const ONDIMM_IO_NJ: f64 = 1.1;
+/// Energy per refresh command (IDD5-derived).
+pub const REFRESH_NJ: f64 = 28.0;
+/// Background power per rank in milliwatts (standby, clocking).
+pub const BACKGROUND_MW_PER_RANK: f64 = 95.0;
+
+/// Where the requester sits relative to the device, which decides the I/O
+/// energy per transferred block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interface {
+    /// Host access across the off-chip channel (baseline CPUs/GPUs).
+    OffChip,
+    /// Near-memory access from the DIMM buffer chip (MeNDA PUs).
+    OnDimm,
+}
+
+/// Energy breakdown of a simulated interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Row activate + precharge energy (joules).
+    pub activation_j: f64,
+    /// Read/write burst energy (joules).
+    pub burst_j: f64,
+    /// Interface (I/O + termination) energy (joules).
+    pub io_j: f64,
+    /// Refresh energy (joules).
+    pub refresh_j: f64,
+    /// Background energy (joules).
+    pub background_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.activation_j + self.burst_j + self.io_j + self.refresh_j + self.background_j
+    }
+
+    /// Average power in watts over `seconds`.
+    pub fn average_w(&self, seconds: f64) -> f64 {
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        self.total_j() / seconds
+    }
+}
+
+/// Computes the device energy of a simulated interval from its statistics.
+pub fn energy(stats: &DramStats, config: &DramConfig, interface: Interface) -> EnergyBreakdown {
+    let seconds = stats.cycles as f64 / (config.clock_mhz as f64 * 1e6);
+    let blocks = (stats.reads + stats.writes) as f64;
+    let io_per_block = match interface {
+        Interface::OffChip => OFFCHIP_IO_NJ,
+        Interface::OnDimm => ONDIMM_IO_NJ,
+    };
+    EnergyBreakdown {
+        activation_j: stats.activates as f64 * ACT_PRE_NJ * 1e-9,
+        burst_j: (stats.reads as f64 * READ_NJ + stats.writes as f64 * WRITE_NJ) * 1e-9,
+        io_j: blocks * io_per_block * 1e-9,
+        refresh_j: stats.refreshes as f64 * REFRESH_NJ * 1e-9,
+        background_j: BACKGROUND_MW_PER_RANK * 1e-3
+            * config.org.ranks as f64
+            * config.org.channels as f64
+            * seconds,
+    }
+}
+
+/// Energy per useful byte moved, in nanojoules — the traffic-efficiency
+/// metric that improves when merge passes are eliminated.
+pub fn nj_per_byte(stats: &DramStats, config: &DramConfig, interface: Interface) -> f64 {
+    let bytes = stats.bytes_transferred(config.org.transaction_bytes) as f64;
+    if bytes == 0.0 {
+        return 0.0;
+    }
+    energy(stats, config, interface).total_j() * 1e9 / bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemRequest, MemorySystem};
+
+    fn run_stream(blocks: u64) -> (DramStats, DramConfig) {
+        let mut cfg = DramConfig::ddr4_2400r();
+        cfg.refresh_enabled = false;
+        let mut mem = MemorySystem::new(cfg.clone());
+        let mut sent = 0u64;
+        let mut done = 0u64;
+        while done < blocks {
+            if sent < blocks && mem.try_enqueue(MemRequest::read(sent * 64, sent)) {
+                sent += 1;
+            }
+            mem.tick();
+            while mem.pop_response().is_some() {
+                done += 1;
+            }
+        }
+        (mem.stats(), cfg)
+    }
+
+    #[test]
+    fn energy_components_are_positive_and_sum() {
+        let (stats, cfg) = run_stream(512);
+        let e = energy(&stats, &cfg, Interface::OffChip);
+        assert!(e.activation_j > 0.0);
+        assert!(e.burst_j > 0.0);
+        assert!(e.io_j > 0.0);
+        assert!(e.background_j > 0.0);
+        let total = e.activation_j + e.burst_j + e.io_j + e.refresh_j + e.background_j;
+        assert!((e.total_j() - total).abs() < 1e-18);
+    }
+
+    #[test]
+    fn on_dimm_access_is_cheaper_than_off_chip() {
+        let (stats, cfg) = run_stream(512);
+        let off = energy(&stats, &cfg, Interface::OffChip).total_j();
+        let on = energy(&stats, &cfg, Interface::OnDimm).total_j();
+        assert!(on < off);
+        // The delta is exactly the I/O difference.
+        let expected = (OFFCHIP_IO_NJ - ONDIMM_IO_NJ) * 1e-9 * 512.0;
+        assert!((off - on - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_is_more_efficient_per_byte_than_thrashing() {
+        let (seq_stats, cfg) = run_stream(512);
+        // Row-thrashing pattern: one block per row.
+        let mut mem = MemorySystem::new(cfg.clone());
+        let mut sent = 0u64;
+        let mut done = 0u64;
+        while done < 512 {
+            if sent < 512 && mem.try_enqueue(MemRequest::read(sent * 8192, sent)) {
+                sent += 1;
+            }
+            mem.tick();
+            while mem.pop_response().is_some() {
+                done += 1;
+            }
+        }
+        let thrash = nj_per_byte(&mem.stats(), &cfg, Interface::OffChip);
+        let seq = nj_per_byte(&seq_stats, &cfg, Interface::OffChip);
+        assert!(
+            seq < thrash,
+            "sequential {seq} nJ/B not cheaper than thrashing {thrash}"
+        );
+    }
+
+    #[test]
+    fn zero_traffic_is_zero_per_byte() {
+        let cfg = DramConfig::ddr4_2400r();
+        assert_eq!(nj_per_byte(&DramStats::new(), &cfg, Interface::OnDimm), 0.0);
+    }
+
+    #[test]
+    fn average_power_is_finite_and_plausible() {
+        let (stats, cfg) = run_stream(2048);
+        let seconds = stats.cycles as f64 / (cfg.clock_mhz as f64 * 1e6);
+        let w = energy(&stats, &cfg, Interface::OffChip).average_w(seconds);
+        // A busy DDR4 rank burns hundreds of milliwatts to a few watts.
+        assert!((0.1..10.0).contains(&w), "{w} W");
+    }
+}

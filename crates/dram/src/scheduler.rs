@@ -1,0 +1,135 @@
+/// The next DRAM command a queued request needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NeededCommand {
+    /// Row open and matching: issue the column access (RD or WR).
+    Cas,
+    /// Bank closed: issue ACT.
+    Activate,
+    /// Row conflict: issue PRE first.
+    Precharge,
+}
+
+/// Scheduling view of one queued request, prepared by the channel
+/// controller each cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Position in the (age-ordered) queue; lower = older.
+    pub queue_pos: usize,
+    /// The command the request needs next.
+    pub needed: NeededCommand,
+    /// Whether that command satisfies all timing constraints this cycle.
+    pub issuable_now: bool,
+}
+
+/// The `FRFCFS_PriorHit` scheduling policy of Table 1: first-ready,
+/// first-come-first-serve, with row hits prioritized.
+///
+/// Selection order among the candidates of one queue:
+/// 1. the *oldest* request whose needed command is a row-hit CAS and is
+///    issuable this cycle,
+/// 2. otherwise the oldest request whose needed command (ACT or PRE) is
+///    issuable this cycle,
+/// 3. otherwise none (the channel idles this cycle).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrfcfsPriorHit;
+
+impl FrfcfsPriorHit {
+    /// Creates the policy (stateless).
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Picks the queue position of the request to serve, per the policy.
+    /// `candidates` must be ordered oldest-first.
+    pub fn select(&self, candidates: &[Candidate]) -> Option<Candidate> {
+        let mut best_other: Option<Candidate> = None;
+        for c in candidates {
+            if !c.issuable_now {
+                continue;
+            }
+            if c.needed == NeededCommand::Cas {
+                return Some(*c); // oldest issuable row hit wins outright
+            }
+            if best_other.is_none() {
+                best_other = Some(*c);
+            }
+        }
+        best_other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(pos: usize, needed: NeededCommand, ok: bool) -> Candidate {
+        Candidate {
+            queue_pos: pos,
+            needed,
+            issuable_now: ok,
+        }
+    }
+
+    #[test]
+    fn row_hit_beats_older_miss() {
+        let sched = FrfcfsPriorHit::new();
+        let picked = sched
+            .select(&[
+                cand(0, NeededCommand::Activate, true),
+                cand(1, NeededCommand::Cas, true),
+            ])
+            .unwrap();
+        assert_eq!(picked.queue_pos, 1);
+    }
+
+    #[test]
+    fn oldest_hit_wins_among_hits() {
+        let sched = FrfcfsPriorHit::new();
+        let picked = sched
+            .select(&[
+                cand(0, NeededCommand::Cas, true),
+                cand(1, NeededCommand::Cas, true),
+            ])
+            .unwrap();
+        assert_eq!(picked.queue_pos, 0);
+    }
+
+    #[test]
+    fn unissuable_hit_is_skipped() {
+        let sched = FrfcfsPriorHit::new();
+        let picked = sched
+            .select(&[
+                cand(0, NeededCommand::Cas, false),
+                cand(1, NeededCommand::Precharge, true),
+            ])
+            .unwrap();
+        assert_eq!(picked.queue_pos, 1);
+        assert_eq!(picked.needed, NeededCommand::Precharge);
+    }
+
+    #[test]
+    fn nothing_issuable_returns_none() {
+        let sched = FrfcfsPriorHit::new();
+        assert_eq!(
+            sched.select(&[
+                cand(0, NeededCommand::Cas, false),
+                cand(1, NeededCommand::Activate, false)
+            ]),
+            None
+        );
+        assert_eq!(sched.select(&[]), None);
+    }
+
+    #[test]
+    fn first_ready_miss_when_no_hits() {
+        let sched = FrfcfsPriorHit::new();
+        let picked = sched
+            .select(&[
+                cand(0, NeededCommand::Activate, false),
+                cand(1, NeededCommand::Activate, true),
+                cand(2, NeededCommand::Activate, true),
+            ])
+            .unwrap();
+        assert_eq!(picked.queue_pos, 1);
+    }
+}

@@ -1,0 +1,276 @@
+use crate::{
+    AddressMapper, ChannelController, DramConfig, DramStats, MemRequest, MemResponse,
+};
+
+/// The multi-channel memory system front end.
+///
+/// Routes requests to per-channel [`ChannelController`]s through an
+/// [`AddressMapper`], ticks all channels in lock step on the bus clock, and
+/// delivers responses.
+///
+/// # Example
+///
+/// ```
+/// use menda_dram::{DramConfig, MemorySystem, MemRequest};
+///
+/// let mut mem = MemorySystem::new(DramConfig::ddr4_2400r().with_channels(2));
+/// mem.try_enqueue(MemRequest::read(0, 0));
+/// mem.try_enqueue(MemRequest::read(64, 1)); // lands on the other channel
+/// for _ in 0..100 { mem.tick(); }
+/// assert_eq!(mem.drain_responses().len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct MemorySystem {
+    config: DramConfig,
+    mapper: AddressMapper,
+    channels: Vec<ChannelController>,
+    rr_next: usize,
+}
+
+impl MemorySystem {
+    /// Creates a memory system with `config.org.channels` channels.
+    pub fn new(config: DramConfig) -> Self {
+        let mapper = AddressMapper::new(config.org, config.mapping);
+        let channels = (0..config.org.channels)
+            .map(|_| ChannelController::new(config.clone()))
+            .collect();
+        Self {
+            config,
+            mapper,
+            channels,
+            rr_next: 0,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// The address mapper in effect.
+    pub fn mapper(&self) -> &AddressMapper {
+        &self.mapper
+    }
+
+    /// Current bus cycle.
+    pub fn now(&self) -> u64 {
+        self.channels[0].now()
+    }
+
+    /// Attempts to enqueue `req`; returns `false` if the owning channel's
+    /// queue is full.
+    pub fn try_enqueue(&mut self, req: MemRequest) -> bool {
+        let coord = self.mapper.decode(req.addr);
+        self.channels[coord.channel].try_enqueue(req, coord)
+    }
+
+    /// Whether the owning channel currently has room for `req`.
+    pub fn can_accept(&self, req: &MemRequest) -> bool {
+        let coord = self.mapper.decode(req.addr);
+        let ch = &self.channels[coord.channel];
+        if req.is_read() {
+            ch.read_queue_len() < self.config.read_queue
+        } else {
+            ch.write_queue_len() < self.config.write_queue
+        }
+    }
+
+    /// Advances every channel one bus cycle.
+    pub fn tick(&mut self) {
+        for ch in &mut self.channels {
+            ch.tick();
+        }
+    }
+
+    /// Pops one completed response, round-robin across channels.
+    pub fn pop_response(&mut self) -> Option<MemResponse> {
+        let n = self.channels.len();
+        for i in 0..n {
+            let idx = (self.rr_next + i) % n;
+            if let Some(resp) = self.channels[idx].pop_response() {
+                self.rr_next = (idx + 1) % n;
+                return Some(resp);
+            }
+        }
+        None
+    }
+
+    /// Drains every response completed so far.
+    pub fn drain_responses(&mut self) -> Vec<MemResponse> {
+        let mut out = Vec::new();
+        while let Some(r) = self.pop_response() {
+            out.push(r);
+        }
+        out
+    }
+
+    /// Whether every channel is idle (queues empty, no in-flight bursts).
+    pub fn is_idle(&self) -> bool {
+        self.channels.iter().all(|c| c.is_idle())
+    }
+
+    /// Aggregated statistics across channels.
+    pub fn stats(&self) -> DramStats {
+        let mut agg = DramStats::new();
+        for ch in &self.channels {
+            agg.merge(ch.stats());
+        }
+        agg
+    }
+
+    /// Statistics of one channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn channel_stats(&self, channel: usize) -> &DramStats {
+        self.channels[channel].stats()
+    }
+
+    /// The recorded command stream of one channel (empty unless
+    /// [`DramConfig::log_commands`] is set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn command_log(&self, channel: usize) -> &[crate::CommandRecord] {
+        self.channels[channel].command_log()
+    }
+
+    /// Achieved bandwidth in GB/s over the simulation so far.
+    pub fn utilized_bandwidth_gbs(&self) -> f64 {
+        self.stats()
+            .utilized_bandwidth_gbs(self.config.clock_mhz, self.config.org.transaction_bytes)
+    }
+
+    /// Fraction of data-bus cycles carrying a burst, averaged over
+    /// channels (the aggregated [`DramStats::bus_utilization`] sums busy
+    /// cycles across channels and would exceed 1.0 on multi-channel
+    /// systems).
+    pub fn bus_utilization(&self) -> f64 {
+        let s = self.stats();
+        if s.cycles == 0 {
+            return 0.0;
+        }
+        s.bus_busy_cycles as f64 / (s.cycles as f64 * self.channels.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReqKind;
+
+    fn no_refresh(channels: usize) -> DramConfig {
+        let mut c = DramConfig::ddr4_2400r().with_channels(channels);
+        c.refresh_enabled = false;
+        c
+    }
+
+    #[test]
+    fn requests_route_to_channels() {
+        let mut mem = MemorySystem::new(no_refresh(2));
+        assert!(mem.try_enqueue(MemRequest::read(0, 0)));
+        assert!(mem.try_enqueue(MemRequest::read(64, 1)));
+        assert_eq!(mem.channel_stats(0).cycles, 0);
+        for _ in 0..100 {
+            mem.tick();
+        }
+        let resp = mem.drain_responses();
+        assert_eq!(resp.len(), 2);
+        assert!(mem.is_idle());
+    }
+
+    #[test]
+    fn two_channels_double_throughput() {
+        let run = |channels: usize| -> u64 {
+            let mut mem = MemorySystem::new(no_refresh(channels));
+            let total = 256u64;
+            let mut sent = 0u64;
+            let mut got = 0u64;
+            let mut cycles = 0u64;
+            while got < total {
+                while sent < total {
+                    // Stride across rows to create bank parallelism.
+                    let addr = sent * 64;
+                    if mem.try_enqueue(MemRequest::read(addr, sent)) {
+                        sent += 1;
+                    } else {
+                        break;
+                    }
+                }
+                mem.tick();
+                cycles += 1;
+                while mem.pop_response().is_some() {
+                    got += 1;
+                }
+                assert!(cycles < 100_000, "deadlock");
+            }
+            cycles
+        };
+        let one = run(1);
+        let two = run(2);
+        assert!(
+            (two as f64) < 0.7 * one as f64,
+            "2ch {two} cycles not much faster than 1ch {one}"
+        );
+    }
+
+    #[test]
+    fn bandwidth_is_bounded_by_peak() {
+        let mut mem = MemorySystem::new(no_refresh(1));
+        let mut sent = 0u64;
+        for _ in 0..5000 {
+            let addr = sent * 64;
+            if mem.try_enqueue(MemRequest::read(addr, sent)) {
+                sent += 1;
+            }
+            mem.tick();
+            while mem.pop_response().is_some() {}
+        }
+        let bw = mem.utilized_bandwidth_gbs();
+        assert!(bw > 5.0, "streaming bandwidth too low: {bw}");
+        assert!(bw <= mem.config().peak_bandwidth_gbs() + 1e-9);
+    }
+
+    #[test]
+    fn can_accept_tracks_occupancy() {
+        let mut mem = MemorySystem::new(no_refresh(1));
+        let probe = MemRequest::read(0, 999);
+        assert!(mem.can_accept(&probe));
+        for i in 0..32u64 {
+            mem.try_enqueue(MemRequest::read(i << 20, i));
+        }
+        assert!(!mem.can_accept(&probe));
+        assert!(mem.can_accept(&MemRequest::write(0, 1000)));
+    }
+
+    #[test]
+    fn writes_and_reads_complete_in_mixed_stream() {
+        let mut mem = MemorySystem::new(no_refresh(1));
+        let mut reads = 0;
+        let mut writes = 0;
+        let mut sent = 0u64;
+        while reads + writes < 100 {
+            if sent < 100 {
+                let req = if sent.is_multiple_of(2) {
+                    MemRequest::read(sent * 4096, sent)
+                } else {
+                    MemRequest::write(sent * 4096 + 2048, sent)
+                };
+                if mem.try_enqueue(req) {
+                    sent += 1;
+                }
+            }
+            mem.tick();
+            while let Some(r) = mem.pop_response() {
+                match r.kind {
+                    ReqKind::Read => reads += 1,
+                    ReqKind::Write => writes += 1,
+                }
+            }
+        }
+        assert_eq!(reads, 50);
+        assert_eq!(writes, 50);
+    }
+}

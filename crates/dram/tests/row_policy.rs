@@ -1,0 +1,79 @@
+//! Row-buffer policy ablation: open-page wins on streaming (row hits),
+//! closed-page removes conflicts on row-thrashing patterns.
+
+use menda_dram::{validate_trace, DramConfig, MemRequest, MemorySystem, RowPolicy};
+
+fn run(policy: RowPolicy, addr_of: impl Fn(u64) -> u64, count: u64) -> (u64, MemorySystem) {
+    let mut cfg = DramConfig::ddr4_2400r();
+    cfg.refresh_enabled = false;
+    cfg.row_policy = policy;
+    cfg.log_commands = true;
+    let mut mem = MemorySystem::new(cfg);
+    let (mut sent, mut done, mut cycles) = (0u64, 0u64, 0u64);
+    while done < count {
+        if sent < count && mem.try_enqueue(MemRequest::read(addr_of(sent), sent)) {
+            sent += 1;
+        }
+        mem.tick();
+        cycles += 1;
+        while mem.pop_response().is_some() {
+            done += 1;
+        }
+        assert!(cycles < 10_000_000, "deadlock");
+    }
+    (cycles, mem)
+}
+
+#[test]
+fn open_page_wins_on_streaming() {
+    let n = 1024;
+    let (open, _) = run(RowPolicy::OpenPage, |i| i * 64, n);
+    let (closed, _) = run(RowPolicy::ClosedPage, |i| i * 64, n);
+    assert!(
+        open * 3 < closed * 2,
+        "open page {open} not clearly faster than closed {closed} on a stream"
+    );
+}
+
+#[test]
+fn closed_page_removes_conflicts_on_thrashing() {
+    // Two interleaved streams in the same bank, different rows.
+    let pattern = |i: u64| (i / 2) * 64 + (i % 2) * (256 << 20);
+    let n = 1024;
+    let (_, open_mem) = run(RowPolicy::OpenPage, pattern, n);
+    let (_, closed_mem) = run(RowPolicy::ClosedPage, pattern, n);
+    // Under closed page every access finds its bank precharged: zero
+    // conflicts by construction.
+    assert_eq!(closed_mem.stats().row_conflicts, 0);
+    assert!(closed_mem.stats().row_hits <= open_mem.stats().row_hits);
+}
+
+#[test]
+fn closed_page_traffic_is_protocol_clean() {
+    let (_, mem) = run(RowPolicy::ClosedPage, |i| i * 4096, 512);
+    let cfg = mem.config().clone();
+    validate_trace(mem.command_log(0), &cfg.timing, &cfg.org)
+        .expect("closed-page schedule violates the protocol");
+}
+
+#[test]
+fn hbm2_config_is_functional_and_clean() {
+    let mut cfg = DramConfig::hbm2_pseudo_channel();
+    cfg.refresh_enabled = false;
+    cfg.log_commands = true;
+    let mut mem = MemorySystem::new(cfg.clone());
+    let (mut sent, mut done) = (0u64, 0u64);
+    while done < 512 {
+        if sent < 512 && mem.try_enqueue(MemRequest::read(sent * 640, sent)) {
+            sent += 1;
+        }
+        mem.tick();
+        while mem.pop_response().is_some() {
+            done += 1;
+        }
+    }
+    assert_eq!(mem.stats().reads, 512);
+    validate_trace(mem.command_log(0), &cfg.timing, &cfg.org).expect("protocol clean");
+    // 16 GB/s-class pseudo-channel.
+    assert!((cfg.peak_bandwidth_gbs() - 16.0).abs() < 0.1);
+}

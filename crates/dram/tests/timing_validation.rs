@@ -1,0 +1,107 @@
+//! End-to-end protocol validation: record the command stream the scheduler
+//! actually issues under randomized workloads and re-check every DDR4
+//! timing constraint with the independent validator.
+
+use proptest::prelude::*;
+
+use menda_dram::{validate_trace, DramConfig, MemRequest, MemorySystem};
+
+fn run_workload(cfg: DramConfig, addrs: &[(u64, bool)]) -> MemorySystem {
+    let mut mem = MemorySystem::new(cfg);
+    let mut sent = 0usize;
+    let mut done = 0usize;
+    let mut guard = 0u64;
+    while done < addrs.len() {
+        if sent < addrs.len() {
+            let (addr, is_write) = addrs[sent];
+            let req = if is_write {
+                MemRequest::write(addr, sent as u64)
+            } else {
+                MemRequest::read(addr, sent as u64)
+            };
+            if mem.try_enqueue(req) {
+                sent += 1;
+            }
+        }
+        mem.tick();
+        while mem.pop_response().is_some() {
+            done += 1;
+        }
+        guard += 1;
+        assert!(guard < 5_000_000, "workload did not complete");
+    }
+    mem
+}
+
+#[test]
+fn streaming_workload_is_protocol_clean() {
+    let mut cfg = DramConfig::ddr4_2400r();
+    cfg.log_commands = true;
+    cfg.refresh_enabled = false;
+    let addrs: Vec<(u64, bool)> = (0..2048u64).map(|i| (i * 64, i % 3 == 0)).collect();
+    let mem = run_workload(cfg.clone(), &addrs);
+    let log = mem.command_log(0);
+    assert!(!log.is_empty());
+    validate_trace(log, &cfg.timing, &cfg.org).expect("no timing violation");
+}
+
+#[test]
+fn refresh_workload_is_protocol_clean() {
+    let mut cfg = DramConfig::ddr4_2400r();
+    cfg.log_commands = true;
+    cfg.refresh_enabled = true;
+    // Span multiple refresh intervals with a slow trickle of requests.
+    let mut mem = MemorySystem::new(cfg.clone());
+    let mut sent = 0u64;
+    for cycle in 0..40_000u64 {
+        if cycle % 37 == 0 && mem.try_enqueue(MemRequest::read((sent * 8192) % (1 << 28), sent)) {
+            sent += 1;
+        }
+        mem.tick();
+        while mem.pop_response().is_some() {}
+    }
+    let log = mem.command_log(0);
+    assert!(
+        log.iter()
+            .any(|c| c.kind == menda_dram::CommandKind::Ref),
+        "no refresh recorded"
+    );
+    validate_trace(log, &cfg.timing, &cfg.org).expect("no timing violation");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the request mix, the issued command stream obeys the
+    /// protocol (per channel), including with multiple ranks.
+    #[test]
+    fn random_workloads_are_protocol_clean(
+        addrs in proptest::collection::vec((0u64..(1 << 26), any::<bool>()), 1..150),
+        ranks_pow in 0u32..2,
+        refresh in any::<bool>(),
+    ) {
+        let mut cfg = DramConfig::ddr4_2400r().with_ranks(1 << ranks_pow);
+        cfg.log_commands = true;
+        cfg.refresh_enabled = refresh;
+        let mem = run_workload(cfg.clone(), &addrs);
+        let log = mem.command_log(0);
+        if let Err(v) = validate_trace(log, &cfg.timing, &cfg.org) {
+            prop_assert!(false, "violation: {v}");
+        }
+    }
+
+    /// The LPDDR4 configuration is protocol-clean too.
+    #[test]
+    fn lpddr4_workloads_are_protocol_clean(
+        addrs in proptest::collection::vec((0u64..(1 << 24), any::<bool>()), 1..100),
+    ) {
+        let mut cfg = DramConfig::lpddr4_3200();
+        cfg.log_commands = true;
+        cfg.refresh_enabled = false;
+        let mem = run_workload(cfg.clone(), &addrs);
+        let log = mem.command_log(0);
+        if let Err(v) = validate_trace(log, &cfg.timing, &cfg.org) {
+            prop_assert!(false, "violation: {v}");
+        }
+    }
+}

@@ -1,0 +1,222 @@
+use crate::{CsrMatrix, Index, SparseError, Value};
+
+/// A sparse matrix in coordinate (COO) format.
+///
+/// COO stores the row index, column index and value of each nonzero in three
+/// conceptually separate arrays. MeNDA stores *intermediate* merge-sort
+/// streams in COO (§3.1) because, due to sparsity, an intermediate sorted
+/// stream may contain numerous empty rows/columns, making COO both smaller
+/// than CSR/CSC and easier to decode.
+///
+/// Entries are kept as `(row, col, value)` triples; no ordering is imposed
+/// at construction.
+///
+/// # Example
+///
+/// ```
+/// use menda_sparse::CooMatrix;
+///
+/// # fn main() -> Result<(), menda_sparse::SparseError> {
+/// let coo = CooMatrix::from_entries(2, 2, vec![(0, 1, 2.5), (1, 0, -1.0)])?;
+/// assert_eq!(coo.nnz(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(Index, Index, Value)>,
+}
+
+impl CooMatrix {
+    /// Creates an empty COO matrix with the given dimensions.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates a COO matrix from `(row, col, value)` triples.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the dimensions exceed the 32-bit index range or
+    /// any coordinate is out of bounds. Duplicates are permitted here (they
+    /// are rejected on conversion to a compressed format).
+    pub fn from_entries(
+        nrows: usize,
+        ncols: usize,
+        entries: Vec<(usize, usize, Value)>,
+    ) -> Result<Self, SparseError> {
+        if nrows > u32::MAX as usize {
+            return Err(SparseError::DimensionTooLarge { dim: nrows });
+        }
+        if ncols > u32::MAX as usize {
+            return Err(SparseError::DimensionTooLarge { dim: ncols });
+        }
+        let mut out = Vec::with_capacity(entries.len());
+        for (r, c, v) in entries {
+            if r >= nrows {
+                return Err(SparseError::RowOutOfBounds { row: r, nrows });
+            }
+            if c >= ncols {
+                return Err(SparseError::ColOutOfBounds { col: c, ncols });
+            }
+            out.push((r as Index, c as Index, v));
+        }
+        Ok(Self {
+            nrows,
+            ncols,
+            entries: out,
+        })
+    }
+
+    /// Appends one nonzero.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the coordinate is out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: Value) -> Result<(), SparseError> {
+        if row >= self.nrows {
+            return Err(SparseError::RowOutOfBounds {
+                row,
+                nrows: self.nrows,
+            });
+        }
+        if col >= self.ncols {
+            return Err(SparseError::ColOutOfBounds {
+                col,
+                ncols: self.ncols,
+            });
+        }
+        self.entries.push((row as Index, col as Index, value));
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The stored `(row, col, value)` triples in insertion order.
+    pub fn entries(&self) -> &[(Index, Index, Value)] {
+        &self.entries
+    }
+
+    /// Iterates over the stored triples.
+    pub fn iter(&self) -> std::slice::Iter<'_, (Index, Index, Value)> {
+        self.entries.iter()
+    }
+
+    /// Sorts entries in row-major (row, then column) order in place.
+    pub fn sort_row_major(&mut self) {
+        self.entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+    }
+
+    /// Sorts entries in column-major (column, then row) order in place —
+    /// the order an intermediate MeNDA transposition stream has.
+    pub fn sort_col_major(&mut self) {
+        self.entries.sort_unstable_by_key(|&(r, c, _)| (c, r));
+    }
+
+    /// Storage footprint in bytes (three 4-byte arrays per entry, matching
+    /// the paper's packet fields).
+    pub fn storage_bytes(&self) -> usize {
+        self.entries.len() * 12
+    }
+
+    /// Decomposes into `(nrows, ncols, entries)`.
+    pub fn into_parts(self) -> (usize, usize, Vec<(Index, Index, Value)>) {
+        (self.nrows, self.ncols, self.entries)
+    }
+}
+
+impl From<&CsrMatrix> for CooMatrix {
+    fn from(csr: &CsrMatrix) -> Self {
+        let mut entries = Vec::with_capacity(csr.nnz());
+        for (r, c, v) in csr.iter() {
+            entries.push((r as Index, c as Index, v));
+        }
+        Self {
+            nrows: csr.nrows(),
+            ncols: csr.ncols(),
+            entries,
+        }
+    }
+}
+
+impl Extend<(Index, Index, Value)> for CooMatrix {
+    fn extend<T: IntoIterator<Item = (Index, Index, Value)>>(&mut self, iter: T) {
+        self.entries.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_validates_bounds() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        assert!(matches!(
+            coo.push(2, 0, 1.0),
+            Err(SparseError::RowOutOfBounds { row: 2, nrows: 2 })
+        ));
+        assert!(matches!(
+            coo.push(0, 5, 1.0),
+            Err(SparseError::ColOutOfBounds { col: 5, ncols: 2 })
+        ));
+        assert_eq!(coo.nnz(), 1);
+    }
+
+    #[test]
+    fn from_entries_validates_bounds() {
+        let err = CooMatrix::from_entries(1, 1, vec![(0, 1, 1.0)]).unwrap_err();
+        assert!(matches!(err, SparseError::ColOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn sorting_orders() {
+        let mut coo =
+            CooMatrix::from_entries(3, 3, vec![(2, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]).unwrap();
+        coo.sort_row_major();
+        assert_eq!(coo.entries()[0].0, 0);
+        coo.sort_col_major();
+        assert_eq!(coo.entries()[0].1, 0);
+        assert_eq!(coo.entries()[0].0, 2);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut coo = CooMatrix::new(4, 4);
+        coo.extend(vec![(0, 0, 1.0), (1, 1, 2.0)]);
+        assert_eq!(coo.nnz(), 2);
+    }
+
+    #[test]
+    fn storage_is_12_bytes_per_entry() {
+        let coo = CooMatrix::from_entries(2, 2, vec![(0, 0, 1.0), (1, 1, 2.0)]).unwrap();
+        assert_eq!(coo.storage_bytes(), 24);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let coo = CooMatrix::default();
+        assert_eq!(coo.nnz(), 0);
+        assert_eq!(coo.nrows(), 0);
+    }
+}

@@ -1,0 +1,292 @@
+use crate::{CooMatrix, CsrMatrix, Index, SparseError, Value};
+
+/// A sparse matrix in Compressed Sparse Column format.
+///
+/// The CSC representation of a matrix `A` has identical storage to the CSR
+/// representation of `Aᵀ` (Fig. 1): a pointer array with the start offset of
+/// each *column*, a row-index array, and a value array. Sparse matrix
+/// transposition in the paper is exactly the CSR→CSC conversion.
+///
+/// # Example
+///
+/// ```
+/// use menda_sparse::{CscMatrix, CsrMatrix};
+///
+/// # fn main() -> Result<(), menda_sparse::SparseError> {
+/// let csr = CsrMatrix::new(2, 2, vec![0, 1, 2], vec![1, 0], vec![5.0, 6.0])?;
+/// let csc: CscMatrix = csr.to_csc();
+/// assert_eq!(csc.get(0, 1), Some(5.0));
+/// assert_eq!(csc.to_csr(), csr);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    nrows: usize,
+    ncols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<Index>,
+    values: Vec<Value>,
+}
+
+impl CscMatrix {
+    /// Creates a CSC matrix from its three arrays, validating every format
+    /// invariant.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`CsrMatrix::new`]: malformed pointer arrays, length
+    /// mismatches, out-of-bounds row indices and non-increasing row indices
+    /// within a column are rejected.
+    pub fn new(
+        nrows: usize,
+        ncols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<Index>,
+        values: Vec<Value>,
+    ) -> Result<Self, SparseError> {
+        // Validate by constructing the CSR of the transpose, which has the
+        // same arrays with roles swapped.
+        let csr = CsrMatrix::new(ncols, nrows, col_ptr, row_idx, values)?;
+        let (ncols, nrows, col_ptr, row_idx, values) = csr.into_parts();
+        Ok(Self {
+            nrows,
+            ncols,
+            col_ptr,
+            row_idx,
+            values,
+        })
+    }
+
+    /// Creates a CSC matrix without validation; see
+    /// [`CsrMatrix::from_parts_unchecked`].
+    pub fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<Index>,
+        values: Vec<Value>,
+    ) -> Self {
+        debug_assert_eq!(col_ptr.len(), ncols + 1);
+        debug_assert_eq!(row_idx.len(), values.len());
+        Self {
+            nrows,
+            ncols,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// An empty matrix with the given dimensions.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self::from_parts_unchecked(nrows, ncols, vec![0; ncols + 1], Vec::new(), Vec::new())
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// The column pointer array (`ncols + 1` entries).
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// The row index array (one entry per nonzero).
+    pub fn row_idx(&self) -> &[Index] {
+        &self.row_idx
+    }
+
+    /// The value array (one entry per nonzero).
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The row indices and values of column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.ncols()`.
+    pub fn col(&self, c: usize) -> (&[Index], &[Value]) {
+        let (s, e) = (self.col_ptr[c], self.col_ptr[c + 1]);
+        (&self.row_idx[s..e], &self.values[s..e])
+    }
+
+    /// Number of nonzeros in column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.ncols()`.
+    pub fn col_nnz(&self, c: usize) -> usize {
+        self.col_ptr[c + 1] - self.col_ptr[c]
+    }
+
+    /// Number of columns containing at least one nonzero.
+    pub fn non_empty_cols(&self) -> usize {
+        (0..self.ncols).filter(|&c| self.col_nnz(c) > 0).count()
+    }
+
+    /// Looks up the value at `(row, col)`, or `None` when the slot is zero.
+    pub fn get(&self, row: usize, col: usize) -> Option<Value> {
+        if row >= self.nrows || col >= self.ncols {
+            return None;
+        }
+        let (rows, vals) = self.col(col);
+        rows.binary_search(&(row as Index))
+            .ok()
+            .map(|pos| vals[pos])
+    }
+
+    /// Golden conversion back to CSR (the inverse transposition direction).
+    pub fn to_csr(&self) -> CsrMatrix {
+        // CSC of A is CSR of Aᵀ; transposing that CSR gives CSR of A.
+        let as_csr_of_t = CsrMatrix::from_parts_unchecked(
+            self.ncols,
+            self.nrows,
+            self.col_ptr.clone(),
+            self.row_idx.clone(),
+            self.values.clone(),
+        );
+        as_csr_of_t.transpose()
+    }
+
+    /// Outer-product SpMV `y = A·x`: scales each column `c` by `x[c]` and
+    /// accumulates into `y`, the dataflow MeNDA's SpMV adaptation implements
+    /// (§3.6). Used as the golden reference for the accelerated SpMV.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.ncols()`.
+    #[allow(clippy::needless_range_loop)] // c is a column id, not a slice cursor
+    pub fn spmv_outer(&self, x: &[Value]) -> Vec<Value> {
+        assert_eq!(x.len(), self.ncols, "vector length must equal ncols");
+        let mut y = vec![0.0; self.nrows];
+        for c in 0..self.ncols {
+            let xv = x[c];
+            if xv == 0.0 {
+                continue;
+            }
+            let (rows, vals) = self.col(c);
+            for (&r, &v) in rows.iter().zip(vals) {
+                y[r as usize] += v * xv;
+            }
+        }
+        y
+    }
+
+    /// Storage footprint in bytes (8-byte pointers, 4-byte indices/values).
+    pub fn storage_bytes(&self) -> usize {
+        self.col_ptr.len() * 8 + self.row_idx.len() * 4 + self.values.len() * 4
+    }
+
+    /// Decomposes into `(nrows, ncols, col_ptr, row_idx, values)`.
+    pub fn into_parts(self) -> (usize, usize, Vec<usize>, Vec<Index>, Vec<Value>) {
+        (
+            self.nrows,
+            self.ncols,
+            self.col_ptr,
+            self.row_idx,
+            self.values,
+        )
+    }
+}
+
+impl TryFrom<CooMatrix> for CscMatrix {
+    type Error = SparseError;
+
+    fn try_from(coo: CooMatrix) -> Result<Self, SparseError> {
+        let csr = CsrMatrix::try_from(coo)?;
+        Ok(csr.to_csc())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1_csr() -> CsrMatrix {
+        CsrMatrix::new(
+            8,
+            7,
+            vec![0, 2, 4, 7, 9, 12, 14, 17, 17],
+            vec![0, 2, 1, 4, 0, 4, 6, 3, 5, 0, 2, 5, 1, 3, 2, 5, 6],
+            (1..=17).map(|v| v as Value).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csc_round_trips_to_csr() {
+        let a = fig1_csr();
+        let csc = a.to_csc();
+        assert_eq!(csc.to_csr(), a);
+    }
+
+    #[test]
+    fn get_agrees_with_csr() {
+        let a = fig1_csr();
+        let csc = a.to_csc();
+        for r in 0..8 {
+            for c in 0..7 {
+                assert_eq!(a.get(r, c), csc.get(r, c), "mismatch at ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn validated_constructor_rejects_bad_input() {
+        let err = CscMatrix::new(2, 2, vec![0, 1], vec![0], vec![1.0]).unwrap_err();
+        assert!(matches!(err, SparseError::BadPointerArray { .. }));
+        let err = CscMatrix::new(2, 1, vec![0, 1], vec![7], vec![1.0]).unwrap_err();
+        // row index 7 out of bounds for 2 rows -> reported as column error of
+        // the transposed validation; accept either bound error.
+        assert!(matches!(err, SparseError::ColOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn spmv_outer_matches_csr_spmv() {
+        let a = fig1_csr();
+        let csc = a.to_csc();
+        let x: Vec<Value> = (0..7).map(|v| (v as Value) * 0.5 - 1.0).collect();
+        let y1 = a.spmv(&x);
+        let y2 = csc.spmv_outer(&x);
+        for (a, b) in y1.iter().zip(&y2) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn col_access_and_counts() {
+        let csc = fig1_csr().to_csc();
+        assert_eq!(csc.col(0).0, &[0, 2, 4]);
+        assert_eq!(csc.col_nnz(0), 3);
+        assert_eq!(csc.non_empty_cols(), 7);
+    }
+
+    #[test]
+    fn zeros_has_no_nonzeros() {
+        let z = CscMatrix::zeros(4, 3);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.non_empty_cols(), 0);
+        assert_eq!(z.get(0, 0), None);
+    }
+
+    #[test]
+    fn coo_to_csc() {
+        let coo = CooMatrix::from_entries(2, 2, vec![(1, 0, 2.0), (0, 1, 3.0)]).unwrap();
+        let csc = CscMatrix::try_from(coo).unwrap();
+        assert_eq!(csc.get(1, 0), Some(2.0));
+        assert_eq!(csc.get(0, 1), Some(3.0));
+    }
+}

@@ -1,0 +1,567 @@
+use crate::{CooMatrix, CscMatrix, Index, SparseError, Value};
+
+/// A sparse matrix in Compressed Sparse Row format.
+///
+/// CSR stores a matrix in three arrays (Fig. 1 of the paper): a *pointer*
+/// array with the start offset of each row's nonzeros, an *index* array with
+/// the column index of each nonzero, and a *value* array. Column indices
+/// within each row are strictly increasing.
+///
+/// # Example
+///
+/// ```
+/// use menda_sparse::CsrMatrix;
+///
+/// # fn main() -> Result<(), menda_sparse::SparseError> {
+/// let m = CsrMatrix::new(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0])?;
+/// assert_eq!(m.nnz(), 3);
+/// assert_eq!(m.get(0, 2), Some(2.0));
+/// assert_eq!(m.get(1, 2), None);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<Index>,
+    values: Vec<Value>,
+}
+
+impl CsrMatrix {
+    /// Creates a CSR matrix from its three arrays, validating every format
+    /// invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the pointer array does not have `nrows + 1`
+    /// monotonically non-decreasing entries ending at `nnz`, if index and
+    /// value arrays differ in length, if any column index is out of bounds,
+    /// or if column indices within a row are not strictly increasing.
+    pub fn new(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<Index>,
+        values: Vec<Value>,
+    ) -> Result<Self, SparseError> {
+        if ncols > u32::MAX as usize {
+            return Err(SparseError::DimensionTooLarge { dim: ncols });
+        }
+        if nrows > u32::MAX as usize {
+            return Err(SparseError::DimensionTooLarge { dim: nrows });
+        }
+        if row_ptr.len() != nrows + 1 {
+            return Err(SparseError::BadPointerArray {
+                detail: format!("expected {} pointers, got {}", nrows + 1, row_ptr.len()),
+            });
+        }
+        if col_idx.len() != values.len() {
+            return Err(SparseError::LengthMismatch {
+                indices: col_idx.len(),
+                values: values.len(),
+            });
+        }
+        if row_ptr[0] != 0 {
+            return Err(SparseError::BadPointerArray {
+                detail: format!("first pointer is {}, expected 0", row_ptr[0]),
+            });
+        }
+        if *row_ptr.last().expect("nonempty") != col_idx.len() {
+            return Err(SparseError::BadPointerArray {
+                detail: format!(
+                    "last pointer {} does not equal nnz {}",
+                    row_ptr.last().unwrap(),
+                    col_idx.len()
+                ),
+            });
+        }
+        for r in 0..nrows {
+            let (start, end) = (row_ptr[r], row_ptr[r + 1]);
+            if start > end {
+                return Err(SparseError::BadPointerArray {
+                    detail: format!("pointer decreases at row {r}"),
+                });
+            }
+            let mut prev: Option<Index> = None;
+            for &c in &col_idx[start..end] {
+                if c as usize >= ncols {
+                    return Err(SparseError::ColOutOfBounds {
+                        col: c as usize,
+                        ncols,
+                    });
+                }
+                if let Some(p) = prev {
+                    if c <= p {
+                        return Err(SparseError::UnsortedIndices { major: r });
+                    }
+                }
+                prev = Some(c);
+            }
+        }
+        Ok(Self {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Creates a CSR matrix without validating invariants.
+    ///
+    /// Intended for generators and converters that construct the arrays in a
+    /// way that guarantees validity; debug builds still assert the cheap
+    /// structural properties.
+    pub fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<Index>,
+        values: Vec<Value>,
+    ) -> Self {
+        debug_assert_eq!(row_ptr.len(), nrows + 1);
+        debug_assert_eq!(col_idx.len(), values.len());
+        debug_assert_eq!(*row_ptr.last().unwrap_or(&0), col_idx.len());
+        Self {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// An empty matrix with the given dimensions and no nonzeros.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self::from_parts_unchecked(nrows, ncols, vec![0; nrows + 1], Vec::new(), Vec::new())
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        Self::from_parts_unchecked(
+            n,
+            n,
+            (0..=n).collect(),
+            (0..n as Index).collect(),
+            vec![1.0; n],
+        )
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The row pointer array (`nrows + 1` entries).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The column index array (one entry per nonzero).
+    pub fn col_idx(&self) -> &[Index] {
+        &self.col_idx
+    }
+
+    /// The value array (one entry per nonzero).
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The column indices and values of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.nrows()`.
+    pub fn row(&self, r: usize) -> (&[Index], &[Value]) {
+        let (s, e) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        (&self.col_idx[s..e], &self.values[s..e])
+    }
+
+    /// Number of nonzeros in row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.nrows()`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Number of rows that contain at least one nonzero.
+    ///
+    /// This is the `N` in the paper's iteration-count formula
+    /// `iterations = ceil(log_l N)` (§3.1).
+    pub fn non_empty_rows(&self) -> usize {
+        (0..self.nrows).filter(|&r| self.row_nnz(r) > 0).count()
+    }
+
+    /// Looks up the value at `(row, col)`, or `None` when the slot is zero.
+    pub fn get(&self, row: usize, col: usize) -> Option<Value> {
+        if row >= self.nrows || col >= self.ncols {
+            return None;
+        }
+        let (cols, vals) = self.row(row);
+        cols.binary_search(&(col as Index))
+            .ok()
+            .map(|pos| vals[pos])
+    }
+
+    /// Fraction of slots that are nonzero.
+    pub fn density(&self) -> f64 {
+        if self.nrows == 0 || self.ncols == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.nrows as f64 * self.ncols as f64)
+    }
+
+    /// Iterates over `(row, col, value)` triples in row-major order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            matrix: self,
+            row: 0,
+            pos: 0,
+        }
+    }
+
+    /// Storage footprint in bytes assuming the paper's element sizes
+    /// (8-byte pointers, 4-byte indices, 4-byte values).
+    pub fn storage_bytes(&self) -> usize {
+        self.row_ptr.len() * 8 + self.col_idx.len() * 4 + self.values.len() * 4
+    }
+
+    /// Golden transposition: converts this CSR matrix into CSC using a
+    /// sequential count sort. The result represents the same matrix; the CSC
+    /// of `A` is identical storage to the CSR of `Aᵀ` (Fig. 1).
+    pub fn to_csc(&self) -> CscMatrix {
+        let mut col_counts = vec![0usize; self.ncols];
+        for &c in &self.col_idx {
+            col_counts[c as usize] += 1;
+        }
+        let mut col_ptr = vec![0usize; self.ncols + 1];
+        for c in 0..self.ncols {
+            col_ptr[c + 1] = col_ptr[c] + col_counts[c];
+        }
+        let mut cursor = col_ptr.clone();
+        let mut row_idx = vec![0 as Index; self.nnz()];
+        let mut values = vec![0.0 as Value; self.nnz()];
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let dst = cursor[c as usize];
+                row_idx[dst] = r as Index;
+                values[dst] = v;
+                cursor[c as usize] += 1;
+            }
+        }
+        CscMatrix::from_parts_unchecked(self.nrows, self.ncols, col_ptr, row_idx, values)
+    }
+
+    /// The transpose `Aᵀ` as a CSR matrix.
+    ///
+    /// Equivalent to [`CsrMatrix::to_csc`] followed by a zero-cost
+    /// reinterpretation of the CSC arrays as CSR of the transpose.
+    pub fn transpose(&self) -> CsrMatrix {
+        let csc = self.to_csc();
+        let (nrows, ncols, col_ptr, row_idx, values) = csc.into_parts();
+        // CSC of A (nrows x ncols) reads as CSR of Aᵀ (ncols x nrows).
+        CsrMatrix::from_parts_unchecked(ncols, nrows, col_ptr, row_idx, values)
+    }
+
+    /// Dense matrix-vector product `y = A·x`, used as a golden reference for
+    /// the SpMV dataflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.ncols()`.
+    #[allow(clippy::needless_range_loop)] // r is a row id, not a slice cursor
+    pub fn spmv(&self, x: &[Value]) -> Vec<Value> {
+        assert_eq!(x.len(), self.ncols, "vector length must equal ncols");
+        let mut y = vec![0.0; self.nrows];
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += v * x[c as usize];
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// Decomposes the matrix into `(nrows, ncols, row_ptr, col_idx, values)`.
+    pub fn into_parts(self) -> (usize, usize, Vec<usize>, Vec<Index>, Vec<Value>) {
+        (
+            self.nrows,
+            self.ncols,
+            self.row_ptr,
+            self.col_idx,
+            self.values,
+        )
+    }
+}
+
+impl TryFrom<CooMatrix> for CsrMatrix {
+    type Error = SparseError;
+
+    /// Converts a COO matrix to CSR, sorting entries and rejecting
+    /// duplicates.
+    fn try_from(coo: CooMatrix) -> Result<Self, SparseError> {
+        let (nrows, ncols, mut entries) = coo.into_parts();
+        entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        for w in entries.windows(2) {
+            if w[0].0 == w[1].0 && w[0].1 == w[1].1 {
+                return Err(SparseError::DuplicateEntry {
+                    row: w[0].0 as usize,
+                    col: w[0].1 as usize,
+                });
+            }
+        }
+        let mut row_ptr = vec![0usize; nrows + 1];
+        for &(r, _, _) in &entries {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for r in 0..nrows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        let mut col_idx = Vec::with_capacity(entries.len());
+        let mut values = Vec::with_capacity(entries.len());
+        for (_, c, v) in entries {
+            col_idx.push(c);
+            values.push(v);
+        }
+        Ok(CsrMatrix::from_parts_unchecked(
+            nrows, ncols, row_ptr, col_idx, values,
+        ))
+    }
+}
+
+/// Iterator over the `(row, col, value)` triples of a [`CsrMatrix`].
+#[derive(Debug)]
+pub struct Iter<'a> {
+    matrix: &'a CsrMatrix,
+    row: usize,
+    pos: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = (usize, usize, Value);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.row < self.matrix.nrows {
+            if self.pos < self.matrix.row_ptr[self.row + 1] {
+                let item = (
+                    self.row,
+                    self.matrix.col_idx[self.pos] as usize,
+                    self.matrix.values[self.pos],
+                );
+                self.pos += 1;
+                return Some(item);
+            }
+            self.row += 1;
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.matrix.nnz() - self.pos;
+        (remaining, Some(remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 8x7 example matrix from Fig. 1 of the paper.
+    pub(crate) fn fig1_matrix() -> CsrMatrix {
+        CsrMatrix::new(
+            8,
+            7,
+            vec![0, 2, 4, 7, 9, 12, 14, 17, 17],
+            vec![0, 2, 1, 4, 0, 4, 6, 3, 5, 0, 2, 5, 1, 3, 2, 5, 6],
+            (1..=17).map(|v| v as Value).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fig1_roundtrip_matches_paper() {
+        let a = fig1_matrix();
+        let t = a.to_csc();
+        // Fig. 1 gives A in CSC: pointer 0 3 5 8 10 12 15 17
+        assert_eq!(t.col_ptr(), &[0, 3, 5, 8, 10, 12, 15, 17]);
+        assert_eq!(
+            t.row_idx(),
+            &[0, 2, 4, 1, 5, 0, 4, 6, 3, 5, 1, 2, 3, 4, 6, 2, 6]
+        );
+        // values a e j c m b k o h n d f i l p g q -> 1-indexed letters
+        let expect: Vec<Value> = [1, 5, 10, 3, 13, 2, 11, 15, 8, 14, 4, 6, 9, 12, 16, 7, 17]
+            .iter()
+            .map(|&v| v as Value)
+            .collect();
+        assert_eq!(t.values(), expect.as_slice());
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let a = fig1_matrix();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn validation_rejects_bad_pointer_length() {
+        let err = CsrMatrix::new(2, 2, vec![0, 1], vec![0], vec![1.0]).unwrap_err();
+        assert!(matches!(err, SparseError::BadPointerArray { .. }));
+    }
+
+    #[test]
+    fn validation_rejects_nonzero_first_pointer() {
+        let err = CsrMatrix::new(1, 2, vec![1, 1], vec![], vec![]).unwrap_err();
+        assert!(matches!(err, SparseError::BadPointerArray { .. }));
+    }
+
+    #[test]
+    fn validation_rejects_wrong_last_pointer() {
+        let err = CsrMatrix::new(1, 2, vec![0, 2], vec![0], vec![1.0]).unwrap_err();
+        assert!(matches!(err, SparseError::BadPointerArray { .. }));
+    }
+
+    #[test]
+    fn validation_rejects_decreasing_pointer() {
+        let err =
+            CsrMatrix::new(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).unwrap_err();
+        // last pointer (1) != nnz (2) triggers first; craft one that passes it
+        assert!(matches!(err, SparseError::BadPointerArray { .. }));
+        let err = CsrMatrix::new(3, 3, vec![0, 2, 1, 3], vec![0, 1, 0], vec![1.0, 2.0, 3.0])
+            .unwrap_err();
+        assert!(matches!(err, SparseError::BadPointerArray { .. }));
+    }
+
+    #[test]
+    fn validation_rejects_out_of_bounds_column() {
+        let err = CsrMatrix::new(1, 2, vec![0, 1], vec![5], vec![1.0]).unwrap_err();
+        assert!(matches!(err, SparseError::ColOutOfBounds { col: 5, .. }));
+    }
+
+    #[test]
+    fn validation_rejects_unsorted_columns() {
+        let err = CsrMatrix::new(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, SparseError::UnsortedIndices { major: 0 }));
+    }
+
+    #[test]
+    fn validation_rejects_duplicate_columns_in_row() {
+        let err = CsrMatrix::new(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, SparseError::UnsortedIndices { major: 0 }));
+    }
+
+    #[test]
+    fn validation_rejects_length_mismatch() {
+        let err = CsrMatrix::new(1, 2, vec![0, 1], vec![0], vec![]).unwrap_err();
+        assert!(matches!(
+            err,
+            SparseError::LengthMismatch {
+                indices: 1,
+                values: 0
+            }
+        ));
+    }
+
+    #[test]
+    fn get_and_row_access() {
+        let a = fig1_matrix();
+        assert_eq!(a.get(0, 0), Some(1.0));
+        assert_eq!(a.get(0, 1), None);
+        assert_eq!(a.get(7, 0), None); // empty last row
+        assert_eq!(a.get(100, 0), None);
+        assert_eq!(a.row_nnz(7), 0);
+        assert_eq!(a.row(2).0, &[0, 4, 6]);
+    }
+
+    #[test]
+    fn non_empty_rows_skips_empty_trailing_row() {
+        let a = fig1_matrix();
+        assert_eq!(a.non_empty_rows(), 7);
+    }
+
+    #[test]
+    fn iter_visits_all_nonzeros_in_order() {
+        let a = fig1_matrix();
+        let triples: Vec<_> = a.iter().collect();
+        assert_eq!(triples.len(), 17);
+        assert_eq!(triples[0], (0, 0, 1.0));
+        assert_eq!(triples[16], (6, 6, 17.0));
+        assert!(triples.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+    }
+
+    #[test]
+    fn iter_size_hint_is_exact() {
+        let a = fig1_matrix();
+        let mut it = a.iter();
+        assert_eq!(it.size_hint(), (17, Some(17)));
+        it.next();
+        assert_eq!(it.size_hint(), (16, Some(16)));
+    }
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = CsrMatrix::zeros(3, 4);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.density(), 0.0);
+        let i = CsrMatrix::identity(4);
+        assert_eq!(i.nnz(), 4);
+        assert_eq!(i.get(2, 2), Some(1.0));
+        assert_eq!(i.transpose(), i);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = fig1_matrix();
+        let x: Vec<Value> = (1..=7).map(|v| v as Value).collect();
+        let y = a.spmv(&x);
+        // row 0: a*x0 + b*x2 = 1*1 + 2*3 = 7
+        assert_eq!(y[0], 7.0);
+        // row 7 empty
+        assert_eq!(y[7], 0.0);
+    }
+
+    #[test]
+    fn coo_roundtrip() {
+        let a = fig1_matrix();
+        let coo = CooMatrix::from(&a);
+        let back = CsrMatrix::try_from(coo).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn coo_duplicate_rejected() {
+        let coo =
+            CooMatrix::from_entries(2, 2, vec![(0, 0, 1.0), (0, 0, 2.0)]).unwrap();
+        let err = CsrMatrix::try_from(coo).unwrap_err();
+        assert!(matches!(err, SparseError::DuplicateEntry { row: 0, col: 0 }));
+    }
+
+    #[test]
+    fn storage_bytes_counts_all_arrays() {
+        let a = fig1_matrix();
+        assert_eq!(a.storage_bytes(), 9 * 8 + 17 * 4 + 17 * 4);
+    }
+
+    #[test]
+    fn empty_dimension_density_is_zero() {
+        let z = CsrMatrix::zeros(0, 0);
+        assert_eq!(z.density(), 0.0);
+        assert_eq!(z.non_empty_rows(), 0);
+    }
+}

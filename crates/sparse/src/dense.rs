@@ -1,0 +1,153 @@
+//! Dense matrix helpers for tests, examples and small golden models.
+
+use crate::{CooMatrix, CsrMatrix, SparseError, Value};
+
+/// A row-major dense matrix used as an exhaustive reference in tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<Value>,
+}
+
+impl DenseMatrix {
+    /// A zero matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// Builds from a row-major slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != nrows * ncols`.
+    pub fn from_row_major(nrows: usize, ncols: usize, data: Vec<Value>) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "row-major data length mismatch");
+        Self { nrows, ncols, data }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// The element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, r: usize, c: usize) -> Value {
+        assert!(r < self.nrows && c < self.ncols, "index out of range");
+        self.data[r * self.ncols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, r: usize, c: usize, v: Value) {
+        assert!(r < self.nrows && c < self.ncols, "index out of range");
+        self.data[r * self.ncols + c] = v;
+    }
+
+    /// The dense transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.ncols, self.nrows);
+        for r in 0..self.nrows {
+            for c in 0..self.ncols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Converts to CSR, dropping exact zeros.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the dimensions exceed the 32-bit index range.
+    pub fn to_csr(&self) -> Result<CsrMatrix, SparseError> {
+        let mut coo = CooMatrix::new(self.nrows, self.ncols);
+        for r in 0..self.nrows {
+            for c in 0..self.ncols {
+                let v = self.get(r, c);
+                if v != 0.0 {
+                    coo.push(r, c, v)?;
+                }
+            }
+        }
+        CsrMatrix::try_from(coo)
+    }
+}
+
+impl From<&CsrMatrix> for DenseMatrix {
+    fn from(csr: &CsrMatrix) -> Self {
+        let mut d = DenseMatrix::zeros(csr.nrows(), csr.ncols());
+        for (r, c, v) in csr.iter() {
+            d.set(r, c, v);
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn csr_roundtrip() {
+        let m = gen::uniform(24, 120, 1);
+        let dense = DenseMatrix::from(&m);
+        let back = dense.to_csr().unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn dense_transpose_agrees_with_sparse() {
+        let m = gen::rmat(32, 200, gen::RmatParams::PAPER, 2);
+        let dt = DenseMatrix::from(&m).transpose();
+        let st = m.transpose();
+        assert_eq!(dt.to_csr().unwrap(), st);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut d = DenseMatrix::zeros(3, 4);
+        d.set(2, 3, 7.5);
+        assert_eq!(d.get(2, 3), 7.5);
+        assert_eq!(d.get(0, 0), 0.0);
+        assert_eq!(d.nrows(), 3);
+        assert_eq!(d.ncols(), 4);
+    }
+
+    #[test]
+    fn from_row_major_layout() {
+        let d = DenseMatrix::from_row_major(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.get(0, 1), 2.0);
+        assert_eq!(d.get(1, 0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn bad_length_panics() {
+        let _ = DenseMatrix::from_row_major(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let d = DenseMatrix::zeros(2, 2);
+        let _ = d.get(2, 0);
+    }
+}

@@ -1,0 +1,158 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or converting sparse matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SparseError {
+    /// A row index was outside `0..nrows`.
+    RowOutOfBounds {
+        /// The offending row index.
+        row: usize,
+        /// Number of rows in the matrix.
+        nrows: usize,
+    },
+    /// A column index was outside `0..ncols`.
+    ColOutOfBounds {
+        /// The offending column index.
+        col: usize,
+        /// Number of columns in the matrix.
+        ncols: usize,
+    },
+    /// The pointer array was malformed (wrong length, not monotone, or its
+    /// last entry disagreed with the number of nonzeros).
+    BadPointerArray {
+        /// Human-readable description of the defect.
+        detail: String,
+    },
+    /// The index and value arrays had different lengths.
+    LengthMismatch {
+        /// Length of the index array.
+        indices: usize,
+        /// Length of the value array.
+        values: usize,
+    },
+    /// Column indices within a CSR row (or row indices within a CSC column)
+    /// were not strictly increasing.
+    UnsortedIndices {
+        /// The major dimension slot (row for CSR, column for CSC) at fault.
+        major: usize,
+    },
+    /// A duplicate (row, col) coordinate was encountered where forbidden.
+    DuplicateEntry {
+        /// Row of the duplicate.
+        row: usize,
+        /// Column of the duplicate.
+        col: usize,
+    },
+    /// The matrix dimensions exceed what 32-bit indices can address.
+    DimensionTooLarge {
+        /// The offending dimension.
+        dim: usize,
+    },
+    /// Failure parsing a Matrix Market stream.
+    Parse {
+        /// Line number (1-based) where parsing failed.
+        line: usize,
+        /// Description of the problem.
+        detail: String,
+    },
+    /// An underlying I/O error, stringified to keep this type `Clone + Eq`.
+    Io {
+        /// Description of the I/O failure.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::RowOutOfBounds { row, nrows } => {
+                write!(f, "row index {row} out of bounds for {nrows} rows")
+            }
+            SparseError::ColOutOfBounds { col, ncols } => {
+                write!(f, "column index {col} out of bounds for {ncols} columns")
+            }
+            SparseError::BadPointerArray { detail } => {
+                write!(f, "malformed pointer array: {detail}")
+            }
+            SparseError::LengthMismatch { indices, values } => write!(
+                f,
+                "index array has {indices} entries but value array has {values}"
+            ),
+            SparseError::UnsortedIndices { major } => {
+                write!(f, "indices in major slot {major} are not strictly increasing")
+            }
+            SparseError::DuplicateEntry { row, col } => {
+                write!(f, "duplicate entry at ({row}, {col})")
+            }
+            SparseError::DimensionTooLarge { dim } => {
+                write!(f, "dimension {dim} exceeds 32-bit index range")
+            }
+            SparseError::Parse { line, detail } => {
+                write!(f, "parse error on line {line}: {detail}")
+            }
+            SparseError::Io { detail } => write!(f, "i/o error: {detail}"),
+        }
+    }
+}
+
+impl Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(err: std::io::Error) -> Self {
+        SparseError::Io {
+            detail: err.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let cases: Vec<SparseError> = vec![
+            SparseError::RowOutOfBounds { row: 5, nrows: 3 },
+            SparseError::ColOutOfBounds { col: 9, ncols: 2 },
+            SparseError::BadPointerArray {
+                detail: "last pointer 3 != nnz 4".into(),
+            },
+            SparseError::LengthMismatch {
+                indices: 3,
+                values: 4,
+            },
+            SparseError::UnsortedIndices { major: 1 },
+            SparseError::DuplicateEntry { row: 0, col: 0 },
+            SparseError::DimensionTooLarge { dim: 1 << 40 },
+            SparseError::Parse {
+                line: 2,
+                detail: "bad header".into(),
+            },
+            SparseError::Io {
+                detail: "file not found".into(),
+            },
+        ];
+        for err in cases {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'), "{msg}");
+            let first = msg.chars().next().unwrap();
+            assert!(first.is_lowercase() || first.is_numeric(), "{msg}");
+        }
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let err: SparseError = io.into();
+        assert!(matches!(err, SparseError::Io { .. }));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+}

@@ -1,0 +1,172 @@
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{CsrMatrix, Index};
+
+use super::uniform::build_csr;
+
+/// Quadrant probabilities for the recursive R-MAT generator.
+///
+/// Each edge is placed by recursively descending into one of the four
+/// quadrants of the adjacency matrix with probabilities `a`, `b`, `c` and
+/// `d = 1 - a - b - c`. The paper generates its power-law matrices with
+/// SNAP's `GenRMat(dimension, nnz, 0.1, 0.2, 0.3)`, i.e. `a = 0.1`,
+/// `b = 0.2`, `c = 0.3`, `d = 0.4`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Probability of the top-left quadrant.
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+}
+
+impl RmatParams {
+    /// The parameters the paper uses (`GenRMat(.., 0.1, 0.2, 0.3)`).
+    pub const PAPER: RmatParams = RmatParams {
+        a: 0.1,
+        b: 0.2,
+        c: 0.3,
+    };
+
+    /// Probability of the bottom-right quadrant (`1 - a - b - c`).
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+
+    /// Checks that all four probabilities are valid.
+    pub fn is_valid(&self) -> bool {
+        self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d() >= 0.0
+    }
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        Self::PAPER
+    }
+}
+
+/// Generates a square power-law matrix with the recursive-matrix (R-MAT)
+/// procedure, mirroring SNAP's `GenRMat` as used for Table 3's P1–P8.
+///
+/// `dim` is rounded up internally to a power of two for the recursion and
+/// coordinates outside `dim` are rejected, so the result has exactly the
+/// requested dimension and `nnz` distinct nonzeros. Deterministic per seed.
+///
+/// # Panics
+///
+/// Panics if `params` are invalid, if `dim` exceeds the 32-bit index range,
+/// or if `nnz > dim * dim`.
+///
+/// # Example
+///
+/// ```
+/// use menda_sparse::gen::{rmat, RmatParams};
+///
+/// let m = rmat(1 << 10, 8192, RmatParams::PAPER, 42);
+/// assert_eq!(m.nnz(), 8192);
+/// ```
+pub fn rmat(dim: usize, nnz: usize, params: RmatParams, seed: u64) -> CsrMatrix {
+    assert!(params.is_valid(), "rmat quadrant probabilities invalid");
+    assert!(dim <= u32::MAX as usize, "dimension exceeds 32-bit range");
+    assert!(
+        nnz <= dim.saturating_mul(dim),
+        "cannot place {nnz} distinct nonzeros in a {dim}x{dim} matrix"
+    );
+    let levels = dim.next_power_of_two().trailing_zeros();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: HashSet<(Index, Index)> = HashSet::with_capacity(nnz * 2);
+    // Slight per-level probability noise, as SNAP applies, prevents the
+    // degenerate case where every duplicate retry lands on the same cell.
+    while seen.len() < nnz {
+        let (mut r, mut c) = (0usize, 0usize);
+        for _ in 0..levels {
+            let p: f64 = rng.random();
+            let (dr, dc) = if p < params.a {
+                (0, 0)
+            } else if p < params.a + params.b {
+                (0, 1)
+            } else if p < params.a + params.b + params.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            r = (r << 1) | dr;
+            c = (c << 1) | dc;
+        }
+        if r < dim && c < dim {
+            seen.insert((r as Index, c as Index));
+        }
+    }
+    build_csr(dim, dim, seen.into_iter().collect(), &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_nnz() {
+        let m = rmat(256, 2048, RmatParams::PAPER, 5);
+        assert_eq!(m.nnz(), 2048);
+        assert_eq!(m.nrows(), 256);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = RmatParams::PAPER;
+        assert_eq!(rmat(128, 512, p, 9), rmat(128, 512, p, 9));
+        assert_ne!(rmat(128, 512, p, 9), rmat(128, 512, p, 10));
+    }
+
+    #[test]
+    fn power_law_is_more_skewed_than_uniform() {
+        let dim = 1 << 12;
+        let nnz = 1 << 15;
+        let pl = rmat(dim, nnz, RmatParams::PAPER, 3);
+        let un = super::super::uniform(dim, nnz, 3);
+        let max_pl = (0..dim).map(|r| pl.row_nnz(r)).max().unwrap();
+        let max_un = (0..dim).map(|r| un.row_nnz(r)).max().unwrap();
+        assert!(
+            max_pl > 2 * max_un,
+            "rmat max row nnz {max_pl} not skewed vs uniform {max_un}"
+        );
+    }
+
+    #[test]
+    fn non_power_of_two_dim() {
+        let m = rmat(300, 1000, RmatParams::PAPER, 1);
+        assert_eq!(m.nrows(), 300);
+        assert_eq!(m.nnz(), 1000);
+        for (_, c, _) in m.iter() {
+            assert!(c < 300);
+        }
+    }
+
+    #[test]
+    fn params_d_and_validity() {
+        let p = RmatParams::PAPER;
+        assert!((p.d() - 0.4).abs() < 1e-12);
+        assert!(p.is_valid());
+        let bad = RmatParams {
+            a: 0.9,
+            b: 0.2,
+            c: 0.3,
+        };
+        assert!(!bad.is_valid());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn invalid_params_panic() {
+        let bad = RmatParams {
+            a: 0.9,
+            b: 0.2,
+            c: 0.3,
+        };
+        let _ = rmat(16, 10, bad, 0);
+    }
+}

@@ -1,0 +1,107 @@
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{CsrMatrix, Index, Value};
+
+/// Generates a square uniform random matrix by sampling nonzero coordinates
+/// uniformly until `nnz` distinct coordinates have been collected — the
+/// procedure that produced Table 3's N1–N8 matrices.
+///
+/// Values are uniform in `[0, 1)`. Deterministic for a given `seed`.
+///
+/// # Panics
+///
+/// Panics if `nnz > dim * dim` (the matrix cannot hold that many distinct
+/// nonzeros) or if `dim` exceeds the 32-bit index range.
+///
+/// # Example
+///
+/// ```
+/// let m = menda_sparse::gen::uniform(1024, 4096, 42);
+/// assert_eq!(m.nnz(), 4096);
+/// assert_eq!(m.nrows(), 1024);
+/// ```
+pub fn uniform(dim: usize, nnz: usize, seed: u64) -> CsrMatrix {
+    assert!(dim <= u32::MAX as usize, "dimension exceeds 32-bit range");
+    assert!(
+        nnz <= dim.saturating_mul(dim),
+        "cannot place {nnz} distinct nonzeros in a {dim}x{dim} matrix"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: HashSet<(Index, Index)> = HashSet::with_capacity(nnz * 2);
+    while seen.len() < nnz {
+        let r = rng.random_range(0..dim) as Index;
+        let c = rng.random_range(0..dim) as Index;
+        seen.insert((r, c));
+    }
+    build_csr(dim, dim, seen.into_iter().collect(), &mut rng)
+}
+
+/// Sorts coordinates row-major, attaches uniform random values and builds a
+/// CSR matrix. Shared by the generators in this module tree.
+pub(crate) fn build_csr(
+    nrows: usize,
+    ncols: usize,
+    mut coords: Vec<(Index, Index)>,
+    rng: &mut StdRng,
+) -> CsrMatrix {
+    coords.sort_unstable();
+    let mut row_ptr = vec![0usize; nrows + 1];
+    for &(r, _) in &coords {
+        row_ptr[r as usize + 1] += 1;
+    }
+    for r in 0..nrows {
+        row_ptr[r + 1] += row_ptr[r];
+    }
+    let mut col_idx = Vec::with_capacity(coords.len());
+    let mut values = Vec::with_capacity(coords.len());
+    for (_, c) in coords {
+        col_idx.push(c);
+        values.push(rng.random::<Value>());
+    }
+    CsrMatrix::from_parts_unchecked(nrows, ncols, row_ptr, col_idx, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_nnz_and_dims() {
+        let m = uniform(100, 500, 7);
+        assert_eq!(m.nnz(), 500);
+        assert_eq!(m.nrows(), 100);
+        assert_eq!(m.ncols(), 100);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(uniform(64, 200, 1), uniform(64, 200, 1));
+        assert_ne!(uniform(64, 200, 1), uniform(64, 200, 2));
+    }
+
+    #[test]
+    fn dense_case_fills_matrix() {
+        let m = uniform(4, 16, 3);
+        assert_eq!(m.nnz(), 16);
+        for r in 0..4 {
+            assert_eq!(m.row_nnz(r), 4);
+        }
+    }
+
+    #[test]
+    fn rows_are_roughly_balanced() {
+        let m = uniform(256, 8192, 11);
+        let max = (0..256).map(|r| m.row_nnz(r)).max().unwrap();
+        // expectation is 32/row; a uniform sample should stay well under 4x
+        assert!(max < 128, "max row nnz {max} suspiciously skewed");
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct nonzeros")]
+    fn overfull_panics() {
+        let _ = uniform(2, 5, 0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Matrix Market (`.mtx`) I/O.
+//!
+//! Supports the `coordinate` format with `real`, `integer` and `pattern`
+//! fields and `general` / `symmetric` symmetry — enough to load every
+//! Table 4 matrix from the SuiteSparse collection when real files are
+//! available, and to persist generated matrices for inspection.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::{CooMatrix, CsrMatrix, SparseError, Value};
+
+/// Reads a Matrix Market stream into a [`CsrMatrix`].
+///
+/// Symmetric matrices are expanded to general form (mirror entries added
+/// for off-diagonal nonzeros). Pattern matrices get a value of `1.0` per
+/// entry. Duplicate coordinates are summed, matching common loader
+/// behaviour.
+///
+/// A `mut` reference can be passed as the reader, e.g. `&mut file`.
+///
+/// # Errors
+///
+/// Returns a [`SparseError::Parse`] describing the first malformed line, or
+/// [`SparseError::Io`] on read failure.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix, SparseError> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines().enumerate();
+
+    let (lineno, header) = match lines.next() {
+        Some((n, l)) => (n + 1, l?),
+        None => {
+            return Err(SparseError::Parse {
+                line: 1,
+                detail: "empty stream".into(),
+            })
+        }
+    };
+    let head: Vec<&str> = header.split_whitespace().collect();
+    if head.len() < 5 || !head[0].eq_ignore_ascii_case("%%MatrixMarket") {
+        return Err(SparseError::Parse {
+            line: lineno,
+            detail: "missing %%MatrixMarket header".into(),
+        });
+    }
+    if !head[2].eq_ignore_ascii_case("coordinate") {
+        return Err(SparseError::Parse {
+            line: lineno,
+            detail: format!("unsupported format {}", head[2]),
+        });
+    }
+    let field = head[3].to_ascii_lowercase();
+    if !matches!(field.as_str(), "real" | "integer" | "pattern") {
+        return Err(SparseError::Parse {
+            line: lineno,
+            detail: format!("unsupported field {field}"),
+        });
+    }
+    let symmetry = head[4].to_ascii_lowercase();
+    if !matches!(symmetry.as_str(), "general" | "symmetric") {
+        return Err(SparseError::Parse {
+            line: lineno,
+            detail: format!("unsupported symmetry {symmetry}"),
+        });
+    }
+    let pattern = field == "pattern";
+    let symmetric = symmetry == "symmetric";
+
+    // Skip comments, find the size line.
+    let mut size_line = None;
+    for (n, line) in lines.by_ref() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        size_line = Some((n + 1, line));
+        break;
+    }
+    let (lineno, size_line) = size_line.ok_or(SparseError::Parse {
+        line: lineno + 1,
+        detail: "missing size line".into(),
+    })?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| SparseError::Parse {
+            line: lineno,
+            detail: format!("bad size line: {e}"),
+        })?;
+    if dims.len() != 3 {
+        return Err(SparseError::Parse {
+            line: lineno,
+            detail: format!("size line needs 3 fields, got {}", dims.len()),
+        });
+    }
+    let (nrows, ncols, declared_nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut entries: Vec<(usize, usize, Value)> = Vec::with_capacity(declared_nnz);
+    let mut count = 0usize;
+    for (n, line) in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut tokens = trimmed.split_whitespace();
+        let parse_coord = |tok: Option<&str>, what: &str| -> Result<usize, SparseError> {
+            tok.ok_or(SparseError::Parse {
+                line: n + 1,
+                detail: format!("missing {what}"),
+            })?
+            .parse::<usize>()
+            .map_err(|e| SparseError::Parse {
+                line: n + 1,
+                detail: format!("bad {what}: {e}"),
+            })
+        };
+        let r = parse_coord(tokens.next(), "row")?;
+        let c = parse_coord(tokens.next(), "column")?;
+        if r == 0 || c == 0 {
+            return Err(SparseError::Parse {
+                line: n + 1,
+                detail: "matrix market indices are 1-based".into(),
+            });
+        }
+        let v: Value = if pattern {
+            1.0
+        } else {
+            tokens
+                .next()
+                .ok_or(SparseError::Parse {
+                    line: n + 1,
+                    detail: "missing value".into(),
+                })?
+                .parse::<f64>()
+                .map_err(|e| SparseError::Parse {
+                    line: n + 1,
+                    detail: format!("bad value: {e}"),
+                })? as Value
+        };
+        entries.push((r - 1, c - 1, v));
+        if symmetric && r != c {
+            entries.push((c - 1, r - 1, v));
+        }
+        count += 1;
+    }
+    if count != declared_nnz {
+        return Err(SparseError::Parse {
+            line: 0,
+            detail: format!("declared {declared_nnz} entries, found {count}"),
+        });
+    }
+    // Sum duplicates.
+    entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+    entries.dedup_by(|later, earlier| {
+        if later.0 == earlier.0 && later.1 == earlier.1 {
+            earlier.2 += later.2;
+            true
+        } else {
+            false
+        }
+    });
+    let coo = CooMatrix::from_entries(nrows, ncols, entries)?;
+    CsrMatrix::try_from(coo)
+}
+
+/// Reads a Matrix Market file from `path`.
+///
+/// # Errors
+///
+/// See [`read_matrix_market`]; additionally fails if the file cannot be
+/// opened.
+pub fn read_matrix_market_file<P: AsRef<Path>>(path: P) -> Result<CsrMatrix, SparseError> {
+    let file = File::open(path)?;
+    read_matrix_market(file)
+}
+
+/// Writes a matrix as `coordinate real general` Matrix Market.
+///
+/// A `mut` reference can be passed as the writer, e.g. `&mut buffer`.
+///
+/// # Errors
+///
+/// Returns [`SparseError::Io`] on write failure.
+pub fn write_matrix_market<W: Write>(matrix: &CsrMatrix, writer: W) -> Result<(), SparseError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% generated by menda-sparse")?;
+    writeln!(w, "{} {} {}", matrix.nrows(), matrix.ncols(), matrix.nnz())?;
+    for (r, c, v) in matrix.iter() {
+        writeln!(w, "{} {} {}", r + 1, c + 1, v)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a matrix to a Matrix Market file at `path`.
+///
+/// # Errors
+///
+/// See [`write_matrix_market`]; additionally fails if the file cannot be
+/// created.
+pub fn write_matrix_market_file<P: AsRef<Path>>(
+    matrix: &CsrMatrix,
+    path: P,
+) -> Result<(), SparseError> {
+    let file = File::create(path)?;
+    write_matrix_market(matrix, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mm(text: &str) -> Result<CsrMatrix, SparseError> {
+        read_matrix_market(text.as_bytes())
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = crate::gen::uniform(32, 100, 1);
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let back = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(back.nnz(), m.nnz());
+        assert_eq!(back.nrows(), m.nrows());
+        for (r, c, v) in m.iter() {
+            let got = back.get(r, c).unwrap();
+            assert!((got - v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn parses_general_real() {
+        let m = mm("%%MatrixMarket matrix coordinate real general\n% comment\n2 3 2\n1 1 1.5\n2 3 -2\n").unwrap();
+        assert_eq!(m.nrows(), 2);
+        assert_eq!(m.ncols(), 3);
+        assert_eq!(m.get(0, 0), Some(1.5));
+        assert_eq!(m.get(1, 2), Some(-2.0));
+    }
+
+    #[test]
+    fn parses_pattern() {
+        let m = mm("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n2 1\n").unwrap();
+        assert_eq!(m.get(1, 0), Some(1.0));
+    }
+
+    #[test]
+    fn expands_symmetric() {
+        let m = mm("%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5\n3 3 7\n")
+            .unwrap();
+        assert_eq!(m.get(1, 0), Some(5.0));
+        assert_eq!(m.get(0, 1), Some(5.0));
+        assert_eq!(m.get(2, 2), Some(7.0));
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn sums_duplicates() {
+        let m = mm("%%MatrixMarket matrix coordinate real general\n1 1 2\n1 1 1\n1 1 2\n")
+            .unwrap();
+        assert_eq!(m.get(0, 0), Some(3.0));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            mm("%%NotMatrixMarket x y z w\n"),
+            Err(SparseError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            mm("%%MatrixMarket matrix array real general\n"),
+            Err(SparseError::Parse { .. })
+        ));
+        assert!(matches!(mm(""), Err(SparseError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_zero_based_indices() {
+        let err = mm("%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n")
+            .unwrap_err();
+        assert!(matches!(err, SparseError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_count() {
+        let err =
+            mm("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n").unwrap_err();
+        assert!(matches!(err, SparseError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        let err =
+            mm("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n").unwrap_err();
+        assert!(matches!(err, SparseError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("menda_sparse_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.mtx");
+        let m = crate::gen::uniform(8, 20, 2);
+        write_matrix_market_file(&m, &path).unwrap();
+        let back = read_matrix_market_file(&path).unwrap();
+        assert_eq!(back.nnz(), m.nnz());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,66 @@
+//! Sparse matrix formats, generators and utilities for the MeNDA reproduction.
+//!
+//! This crate is the data substrate shared by the whole workspace. It
+//! provides:
+//!
+//! * the three storage formats the paper uses — [`CsrMatrix`] (compressed
+//!   sparse row), [`CscMatrix`] (compressed sparse column) and [`CooMatrix`]
+//!   (coordinate) — with validated constructors and format conversions,
+//! * golden (software) sparse matrix transposition used to verify the
+//!   cycle-level simulator,
+//! * the synthetic matrix generators of Table 3 (uniform and R-MAT
+//!   power-law) and stand-ins for the SuiteSparse matrices of Table 4
+//!   (module [`gen`]),
+//! * Matrix Market I/O (module [`io`]),
+//! * NNZ-balanced horizontal partitioning used for MeNDA's input operand
+//!   co-location and workload balancing (module [`partition`]),
+//! * structural statistics (module [`stats`]).
+//!
+//! # Example
+//!
+//! ```
+//! use menda_sparse::{CooMatrix, CsrMatrix};
+//!
+//! # fn main() -> Result<(), menda_sparse::SparseError> {
+//! // The example matrix of Fig. 1 in the paper.
+//! let coo = CooMatrix::from_entries(
+//!     8,
+//!     7,
+//!     vec![
+//!         (0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (1, 4, 4.0),
+//!         (2, 0, 5.0), (2, 4, 6.0), (2, 6, 7.0), (3, 3, 8.0),
+//!     ],
+//! )?;
+//! let csr = CsrMatrix::try_from(coo)?;
+//! let csc = csr.to_csc();
+//! assert_eq!(csc.nnz(), csr.nnz());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod coo;
+mod csc;
+pub mod dense;
+mod csr;
+mod error;
+pub mod gen;
+pub mod io;
+pub mod partition;
+pub mod stats;
+
+pub use coo::CooMatrix;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use error::SparseError;
+
+/// Index type used for row/column indices of nonzeros.
+///
+/// The paper's data packets carry 32-bit row and column indices; we mirror
+/// that so the simulated memory footprint matches.
+pub type Index = u32;
+
+/// Value type of matrix nonzeros (the paper uses 32-bit values).
+pub type Value = f32;

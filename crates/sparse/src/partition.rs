@@ -1,0 +1,255 @@
+//! NNZ-balanced horizontal partitioning (§3.5 of the paper).
+//!
+//! MeNDA assigns each PU a *contiguous* chunk of matrix rows so that no
+//! inter-PU communication is needed, and balances the chunks by NNZ because
+//! a PU's execution time is roughly proportional to the NNZ assigned to it.
+//! The host performs this partitioning at allocation time and page-colors
+//! the arrays so each chunk lands in its PU's rank.
+
+use std::ops::Range;
+
+use crate::CsrMatrix;
+
+/// A partition of a matrix's rows into contiguous, NNZ-balanced chunks.
+///
+/// # Example
+///
+/// ```
+/// use menda_sparse::{gen, partition::RowPartition};
+///
+/// let m = gen::uniform(64, 1000, 3);
+/// let part = RowPartition::by_nnz(&m, 4);
+/// assert_eq!(part.num_parts(), 4);
+/// assert!(part.imbalance(&m) < 1.2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowPartition {
+    /// `num_parts + 1` row boundaries; part `i` spans `bounds[i]..bounds[i+1]`.
+    bounds: Vec<usize>,
+}
+
+impl RowPartition {
+    /// Splits `matrix` into `parts` contiguous row chunks with approximately
+    /// equal NNZ, using the allocation-time balancing of §3.5: walk the rows
+    /// and cut whenever the running NNZ reaches the next `total / parts`
+    /// threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts == 0`.
+    pub fn by_nnz(matrix: &CsrMatrix, parts: usize) -> Self {
+        assert!(parts > 0, "need at least one part");
+        let total = matrix.nnz();
+        let mut bounds = Vec::with_capacity(parts + 1);
+        bounds.push(0);
+        let row_ptr = matrix.row_ptr();
+        for p in 1..parts {
+            let target = total * p / parts;
+            // First row whose cumulative start exceeds the target, not
+            // before the previous boundary.
+            let prev = *bounds.last().unwrap();
+            let mut row = row_ptr.partition_point(|&x| x <= target).saturating_sub(1);
+            row = row.clamp(prev, matrix.nrows());
+            bounds.push(row);
+        }
+        bounds.push(matrix.nrows());
+        Self { bounds }
+    }
+
+    /// Splits rows into `parts` chunks of (nearly) equal *row count* — the
+    /// naive MSB-style partitioning the paper warns about, kept for
+    /// workload-imbalance experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts == 0`.
+    pub fn by_rows(nrows: usize, parts: usize) -> Self {
+        assert!(parts > 0, "need at least one part");
+        let bounds = (0..=parts).map(|p| nrows * p / parts).collect();
+        Self { bounds }
+    }
+
+    /// Number of chunks.
+    pub fn num_parts(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The row range of chunk `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.num_parts()`.
+    pub fn range(&self, i: usize) -> Range<usize> {
+        self.bounds[i]..self.bounds[i + 1]
+    }
+
+    /// Iterates over the row ranges of all chunks.
+    pub fn iter(&self) -> impl Iterator<Item = Range<usize>> + '_ {
+        (0..self.num_parts()).map(|i| self.range(i))
+    }
+
+    /// NNZ of chunk `i` in `matrix`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or the partition does not match the
+    /// matrix's row count.
+    pub fn nnz_of(&self, matrix: &CsrMatrix, i: usize) -> usize {
+        let r = self.range(i);
+        matrix.row_ptr()[r.end] - matrix.row_ptr()[r.start]
+    }
+
+    /// Ratio of the largest chunk NNZ to the average chunk NNZ (1.0 is
+    /// perfectly balanced). Returns 1.0 for an empty matrix.
+    pub fn imbalance(&self, matrix: &CsrMatrix) -> f64 {
+        let total = matrix.nnz();
+        if total == 0 {
+            return 1.0;
+        }
+        let avg = total as f64 / self.num_parts() as f64;
+        let max = (0..self.num_parts())
+            .map(|i| self.nnz_of(matrix, i))
+            .max()
+            .unwrap_or(0) as f64;
+        max / avg
+    }
+
+    /// Extracts chunk `i` as a standalone CSR matrix over the same column
+    /// space. Row `r` of the result is global row `self.range(i).start + r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.num_parts()`.
+    pub fn extract(&self, matrix: &CsrMatrix, i: usize) -> CsrMatrix {
+        let r = self.range(i);
+        let row_ptr = matrix.row_ptr();
+        let base = row_ptr[r.start];
+        let local_ptr: Vec<usize> = row_ptr[r.start..=r.end].iter().map(|&p| p - base).collect();
+        let span = row_ptr[r.end] - base;
+        let col_idx = matrix.col_idx()[base..base + span].to_vec();
+        let values = matrix.values()[base..base + span].to_vec();
+        CsrMatrix::from_parts_unchecked(r.len(), matrix.ncols(), local_ptr, col_idx, values)
+    }
+
+    /// Number of row-pointer-array pages that must be *duplicated* across
+    /// ranks under the §3.5 page-coloring layout: a page is duplicated when
+    /// a partition boundary falls strictly inside it. Pointer entries are
+    /// `ptr_bytes` wide and pages are `page_size` bytes.
+    ///
+    /// The paper bounds this overhead by `page_size × #ranks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` or `ptr_bytes` is zero.
+    pub fn duplicated_pointer_pages(&self, page_size: usize, ptr_bytes: usize) -> usize {
+        assert!(page_size > 0 && ptr_bytes > 0);
+        let per_page = page_size / ptr_bytes.max(1);
+        if per_page == 0 {
+            return 0;
+        }
+        self.bounds[1..self.bounds.len() - 1]
+            .iter()
+            .filter(|&&b| b % per_page != 0)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn by_nnz_covers_all_rows_disjointly() {
+        let m = gen::rmat(512, 4000, gen::RmatParams::PAPER, 7);
+        let p = RowPartition::by_nnz(&m, 8);
+        assert_eq!(p.num_parts(), 8);
+        let mut next = 0;
+        for r in p.iter() {
+            assert_eq!(r.start, next);
+            next = r.end;
+        }
+        assert_eq!(next, 512);
+        let sum: usize = (0..8).map(|i| p.nnz_of(&m, i)).sum();
+        assert_eq!(sum, m.nnz());
+    }
+
+    #[test]
+    fn by_nnz_balances_better_than_by_rows_on_skewed() {
+        let m = gen::rmat(1 << 11, 1 << 14, gen::RmatParams::PAPER, 1);
+        let nnz = RowPartition::by_nnz(&m, 8);
+        let rows = RowPartition::by_rows(m.nrows(), 8);
+        assert!(
+            nnz.imbalance(&m) < rows.imbalance(&m),
+            "nnz {} vs rows {}",
+            nnz.imbalance(&m),
+            rows.imbalance(&m)
+        );
+        assert!(nnz.imbalance(&m) < 1.6);
+    }
+
+    #[test]
+    fn extract_preserves_entries() {
+        let m = gen::uniform(100, 800, 5);
+        let p = RowPartition::by_nnz(&m, 4);
+        let mut total = 0;
+        for i in 0..4 {
+            let sub = p.extract(&m, i);
+            let base = p.range(i).start;
+            total += sub.nnz();
+            for (r, c, v) in sub.iter() {
+                assert_eq!(m.get(base + r, c), Some(v));
+            }
+        }
+        assert_eq!(total, m.nnz());
+    }
+
+    #[test]
+    fn single_part_is_whole_matrix() {
+        let m = gen::uniform(10, 30, 2);
+        let p = RowPartition::by_nnz(&m, 1);
+        assert_eq!(p.range(0), 0..10);
+        assert_eq!(p.extract(&m, 0), m);
+        assert_eq!(p.imbalance(&m), 1.0);
+    }
+
+    #[test]
+    fn more_parts_than_rows() {
+        let m = gen::uniform(4, 8, 2);
+        let p = RowPartition::by_nnz(&m, 8);
+        assert_eq!(p.num_parts(), 8);
+        let sum: usize = (0..8).map(|i| p.nnz_of(&m, i)).sum();
+        assert_eq!(sum, 8);
+    }
+
+    #[test]
+    fn empty_matrix_partition() {
+        let m = CsrMatrix::zeros(16, 16);
+        let p = RowPartition::by_nnz(&m, 4);
+        assert_eq!(p.imbalance(&m), 1.0);
+        assert_eq!((0..4).map(|i| p.nnz_of(&m, i)).sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn duplicated_pages_bounded_by_parts() {
+        let m = gen::uniform(4096, 30000, 9);
+        let p = RowPartition::by_nnz(&m, 8);
+        let dup = p.duplicated_pointer_pages(4096, 8);
+        assert!(dup <= 7, "at most parts-1 boundaries can split pages, got {dup}");
+    }
+
+    #[test]
+    fn by_rows_splits_evenly() {
+        let p = RowPartition::by_rows(100, 3);
+        assert_eq!(p.range(0), 0..33);
+        assert_eq!(p.range(1), 33..66);
+        assert_eq!(p.range(2), 66..100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one part")]
+    fn zero_parts_panics() {
+        let m = gen::uniform(4, 4, 0);
+        let _ = RowPartition::by_nnz(&m, 0);
+    }
+}

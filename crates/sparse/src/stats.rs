@@ -1,0 +1,152 @@
+//! Structural statistics of sparse matrices.
+//!
+//! Used by the evaluation harness to characterize inputs (density, skew)
+//! and to explain result shapes (e.g. Fig. 14's distribution sensitivity).
+
+use crate::CsrMatrix;
+
+/// Summary statistics of a sparse matrix's structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixStats {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Number of nonzeros.
+    pub nnz: usize,
+    /// Fraction of nonzero slots.
+    pub density: f64,
+    /// Mean nonzeros per row.
+    pub mean_row_nnz: f64,
+    /// Maximum nonzeros in any row.
+    pub max_row_nnz: usize,
+    /// Number of rows with at least one nonzero.
+    pub non_empty_rows: usize,
+    /// Gini coefficient of the row-NNZ distribution (0 = perfectly even,
+    /// →1 = extremely skewed). Power-law matrices score high, uniform low.
+    pub row_gini: f64,
+    /// Coefficient of variation (stddev / mean) of row NNZ.
+    pub row_cv: f64,
+}
+
+impl MatrixStats {
+    /// Computes statistics for `matrix`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use menda_sparse::{gen, stats::MatrixStats};
+    ///
+    /// let m = gen::uniform(256, 2048, 1);
+    /// let s = MatrixStats::compute(&m);
+    /// assert_eq!(s.nnz, 2048);
+    /// assert!(s.row_gini < 0.5);
+    /// ```
+    pub fn compute(matrix: &CsrMatrix) -> Self {
+        let nrows = matrix.nrows();
+        let nnz = matrix.nnz();
+        let mut counts: Vec<usize> = (0..nrows).map(|r| matrix.row_nnz(r)).collect();
+        let non_empty = counts.iter().filter(|&&c| c > 0).count();
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let mean = if nrows > 0 { nnz as f64 / nrows as f64 } else { 0.0 };
+        let var = if nrows > 0 {
+            counts
+                .iter()
+                .map(|&c| {
+                    let d = c as f64 - mean;
+                    d * d
+                })
+                .sum::<f64>()
+                / nrows as f64
+        } else {
+            0.0
+        };
+        let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+        // Gini over the sorted row-count distribution.
+        counts.sort_unstable();
+        let gini = if nnz == 0 || nrows == 0 {
+            0.0
+        } else {
+            let n = nrows as f64;
+            let weighted: f64 = counts
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (i as f64 + 1.0) * c as f64)
+                .sum();
+            (2.0 * weighted) / (n * nnz as f64) - (n + 1.0) / n
+        };
+        Self {
+            nrows,
+            ncols: matrix.ncols(),
+            nnz,
+            density: matrix.density(),
+            mean_row_nnz: mean,
+            max_row_nnz: max,
+            non_empty_rows: non_empty,
+            row_gini: gini,
+            row_cv: cv,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::CsrMatrix;
+
+    #[test]
+    fn uniform_has_low_gini_powerlaw_high() {
+        let dim = 1 << 12;
+        let nnz = 1 << 15;
+        let u = MatrixStats::compute(&gen::uniform(dim, nnz, 1));
+        let p = MatrixStats::compute(&gen::rmat(dim, nnz, gen::RmatParams::PAPER, 1));
+        assert!(u.row_gini < 0.45, "uniform gini {}", u.row_gini);
+        assert!(p.row_gini > 0.6, "rmat gini {}", p.row_gini);
+        assert!(p.row_cv > u.row_cv);
+        assert!(p.max_row_nnz > u.max_row_nnz);
+    }
+
+    #[test]
+    fn identity_is_perfectly_even() {
+        let s = MatrixStats::compute(&CsrMatrix::identity(64));
+        assert!(s.row_gini.abs() < 1e-9);
+        assert_eq!(s.max_row_nnz, 1);
+        assert_eq!(s.non_empty_rows, 64);
+        assert_eq!(s.row_cv, 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_stats() {
+        let s = MatrixStats::compute(&CsrMatrix::zeros(8, 8));
+        assert_eq!(s.nnz, 0);
+        assert_eq!(s.row_gini, 0.0);
+        assert_eq!(s.density, 0.0);
+    }
+
+    #[test]
+    fn zero_dimension_matrix() {
+        let s = MatrixStats::compute(&CsrMatrix::zeros(0, 0));
+        assert_eq!(s.mean_row_nnz, 0.0);
+        assert_eq!(s.max_row_nnz, 0);
+    }
+
+    #[test]
+    fn single_hot_row_gini_near_one() {
+        // All nonzeros in one row of many.
+        let n = 256;
+        let mut row_ptr = vec![0usize; n + 1];
+        for p in row_ptr.iter_mut().skip(1) {
+            *p = 64;
+        }
+        let m = CsrMatrix::from_parts_unchecked(
+            n,
+            n,
+            row_ptr,
+            (0..64).collect(),
+            vec![1.0; 64],
+        );
+        let s = MatrixStats::compute(&m);
+        assert!(s.row_gini > 0.99, "gini {}", s.row_gini);
+    }
+}

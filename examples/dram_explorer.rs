@@ -1,0 +1,80 @@
+//! DRAM explorer: drive the cycle-level DDR4 simulator directly and
+//! observe how access patterns and address mappings change row-buffer
+//! behaviour and achieved bandwidth — the substrate effects the MeNDA
+//! evaluation keeps referring to (row hits, bank-level parallelism, the
+//! N6 row-conflict anecdote of §6.7).
+//!
+//! ```text
+//! cargo run --release --example dram_explorer
+//! ```
+
+use menda_dram::{DramConfig, MappingScheme, MemRequest, MemorySystem};
+
+/// Runs `count` reads produced by `addr_of` and reports timing statistics.
+fn run(label: &str, mapping: MappingScheme, count: u64, addr_of: impl Fn(u64) -> u64) {
+    let mut cfg = DramConfig::ddr4_2400r();
+    cfg.mapping = mapping;
+    cfg.refresh_enabled = false;
+    let mut mem = MemorySystem::new(cfg);
+    let (mut sent, mut done, mut cycles) = (0u64, 0u64, 0u64);
+    while done < count {
+        if sent < count && mem.try_enqueue(MemRequest::read(addr_of(sent), sent)) {
+            sent += 1;
+        }
+        mem.tick();
+        cycles += 1;
+        while mem.pop_response().is_some() {
+            done += 1;
+        }
+    }
+    let s = mem.stats();
+    println!(
+        "{label:<28} {:>8} cycles  {:>6.1} GB/s  hits {:>5}  misses {:>4}  conflicts {:>4}  avg lat {:>5.0}",
+        cycles,
+        mem.utilized_bandwidth_gbs(),
+        s.row_hits,
+        s.row_misses,
+        s.row_conflicts,
+        s.avg_read_latency()
+    );
+}
+
+fn main() {
+    let n = 4096u64;
+    println!(
+        "DDR4-2400, one channel/rank, FR-FCFS-PriorHit, {} reads per pattern\n",
+        n
+    );
+
+    // Sequential streaming: row hits dominate.
+    run("sequential 64B", MappingScheme::RoBaRaCoCh, n, |i| i * 64);
+
+    // Page-strided: each access opens a new row in the same bank region.
+    run("strided 8KB (row thrash)", MappingScheme::RoBaRaCoCh, n, |i| i * 8192);
+
+    // Two interleaved streams in the same bank, different rows — the
+    // ping-pong conflict pattern behind the paper's N6 discussion (§6.7).
+    run("2-stream same-bank conflict", MappingScheme::RoBaRaCoCh, n, |i| {
+        let stream = i % 2;
+        (i / 2) * 64 + stream * (256 << 20)
+    });
+
+    // The same two streams under a bank-interleaved mapping: conflicts
+    // become bank-level parallelism.
+    run("2-stream bank-interleaved", MappingScheme::RoCoBaRaCh, n, |i| {
+        let stream = i % 2;
+        (i / 2) * 64 + stream * (256 << 20)
+    });
+
+    // Random: mixes hits, misses and conflicts.
+    run("pseudo-random", MappingScheme::RoBaRaCoCh, n, |i| {
+        ((i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % (1 << 30)) & !63
+    });
+
+    println!(
+        "\nTakeaways: sequential streams ride the open row; strided patterns pay\n\
+         tRP+tRCD per access; co-scheduled streams in one bank thrash the row\n\
+         buffer unless the layout spreads them across banks — exactly why MeNDA\n\
+         places COO intermediate arrays bank-interleaved (Sec. 3.1)."
+    );
+}

@@ -1,0 +1,60 @@
+//! SpMV on MeNDA (§3.6): outer-product sparse matrix-vector multiply on
+//! the multi-way merge dataflow, with the reduction unit, auxiliary
+//! pointer array and vector staging.
+//!
+//! ```text
+//! cargo run --release --example spmv_accel
+//! ```
+
+use menda_core::energy::{gteps_per_watt, PowerModel};
+use menda_core::{spmv, MendaConfig};
+use menda_sparse::gen;
+
+fn main() {
+    let config = MendaConfig::paper();
+    println!(
+        "system: {} PUs; SpMV power {:.1} mW per PU (transposition PU {:.1} mW + gated FP units)",
+        config.num_pus(),
+        PowerModel::spmv(&config.pu).pu_mw,
+        PowerModel::transpose(&config.pu).pu_mw,
+    );
+
+    for (name, matrix) in [
+        ("uniform", gen::uniform(1 << 12, 1 << 15, 3)),
+        ("power-law", gen::rmat(1 << 12, 1 << 15, gen::RmatParams::PAPER, 3)),
+    ] {
+        let x: Vec<f32> = (0..matrix.ncols())
+            .map(|i| ((i % 17) as f32) * 0.25 - 2.0)
+            .collect();
+        let result = spmv::run(&config, &matrix, &x);
+
+        // Verify against the golden software SpMV.
+        let golden = matrix.spmv(&x);
+        let max_err = result
+            .y
+            .iter()
+            .zip(&golden)
+            .map(|(a, b)| (a - b).abs() / b.abs().max(1.0))
+            .fold(0.0f32, f32::max);
+        assert!(max_err < 1e-3, "SpMV mismatch: {max_err}");
+
+        let iso = result.gteps_per_gbs(config.internal_bandwidth_gbs());
+        let eff = gteps_per_watt(
+            result.gteps,
+            config.num_pus(),
+            PowerModel::spmv(&config.pu),
+        );
+        println!(
+            "{name:>9}: {} nnz in {} cycles -> {:.3} GTEPS, {:.3} GTEPS/(GB/s), {:.2} GTEPS/W (max rel err {:.1e})",
+            matrix.nnz(),
+            result.cycles,
+            result.gteps,
+            iso,
+            eff,
+            max_err
+        );
+    }
+    println!(
+        "\nThe paper reports 0.043 GTEPS/(GB/s) average iso-bandwidth throughput\nand a 3.8x GTEPS/W gain over the HBM accelerator of Sadi et al. [42]."
+    );
+}

@@ -1,0 +1,12 @@
+//! Umbrella package for the MeNDA reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests can use a
+//! single dependency. See the individual crates for documentation:
+//! [`menda_sparse`], [`menda_dram`], [`menda_core`], [`menda_baselines`],
+//! [`menda_cosparse`].
+
+pub use menda_baselines as baselines;
+pub use menda_core as core;
+pub use menda_cosparse as cosparse;
+pub use menda_dram as dram;
+pub use menda_sparse as sparse;

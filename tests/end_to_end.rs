@@ -1,0 +1,141 @@
+//! Cross-crate integration tests: the full MeNDA stack against software
+//! golden models, across matrix classes and system configurations.
+
+use menda_baselines::merge_trans::merge_trans;
+use menda_baselines::scan_trans::scan_trans;
+use menda_core::host::NmpDevice;
+use menda_core::{spmv, MendaConfig, MendaSystem};
+use menda_cosparse::algorithms::sssp;
+use menda_cosparse::Graph;
+use menda_sparse::{gen, CsrMatrix};
+
+/// Every transposition path in the workspace must agree: golden count
+/// sort, scanTrans, mergeTrans and the cycle-level MeNDA simulation.
+#[test]
+fn all_transposition_paths_agree() {
+    let matrices = [gen::uniform(96, 700, 1),
+        gen::rmat(128, 900, gen::RmatParams::PAPER, 2),
+        gen::banded(100, 800, 5, 0.1, 3),
+        gen::block_structured(90, 600, 5, 0.2, 4)];
+    for (i, m) in matrices.iter().enumerate() {
+        let golden = m.to_csc();
+        assert_eq!(scan_trans(m, 4), golden, "scanTrans case {i}");
+        assert_eq!(merge_trans(m, 4), golden, "mergeTrans case {i}");
+        let menda = MendaSystem::new(MendaConfig::small_test()).transpose(m);
+        assert_eq!(menda.output, golden, "MeNDA case {i}");
+    }
+}
+
+/// The MeNDA SpMV dataflow agrees with the CSR golden model across system
+/// shapes.
+#[test]
+fn spmv_agrees_across_configs() {
+    let m = gen::rmat(192, 1500, gen::RmatParams::PAPER, 5);
+    let x: Vec<f32> = (0..m.ncols()).map(|i| ((i * 7) % 11) as f32 - 5.0).collect();
+    let golden = m.spmv(&x);
+    for pus in [1usize, 2, 4] {
+        let cfg = MendaConfig::small_test()
+            .with_channels(1)
+            .with_ranks_per_channel(pus);
+        let r = spmv::run(&cfg, &m, &x);
+        for (row, (got, want)) in r.y.iter().zip(&golden).enumerate() {
+            assert!(
+                (got - want).abs() <= 1e-3 * want.abs().max(1.0),
+                "{pus} PUs, row {row}: {got} vs {want}"
+            );
+        }
+    }
+}
+
+/// Transposing on the device then running pull-based algorithms gives the
+/// same answers as the all-software path.
+#[test]
+fn device_transpose_feeds_graph_algorithms() {
+    let adj = gen::rmat(256, 2000, gen::RmatParams::PAPER, 7);
+    let src = (0..adj.nrows()).max_by_key(|&r| adj.row_nnz(r)).unwrap();
+
+    // Software path.
+    let sw = sssp(&Graph::with_transpose(adj.clone()), src);
+
+    // Device path: transpose through the programming model.
+    let mut dev = NmpDevice::new(MendaConfig::small_test());
+    let h = dev.alloc_csr(adj.clone());
+    let t = dev.transpose(h);
+    let result = dev.wait(t);
+    let mut g = Graph::new(adj);
+    g.attach_transpose(result.output);
+    let hw = sssp(&g, src);
+
+    assert_eq!(sw.state, hw.state);
+    assert_eq!(sw.iterations.len(), hw.iterations.len());
+}
+
+/// Scaling the system (more ranks/channels) must not change results,
+/// only timing.
+#[test]
+fn results_invariant_under_system_scaling() {
+    let m = gen::uniform(200, 3000, 9);
+    let golden = m.to_csc();
+    let mut times = Vec::new();
+    for channels in [1usize, 2] {
+        for ranks in [1usize, 2] {
+            let cfg = MendaConfig::small_test()
+                .with_channels(channels)
+                .with_ranks_per_channel(ranks);
+            let r = MendaSystem::new(cfg).transpose(&m);
+            assert_eq!(r.output, golden, "{channels}ch x {ranks}r");
+            times.push((channels * ranks, r.cycles));
+        }
+    }
+    // More PUs must not be slower.
+    times.sort_by_key(|&(pus, _)| pus);
+    assert!(
+        times.last().unwrap().1 <= times.first().unwrap().1,
+        "scaling made it slower: {times:?}"
+    );
+}
+
+/// Matrix-market round trips survive the full accelerator path.
+#[test]
+fn matrix_market_to_menda_roundtrip() {
+    let m = gen::uniform(64, 400, 11);
+    let mut buf = Vec::new();
+    menda_sparse::io::write_matrix_market(&m, &mut buf).unwrap();
+    let loaded = menda_sparse::io::read_matrix_market(buf.as_slice()).unwrap();
+    let r = MendaSystem::new(MendaConfig::small_test()).transpose(&loaded);
+    assert_eq!(r.output.nnz(), m.nnz());
+    for (row, col, val) in m.iter() {
+        let got = r.output.get(row, col).unwrap();
+        assert!((got - val).abs() < 1e-5);
+    }
+}
+
+/// Double transposition through the simulator is the identity.
+#[test]
+fn double_transpose_is_identity() {
+    let m = gen::rmat(128, 1200, gen::RmatParams::PAPER, 13);
+    let once = MendaSystem::new(MendaConfig::small_test()).transpose(&m);
+    // Reinterpret the CSC output as the CSR of the transpose, feed it back.
+    let (nrows, ncols, ptr, idx, vals) = once.output.into_parts();
+    let t_csr = CsrMatrix::from_parts_unchecked(ncols, nrows, ptr, idx, vals);
+    let twice = MendaSystem::new(MendaConfig::small_test()).transpose(&t_csr);
+    let (b_rows, b_cols, b_ptr, b_idx, b_vals) = twice.output.into_parts();
+    let back = CsrMatrix::from_parts_unchecked(b_cols, b_rows, b_ptr, b_idx, b_vals);
+    assert_eq!(back, m);
+}
+
+/// Optimizations only change timing, never results.
+#[test]
+fn optimizations_preserve_results() {
+    let m = gen::rmat(256, 1500, gen::RmatParams::PAPER, 17);
+    let golden = m.to_csc();
+    for prefetch in [false, true] {
+        for coalescing in [false, true] {
+            let mut cfg = MendaConfig::small_test();
+            cfg.pu.stall_reducing_prefetch = prefetch;
+            cfg.pu.request_coalescing = coalescing;
+            let r = MendaSystem::new(cfg).transpose(&m);
+            assert_eq!(r.output, golden, "prefetch={prefetch} coal={coalescing}");
+        }
+    }
+}
