@@ -65,9 +65,8 @@ pub fn estimate_csr2csc(matrix: &CsrMatrix) -> GpuEstimate {
     // classes, so reuse row CV here.
     let skew_factor = 1.0 + SKEW_PENALTY * stats.row_cv.min(8.0);
     let bw = V100_BANDWIDTH_GBS * 1e9 * EFFECTIVE_BW_FRACTION;
-    let seconds = KERNEL_OVERHEAD_S
-        + traffic * skew_factor / bw
-        + nnz * PER_NZ_NS * 1e-9 * skew_factor;
+    let seconds =
+        KERNEL_OVERHEAD_S + traffic * skew_factor / bw + nnz * PER_NZ_NS * 1e-9 * skew_factor;
     GpuEstimate {
         seconds,
         nnz_per_sec: nnz / seconds,

@@ -34,11 +34,11 @@ pub fn merge_trans(matrix: &CsrMatrix, threads: usize) -> CscMatrix {
 
     // Phase 1: local transposition of each row block.
     let mut runs: Vec<Run> = Vec::with_capacity(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let partition = &partition;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let range = partition.range(t);
                 local_transpose(matrix, range.start, range.end)
             }));
@@ -46,8 +46,7 @@ pub fn merge_trans(matrix: &CsrMatrix, threads: usize) -> CscMatrix {
         for h in handles {
             runs.push(h.join().expect("phase-1 worker panicked"));
         }
-    })
-    .expect("scope");
+    });
 
     // Phase 2: pairwise parallel merge rounds.
     while runs.len() > 1 {
@@ -57,10 +56,10 @@ pub fn merge_trans(matrix: &CsrMatrix, threads: usize) -> CscMatrix {
         while let Some(a) = it.next() {
             pairs.push((a, it.next()));
         }
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (a, b) in pairs {
-                handles.push(scope.spawn(move |_| match b {
+                handles.push(scope.spawn(move || match b {
                     Some(b) => merge_two(a, b),
                     None => a,
                 }));
@@ -68,8 +67,7 @@ pub fn merge_trans(matrix: &CsrMatrix, threads: usize) -> CscMatrix {
             for h in handles {
                 next.push(h.join().expect("merge worker panicked"));
             }
-        })
-        .expect("scope");
+        });
         runs = next;
     }
 
@@ -170,10 +168,7 @@ mod tests {
     #[test]
     fn agrees_with_scan_trans() {
         let m = gen::uniform(100, 1500, 8);
-        assert_eq!(
-            merge_trans(&m, 4),
-            crate::scan_trans::scan_trans(&m, 4)
-        );
+        assert_eq!(merge_trans(&m, 4), crate::scan_trans::scan_trans(&m, 4));
     }
 
     #[test]

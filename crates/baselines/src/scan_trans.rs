@@ -41,11 +41,11 @@ pub fn scan_trans(matrix: &CsrMatrix, threads: usize) -> CscMatrix {
     let chunk = nnz.div_ceil(threads).max(1);
     // Phase 1: private histograms.
     let mut histograms: Vec<Vec<usize>> = vec![Vec::new(); threads];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let col_idx = matrix.col_idx();
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut hist = vec![0usize; ncols];
                 let start = (t * chunk).min(nnz);
                 let end = ((t + 1) * chunk).min(nnz);
@@ -58,8 +58,7 @@ pub fn scan_trans(matrix: &CsrMatrix, threads: usize) -> CscMatrix {
         for (t, h) in handles.into_iter().enumerate() {
             histograms[t] = h.join().expect("phase-1 worker panicked");
         }
-    })
-    .expect("scope");
+    });
 
     // Phase 2: column-major prefix sum over (column, thread).
     let mut col_ptr = vec![0usize; ncols + 1];
@@ -76,7 +75,7 @@ pub fn scan_trans(matrix: &CsrMatrix, threads: usize) -> CscMatrix {
     // Phase 3: scatter.
     let mut row_idx = vec![0 as Index; nnz];
     let mut values = vec![0.0 as Value; nnz];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let row_of = &row_of;
         let offsets = &offsets;
         // Chunks are disjoint in the output because offsets are exact, so
@@ -86,7 +85,7 @@ pub fn scan_trans(matrix: &CsrMatrix, threads: usize) -> CscMatrix {
         for t in 0..threads {
             let col_idx = matrix.col_idx();
             let vals_in = matrix.values();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let out_rows = out_rows;
                 let out_vals = out_vals;
                 let mut cursor = vec![0usize; ncols];
@@ -106,8 +105,7 @@ pub fn scan_trans(matrix: &CsrMatrix, threads: usize) -> CscMatrix {
                 }
             });
         }
-    })
-    .expect("scope");
+    });
 
     CscMatrix::from_parts_unchecked(nrows, ncols, col_ptr, row_idx, values)
 }

@@ -229,8 +229,7 @@ pub fn scan_trans_traces(matrix: &CsrMatrix, threads: usize) -> Vec<CoreTrace> {
         let c1 = ncols * (t + 1) / threads as u64;
         for c in c0..c1 {
             for tt in 0..threads as u64 {
-                traces[t as usize]
-                    .access(1, map.run[1] + (c * threads as u64 + tt) * 8, true);
+                traces[t as usize].access(1, map.run[1] + (c * threads as u64 + tt) * 8, true);
             }
         }
     }
@@ -347,7 +346,10 @@ mod tests {
         let m = gen::uniform(256, 4000, 4);
         let t2: usize = merge_trans_traces(&m, 2).iter().map(|t| t.len()).sum();
         let t16: usize = merge_trans_traces(&m, 16).iter().map(|t| t.len()).sum();
-        assert!(t16 > t2, "16-thread trace {t16} not larger than 2-thread {t2}");
+        assert!(
+            t16 > t2,
+            "16-thread trace {t16} not larger than 2-thread {t2}"
+        );
     }
 
     #[test]
@@ -359,7 +361,10 @@ mod tests {
         // Faster, but sub-linear — the §2.2.2 scaling behaviour (extra
         // merge rounds and memory contention eat the parallelism).
         assert!(speedup > 1.4, "8-thread speedup only {speedup:.2}");
-        assert!(speedup < 8.0, "8-thread speedup {speedup:.2} implausibly linear");
+        assert!(
+            speedup < 8.0,
+            "8-thread speedup {speedup:.2} implausibly linear"
+        );
     }
 
     #[test]

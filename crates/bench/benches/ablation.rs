@@ -2,7 +2,7 @@
 //! request coalescing, stall-reducing prefetching, seamless back-to-back
 //! merge (FIFO depth), and host interference.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use menda_bench::timing::bench;
 use menda_core::{MendaConfig, MendaSystem};
 use menda_sparse::gen;
 
@@ -13,75 +13,46 @@ fn config(prefetch: bool, coalescing: bool) -> MendaConfig {
     cfg
 }
 
-fn bench_optimizations(c: &mut Criterion) {
+fn main() {
     // Sparse graph: the regime where the §3.4 optimizations matter most.
     let m = gen::rmat(1 << 12, 1 << 14, gen::RmatParams::PAPER, 21);
-    let mut group = c.benchmark_group("ablation_optimizations");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(m.nnz() as u64));
     for (name, prefetch, coal) in [
         ("baseline", false, false),
         ("prefetch", true, false),
         ("coalescing", false, true),
         ("both", true, true),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &m, |b, m| {
-            b.iter(|| {
-                let r = MendaSystem::new(config(prefetch, coal)).transpose(m);
-                // Criterion measures the host wall time of the simulation;
-                // the simulated-cycle ablation itself is in `repro fig12`.
-                // Returning the cycles keeps the run from being optimized
-                // away.
-                r.cycles
-            })
+        bench("ablation_optimizations", name, 10, m.nnz() as u64, || {
+            // Host wall time of the simulation; the simulated-cycle
+            // ablation itself is in `repro fig12`.
+            MendaSystem::new(config(prefetch, coal))
+                .transpose(&m)
+                .cycles
         });
     }
-    group.finish();
-}
 
-fn bench_fifo_depth(c: &mut Criterion) {
     let m = gen::uniform(1 << 12, 1 << 14, 22);
-    let mut group = c.benchmark_group("ablation_fifo_depth");
-    group.sample_size(10);
     for depth in [1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
-            b.iter(|| {
-                let mut cfg = MendaConfig::paper();
-                cfg.pu.fifo_entries = depth;
-                MendaSystem::new(cfg).transpose(&m).cycles
-            })
+        bench("ablation_fifo_depth", &depth.to_string(), 10, 0, || {
+            let mut cfg = MendaConfig::paper();
+            cfg.pu.fifo_entries = depth;
+            MendaSystem::new(cfg).transpose(&m).cycles
         });
     }
-    group.finish();
-}
 
-fn bench_host_interference(c: &mut Criterion) {
     let m = gen::uniform(1 << 12, 1 << 14, 23);
-    let mut group = c.benchmark_group("ablation_host_interference");
-    group.sample_size(10);
     for interval in [0u64, 16, 4] {
         let label = if interval == 0 {
             "none".to_string()
         } else {
             format!("every_{interval}")
         };
-        group.bench_with_input(BenchmarkId::from_parameter(label), &interval, |b, &iv| {
-            b.iter(|| {
-                let mut cfg = MendaConfig::paper();
-                if iv > 0 {
-                    cfg.pu.host_read_interval = Some(iv);
-                }
-                MendaSystem::new(cfg).transpose(&m).cycles
-            })
+        bench("ablation_host_interference", &label, 10, 0, || {
+            let mut cfg = MendaConfig::paper();
+            if interval > 0 {
+                cfg.pu.host_read_interval = Some(interval);
+            }
+            MendaSystem::new(cfg).transpose(&m).cycles
         });
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_optimizations,
-    bench_fifo_depth,
-    bench_host_interference
-);
-criterion_main!(benches);

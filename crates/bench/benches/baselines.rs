@@ -1,30 +1,28 @@
 //! Host-side throughput of the real scanTrans/mergeTrans implementations
 //! (functional baselines; the paper's timings come from trace simulation).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use menda_baselines::{merge_trans::merge_trans, scan_trans::scan_trans};
+use menda_bench::timing::bench;
 use menda_sparse::gen;
 
-fn bench_baselines(c: &mut Criterion) {
+fn main() {
     let m = gen::rmat(1 << 14, 1 << 17, gen::RmatParams::PAPER, 3);
-    let mut group = c.benchmark_group("baselines");
-    group.throughput(Throughput::Elements(m.nnz() as u64));
-    group.sample_size(10);
+    let nnz = m.nnz() as u64;
     for threads in [1usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("scan_trans", threads),
-            &threads,
-            |b, &t| b.iter(|| scan_trans(&m, t)),
+        bench(
+            "baselines",
+            &format!("scan_trans/{threads}"),
+            10,
+            nnz,
+            || scan_trans(&m, threads),
         );
-        group.bench_with_input(
-            BenchmarkId::new("merge_trans", threads),
-            &threads,
-            |b, &t| b.iter(|| merge_trans(&m, t)),
+        bench(
+            "baselines",
+            &format!("merge_trans/{threads}"),
+            10,
+            nnz,
+            || merge_trans(&m, threads),
         );
     }
-    group.bench_function("golden_to_csc", |b| b.iter(|| m.to_csc()));
-    group.finish();
+    bench("baselines", "golden_to_csc", 10, nnz, || m.to_csc());
 }
-
-criterion_group!(benches, bench_baselines);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! DRAM simulator microbenchmarks: scheduler throughput under streaming
 //! and random access patterns.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use menda_bench::timing::bench;
 use menda_dram::{DramConfig, MemRequest, MemorySystem};
 
 fn run_pattern(stride: u64, count: u64) -> u64 {
@@ -27,17 +27,13 @@ fn run_pattern(stride: u64, count: u64) -> u64 {
     cycles
 }
 
-fn bench_dram(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dram");
+fn main() {
     let count = 4096u64;
-    group.throughput(Throughput::Elements(count));
-    for (name, stride) in [("stream_64B", 64u64), ("stride_4K", 4096), ("stride_1M", 1 << 20)] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &stride, |b, &stride| {
-            b.iter(|| run_pattern(stride, count))
-        });
+    for (name, stride) in [
+        ("stream_64B", 64u64),
+        ("stride_4K", 4096),
+        ("stride_1M", 1 << 20),
+    ] {
+        bench("dram", name, 10, count, || run_pattern(stride, count));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_dram);
-criterion_main!(benches);

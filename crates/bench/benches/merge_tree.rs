@@ -1,7 +1,7 @@
 //! Merge-tree microbenchmarks: structural simulation throughput for
 //! different tree widths (the component behind Fig. 15's leaf sweep).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use menda_bench::timing::bench;
 use menda_core::{MergeTree, Packet, SliceLeafSource};
 
 fn build_source(leaves: usize, per_stream: u32) -> SliceLeafSource {
@@ -15,34 +15,22 @@ fn build_source(leaves: usize, per_stream: u32) -> SliceLeafSource {
     SliceLeafSource::from_streams(leaves, streams)
 }
 
-fn bench_tree(c: &mut Criterion) {
-    let mut group = c.benchmark_group("merge_tree");
+fn main() {
     for leaves in [16usize, 64, 256, 1024] {
         let per_stream = (16384 / leaves) as u32;
         let total = leaves as u64 * per_stream as u64;
-        group.throughput(Throughput::Elements(total));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(leaves),
-            &leaves,
-            |b, &leaves| {
-                b.iter_batched(
-                    || (MergeTree::new(leaves, 2), build_source(leaves, per_stream)),
-                    |(mut tree, mut src)| {
-                        let mut guard = 0u64;
-                        while tree.rounds_completed() < 1 {
-                            let _ = tree.tick(&mut src, 1);
-                            guard += 1;
-                            assert!(guard < 10 * total + 10_000);
-                        }
-                        tree.pops()
-                    },
-                    criterion::BatchSize::LargeInput,
-                )
-            },
-        );
+        bench("merge_tree", &leaves.to_string(), 10, total, || {
+            // Source construction is timed too; it is O(total) pushes and
+            // negligible next to the cycle loop.
+            let mut tree = MergeTree::new(leaves, 2);
+            let mut src = build_source(leaves, per_stream);
+            let mut guard = 0u64;
+            while tree.rounds_completed() < 1 {
+                let _ = tree.tick(&mut src, 1);
+                guard += 1;
+                assert!(guard < 10 * total + 10_000);
+            }
+            tree.pops()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_tree);
-criterion_main!(benches);

@@ -1,28 +1,22 @@
 //! SpMV dataflow on the MeNDA system (the Fig. 16 engine).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use menda_bench::timing::bench;
 use menda_core::{spmv, MendaConfig};
 use menda_sparse::gen;
 
-fn bench_spmv(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spmv");
-    group.sample_size(10);
+fn main() {
     for (name, m) in [
         ("uniform_16k", gen::uniform(2048, 16_384, 7)),
-        ("rmat_16k", gen::rmat(2048, 16_384, gen::RmatParams::PAPER, 7)),
+        (
+            "rmat_16k",
+            gen::rmat(2048, 16_384, gen::RmatParams::PAPER, 7),
+        ),
     ] {
         let x: Vec<f32> = (0..m.ncols()).map(|i| (i % 7) as f32 * 0.5).collect();
-        group.throughput(Throughput::Elements(m.nnz() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(name), &m, |b, m| {
-            b.iter(|| {
-                let r = spmv::run(&MendaConfig::paper(), m, &x);
-                assert!(r.gteps > 0.0);
-                r.cycles
-            })
+        bench("spmv", name, 10, m.nnz() as u64, || {
+            let r = spmv::run(&MendaConfig::paper(), &m, &x);
+            assert!(r.gteps > 0.0);
+            r.cycles
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_spmv);
-criterion_main!(benches);

@@ -1,28 +1,22 @@
 //! End-to-end cycle-level transposition on the MeNDA system (the Fig. 10
 //! and Fig. 13 engine) at bench-friendly sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use menda_bench::timing::bench;
 use menda_core::{MendaConfig, MendaSystem};
 use menda_sparse::gen;
 
-fn bench_transpose(c: &mut Criterion) {
-    let mut group = c.benchmark_group("transpose_e2e");
-    group.sample_size(10);
+fn main() {
     for (name, m) in [
         ("uniform_16k", gen::uniform(2048, 16_384, 5)),
-        ("rmat_16k", gen::rmat(2048, 16_384, gen::RmatParams::PAPER, 5)),
+        (
+            "rmat_16k",
+            gen::rmat(2048, 16_384, gen::RmatParams::PAPER, 5),
+        ),
     ] {
-        group.throughput(Throughput::Elements(m.nnz() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(name), &m, |b, m| {
-            b.iter(|| {
-                let r = MendaSystem::new(MendaConfig::paper()).transpose(m);
-                assert!(r.cycles > 0);
-                r.cycles
-            })
+        bench("transpose_e2e", name, 10, m.nnz() as u64, || {
+            let r = MendaSystem::new(MendaConfig::paper()).transpose(&m);
+            assert!(r.cycles > 0);
+            r.cycles
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_transpose);
-criterion_main!(benches);

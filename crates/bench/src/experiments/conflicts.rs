@@ -14,9 +14,8 @@ use crate::util::{fmt_time, Scale, Table};
 pub fn run(scale: Scale) -> String {
     // Match fig15's leaf-sweep scale so iteration counts are meaningful.
     let eff = (scale.factor() / 4).max(1);
-    let mut out = format!(
-        "Row conflicts in the last iteration (Sec. 6.7), 256-leaf tree, 1/{eff} scale\n\n"
-    );
+    let mut out =
+        format!("Row conflicts in the last iteration (Sec. 6.7), 256-leaf tree, 1/{eff} scale\n\n");
     let mut t = Table::new(&[
         "matrix",
         "iterations",

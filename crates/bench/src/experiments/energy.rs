@@ -37,8 +37,7 @@ pub fn run(scale: Scale) -> String {
         .iter()
         .map(|s| dram_energy(&s.dram, &pu_dram_cfg, Interface::OnDimm).total_j())
         .sum();
-    let menda_logic_j =
-        PowerModel::transpose(&cfg.pu).energy_j(r.seconds) * cfg.num_pus() as f64;
+    let menda_logic_j = PowerModel::transpose(&cfg.pu).energy_j(r.seconds) * cfg.num_pus() as f64;
     let menda_total = menda_device_j + menda_logic_j;
 
     // mergeTrans: trace-driven host run, off-chip interface, CPU package.

@@ -2,8 +2,8 @@
 
 use menda_baselines::gpu::estimate_csr2csc;
 use menda_baselines::trace::{simulate_with, TraceAlgo};
-use menda_dram::cpu_mode::CpuModeConfig;
 use menda_core::{MendaConfig, MendaSystem};
+use menda_dram::cpu_mode::CpuModeConfig;
 use menda_dram::DramConfig;
 
 use crate::experiments::tables::suite_matrices;

@@ -13,14 +13,54 @@ struct Variant {
 }
 
 const VARIANTS: &[Variant] = &[
-    Variant { label: "baseline (16)", prefetch: false, coalescing: false, buffer: 16 },
-    Variant { label: "baseline (32)", prefetch: false, coalescing: false, buffer: 32 },
-    Variant { label: "prefetch (16)", prefetch: true, coalescing: false, buffer: 16 },
-    Variant { label: "prefetch (32)", prefetch: true, coalescing: false, buffer: 32 },
-    Variant { label: "coal (32)", prefetch: false, coalescing: true, buffer: 32 },
-    Variant { label: "prefetch+coal (16)", prefetch: true, coalescing: true, buffer: 16 },
-    Variant { label: "prefetch+coal (32)", prefetch: true, coalescing: true, buffer: 32 },
-    Variant { label: "prefetch+coal (64)", prefetch: true, coalescing: true, buffer: 64 },
+    Variant {
+        label: "baseline (16)",
+        prefetch: false,
+        coalescing: false,
+        buffer: 16,
+    },
+    Variant {
+        label: "baseline (32)",
+        prefetch: false,
+        coalescing: false,
+        buffer: 32,
+    },
+    Variant {
+        label: "prefetch (16)",
+        prefetch: true,
+        coalescing: false,
+        buffer: 16,
+    },
+    Variant {
+        label: "prefetch (32)",
+        prefetch: true,
+        coalescing: false,
+        buffer: 32,
+    },
+    Variant {
+        label: "coal (32)",
+        prefetch: false,
+        coalescing: true,
+        buffer: 32,
+    },
+    Variant {
+        label: "prefetch+coal (16)",
+        prefetch: true,
+        coalescing: true,
+        buffer: 16,
+    },
+    Variant {
+        label: "prefetch+coal (32)",
+        prefetch: true,
+        coalescing: true,
+        buffer: 32,
+    },
+    Variant {
+        label: "prefetch+coal (64)",
+        prefetch: true,
+        coalescing: true,
+        buffer: 64,
+    },
 ];
 
 /// Runs the optimization ablation on a sparse graph matrix (where

@@ -12,9 +12,7 @@ pub fn fig13(scale: Scale) -> String {
         "Fig. 13: MeNDA scalability, N1-N8 at 1/{} scale, 2 ranks/channel\n\n",
         scale.factor()
     );
-    let mut t = Table::new(&[
-        "matrix", "channels", "time", "MNNZ/s", "iterations",
-    ]);
+    let mut t = Table::new(&["matrix", "channels", "time", "MNNZ/s", "iterations"]);
     for spec in &TABLE3_UNIFORM {
         let m = spec.generate_scaled(scale.factor(), 17);
         for channels in [1usize, 2, 4] {
@@ -74,5 +72,7 @@ pub fn fig14(scale: Scale) -> String {
 
 /// Convenience accessor used by the Criterion benches.
 pub fn n1(scale: Scale) -> menda_sparse::CsrMatrix {
-    table3_spec("N1").expect("N1").generate_scaled(scale.factor(), 17)
+    table3_spec("N1")
+        .expect("N1")
+        .generate_scaled(scale.factor(), 17)
 }

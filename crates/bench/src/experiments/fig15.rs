@@ -18,7 +18,9 @@ pub fn run(scale: Scale) -> String {
     );
 
     // Left: frequency sweep on N2.
-    let m = table3_spec("N2").expect("N2").generate_scaled(scale.factor(), 23);
+    let m = table3_spec("N2")
+        .expect("N2")
+        .generate_scaled(scale.factor(), 23);
     let mut t = Table::new(&["frequency (MHz)", "time", "power (mW/PU)", "EDP (norm)"]);
     let mut edps = Vec::new();
     let mut rows = Vec::new();
@@ -50,12 +52,16 @@ pub fn run(scale: Scale) -> String {
     // 4x larger matrix scale to keep the full-size iteration relationships
     // (e.g. 64 leaves needing an extra pass on the big matrices).
     let leaf_scale = (scale.factor() / 4).max(1);
-    out.push_str(&format!("Leaf sweep at 1/{leaf_scale} scale:
+    out.push_str(&format!(
+        "Leaf sweep at 1/{leaf_scale} scale:
 
-"));
+"
+    ));
     let mut t2 = Table::new(&["matrix", "leaves", "iterations", "time", "EDP (norm)"]);
     for name in ["N5", "N6", "N7", "N8"] {
-        let m = table3_spec(name).expect("table3").generate_scaled(leaf_scale, 23);
+        let m = table3_spec(name)
+            .expect("table3")
+            .generate_scaled(leaf_scale, 23);
         let mut base = None;
         for leaves in [64usize, 256, 1024] {
             let mut cfg = MendaConfig::paper();
@@ -85,13 +91,31 @@ pub fn power() -> String {
     let p = PuConfig::paper();
     let mut out = String::from("Area and power (Sec. 6.2, 40 nm synthesis-calibrated)\n\n");
     let mut t = Table::new(&["quantity", "value"]);
-    t.row(&["PU power @ 800 MHz".to_string(), format!("{PU_POWER_MW} mW")]);
-    t.row(&["SpMV extra logic".to_string(), format!("+{SPMV_EXTRA_MW} mW")]);
+    t.row(&[
+        "PU power @ 800 MHz".to_string(),
+        format!("{PU_POWER_MW} mW"),
+    ]);
+    t.row(&[
+        "SpMV extra logic".to_string(),
+        format!("+{SPMV_EXTRA_MW} mW"),
+    ]);
     t.row(&["PU area".to_string(), format!("{PU_AREA_MM2} mm2")]);
-    t.row(&["buffer chip area budget".to_string(), format!("{BUFFER_CHIP_AREA_MM2} mm2")]);
-    t.row(&["fits buffer chip".to_string(), fits_buffer_chip(&p).to_string()]);
-    t.row(&["power @ 600 MHz".to_string(), format!("{:.1} mW", scaled_power_mw(&p.clone().with_frequency(600)))]);
-    t.row(&["area @ 64 leaves".to_string(), format!("{:.1} mm2", scaled_area_mm2(&p.with_leaves(64)))]);
+    t.row(&[
+        "buffer chip area budget".to_string(),
+        format!("{BUFFER_CHIP_AREA_MM2} mm2"),
+    ]);
+    t.row(&[
+        "fits buffer chip".to_string(),
+        fits_buffer_chip(&p).to_string(),
+    ]);
+    t.row(&[
+        "power @ 600 MHz".to_string(),
+        format!("{:.1} mW", scaled_power_mw(&p.clone().with_frequency(600))),
+    ]);
+    t.row(&[
+        "area @ 64 leaves".to_string(),
+        format!("{:.1} mm2", scaled_area_mm2(&p.with_leaves(64))),
+    ]);
     out.push_str(&t.render());
     out
 }

@@ -1,7 +1,7 @@
 //! Fig. 16: SpMV energy efficiency against the HBM-based accelerator of
 //! Sadi et al. \[42\].
 
-use menda_baselines::specs::{SADI_GTEPS_PER_GBS, SADI_POWER_W, SADI_BANDWIDTH_GBS};
+use menda_baselines::specs::{SADI_BANDWIDTH_GBS, SADI_GTEPS_PER_GBS, SADI_POWER_W};
 use menda_core::energy::{gteps_per_watt, PowerModel};
 use menda_core::{spmv, MendaConfig};
 
@@ -19,13 +19,7 @@ pub fn run(scale: Scale) -> String {
         "Fig. 16: SpMV efficiency vs Sadi et al. [42] (matrices at 1/{} scale)\n\n",
         scale.factor()
     );
-    let mut t = Table::new(&[
-        "matrix",
-        "GTEPS",
-        "GTEPS/(GB/s)",
-        "GTEPS/W",
-        "gain vs [42]",
-    ]);
+    let mut t = Table::new(&["matrix", "GTEPS", "GTEPS/(GB/s)", "GTEPS/W", "gain vs [42]"]);
     let mut gains = Vec::new();
     let mut isos = Vec::new();
     for (spec, m) in suite_matrices(scale) {

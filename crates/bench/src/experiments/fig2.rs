@@ -38,7 +38,13 @@ pub fn fig2a(scale: Scale) -> String {
         "Fig. 2(a): SSSP on CoSPARSE for amazon (1/{} scale)\n\n",
         scale.factor()
     );
-    let mut t = Table::new(&["configuration", "algorithm", "transpose", "total", "overhead"]);
+    let mut t = Table::new(&[
+        "configuration",
+        "algorithm",
+        "transpose",
+        "total",
+        "overhead",
+    ]);
     for (name, e) in [
         ("misconception (amortized)", &misconception),
         ("mergeTrans runtime", &merge),

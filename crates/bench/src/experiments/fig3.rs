@@ -1,8 +1,6 @@
 //! Fig. 3: characterization of mergeTrans — roofline and thread scaling.
 
-use menda_baselines::specs::{
-    HOST_ACHIEVABLE_BANDWIDTH_GBS, HOST_PEAK_BANDWIDTH_GBS,
-};
+use menda_baselines::specs::{HOST_ACHIEVABLE_BANDWIDTH_GBS, HOST_PEAK_BANDWIDTH_GBS};
 use menda_baselines::trace::{simulate_with, TraceAlgo};
 use menda_dram::cpu_mode::CpuModeConfig;
 use menda_dram::DramConfig;
@@ -37,8 +35,13 @@ pub fn fig3a(scale: Scale) -> String {
     for name in ["N1", "N3", "P1", "P3"] {
         let spec = gen::table3_spec(name).expect("table 3 name");
         let m = spec.generate_scaled(scale.factor(), 11);
-        let r = simulate_with(&m, 64, TraceAlgo::MergeTrans, host_dram(),
-            CpuModeConfig::with_cache_scale(scale.factor()));
+        let r = simulate_with(
+            &m,
+            64,
+            TraceAlgo::MergeTrans,
+            host_dram(),
+            CpuModeConfig::with_cache_scale(scale.factor()),
+        );
         let bytes = r.dram.bytes_transferred(64) as f64;
         let intensity = m.nnz() as f64 / bytes;
         let achieved = m.nnz() as f64 / r.seconds;
@@ -74,8 +77,13 @@ pub fn fig3b(scale: Scale) -> String {
     let mut t = Table::new(&["threads", "bandwidth (GB/s)", "% of peak (76.8)"]);
     let mut series = Vec::new();
     for threads in [1usize, 2, 4, 8, 16, 32, 64] {
-        let r = simulate_with(&m, threads, TraceAlgo::MergeTrans, host_dram(),
-            CpuModeConfig::with_cache_scale(scale.factor()));
+        let r = simulate_with(
+            &m,
+            threads,
+            TraceAlgo::MergeTrans,
+            host_dram(),
+            CpuModeConfig::with_cache_scale(scale.factor()),
+        );
         series.push((threads, r.bandwidth_gbs));
         t.row(&[
             threads.to_string(),
@@ -84,8 +92,16 @@ pub fn fig3b(scale: Scale) -> String {
         ]);
     }
     out.push_str(&t.render());
-    let bw16 = series.iter().find(|(t, _)| *t == 16).map(|(_, b)| *b).unwrap_or(0.0);
-    let bw64 = series.iter().find(|(t, _)| *t == 64).map(|(_, b)| *b).unwrap_or(0.0);
+    let bw16 = series
+        .iter()
+        .find(|(t, _)| *t == 16)
+        .map(|(_, b)| *b)
+        .unwrap_or(0.0);
+    let bw64 = series
+        .iter()
+        .find(|(t, _)| *t == 64)
+        .map(|(_, b)| *b)
+        .unwrap_or(0.0);
     out.push_str(&format!(
         "\nPaper: utilization saturates around 16 threads, reaching 59.6 GB/s at 64\n(theoretical peak 76.8, achievable ~{HOST_ACHIEVABLE_BANDWIDTH_GBS} GB/s).\nMeasured: {bw16:.1} GB/s at 16 threads vs {bw64:.1} GB/s at 64 ({:.0}% extra).\n",
         100.0 * (bw64 - bw16) / bw16.max(1e-9)

@@ -13,9 +13,10 @@ pub mod fig13;
 pub mod fig15;
 pub mod fig16;
 pub mod fig2;
-pub mod host;
 pub mod fig3;
+pub mod host;
 pub mod tables;
+pub mod threads;
 
 #[cfg(test)]
 mod smoke_tests;
@@ -24,8 +25,26 @@ use crate::util::Scale;
 
 /// All experiment ids in presentation order.
 pub const ALL: &[&str] = &[
-    "tab1", "tab2", "tab3", "tab4", "fig2a", "fig2b", "fig3a", "fig3b", "fig10", "fig11",
-    "fig12", "fig13", "fig14", "fig15", "fig16", "power", "energy", "host", "conflicts",
+    "tab1",
+    "tab2",
+    "tab3",
+    "tab4",
+    "fig2a",
+    "fig2b",
+    "fig3a",
+    "fig3b",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "power",
+    "energy",
+    "host",
+    "conflicts",
+    "threads",
 ];
 
 /// Dispatches an experiment by id.
@@ -54,6 +73,7 @@ pub fn run(id: &str, scale: Scale) -> Result<String, String> {
         "energy" => Ok(energy::run(scale)),
         "host" => Ok(host::run(scale)),
         "conflicts" => Ok(conflicts::run(scale)),
+        "threads" => Ok(threads::run(scale)),
         other => Err(format!(
             "unknown experiment '{other}'; available: {}",
             ALL.join(", ")

@@ -121,6 +121,14 @@ fn energy_reports_comparison() {
 }
 
 #[test]
+fn threads_reports_identical_outputs() {
+    let r = run("threads");
+    assert!(r.contains("sim threads"));
+    assert!(r.contains("identical"));
+    assert!(!r.contains("DIFFERS"));
+}
+
+#[test]
 fn unknown_experiment_is_an_error() {
     assert!(experiments::run("fig99", tiny()).is_err());
 }
@@ -131,7 +139,9 @@ fn all_ids_dispatch() {
     // or fixed large effective scales); their components are covered
     // elsewhere.
     for id in experiments::ALL {
-        if matches!(*id, "fig10" | "fig13" | "fig16" | "conflicts") {
+        if matches!(*id, "fig10" | "fig13" | "fig16" | "conflicts" | "threads") {
+            // "threads" runs 8-PU simulations at four thread counts and has
+            // its own dedicated smoke test.
             continue;
         }
         assert!(experiments::run(id, tiny()).is_ok(), "{id} failed");

@@ -17,7 +17,10 @@ pub fn tab1() -> String {
     let mut dram = Table::new(&["DRAM parameter", "value"]);
     dram.row(&["standard".to_string(), "DDR4_2400R".into()]);
     dram.row(&["organization".to_string(), "4Gb_x8".into()]);
-    dram.row(&["scheduling".to_string(), format!("{}-entry RD/WR queue, FRFCFS_PriorHit", d.read_queue)]);
+    dram.row(&[
+        "scheduling".to_string(),
+        format!("{}-entry RD/WR queue, FRFCFS_PriorHit", d.read_queue),
+    ]);
     dram.row(&["tRC".to_string(), t.t_rc.to_string()]);
     dram.row(&["tRCD".to_string(), t.t_rcd.to_string()]);
     dram.row(&["tCL".to_string(), t.t_cl.to_string()]);
@@ -34,11 +37,22 @@ pub fn tab1() -> String {
     pu.row(&["frequency (MHz)".to_string(), p.frequency_mhz.to_string()]);
     pu.row(&["number of leaves".to_string(), p.leaves.to_string()]);
     pu.row(&["FIFO entries".to_string(), p.fifo_entries.to_string()]);
-    pu.row(&["prefetch buffer entries".to_string(), p.prefetch_buffer_entries.to_string()]);
-    pu.row(&["read/write queue entries".to_string(), format!("{}/{}", p.read_queue_entries, p.write_queue_entries)]);
+    pu.row(&[
+        "prefetch buffer entries".to_string(),
+        p.prefetch_buffer_entries.to_string(),
+    ]);
+    pu.row(&[
+        "read/write queue entries".to_string(),
+        format!("{}/{}", p.read_queue_entries, p.write_queue_entries),
+    ]);
     pu.row(&["system (channels x ranks)".to_string(), {
         let m = MendaConfig::paper();
-        format!("{} x {} = {} PUs", m.channels, m.ranks_per_channel, m.num_pus())
+        format!(
+            "{} x {} = {} PUs",
+            m.channels,
+            m.ranks_per_channel,
+            m.num_pus()
+        )
     }]);
     out.push_str(&pu.render());
     out
@@ -48,7 +62,16 @@ pub fn tab1() -> String {
 pub fn tab2() -> String {
     use menda_baselines::specs::{CPU, GPU};
     let mut out = String::from("Table 2: baseline platform specifications\n\n");
-    let mut t = Table::new(&["platform", "processor", "cores/threads", "clock", "memory", "bandwidth", "area", "node"]);
+    let mut t = Table::new(&[
+        "platform",
+        "processor",
+        "cores/threads",
+        "clock",
+        "memory",
+        "bandwidth",
+        "area",
+        "node",
+    ]);
     for s in [CPU, GPU] {
         t.row(&[
             s.name.to_string(),
@@ -71,7 +94,14 @@ pub fn tab3(scale: Scale) -> String {
         "Table 3: synthetic matrices (full spec; harness runs at 1/{} scale)\n\n",
         scale.factor()
     );
-    let mut t = Table::new(&["matrix", "dimension", "NNZ", "scaled dim", "scaled NNZ", "row gini"]);
+    let mut t = Table::new(&[
+        "matrix",
+        "dimension",
+        "NNZ",
+        "scaled dim",
+        "scaled NNZ",
+        "row gini",
+    ]);
     for spec in TABLE3_UNIFORM.iter().chain(TABLE3_POWER_LAW.iter()) {
         let m = spec.generate_scaled(scale.factor(), 42);
         let s = MatrixStats::compute(&m);
@@ -95,7 +125,14 @@ pub fn tab4(scale: Scale) -> String {
         "Table 4: SuiteSparse matrices (stand-ins generated at 1/{} scale)\n\n",
         scale.factor()
     );
-    let mut t = Table::new(&["matrix", "kind", "dimension", "NNZ", "nnz/row", "standin gini"]);
+    let mut t = Table::new(&[
+        "matrix",
+        "kind",
+        "dimension",
+        "NNZ",
+        "nnz/row",
+        "standin gini",
+    ]);
     for spec in &TABLE4 {
         let m = spec.generate_scaled(scale.factor(), 42);
         let s = MatrixStats::compute(&m);

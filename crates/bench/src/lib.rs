@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod timing;
 pub mod util;
 
 pub use util::Scale;

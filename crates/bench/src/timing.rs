@@ -1,0 +1,52 @@
+//! A tiny wall-clock micro-benchmark harness.
+//!
+//! The offline build cannot fetch `criterion`, so the `benches/` targets
+//! use this instead: each bench is a `harness = false` binary that times a
+//! closure over a fixed number of samples and prints min / median /
+//! throughput. Good enough to compare configurations and catch large
+//! regressions; not a statistics suite.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` once as warm-up and then `samples` timed times, reporting one
+/// line: `group/name  min  median  [throughput]`.
+///
+/// `elements` (if nonzero) adds elements-per-second throughput computed
+/// from the median sample.
+pub fn bench<T>(group: &str, name: &str, samples: usize, elements: u64, mut f: impl FnMut() -> T) {
+    let samples = samples.max(1);
+    std::hint::black_box(f()); // warm-up, untimed
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let started = Instant::now();
+        std::hint::black_box(f());
+        times.push(started.elapsed());
+    }
+    times.sort_unstable();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let mut line = format!(
+        "{group}/{name:<24} min {:>12?}  median {:>12?}",
+        min, median
+    );
+    if elements > 0 && median > Duration::ZERO {
+        let eps = elements as f64 / median.as_secs_f64();
+        line.push_str(&format!("  {:>10.2} Melem/s", eps / 1e6));
+    }
+    println!("{line}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_closure_samples_plus_warmup() {
+        let mut calls = 0u32;
+        bench("t", "counter", 3, 10, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 4);
+    }
+}

@@ -48,7 +48,8 @@ impl Table {
     /// Appends a row (stringifying each cell).
     pub fn row<S: Display>(&mut self, cells: &[S]) {
         assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Renders the table.

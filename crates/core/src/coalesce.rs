@@ -121,7 +121,11 @@ impl CoalescingQueue {
     /// Marks `block` as issued (it stays resident until completion so late
     /// arrivals can still coalesce).
     pub fn mark_issued(&mut self, block: u64) {
-        if let Some(e) = self.entries.iter_mut().find(|e| e.block == block && !e.issued) {
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.block == block && !e.issued)
+        {
             e.issued = true;
         }
     }

@@ -132,6 +132,33 @@ impl Default for PuConfig {
     }
 }
 
+/// Host-simulation options — knobs of the *simulator*, not the modeled
+/// hardware. They never change simulated results, only how fast the host
+/// computes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimOptions {
+    /// Worker threads the execution engine uses to simulate PUs
+    /// concurrently. `None` (the default) picks
+    /// `min(available_parallelism, num_pus)`; `Some(n)` clamps `n` to
+    /// `[1, num_pus]`. PUs share nothing (§3.5), so any thread count
+    /// produces bit-identical outputs and statistics.
+    pub threads: Option<usize>,
+}
+
+impl SimOptions {
+    /// The worker-thread count to use for a run over `pus` PUs.
+    pub fn effective_threads(&self, pus: usize) -> usize {
+        let cap = pus.max(1);
+        match self.threads {
+            Some(n) => n.clamp(1, cap),
+            None => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(cap),
+        }
+    }
+}
+
 /// Configuration of a complete MeNDA system: one PU per DRAM rank.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MendaConfig {
@@ -144,6 +171,8 @@ pub struct MendaConfig {
     /// DRAM configuration of each rank (one PU sees one rank's worth of
     /// DDR4-2400 bandwidth through the DIMM buffer chip).
     pub dram: DramConfig,
+    /// Host-simulation options (threading of the execution engine).
+    pub sim: SimOptions,
 }
 
 impl MendaConfig {
@@ -155,6 +184,7 @@ impl MendaConfig {
             channels: 4,
             ranks_per_channel: 2,
             dram: DramConfig::ddr4_2400r(),
+            sim: SimOptions::default(),
         }
     }
 
@@ -168,6 +198,7 @@ impl MendaConfig {
             channels: 1,
             ranks_per_channel: 2,
             dram,
+            sim: SimOptions::default(),
         }
     }
 
@@ -185,6 +216,14 @@ impl MendaConfig {
     /// With a different per-channel rank count.
     pub fn with_ranks_per_channel(mut self, ranks: usize) -> Self {
         self.ranks_per_channel = ranks;
+        self
+    }
+
+    /// With an explicit engine worker-thread count (`1` = serial host
+    /// simulation). Outputs are identical for every setting; only the
+    /// host's wall-clock time changes.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.sim.threads = Some(threads);
         self
     }
 
@@ -258,5 +297,18 @@ mod tests {
     fn dram_tick_ratio_nominal() {
         let c = MendaConfig::paper();
         assert_eq!(c.dram_ticks_ratio(), (1200, 800));
+    }
+
+    #[test]
+    fn thread_knob_clamps_to_pu_count() {
+        let c = MendaConfig::paper().with_threads(64);
+        assert_eq!(c.sim.effective_threads(8), 8);
+        assert_eq!(c.sim.effective_threads(1), 1);
+        let c = MendaConfig::paper().with_threads(0);
+        assert_eq!(c.sim.effective_threads(8), 1);
+        // Auto mode never exceeds the PU count either.
+        let auto = SimOptions::default();
+        assert!(auto.effective_threads(2) <= 2);
+        assert!(auto.effective_threads(1) == 1);
     }
 }

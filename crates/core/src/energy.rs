@@ -50,7 +50,8 @@ impl PowerModel {
     /// multiplier, adders and delay buffer).
     pub fn spmv(config: &PuConfig) -> Self {
         Self {
-            pu_mw: scaled_power_mw(config) + SPMV_EXTRA_MW * (config.frequency_mhz as f64 / NOMINAL_MHZ),
+            pu_mw: scaled_power_mw(config)
+                + SPMV_EXTRA_MW * (config.frequency_mhz as f64 / NOMINAL_MHZ),
             spmv_active: true,
         }
     }

@@ -1,0 +1,177 @@
+//! The unified execution engine: maps a kernel onto per-PU jobs, runs
+//! them (optionally on multiple host threads), and hands the aggregated
+//! results back to the kernel for assembly.
+//!
+//! MeNDA PUs share nothing — each owns one rank and its partition (§3.5)
+//! — so the simulation of a kernel launch is embarrassingly parallel on
+//! the host: PU `p`'s result depends only on job `p`. [`Engine::run`]
+//! exploits that with `std::thread::scope` workers pulling PU indices
+//! from an atomic counter; results are reassembled in PU order, so the
+//! output is bit-identical to a serial run for any thread count
+//! ([`crate::SimOptions::threads`] picks the count).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::config::MendaConfig;
+use crate::job::{self, PuJob};
+use crate::pu::{ProcessingUnit, PuResult};
+use crate::stats::RunStats;
+
+/// A kernel's mapping onto the engine: how to build PU `p`'s job and how
+/// to assemble the per-PU results into the kernel's output.
+///
+/// Implementations must be `Sync` because jobs are built inside the
+/// worker threads (partition extraction and format conversion parallelize
+/// along with the simulation). Both `make_job` and `assemble` must be
+/// deterministic functions of their arguments — the engine calls
+/// `make_job` in arbitrary order but assembles results in PU order.
+pub trait KernelSpec: Sync {
+    /// The assembled kernel result.
+    type Output;
+
+    /// Builds the job for PU `p` (`0 <= p < config.num_pus()`).
+    fn make_job(&self, p: usize) -> PuJob;
+
+    /// Combines the per-PU results (indexed by PU id) and the aggregated
+    /// run statistics into the kernel's output.
+    fn assemble(&self, results: Vec<PuResult>, run: RunStats) -> Self::Output;
+}
+
+/// Executes kernels on a configured MeNDA system, one simulated PU per
+/// rank.
+#[derive(Debug, Clone, Copy)]
+pub struct Engine<'a> {
+    config: &'a MendaConfig,
+}
+
+impl<'a> Engine<'a> {
+    /// Creates an engine for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PU configuration is invalid.
+    pub fn new(config: &'a MendaConfig) -> Self {
+        config.pu.validate();
+        Self { config }
+    }
+
+    /// Runs one kernel launch: builds and executes one job per PU, then
+    /// assembles. With more than one worker thread the PU simulations run
+    /// concurrently; outputs and statistics are identical to a serial run
+    /// because PUs are independent.
+    pub fn run<S: KernelSpec>(&self, spec: &S) -> S::Output {
+        let pus = self.config.num_pus();
+        let threads = self.config.sim.effective_threads(pus);
+        let results = if threads <= 1 {
+            (0..pus).map(|p| self.run_pu(spec, p)).collect()
+        } else {
+            self.run_parallel(spec, pus, threads)
+        };
+        let run = RunStats::collect(
+            self.config.pu.frequency_mhz,
+            results.iter().map(|r: &PuResult| r.stats.clone()).collect(),
+        );
+        spec.assemble(results, run)
+    }
+
+    fn run_pu<S: KernelSpec>(&self, spec: &S, p: usize) -> PuResult {
+        let mut pu = ProcessingUnit::new(self.config);
+        job::execute(&mut pu, spec.make_job(p))
+    }
+
+    fn run_parallel<S: KernelSpec>(&self, spec: &S, pus: usize, threads: usize) -> Vec<PuResult> {
+        let next = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, PuResult)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut done = Vec::new();
+                        loop {
+                            let p = next.fetch_add(1, Ordering::Relaxed);
+                            if p >= pus {
+                                break;
+                            }
+                            done.push((p, self.run_pu(spec, p)));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("PU worker panicked"))
+                .collect()
+        });
+        indexed.sort_unstable_by_key(|&(p, _)| p);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::transpose_job;
+    use menda_sparse::gen;
+    use menda_sparse::partition::RowPartition;
+    use menda_sparse::CsrMatrix;
+
+    /// A bare transposition spec that returns the raw per-PU results.
+    struct RawTranspose<'m> {
+        matrix: &'m CsrMatrix,
+        partition: RowPartition,
+    }
+
+    impl KernelSpec for RawTranspose<'_> {
+        type Output = (Vec<PuResult>, RunStats);
+
+        fn make_job(&self, p: usize) -> PuJob {
+            transpose_job(
+                self.partition.extract(self.matrix, p),
+                self.partition.range(p).start,
+            )
+        }
+
+        fn assemble(&self, results: Vec<PuResult>, run: RunStats) -> Self::Output {
+            (results, run)
+        }
+    }
+
+    fn raw_run(cfg: &MendaConfig, m: &CsrMatrix) -> (Vec<PuResult>, RunStats) {
+        let spec = RawTranspose {
+            matrix: m,
+            partition: RowPartition::by_nnz(m, cfg.num_pus()),
+        };
+        Engine::new(cfg).run(&spec)
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        let m = gen::rmat(128, 1024, gen::RmatParams::PAPER, 77);
+        let base = MendaConfig::small_test().with_ranks_per_channel(4);
+        let (serial, run_s) = raw_run(&base.clone().with_threads(1), &m);
+        for threads in [2, 4, 8] {
+            let (par, run_p) = raw_run(&base.clone().with_threads(threads), &m);
+            assert_eq!(serial, par, "threads={threads}");
+            assert_eq!(run_s, run_p, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn results_are_in_pu_order() {
+        let m = gen::uniform(64, 512, 5);
+        let cfg = MendaConfig::small_test().with_ranks_per_channel(4);
+        let (results, run) = raw_run(&cfg, &m);
+        assert_eq!(results.len(), 4);
+        assert_eq!(run.pu_stats.len(), 4);
+        // Partition p's minors are global rows within partition p's range.
+        let partition = RowPartition::by_nnz(&m, 4);
+        for (p, r) in results.iter().enumerate() {
+            let range = partition.range(p);
+            assert!(r
+                .minors
+                .iter()
+                .all(|&row| (range.start as u32..range.end as u32).contains(&row)));
+            assert_eq!(r.stats, run.pu_stats[p]);
+        }
+    }
+}

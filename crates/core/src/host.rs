@@ -108,6 +108,14 @@ impl NmpDevice {
         self.config.num_pus()
     }
 
+    /// Sets the number of host simulation threads for subsequent kernel
+    /// launches ([`crate::SimOptions::threads`]). Results are bit-identical
+    /// for any thread count; only simulation wall-clock changes.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.config.sim.threads = Some(threads);
+        self
+    }
+
     /// Allocates a CSR matrix on the device: performs the NNZ-balanced
     /// partitioning of §3.5 and writes the partition metadata to the
     /// (modeled) memory-mapped registers.
@@ -297,6 +305,23 @@ mod tests {
         let t2 = TransposeHandle(0);
         let _ = dev.wait(t);
         let _ = dev.wait(t2);
+    }
+
+    #[test]
+    fn threads_knob_does_not_change_device_results() {
+        let m = gen::rmat(128, 1024, gen::RmatParams::PAPER, 49);
+        let run = |threads| {
+            let mut dev = NmpDevice::new(MendaConfig::small_test().with_ranks_per_channel(4))
+                .with_threads(threads);
+            let h = dev.alloc_csr(m.clone());
+            let t = dev.transpose(h);
+            dev.wait(t)
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.output, parallel.output);
+        assert_eq!(serial.cycles, parallel.cycles);
+        assert_eq!(serial.pu_stats, parallel.pu_stats);
     }
 
     #[test]

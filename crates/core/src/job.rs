@@ -1,0 +1,288 @@
+//! Per-PU job descriptions and the shared multi-iteration driver.
+//!
+//! Every MeNDA kernel — transposition (§3.1), SpMV (§3.6) and the SpGEMM
+//! merge phase — runs the same loop on a PU: an iteration-0 merge over
+//! kernel-specific streams, then `ceil(log_l streams) - 1` further merges
+//! over ping-pong intermediate runs, with the last iteration writing the
+//! final output format. [`PuJob`] captures everything that differs between
+//! kernels and [`execute`] runs the loop, so the kernel drivers contain no
+//! per-iteration plumbing of their own.
+
+use menda_sparse::CsrMatrix;
+
+use crate::layout::{AddressLayout, BLOCK_BYTES, PTR_BYTES};
+use crate::prefetch::{StreamDescriptor, StreamKind};
+use crate::pu::{
+    iterations_needed, pair_runs_to_descriptors, runs_to_descriptors, IterSource, IterationSetup,
+    OutputMode, ProcessingUnit, PtrGate, PuResult,
+};
+use crate::stats::PuStats;
+
+/// The iteration-0 data a job owns. Jobs own their inputs (rather than
+/// borrowing them) so the engine can build and run them on worker threads.
+#[derive(Debug, Clone)]
+pub enum JobSource {
+    /// Transposition: the PU's CSR partition (streams are rows).
+    Csr(CsrMatrix),
+    /// SpMV: CSC row indices (already globalized) and values; each
+    /// stream descriptor carries the scale factor of its column.
+    ScaledCsc {
+        /// Row index per nonzero.
+        rows: Vec<u32>,
+        /// Value per nonzero.
+        vals: Vec<f32>,
+    },
+    /// Pre-materialized COO runs (SpGEMM partial products). `minors` and
+    /// `majors` are the output key order: packets are emitted as
+    /// `(major, minor, value)`.
+    Coo {
+        /// Minor sort key per element (e.g. C's column index).
+        minors: Vec<u32>,
+        /// Major sort key per element (e.g. C's row index).
+        majors: Vec<u32>,
+        /// Value per element.
+        vals: Vec<f32>,
+    },
+}
+
+impl JobSource {
+    fn iter_source(&self) -> IterSource<'_> {
+        match self {
+            JobSource::Csr(m) => IterSource::Csr {
+                cols: m.col_idx(),
+                vals: m.values(),
+            },
+            JobSource::ScaledCsc { rows, vals } => IterSource::ScaledCsc { rows, vals },
+            JobSource::Coo {
+                minors,
+                majors,
+                vals,
+            } => IterSource::Coo {
+                rows: minors,
+                cols: majors,
+                vals,
+            },
+        }
+    }
+}
+
+/// The intermediate-run format between iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntermediateFormat {
+    /// 12-byte COO triples (transposition, SpGEMM).
+    Coo,
+    /// 8-byte (index, value) pairs (SpMV, §3.6).
+    Pair,
+}
+
+/// The final iteration's output format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinalOutput {
+    /// CSC index/value arrays plus a paced column pointer array.
+    Csc {
+        /// Columns in the output pointer array.
+        ncols: u64,
+    },
+    /// A dense vector, 4 bytes per row (SpMV).
+    Dense {
+        /// Rows of the output vector partition.
+        rows: u64,
+    },
+}
+
+/// One PU's complete work for one kernel launch.
+///
+/// The first intermediate iteration writes ping-pong region 0, so
+/// iteration-0 `descriptors` that read a COO region (SpGEMM) must
+/// reference region 1.
+#[derive(Debug, Clone)]
+pub struct PuJob {
+    /// Iteration-0 stream descriptors in assignment order.
+    pub descriptors: Vec<StreamDescriptor>,
+    /// Iteration-0 backing data.
+    pub source: JobSource,
+    /// Iteration-0 pointer-read gating, if the controller must stream the
+    /// pointer array before stream addresses are known.
+    pub gate: Option<PtrGate>,
+    /// Format of intermediate runs between iterations.
+    pub intermediate: IntermediateFormat,
+    /// Format of the last iteration's output.
+    pub final_out: FinalOutput,
+    /// Merge packets with equal (major, minor) keys at the root (the
+    /// reduction unit of §3.6).
+    pub reduce: bool,
+}
+
+/// Builds the transposition job for one CSR partition whose local row 0
+/// is global row `row_offset` (§3.1: one gated stream per non-empty row,
+/// COO intermediates, CSC output).
+pub fn transpose_job(part: CsrMatrix, row_offset: usize) -> PuJob {
+    let layout = AddressLayout::rank_default();
+    let entries_per_block = BLOCK_BYTES / PTR_BYTES; // 8
+    let mut descriptors = Vec::new();
+    let mut release_after = Vec::new();
+    let row_ptr = part.row_ptr();
+    for r in 0..part.nrows() {
+        let (s, e) = (row_ptr[r], row_ptr[r + 1]);
+        if s == e {
+            continue;
+        }
+        descriptors.push(StreamDescriptor {
+            start: s as u64,
+            end: e as u64,
+            kind: StreamKind::CsrRow {
+                row: (row_offset + r) as u32,
+            },
+        });
+        // Needs pointer entries r and r+1.
+        release_after.push(((r as u64 + 1) / entries_per_block + 1) as usize);
+    }
+    let total_ptr_blocks = (part.nrows() as u64 + 1).div_ceil(entries_per_block);
+    let gate = PtrGate {
+        ptr_base: layout.row_ptr,
+        blocks: (0..total_ptr_blocks).collect(),
+        release_after: release_after
+            .iter()
+            .map(|&b| b.min(total_ptr_blocks as usize))
+            .collect(),
+        vector_base: None,
+    };
+    let ncols = part.ncols() as u64;
+    PuJob {
+        descriptors,
+        source: JobSource::Csr(part),
+        gate: Some(gate),
+        intermediate: IntermediateFormat::Coo,
+        final_out: FinalOutput::Csc { ncols },
+        reduce: false,
+    }
+}
+
+/// Executes `job` on `pu`: iteration 0 over the job's own streams, then
+/// merges of the ping-pong intermediates until a single run remains.
+///
+/// A job with no streams finishes immediately with empty output and zero
+/// iterations — the uniform empty-work accounting all kernels share.
+pub fn execute(pu: &mut ProcessingUnit, job: PuJob) -> PuResult {
+    let l = pu.leaves() as u64;
+    let mut stats = PuStats::default();
+    let iterations = iterations_needed(job.descriptors.len() as u64, l);
+    if iterations == 0 {
+        stats.dram = pu.dram_stats();
+        return PuResult {
+            majors: Vec::new(),
+            minors: Vec::new(),
+            values: Vec::new(),
+            stats,
+        };
+    }
+
+    let out_mode = |is_final: bool, region: u8| {
+        if is_final {
+            match job.final_out {
+                FinalOutput::Csc { ncols } => OutputMode::FinalCsc { ncols },
+                FinalOutput::Dense { rows } => OutputMode::FinalDense { rows },
+            }
+        } else {
+            match job.intermediate {
+                IntermediateFormat::Coo => OutputMode::Intermediate { region },
+                IntermediateFormat::Pair => OutputMode::IntermediatePair { region },
+            }
+        }
+    };
+
+    // Iteration 0 over the job's own streams; intermediates land in
+    // ping-pong region 0.
+    let mut cur_region = 0u8;
+    let setup = IterationSetup {
+        descriptors: job.descriptors,
+        source: job.source.iter_source(),
+        gate: job.gate,
+        out: out_mode(iterations <= 1, cur_region),
+        reduce: job.reduce,
+    };
+    let (mut emitted, mut boundaries, it0) = pu.run_rounds(setup);
+    stats.iterations.push(it0);
+
+    // Further iterations over the previous iteration's runs. Feeding the
+    // raw (minors, majors) back as the COO (rows, cols) arrays re-emits
+    // each element with unchanged keys, for every kernel.
+    for it in 1..iterations {
+        let (minors, majors, values) = emitted;
+        let descriptors = match job.intermediate {
+            IntermediateFormat::Coo => runs_to_descriptors(&boundaries, cur_region),
+            IntermediateFormat::Pair => pair_runs_to_descriptors(&boundaries, cur_region),
+        };
+        let source = match job.intermediate {
+            IntermediateFormat::Coo => IterSource::Coo {
+                rows: &minors,
+                cols: &majors,
+                vals: &values,
+            },
+            IntermediateFormat::Pair => IterSource::Pair {
+                idx: &majors,
+                vals: &values,
+            },
+        };
+        let setup = IterationSetup {
+            descriptors,
+            source,
+            gate: None,
+            out: out_mode(it + 1 == iterations, 1 - cur_region),
+            reduce: job.reduce,
+        };
+        let (e, b, s) = pu.run_rounds(setup);
+        emitted = e;
+        boundaries = b;
+        stats.iterations.push(s);
+        cur_region = 1 - cur_region;
+    }
+
+    stats.dram = pu.dram_stats();
+    PuResult {
+        majors: emitted.1,
+        minors: emitted.0,
+        values: emitted.2,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MendaConfig;
+    use menda_sparse::gen;
+
+    #[test]
+    fn transpose_job_gates_all_pointer_blocks() {
+        let m = gen::uniform(64, 512, 3);
+        let job = transpose_job(m.clone(), 0);
+        let gate = job.gate.as_ref().expect("transpose is gated");
+        assert_eq!(gate.blocks.len(), (64usize + 1).div_ceil(8));
+        assert_eq!(gate.release_after.len(), job.descriptors.len());
+        assert!(gate.vector_base.is_none());
+        assert_eq!(job.final_out, FinalOutput::Csc { ncols: 64 });
+        assert!(!job.reduce);
+    }
+
+    #[test]
+    fn empty_job_reports_zero_iterations() {
+        let job = transpose_job(CsrMatrix::zeros(16, 16), 0);
+        let mut pu = ProcessingUnit::new(&MendaConfig::small_test());
+        let r = execute(&mut pu, job);
+        assert!(r.majors.is_empty());
+        assert_eq!(r.stats.num_iterations(), 0);
+        assert_eq!(r.stats.total_cycles(), 0);
+        assert_eq!(r.stats.total_traffic_bytes(), 0);
+    }
+
+    #[test]
+    fn executed_job_matches_pu_transpose() {
+        let m = gen::rmat(64, 512, gen::RmatParams::PAPER, 9);
+        let mut pu = ProcessingUnit::new(&MendaConfig::small_test());
+        let direct = pu.transpose(&m, 5);
+        let mut pu2 = ProcessingUnit::new(&MendaConfig::small_test());
+        let via_job = execute(&mut pu2, transpose_job(m.clone(), 5));
+        assert_eq!(direct, via_job);
+    }
+}

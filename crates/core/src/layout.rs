@@ -61,10 +61,7 @@ impl AddressLayout {
             row_ptr: base(0),
             col_idx: base(1),
             values: base(2),
-            coo: [
-                [base(3), base(4), base(5)],
-                [base(6), base(7), base(8)],
-            ],
+            coo: [[base(3), base(4), base(5)], [base(6), base(7), base(8)]],
             out_ptr: base(9),
             out_idx: base(10),
             out_val: base(11),

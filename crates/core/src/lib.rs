@@ -20,6 +20,11 @@
 //! * [`MendaSystem`] — the multi-PU system with the NNZ-balanced
 //!   input-operand co-location of §3.5 (one PU per rank, no inter-PU
 //!   communication),
+//! * [`Engine`] — the unified execution engine all three kernels dispatch
+//!   through: a [`KernelSpec`] maps the kernel onto per-PU [`PuJob`]s and
+//!   assembles the results; PUs share nothing, so the engine can simulate
+//!   them on multiple host threads ([`SimOptions::threads`]) with
+//!   bit-identical output,
 //! * [`spmv`] — the SpMV adaptation of §3.6 (auxiliary pointer array,
 //!   vector staging in the prefetch buffers, delay buffer, floating-point
 //!   reduction at the root),
@@ -49,7 +54,9 @@
 mod coalesce;
 mod config;
 pub mod energy;
+mod engine;
 pub mod host;
+mod job;
 mod layout;
 mod merge_tree;
 mod prefetch;
@@ -60,10 +67,12 @@ mod stats;
 mod system;
 
 pub use coalesce::CoalescingQueue;
-pub use config::{MendaConfig, PuConfig};
+pub use config::{MendaConfig, PuConfig, SimOptions};
+pub use engine::{Engine, KernelSpec};
+pub use job::{FinalOutput, IntermediateFormat, JobSource, PuJob};
 pub use layout::{AddressLayout, BLOCK_BYTES, IDX_BYTES, PTR_BYTES, VAL_BYTES};
 pub use merge_tree::{LeafSource, MergeTree, Packet, SliceLeafSource};
 pub use prefetch::{PrefetchBuffer, StreamDescriptor};
-pub use pu::{ProcessingUnit, PuResult};
-pub use stats::{IterationStats, PuStats};
+pub use pu::{ProcessingUnit, PtrGate, PuResult};
+pub use stats::{IterationStats, PuStats, RunStats};
 pub use system::{MendaSystem, TransposeResult};

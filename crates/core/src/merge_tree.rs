@@ -205,7 +205,9 @@ impl MergeTree {
 
     /// Whether every FIFO is empty.
     pub fn is_drained(&self) -> bool {
-        self.pes.iter().all(|p| p.in0.is_empty() && p.in1.is_empty())
+        self.pes
+            .iter()
+            .all(|p| p.in0.is_empty() && p.in1.is_empty())
     }
 
     /// Marks the leaf PE serving `port` as active (call when the backing
@@ -428,10 +430,7 @@ mod tests {
 
     #[test]
     fn secondary_key_breaks_ties() {
-        let streams = vec![
-            vec![Packet::nz(5, 2, 1.0)],
-            vec![Packet::nz(5, 1, 2.0)],
-        ];
+        let streams = vec![vec![Packet::nz(5, 2, 1.0)], vec![Packet::nz(5, 1, 2.0)]];
         let mut src = SliceLeafSource::from_streams(2, streams);
         let mut tree = MergeTree::new(2, 2);
         let (out, _) = run_tree(&mut tree, &mut src, 1, 100);
@@ -531,10 +530,7 @@ mod tests {
         let (out, cycles) = run_tree(&mut tree, &mut src, 1, 10_000);
         assert_eq!(out.len(), n as usize);
         // Fill latency is log2(16)=4; allow small overhead.
-        assert!(
-            cycles <= n as u64 + 16,
-            "{cycles} cycles for {n} elements"
-        );
+        assert!(cycles <= n as u64 + 16, "{cycles} cycles for {n} elements");
     }
 
     #[test]

@@ -216,7 +216,9 @@ impl PrefetchBuffer {
         // requests are sent whenever a prefetch buffer can fit the
         // requested data"), bounded to whole block windows past the first.
         let per_block = BLOCK_BYTES / IDX_BYTES; // 16
-        let free = self.capacity.saturating_sub(self.nz_held + self.in_flight_nzs());
+        let free = self
+            .capacity
+            .saturating_sub(self.nz_held + self.in_flight_nzs());
         let may_issue = if self.prefetch {
             free > 0
         } else {

@@ -8,8 +8,8 @@ use menda_dram::{MemRequest, MemorySystem, ReqKind};
 use menda_sparse::CsrMatrix;
 
 use crate::coalesce::{CoalescingQueue, EnqueueOutcome};
-use crate::config::MendaConfig;
-use crate::layout::{AddressLayout, BLOCK_BYTES, PTR_BYTES};
+use crate::config::{MendaConfig, PuConfig};
+use crate::layout::{AddressLayout, BLOCK_BYTES};
 use crate::merge_tree::{LeafSource, MergeTree, Packet};
 use crate::prefetch::{PrefetchBuffer, StreamDescriptor, StreamKind};
 use crate::stats::{IterationStats, PuStats};
@@ -190,7 +190,9 @@ impl LeafSource for BufferPorts<'_> {
 /// One near-memory processing unit beside one DRAM rank.
 #[derive(Debug)]
 pub struct ProcessingUnit {
-    config: MendaConfig,
+    pu_cfg: PuConfig,
+    /// DRAM bus cycles per PU cycle as a (numerator, denominator) ratio.
+    ticks: (u64, u64),
     layout: AddressLayout,
     mem: MemorySystem,
     dram_tick_accum: u64,
@@ -198,8 +200,10 @@ pub struct ProcessingUnit {
 }
 
 impl ProcessingUnit {
-    /// Creates a PU with its own single-rank memory system.
-    pub fn new(config: MendaConfig) -> Self {
+    /// Creates a PU with its own single-rank memory system. Only the
+    /// per-PU parts of `config` are kept (the PU parameters and the rank's
+    /// DRAM configuration); the system-level fields stay with the caller.
+    pub fn new(config: &MendaConfig) -> Self {
         config.pu.validate();
         let dram = config.dram.clone().with_channels(1).with_ranks(1);
         Self {
@@ -207,13 +211,24 @@ impl ProcessingUnit {
             mem: MemorySystem::new(dram),
             dram_tick_accum: 0,
             next_req_id: 0,
-            config,
+            pu_cfg: config.pu.clone(),
+            ticks: config.dram_ticks_ratio(),
         }
     }
 
     /// The address layout this PU uses.
     pub fn layout(&self) -> &AddressLayout {
         &self.layout
+    }
+
+    /// Merge-tree leaf count of this PU.
+    pub(crate) fn leaves(&self) -> usize {
+        self.pu_cfg.leaves
+    }
+
+    /// Current DRAM-side statistics of this PU's rank.
+    pub(crate) fn dram_stats(&self) -> menda_dram::DramStats {
+        self.mem.stats()
     }
 
     /// The DRAM command stream of this PU's rank (empty unless
@@ -226,114 +241,11 @@ impl ProcessingUnit {
     /// Transposes `part` (a horizontal partition whose local row 0 is
     /// global row `row_offset`), returning the partition's nonzeros in
     /// CSC order (sorted by column, then global row) plus statistics.
+    ///
+    /// Thin wrapper over the job layer: builds the transposition job
+    /// ([`crate::job::transpose_job`]) and executes it on this PU.
     pub fn transpose(&mut self, part: &CsrMatrix, row_offset: usize) -> PuResult {
-        let l = self.config.pu.leaves as u64;
-        let layout = self.layout;
-        let mut stats = PuStats::default();
-
-        // Iteration 0 descriptors: one stream per non-empty row, gated on
-        // pointer-array reads covering all partition rows.
-        let mut descriptors = Vec::new();
-        let mut release_after = Vec::new();
-        let row_ptr = part.row_ptr();
-        let entries_per_block = BLOCK_BYTES / PTR_BYTES; // 8
-        for r in 0..part.nrows() {
-            let (s, e) = (row_ptr[r], row_ptr[r + 1]);
-            if s == e {
-                continue;
-            }
-            descriptors.push(StreamDescriptor {
-                start: s as u64,
-                end: e as u64,
-                kind: StreamKind::CsrRow {
-                    row: (row_offset + r) as u32,
-                },
-            });
-            // Needs pointer entries r and r+1.
-            release_after.push(((r as u64 + 1) / entries_per_block + 1) as usize);
-        }
-        let total_ptr_blocks = (part.nrows() as u64 + 1).div_ceil(entries_per_block);
-        let gate = PtrGate {
-            ptr_base: layout.row_ptr,
-            blocks: (0..total_ptr_blocks).collect(),
-            release_after: release_after
-                .iter()
-                .map(|&b| b.min(total_ptr_blocks as usize))
-                .collect(),
-            vector_base: None,
-        };
-
-        let n_streams = descriptors.len() as u64;
-        let iterations = iterations_needed(n_streams, l);
-        if iterations == 0 {
-            stats.dram = self.mem.stats();
-            return PuResult {
-                majors: Vec::new(),
-                minors: Vec::new(),
-                values: Vec::new(),
-                stats,
-            };
-        }
-        let mut cur_region = 0u8;
-        let mut rows_buf: Vec<u32>;
-        let mut cols_buf: Vec<u32>;
-        let mut vals_buf: Vec<f32>;
-
-        let out_mode = |is_final: bool, region: u8| {
-            if is_final {
-                OutputMode::FinalCsc {
-                    ncols: part.ncols() as u64,
-                }
-            } else {
-                OutputMode::Intermediate { region }
-            }
-        };
-
-        // Iteration 0.
-        let setup = IterationSetup {
-            descriptors,
-            source: IterSource::Csr {
-                cols: part.col_idx(),
-                vals: part.values(),
-            },
-            gate: Some(gate),
-            out: out_mode(iterations <= 1, cur_region),
-            reduce: false,
-        };
-        let (mut emitted, mut boundaries, it_stats) = self.run_rounds(setup);
-        stats.iterations.push(it_stats);
-
-        // Further iterations over COO runs.
-        for it in 1..iterations {
-            rows_buf = emitted.0;
-            cols_buf = emitted.1;
-            vals_buf = emitted.2;
-            let descriptors = runs_to_descriptors(&boundaries, cur_region);
-            let setup = IterationSetup {
-                descriptors,
-                source: IterSource::Coo {
-                    rows: &rows_buf,
-                    cols: &cols_buf,
-                    vals: &vals_buf,
-                },
-                gate: None,
-                out: out_mode(it + 1 == iterations, 1 - cur_region),
-                reduce: false,
-            };
-            let (e, b, s) = self.run_rounds(setup);
-            emitted = e;
-            boundaries = b;
-            stats.iterations.push(s);
-            cur_region = 1 - cur_region;
-        }
-
-        stats.dram = self.mem.stats();
-        PuResult {
-            majors: emitted.1,
-            minors: emitted.0,
-            values: emitted.2,
-            stats,
-        }
+        crate::job::execute(self, crate::job::transpose_job(part.clone(), row_offset))
     }
 
     /// Runs all merge rounds of one iteration, cycle by cycle. Returns the
@@ -356,14 +268,16 @@ impl ProcessingUnit {
         &mut self,
         setup: IterationSetup<'_>,
     ) -> (EmittedTriples, Vec<usize>, IterationStats) {
-        let pu_cfg = self.config.pu.clone();
+        let pu_cfg = self.pu_cfg.clone();
         let l = pu_cfg.leaves;
         let layout = self.layout;
         let mut it = IterationStats::default();
         let dram_before = self.mem.stats();
 
         let n_streams = setup.descriptors.len();
-        let total_rounds = n_streams.div_ceil(l).max(if n_streams == 0 { 0 } else { 1 });
+        let total_rounds = n_streams
+            .div_ceil(l)
+            .max(if n_streams == 0 { 0 } else { 1 });
         if n_streams == 0 {
             return ((Vec::new(), Vec::new(), Vec::new()), Vec::new(), it);
         }
@@ -422,9 +336,7 @@ impl ProcessingUnit {
         // Buffer activity tracking.
         let mut buf_active = vec![false; l];
         let mut buf_worklist: Vec<u32> = Vec::new();
-        let activate_buf = |idx: usize,
-                                buf_active: &mut Vec<bool>,
-                                buf_worklist: &mut Vec<u32>| {
+        let activate_buf = |idx: usize, buf_active: &mut Vec<bool>, buf_worklist: &mut Vec<u32>| {
             if !buf_active[idx] {
                 buf_active[idx] = true;
                 buf_worklist.push(idx as u32);
@@ -432,7 +344,7 @@ impl ProcessingUnit {
         };
 
         let mut cycles: u64 = 0;
-        let (dram_num, dram_den) = self.config.dram_ticks_ratio();
+        let (dram_num, dram_den) = self.ticks;
         let max_cycles: u64 = 20_000_000_000;
         let mut last_key_in_run: Option<(u32, u32)> = None;
 
@@ -461,8 +373,8 @@ impl ProcessingUnit {
                         PTR_WAITER => {
                             if let Some(g) = &setup.gate {
                                 // Which gate block is this?
-                                let rel = (block - AddressLayout::block_of(g.ptr_base))
-                                    / BLOCK_BYTES;
+                                let rel =
+                                    (block - AddressLayout::block_of(g.ptr_base)) / BLOCK_BYTES;
                                 if let Ok(pos) = g.blocks.binary_search(&rel) {
                                     ptr_arrived_set[pos] = true;
                                     while ptr_blocks_arrived < ptr_arrived_set.len()
@@ -477,9 +389,7 @@ impl ProcessingUnit {
                         VEC_WAITER => {}
                         buf_id => {
                             let b = buf_id as usize;
-                            if let Some((desc, range, ended)) =
-                                buffers[b].block_arrived(block)
-                            {
+                            if let Some((desc, range, ended)) = buffers[b].block_arrived(block) {
                                 let packets = setup.source.materialize(&desc, range);
                                 buffers[b].deliver(packets, ended);
                                 tree.wake_port(b);
@@ -510,8 +420,8 @@ impl ProcessingUnit {
                 if cycles.is_multiple_of(interval)
                     && (tree.rounds_completed() as usize) < total_rounds
                 {
-                    let addr = 0xC000_0000u64
-                        + (cycles / interval).wrapping_mul(0x9E37) % (64 << 20);
+                    let addr =
+                        0xC000_0000u64 + (cycles / interval).wrapping_mul(0x9E37) % (64 << 20);
                     let req = MemRequest::read(addr & !63, HOST_REQ_BIT | cycles);
                     if self.mem.can_accept(&req) {
                         let _ = self.mem.try_enqueue(req);
@@ -533,8 +443,8 @@ impl ProcessingUnit {
                     && ptr_next_issue < g.blocks.len()
                     && !read_q.is_full()
                 {
-                    let block =
-                        AddressLayout::block_of(g.ptr_base) + g.blocks[ptr_next_issue] * BLOCK_BYTES;
+                    let block = AddressLayout::block_of(g.ptr_base)
+                        + g.blocks[ptr_next_issue] * BLOCK_BYTES;
                     match read_q.enqueue(block, PTR_WAITER) {
                         EnqueueOutcome::Full => break,
                         _ => {
@@ -685,9 +595,7 @@ impl ProcessingUnit {
             if tree.rounds_completed() as usize >= total_rounds {
                 if bytes_accum > 0 && write_q.len() < pu_cfg.write_queue_entries {
                     let off = stored_nzs * 4;
-                    write_q.push_back(AddressLayout::block_of(
-                        out_bases[final_flush_pushed] + off,
-                    ));
+                    write_q.push_back(AddressLayout::block_of(out_bases[final_flush_pushed] + off));
                     final_flush_pushed += 1;
                     if final_flush_pushed == out_bases.len() {
                         bytes_accum = 0;
@@ -762,6 +670,24 @@ pub fn runs_to_descriptors(boundaries: &[usize], region: u8) -> Vec<StreamDescri
     descs
 }
 
+/// Converts run boundaries into (index, value) pair stream descriptors
+/// over `region` (the 8-byte SpMV intermediates of §3.6).
+pub fn pair_runs_to_descriptors(boundaries: &[usize], region: u8) -> Vec<StreamDescriptor> {
+    let mut descs = Vec::new();
+    let mut start = 0usize;
+    for &end in boundaries {
+        if end > start {
+            descs.push(StreamDescriptor {
+                start: start as u64,
+                end: end as u64,
+                kind: StreamKind::Pair { region },
+            });
+        }
+        start = end;
+    }
+    descs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -772,7 +698,7 @@ mod tests {
     }
 
     fn check_transpose(m: &CsrMatrix) {
-        let mut pu = ProcessingUnit::new(small_config());
+        let mut pu = ProcessingUnit::new(&small_config());
         let result = pu.transpose(m, 0);
         let golden = m.to_csc();
         assert_eq!(result.values.len(), golden.nnz(), "nnz mismatch");
@@ -815,7 +741,7 @@ mod tests {
     fn multi_iteration_when_rows_exceed_leaves() {
         // 64 non-empty rows on a 16-leaf tree: 2 iterations.
         let m = gen::uniform(64, 512, 7);
-        let mut pu = ProcessingUnit::new(small_config());
+        let mut pu = ProcessingUnit::new(&small_config());
         let result = pu.transpose(&m, 0);
         assert_eq!(result.stats.num_iterations(), 2);
         check_transpose(&m);
@@ -824,7 +750,7 @@ mod tests {
     #[test]
     fn single_iteration_when_rows_fit() {
         let m = gen::uniform(12, 100, 9);
-        let mut pu = ProcessingUnit::new(small_config());
+        let mut pu = ProcessingUnit::new(&small_config());
         let result = pu.transpose(&m, 0);
         assert_eq!(result.stats.num_iterations(), 1);
     }
@@ -832,7 +758,7 @@ mod tests {
     #[test]
     fn row_offset_shifts_minors() {
         let m = gen::uniform(8, 32, 1);
-        let mut pu = ProcessingUnit::new(small_config());
+        let mut pu = ProcessingUnit::new(&small_config());
         let r = pu.transpose(&m, 100);
         assert!(r.minors.iter().all(|&x| (100..108).contains(&x)));
     }
@@ -861,7 +787,7 @@ mod tests {
     #[test]
     fn empty_matrix_finishes_immediately() {
         let m = CsrMatrix::zeros(16, 16);
-        let mut pu = ProcessingUnit::new(small_config());
+        let mut pu = ProcessingUnit::new(&small_config());
         let r = pu.transpose(&m, 0);
         assert!(r.majors.is_empty());
         assert_eq!(r.stats.num_iterations(), 0);
@@ -874,7 +800,7 @@ mod tests {
         let run = |coal: bool| {
             let mut cfg = small_config();
             cfg.pu.request_coalescing = coal;
-            let mut pu = ProcessingUnit::new(cfg);
+            let mut pu = ProcessingUnit::new(&cfg);
             let r = pu.transpose(&m, 0);
             (
                 r.stats.iterations[0].loads_issued,
@@ -894,7 +820,7 @@ mod tests {
     #[test]
     fn stats_traffic_accounts_loads_and_stores() {
         let m = gen::uniform(32, 256, 13);
-        let mut pu = ProcessingUnit::new(small_config());
+        let mut pu = ProcessingUnit::new(&small_config());
         let r = pu.transpose(&m, 0);
         let it = &r.stats.iterations[0];
         assert!(it.loads_issued > 0);

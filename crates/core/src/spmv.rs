@@ -22,12 +22,12 @@ use menda_sparse::partition::RowPartition;
 use menda_sparse::CsrMatrix;
 
 use crate::config::MendaConfig;
-use crate::layout::{BLOCK_BYTES, PTR_BYTES};
+use crate::engine::{Engine, KernelSpec};
+use crate::job::{FinalOutput, IntermediateFormat, JobSource, PuJob};
+use crate::layout::{AddressLayout, BLOCK_BYTES, PTR_BYTES};
 use crate::prefetch::{StreamDescriptor, StreamKind};
-use crate::pu::{
-    iterations_needed, IterSource, IterationSetup, OutputMode, ProcessingUnit, PtrGate,
-};
-use crate::stats::PuStats;
+use crate::pu::{PtrGate, PuResult};
+use crate::stats::{PuStats, RunStats};
 
 /// Result of an SpMV execution on the MeNDA system.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,7 +93,6 @@ pub fn run(config: &MendaConfig, a: &CsrMatrix, x: &[f32]) -> SpmvResult {
 /// # Panics
 ///
 /// Panics if `x.len() != a.ncols()`.
-#[allow(clippy::needless_range_loop)] // c is a column id into several arrays
 pub fn run_with_options(
     config: &MendaConfig,
     a: &CsrMatrix,
@@ -101,21 +100,34 @@ pub fn run_with_options(
     options: SpmvOptions,
 ) -> SpmvResult {
     assert_eq!(x.len(), a.ncols(), "vector length must equal ncols");
-    config.pu.validate();
-    let pus = config.num_pus();
-    let partition = RowPartition::by_nnz(a, pus);
-    let l = config.pu.leaves as u64;
+    let spec = SpmvSpec {
+        a,
+        x,
+        partition: RowPartition::by_nnz(a, config.num_pus()),
+        options,
+    };
+    Engine::new(config).run(&spec)
+}
 
-    let mut y = vec![0.0f32; a.nrows()];
-    let mut stats = Vec::with_capacity(pus);
-    let mut cycles = 0u64;
+/// SpMV as an engine kernel: one gated scaled-column merge job per
+/// partition with pair intermediates and a dense final output, assembled
+/// by summing each PU's partial vector into `y`.
+struct SpmvSpec<'m> {
+    a: &'m CsrMatrix,
+    x: &'m [f32],
+    partition: RowPartition,
+    options: SpmvOptions,
+}
 
-    for p in 0..pus {
-        let part = partition.extract(a, p);
-        let offset = partition.range(p).start as u32;
+impl KernelSpec for SpmvSpec<'_> {
+    type Output = SpmvResult;
+
+    #[allow(clippy::needless_range_loop)] // c is a column id into several arrays
+    fn make_job(&self, p: usize) -> PuJob {
+        let part = self.partition.extract(self.a, p);
+        let offset = self.partition.range(p).start as u32;
         let csc = part.to_csc();
-        let mut pu = ProcessingUnit::new(config.clone());
-        let layout = *pu.layout();
+        let layout = AddressLayout::rank_default();
 
         // Global row indices so every PU's output lands directly in y.
         let rows_global: Vec<u32> = csc.row_idx().iter().map(|&r| r + offset).collect();
@@ -135,7 +147,7 @@ pub fn run_with_options(
             descriptors.push(StreamDescriptor {
                 start: s as u64,
                 end: e as u64,
-                kind: StreamKind::SpmvCol { scale: x[c] },
+                kind: StreamKind::SpmvCol { scale: self.x[c] },
             });
             let b0 = c as u64 / entries_per_block;
             let b1 = (c as u64 + 1) / entries_per_block;
@@ -147,7 +159,7 @@ pub fn run_with_options(
             release_block.push(b1);
         }
         needed_blocks.dedup();
-        if !options.aux_pointer_array {
+        if !self.options.aux_pointer_array {
             // Without the auxiliary array the controller streams the whole
             // pointer array, empty-column regions included.
             let total = (csc.ncols() as u64 + 1).div_ceil(entries_per_block);
@@ -164,96 +176,36 @@ pub fn run_with_options(
             vector_base: Some(layout.vector),
         };
 
-        let n_streams = descriptors.len() as u64;
-        let iterations = iterations_needed(n_streams, l);
-        if iterations == 0 {
-            stats.push(PuStats::default());
-            continue;
-        }
-        let mut cur_region = 0u8;
-        let out_mode = |is_final: bool, region: u8| {
-            if is_final {
-                OutputMode::FinalDense {
-                    rows: part.nrows() as u64,
-                }
-            } else {
-                OutputMode::IntermediatePair { region }
-            }
-        };
-
-        let setup = IterationSetup {
+        PuJob {
             descriptors,
-            source: IterSource::ScaledCsc {
-                rows: &rows_global,
-                vals: &vals,
+            source: JobSource::ScaledCsc {
+                rows: rows_global,
+                vals,
             },
             gate: Some(gate),
-            out: out_mode(iterations <= 1, cur_region),
+            intermediate: IntermediateFormat::Pair,
+            final_out: FinalOutput::Dense {
+                rows: part.nrows() as u64,
+            },
             reduce: true,
-        };
-        let (mut emitted, mut boundaries, it0) = pu.run_rounds(setup);
-        let mut pu_stats = PuStats {
-            iterations: vec![it0],
-            ..Default::default()
-        };
-
-        for it in 1..iterations {
-            let idx_buf = emitted.1;
-            let val_buf = emitted.2;
-            let descriptors = pair_runs_to_descriptors(&boundaries, cur_region);
-            let setup = IterationSetup {
-                descriptors,
-                source: IterSource::Pair {
-                    idx: &idx_buf,
-                    vals: &val_buf,
-                },
-                gate: None,
-                out: out_mode(it + 1 == iterations, 1 - cur_region),
-                reduce: true,
-            };
-            let (e, b, s) = pu.run_rounds(setup);
-            emitted = e;
-            boundaries = b;
-            pu_stats.iterations.push(s);
-            cur_region = 1 - cur_region;
         }
-
-        for (&row, &v) in emitted.1.iter().zip(&emitted.2) {
-            y[row as usize] += v;
-        }
-        cycles = cycles.max(pu_stats.total_cycles());
-        stats.push(pu_stats);
     }
 
-    let seconds = cycles as f64 / (config.pu.frequency_mhz as f64 * 1e6);
-    let gteps = if seconds > 0.0 {
-        a.nnz() as f64 / seconds / 1e9
-    } else {
-        0.0
-    };
-    SpmvResult {
-        y,
-        cycles,
-        seconds,
-        gteps,
-        pu_stats: stats,
-    }
-}
-
-fn pair_runs_to_descriptors(boundaries: &[usize], region: u8) -> Vec<StreamDescriptor> {
-    let mut descs = Vec::new();
-    let mut start = 0usize;
-    for &end in boundaries {
-        if end > start {
-            descs.push(StreamDescriptor {
-                start: start as u64,
-                end: end as u64,
-                kind: StreamKind::Pair { region },
-            });
+    fn assemble(&self, results: Vec<PuResult>, run: RunStats) -> SpmvResult {
+        let mut y = vec![0.0f32; self.a.nrows()];
+        for r in &results {
+            for (&row, &v) in r.majors.iter().zip(&r.values) {
+                y[row as usize] += v;
+            }
         }
-        start = end;
+        SpmvResult {
+            y,
+            cycles: run.cycles,
+            seconds: run.seconds,
+            gteps: run.throughput(self.a.nnz() as u64) / 1e9,
+            pu_stats: run.pu_stats,
+        }
     }
-    descs
 }
 
 #[cfg(test)]
@@ -331,13 +283,17 @@ mod tests {
             &MendaConfig::small_test(),
             &a,
             &x,
-            SpmvOptions { aux_pointer_array: true },
+            SpmvOptions {
+                aux_pointer_array: true,
+            },
         );
         let without = run_with_options(
             &MendaConfig::small_test(),
             &a,
             &x,
-            SpmvOptions { aux_pointer_array: false },
+            SpmvOptions {
+                aux_pointer_array: false,
+            },
         );
         for (g, w) in with_aux.y.iter().zip(&without.y) {
             assert!((g - w).abs() <= 1e-4 * w.abs().max(1.0));

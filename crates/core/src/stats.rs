@@ -75,6 +75,56 @@ impl PuStats {
     }
 }
 
+/// Aggregated statistics of one engine run across all PUs — the shared
+/// reduction every kernel driver previously reimplemented: execution time
+/// is the *maximum* over PUs (they run concurrently, §3.5), traffic is the
+/// *sum*, and the per-PU breakdown is kept for reporting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunStats {
+    /// Execution time in PU cycles (maximum over PUs).
+    pub cycles: u64,
+    /// Execution time in seconds at the PU clock.
+    pub seconds: f64,
+    /// Per-PU statistics, indexed by PU id.
+    pub pu_stats: Vec<PuStats>,
+}
+
+impl RunStats {
+    /// Aggregates per-PU statistics at the given PU clock frequency.
+    pub fn collect(frequency_mhz: u64, pu_stats: Vec<PuStats>) -> Self {
+        let cycles = pu_stats.iter().map(|s| s.total_cycles()).max().unwrap_or(0);
+        let seconds = cycles as f64 / (frequency_mhz as f64 * 1e6);
+        Self {
+            cycles,
+            seconds,
+            pu_stats,
+        }
+    }
+
+    /// Total memory traffic across PUs, in bytes.
+    pub fn total_traffic_bytes(&self) -> u64 {
+        self.pu_stats.iter().map(|s| s.total_traffic_bytes()).sum()
+    }
+
+    /// The largest number of iterations any PU needed.
+    pub fn max_iterations(&self) -> usize {
+        self.pu_stats
+            .iter()
+            .map(|s| s.num_iterations())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Throughput in `units` per second (0 when no time elapsed).
+    pub fn throughput(&self, units: u64) -> f64 {
+        if self.seconds > 0.0 {
+            units as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +174,32 @@ mod tests {
         assert_eq!(stats.total_traffic_bytes(), 6 * 64);
         assert_eq!(stats.total_coalesced(), 3);
         assert_eq!(stats.num_iterations(), 2);
+    }
+
+    #[test]
+    fn run_stats_take_max_cycles_and_sum_traffic() {
+        let pu = |cycles: u64, loads: u64| PuStats {
+            iterations: vec![IterationStats {
+                cycles,
+                loads_issued: loads,
+                ..Default::default()
+            }],
+            dram: DramStats::default(),
+        };
+        let run = RunStats::collect(800, vec![pu(100, 2), pu(400, 3), pu(250, 1)]);
+        assert_eq!(run.cycles, 400);
+        assert!((run.seconds - 400.0 / 800e6).abs() < 1e-15);
+        assert_eq!(run.total_traffic_bytes(), 6 * 64);
+        assert_eq!(run.max_iterations(), 1);
+        assert!(run.throughput(800) > 0.0);
+    }
+
+    #[test]
+    fn run_stats_empty_is_zero() {
+        let run = RunStats::collect(800, Vec::new());
+        assert_eq!(run.cycles, 0);
+        assert_eq!(run.seconds, 0.0);
+        assert_eq!(run.throughput(100), 0.0);
+        assert_eq!(run.max_iterations(), 0);
     }
 }

@@ -6,8 +6,10 @@ use menda_sparse::partition::RowPartition;
 use menda_sparse::{CscMatrix, CsrMatrix};
 
 use crate::config::MendaConfig;
-use crate::pu::{ProcessingUnit, PuResult};
-use crate::stats::PuStats;
+use crate::engine::{Engine, KernelSpec};
+use crate::job::{self, PuJob};
+use crate::pu::PuResult;
+use crate::stats::{PuStats, RunStats};
 
 /// Result of a system-level transposition.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,37 +88,42 @@ impl MendaSystem {
     }
 
     /// Transposes `matrix`: partitions rows by NNZ across the PUs (§3.5),
-    /// runs each PU's multi-iteration merge (§3.1) on its own rank, and
-    /// assembles the global CSC output.
+    /// runs each PU's multi-iteration merge (§3.1) on its own rank via the
+    /// execution engine, and assembles the global CSC output.
     pub fn transpose(&mut self, matrix: &CsrMatrix) -> TransposeResult {
-        let pus = self.config.num_pus();
-        let partition = RowPartition::by_nnz(matrix, pus);
-        let mut results: Vec<PuResult> = Vec::with_capacity(pus);
-        for p in 0..pus {
-            let part = partition.extract(matrix, p);
-            let offset = partition.range(p).start;
-            let mut pu = ProcessingUnit::new(self.config.clone());
-            results.push(pu.transpose(&part, offset));
-        }
-        let cycles = results
-            .iter()
-            .map(|r| r.stats.total_cycles())
-            .max()
-            .unwrap_or(0);
-        let seconds = cycles as f64 / (self.config.pu.frequency_mhz as f64 * 1e6);
-        let output = assemble_csc(matrix.nrows(), matrix.ncols(), &results);
-        let nnz_per_sec = if seconds > 0.0 {
-            matrix.nnz() as f64 / seconds
-        } else {
-            0.0
+        let spec = TransposeSpec {
+            matrix,
+            partition: RowPartition::by_nnz(matrix, self.config.num_pus()),
         };
+        Engine::new(&self.config).run(&spec)
+    }
+}
+
+/// Transposition as an engine kernel: one gated CSR-row merge job per
+/// partition, assembled into a global CSC matrix.
+struct TransposeSpec<'m> {
+    matrix: &'m CsrMatrix,
+    partition: RowPartition,
+}
+
+impl KernelSpec for TransposeSpec<'_> {
+    type Output = TransposeResult;
+
+    fn make_job(&self, p: usize) -> PuJob {
+        let part = self.partition.extract(self.matrix, p);
+        let offset = self.partition.range(p).start;
+        job::transpose_job(part, offset)
+    }
+
+    fn assemble(&self, results: Vec<PuResult>, run: RunStats) -> TransposeResult {
+        let output = assemble_csc(self.matrix.nrows(), self.matrix.ncols(), &results);
         TransposeResult {
             output,
-            cycles,
-            seconds,
-            nnz_per_sec,
-            pu_stats: results.into_iter().map(|r| r.stats).collect(),
-            partition,
+            cycles: run.cycles,
+            seconds: run.seconds,
+            nnz_per_sec: run.throughput(self.matrix.nnz() as u64),
+            pu_stats: run.pu_stats,
+            partition: self.partition.clone(),
         }
     }
 }

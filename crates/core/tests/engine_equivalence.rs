@@ -1,0 +1,144 @@
+//! Engine satellite tests: the parallel execution engine is bit-identical
+//! to a serial run for every kernel, PU count and matrix family, and all
+//! three kernels share the same empty-work accounting.
+
+use menda_core::{spgemm, spmv, MendaConfig, MendaSystem};
+use menda_sparse::gen;
+use menda_sparse::rng::StdRng;
+use menda_sparse::CsrMatrix;
+
+fn config(pus: usize, threads: usize) -> MendaConfig {
+    MendaConfig::small_test()
+        .with_channels(1)
+        .with_ranks_per_channel(pus)
+        .with_threads(threads)
+}
+
+/// Seeded property test: for random uniform and R-MAT matrices across
+/// 1/2/4/8 PUs, `Engine::run` with worker threads produces byte-identical
+/// transpositions (checked against `to_csc()`) and identical statistics to
+/// a `threads = 1` run.
+#[test]
+fn parallel_transpose_is_identical_to_serial_and_golden() {
+    let mut rng = StdRng::seed_from_u64(0xE46);
+    for case in 0..6 {
+        let n = 64 << (case % 3);
+        let nnz = n * (4 + rng.random_range(0..8));
+        let m = if case % 2 == 0 {
+            gen::uniform(n, nnz, rng.next_u64())
+        } else {
+            gen::rmat(n, nnz, gen::RmatParams::PAPER, rng.next_u64())
+        };
+        let golden = m.to_csc();
+        for pus in [1usize, 2, 4, 8] {
+            let serial = MendaSystem::new(config(pus, 1)).transpose(&m);
+            assert_eq!(serial.output, golden, "case {case} pus {pus} serial");
+            for threads in [2usize, 8] {
+                let par = MendaSystem::new(config(pus, threads)).transpose(&m);
+                assert_eq!(
+                    par.output, serial.output,
+                    "case {case} pus {pus} threads {threads}"
+                );
+                assert_eq!(par.cycles, serial.cycles);
+                assert_eq!(par.pu_stats, serial.pu_stats);
+            }
+        }
+    }
+}
+
+/// Same property for SpMV, checked against the dense reference.
+#[test]
+fn parallel_spmv_is_identical_to_serial_and_golden() {
+    let mut rng = StdRng::seed_from_u64(0x59B7);
+    for case in 0..4 {
+        let n = 96 << (case % 2);
+        let m = if case % 2 == 0 {
+            gen::uniform(n, n * 8, rng.next_u64())
+        } else {
+            gen::rmat(n, n * 8, gen::RmatParams::PAPER, rng.next_u64())
+        };
+        let x: Vec<f32> = (0..n)
+            .map(|_| rng.random_range(0..9) as f32 - 4.0)
+            .collect();
+        let golden = m.spmv(&x);
+        for pus in [1usize, 2, 4, 8] {
+            let serial = spmv::run(&config(pus, 1), &m, &x);
+            for (i, (got, want)) in serial.y.iter().zip(&golden).enumerate() {
+                assert!(
+                    (got - want).abs() <= 1e-3 * want.abs().max(1.0),
+                    "case {case} pus {pus} row {i}: {got} vs {want}"
+                );
+            }
+            for threads in [2usize, 8] {
+                let par = spmv::run(&config(pus, threads), &m, &x);
+                // Bit-identical, not approximately equal: the engine
+                // assembles per-PU results in PU order regardless of
+                // which thread finished first.
+                assert_eq!(par.y, serial.y, "case {case} pus {pus} threads {threads}");
+                assert_eq!(par.cycles, serial.cycles);
+                assert_eq!(par.pu_stats, serial.pu_stats);
+            }
+        }
+    }
+}
+
+/// Same property for the SpGEMM merge phase.
+#[test]
+fn parallel_spgemm_is_identical_to_serial() {
+    let a = gen::rmat(64, 512, gen::RmatParams::PAPER, 0x5139);
+    for pus in [1usize, 2, 4] {
+        let serial = spgemm::run(&config(pus, 1), &a, &a);
+        for threads in [2usize, 8] {
+            let par = spgemm::run(&config(pus, threads), &a, &a);
+            assert_eq!(par.c, serial.c, "pus {pus} threads {threads}");
+            assert_eq!(par.merge_cycles, serial.merge_cycles);
+            assert_eq!(par.pu_stats, serial.pu_stats);
+        }
+    }
+}
+
+/// Empty partitions are accounted identically by every kernel: a PU with
+/// no streams reports zero iterations, zero cycles and zero traffic, and
+/// the run completes with empty output.
+#[test]
+fn empty_partitions_account_identically_across_kernels() {
+    // 4 PUs but only 2 rows with nonzeros: at least 2 PUs get empty work.
+    let row_ptr: Vec<usize> = (0..17)
+        .map(|r| if r >= 9 { 2 } else { usize::from(r >= 1) })
+        .collect();
+    let m = CsrMatrix::from_parts_unchecked(16, 16, row_ptr, vec![3u32, 9], vec![1.0, 2.0]);
+    let cfg = config(4, 2);
+
+    let t = MendaSystem::new(cfg.clone()).transpose(&m);
+    assert_eq!(t.output, m.to_csc());
+    let s = spmv::run(&cfg, &m, &[1.0; 16]);
+    assert_eq!(s.y, m.spmv(&[1.0; 16]));
+    let g = spgemm::run(&cfg, &m, &m);
+    assert_eq!(g.c, spgemm::spgemm_golden(&m, &m));
+
+    for stats in [&t.pu_stats, &s.pu_stats, &g.pu_stats] {
+        assert_eq!(stats.len(), 4);
+        let empties: Vec<_> = stats.iter().filter(|s| s.num_iterations() == 0).collect();
+        assert!(
+            empties.len() >= 2,
+            "expected at least 2 empty PUs, got {}",
+            empties.len()
+        );
+        for e in empties {
+            assert_eq!(e.total_cycles(), 0);
+            assert_eq!(e.total_traffic_bytes(), 0);
+        }
+    }
+
+    // Fully empty inputs: every kernel reports zero cycles and empty output.
+    let z = CsrMatrix::zeros(16, 16);
+    let t = MendaSystem::new(cfg.clone()).transpose(&z);
+    assert_eq!((t.output.nnz(), t.cycles), (0, 0));
+    let s = spmv::run(&cfg, &z, &[1.0; 16]);
+    assert_eq!(
+        (s.y.iter().filter(|&&v| v != 0.0).count(), s.cycles),
+        (0, 0)
+    );
+    let g = spgemm::run(&cfg, &z, &z);
+    assert_eq!((g.c.nnz(), g.merge_cycles), (0, 0));
+}

@@ -16,12 +16,16 @@ fn pu_memory_traffic_is_protocol_clean() {
     // One PU so the partition (and its rank's command stream) is the whole
     // matrix; multi-iteration merge included (256 rows on a 16-leaf tree).
     let cfg = cfg.with_channels(1).with_ranks_per_channel(1);
-    let mut pu = menda_core::ProcessingUnit::new(cfg.clone());
+    let mut pu = menda_core::ProcessingUnit::new(&cfg);
     let result = pu.transpose(&m, 0);
     assert_eq!(result.values.len(), m.nnz());
     assert!(result.stats.num_iterations() >= 2);
     let log = pu.dram_command_log();
-    assert!(log.len() > 1000, "expected substantial traffic, got {}", log.len());
+    assert!(
+        log.len() > 1000,
+        "expected substantial traffic, got {}",
+        log.len()
+    );
     let dram_cfg = cfg.dram.clone().with_channels(1).with_ranks(1);
     validate_trace(log, &dram_cfg.timing, &dram_cfg.org)
         .expect("PU-generated DRAM traffic violates the DDR4 protocol");

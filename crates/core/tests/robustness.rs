@@ -45,7 +45,14 @@ fn tiny_queues_and_buffers() {
 fn single_element_and_single_row_matrices() {
     let one = CsrMatrix::new(1, 1, vec![0, 1], vec![0], vec![42.0]).unwrap();
     check(MendaConfig::small_test(), &one);
-    let row = CsrMatrix::new(1, 64, (0..=1).map(|i| i * 32).collect::<Vec<_>>(), (0..32).map(|c| c * 2).collect(), vec![1.0; 32]).unwrap();
+    let row = CsrMatrix::new(
+        1,
+        64,
+        (0..=1).map(|i| i * 32).collect::<Vec<_>>(),
+        (0..32).map(|c| c * 2).collect(),
+        vec![1.0; 32],
+    )
+    .unwrap();
     check(MendaConfig::small_test(), &row);
 }
 

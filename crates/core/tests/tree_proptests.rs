@@ -1,31 +1,41 @@
-//! Property-based tests of the structural merge tree: arbitrary sorted
+//! Property-style tests of the structural merge tree: arbitrary sorted
 //! streams, arbitrary tree widths and FIFO depths, multiple back-to-back
 //! rounds — the output must always equal the functional merge, round by
-//! round.
+//! round. Cases are seeded draws from the in-repo generator (the offline
+//! build cannot fetch `proptest`).
 
-use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 use menda_core::{MergeTree, Packet, SliceLeafSource};
+use menda_sparse::rng::StdRng;
 
-/// Strategy: per-round sorted streams for a tree of `leaves` ports.
+/// One random sorted, duplicate-free stream of up to `max_len` packets.
+fn arb_stream(rng: &mut StdRng, max_len: usize) -> Vec<Packet> {
+    let n = rng.random_range(0..max_len);
+    let keys: BTreeSet<(u32, u32)> = (0..n)
+        .map(|_| {
+            (
+                rng.random_range(0..1000) as u32,
+                rng.random_range(0..50) as u32,
+            )
+        })
+        .collect();
+    keys.into_iter()
+        .map(|(maj, min)| Packet::nz(maj, min, (maj + min) as f32))
+        .collect()
+}
+
+/// Per-round sorted streams for a tree of `leaves` ports.
 fn arb_rounds(
+    rng: &mut StdRng,
     leaves: usize,
     max_rounds: usize,
     max_len: usize,
-) -> impl Strategy<Value = Vec<Vec<Vec<Packet>>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(
-            proptest::collection::vec((0u32..1000, 0u32..50), 0..max_len).prop_map(|mut keys| {
-                keys.sort_unstable();
-                keys.dedup();
-                keys.into_iter()
-                    .map(|(maj, min)| Packet::nz(maj, min, (maj + min) as f32))
-                    .collect::<Vec<Packet>>()
-            }),
-            leaves,
-        ),
-        1..=max_rounds,
-    )
+) -> Vec<Vec<Vec<Packet>>> {
+    let rounds = rng.random_range(1..max_rounds.max(1) + 1);
+    (0..rounds)
+        .map(|_| (0..leaves).map(|_| arb_stream(rng, max_len)).collect())
+        .collect()
 }
 
 fn run_rounds(leaves: usize, fifo: usize, rounds: &[Vec<Vec<Packet>>]) -> Vec<Vec<Packet>> {
@@ -62,36 +72,31 @@ fn run_rounds(leaves: usize, fifo: usize, rounds: &[Vec<Vec<Packet>>]) -> Vec<Ve
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// For arbitrary stream content the tree emits, per round, exactly the
-    /// functional multi-way merge of that round's streams.
-    #[test]
-    fn tree_equals_functional_merge(
-        leaves_pow in 1u32..5,
-        fifo in 1usize..4,
-        rounds in arb_rounds(16, 3, 12),
-    ) {
-        let leaves = 1usize << leaves_pow;
-        let rounds: Vec<Vec<Vec<Packet>>> = rounds
-            .into_iter()
-            .map(|r| r.into_iter().take(leaves).collect())
-            .collect();
+/// For arbitrary stream content the tree emits, per round, exactly the
+/// functional multi-way merge of that round's streams.
+#[test]
+fn tree_equals_functional_merge() {
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0x7EEE + seed);
+        let leaves = 1usize << rng.random_range(1..5);
+        let fifo = rng.random_range(1..4);
+        let rounds = arb_rounds(&mut rng, leaves, 3, 12);
         let out = run_rounds(leaves, fifo, &rounds);
-        prop_assert_eq!(out.len(), rounds.len());
+        assert_eq!(out.len(), rounds.len(), "seed {seed}");
         for (got, round) in out.iter().zip(&rounds) {
             let want = MergeTree::merge_functional(round);
-            prop_assert_eq!(got, &want);
+            assert_eq!(got, &want, "seed {seed}");
         }
     }
+}
 
-    /// The root never emits more than one packet per cycle and the total
-    /// cycle count is bounded by a small constant factor of the work.
-    #[test]
-    fn throughput_bound(
-        rounds in arb_rounds(8, 2, 20),
-    ) {
+/// The root never emits more than one packet per cycle and the total
+/// cycle count is bounded by a small constant factor of the work.
+#[test]
+fn throughput_bound() {
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0x7B0D + seed);
+        let rounds = arb_rounds(&mut rng, 8, 2, 20);
         let total: usize = rounds.iter().flat_map(|r| r.iter()).map(|s| s.len()).sum();
         let mut src = SliceLeafSource::new(8);
         for round in &rounds {
@@ -112,12 +117,15 @@ proptest! {
                 }
             }
             cycles += 1;
-            prop_assert!(cycles < 100_000);
+            assert!(cycles < 100_000);
         }
-        prop_assert_eq!(pops, total);
+        assert_eq!(pops, total, "seed {seed}");
         // Fill latency is log2(8)=3 per round plus one cycle per element
         // and per EOL; allow 3x slack for pathological stalls.
         let bound = 3 * (total as u64 + rounds.len() as u64 * 8 + 16);
-        prop_assert!(cycles <= bound, "{cycles} cycles for {total} elements");
+        assert!(
+            cycles <= bound,
+            "seed {seed}: {cycles} cycles for {total} elements"
+        );
     }
 }

@@ -395,7 +395,12 @@ mod tests {
     #[test]
     fn bfs_edge_counts_are_recorded() {
         let g = graph(4);
-        let run = bfs(&g, 0);
+        // R-MAT leaves some vertices isolated; start from one with
+        // out-edges so the traversal actually visits edges.
+        let src = (0..g.nv())
+            .find(|&v| !g.out_neighbors(v).0.is_empty())
+            .expect("graph has edges");
+        let run = bfs(&g, src);
         assert!(run.iterations.iter().all(|i| i.frontier > 0));
         let total_edges: usize = run.iterations.iter().map(|i| i.edges).sum();
         assert!(total_edges > 0);

@@ -10,8 +10,8 @@
 //!   comes from the cycle-level PU simulation.
 
 use menda_baselines::trace::{simulate_with, TraceAlgo};
-use menda_dram::cpu_mode::CpuModeConfig;
 use menda_core::{MendaConfig, MendaSystem};
+use menda_dram::cpu_mode::CpuModeConfig;
 use menda_dram::DramConfig;
 use menda_sparse::CsrMatrix;
 
@@ -102,7 +102,10 @@ pub fn sssp_end_to_end(
     };
     let per_transpose_s = match strategy {
         TransposeStrategy::TwoCopies => 0.0,
-        TransposeStrategy::RuntimeMergeTrans { threads, cache_scale } => {
+        TransposeStrategy::RuntimeMergeTrans {
+            threads,
+            cache_scale,
+        } => {
             let mut dram = DramConfig::ddr4_2400r().with_channels(4);
             dram.refresh_enabled = false;
             simulate_with(
@@ -185,7 +188,10 @@ mod tests {
         let mt = sssp_end_to_end(
             &m,
             src,
-            &TransposeStrategy::RuntimeMergeTrans { threads: 16, cache_scale: 256 },
+            &TransposeStrategy::RuntimeMergeTrans {
+                threads: 16,
+                cache_scale: 256,
+            },
             &model,
         );
         // The paper-shaped MeNDA (wide tree, 8 ranks) finishes in one

@@ -114,7 +114,10 @@ impl RemapOutcome {
 /// every rank stays active either way — the §6.3 argument for why the
 /// re-mapping is near-free.
 pub fn remap_experiment(ranks: usize, tiles: usize, blocks_per_stream: usize) -> RemapOutcome {
-    assert!(ranks > 0 && tiles >= ranks, "need at least one tile per rank");
+    assert!(
+        ranks > 0 && tiles >= ranks,
+        "need at least one tile per rank"
+    );
     let mut cfg = DramConfig::ddr4_2400r().with_ranks(ranks);
     cfg.refresh_enabled = false;
     cfg.mapping = MappingScheme::ChRaBaRoCo; // rank bits high

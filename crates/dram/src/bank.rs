@@ -67,14 +67,20 @@ impl Bank {
 
     /// Applies the timing effects of a RD issued at `now`.
     pub fn do_read(&mut self, now: u64, t: &DramTiming) {
-        debug_assert!(matches!(self.state, BankState::Opened(_)), "RD to closed bank");
+        debug_assert!(
+            matches!(self.state, BankState::Opened(_)),
+            "RD to closed bank"
+        );
         debug_assert!(now >= self.next_rd, "RD violates tRCD/tCCD");
         self.next_pre = self.next_pre.max(now + t.t_rtp);
     }
 
     /// Applies the timing effects of a WR issued at `now`.
     pub fn do_write(&mut self, now: u64, t: &DramTiming) {
-        debug_assert!(matches!(self.state, BankState::Opened(_)), "WR to closed bank");
+        debug_assert!(
+            matches!(self.state, BankState::Opened(_)),
+            "WR to closed bank"
+        );
         debug_assert!(now >= self.next_wr, "WR violates tRCD/tCCD");
         // Write recovery: data lands at now + tCWL + tBL, row must stay open
         // tWR beyond that.
@@ -128,7 +134,11 @@ impl RankState {
     pub fn act_allowed_at(&self, bank_group: usize, t: &DramTiming) -> u64 {
         let mut at = self.ready_at;
         if let Some((when, bg)) = self.last_act {
-            let gap = if bg == bank_group { t.t_rrd_l } else { t.t_rrd_s };
+            let gap = if bg == bank_group {
+                t.t_rrd_l
+            } else {
+                t.t_rrd_s
+            };
             at = at.max(when + gap);
         }
         if self.faw_window.len() == 4 {
@@ -140,9 +150,15 @@ impl RankState {
     /// Earliest cycle a CAS (RD/WR) to `bank_group` may issue under
     /// `tCCD`/turnaround/refresh constraints.
     pub fn cas_allowed_at(&self, bank_group: usize, is_read: bool, t: &DramTiming) -> u64 {
-        let mut at = self.ready_at.max(if is_read { self.next_rd } else { self.next_wr });
+        let mut at = self
+            .ready_at
+            .max(if is_read { self.next_rd } else { self.next_wr });
         if let Some((when, bg)) = self.last_cas {
-            let gap = if bg == bank_group { t.t_ccd_l } else { t.t_ccd_s };
+            let gap = if bg == bank_group {
+                t.t_ccd_l
+            } else {
+                t.t_ccd_s
+            };
             at = at.max(when + gap);
         }
         at

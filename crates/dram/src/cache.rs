@@ -155,7 +155,10 @@ impl Cache {
             dirty: is_write,
             lru: self.stamp,
         };
-        AccessOutcome { hit: false, writeback }
+        AccessOutcome {
+            hit: false,
+            writeback,
+        }
     }
 
     /// Invalidates the block containing `addr` without write-back.
@@ -207,7 +210,11 @@ pub struct CacheHierarchy {
 impl CacheHierarchy {
     /// Builds the L1/L2/L3 hierarchy of Table 1.
     pub fn table1() -> Self {
-        Self::new(vec![CacheConfig::l1(), CacheConfig::l2(), CacheConfig::l3()])
+        Self::new(vec![
+            CacheConfig::l1(),
+            CacheConfig::l2(),
+            CacheConfig::l3(),
+        ])
     }
 
     /// Builds a hierarchy from outermost-last configs.

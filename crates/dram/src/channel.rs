@@ -3,11 +3,11 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use crate::bank::RankState;
 use crate::command::{CommandKind, CommandRecord};
-use crate::scheduler::{Candidate, NeededCommand};
 use crate::config::RowPolicy;
+use crate::scheduler::{Candidate, NeededCommand};
 use crate::{
-    Bank, BankState, DramConfig, DramCoord, FrfcfsPriorHit, MemRequest, MemResponse, ReqKind,
-    DramStats,
+    Bank, BankState, DramConfig, DramCoord, DramStats, FrfcfsPriorHit, MemRequest, MemResponse,
+    ReqKind,
 };
 
 /// A request resident in a channel queue.
@@ -121,11 +121,7 @@ impl ChannelController {
         let addr = req.addr & line_mask;
         match req.kind {
             ReqKind::Read => {
-                if self
-                    .write_q
-                    .iter()
-                    .any(|w| w.req.addr & line_mask == addr)
-                {
+                if self.write_q.iter().any(|w| w.req.addr & line_mask == addr) {
                     self.push_response(MemResponse {
                         id: req.id,
                         addr,
@@ -212,9 +208,11 @@ impl ChannelController {
                 self.schedule_queue(ReqKind::Read);
             }
         } else if !self.read_q.is_empty()
-            && !self.schedule_queue(ReqKind::Read) && !self.write_q.is_empty() {
-                self.schedule_queue(ReqKind::Write);
-            }
+            && !self.schedule_queue(ReqKind::Read)
+            && !self.write_q.is_empty()
+        {
+            self.schedule_queue(ReqKind::Write);
+        }
     }
 
     /// Handles due refreshes. Returns `true` if this cycle's command slot
@@ -310,9 +308,7 @@ impl ChannelController {
                 let issuable = match needed {
                     NeededCommand::Cas => self.cas_issuable(q),
                     NeededCommand::Activate => self.act_issuable(q),
-                    NeededCommand::Precharge => {
-                        !older_hit[flat] && self.now >= bank.next_pre
-                    }
+                    NeededCommand::Precharge => !older_hit[flat] && self.now >= bank.next_pre,
                 };
                 if needed == NeededCommand::Cas {
                     older_hit[flat] = true;
@@ -414,7 +410,11 @@ impl ChannelController {
                     t.t_cwl
                 };
                 self.log_command(
-                    if is_read { CommandKind::Rd } else { CommandKind::Wr },
+                    if is_read {
+                        CommandKind::Rd
+                    } else {
+                        CommandKind::Wr
+                    },
                     entry.coord,
                 );
                 self.ranks[entry.coord.rank].record_cas(
@@ -520,7 +520,10 @@ mod tests {
         let _ = run_until_response(&mut ctrl, 200).unwrap();
         let addr2 = row_stride as u64;
         let c2 = map.decode(addr2);
-        assert_eq!(c2.flat_bank(map.organization()), map.decode(0).flat_bank(map.organization()));
+        assert_eq!(
+            c2.flat_bank(map.organization()),
+            map.decode(0).flat_bank(map.organization())
+        );
         assert_ne!(c2.row, map.decode(0).row);
         assert!(ctrl.try_enqueue(MemRequest::read(addr2, 2), c2));
         let _ = run_until_response(&mut ctrl, 400).unwrap();
@@ -532,7 +535,10 @@ mod tests {
     fn queue_rejects_when_full() {
         let (mut ctrl, map) = controller();
         for i in 0..32 {
-            assert!(ctrl.try_enqueue(MemRequest::read((i * 4096) as u64, i as u64), map.decode((i * 4096) as u64)));
+            assert!(ctrl.try_enqueue(
+                MemRequest::read((i * 4096) as u64, i as u64),
+                map.decode((i * 4096) as u64)
+            ));
         }
         assert!(!ctrl.try_enqueue(MemRequest::read(1 << 20, 99), map.decode(1 << 20)));
         assert_eq!(ctrl.stats().queue_full_rejections, 1);

@@ -96,21 +96,21 @@ pub fn validate_trace(
     let mut acts: Vec<Vec<(u64, usize, usize)>> = vec![Vec::new(); org.ranks]; // (cycle, idx, bg)
     let mut cas: Vec<Vec<(u64, usize, usize, bool)>> = vec![Vec::new(); org.ranks];
 
-    let viol = |constraint: &'static str, first: usize, second: usize, required: u64, observed: u64| {
-        Err(TimingViolation {
-            constraint,
-            first,
-            second,
-            required,
-            observed,
-        })
-    };
+    let viol =
+        |constraint: &'static str, first: usize, second: usize, required: u64, observed: u64| {
+            Err(TimingViolation {
+                constraint,
+                first,
+                second,
+                required,
+                observed,
+            })
+        };
 
     for (i, cmd) in trace.iter().enumerate() {
         let rank = cmd.coord.rank;
-        let flat = rank * banks_per_rank
-            + cmd.coord.bank_group * org.banks_per_group
-            + cmd.coord.bank;
+        let flat =
+            rank * banks_per_rank + cmd.coord.bank_group * org.banks_per_group + cmd.coord.bank;
         match cmd.kind {
             CommandKind::Act => {
                 let b = banks[flat];
@@ -130,9 +130,10 @@ pub fn validate_trace(
                 for &(when, j, bg) in acts[rank].iter().rev().take(8) {
                     if bg == cmd.coord.bank_group && cmd.cycle < when + t.t_rrd_l {
                         // Same bank is governed by tRC (checked above).
-                        if flat != trace[j].coord.rank * banks_per_rank
-                            + trace[j].coord.bank_group * org.banks_per_group
-                            + trace[j].coord.bank
+                        if flat
+                            != trace[j].coord.rank * banks_per_rank
+                                + trace[j].coord.bank_group * org.banks_per_group
+                                + trace[j].coord.bank
                         {
                             return viol("tRRD_L", j, i, t.t_rrd_l, cmd.cycle - when);
                         }
@@ -178,9 +179,7 @@ pub fn validate_trace(
                 let b = banks[flat];
                 match b.open_row {
                     None => return viol("CAS-on-closed-bank", i, i, 0, 0),
-                    Some(r) if r != cmd.coord.row => {
-                        return viol("CAS-row-mismatch", i, i, 0, 0)
-                    }
+                    Some(r) if r != cmd.coord.row => return viol("CAS-row-mismatch", i, i, 0, 0),
                     _ => {}
                 }
                 if let Some((when, j)) = b.last_act {
@@ -196,7 +195,11 @@ pub fn validate_trace(
                     };
                     if cmd.cycle < when + gap {
                         return viol(
-                            if bg == cmd.coord.bank_group { "tCCD_L" } else { "tCCD_S" },
+                            if bg == cmd.coord.bank_group {
+                                "tCCD_L"
+                            } else {
+                                "tCCD_S"
+                            },
                             j,
                             i,
                             gap,
@@ -227,8 +230,7 @@ pub fn validate_trace(
                 // Block the rank for tRFC: model as an ACT-blocking window
                 // by faking a precharge time on every bank.
                 for b in 0..banks_per_rank {
-                    banks[base + b].last_pre =
-                        Some((cmd.cycle + t.t_rfc - t.t_rp, i));
+                    banks[base + b].last_pre = Some((cmd.cycle + t.t_rfc - t.t_rp, i));
                 }
             }
         }
@@ -261,7 +263,11 @@ mod tests {
     }
 
     fn cmd(cycle: u64, kind: CommandKind, c: DramCoord) -> CommandRecord {
-        CommandRecord { cycle, kind, coord: c }
+        CommandRecord {
+            cycle,
+            kind,
+            coord: c,
+        }
     }
 
     #[test]
@@ -336,12 +342,16 @@ mod tests {
             cmd(100, CommandKind::Act, coord(0, 6, 0)),
         ];
         assert_eq!(
-            validate_trace(&double_act, &t(), &org()).unwrap_err().constraint,
+            validate_trace(&double_act, &t(), &org())
+                .unwrap_err()
+                .constraint,
             "ACT-on-open-bank"
         );
         let cas_closed = vec![cmd(0, CommandKind::Rd, coord(0, 5, 0))];
         assert_eq!(
-            validate_trace(&cas_closed, &t(), &org()).unwrap_err().constraint,
+            validate_trace(&cas_closed, &t(), &org())
+                .unwrap_err()
+                .constraint,
             "CAS-on-closed-bank"
         );
         let wrong_row = vec![
@@ -349,7 +359,9 @@ mod tests {
             cmd(20, CommandKind::Rd, coord(0, 7, 0)),
         ];
         assert_eq!(
-            validate_trace(&wrong_row, &t(), &org()).unwrap_err().constraint,
+            validate_trace(&wrong_row, &t(), &org())
+                .unwrap_err()
+                .constraint,
             "CAS-row-mismatch"
         );
     }

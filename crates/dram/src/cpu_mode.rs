@@ -7,7 +7,7 @@
 //! custom barrier synchronization keeps threads aligned at algorithm phase
 //! boundaries.
 
-use crate::{CacheConfig, CacheHierarchy, Cache, DramStats, DramConfig, MemRequest, MemorySystem};
+use crate::{Cache, CacheConfig, CacheHierarchy, DramConfig, DramStats, MemRequest, MemorySystem};
 
 /// One operation of a core's trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -245,9 +245,7 @@ impl CpuMode {
 
             for _ in 0..self.config.cpu_per_dram_tick {
                 for (ci, core) in cores.iter_mut().enumerate() {
-                    Self::tick_core(
-                        ci, core, &mut mem, &mut l3, &self.config, ncores, &mut seq,
-                    );
+                    Self::tick_core(ci, core, &mut mem, &mut l3, &self.config, ncores, &mut seq);
                 }
             }
             mem.tick();
@@ -255,8 +253,7 @@ impl CpuMode {
             while let Some(resp) = mem.pop_response() {
                 let core_idx = (resp.id >> 32) as usize;
                 if core_idx < ncores {
-                    cores[core_idx].outstanding =
-                        cores[core_idx].outstanding.saturating_sub(1);
+                    cores[core_idx].outstanding = cores[core_idx].outstanding.saturating_sub(1);
                 }
             }
             debug_assert!(cycles < u64::MAX);

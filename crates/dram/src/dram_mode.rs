@@ -130,8 +130,7 @@ mod tests {
 
     #[test]
     fn sequential_trace_retires_all() {
-        let trace: Vec<TraceRequest> =
-            (0..256).map(|i| TraceRequest::read(i, i * 64)).collect();
+        let trace: Vec<TraceRequest> = (0..256).map(|i| TraceRequest::read(i, i * 64)).collect();
         let r = replay(cfg(), &trace);
         assert_eq!(r.stats.reads, 256);
         assert!(r.finished_at > 255);
@@ -142,8 +141,7 @@ mod tests {
     #[test]
     fn bursty_trace_sees_queueing_delay() {
         // All requests arrive at cycle 0: deep queueing.
-        let burst: Vec<TraceRequest> =
-            (0..128).map(|i| TraceRequest::read(0, i * 4096)).collect();
+        let burst: Vec<TraceRequest> = (0..128).map(|i| TraceRequest::read(0, i * 4096)).collect();
         // The same requests spread out: little queueing.
         let spread: Vec<TraceRequest> = (0..128)
             .map(|i| TraceRequest::read(i * 60, i * 4096))

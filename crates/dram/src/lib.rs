@@ -47,9 +47,9 @@
 
 mod address;
 mod bank;
-pub mod command;
 mod cache;
 mod channel;
+pub mod command;
 mod config;
 pub mod cpu_mode;
 pub mod dram_mode;
@@ -60,10 +60,10 @@ mod stats;
 mod system;
 
 pub use address::{AddressMapper, DramCoord, MappingScheme};
-pub use command::{validate_trace, CommandKind, CommandRecord, TimingViolation};
 pub use bank::{Bank, BankState};
 pub use cache::{Cache, CacheConfig, CacheHierarchy};
 pub use channel::ChannelController;
+pub use command::{validate_trace, CommandKind, CommandRecord, TimingViolation};
 pub use config::{DramConfig, DramTiming, Organization, RowPolicy};
 pub use request::{MemRequest, MemResponse, ReqKind};
 pub use scheduler::FrfcfsPriorHit;

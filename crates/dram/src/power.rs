@@ -78,7 +78,8 @@ pub fn energy(stats: &DramStats, config: &DramConfig, interface: Interface) -> E
         burst_j: (stats.reads as f64 * READ_NJ + stats.writes as f64 * WRITE_NJ) * 1e-9,
         io_j: blocks * io_per_block * 1e-9,
         refresh_j: stats.refreshes as f64 * REFRESH_NJ * 1e-9,
-        background_j: BACKGROUND_MW_PER_RANK * 1e-3
+        background_j: BACKGROUND_MW_PER_RANK
+            * 1e-3
             * config.org.ranks as f64
             * config.org.channels as f64
             * seconds,

@@ -1,6 +1,4 @@
-use crate::{
-    AddressMapper, ChannelController, DramConfig, DramStats, MemRequest, MemResponse,
-};
+use crate::{AddressMapper, ChannelController, DramConfig, DramStats, MemRequest, MemResponse};
 
 /// The multi-channel memory system front end.
 ///

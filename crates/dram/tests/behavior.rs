@@ -112,8 +112,7 @@ fn cache_scale_controls_working_set_fit() {
     // 8 lines always fit (minimum cache is ways * block).
     let tiny = sweep(8);
     let full_t = CpuMode::new(no_refresh(), CpuModeConfig::default()).run(vec![tiny.clone()]);
-    let scaled_t =
-        CpuMode::new(no_refresh(), CpuModeConfig::with_cache_scale(64)).run(vec![tiny]);
+    let scaled_t = CpuMode::new(no_refresh(), CpuModeConfig::with_cache_scale(64)).run(vec![tiny]);
     assert_eq!(full_t.dram.reads, scaled_t.dram.reads);
 }
 

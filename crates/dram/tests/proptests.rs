@@ -1,69 +1,72 @@
-//! Property-based tests of the DRAM simulator: address mapping bijectivity
+//! Property-style tests of the DRAM simulator: address mapping bijectivity
 //! and end-to-end request completion under arbitrary access patterns.
+//! Randomness comes from the in-repo seeded generator (the offline build
+//! cannot fetch `proptest`); every case prints its seed on failure.
 
-use proptest::prelude::*;
+use std::collections::{BTreeSet, HashSet};
 
 use menda_dram::{
     AddressMapper, DramConfig, MappingScheme, MemRequest, MemorySystem, Organization, ReqKind,
 };
+use menda_sparse::rng::StdRng;
 
-fn arb_scheme() -> impl Strategy<Value = MappingScheme> {
-    prop_oneof![
-        Just(MappingScheme::RoBaRaCoCh),
-        Just(MappingScheme::ChRaBaRoCo),
-        Just(MappingScheme::RoCoBaRaCh),
-    ]
-}
+const SCHEMES: [MappingScheme; 3] = [
+    MappingScheme::RoBaRaCoCh,
+    MappingScheme::ChRaBaRoCo,
+    MappingScheme::RoCoBaRaCh,
+];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Decoding is injective over line addresses and every coordinate is in
-    /// range, for every scheme and several organizations.
-    #[test]
-    fn decode_is_injective(
-        scheme in arb_scheme(),
-        channels_pow in 0u32..2,
-        ranks_pow in 0u32..2,
-        lines in proptest::collection::btree_set(0u64..4096, 1..200),
-    ) {
+/// Decoding is injective over line addresses and every coordinate is in
+/// range, for every scheme and several organizations.
+#[test]
+fn decode_is_injective() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0xA11 + seed);
+        let scheme = SCHEMES[rng.random_range(0..SCHEMES.len())];
         let mut org = Organization::ddr4_4gb_x8();
-        org.channels = 1 << channels_pow;
-        org.ranks = 1 << ranks_pow;
+        org.channels = 1 << rng.random_range(0..2);
+        org.ranks = 1 << rng.random_range(0..2);
         org.rows = 64; // keep the exhaustive space small
         org.columns = 8;
+        let lines: BTreeSet<u64> = {
+            let n = rng.random_range(1..200);
+            (0..n).map(|_| rng.random_range(0..4096) as u64).collect()
+        };
         let mapper = AddressMapper::new(org, scheme);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = HashSet::new();
         let capacity_lines = (org.capacity_bytes() / 64) as u64;
         for &line in &lines {
             let line = line % capacity_lines;
             let coord = mapper.decode(line * 64);
-            prop_assert!(coord.channel < org.channels);
-            prop_assert!(coord.rank < org.ranks);
-            prop_assert!(coord.bank_group < org.bank_groups);
-            prop_assert!(coord.bank < org.banks_per_group);
-            prop_assert!(coord.row < org.rows);
-            prop_assert!(coord.column < org.columns);
+            assert!(coord.channel < org.channels);
+            assert!(coord.rank < org.ranks);
+            assert!(coord.bank_group < org.bank_groups);
+            assert!(coord.bank < org.banks_per_group);
+            assert!(coord.row < org.rows);
+            assert!(coord.column < org.columns);
             seen.insert(coord);
         }
-        let distinct: std::collections::HashSet<u64> =
-            lines.iter().map(|l| l % capacity_lines).collect();
-        prop_assert_eq!(seen.len(), distinct.len());
+        let distinct: HashSet<u64> = lines.iter().map(|l| l % capacity_lines).collect();
+        assert_eq!(seen.len(), distinct.len(), "seed {seed}");
     }
+}
 
-    /// Every enqueued request eventually completes exactly once, whatever
-    /// the address mix, and read responses match their requests.
-    #[test]
-    fn all_requests_complete_exactly_once(
-        addrs in proptest::collection::vec((0u64..(1 << 24), any::<bool>()), 1..120),
-        channels_pow in 0u32..2,
-    ) {
-        let mut cfg = DramConfig::ddr4_2400r().with_channels(1 << channels_pow);
+/// Every enqueued request eventually completes exactly once, whatever
+/// the address mix, and read responses match their requests.
+#[test]
+fn all_requests_complete_exactly_once() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0xB22 + seed);
+        let n = rng.random_range(1..120);
+        let addrs: Vec<(u64, bool)> = (0..n)
+            .map(|_| (rng.next_u64() & ((1 << 24) - 1), rng.random::<bool>()))
+            .collect();
+        let mut cfg = DramConfig::ddr4_2400r().with_channels(1 << rng.random_range(0..2));
         cfg.refresh_enabled = false;
         let mut mem = MemorySystem::new(cfg);
         let mut pending = addrs.len();
         let mut sent = 0usize;
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = HashSet::new();
         let mut cycles = 0u64;
         while pending > 0 {
             if sent < addrs.len() {
@@ -80,23 +83,29 @@ proptest! {
             mem.tick();
             cycles += 1;
             while let Some(resp) = mem.pop_response() {
-                prop_assert!(seen.insert(resp.id), "duplicate completion {}", resp.id);
+                assert!(seen.insert(resp.id), "duplicate completion {}", resp.id);
                 let (addr, is_write) = addrs[resp.id as usize];
-                prop_assert_eq!(resp.addr, addr & !63);
-                prop_assert_eq!(resp.kind == ReqKind::Write, is_write);
+                assert_eq!(resp.addr, addr & !63);
+                assert_eq!(resp.kind == ReqKind::Write, is_write);
                 pending -= 1;
             }
-            prop_assert!(cycles < 2_000_000, "simulation did not converge");
+            assert!(
+                cycles < 2_000_000,
+                "seed {seed}: simulation did not converge"
+            );
         }
-        prop_assert_eq!(seen.len(), addrs.len());
+        assert_eq!(seen.len(), addrs.len());
     }
+}
 
-    /// Row-hit + miss + conflict classification counts every first command
-    /// exactly once per DRAM-visiting request.
-    #[test]
-    fn classification_is_total(
-        addrs in proptest::collection::vec(0u64..(1 << 22), 1..100),
-    ) {
+/// Row-hit + miss + conflict classification counts every first command
+/// exactly once per DRAM-visiting request.
+#[test]
+fn classification_is_total() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0xC33 + seed);
+        let n = rng.random_range(1..100);
+        let addrs: Vec<u64> = (0..n).map(|_| rng.next_u64() & ((1 << 22) - 1)).collect();
         let mut cfg = DramConfig::ddr4_2400r();
         cfg.refresh_enabled = false;
         let mut mem = MemorySystem::new(cfg);
@@ -113,10 +122,10 @@ proptest! {
             }
         }
         let s = mem.stats();
-        prop_assert_eq!(
+        assert_eq!(
             (s.row_hits + s.row_misses + s.row_conflicts) as usize,
             addrs.len()
         );
-        prop_assert_eq!(s.reads as usize, addrs.len());
+        assert_eq!(s.reads as usize, addrs.len());
     }
 }

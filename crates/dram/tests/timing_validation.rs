@@ -2,9 +2,21 @@
 //! actually issues under randomized workloads and re-check every DDR4
 //! timing constraint with the independent validator.
 
-use proptest::prelude::*;
-
 use menda_dram::{validate_trace, DramConfig, MemRequest, MemorySystem};
+use menda_sparse::rng::StdRng;
+
+/// A random (address, is_write) workload of 1..`max_len` requests.
+fn arb_addrs(rng: &mut StdRng, addr_bits: u32, max_len: usize) -> Vec<(u64, bool)> {
+    let len = rng.random_range(1..max_len);
+    (0..len)
+        .map(|_| {
+            (
+                rng.next_u64() & ((1u64 << addr_bits) - 1),
+                rng.random::<bool>(),
+            )
+        })
+        .collect()
+}
 
 fn run_workload(cfg: DramConfig, addrs: &[(u64, bool)]) -> MemorySystem {
     let mut mem = MemorySystem::new(cfg);
@@ -62,46 +74,44 @@ fn refresh_workload_is_protocol_clean() {
     }
     let log = mem.command_log(0);
     assert!(
-        log.iter()
-            .any(|c| c.kind == menda_dram::CommandKind::Ref),
+        log.iter().any(|c| c.kind == menda_dram::CommandKind::Ref),
         "no refresh recorded"
     );
     validate_trace(log, &cfg.timing, &cfg.org).expect("no timing violation");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Whatever the request mix, the issued command stream obeys the
-    /// protocol (per channel), including with multiple ranks.
-    #[test]
-    fn random_workloads_are_protocol_clean(
-        addrs in proptest::collection::vec((0u64..(1 << 26), any::<bool>()), 1..150),
-        ranks_pow in 0u32..2,
-        refresh in any::<bool>(),
-    ) {
-        let mut cfg = DramConfig::ddr4_2400r().with_ranks(1 << ranks_pow);
+/// Whatever the request mix, the issued command stream obeys the
+/// protocol (per channel), including with multiple ranks.
+#[test]
+fn random_workloads_are_protocol_clean() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0xD5A0 + seed);
+        let addrs = arb_addrs(&mut rng, 26, 150);
+        let ranks = 1 << rng.random_range(0..2);
+        let mut cfg = DramConfig::ddr4_2400r().with_ranks(ranks);
         cfg.log_commands = true;
-        cfg.refresh_enabled = refresh;
+        cfg.refresh_enabled = rng.random::<bool>();
         let mem = run_workload(cfg.clone(), &addrs);
         let log = mem.command_log(0);
         if let Err(v) = validate_trace(log, &cfg.timing, &cfg.org) {
-            prop_assert!(false, "violation: {v}");
+            panic!("violation (seed {seed}): {v}");
         }
     }
+}
 
-    /// The LPDDR4 configuration is protocol-clean too.
-    #[test]
-    fn lpddr4_workloads_are_protocol_clean(
-        addrs in proptest::collection::vec((0u64..(1 << 24), any::<bool>()), 1..100),
-    ) {
+/// The LPDDR4 configuration is protocol-clean too.
+#[test]
+fn lpddr4_workloads_are_protocol_clean() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0x19DD + seed);
+        let addrs = arb_addrs(&mut rng, 24, 100);
         let mut cfg = DramConfig::lpddr4_3200();
         cfg.log_commands = true;
         cfg.refresh_enabled = false;
         let mem = run_workload(cfg.clone(), &addrs);
         let log = mem.command_log(0);
         if let Err(v) = validate_trace(log, &cfg.timing, &cfg.org) {
-            prop_assert!(false, "violation: {v}");
+            panic!("violation (seed {seed}): {v}");
         }
     }
 }

@@ -439,12 +439,11 @@ mod tests {
 
     #[test]
     fn validation_rejects_decreasing_pointer() {
-        let err =
-            CsrMatrix::new(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).unwrap_err();
+        let err = CsrMatrix::new(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).unwrap_err();
         // last pointer (1) != nnz (2) triggers first; craft one that passes it
         assert!(matches!(err, SparseError::BadPointerArray { .. }));
-        let err = CsrMatrix::new(3, 3, vec![0, 2, 1, 3], vec![0, 1, 0], vec![1.0, 2.0, 3.0])
-            .unwrap_err();
+        let err =
+            CsrMatrix::new(3, 3, vec![0, 2, 1, 3], vec![0, 1, 0], vec![1.0, 2.0, 3.0]).unwrap_err();
         assert!(matches!(err, SparseError::BadPointerArray { .. }));
     }
 
@@ -502,7 +501,9 @@ mod tests {
         assert_eq!(triples.len(), 17);
         assert_eq!(triples[0], (0, 0, 1.0));
         assert_eq!(triples[16], (6, 6, 17.0));
-        assert!(triples.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+        assert!(triples
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
     }
 
     #[test]
@@ -546,10 +547,12 @@ mod tests {
 
     #[test]
     fn coo_duplicate_rejected() {
-        let coo =
-            CooMatrix::from_entries(2, 2, vec![(0, 0, 1.0), (0, 0, 2.0)]).unwrap();
+        let coo = CooMatrix::from_entries(2, 2, vec![(0, 0, 1.0), (0, 0, 2.0)]).unwrap();
         let err = CsrMatrix::try_from(coo).unwrap_err();
-        assert!(matches!(err, SparseError::DuplicateEntry { row: 0, col: 0 }));
+        assert!(matches!(
+            err,
+            SparseError::DuplicateEntry { row: 0, col: 0 }
+        ));
     }
 
     #[test]

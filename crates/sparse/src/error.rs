@@ -81,7 +81,10 @@ impl fmt::Display for SparseError {
                 "index array has {indices} entries but value array has {values}"
             ),
             SparseError::UnsortedIndices { major } => {
-                write!(f, "indices in major slot {major} are not strictly increasing")
+                write!(
+                    f,
+                    "indices in major slot {major} are not strictly increasing"
+                )
             }
             SparseError::DuplicateEntry { row, col } => {
                 write!(f, "duplicate entry at ({row}, {col})")

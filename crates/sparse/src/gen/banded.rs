@@ -1,7 +1,6 @@
 use std::collections::HashSet;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 
 use crate::{CsrMatrix, Index};
 
@@ -42,7 +41,10 @@ pub fn banded(dim: usize, nnz: usize, half_bandwidth: usize, scatter: f64, seed:
     // Clamp rather than reject: a near-dense scaled-down matrix may have a
     // band too small for the target, in which case the remainder scatters.
     let band_target = (((nnz as f64) * (1.0 - scatter)) as usize).min(band_capacity);
-    assert!(nnz <= dim.saturating_mul(dim), "matrix cannot hold {nnz} nonzeros");
+    assert!(
+        nnz <= dim.saturating_mul(dim),
+        "matrix cannot hold {nnz} nonzeros"
+    );
 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut seen: HashSet<(Index, Index)> = HashSet::with_capacity(nnz * 2);
@@ -89,7 +91,10 @@ pub fn block_structured(
     assert!((0.0..=1.0).contains(&scatter), "scatter must be in [0, 1]");
     assert!(blocks > 0, "need at least one block");
     assert!(dim > 0 && dim <= u32::MAX as usize, "bad dimension {dim}");
-    assert!(nnz <= dim.saturating_mul(dim), "matrix cannot hold {nnz} nonzeros");
+    assert!(
+        nnz <= dim.saturating_mul(dim),
+        "matrix cannot hold {nnz} nonzeros"
+    );
     let block_size = dim.div_ceil(blocks);
     let block_capacity: usize = (0..blocks)
         .map(|b| {
@@ -134,10 +139,7 @@ mod tests {
     #[test]
     fn banded_entries_mostly_in_band() {
         let m = banded(512, 4000, 8, 0.1, 2);
-        let in_band = m
-            .iter()
-            .filter(|&(r, c, _)| r.abs_diff(c) <= 8)
-            .count();
+        let in_band = m.iter().filter(|&(r, c, _)| r.abs_diff(c) <= 8).count();
         assert!(
             in_band as f64 >= 0.85 * m.nnz() as f64,
             "only {in_band}/{} in band",

@@ -19,27 +19,91 @@ pub struct Table3Entry {
 /// with halving NNZ; N5–N8 share 8,388,608 nonzeros with doubling
 /// dimension.
 pub const TABLE3_UNIFORM: [Table3Entry; 8] = [
-    Table3Entry { name: "N1", dimension: 262_144, nnz: 3_435_973 },
-    Table3Entry { name: "N2", dimension: 262_144, nnz: 1_717_986 },
-    Table3Entry { name: "N3", dimension: 262_144, nnz: 858_993 },
-    Table3Entry { name: "N4", dimension: 262_144, nnz: 429_496 },
-    Table3Entry { name: "N5", dimension: 524_288, nnz: 8_388_608 },
-    Table3Entry { name: "N6", dimension: 1_048_576, nnz: 8_388_608 },
-    Table3Entry { name: "N7", dimension: 2_097_152, nnz: 8_388_608 },
-    Table3Entry { name: "N8", dimension: 4_194_304, nnz: 8_388_608 },
+    Table3Entry {
+        name: "N1",
+        dimension: 262_144,
+        nnz: 3_435_973,
+    },
+    Table3Entry {
+        name: "N2",
+        dimension: 262_144,
+        nnz: 1_717_986,
+    },
+    Table3Entry {
+        name: "N3",
+        dimension: 262_144,
+        nnz: 858_993,
+    },
+    Table3Entry {
+        name: "N4",
+        dimension: 262_144,
+        nnz: 429_496,
+    },
+    Table3Entry {
+        name: "N5",
+        dimension: 524_288,
+        nnz: 8_388_608,
+    },
+    Table3Entry {
+        name: "N6",
+        dimension: 1_048_576,
+        nnz: 8_388_608,
+    },
+    Table3Entry {
+        name: "N7",
+        dimension: 2_097_152,
+        nnz: 8_388_608,
+    },
+    Table3Entry {
+        name: "N8",
+        dimension: 4_194_304,
+        nnz: 8_388_608,
+    },
 ];
 
 /// Table 3's power-law matrices P1–P8 (same dimensions/NNZ as N1–N8,
 /// generated with `GenRMat(dim, nnz, 0.1, 0.2, 0.3)`).
 pub const TABLE3_POWER_LAW: [Table3Entry; 8] = [
-    Table3Entry { name: "P1", dimension: 262_144, nnz: 3_435_973 },
-    Table3Entry { name: "P2", dimension: 262_144, nnz: 1_717_986 },
-    Table3Entry { name: "P3", dimension: 262_144, nnz: 858_993 },
-    Table3Entry { name: "P4", dimension: 262_144, nnz: 429_496 },
-    Table3Entry { name: "P5", dimension: 524_288, nnz: 8_388_608 },
-    Table3Entry { name: "P6", dimension: 1_048_576, nnz: 8_388_608 },
-    Table3Entry { name: "P7", dimension: 2_097_152, nnz: 8_388_608 },
-    Table3Entry { name: "P8", dimension: 4_194_304, nnz: 8_388_608 },
+    Table3Entry {
+        name: "P1",
+        dimension: 262_144,
+        nnz: 3_435_973,
+    },
+    Table3Entry {
+        name: "P2",
+        dimension: 262_144,
+        nnz: 1_717_986,
+    },
+    Table3Entry {
+        name: "P3",
+        dimension: 262_144,
+        nnz: 858_993,
+    },
+    Table3Entry {
+        name: "P4",
+        dimension: 262_144,
+        nnz: 429_496,
+    },
+    Table3Entry {
+        name: "P5",
+        dimension: 524_288,
+        nnz: 8_388_608,
+    },
+    Table3Entry {
+        name: "P6",
+        dimension: 1_048_576,
+        nnz: 8_388_608,
+    },
+    Table3Entry {
+        name: "P7",
+        dimension: 2_097_152,
+        nnz: 8_388_608,
+    },
+    Table3Entry {
+        name: "P8",
+        dimension: 4_194_304,
+        nnz: 8_388_608,
+    },
 ];
 
 /// Looks up a Table 3 entry by name (`"N1"`..`"N8"`, `"P1"`..`"P8"`).

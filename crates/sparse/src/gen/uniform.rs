@@ -1,7 +1,6 @@
 use std::collections::HashSet;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 
 use crate::{CsrMatrix, Index, Value};
 

@@ -235,7 +235,10 @@ mod tests {
 
     #[test]
     fn parses_general_real() {
-        let m = mm("%%MatrixMarket matrix coordinate real general\n% comment\n2 3 2\n1 1 1.5\n2 3 -2\n").unwrap();
+        let m = mm(
+            "%%MatrixMarket matrix coordinate real general\n% comment\n2 3 2\n1 1 1.5\n2 3 -2\n",
+        )
+        .unwrap();
         assert_eq!(m.nrows(), 2);
         assert_eq!(m.ncols(), 3);
         assert_eq!(m.get(0, 0), Some(1.5));
@@ -250,8 +253,8 @@ mod tests {
 
     #[test]
     fn expands_symmetric() {
-        let m = mm("%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5\n3 3 7\n")
-            .unwrap();
+        let m =
+            mm("%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5\n3 3 7\n").unwrap();
         assert_eq!(m.get(1, 0), Some(5.0));
         assert_eq!(m.get(0, 1), Some(5.0));
         assert_eq!(m.get(2, 2), Some(7.0));
@@ -260,8 +263,7 @@ mod tests {
 
     #[test]
     fn sums_duplicates() {
-        let m = mm("%%MatrixMarket matrix coordinate real general\n1 1 2\n1 1 1\n1 1 2\n")
-            .unwrap();
+        let m = mm("%%MatrixMarket matrix coordinate real general\n1 1 2\n1 1 1\n1 1 2\n").unwrap();
         assert_eq!(m.get(0, 0), Some(3.0));
     }
 
@@ -280,8 +282,8 @@ mod tests {
 
     #[test]
     fn rejects_zero_based_indices() {
-        let err = mm("%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n")
-            .unwrap_err();
+        let err =
+            mm("%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n").unwrap_err();
         assert!(matches!(err, SparseError::Parse { line: 3, .. }));
     }
 
@@ -294,8 +296,7 @@ mod tests {
 
     #[test]
     fn rejects_missing_value() {
-        let err =
-            mm("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n").unwrap_err();
+        let err = mm("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n").unwrap_err();
         assert!(matches!(err, SparseError::Parse { line: 3, .. }));
     }
 

@@ -43,12 +43,13 @@
 
 mod coo;
 mod csc;
-pub mod dense;
 mod csr;
+pub mod dense;
 mod error;
 pub mod gen;
 pub mod io;
 pub mod partition;
+pub mod rng;
 pub mod stats;
 
 pub use coo::CooMatrix;

@@ -235,7 +235,10 @@ mod tests {
         let m = gen::uniform(4096, 30000, 9);
         let p = RowPartition::by_nnz(&m, 8);
         let dup = p.duplicated_pointer_pages(4096, 8);
-        assert!(dup <= 7, "at most parts-1 boundaries can split pages, got {dup}");
+        assert!(
+            dup <= 7,
+            "at most parts-1 boundaries can split pages, got {dup}"
+        );
     }
 
     #[test]

@@ -48,7 +48,11 @@ impl MatrixStats {
         let mut counts: Vec<usize> = (0..nrows).map(|r| matrix.row_nnz(r)).collect();
         let non_empty = counts.iter().filter(|&&c| c > 0).count();
         let max = counts.iter().copied().max().unwrap_or(0);
-        let mean = if nrows > 0 { nnz as f64 / nrows as f64 } else { 0.0 };
+        let mean = if nrows > 0 {
+            nnz as f64 / nrows as f64
+        } else {
+            0.0
+        };
         let var = if nrows > 0 {
             counts
                 .iter()
@@ -139,13 +143,7 @@ mod tests {
         for p in row_ptr.iter_mut().skip(1) {
             *p = 64;
         }
-        let m = CsrMatrix::from_parts_unchecked(
-            n,
-            n,
-            row_ptr,
-            (0..64).collect(),
-            vec![1.0; 64],
-        );
+        let m = CsrMatrix::from_parts_unchecked(n, n, row_ptr, (0..64).collect(), vec![1.0; 64]);
         let s = MatrixStats::compute(&m);
         assert!(s.row_gini > 0.99, "gini {}", s.row_gini);
     }

@@ -1,71 +1,92 @@
-//! Property-based tests of the sparse format invariants.
+//! Property-style tests of the sparse format invariants.
+//!
+//! The registry-less build cannot fetch `proptest`, so each property runs
+//! over a deterministic sweep of seeded random cases drawn from
+//! [`menda_sparse::rng`] instead of a shrinking strategy. A failing case
+//! is reproducible from the printed seed.
 
-use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 use menda_sparse::partition::RowPartition;
+use menda_sparse::rng::StdRng;
 use menda_sparse::{gen, io, CooMatrix, CsrMatrix};
 
-/// Strategy: a duplicate-free COO matrix with arbitrary shape.
-fn arb_coo(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
-    (1..max_dim, 1..max_dim).prop_flat_map(move |(nrows, ncols)| {
-        proptest::collection::btree_set((0..nrows, 0..ncols), 0..max_nnz).prop_map(
-            move |coords| {
-                let entries = coords
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, (r, c))| (r, c, (i % 23) as f32 * 0.5 - 5.0))
-                    .collect();
-                CooMatrix::from_entries(nrows, ncols, entries).expect("in bounds")
-            },
-        )
-    })
+/// A duplicate-free random COO matrix with random shape, like the old
+/// proptest strategy: dims in `[1, max_dim)`, up to `max_nnz` entries.
+fn arb_coo(rng: &mut StdRng, max_dim: usize, max_nnz: usize) -> CooMatrix {
+    let nrows = rng.random_range(1..max_dim);
+    let ncols = rng.random_range(1..max_dim);
+    let want = rng.random_range(0..max_nnz).min(nrows * ncols);
+    let mut coords: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for _ in 0..want {
+        coords.insert((rng.random_range(0..nrows), rng.random_range(0..ncols)));
+    }
+    let entries = coords
+        .into_iter()
+        .enumerate()
+        .map(|(i, (r, c))| (r, c, (i % 23) as f32 * 0.5 - 5.0))
+        .collect();
+    CooMatrix::from_entries(nrows, ncols, entries).expect("in bounds")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Runs `body` over `cases` seeded random inputs.
+fn check_cases(cases: u64, mut body: impl FnMut(&mut StdRng)) {
+    for seed in 0..cases {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ seed);
+        body(&mut rng);
+    }
+}
 
-    /// COO → CSR keeps every entry and the CSR invariants hold.
-    #[test]
-    fn coo_to_csr_preserves_entries(coo in arb_coo(64, 300)) {
+/// COO → CSR keeps every entry and the CSR invariants hold.
+#[test]
+fn coo_to_csr_preserves_entries() {
+    check_cases(64, |rng| {
+        let coo = arb_coo(rng, 64, 300);
         let nnz = coo.nnz();
         let entries: Vec<_> = coo.entries().to_vec();
         let csr = CsrMatrix::try_from(coo).expect("no duplicates");
-        prop_assert_eq!(csr.nnz(), nnz);
+        assert_eq!(csr.nnz(), nnz);
         for (r, c, v) in entries {
-            prop_assert_eq!(csr.get(r as usize, c as usize), Some(v));
+            assert_eq!(csr.get(r as usize, c as usize), Some(v));
         }
         // Re-validate through the checked constructor.
         let (nr, nc, ptr, idx, vals) = csr.into_parts();
-        prop_assert!(CsrMatrix::new(nr, nc, ptr, idx, vals).is_ok());
-    }
+        assert!(CsrMatrix::new(nr, nc, ptr, idx, vals).is_ok());
+    });
+}
 
-    /// Transposition is an involution and get() is symmetric under it.
-    #[test]
-    fn transpose_is_involution(coo in arb_coo(48, 250)) {
-        let csr = CsrMatrix::try_from(coo).expect("no duplicates");
+/// Transposition is an involution and get() is symmetric under it.
+#[test]
+fn transpose_is_involution() {
+    check_cases(64, |rng| {
+        let csr = CsrMatrix::try_from(arb_coo(rng, 48, 250)).expect("no duplicates");
         let t = csr.transpose();
-        prop_assert_eq!(t.transpose(), csr.clone());
+        assert_eq!(t.transpose(), csr);
         for (r, c, v) in csr.iter() {
-            prop_assert_eq!(t.get(c, r), Some(v));
+            assert_eq!(t.get(c, r), Some(v));
         }
-    }
+    });
+}
 
-    /// CSC conversion agrees with CSR element-wise.
-    #[test]
-    fn csc_matches_csr(coo in arb_coo(40, 200)) {
-        let csr = CsrMatrix::try_from(coo).expect("no duplicates");
+/// CSC conversion agrees with CSR element-wise.
+#[test]
+fn csc_matches_csr() {
+    check_cases(64, |rng| {
+        let csr = CsrMatrix::try_from(arb_coo(rng, 40, 200)).expect("no duplicates");
         let csc = csr.to_csc();
-        prop_assert_eq!(csc.nnz(), csr.nnz());
-        prop_assert_eq!(csc.to_csr(), csr.clone());
+        assert_eq!(csc.nnz(), csr.nnz());
+        assert_eq!(csc.to_csr(), csr);
         for (r, c, v) in csr.iter() {
-            prop_assert_eq!(csc.get(r, c), Some(v));
+            assert_eq!(csc.get(r, c), Some(v));
         }
-    }
+    });
+}
 
-    /// SpMV linearity: A·(x + y) == A·x + A·y.
-    #[test]
-    fn spmv_is_linear(coo in arb_coo(32, 150)) {
-        let csr = CsrMatrix::try_from(coo).expect("no duplicates");
+/// SpMV linearity: A·(x + y) == A·x + A·y.
+#[test]
+fn spmv_is_linear() {
+    check_cases(64, |rng| {
+        let csr = CsrMatrix::try_from(arb_coo(rng, 32, 150)).expect("no duplicates");
         let n = csr.ncols();
         let x: Vec<f32> = (0..n).map(|i| (i % 5) as f32).collect();
         let y: Vec<f32> = (0..n).map(|i| ((i + 2) % 7) as f32 - 3.0).collect();
@@ -78,52 +99,64 @@ proptest! {
             .map(|(a, b)| a + b)
             .collect();
         for (a, b) in lhs.iter().zip(&rhs) {
-            prop_assert!((a - b).abs() <= 1e-3 * b.abs().max(1.0));
+            assert!((a - b).abs() <= 1e-3 * b.abs().max(1.0));
         }
-    }
+    });
+}
 
-    /// Matrix Market round trip is lossless (up to float formatting).
-    #[test]
-    fn matrix_market_roundtrip(coo in arb_coo(32, 150)) {
-        let csr = CsrMatrix::try_from(coo).expect("no duplicates");
+/// Matrix Market round trip is lossless (up to float formatting).
+#[test]
+fn matrix_market_roundtrip() {
+    check_cases(64, |rng| {
+        let csr = CsrMatrix::try_from(arb_coo(rng, 32, 150)).expect("no duplicates");
         let mut buf = Vec::new();
         io::write_matrix_market(&csr, &mut buf).expect("write");
         let back = io::read_matrix_market(buf.as_slice()).expect("read");
-        prop_assert_eq!(back.nnz(), csr.nnz());
+        assert_eq!(back.nnz(), csr.nnz());
         for (r, c, v) in csr.iter() {
             let got = back.get(r, c).expect("entry survives");
-            prop_assert!((got - v).abs() <= 1e-4 * v.abs().max(1.0));
+            assert!((got - v).abs() <= 1e-4 * v.abs().max(1.0));
         }
-    }
+    });
+}
 
-    /// Partitions cover all rows disjointly and conserve NNZ for any part
-    /// count.
-    #[test]
-    fn partition_covers_and_conserves(coo in arb_coo(64, 300), parts in 1usize..12) {
-        let csr = CsrMatrix::try_from(coo).expect("no duplicates");
+/// Partitions cover all rows disjointly and conserve NNZ for any part
+/// count.
+#[test]
+fn partition_covers_and_conserves() {
+    check_cases(64, |rng| {
+        let csr = CsrMatrix::try_from(arb_coo(rng, 64, 300)).expect("no duplicates");
+        let parts = rng.random_range(1..12);
         let p = RowPartition::by_nnz(&csr, parts);
-        prop_assert_eq!(p.num_parts(), parts);
+        assert_eq!(p.num_parts(), parts);
         let mut next = 0;
         let mut nnz = 0;
         for i in 0..parts {
             let r = p.range(i);
-            prop_assert_eq!(r.start, next);
+            assert_eq!(r.start, next);
             next = r.end;
             nnz += p.nnz_of(&csr, i);
             let sub = p.extract(&csr, i);
-            prop_assert_eq!(sub.nnz(), p.nnz_of(&csr, i));
+            assert_eq!(sub.nnz(), p.nnz_of(&csr, i));
         }
-        prop_assert_eq!(next, csr.nrows());
-        prop_assert_eq!(nnz, csr.nnz());
-    }
+        assert_eq!(next, csr.nrows());
+        assert_eq!(nnz, csr.nnz());
+    });
+}
 
-    /// Generators honor their exact-NNZ contracts for arbitrary parameters.
-    #[test]
-    fn generators_hit_exact_nnz(dim_pow in 3u32..9, density_pow in 1u32..4, seed in 0u64..50) {
+/// Generators honor their exact-NNZ contracts for arbitrary parameters.
+#[test]
+fn generators_hit_exact_nnz() {
+    check_cases(48, |rng| {
+        let dim_pow = rng.random_range(3..9) as u32;
+        let density_pow = rng.random_range(1..4) as u32;
+        let seed = rng.random_range(0..50) as u64;
         let dim = 1usize << dim_pow;
         let nnz = (dim * dim) >> (density_pow + 2);
-        if nnz == 0 { return Ok(()); }
-        prop_assert_eq!(gen::uniform(dim, nnz, seed).nnz(), nnz);
-        prop_assert_eq!(gen::rmat(dim, nnz, gen::RmatParams::PAPER, seed).nnz(), nnz);
-    }
+        if nnz == 0 {
+            return;
+        }
+        assert_eq!(gen::uniform(dim, nnz, seed).nnz(), nnz);
+        assert_eq!(gen::rmat(dim, nnz, gen::RmatParams::PAPER, seed).nnz(), nnz);
+    });
 }

@@ -50,21 +50,36 @@ fn main() {
     run("sequential 64B", MappingScheme::RoBaRaCoCh, n, |i| i * 64);
 
     // Page-strided: each access opens a new row in the same bank region.
-    run("strided 8KB (row thrash)", MappingScheme::RoBaRaCoCh, n, |i| i * 8192);
+    run(
+        "strided 8KB (row thrash)",
+        MappingScheme::RoBaRaCoCh,
+        n,
+        |i| i * 8192,
+    );
 
     // Two interleaved streams in the same bank, different rows — the
     // ping-pong conflict pattern behind the paper's N6 discussion (§6.7).
-    run("2-stream same-bank conflict", MappingScheme::RoBaRaCoCh, n, |i| {
-        let stream = i % 2;
-        (i / 2) * 64 + stream * (256 << 20)
-    });
+    run(
+        "2-stream same-bank conflict",
+        MappingScheme::RoBaRaCoCh,
+        n,
+        |i| {
+            let stream = i % 2;
+            (i / 2) * 64 + stream * (256 << 20)
+        },
+    );
 
     // The same two streams under a bank-interleaved mapping: conflicts
     // become bank-level parallelism.
-    run("2-stream bank-interleaved", MappingScheme::RoCoBaRaCh, n, |i| {
-        let stream = i % 2;
-        (i / 2) * 64 + stream * (256 << 20)
-    });
+    run(
+        "2-stream bank-interleaved",
+        MappingScheme::RoCoBaRaCh,
+        n,
+        |i| {
+            let stream = i % 2;
+            (i / 2) * 64 + stream * (256 << 20)
+        },
+    );
 
     // Random: mixes hits, misses and conflicts.
     run("pseudo-random", MappingScheme::RoBaRaCoCh, n, |i| {

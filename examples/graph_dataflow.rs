@@ -41,7 +41,7 @@ fn main() {
         dev.partition_imbalance(handle)
     );
     let pending = dev.transpose(handle); // non-blocking NMP::transpose()
-    // ... the host could run other (non memory-bound) kernels here ...
+                                         // ... the host could run other (non memory-bound) kernels here ...
     let transposed = dev.wait(pending); // NMP::wait()
     println!(
         "MeNDA transposed the graph in {:.1} us ({} cycles)",

@@ -39,7 +39,11 @@ fn main() {
     let result = system.transpose(&matrix);
 
     // Functional check against the golden software transposition.
-    assert_eq!(result.output, matrix.to_csc(), "transposition must be exact");
+    assert_eq!(
+        result.output,
+        matrix.to_csc(),
+        "transposition must be exact"
+    );
     println!("transposition verified against the golden model");
 
     println!(

@@ -21,7 +21,10 @@ fn main() {
 
     for (name, matrix) in [
         ("uniform", gen::uniform(1 << 12, 1 << 15, 3)),
-        ("power-law", gen::rmat(1 << 12, 1 << 15, gen::RmatParams::PAPER, 3)),
+        (
+            "power-law",
+            gen::rmat(1 << 12, 1 << 15, gen::RmatParams::PAPER, 3),
+        ),
     ] {
         let x: Vec<f32> = (0..matrix.ncols())
             .map(|i| ((i % 17) as f32) * 0.25 - 2.0)
@@ -39,11 +42,7 @@ fn main() {
         assert!(max_err < 1e-3, "SpMV mismatch: {max_err}");
 
         let iso = result.gteps_per_gbs(config.internal_bandwidth_gbs());
-        let eff = gteps_per_watt(
-            result.gteps,
-            config.num_pus(),
-            PowerModel::spmv(&config.pu),
-        );
+        let eff = gteps_per_watt(result.gteps, config.num_pus(), PowerModel::spmv(&config.pu));
         println!(
             "{name:>9}: {} nnz in {} cycles -> {:.3} GTEPS, {:.3} GTEPS/(GB/s), {:.2} GTEPS/W (max rel err {:.1e})",
             matrix.nnz(),

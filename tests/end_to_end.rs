@@ -13,10 +13,12 @@ use menda_sparse::{gen, CsrMatrix};
 /// sort, scanTrans, mergeTrans and the cycle-level MeNDA simulation.
 #[test]
 fn all_transposition_paths_agree() {
-    let matrices = [gen::uniform(96, 700, 1),
+    let matrices = [
+        gen::uniform(96, 700, 1),
         gen::rmat(128, 900, gen::RmatParams::PAPER, 2),
         gen::banded(100, 800, 5, 0.1, 3),
-        gen::block_structured(90, 600, 5, 0.2, 4)];
+        gen::block_structured(90, 600, 5, 0.2, 4),
+    ];
     for (i, m) in matrices.iter().enumerate() {
         let golden = m.to_csc();
         assert_eq!(scan_trans(m, 4), golden, "scanTrans case {i}");
@@ -31,7 +33,9 @@ fn all_transposition_paths_agree() {
 #[test]
 fn spmv_agrees_across_configs() {
     let m = gen::rmat(192, 1500, gen::RmatParams::PAPER, 5);
-    let x: Vec<f32> = (0..m.ncols()).map(|i| ((i * 7) % 11) as f32 - 5.0).collect();
+    let x: Vec<f32> = (0..m.ncols())
+        .map(|i| ((i * 7) % 11) as f32 - 5.0)
+        .collect();
     let golden = m.spmv(&x);
     for pus in [1usize, 2, 4] {
         let cfg = MendaConfig::small_test()

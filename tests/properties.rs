@@ -1,69 +1,88 @@
-//! Workspace-level property-based tests: randomized matrices through the
-//! full simulator stack.
+//! Workspace-level property-style tests: randomized matrices through the
+//! full simulator stack, driven by the in-repo seeded generator (the
+//! offline build cannot fetch `proptest`).
 
-use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 use menda_baselines::{merge_trans::merge_trans, scan_trans::scan_trans};
 use menda_core::{spmv, MendaConfig, MendaSystem};
+use menda_sparse::rng::StdRng;
 use menda_sparse::{CooMatrix, CsrMatrix};
 
-/// Strategy: an arbitrary small sparse matrix (possibly with empty rows,
-/// empty columns, duplicate-free).
-fn arb_matrix(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix> {
-    (2..max_dim, 2..max_dim).prop_flat_map(move |(nrows, ncols)| {
-        proptest::collection::btree_set((0..nrows, 0..ncols), 0..max_nnz).prop_map(
-            move |coords| {
-                let entries: Vec<(usize, usize, f32)> = coords
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, (r, c))| (r, c, (i % 31) as f32 - 15.0))
-                    .collect();
-                let coo = CooMatrix::from_entries(nrows, ncols, entries).expect("in bounds");
-                CsrMatrix::try_from(coo).expect("no duplicates from a set")
-            },
-        )
-    })
+/// An arbitrary small sparse matrix (possibly with empty rows, empty
+/// columns, duplicate-free).
+fn arb_matrix(rng: &mut StdRng, max_dim: usize, max_nnz: usize) -> CsrMatrix {
+    let nrows = rng.random_range(2..max_dim);
+    let ncols = rng.random_range(2..max_dim);
+    let want = rng.random_range(0..max_nnz).min(nrows * ncols);
+    let mut coords: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for _ in 0..want {
+        coords.insert((rng.random_range(0..nrows), rng.random_range(0..ncols)));
+    }
+    let entries: Vec<(usize, usize, f32)> = coords
+        .into_iter()
+        .enumerate()
+        .map(|(i, (r, c))| (r, c, (i % 31) as f32 - 15.0))
+        .collect();
+    let coo = CooMatrix::from_entries(nrows, ncols, entries).expect("in bounds");
+    CsrMatrix::try_from(coo).expect("no duplicates from a set")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The cycle-level MeNDA transposition equals the golden count sort on
-    /// arbitrary matrices.
-    #[test]
-    fn menda_transpose_matches_golden(m in arb_matrix(48, 200)) {
+/// The cycle-level MeNDA transposition equals the golden count sort on
+/// arbitrary matrices.
+#[test]
+fn menda_transpose_matches_golden() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0x9A1 + seed);
+        let m = arb_matrix(&mut rng, 48, 200);
         let r = MendaSystem::new(MendaConfig::small_test()).transpose(&m);
-        prop_assert_eq!(r.output, m.to_csc());
+        assert_eq!(r.output, m.to_csc(), "seed {seed}");
     }
+}
 
-    /// Both software baselines agree with the golden model too.
-    #[test]
-    fn baselines_match_golden(m in arb_matrix(48, 200), threads in 1usize..6) {
-        prop_assert_eq!(scan_trans(&m, threads), m.to_csc());
-        prop_assert_eq!(merge_trans(&m, threads), m.to_csc());
+/// Both software baselines agree with the golden model too.
+#[test]
+fn baselines_match_golden() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0x9A2 + seed);
+        let m = arb_matrix(&mut rng, 48, 200);
+        let threads = rng.random_range(1..6);
+        assert_eq!(scan_trans(&m, threads), m.to_csc(), "seed {seed}");
+        assert_eq!(merge_trans(&m, threads), m.to_csc(), "seed {seed}");
     }
+}
 
-    /// SpMV on the accelerator matches the golden product within floating
-    /// point tolerance.
-    #[test]
-    fn menda_spmv_matches_golden(m in arb_matrix(40, 160)) {
+/// SpMV on the accelerator matches the golden product within floating
+/// point tolerance.
+#[test]
+fn menda_spmv_matches_golden() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0x9A3 + seed);
+        let m = arb_matrix(&mut rng, 40, 160);
         let x: Vec<f32> = (0..m.ncols()).map(|i| ((i % 7) as f32) - 3.0).collect();
         let golden = m.spmv(&x);
         let r = spmv::run(&MendaConfig::small_test(), &m, &x);
         for (got, want) in r.y.iter().zip(&golden) {
-            prop_assert!((got - want).abs() <= 1e-3 * want.abs().max(1.0));
+            assert!(
+                (got - want).abs() <= 1e-3 * want.abs().max(1.0),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    /// Transposition conserves nonzeros and the per-column counts equal
-    /// the input's column histogram.
-    #[test]
-    fn transpose_conserves_structure(m in arb_matrix(48, 200)) {
+/// Transposition conserves nonzeros and the per-column counts equal
+/// the input's column histogram.
+#[test]
+fn transpose_conserves_structure() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0x9A4 + seed);
+        let m = arb_matrix(&mut rng, 48, 200);
         let r = MendaSystem::new(MendaConfig::small_test()).transpose(&m);
-        prop_assert_eq!(r.output.nnz(), m.nnz());
+        assert_eq!(r.output.nnz(), m.nnz(), "seed {seed}");
         for c in 0..m.ncols() {
             let expected = m.iter().filter(|&(_, col, _)| col == c).count();
-            prop_assert_eq!(r.output.col_nnz(c), expected);
+            assert_eq!(r.output.col_nnz(c), expected, "seed {seed}");
         }
     }
 }
