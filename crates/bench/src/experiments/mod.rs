@@ -17,6 +17,7 @@ pub mod fig3;
 pub mod host;
 pub mod tables;
 pub mod threads;
+pub mod verify;
 
 #[cfg(test)]
 mod smoke_tests;
@@ -45,6 +46,7 @@ pub const ALL: &[&str] = &[
     "host",
     "conflicts",
     "threads",
+    "verify-dram",
 ];
 
 /// Dispatches an experiment by id.
@@ -74,6 +76,7 @@ pub fn run(id: &str, scale: Scale) -> Result<String, String> {
         "host" => Ok(host::run(scale)),
         "conflicts" => Ok(conflicts::run(scale)),
         "threads" => Ok(threads::run(scale)),
+        "verify-dram" => Ok(verify::run(scale)),
         other => Err(format!(
             "unknown experiment '{other}'; available: {}",
             ALL.join(", ")

@@ -129,6 +129,35 @@ fn threads_reports_identical_outputs() {
 }
 
 #[test]
+fn verify_dram_reports_clean() {
+    let r = run("verify-dram");
+    assert!(!r.contains("VIOLATION"), "protocol violations:\n{r}");
+    assert!(r.contains("All scenarios clean"));
+    for s in [
+        "ddr4-2400r",
+        "ddr4-2rank",
+        "ddr4-closed-page",
+        "ddr4-write-heavy",
+        "hbm2-pseudo-ch",
+        "lpddr4-3200",
+    ] {
+        assert!(r.contains(s), "{s} missing");
+    }
+}
+
+#[test]
+fn experiments_run_clean_under_live_protocol_checking() {
+    // Force the live checker on for every DramConfig constructed below
+    // (a violation panics inside the simulator). Covers cpu-mode replay,
+    // the MeNDA PU dataflow and the energy comparison end to end.
+    menda_dram::set_check_protocol_default(Some(true));
+    for id in ["fig3a", "fig3b", "fig12", "energy"] {
+        assert!(experiments::run(id, tiny()).is_ok(), "{id} failed");
+    }
+    menda_dram::set_check_protocol_default(None);
+}
+
+#[test]
 fn unknown_experiment_is_an_error() {
     assert!(experiments::run("fig99", tiny()).is_err());
 }

@@ -1,0 +1,130 @@
+//! `verify-dram`: runs seeded random traffic through every memory-system
+//! configuration the reproduction uses (DDR4 single/dual rank, closed
+//! page, write-heavy, HBM2 pseudo-channel, LPDDR4) with live protocol
+//! checking enabled, then re-verifies the recorded command streams with
+//! the offline [`menda_dram::ProtocolChecker`] and the legacy trace
+//! validator.
+//!
+//! This is not a paper figure — it is the evidence that the simulator
+//! underneath every figure obeys the JEDEC constraints of Table 1.
+
+use menda_dram::{validate_trace, DramConfig, MemRequest, MemorySystem, RowPolicy};
+use menda_sparse::rng::StdRng;
+
+use crate::util::{Scale, Table};
+
+struct Scenario {
+    name: &'static str,
+    config: DramConfig,
+    write_fraction: f64,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let mut closed = DramConfig::ddr4_2400r();
+    closed.row_policy = RowPolicy::ClosedPage;
+    vec![
+        Scenario {
+            name: "ddr4-2400r",
+            config: DramConfig::ddr4_2400r(),
+            write_fraction: 0.3,
+        },
+        Scenario {
+            name: "ddr4-2rank",
+            config: DramConfig::ddr4_2400r().with_ranks(2),
+            write_fraction: 0.3,
+        },
+        Scenario {
+            name: "ddr4-closed-page",
+            config: closed,
+            write_fraction: 0.3,
+        },
+        Scenario {
+            name: "ddr4-write-heavy",
+            config: DramConfig::ddr4_2400r(),
+            write_fraction: 0.9,
+        },
+        Scenario {
+            name: "hbm2-pseudo-ch",
+            config: DramConfig::hbm2_pseudo_channel(),
+            write_fraction: 0.3,
+        },
+        Scenario {
+            name: "lpddr4-3200",
+            config: DramConfig::lpddr4_3200(),
+            write_fraction: 0.3,
+        },
+    ]
+}
+
+/// Verifies every scenario and reports a per-scenario verdict line.
+pub fn run(scale: Scale) -> String {
+    let requests = (100_000 / scale.factor()).clamp(200, 100_000);
+    let mut out = format!(
+        "DDR4 protocol verification, {requests} random requests per scenario\n\
+         (live checker on; command logs re-checked offline)\n\n"
+    );
+    let mut t = Table::new(&["scenario", "requests", "commands", "refreshes", "verdict"]);
+    let mut all_clean = true;
+    for (i, s) in scenarios().iter().enumerate() {
+        let mut cfg = s.config.clone();
+        cfg.log_commands = true;
+        cfg.check_protocol = true; // any live violation panics the run
+        let mut rng = StdRng::seed_from_u64(0xD12A + i as u64);
+        let mut mem = MemorySystem::new(cfg.clone());
+        let mut sent = 0u64;
+        let mut done = 0u64;
+        while done < requests as u64 {
+            if sent < requests as u64 {
+                let addr = rng.next_u64() & ((1 << 28) - 1);
+                let req = if rng.random_range(0..100) < (s.write_fraction * 100.0) as usize {
+                    MemRequest::write(addr, sent)
+                } else {
+                    MemRequest::read(addr, sent)
+                };
+                if mem.try_enqueue(req) {
+                    sent += 1;
+                }
+            }
+            mem.tick();
+            while mem.pop_response().is_some() {
+                done += 1;
+            }
+        }
+        // Idle tail: refresh liveness must hold past the end of traffic.
+        for _ in 0..2 * cfg.timing.t_refi {
+            mem.tick();
+            while mem.pop_response().is_some() {}
+        }
+        let commands: usize = (0..cfg.org.channels)
+            .map(|c| mem.command_log(c).len())
+            .sum();
+        let offline = mem.verify_command_logs();
+        let legacy = (0..cfg.org.channels)
+            .try_for_each(|c| validate_trace(mem.command_log(c), &cfg.timing, &cfg.org));
+        let verdict = match (&offline, &legacy) {
+            (Ok(()), Ok(())) => "clean".to_string(),
+            (Err((ch, v)), _) => {
+                all_clean = false;
+                format!("VIOLATION ch{ch}: {v}")
+            }
+            (_, Err(v)) => {
+                all_clean = false;
+                format!("VIOLATION (legacy validator): {v}")
+            }
+        };
+        t.row(&[
+            s.name.to_string(),
+            requests.to_string(),
+            commands.to_string(),
+            mem.stats().refreshes.to_string(),
+            verdict,
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(if all_clean {
+        "\nAll scenarios clean: the issued command streams satisfy every\nJEDEC timing, state-machine and liveness constraint the checker models.\n"
+    } else {
+        "\nPROTOCOL VIOLATIONS FOUND - the simulator is issuing illegal\ncommand streams; figures derived from it are suspect.\n"
+    });
+    out
+}

@@ -192,6 +192,16 @@ impl RankState {
         self.ready_at = now + t.t_rfc;
         self.refresh_due += t.t_refi;
     }
+
+    /// Whether the pending refresh (due at [`RankState::refresh_due`]) has
+    /// been postponed by at least `intervals` refresh intervals at `now`.
+    ///
+    /// The channel controller uses this to stop feeding CAS traffic to a
+    /// rank whose refresh has exhausted its postpone budget — otherwise a
+    /// row-hit stream keeps extending `next_pre` and defers REF forever.
+    pub fn refresh_overdue(&self, now: u64, t: &DramTiming, intervals: u64) -> bool {
+        now >= self.refresh_due + intervals * t.t_refi
+    }
 }
 
 #[cfg(test)]

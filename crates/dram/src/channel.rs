@@ -2,6 +2,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use crate::bank::RankState;
+use crate::checker::ProtocolChecker;
 use crate::command::{CommandKind, CommandRecord};
 use crate::config::RowPolicy;
 use crate::scheduler::{Candidate, NeededCommand};
@@ -9,6 +10,11 @@ use crate::{
     Bank, BankState, DramConfig, DramCoord, DramStats, FrfcfsPriorHit, MemRequest, MemResponse,
     ReqKind,
 };
+
+/// CAS traffic to a rank is cut off once its pending refresh has been
+/// postponed this many `tREFI` intervals (the JEDEC budget of 8), so the
+/// refresh always beats the checker's 9-interval deadline.
+const REFRESH_POSTPONE_INTERVALS: u64 = 8;
 
 /// A request resident in a channel queue.
 #[derive(Debug, Clone, Copy)]
@@ -42,6 +48,13 @@ pub struct ChannelController {
     scheduler: FrfcfsPriorHit,
     stats: DramStats,
     command_log: Vec<CommandRecord>,
+    /// Live protocol verifier (present when `config.check_protocol`).
+    checker: Option<ProtocolChecker>,
+    /// Auto-precharges (RDA/WRA under `RowPolicy::ClosedPage`) whose
+    /// effective cycle has not been reached yet; emitted into the command
+    /// log / checker when `now` catches up so the stream stays
+    /// cycle-monotonic.
+    pending_autopre: Vec<CommandRecord>,
 }
 
 impl ChannelController {
@@ -65,6 +78,8 @@ impl ChannelController {
             scheduler: FrfcfsPriorHit::new(),
             stats: DramStats::new(),
             command_log: Vec::new(),
+            checker: config.check_protocol.then(|| ProtocolChecker::new(&config)),
+            pending_autopre: Vec::new(),
             config,
         }
     }
@@ -100,13 +115,63 @@ impl ChannelController {
         &self.command_log
     }
 
-    fn log_command(&mut self, kind: CommandKind, coord: DramCoord) {
+    /// Records `kind` at `cycle` in the command log and feeds it to the
+    /// live protocol checker.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`DramConfig::check_protocol`] is set and the command
+    /// violates a protocol rule — the simulation result would be wrong.
+    fn emit(&mut self, cycle: u64, kind: CommandKind, coord: DramCoord) {
+        let record = CommandRecord { cycle, kind, coord };
         if self.config.log_commands {
-            self.command_log.push(CommandRecord {
-                cycle: self.now,
-                kind,
-                coord,
-            });
+            self.command_log.push(record);
+        }
+        if let Some(checker) = self.checker.as_mut() {
+            if let Err(v) = checker.observe(&record) {
+                panic!("DRAM protocol violation: {v}");
+            }
+        }
+    }
+
+    /// Emits pending auto-precharges whose effective cycle has arrived,
+    /// oldest first, keeping the observable command stream monotonic.
+    fn flush_pending_autopre(&mut self) {
+        if self.pending_autopre.is_empty() {
+            return;
+        }
+        self.pending_autopre.sort_by_key(|r| r.cycle);
+        while self
+            .pending_autopre
+            .first()
+            .is_some_and(|r| r.cycle <= self.now)
+        {
+            let r = self.pending_autopre.remove(0);
+            self.emit(r.cycle, r.kind, r.coord);
+        }
+    }
+
+    /// Time-based liveness checks: refresh postpone deadlines and request
+    /// retirement bounds (queues are age-ordered, so the fronts are the
+    /// oldest requests).
+    ///
+    /// # Panics
+    ///
+    /// Panics on refresh starvation or an over-age request.
+    fn check_liveness(&self) {
+        let Some(checker) = self.checker.as_ref() else {
+            return;
+        };
+        if let Err(v) = checker.advance(self.now) {
+            panic!("DRAM protocol violation: {v}");
+        }
+        for front in [self.read_q.front(), self.write_q.front()]
+            .into_iter()
+            .flatten()
+        {
+            if let Err(v) = checker.check_request_age(front.enq_at, self.now) {
+                panic!("DRAM protocol violation: {v}");
+            }
         }
     }
 
@@ -122,6 +187,13 @@ impl ChannelController {
         match req.kind {
             ReqKind::Read => {
                 if self.write_q.iter().any(|w| w.req.addr & line_mask == addr) {
+                    // Forwarded reads complete without a DRAM access but
+                    // are still served requests: count them (and their
+                    // one-cycle latency) so bandwidth totals include them.
+                    self.stats.reads += 1;
+                    self.stats.forwarded_reads += 1;
+                    self.stats.read_latency_sum += 1;
+                    self.stats.read_latency_max = self.stats.read_latency_max.max(1);
                     self.push_response(MemResponse {
                         id: req.id,
                         addr,
@@ -187,8 +259,30 @@ impl ChannelController {
     pub fn tick(&mut self) {
         self.now += 1;
         self.stats.cycles = self.now;
+        self.flush_pending_autopre();
+        self.check_liveness();
 
         if self.config.refresh_enabled && self.service_refresh() {
+            return;
+        }
+
+        // Starvation recovery: a front-of-queue request that has waited a
+        // full refresh interval gets the channel to itself until it
+        // retires — no row-hit jumping, no other-queue fallback. FR-FCFS
+        // hit priority plus write draining can otherwise monopolize a
+        // bank indefinitely (younger requests keep re-opening it on other
+        // rows faster than the victim's ACT window comes around), and a
+        // lone write under a perpetual row-hit read stream has its
+        // turnaround (tCL+tBL+2-tCWL) re-armed faster than it expires.
+        let read_age = self.read_q.front().map_or(0, |r| self.now - r.enq_at);
+        let write_age = self.write_q.front().map_or(0, |w| self.now - w.enq_at);
+        if read_age.max(write_age) > self.config.timing.t_refi {
+            let kind = if read_age >= write_age {
+                ReqKind::Read
+            } else {
+                ReqKind::Write
+            };
+            self.schedule_front(kind);
             return;
         }
 
@@ -215,8 +309,48 @@ impl ChannelController {
         }
     }
 
+    /// Serves only the front (oldest) request of `kind`'s queue: issues its
+    /// next needed command as soon as it is legal, bypassing row-hit
+    /// priority. Used for starvation recovery.
+    fn schedule_front(&mut self, kind: ReqKind) -> bool {
+        let queue = match kind {
+            ReqKind::Read => &self.read_q,
+            ReqKind::Write => &self.write_q,
+        };
+        let Some(q) = queue.front().copied() else {
+            return false;
+        };
+        let bank = &self.banks[self.flat_bank(&q.coord)];
+        let needed = match bank.state {
+            BankState::Opened(r) if r == q.coord.row => NeededCommand::Cas,
+            BankState::Opened(_) => NeededCommand::Precharge,
+            BankState::Closed => NeededCommand::Activate,
+        };
+        let issuable = match needed {
+            NeededCommand::Cas => self.cas_issuable(&q),
+            NeededCommand::Activate => self.act_issuable(&q),
+            NeededCommand::Precharge => self.now >= bank.next_pre,
+        };
+        if !issuable {
+            return false;
+        }
+        self.issue(
+            kind,
+            Candidate {
+                queue_pos: 0,
+                needed,
+                issuable_now: true,
+            },
+        );
+        true
+    }
+
     /// Handles due refreshes. Returns `true` if this cycle's command slot
     /// was consumed by refresh management.
+    ///
+    /// Every rank is examined each cycle: a rank stuck waiting on an open
+    /// bank's `tRTP`/`tWR` window or on `tRP` must not stall the due
+    /// refreshes of the other ranks.
     fn service_refresh(&mut self) -> bool {
         let t = self.config.timing;
         let banks_per_rank = self.config.org.banks_per_rank();
@@ -228,14 +362,18 @@ impl ChannelController {
                 continue;
             }
             let base = rank * banks_per_rank;
-            // Precharge any open bank (one PRE per cycle).
+            // Precharge the first open bank that may close (one PRE per
+            // cycle). If banks are open but none can close yet, let the
+            // other ranks use this cycle's command slot.
+            let mut any_open = false;
             for b in 0..banks_per_rank {
                 let bank = &mut self.banks[base + b];
                 if let BankState::Opened(row) = bank.state {
                     if self.now >= bank.next_pre {
                         bank.do_precharge(self.now, &t);
                         self.stats.precharges += 1;
-                        self.log_command(
+                        self.emit(
+                            self.now,
                             CommandKind::Pre,
                             DramCoord {
                                 channel: 0,
@@ -248,9 +386,11 @@ impl ChannelController {
                         );
                         return true;
                     }
-                    // Must wait for this bank before the REF can go.
-                    return false;
+                    any_open = true;
                 }
+            }
+            if any_open {
+                continue;
             }
             // All banks closed; wait for tRP to elapse on every bank.
             let ready = (0..banks_per_rank).all(|b| self.now >= self.banks[base + b].next_act);
@@ -263,7 +403,8 @@ impl ChannelController {
                 }
                 self.refresh_pending[rank] = false;
                 self.stats.refreshes += 1;
-                self.log_command(
+                self.emit(
+                    self.now,
                     CommandKind::Ref,
                     DramCoord {
                         channel: 0,
@@ -276,7 +417,6 @@ impl ChannelController {
                 );
                 return true;
             }
-            return false;
         }
         false
     }
@@ -337,6 +477,15 @@ impl ChannelController {
         let t = &self.config.timing;
         let bank = &self.banks[self.flat_bank(&q.coord)];
         let rank = &self.ranks[q.coord.rank];
+        // A rank whose pending refresh has exhausted its postpone budget
+        // takes no more CAS traffic: every CAS extends `next_pre`
+        // (tRTP/write recovery), so a row-hit stream would defer REF
+        // forever.
+        if self.refresh_pending[q.coord.rank]
+            && rank.refresh_overdue(self.now, t, REFRESH_POSTPONE_INTERVALS)
+        {
+            return false;
+        }
         let is_read = q.req.is_read();
         let bank_ready = if is_read {
             self.now >= bank.next_rd
@@ -386,7 +535,8 @@ impl ChannelController {
                 };
                 self.banks[flat].do_precharge(self.now, &t);
                 self.stats.precharges += 1;
-                self.log_command(
+                self.emit(
+                    self.now,
                     CommandKind::Pre,
                     DramCoord {
                         row: open_row,
@@ -398,7 +548,7 @@ impl ChannelController {
                 self.banks[flat].do_activate(self.now, entry.coord.row, &t);
                 self.ranks[entry.coord.rank].record_act(self.now, entry.coord.bank_group);
                 self.stats.activates += 1;
-                self.log_command(CommandKind::Act, entry.coord);
+                self.emit(self.now, CommandKind::Act, entry.coord);
             }
             NeededCommand::Cas => {
                 let is_read = entry.req.is_read();
@@ -409,7 +559,8 @@ impl ChannelController {
                     self.banks[flat].do_write(self.now, &t);
                     t.t_cwl
                 };
-                self.log_command(
+                self.emit(
+                    self.now,
                     if is_read {
                         CommandKind::Rd
                     } else {
@@ -443,11 +594,13 @@ impl ChannelController {
                 if self.config.row_policy == RowPolicy::ClosedPage {
                     // Auto-precharge (RDA/WRA): takes effect at the
                     // earliest legal precharge time the bank now carries.
+                    // The record is buffered until that cycle arrives so
+                    // the observable command stream stays monotonic.
                     let pre_at = self.banks[flat].next_pre;
                     self.banks[flat].do_precharge(pre_at, &t);
                     self.stats.precharges += 1;
-                    if self.config.log_commands {
-                        self.command_log.push(CommandRecord {
+                    if self.config.log_commands || self.checker.is_some() {
+                        self.pending_autopre.push(CommandRecord {
                             cycle: pre_at,
                             kind: CommandKind::Pre,
                             coord: entry.coord,

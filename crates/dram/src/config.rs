@@ -1,4 +1,35 @@
+use std::sync::atomic::{AtomicU8, Ordering};
+
 use crate::MappingScheme;
+
+/// Process-wide default for [`DramConfig::check_protocol`]:
+/// 0 = follow the `MENDA_CHECK_PROTOCOL` environment variable,
+/// 1 = forced off, 2 = forced on.
+static CHECK_PROTOCOL_DEFAULT: AtomicU8 = AtomicU8::new(0);
+
+/// Overrides the default value of [`DramConfig::check_protocol`] for
+/// configurations constructed afterwards in this process.
+///
+/// `Some(true)`/`Some(false)` force the default on/off; `None` restores
+/// the environment-driven behaviour (`MENDA_CHECK_PROTOCOL` set to a
+/// non-`"0"` value enables checking — the hook CI uses to run the whole
+/// suite under live protocol verification).
+pub fn set_check_protocol_default(on: Option<bool>) {
+    let v = match on {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    CHECK_PROTOCOL_DEFAULT.store(v, Ordering::Relaxed);
+}
+
+fn check_protocol_default() -> bool {
+    match CHECK_PROTOCOL_DEFAULT.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => std::env::var("MENDA_CHECK_PROTOCOL").is_ok_and(|v| !v.is_empty() && v != "0"),
+    }
+}
 
 /// Row-buffer management policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -157,6 +188,11 @@ pub struct DramConfig {
     pub refresh_enabled: bool,
     /// Record every issued command (see [`crate::command::validate_trace`]).
     pub log_commands: bool,
+    /// Re-check every issued command live against the full DDR4 protocol
+    /// with an independent [`crate::ProtocolChecker`]; a violation panics
+    /// at the offending cycle. Defaults to the `MENDA_CHECK_PROTOCOL`
+    /// environment variable (see [`set_check_protocol_default`]).
+    pub check_protocol: bool,
     /// Row-buffer management policy.
     pub row_policy: RowPolicy,
 }
@@ -175,6 +211,7 @@ impl DramConfig {
             clock_mhz: 1200,
             refresh_enabled: true,
             log_commands: false,
+            check_protocol: check_protocol_default(),
             row_policy: RowPolicy::OpenPage,
         }
     }

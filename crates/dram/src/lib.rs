@@ -21,7 +21,10 @@
 //! * [`cpu_mode`] — multi-core trace replay with barrier synchronization,
 //!   used for the paper's §2.2 characterization experiments,
 //! * [`DramStats`] — row hits/misses/conflicts, bandwidth utilization and
-//!   latency statistics.
+//!   latency statistics,
+//! * [`ProtocolChecker`] — an independent shadow-state verifier that
+//!   re-derives every JEDEC constraint over the issued command stream,
+//!   live (behind [`DramConfig::check_protocol`]) or offline.
 //!
 //! # Example
 //!
@@ -49,6 +52,7 @@ mod address;
 mod bank;
 mod cache;
 mod channel;
+pub mod checker;
 pub mod command;
 mod config;
 pub mod cpu_mode;
@@ -63,8 +67,9 @@ pub use address::{AddressMapper, DramCoord, MappingScheme};
 pub use bank::{Bank, BankState};
 pub use cache::{Cache, CacheConfig, CacheHierarchy};
 pub use channel::ChannelController;
+pub use checker::{ProtocolChecker, ProtocolViolation, REFRESH_DEADLINE_INTERVALS};
 pub use command::{validate_trace, CommandKind, CommandRecord, TimingViolation};
-pub use config::{DramConfig, DramTiming, Organization, RowPolicy};
+pub use config::{set_check_protocol_default, DramConfig, DramTiming, Organization, RowPolicy};
 pub use request::{MemRequest, MemResponse, ReqKind};
 pub use scheduler::FrfcfsPriorHit;
 pub use stats::DramStats;

@@ -68,14 +68,17 @@ impl EnergyBreakdown {
 /// Computes the device energy of a simulated interval from its statistics.
 pub fn energy(stats: &DramStats, config: &DramConfig, interface: Interface) -> EnergyBreakdown {
     let seconds = stats.cycles as f64 / (config.clock_mhz as f64 * 1e6);
-    let blocks = (stats.reads + stats.writes) as f64;
+    // Forwarded reads are served from the write queue and never touch the
+    // device or the data bus.
+    let device_reads = (stats.reads - stats.forwarded_reads) as f64;
+    let blocks = device_reads + stats.writes as f64;
     let io_per_block = match interface {
         Interface::OffChip => OFFCHIP_IO_NJ,
         Interface::OnDimm => ONDIMM_IO_NJ,
     };
     EnergyBreakdown {
         activation_j: stats.activates as f64 * ACT_PRE_NJ * 1e-9,
-        burst_j: (stats.reads as f64 * READ_NJ + stats.writes as f64 * WRITE_NJ) * 1e-9,
+        burst_j: (device_reads * READ_NJ + stats.writes as f64 * WRITE_NJ) * 1e-9,
         io_j: blocks * io_per_block * 1e-9,
         refresh_j: stats.refreshes as f64 * REFRESH_NJ * 1e-9,
         background_j: BACKGROUND_MW_PER_RANK
@@ -164,6 +167,20 @@ mod tests {
             seq < thrash,
             "sequential {seq} nJ/B not cheaper than thrashing {thrash}"
         );
+    }
+
+    #[test]
+    fn forwarded_reads_carry_no_device_energy() {
+        let stats = DramStats {
+            cycles: 100,
+            reads: 10,
+            forwarded_reads: 10,
+            ..Default::default()
+        };
+        let cfg = DramConfig::ddr4_2400r();
+        let e = energy(&stats, &cfg, Interface::OffChip);
+        assert_eq!(e.burst_j, 0.0);
+        assert_eq!(e.io_j, 0.0);
     }
 
     #[test]

@@ -6,8 +6,12 @@
 pub struct DramStats {
     /// Bus cycles elapsed.
     pub cycles: u64,
-    /// Read transactions completed (data delivered).
+    /// Read transactions completed (data delivered), including reads
+    /// served by store-to-load forwarding from the write queue.
     pub reads: u64,
+    /// Reads served by store-to-load forwarding (no DRAM access; subset
+    /// of [`DramStats::reads`]).
+    pub forwarded_reads: u64,
     /// Write transactions completed (data transferred).
     pub writes: u64,
     /// ACT commands issued.
@@ -92,6 +96,7 @@ impl DramStats {
     pub fn merge(&mut self, other: &DramStats) {
         self.cycles = self.cycles.max(other.cycles);
         self.reads += other.reads;
+        self.forwarded_reads += other.forwarded_reads;
         self.writes += other.writes;
         self.activates += other.activates;
         self.precharges += other.precharges;

@@ -135,6 +135,21 @@ impl MemorySystem {
         self.channels[channel].command_log()
     }
 
+    /// Re-validates every channel's recorded command stream offline with
+    /// an independent [`crate::ProtocolChecker`] (requires
+    /// [`DramConfig::log_commands`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found, tagged with its channel.
+    pub fn verify_command_logs(&self) -> Result<(), (usize, crate::ProtocolViolation)> {
+        for (ch, controller) in self.channels.iter().enumerate() {
+            crate::ProtocolChecker::check_trace(controller.command_log(), &self.config)
+                .map_err(|v| (ch, v))?;
+        }
+        Ok(())
+    }
+
     /// Achieved bandwidth in GB/s over the simulation so far.
     pub fn utilized_bandwidth_gbs(&self) -> f64 {
         self.stats()

@@ -1,0 +1,450 @@
+//! End-to-end tests of the independent protocol checker and the bug
+//! class it exists to catch: refresh starvation, multi-rank refresh
+//! stalls, forwarding accounting and out-of-order command logs.
+//!
+//! The mutation tests run the real controller with one deliberately
+//! corrupted timing parameter and assert the checker (verifying against
+//! the nominal timing) reports exactly the violated constraint.
+
+use menda_dram::{
+    validate_trace, AddressMapper, CommandKind, DramConfig, DramTiming, MemRequest, MemorySystem,
+    ProtocolChecker, ReqKind, RowPolicy, REFRESH_DEADLINE_INTERVALS,
+};
+use menda_sparse::rng::StdRng;
+
+/// Drives `addrs` through a fresh memory system until every request has
+/// completed, then runs `idle_cycles` more ticks (to exercise refresh
+/// liveness past the end of the traffic).
+fn run_workload(cfg: DramConfig, addrs: &[(u64, bool)], idle_cycles: u64) -> MemorySystem {
+    let mut mem = MemorySystem::new(cfg);
+    let mut sent = 0usize;
+    let mut done = 0usize;
+    let mut guard = 0u64;
+    while done < addrs.len() {
+        if sent < addrs.len() {
+            let (addr, is_write) = addrs[sent];
+            let req = if is_write {
+                MemRequest::write(addr, sent as u64)
+            } else {
+                MemRequest::read(addr, sent as u64)
+            };
+            if mem.try_enqueue(req) {
+                sent += 1;
+            }
+        }
+        mem.tick();
+        while mem.pop_response().is_some() {
+            done += 1;
+        }
+        guard += 1;
+        assert!(guard < 5_000_000, "workload did not complete");
+    }
+    for _ in 0..idle_cycles {
+        mem.tick();
+        while mem.pop_response().is_some() {}
+    }
+    mem
+}
+
+/// Finds `count` line addresses decoding to `rank` with identical
+/// (bank group, bank, row) — a pure row-hit stream.
+fn row_hit_addrs(mapper: &AddressMapper, rank: usize, count: usize) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut anchor = None;
+    for line in 0..1_000_000u64 {
+        let addr = line * 64;
+        let c = mapper.decode(addr);
+        if c.rank != rank {
+            continue;
+        }
+        let key = (c.bank_group, c.bank, c.row);
+        match anchor {
+            None => {
+                anchor = Some(key);
+                out.push(addr);
+            }
+            Some(a) if a == key => out.push(addr),
+            Some(_) => {}
+        }
+        if out.len() == count {
+            return out;
+        }
+    }
+    panic!("not enough row-hit addresses for rank {rank}");
+}
+
+/// Seeded random mixed read/write multi-rank traffic is clean under the
+/// live checker, the offline checker and the legacy trace validator.
+#[test]
+fn random_streams_pass_live_and_offline_checking() {
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(0xC4EC + seed);
+        let n = rng.random_range(20..150);
+        let addrs: Vec<(u64, bool)> = (0..n)
+            .map(|_| (rng.next_u64() & ((1 << 26) - 1), rng.random::<bool>()))
+            .collect();
+        let mut cfg = DramConfig::ddr4_2400r().with_ranks(1 << rng.random_range(0..2));
+        cfg.refresh_enabled = rng.random::<bool>();
+        cfg.row_policy = if rng.random::<bool>() {
+            RowPolicy::OpenPage
+        } else {
+            RowPolicy::ClosedPage
+        };
+        cfg.log_commands = true;
+        cfg.check_protocol = true; // live: any violation panics mid-run
+        let idle = if cfg.refresh_enabled {
+            2 * cfg.timing.t_refi
+        } else {
+            0
+        };
+        let mem = run_workload(cfg.clone(), &addrs, idle);
+        mem.verify_command_logs()
+            .unwrap_or_else(|(ch, v)| panic!("seed {seed} channel {ch}: {v}"));
+        if let Err(v) = validate_trace(mem.command_log(0), &cfg.timing, &cfg.org) {
+            panic!("seed {seed}: {v}");
+        }
+    }
+}
+
+/// Satellite 1 + 2 regression: a continuous 64-line row-hit read stream
+/// to rank 0 must not postpone rank 0's refresh beyond the 9×tREFI
+/// deadline, and must not stall rank 1's (idle) refresh at all.
+///
+/// Pre-fix, `cas_issuable` ignored `refresh_pending` (each CAS pushed
+/// `next_pre` out via tRTP, deferring REF indefinitely) and
+/// `service_refresh` returned early while rank 0 waited, never examining
+/// rank 1.
+#[test]
+fn row_hit_stream_cannot_starve_refresh() {
+    let mut cfg = DramConfig::ddr4_2400r().with_ranks(2);
+    cfg.timing.t_refi = 300;
+    cfg.timing.t_rfc = 30;
+    cfg.log_commands = true;
+    cfg.check_protocol = true;
+    let mapper = AddressMapper::new(cfg.org, cfg.mapping);
+    let lines = row_hit_addrs(&mapper, 0, 64);
+    let mut mem = MemorySystem::new(cfg.clone());
+    let horizon = cfg.timing.t_refi * (REFRESH_DEADLINE_INTERVALS + 4);
+    let mut sent = 0u64;
+    for _ in 0..horizon {
+        let addr = lines[(sent % 64) as usize];
+        if mem.try_enqueue(MemRequest::read(addr, sent)) {
+            sent += 1;
+        }
+        mem.tick();
+        while mem.pop_response().is_some() {}
+    }
+    let first_ref = |rank: usize| {
+        mem.command_log(0)
+            .iter()
+            .find(|c| c.kind == CommandKind::Ref && c.coord.rank == rank)
+            .map(|c| c.cycle)
+    };
+    // Rank 0 (under the stream): serviced within the postpone deadline.
+    let r0 = first_ref(0).expect("rank 0 refresh starved");
+    assert!(
+        r0 <= cfg.timing.t_refi * (1 + REFRESH_DEADLINE_INTERVALS),
+        "rank 0 first REF at {r0}, past the 9x tREFI deadline"
+    );
+    // Rank 1 (idle): refreshed on schedule, not stalled behind rank 0.
+    let r1 = first_ref(1).expect("rank 1 refresh never issued");
+    assert!(
+        r1 <= 2 * cfg.timing.t_refi,
+        "rank 1 first REF at {r1}, stalled behind rank 0"
+    );
+    // And the stream itself kept flowing (refresh did not deadlock it).
+    assert!(mem.stats().reads > 100, "read stream stalled");
+    mem.verify_command_logs()
+        .unwrap_or_else(|(ch, v)| panic!("channel {ch}: {v}"));
+}
+
+/// Satellite 2 regression: with both ranks idle, every rank refreshes on
+/// schedule (one REF per rank per tREFI, within the tolerance of the
+/// one-command-per-cycle slot).
+#[test]
+fn idle_multi_rank_refreshes_on_schedule() {
+    let mut cfg = DramConfig::ddr4_2400r().with_ranks(2);
+    cfg.timing.t_refi = 400;
+    cfg.timing.t_rfc = 40;
+    cfg.log_commands = true;
+    cfg.check_protocol = true;
+    let mut mem = MemorySystem::new(cfg.clone());
+    let intervals = 10u64;
+    for _ in 0..cfg.timing.t_refi * intervals {
+        mem.tick();
+    }
+    for rank in 0..2 {
+        let refs: Vec<u64> = mem
+            .command_log(0)
+            .iter()
+            .filter(|c| c.kind == CommandKind::Ref && c.coord.rank == rank)
+            .map(|c| c.cycle)
+            .collect();
+        assert!(
+            refs.len() as u64 >= intervals - 1,
+            "rank {rank} refreshed {} times in {intervals} intervals",
+            refs.len()
+        );
+    }
+}
+
+/// Satellite 3 regression: store-to-load-forwarded reads are counted as
+/// completed reads with a latency sample instead of vanishing.
+#[test]
+fn forwarded_reads_are_counted() {
+    let mut cfg = DramConfig::ddr4_2400r();
+    cfg.refresh_enabled = false;
+    cfg.check_protocol = true;
+    let mut mem = MemorySystem::new(cfg);
+    assert!(mem.try_enqueue(MemRequest::write(256, 1)));
+    assert!(mem.try_enqueue(MemRequest::read(256, 2)));
+    let mut kinds = Vec::new();
+    for _ in 0..500 {
+        mem.tick();
+        while let Some(r) = mem.pop_response() {
+            kinds.push(r.kind);
+        }
+    }
+    assert_eq!(kinds.len(), 2);
+    assert!(kinds.contains(&ReqKind::Read) && kinds.contains(&ReqKind::Write));
+    let s = mem.stats();
+    assert_eq!(s.forwarded_reads, 1);
+    assert_eq!(s.reads, 1, "forwarded read missing from read totals");
+    assert_eq!(s.writes, 1);
+    assert_eq!(
+        s.read_latency_sum, 1,
+        "forwarded read has no latency sample"
+    );
+    assert_eq!(s.bytes_transferred(64), 2 * 64);
+}
+
+/// Satellite 4 regression: under `RowPolicy::ClosedPage` the command log
+/// is cycle-monotonic (auto-precharge records used to be appended ahead
+/// of commands issued at earlier cycles).
+#[test]
+fn closed_page_command_log_is_monotonic() {
+    let mut cfg = DramConfig::ddr4_2400r();
+    cfg.refresh_enabled = false;
+    cfg.row_policy = RowPolicy::ClosedPage;
+    cfg.log_commands = true;
+    cfg.check_protocol = true;
+    let addrs: Vec<(u64, bool)> = (0..256u64).map(|i| (i * 4096, i % 3 == 0)).collect();
+    let mem = run_workload(cfg.clone(), &addrs, 200);
+    let log = mem.command_log(0);
+    assert!(log.iter().any(|c| c.kind == CommandKind::Pre));
+    assert!(
+        log.windows(2).all(|w| w[0].cycle <= w[1].cycle),
+        "command log is not cycle-monotonic"
+    );
+    mem.verify_command_logs()
+        .unwrap_or_else(|(ch, v)| panic!("channel {ch}: {v}"));
+}
+
+/// Liveness regression: a lone write under a perpetual row-hit read
+/// stream retires within the aging bound instead of starving (each read
+/// CAS used to re-arm the write turnaround faster than it expired).
+#[test]
+fn lone_write_under_read_stream_retires() {
+    let mut cfg = DramConfig::ddr4_2400r();
+    cfg.refresh_enabled = false;
+    cfg.log_commands = false;
+    cfg.check_protocol = true;
+    let mapper = AddressMapper::new(cfg.org, cfg.mapping);
+    let lines = row_hit_addrs(&mapper, 0, 64);
+    // A write to a different bank than the read stream.
+    let write_addr = (0..1_000_000u64)
+        .map(|l| l * 64)
+        .find(|&a| {
+            let c = mapper.decode(a);
+            let r = mapper.decode(lines[0]);
+            c.rank == 0 && (c.bank_group, c.bank) != (r.bank_group, r.bank)
+        })
+        .unwrap();
+    let mut mem = MemorySystem::new(cfg.clone());
+    assert!(mem.try_enqueue(MemRequest::write(write_addr, u64::MAX)));
+    let mut sent = 0u64;
+    let mut write_done_at = None;
+    let horizon = cfg.timing.t_refi + 3000;
+    for _ in 0..horizon {
+        let addr = lines[(sent % 64) as usize];
+        if mem.try_enqueue(MemRequest::read(addr, sent)) {
+            sent += 1;
+        }
+        mem.tick();
+        while let Some(r) = mem.pop_response() {
+            if r.kind == ReqKind::Write {
+                write_done_at = Some(r.done_at);
+            }
+        }
+    }
+    let done = write_done_at.expect("write starved under read stream");
+    assert!(
+        done <= horizon,
+        "write retired at {done}, after the horizon"
+    );
+}
+
+/// Liveness regression: a lone read to a bank monopolized by write-drain
+/// traffic retires within the aging bound. Pre-fix, FR-FCFS plus the
+/// write-drain watermark let younger writes re-open the bank on other
+/// rows at full tRC pace forever, and the read's ACT never won a slot
+/// (caught by the checker's request-age bound under random traffic).
+#[test]
+fn lone_read_under_write_drain_retires() {
+    let mut cfg = DramConfig::ddr4_2400r();
+    cfg.refresh_enabled = false;
+    cfg.check_protocol = true;
+    let mapper = AddressMapper::new(cfg.org, cfg.mapping);
+    // 65 addresses in one bank, all distinct rows: a write stream cycling
+    // the first 64 keeps the queue above the drain watermark, the read
+    // targets the 65th (never forwarded, always a row conflict).
+    let anchor = mapper.decode(0);
+    let mut rows = Vec::new();
+    for line in 0..4_000_000u64 {
+        let addr = line * 64;
+        let c = mapper.decode(addr);
+        if (c.rank, c.bank_group, c.bank) == (anchor.rank, anchor.bank_group, anchor.bank)
+            && !rows.iter().any(|&(_, r)| r == c.row)
+        {
+            rows.push((addr, c.row));
+            if rows.len() == 65 {
+                break;
+            }
+        }
+    }
+    assert_eq!(rows.len(), 65, "not enough distinct rows in one bank");
+    let mut mem = MemorySystem::new(cfg.clone());
+    let mut sent = 0u64;
+    let mut read_done = false;
+    let horizon = cfg.timing.t_refi + 3000;
+    for cycle in 0..horizon {
+        // Let the write drain saturate before the read arrives.
+        if cycle == 500 {
+            assert!(mem.try_enqueue(MemRequest::read(rows[64].0, u64::MAX)));
+        }
+        let addr = rows[(sent % 64) as usize].0;
+        if mem.try_enqueue(MemRequest::write(addr, sent)) {
+            sent += 1;
+        }
+        mem.tick();
+        while let Some(r) = mem.pop_response() {
+            if r.kind == ReqKind::Read {
+                read_done = true;
+            }
+        }
+    }
+    assert!(read_done, "read starved under write-drain traffic");
+}
+
+// ---------------------------------------------------------------------
+// Mutation tests: corrupt one controller timing parameter, verify the
+// recorded stream against the *nominal* timing, and assert the checker
+// names exactly the violated constraint.
+// ---------------------------------------------------------------------
+
+/// Runs `addrs` on a controller with `corrupt` applied to its timing and
+/// returns the offline verdict of a checker using the nominal config.
+fn mutated_verdict(
+    corrupt: impl Fn(&mut DramTiming),
+    nominal: &DramConfig,
+    addrs: &[(u64, bool)],
+) -> &'static str {
+    let mut cfg = nominal.clone();
+    corrupt(&mut cfg.timing);
+    cfg.log_commands = true;
+    cfg.check_protocol = false; // the live checker would share the corruption
+    let mem = run_workload(cfg, addrs, 100);
+    match ProtocolChecker::check_trace(mem.command_log(0), nominal) {
+        Ok(()) => "clean",
+        Err(v) => v.rule,
+    }
+}
+
+fn nominal() -> DramConfig {
+    let mut cfg = DramConfig::ddr4_2400r();
+    cfg.refresh_enabled = false;
+    cfg
+}
+
+#[test]
+fn halved_trcd_is_reported_as_trcd() {
+    let verdict = mutated_verdict(|t| t.t_rcd /= 2, &nominal(), &[(0, false)]);
+    assert_eq!(verdict, "tRCD");
+}
+
+#[test]
+fn halved_tccd_l_is_reported_as_tccd_l() {
+    // Two row hits in the same bank group.
+    let addrs = [(0, false), (64, false)];
+    let verdict = mutated_verdict(|t| t.t_ccd_l /= 2, &nominal(), &addrs);
+    assert_eq!(verdict, "tCCD_L");
+}
+
+#[test]
+fn halved_tfaw_is_reported_as_tfaw() {
+    // Eight activates to distinct banks of one rank.
+    let addrs: Vec<(u64, bool)> = (0..8u64).map(|i| (i * 8192, false)).collect();
+    let verdict = mutated_verdict(|t| t.t_faw /= 2, &nominal(), &addrs);
+    assert_eq!(verdict, "tFAW");
+}
+
+#[test]
+fn halved_twtr_is_reported_as_twtr() {
+    // A write, then (after it completes) a read on the same rank.
+    let mut cfg = nominal();
+    cfg.timing.t_wtr /= 2;
+    cfg.log_commands = true;
+    let mut mem = MemorySystem::new(cfg);
+    assert!(mem.try_enqueue(MemRequest::write(0, 1)));
+    let mut read_sent = false;
+    for _ in 0..400 {
+        mem.tick();
+        if mem.pop_response().is_some() && !read_sent {
+            assert!(mem.try_enqueue(MemRequest::read(64, 2)));
+            read_sent = true;
+        }
+    }
+    let v = ProtocolChecker::check_trace(mem.command_log(0), &nominal()).unwrap_err();
+    assert_eq!(v.rule, "tWTR");
+}
+
+#[test]
+fn halved_tras_is_reported_as_tras() {
+    // Closed-page auto-precharge fires at the (corrupted) earliest legal
+    // precharge time.
+    let mut base = nominal();
+    base.row_policy = RowPolicy::ClosedPage;
+    let verdict = mutated_verdict(|t| t.t_ras /= 2, &base, &[(0, false)]);
+    assert_eq!(verdict, "tRAS");
+}
+
+#[test]
+fn halved_tbl_is_reported_as_bus_collision() {
+    // Cross-rank back-to-back reads: tCCD is per rank, so only the bus
+    // occupancy window separates the bursts.
+    let base = nominal().with_ranks(2);
+    let mapper = AddressMapper::new(base.org, base.mapping);
+    let rank1 = (0..1_000_000u64)
+        .map(|l| l * 64)
+        .find(|&a| mapper.decode(a).rank == 1)
+        .unwrap();
+    let addrs = [(0, false), (rank1, false)];
+    let verdict = mutated_verdict(|t| t.t_bl /= 2, &base, &addrs);
+    assert_eq!(verdict, "bus-collision");
+}
+
+/// The checker rejects the pre-fix out-of-order closed-page log shape.
+#[test]
+fn offline_checker_rejects_non_monotonic_logs() {
+    let mut cfg = nominal();
+    cfg.row_policy = RowPolicy::ClosedPage;
+    cfg.log_commands = true;
+    let mem = run_workload(cfg.clone(), &[(0, false), (4096, false)], 100);
+    let mut log: Vec<_> = mem.command_log(0).to_vec();
+    assert!(ProtocolChecker::check_trace(&log, &cfg).is_ok());
+    // Re-create the old bug: append a stale-cycle PRE at the end.
+    let pre = *log.iter().find(|c| c.kind == CommandKind::Pre).unwrap();
+    log.push(pre);
+    let v = ProtocolChecker::check_trace(&log, &cfg).unwrap_err();
+    assert_eq!(v.rule, "non-monotonic-trace");
+}
