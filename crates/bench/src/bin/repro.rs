@@ -7,18 +7,24 @@
 //! repro all --out results   # additionally write each report to results/<id>.txt
 //! repro --list              # available experiment ids
 //! ```
+//!
+//! Experiments that produce file artifacts themselves (e.g. `trace`)
+//! write into the shared results directory (`$MENDA_RESULTS_DIR`,
+//! default `results`); `--out DIR` points that directory at `DIR` too,
+//! so all output of a run lands in one place.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use menda_bench::experiments;
+use menda_bench::util;
 use menda_bench::Scale;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ids: Vec<String> = Vec::new();
     let mut scale = Scale::default_scale();
-    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut write_reports = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -34,7 +40,12 @@ fn main() -> ExitCode {
                 }
             },
             "--out" => match iter.next() {
-                Some(dir) => out_dir = Some(dir.into()),
+                Some(dir) => {
+                    // Route every artifact writer through the one
+                    // results-dir helper.
+                    std::env::set_var("MENDA_RESULTS_DIR", dir);
+                    write_reports = true;
+                }
                 None => {
                     eprintln!("--out requires a directory");
                     return ExitCode::FAILURE;
@@ -57,10 +68,9 @@ fn main() -> ExitCode {
                 println!("==================== {id} ====================");
                 println!("{report}");
                 println!("[{id} completed in {:.1?}]\n", started.elapsed());
-                if let Some(dir) = &out_dir {
-                    if let Err(e) = std::fs::create_dir_all(dir)
-                        .and_then(|_| std::fs::write(dir.join(format!("{id}.txt")), &report))
-                    {
+                if write_reports {
+                    let dir = util::results_dir();
+                    if let Err(e) = util::write_artifact(&dir, &format!("{id}.txt"), &report) {
                         eprintln!("error writing {id}.txt: {e}");
                         return ExitCode::FAILURE;
                     }

@@ -17,6 +17,7 @@ pub mod fig3;
 pub mod host;
 pub mod tables;
 pub mod threads;
+pub mod trace;
 pub mod verify;
 
 #[cfg(test)]
@@ -46,6 +47,7 @@ pub const ALL: &[&str] = &[
     "host",
     "conflicts",
     "threads",
+    "trace",
     "verify-dram",
 ];
 
@@ -76,6 +78,7 @@ pub fn run(id: &str, scale: Scale) -> Result<String, String> {
         "host" => Ok(host::run(scale)),
         "conflicts" => Ok(conflicts::run(scale)),
         "threads" => Ok(threads::run(scale)),
+        "trace" => Ok(trace::run(scale)),
         "verify-dram" => Ok(verify::run(scale)),
         other => Err(format!(
             "unknown experiment '{other}'; available: {}",

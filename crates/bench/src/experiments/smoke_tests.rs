@@ -158,6 +158,24 @@ fn experiments_run_clean_under_live_protocol_checking() {
 }
 
 #[test]
+fn trace_writes_valid_artifacts_and_full_table() {
+    let dir = std::env::temp_dir().join("menda-trace-smoke");
+    let _ = std::fs::remove_dir_all(&dir);
+    // run_to validates internally: reports must be well-formed, the JSON
+    // must round-trip through the in-repo parser with events, and every
+    // utilization metric must be derivable (panic otherwise).
+    let r = experiments::trace::run_to(tiny(), &dir);
+    for component in ["merge tree", "prefetch", "coalescer", "DRAM"] {
+        assert!(r.contains(component), "{component} missing from table");
+    }
+    for artifact in ["trace_transpose.json", "trace_spmv.json"] {
+        let meta = std::fs::metadata(dir.join(artifact)).expect("artifact exists");
+        assert!(meta.len() > 0, "{artifact} is empty");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn unknown_experiment_is_an_error() {
     assert!(experiments::run("fig99", tiny()).is_err());
 }
@@ -168,9 +186,13 @@ fn all_ids_dispatch() {
     // or fixed large effective scales); their components are covered
     // elsewhere.
     for id in experiments::ALL {
-        if matches!(*id, "fig10" | "fig13" | "fig16" | "conflicts" | "threads") {
-            // "threads" runs 8-PU simulations at four thread counts and has
-            // its own dedicated smoke test.
+        if matches!(
+            *id,
+            "fig10" | "fig13" | "fig16" | "conflicts" | "threads" | "trace"
+        ) {
+            // "threads" runs 8-PU simulations at four thread counts and
+            // "trace" writes artifacts into the results dir; both have
+            // dedicated smoke tests.
             continue;
         }
         assert!(experiments::run(id, tiny()).is_ok(), "{id} failed");

@@ -1,0 +1,173 @@
+//! `trace`: phase-resolved utilization of the MeNDA PU, captured by the
+//! `menda-trace` instrumentation layer.
+//!
+//! Not a paper figure — it is the observability companion to Figs. 9-13:
+//! one transpose and one SpMV run on an R-MAT matrix with full Chrome
+//! trace capture, written as `trace_transpose.json` / `trace_spmv.json`
+//! (loadable in `chrome://tracing` or Perfetto), plus a per-component
+//! utilization table covering the merge tree, the prefetch buffers, the
+//! request coalescer and DRAM.
+
+use std::path::Path;
+
+use menda_core::{spmv, MendaConfig, MendaSystem, TraceConfig};
+use menda_sparse::gen;
+use menda_trace::{json, TraceReport};
+
+use crate::util::{results_dir, write_artifact, Scale, Table};
+
+/// One run's derived utilization figures, one column of the table.
+struct Utilization {
+    tree_fill_pct: f64,
+    nz_per_cycle: f64,
+    prefetch_hit_pct: f64,
+    prefetch_held: f64,
+    coalesced_pct: f64,
+    coalesce_width: f64,
+    bus_util_pct: f64,
+    row_hit_pct: f64,
+}
+
+fn pct(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
+/// Derives the utilization column from a validated report. Panics if a
+/// hook went missing — an empty summary table must fail the experiment,
+/// not render blank.
+fn utilization(rep: &TraceReport, cfg: &MendaConfig) -> Utilization {
+    let fill = rep.histogram("pu.tree_fill").expect("tree_fill histogram");
+    let held = rep
+        .histogram("pu.prefetch_held")
+        .expect("prefetch_held histogram");
+    let width = rep
+        .histogram("pu.coalesce_width")
+        .expect("coalesce_width histogram");
+    let capacity = ((cfg.pu.leaves - 1) * 2 * cfg.pu.fifo_entries) as f64;
+    let cycles = rep.counter("pu.cycles");
+    let loads = rep.counter("pu.loads_issued");
+    let coalesced = rep.counter("pu.queue_coalesced");
+    assert!(cycles > 0 && fill.count() > 0, "PU hooks recorded nothing");
+    let dram_cycles = rep.counter("dram.cycles");
+    assert!(dram_cycles > 0, "DRAM hooks recorded nothing");
+    let data_cycles = rep.counter("dram.sched.cas") * cfg.dram.timing.t_bl;
+    let row_ops = rep.counter("dram.row_hits")
+        + rep.counter("dram.row_misses")
+        + rep.counter("dram.row_conflicts");
+    Utilization {
+        tree_fill_pct: 100.0 * fill.mean() / capacity,
+        nz_per_cycle: rep.counter("pu.nz_emitted") as f64 / cycles as f64,
+        prefetch_hit_pct: pct(
+            rep.counter("pu.prefetch.hits"),
+            rep.counter("pu.prefetch.hits") + rep.counter("pu.prefetch.misses"),
+        ),
+        prefetch_held: held.mean(),
+        coalesced_pct: pct(coalesced, loads + coalesced),
+        coalesce_width: width.mean(),
+        bus_util_pct: pct(data_cycles, dram_cycles),
+        row_hit_pct: pct(rep.counter("dram.row_hits"), row_ops),
+    }
+}
+
+/// Validates a report end to end: well-formed events, and Chrome JSON
+/// that round-trips through the in-repo parser with a non-empty event
+/// array. Returns the serialized JSON.
+fn checked_json(rep: &TraceReport, what: &str) -> String {
+    rep.validate()
+        .unwrap_or_else(|e| panic!("{what}: malformed trace: {e}"));
+    let text = rep.chrome_json();
+    let doc = json::parse(&text).unwrap_or_else(|e| panic!("{what}: invalid JSON: {e:?}"));
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .unwrap_or_else(|| panic!("{what}: missing traceEvents array"));
+    assert!(!events.is_empty(), "{what}: empty trace");
+    text
+}
+
+/// Runs the experiment, writing trace JSON into [`results_dir`].
+pub fn run(scale: Scale) -> String {
+    run_to(scale, &results_dir())
+}
+
+/// Runs transpose + SpMV with Chrome tracing, writes `trace_*.json`
+/// into `dir`, and renders the utilization table.
+pub fn run_to(scale: Scale, dir: &Path) -> String {
+    let n = (32_768 / scale.factor()).max(64);
+    let m = gen::rmat(n, n * 8, gen::RmatParams::PAPER, 7);
+    let cfg = MendaConfig::paper().with_trace(TraceConfig::chrome());
+
+    let t = MendaSystem::new(cfg.clone()).transpose(&m);
+    let t_rep = t.trace.as_ref().expect("traced transpose has a report");
+    let t_path = write_artifact(
+        dir,
+        "trace_transpose.json",
+        &checked_json(t_rep, "transpose"),
+    )
+    .expect("write transpose trace");
+
+    let x: Vec<f32> = (0..m.ncols())
+        .map(|i| (i % 13) as f32 * 0.25 - 1.0)
+        .collect();
+    let s = spmv::run(&cfg, &m, &x);
+    let s_rep = s.trace.as_ref().expect("traced SpMV has a report");
+    let s_path = write_artifact(dir, "trace_spmv.json", &checked_json(s_rep, "spmv"))
+        .expect("write SpMV trace");
+
+    let tu = utilization(t_rep, &cfg);
+    let su = utilization(s_rep, &cfg);
+    let mut out = format!(
+        "Per-component utilization, R-MAT n={n} nnz={} (1/{} scale), {} PUs\n\
+         (Chrome traces: {} and {})\n\n",
+        m.nnz(),
+        scale.factor(),
+        cfg.channels * cfg.ranks_per_channel,
+        t_path.display(),
+        s_path.display()
+    );
+    let mut tab = Table::new(&["component", "metric", "transpose", "spmv"]);
+    type Cell = fn(&Utilization) -> String;
+    let rows: [(&str, &str, Cell); 8] = [
+        ("merge tree", "mean FIFO fill", |u| {
+            format!("{:.1}%", u.tree_fill_pct)
+        }),
+        ("merge tree", "NZ emitted / cycle", |u| {
+            format!("{:.3}", u.nz_per_cycle)
+        }),
+        ("prefetch", "hit rate", |u| {
+            format!("{:.1}%", u.prefetch_hit_pct)
+        }),
+        ("prefetch", "mean packets held", |u| {
+            format!("{:.1}", u.prefetch_held)
+        }),
+        ("coalescer", "loads coalesced", |u| {
+            format!("{:.1}%", u.coalesced_pct)
+        }),
+        ("coalescer", "mean merge width", |u| {
+            format!("{:.2}", u.coalesce_width)
+        }),
+        ("DRAM", "data-bus utilization", |u| {
+            format!("{:.1}%", u.bus_util_pct)
+        }),
+        ("DRAM", "row-buffer hit rate", |u| {
+            format!("{:.1}%", u.row_hit_pct)
+        }),
+    ];
+    for (component, metric, cell) in rows {
+        tab.row(&[
+            component.to_string(),
+            metric.to_string(),
+            cell(&tu),
+            cell(&su),
+        ]);
+    }
+    out.push_str(&tab.render());
+    out.push_str(
+        "\nLoad either JSON in chrome://tracing or Perfetto: pid = PU, track 0 =\nPU clock (800 MHz), tracks 1+ = DRAM channel bus clock (1200 MHz).\n",
+    );
+    out
+}

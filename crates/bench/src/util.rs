@@ -1,6 +1,34 @@
 //! Shared helpers for the experiment harness.
 
 use std::fmt::Display;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The directory experiment artifacts (reports, trace JSON) are written
+/// to: `$MENDA_RESULTS_DIR` if set and non-empty, else `results` under
+/// the current working directory.
+///
+/// Every experiment that produces files routes them through here (via
+/// [`write_artifact`]) so output location is controlled in one place.
+pub fn results_dir() -> PathBuf {
+    match std::env::var("MENDA_RESULTS_DIR") {
+        Ok(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from("results"),
+    }
+}
+
+/// Writes `contents` to `dir/name`, creating `dir` (and parents) first.
+/// Returns the path written.
+///
+/// # Errors
+///
+/// Propagates any filesystem error from directory creation or the write.
+pub fn write_artifact(dir: &Path, name: &str, contents: &str) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
 
 /// Downscaling factor applied to the paper's matrix sizes.
 ///
@@ -113,6 +141,32 @@ pub fn geomean(xs: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn results_dir_defaults_and_honors_env() {
+        // One test covers both states: parallel tests sharing the env
+        // var would race.
+        std::env::remove_var("MENDA_RESULTS_DIR");
+        assert_eq!(results_dir(), PathBuf::from("results"));
+        std::env::set_var("MENDA_RESULTS_DIR", "");
+        assert_eq!(results_dir(), PathBuf::from("results"));
+        std::env::set_var("MENDA_RESULTS_DIR", "/tmp/menda-out");
+        assert_eq!(results_dir(), PathBuf::from("/tmp/menda-out"));
+        std::env::remove_var("MENDA_RESULTS_DIR");
+    }
+
+    #[test]
+    fn write_artifact_creates_dir_and_file() {
+        let dir = std::env::temp_dir().join("menda-util-artifact-test/nested");
+        let _ = std::fs::remove_dir_all(dir.parent().unwrap());
+        let path = write_artifact(&dir, "report.txt", "hello").expect("write");
+        assert_eq!(path, dir.join("report.txt"));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "hello");
+        // Overwrite is fine.
+        write_artifact(&dir, "report.txt", "bye").expect("rewrite");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "bye");
+        let _ = std::fs::remove_dir_all(dir.parent().unwrap());
+    }
 
     #[test]
     fn table_renders_aligned() {

@@ -1,4 +1,5 @@
 use menda_dram::DramConfig;
+use menda_trace::TraceConfig;
 
 /// Configuration of one MeNDA processing unit (Table 1, bottom).
 #[derive(Debug, Clone, PartialEq)]
@@ -173,6 +174,12 @@ pub struct MendaConfig {
     pub dram: DramConfig,
     /// Host-simulation options (threading of the execution engine).
     pub sim: SimOptions,
+    /// Instrumentation configuration (see `menda-trace`). Purely
+    /// observational: changing it never changes simulated results, only
+    /// whether a [`crate::stats::RunStats::trace`] report is produced.
+    /// Defaults to the `MENDA_TRACE` environment variable (off when
+    /// unset).
+    pub trace: TraceConfig,
 }
 
 impl MendaConfig {
@@ -185,6 +192,7 @@ impl MendaConfig {
             ranks_per_channel: 2,
             dram: DramConfig::ddr4_2400r(),
             sim: SimOptions::default(),
+            trace: TraceConfig::from_env(),
         }
     }
 
@@ -199,6 +207,7 @@ impl MendaConfig {
             ranks_per_channel: 2,
             dram,
             sim: SimOptions::default(),
+            trace: TraceConfig::from_env(),
         }
     }
 
@@ -224,6 +233,13 @@ impl MendaConfig {
     /// host's wall-clock time changes.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.sim.threads = Some(threads);
+        self
+    }
+
+    /// With a specific instrumentation configuration (overrides the
+    /// `MENDA_TRACE` default).
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -297,6 +313,15 @@ mod tests {
     fn dram_tick_ratio_nominal() {
         let c = MendaConfig::paper();
         assert_eq!(c.dram_ticks_ratio(), (1200, 800));
+    }
+
+    #[test]
+    fn trace_knob_defaults_off_and_overrides() {
+        // The test environment never sets MENDA_TRACE, so the default is
+        // off and tracing costs nothing.
+        assert!(!MendaConfig::small_test().trace.enabled());
+        let c = MendaConfig::small_test().with_trace(TraceConfig::counting());
+        assert!(c.trace.enabled());
     }
 
     #[test]

@@ -12,6 +12,8 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use menda_trace::TraceReport;
+
 use crate::config::MendaConfig;
 use crate::job::{self, PuJob};
 use crate::pu::{ProcessingUnit, PuResult};
@@ -62,46 +64,66 @@ impl<'a> Engine<'a> {
     pub fn run<S: KernelSpec>(&self, spec: &S) -> S::Output {
         let pus = self.config.num_pus();
         let threads = self.config.sim.effective_threads(pus);
-        let results = if threads <= 1 {
+        let outcomes = if threads <= 1 {
             (0..pus).map(|p| self.run_pu(spec, p)).collect()
         } else {
             self.run_parallel(spec, pus, threads)
         };
-        let run = RunStats::collect(
+        let (results, reports): (Vec<PuResult>, Vec<Option<TraceReport>>) =
+            outcomes.into_iter().unzip();
+        let mut run = RunStats::collect(
             self.config.pu.frequency_mhz,
             results.iter().map(|r: &PuResult| r.stats.clone()).collect(),
         );
+        // Aggregate per-PU trace reports in PU order so counters merge
+        // deterministically and Chrome pids identify the PU.
+        let mut aggregated: Option<TraceReport> = None;
+        for (p, report) in reports.into_iter().enumerate() {
+            if let Some(report) = report {
+                aggregated
+                    .get_or_insert_with(TraceReport::default)
+                    .absorb_as(report, p as u32);
+            }
+        }
+        run.trace = aggregated;
         spec.assemble(results, run)
     }
 
-    fn run_pu<S: KernelSpec>(&self, spec: &S, p: usize) -> PuResult {
+    fn run_pu<S: KernelSpec>(&self, spec: &S, p: usize) -> (PuResult, Option<TraceReport>) {
         let mut pu = ProcessingUnit::new(self.config);
-        job::execute(&mut pu, spec.make_job(p))
+        let result = job::execute(&mut pu, spec.make_job(p));
+        (result, pu.take_trace_report())
     }
 
-    fn run_parallel<S: KernelSpec>(&self, spec: &S, pus: usize, threads: usize) -> Vec<PuResult> {
+    fn run_parallel<S: KernelSpec>(
+        &self,
+        spec: &S,
+        pus: usize,
+        threads: usize,
+    ) -> Vec<(PuResult, Option<TraceReport>)> {
         let next = AtomicUsize::new(0);
-        let mut indexed: Vec<(usize, PuResult)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut done = Vec::new();
-                        loop {
-                            let p = next.fetch_add(1, Ordering::Relaxed);
-                            if p >= pus {
-                                break;
+        let mut indexed: Vec<(usize, (PuResult, Option<TraceReport>))> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut done = Vec::new();
+                            loop {
+                                let p = next.fetch_add(1, Ordering::Relaxed);
+                                if p >= pus {
+                                    break;
+                                }
+                                done.push((p, self.run_pu(spec, p)));
                             }
-                            done.push((p, self.run_pu(spec, p)));
-                        }
-                        done
+                            done
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("PU worker panicked"))
-                .collect()
-        });
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("PU worker panicked"))
+                    .collect()
+            });
         indexed.sort_unstable_by_key(|&(p, _)| p);
         indexed.into_iter().map(|(_, r)| r).collect()
     }

@@ -76,3 +76,6 @@ pub use prefetch::{PrefetchBuffer, StreamDescriptor};
 pub use pu::{ProcessingUnit, PtrGate, PuResult};
 pub use stats::{IterationStats, PuStats, RunStats};
 pub use system::{MendaSystem, TransposeResult};
+// Convenience re-exports so downstream users can configure and consume
+// instrumentation without naming `menda-trace` directly.
+pub use menda_trace::{TraceConfig, TraceMode, TraceReport};

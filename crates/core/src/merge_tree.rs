@@ -210,6 +210,13 @@ impl MergeTree {
             .all(|p| p.in0.is_empty() && p.in1.is_empty())
     }
 
+    /// Total packets currently buffered in the inter-PE FIFOs — the tree
+    /// fill level sampled by the instrumentation layer. Bounded by
+    /// `(leaves - 1) * 2 * fifo_entries`.
+    pub fn occupancy(&self) -> usize {
+        self.pes.iter().map(|p| p.in0.len() + p.in1.len()).sum()
+    }
+
     /// Marks the leaf PE serving `port` as active (call when the backing
     /// prefetch buffer gains data).
     pub fn wake_port(&mut self, port: usize) {
@@ -426,6 +433,33 @@ mod tests {
         assert_eq!(out, MergeTree::merge_functional(&streams));
         assert_eq!(tree.pops(), 9);
         assert!(tree.is_drained());
+    }
+
+    #[test]
+    fn occupancy_tracks_fifo_fill_and_drains_to_zero() {
+        let streams = vec![
+            vec![nz(1), nz(5), nz(9)],
+            vec![nz(2), nz(6)],
+            vec![nz(3), nz(7), nz(11)],
+            vec![nz(4)],
+        ];
+        let mut src = SliceLeafSource::from_streams(4, streams);
+        let mut tree = MergeTree::new(4, 2);
+        assert_eq!(tree.occupancy(), 0);
+        let cap = (tree.leaves() - 1) * 2 * 2;
+        let mut peak = 0;
+        while tree.rounds_completed() < 1 {
+            tree.tick(&mut src, 1);
+            peak = peak.max(tree.occupancy());
+            assert!(tree.occupancy() <= cap);
+        }
+        assert!(peak > 0, "tree never buffered a packet");
+        // Drained tree reads back as empty.
+        assert_eq!(
+            tree.is_drained(),
+            tree.occupancy() == 0,
+            "occupancy and is_drained disagree"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@ use std::collections::VecDeque;
 
 use menda_dram::{MemRequest, MemorySystem, ReqKind};
 use menda_sparse::CsrMatrix;
+use menda_trace::{Histogram, TraceConfig, TraceReport, Tracer};
 
 use crate::coalesce::{CoalescingQueue, EnqueueOutcome};
 use crate::config::{MendaConfig, PuConfig};
@@ -174,6 +175,14 @@ pub struct PuResult {
 struct BufferPorts<'a> {
     buffers: &'a mut [PrefetchBuffer],
     popped: Vec<u32>,
+    /// When set (tracing on), classify each leaf pop as fed/starved.
+    count_feed: bool,
+    /// Pops after which the buffer still had a packet ready (or the
+    /// stream was complete) — the prefetcher kept the leaf fed.
+    fed: u64,
+    /// Pops that drained the buffer mid-stream — the leaf will bubble
+    /// until the next block arrives from memory.
+    starved: u64,
 }
 
 impl LeafSource for BufferPorts<'_> {
@@ -183,7 +192,85 @@ impl LeafSource for BufferPorts<'_> {
 
     fn pop(&mut self, port: usize) {
         self.buffers[port].pop();
+        if self.count_feed {
+            if self.buffers[port].peek().is_some() || self.buffers[port].is_done() {
+                self.fed += 1;
+            } else {
+                self.starved += 1;
+            }
+        }
         self.popped.push(port as u32);
+    }
+}
+
+/// Instrumentation state of one PU (see the `menda-trace` crate): a
+/// cycle-stamped tracer on track 0 plus occupancy histograms and counters
+/// maintained by purely observational hooks in
+/// [`ProcessingUnit::run_rounds`]. Built only when
+/// [`MendaConfig::trace`] enables a sink, so untraced runs pay nothing.
+#[derive(Debug)]
+struct PuTraceState {
+    tracer: Tracer,
+    interval: u64,
+    /// Global PU cycle at the start of the current iteration (each
+    /// iteration restarts its local cycle counter).
+    cycle_base: u64,
+    tree_fill: Histogram,
+    read_q_occ: Histogram,
+    write_q_occ: Histogram,
+    prefetch_held: Histogram,
+    coalesce_width: Histogram,
+    prefetch_hits: u64,
+    prefetch_misses: u64,
+    queue_coalesced: u64,
+    nz_emitted: u64,
+    loads_issued: u64,
+    stores_issued: u64,
+    iterations: u64,
+}
+
+impl PuTraceState {
+    fn new(cfg: &TraceConfig, pu: &PuConfig) -> Option<Self> {
+        let tracer = cfg.make_tracer(0)?;
+        let l = pu.leaves as u64;
+        Some(Self {
+            tracer,
+            interval: cfg.sample_interval,
+            cycle_base: 0,
+            tree_fill: Histogram::for_range((l - 1) * 2 * pu.fifo_entries as u64),
+            read_q_occ: Histogram::up_to(pu.read_queue_entries as u64),
+            write_q_occ: Histogram::up_to(pu.write_queue_entries as u64),
+            prefetch_held: Histogram::for_range(l * pu.prefetch_buffer_entries as u64),
+            coalesce_width: Histogram::up_to(64),
+            prefetch_hits: 0,
+            prefetch_misses: 0,
+            queue_coalesced: 0,
+            nz_emitted: 0,
+            loads_issued: 0,
+            stores_issued: 0,
+            iterations: 0,
+        })
+    }
+
+    fn into_report(self) -> TraceReport {
+        let mut report = TraceReport {
+            sink: self.tracer.finish(),
+            ..Default::default()
+        };
+        report.add_counter("pu.cycles", self.cycle_base);
+        report.add_counter("pu.iterations", self.iterations);
+        report.add_counter("pu.nz_emitted", self.nz_emitted);
+        report.add_counter("pu.loads_issued", self.loads_issued);
+        report.add_counter("pu.stores_issued", self.stores_issued);
+        report.add_counter("pu.queue_coalesced", self.queue_coalesced);
+        report.add_counter("pu.prefetch.hits", self.prefetch_hits);
+        report.add_counter("pu.prefetch.misses", self.prefetch_misses);
+        report.set_histogram("pu.tree_fill", self.tree_fill);
+        report.set_histogram("pu.read_queue", self.read_q_occ);
+        report.set_histogram("pu.write_queue", self.write_q_occ);
+        report.set_histogram("pu.prefetch_held", self.prefetch_held);
+        report.set_histogram("pu.coalesce_width", self.coalesce_width);
+        report
     }
 }
 
@@ -197,6 +284,9 @@ pub struct ProcessingUnit {
     mem: MemorySystem,
     dram_tick_accum: u64,
     next_req_id: u64,
+    /// Instrumentation state; `None` when tracing is off. Purely
+    /// observational — it never feeds back into the simulation.
+    trace: Option<PuTraceState>,
 }
 
 impl ProcessingUnit {
@@ -205,12 +295,16 @@ impl ProcessingUnit {
     /// DRAM configuration); the system-level fields stay with the caller.
     pub fn new(config: &MendaConfig) -> Self {
         config.pu.validate();
-        let dram = config.dram.clone().with_channels(1).with_ranks(1);
+        let mut dram = config.dram.clone().with_channels(1).with_ranks(1);
+        // The system-level trace knob governs the rank's DRAM tracing too,
+        // so `MendaConfig::with_trace` works without touching `dram`.
+        dram.trace = config.trace;
         Self {
             layout: AddressLayout::rank_default(),
             mem: MemorySystem::new(dram),
             dram_tick_accum: 0,
             next_req_id: 0,
+            trace: PuTraceState::new(&config.trace, &config.pu),
             pu_cfg: config.pu.clone(),
             ticks: config.dram_ticks_ratio(),
         }
@@ -229,6 +323,19 @@ impl ProcessingUnit {
     /// Current DRAM-side statistics of this PU's rank.
     pub(crate) fn dram_stats(&self) -> menda_dram::DramStats {
         self.mem.stats()
+    }
+
+    /// Ends instrumentation and returns this PU's trace report (track 0
+    /// carries PU-cycle events, track 1 the rank's DRAM bus-cycle
+    /// events), or `None` when tracing is off. The PU records nothing
+    /// afterwards.
+    pub fn take_trace_report(&mut self) -> Option<TraceReport> {
+        let state = self.trace.take()?;
+        let mut report = state.into_report();
+        if let Some(dram) = self.mem.take_trace_report() {
+            report.merge(dram);
+        }
+        Some(report)
     }
 
     /// The DRAM command stream of this PU's rank (empty unless
@@ -283,6 +390,11 @@ impl ProcessingUnit {
         }
         // Pad to full rounds so every buffer gets a descriptor per round.
         let padded = total_rounds * l;
+
+        let count_feed = self.trace.is_some();
+        if let Some(ts) = self.trace.as_mut() {
+            ts.tracer.begin(ts.cycle_base, "pu.iteration");
+        }
 
         let mut tree = MergeTree::new(l, pu_cfg.fifo_entries);
         let mut buffers: Vec<PrefetchBuffer> = (0..l)
@@ -368,6 +480,11 @@ impl ProcessingUnit {
                 }
                 let block = resp.addr;
                 let waiters = read_q.complete(block);
+                if let Some(ts) = self.trace.as_mut() {
+                    // One completed block feeds `waiters.len()` requests —
+                    // the merge width achieved by request coalescing.
+                    ts.coalesce_width.record(waiters.len() as u64);
+                }
                 for w in waiters {
                     match w {
                         PTR_WAITER => {
@@ -529,11 +646,33 @@ impl ProcessingUnit {
             let mut ports = BufferPorts {
                 buffers: &mut buffers,
                 popped: Vec::new(),
+                count_feed,
+                fed: 0,
+                starved: 0,
             };
             let popped = tree.tick(&mut ports, root_space);
             let awoken = std::mem::take(&mut ports.popped);
+            let (fed, starved) = (ports.fed, ports.starved);
             for p in awoken {
                 activate_buf(p as usize, &mut buf_active, &mut buf_worklist);
+            }
+            if let Some(ts) = self.trace.as_mut() {
+                ts.prefetch_hits += fed;
+                ts.prefetch_misses += starved;
+                if cycles.is_multiple_of(ts.interval) {
+                    let now = ts.cycle_base + cycles;
+                    let fill = tree.occupancy() as u64;
+                    let held: usize = buffers.iter().map(|b| b.held()).sum();
+                    ts.tree_fill.record(fill);
+                    ts.read_q_occ.record(read_q.len() as u64);
+                    ts.write_q_occ.record(write_q.len() as u64);
+                    ts.prefetch_held.record(held as u64);
+                    ts.tracer.counter(now, "pu.tree_fill", fill);
+                    ts.tracer.counter(now, "pu.read_queue", read_q.len() as u64);
+                    ts.tracer
+                        .counter(now, "pu.write_queue", write_q.len() as u64);
+                    ts.tracer.counter(now, "pu.prefetch_held", held as u64);
+                }
             }
             match popped {
                 Some(Packet::Nz {
@@ -629,6 +768,16 @@ impl ProcessingUnit {
         it.dram_row_hits = dram_after.row_hits - dram_before.row_hits;
         it.dram_row_misses = dram_after.row_misses - dram_before.row_misses;
         it.dram_row_conflicts = dram_after.row_conflicts - dram_before.row_conflicts;
+        if let Some(ts) = self.trace.as_mut() {
+            let end = ts.cycle_base + cycles;
+            ts.tracer.end(end, "pu.iteration");
+            ts.cycle_base = end;
+            ts.iterations += 1;
+            ts.nz_emitted += it.nz_emitted;
+            ts.loads_issued += it.loads_issued;
+            ts.stores_issued += it.stores_issued;
+            ts.queue_coalesced += it.loads_coalesced;
+        }
         ((out_minor, out_major, out_val), boundaries, it)
     }
 }

@@ -43,6 +43,9 @@ pub struct SpmvResult {
     pub gteps: f64,
     /// Per-PU statistics.
     pub pu_stats: Vec<PuStats>,
+    /// Aggregated instrumentation report, present only when
+    /// [`MendaConfig::trace`] enables a sink.
+    pub trace: Option<menda_trace::TraceReport>,
 }
 
 impl SpmvResult {
@@ -204,6 +207,7 @@ impl KernelSpec for SpmvSpec<'_> {
             seconds: run.seconds,
             gteps: run.throughput(self.a.nnz() as u64) / 1e9,
             pu_stats: run.pu_stats,
+            trace: run.trace,
         }
     }
 }

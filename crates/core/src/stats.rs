@@ -1,4 +1,5 @@
 use menda_dram::DramStats;
+use menda_trace::TraceReport;
 
 /// Statistics of one merge-sort iteration on one PU.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -79,7 +80,7 @@ impl PuStats {
 /// reduction every kernel driver previously reimplemented: execution time
 /// is the *maximum* over PUs (they run concurrently, §3.5), traffic is the
 /// *sum*, and the per-PU breakdown is kept for reporting.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct RunStats {
     /// Execution time in PU cycles (maximum over PUs).
     pub cycles: u64,
@@ -87,6 +88,21 @@ pub struct RunStats {
     pub seconds: f64,
     /// Per-PU statistics, indexed by PU id.
     pub pu_stats: Vec<PuStats>,
+    /// Aggregated instrumentation report across PUs, present only when
+    /// [`crate::MendaConfig::trace`] enables a sink. Chrome pids identify
+    /// the originating PU.
+    pub trace: Option<TraceReport>,
+}
+
+/// Equality over the *simulated* results only — the `trace` field is
+/// deliberately excluded so the differential test suite can assert that
+/// traced and untraced runs produce identical statistics.
+impl PartialEq for RunStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.cycles == other.cycles
+            && self.seconds == other.seconds
+            && self.pu_stats == other.pu_stats
+    }
 }
 
 impl RunStats {
@@ -98,6 +114,7 @@ impl RunStats {
             cycles,
             seconds,
             pu_stats,
+            trace: None,
         }
     }
 
@@ -192,6 +209,14 @@ mod tests {
         assert_eq!(run.total_traffic_bytes(), 6 * 64);
         assert_eq!(run.max_iterations(), 1);
         assert!(run.throughput(800) > 0.0);
+    }
+
+    #[test]
+    fn run_stats_equality_ignores_trace() {
+        let base = RunStats::collect(800, Vec::new());
+        let mut traced = base.clone();
+        traced.trace = Some(TraceReport::default());
+        assert_eq!(base, traced);
     }
 
     #[test]

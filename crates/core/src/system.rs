@@ -30,6 +30,9 @@ pub struct TransposeResult {
     pub pu_stats: Vec<PuStats>,
     /// The row partition used.
     pub partition: RowPartition,
+    /// Aggregated instrumentation report, present only when
+    /// [`MendaConfig::trace`] enables a sink.
+    pub trace: Option<menda_trace::TraceReport>,
 }
 
 impl TransposeResult {
@@ -124,6 +127,7 @@ impl KernelSpec for TransposeSpec<'_> {
             nnz_per_sec: run.throughput(self.matrix.nnz() as u64),
             pu_stats: run.pu_stats,
             partition: self.partition.clone(),
+            trace: run.trace,
         }
     }
 }

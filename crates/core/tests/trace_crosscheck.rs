@@ -1,0 +1,164 @@
+//! Cross-checks between the instrumentation layer and the existing
+//! statistics: every counter the trace layer reports must equal the
+//! corresponding [`menda_core::RunStats`] / DRAM aggregate on the Fig. 3
+//! smoke workloads (Table 3's N1/P1 at small scale), with the live DRAM
+//! protocol checker enabled alongside — the `MENDA_CHECK_PROTOCOL=1` CI
+//! path must coexist with tracing on the same run.
+
+use menda_core::{MendaConfig, MendaSystem, TraceConfig, TransposeResult};
+use menda_sparse::gen;
+use menda_sparse::CsrMatrix;
+
+fn traced_config() -> MendaConfig {
+    let mut cfg =
+        MendaConfig::small_test().with_trace(TraceConfig::counting().with_sample_interval(1));
+    // Tie-in with the MENDA_CHECK_PROTOCOL=1 path: the shadow protocol
+    // checker re-derives every JEDEC constraint live while the trace
+    // hooks observe the same command stream.
+    cfg.dram.check_protocol = true;
+    cfg
+}
+
+fn workloads() -> Vec<(&'static str, CsrMatrix)> {
+    let spec = |name: &str| gen::table3_spec(name).expect("table 3 name");
+    vec![
+        ("N1/512", spec("N1").generate_scaled(512, 11)),
+        ("P1/512", spec("P1").generate_scaled(512, 11)),
+    ]
+}
+
+fn run(m: &CsrMatrix) -> TransposeResult {
+    MendaSystem::new(traced_config()).transpose(m)
+}
+
+#[test]
+fn dram_row_outcome_counters_match_dram_stats() {
+    for (name, m) in workloads() {
+        let r = run(&m);
+        let rep = r.trace.as_ref().expect("traced run produces a report");
+        let sum = |f: fn(&menda_dram::DramStats) -> u64| -> u64 {
+            r.pu_stats.iter().map(|s| f(&s.dram)).sum()
+        };
+        assert_eq!(rep.counter("dram.row_hits"), sum(|d| d.row_hits), "{name}");
+        assert_eq!(
+            rep.counter("dram.row_misses"),
+            sum(|d| d.row_misses),
+            "{name}"
+        );
+        assert_eq!(
+            rep.counter("dram.row_conflicts"),
+            sum(|d| d.row_conflicts),
+            "{name}"
+        );
+        assert_eq!(rep.counter("dram.cycles"), sum(|d| d.cycles), "{name}");
+        assert_eq!(
+            rep.counter("dram.refreshes"),
+            sum(|d| d.refreshes),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn per_bank_counters_roll_up_to_totals() {
+    for (name, m) in workloads() {
+        let r = run(&m);
+        let rep = r.trace.as_ref().expect("report");
+        for outcome in ["row_hits", "row_misses", "row_conflicts"] {
+            let per_bank: u64 = rep
+                .counters
+                .iter()
+                .filter(|(k, _)| k.starts_with("dram.bank") && k.ends_with(&format!(".{outcome}")))
+                .map(|(_, v)| v)
+                .sum();
+            assert_eq!(
+                per_bank,
+                rep.counter(&format!("dram.{outcome}")),
+                "{name}: per-bank {outcome} do not roll up"
+            );
+        }
+    }
+}
+
+#[test]
+fn pu_counters_match_iteration_stats() {
+    for (name, m) in workloads() {
+        let r = run(&m);
+        let rep = r.trace.as_ref().expect("report");
+        let total_cycles: u64 = r.pu_stats.iter().map(|s| s.total_cycles()).sum();
+        let sum_it = |f: fn(&menda_core::IterationStats) -> u64| -> u64 {
+            r.pu_stats
+                .iter()
+                .flat_map(|s| s.iterations.iter())
+                .map(f)
+                .sum()
+        };
+        assert_eq!(rep.counter("pu.cycles"), total_cycles, "{name}");
+        assert_eq!(
+            rep.counter("pu.nz_emitted"),
+            sum_it(|i| i.nz_emitted),
+            "{name}"
+        );
+        assert_eq!(
+            rep.counter("pu.loads_issued"),
+            sum_it(|i| i.loads_issued),
+            "{name}"
+        );
+        assert_eq!(
+            rep.counter("pu.stores_issued"),
+            sum_it(|i| i.stores_issued),
+            "{name}"
+        );
+        assert_eq!(
+            rep.counter("pu.queue_coalesced"),
+            r.pu_stats.iter().map(|s| s.total_coalesced()).sum::<u64>(),
+            "{name}"
+        );
+        let iterations: u64 = r.pu_stats.iter().map(|s| s.num_iterations() as u64).sum();
+        assert_eq!(rep.counter("pu.iterations"), iterations, "{name}");
+    }
+}
+
+#[test]
+fn merge_tree_occupancy_histogram_is_sampled_every_cycle_and_bounded() {
+    for (name, m) in workloads() {
+        let r = run(&m);
+        let rep = r.trace.as_ref().expect("report");
+        let total_cycles: u64 = r.pu_stats.iter().map(|s| s.total_cycles()).sum();
+        let fill = rep.histogram("pu.tree_fill").expect("tree_fill histogram");
+        // Sample interval 1: exactly one sample per simulated PU cycle
+        // across all PUs.
+        assert_eq!(fill.count(), total_cycles, "{name}");
+        // Fill level can never exceed the structural FIFO capacity of the
+        // small-test tree: (leaves - 1) PEs x 2 FIFOs x 2 entries.
+        let cfg = traced_config();
+        let cap = ((cfg.pu.leaves - 1) * 2 * cfg.pu.fifo_entries) as u64;
+        assert!(
+            fill.max() <= cap,
+            "{name}: fill {} exceeds capacity {cap}",
+            fill.max()
+        );
+        assert!(fill.mean() > 0.0, "{name}: tree never held a packet");
+        // The DRAM-side queue histogram is sampled once per bus cycle.
+        let dram_q = rep.histogram("dram.read_queue").expect("read_queue");
+        assert_eq!(dram_q.count(), rep.counter("dram.cycles"), "{name}");
+    }
+}
+
+#[test]
+fn coalesce_width_histogram_accounts_for_coalesced_loads() {
+    for (name, m) in workloads() {
+        let r = run(&m);
+        let rep = r.trace.as_ref().expect("report");
+        let width = rep.histogram("pu.coalesce_width").expect("coalesce_width");
+        // Each completed block served `w` waiters; `w - 1` of them were
+        // coalesced enqueues. Transposition issues no vector-stream reads,
+        // so the identity is exact.
+        let coalesced: u64 = r.pu_stats.iter().map(|s| s.total_coalesced()).sum();
+        assert_eq!(
+            width.sum() - width.count(),
+            coalesced,
+            "{name}: coalesce width histogram disagrees with RunStats"
+        );
+    }
+}

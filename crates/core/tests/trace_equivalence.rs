@@ -1,0 +1,100 @@
+//! Differential tests for the instrumentation layer: tracing must be
+//! purely observational. Every simulated result — outputs, cycle counts,
+//! per-PU statistics — must be bit-identical whether tracing is off,
+//! counting, or writing Chrome trace events, at any PU count and any
+//! host thread count.
+
+use menda_core::{spmv, MendaConfig, MendaSystem, TraceConfig, TransposeResult};
+use menda_sparse::gen;
+use menda_sparse::CsrMatrix;
+
+fn matrices() -> Vec<(&'static str, CsrMatrix)> {
+    vec![
+        ("uniform", gen::uniform(96, 768, 41)),
+        ("rmat", gen::rmat(128, 1024, gen::RmatParams::PAPER, 42)),
+    ]
+}
+
+fn config(pus: usize, threads: usize, trace: TraceConfig) -> MendaConfig {
+    MendaConfig::small_test()
+        .with_channels(1)
+        .with_ranks_per_channel(pus)
+        .with_threads(threads)
+        .with_trace(trace)
+}
+
+fn transpose(cfg: MendaConfig, m: &CsrMatrix) -> TransposeResult {
+    MendaSystem::new(cfg).transpose(m)
+}
+
+/// Asserts every simulated field of two transposition results matches
+/// (everything except the trace report itself).
+fn assert_same_simulation(a: &TransposeResult, b: &TransposeResult, what: &str) {
+    assert_eq!(a.output, b.output, "{what}: outputs differ");
+    assert_eq!(a.cycles, b.cycles, "{what}: cycles differ");
+    assert_eq!(a.pu_stats, b.pu_stats, "{what}: per-PU stats differ");
+    assert_eq!(a.seconds, b.seconds, "{what}: seconds differ");
+}
+
+#[test]
+fn tracing_never_changes_transposition_results() {
+    for (name, m) in matrices() {
+        for pus in [1, 2, 4] {
+            for threads in [1, 2] {
+                let base = transpose(config(pus, threads, TraceConfig::off()), &m);
+                assert!(base.trace.is_none(), "off mode must not produce a report");
+                for (mode, trace) in [
+                    ("counting", TraceConfig::counting()),
+                    ("chrome", TraceConfig::chrome()),
+                ] {
+                    let traced = transpose(config(pus, threads, trace), &m);
+                    let what = format!("{name} pus={pus} threads={threads} mode={mode}");
+                    assert_same_simulation(&base, &traced, &what);
+                    let report = traced.trace.expect("traced run must produce a report");
+                    report
+                        .validate()
+                        .unwrap_or_else(|e| panic!("{what}: malformed trace: {e}"));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn tracing_never_changes_spmv_results() {
+    let a = gen::rmat(128, 1024, gen::RmatParams::PAPER, 43);
+    let x: Vec<f32> = (0..a.ncols()).map(|i| (i % 7) as f32 * 0.5 - 1.0).collect();
+    let base = spmv::run(&config(2, 2, TraceConfig::off()), &a, &x);
+    assert!(base.trace.is_none());
+    for trace in [TraceConfig::counting(), TraceConfig::chrome()] {
+        let traced = spmv::run(&config(2, 2, trace), &a, &x);
+        assert_eq!(base.y, traced.y, "SpMV outputs differ under tracing");
+        assert_eq!(base.cycles, traced.cycles, "SpMV cycles differ");
+        assert_eq!(base.pu_stats, traced.pu_stats, "SpMV per-PU stats differ");
+        traced.trace.expect("traced run must produce a report");
+    }
+}
+
+#[test]
+fn trace_report_is_identical_across_thread_counts() {
+    let m = gen::rmat(128, 1024, gen::RmatParams::PAPER, 44);
+    let serial = transpose(config(4, 1, TraceConfig::chrome()), &m);
+    let parallel = transpose(config(4, 4, TraceConfig::chrome()), &m);
+    assert_same_simulation(&serial, &parallel, "threads=1 vs threads=4");
+    // Reports are aggregated in PU order, so the full report — events,
+    // counters and histograms — is deterministic too.
+    assert_eq!(
+        serial.trace, parallel.trace,
+        "trace reports differ across thread counts"
+    );
+}
+
+#[test]
+fn ring_mode_is_also_observational() {
+    let m = gen::uniform(96, 768, 45);
+    let base = transpose(config(2, 1, TraceConfig::off()), &m);
+    let traced = transpose(config(2, 1, TraceConfig::ring()), &m);
+    assert_same_simulation(&base, &traced, "ring mode");
+    let report = traced.trace.expect("ring mode produces a report");
+    report.validate().expect("ring report must validate");
+}

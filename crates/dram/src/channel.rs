@@ -1,11 +1,14 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use menda_trace::TraceReport;
+
 use crate::bank::RankState;
 use crate::checker::ProtocolChecker;
 use crate::command::{CommandKind, CommandRecord};
 use crate::config::RowPolicy;
 use crate::scheduler::{Candidate, NeededCommand};
+use crate::trace::ChannelTracer;
 use crate::{
     Bank, BankState, DramConfig, DramCoord, DramStats, FrfcfsPriorHit, MemRequest, MemResponse,
     ReqKind,
@@ -50,6 +53,9 @@ pub struct ChannelController {
     command_log: Vec<CommandRecord>,
     /// Live protocol verifier (present when `config.check_protocol`).
     checker: Option<ProtocolChecker>,
+    /// Instrumentation hooks (present when `config.trace` is enabled).
+    /// Purely observational: never feeds back into scheduling or timing.
+    tracer: Option<ChannelTracer>,
     /// Auto-precharges (RDA/WRA under `RowPolicy::ClosedPage`) whose
     /// effective cycle has not been reached yet; emitted into the command
     /// log / checker when `now` catches up so the stream stays
@@ -79,9 +85,30 @@ impl ChannelController {
             stats: DramStats::new(),
             command_log: Vec::new(),
             checker: config.check_protocol.then(|| ProtocolChecker::new(&config)),
+            tracer: ChannelTracer::new(
+                &config.trace,
+                1,
+                nbanks,
+                config.read_queue,
+                config.write_queue,
+            ),
             pending_autopre: Vec::new(),
             config,
         }
+    }
+
+    /// Moves this channel's trace events to `track` (the owning memory
+    /// system assigns track `1 + channel index`; track 0 is the PU clock).
+    pub fn set_trace_track(&mut self, track: u32) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.set_track(track);
+        }
+    }
+
+    /// Ends instrumentation and returns this channel's trace report, or
+    /// `None` when tracing is off. The channel records nothing afterwards.
+    pub fn take_trace_report(&mut self) -> Option<TraceReport> {
+        self.tracer.take().map(|t| t.into_report(self.now))
     }
 
     /// Current bus cycle.
@@ -259,6 +286,9 @@ impl ChannelController {
     pub fn tick(&mut self) {
         self.now += 1;
         self.stats.cycles = self.now;
+        if let Some(t) = self.tracer.as_mut() {
+            t.on_tick(self.now, self.read_q.len(), self.write_q.len());
+        }
         self.flush_pending_autopre();
         self.check_liveness();
 
@@ -403,6 +433,9 @@ impl ChannelController {
                 }
                 self.refresh_pending[rank] = false;
                 self.stats.refreshes += 1;
+                if let Some(tr) = self.tracer.as_mut() {
+                    tr.on_refresh(self.now);
+                }
                 self.emit(
                     self.now,
                     CommandKind::Ref,
@@ -520,6 +553,9 @@ impl ChannelController {
                 NeededCommand::Cas => self.stats.row_hits += 1,
                 NeededCommand::Activate => self.stats.row_misses += 1,
                 NeededCommand::Precharge => self.stats.row_conflicts += 1,
+            }
+            if let Some(t) = self.tracer.as_mut() {
+                t.on_classify(flat, choice.needed);
             }
             match kind {
                 ReqKind::Read => self.read_q[choice.queue_pos].classified = true,

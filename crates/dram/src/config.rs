@@ -1,5 +1,7 @@
 use std::sync::atomic::{AtomicU8, Ordering};
 
+use menda_trace::TraceConfig;
+
 use crate::MappingScheme;
 
 /// Process-wide default for [`DramConfig::check_protocol`]:
@@ -195,6 +197,9 @@ pub struct DramConfig {
     pub check_protocol: bool,
     /// Row-buffer management policy.
     pub row_policy: RowPolicy,
+    /// Instrumentation settings (see [`menda_trace::TraceConfig`]). Off by
+    /// default; defaults to the `MENDA_TRACE` environment variable.
+    pub trace: TraceConfig,
 }
 
 impl DramConfig {
@@ -213,6 +218,7 @@ impl DramConfig {
             log_commands: false,
             check_protocol: check_protocol_default(),
             row_policy: RowPolicy::OpenPage,
+            trace: TraceConfig::from_env(),
         }
     }
 

@@ -62,6 +62,7 @@ mod request;
 mod scheduler;
 mod stats;
 mod system;
+mod trace;
 
 pub use address::{AddressMapper, DramCoord, MappingScheme};
 pub use bank::{Bank, BankState};
@@ -71,6 +72,9 @@ pub use checker::{ProtocolChecker, ProtocolViolation, REFRESH_DEADLINE_INTERVALS
 pub use command::{validate_trace, CommandKind, CommandRecord, TimingViolation};
 pub use config::{set_check_protocol_default, DramConfig, DramTiming, Organization, RowPolicy};
 pub use request::{MemRequest, MemResponse, ReqKind};
-pub use scheduler::FrfcfsPriorHit;
+pub use scheduler::{FrfcfsPriorHit, SchedCounters};
 pub use stats::DramStats;
 pub use system::MemorySystem;
+// Convenience re-exports so downstream crates can configure tracing
+// without naming `menda-trace` directly.
+pub use menda_trace::{TraceConfig, TraceMode, TraceReport};

@@ -58,6 +58,35 @@ impl FrfcfsPriorHit {
     }
 }
 
+/// Tallies of scheduling decisions by the command they issued, kept by
+/// the channel's trace hook (see `menda-trace`) to expose how often the
+/// FR-FCFS policy found a row hit versus paying ACT or PRE+ACT.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedCounters {
+    /// Requests first served by a row-hit CAS.
+    pub cas: u64,
+    /// Requests whose first command was an ACT (bank closed).
+    pub activate: u64,
+    /// Requests whose first command was a PRE (row conflict).
+    pub precharge: u64,
+}
+
+impl SchedCounters {
+    /// Records one scheduling decision.
+    pub fn record(&mut self, needed: NeededCommand) {
+        match needed {
+            NeededCommand::Cas => self.cas += 1,
+            NeededCommand::Activate => self.activate += 1,
+            NeededCommand::Precharge => self.precharge += 1,
+        }
+    }
+
+    /// Total decisions recorded.
+    pub fn total(&self) -> u64 {
+        self.cas + self.activate + self.precharge
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +147,19 @@ mod tests {
             None
         );
         assert_eq!(sched.select(&[]), None);
+    }
+
+    #[test]
+    fn sched_counters_tally_by_kind() {
+        let mut c = SchedCounters::default();
+        c.record(NeededCommand::Cas);
+        c.record(NeededCommand::Cas);
+        c.record(NeededCommand::Activate);
+        c.record(NeededCommand::Precharge);
+        assert_eq!(c.cas, 2);
+        assert_eq!(c.activate, 1);
+        assert_eq!(c.precharge, 1);
+        assert_eq!(c.total(), 4);
     }
 
     #[test]

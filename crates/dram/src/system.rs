@@ -30,7 +30,13 @@ impl MemorySystem {
     pub fn new(config: DramConfig) -> Self {
         let mapper = AddressMapper::new(config.org, config.mapping);
         let channels = (0..config.org.channels)
-            .map(|_| ChannelController::new(config.clone()))
+            .map(|ch| {
+                let mut ctrl = ChannelController::new(config.clone());
+                // Track 0 is the PU clock domain; channel `ch` traces on
+                // track 1 + ch so multi-channel timelines stay distinct.
+                ctrl.set_trace_track(1 + ch as u32);
+                ctrl
+            })
             .collect();
         Self {
             config,
@@ -148,6 +154,19 @@ impl MemorySystem {
                 .map_err(|v| (ch, v))?;
         }
         Ok(())
+    }
+
+    /// Ends instrumentation and returns the merged trace report of all
+    /// channels, or `None` when tracing is off (see
+    /// [`crate::DramConfig::trace`]). Channels record nothing afterwards.
+    pub fn take_trace_report(&mut self) -> Option<menda_trace::TraceReport> {
+        let mut merged: Option<menda_trace::TraceReport> = None;
+        for ch in &mut self.channels {
+            if let Some(report) = ch.take_trace_report() {
+                merged.get_or_insert_with(Default::default).merge(report);
+            }
+        }
+        merged
     }
 
     /// Achieved bandwidth in GB/s over the simulation so far.

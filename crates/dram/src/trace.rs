@@ -1,0 +1,194 @@
+//! Per-channel instrumentation state (see the `menda-trace` crate).
+//!
+//! Built by [`crate::ChannelController`] only when
+//! [`crate::DramConfig::trace`] enables a sink; every hook is purely
+//! observational, so traced and untraced runs are cycle-identical (the
+//! differential suite in `menda-core` enforces this).
+
+use menda_trace::{Histogram, TraceConfig, TraceReport, Tracer};
+
+use crate::scheduler::{NeededCommand, SchedCounters};
+
+/// Instrumentation state of one channel controller: a cycle-stamped
+/// tracer on the channel's track plus occupancy histograms and per-bank
+/// row-outcome tallies maintained directly by the hooks.
+#[derive(Debug)]
+pub(crate) struct ChannelTracer {
+    tracer: Tracer,
+    interval: u64,
+    read_q: Histogram,
+    write_q: Histogram,
+    /// Per flat bank index: requests first served by a row-hit CAS.
+    bank_hits: Vec<u64>,
+    /// Per flat bank index: requests whose bank was closed (ACT first).
+    bank_misses: Vec<u64>,
+    /// Per flat bank index: requests that conflicted (PRE first).
+    bank_conflicts: Vec<u64>,
+    sched: SchedCounters,
+    refreshes: u64,
+}
+
+impl ChannelTracer {
+    /// Builds the tracer for a channel with `banks` flat banks and the
+    /// given queue capacities, or `None` when tracing is off.
+    pub(crate) fn new(
+        cfg: &TraceConfig,
+        track: u32,
+        banks: usize,
+        read_queue: usize,
+        write_queue: usize,
+    ) -> Option<Self> {
+        let tracer = cfg.make_tracer(track)?;
+        Some(Self {
+            tracer,
+            interval: cfg.sample_interval,
+            read_q: Histogram::up_to(read_queue as u64),
+            write_q: Histogram::up_to(write_queue as u64),
+            bank_hits: vec![0; banks],
+            bank_misses: vec![0; banks],
+            bank_conflicts: vec![0; banks],
+            sched: SchedCounters::default(),
+            refreshes: 0,
+        })
+    }
+
+    /// Moves subsequent events to `track` (channel index within the
+    /// owning memory system).
+    pub(crate) fn set_track(&mut self, track: u32) {
+        self.tracer.set_track(track);
+    }
+
+    /// Per-bus-cycle hook: samples queue occupancy every
+    /// `sample_interval` cycles.
+    pub(crate) fn on_tick(&mut self, now: u64, read_len: usize, write_len: usize) {
+        if now.is_multiple_of(self.interval) {
+            self.read_q.record(read_len as u64);
+            self.write_q.record(write_len as u64);
+            self.tracer.counter(now, "dram.read_queue", read_len as u64);
+            self.tracer
+                .counter(now, "dram.write_queue", write_len as u64);
+        }
+    }
+
+    /// Request-classification hook: the first command issued on behalf
+    /// of a request determines its row outcome on `flat` bank.
+    pub(crate) fn on_classify(&mut self, flat: usize, needed: NeededCommand) {
+        self.sched.record(needed);
+        match needed {
+            NeededCommand::Cas => self.bank_hits[flat] += 1,
+            NeededCommand::Activate => self.bank_misses[flat] += 1,
+            NeededCommand::Precharge => self.bank_conflicts[flat] += 1,
+        }
+    }
+
+    /// REF-issued hook.
+    pub(crate) fn on_refresh(&mut self, now: u64) {
+        self.refreshes += 1;
+        self.tracer.instant(now, "dram.refresh");
+    }
+
+    /// Ends recording and packages everything as a [`TraceReport`].
+    pub(crate) fn into_report(self, cycles: u64) -> TraceReport {
+        let mut report = TraceReport {
+            sink: self.tracer.finish(),
+            ..Default::default()
+        };
+        report.add_counter("dram.cycles", cycles);
+        report.add_counter("dram.refreshes", self.refreshes);
+        report.add_counter("dram.sched.cas", self.sched.cas);
+        report.add_counter("dram.sched.activate", self.sched.activate);
+        report.add_counter("dram.sched.precharge", self.sched.precharge);
+        let mut hits = 0;
+        let mut misses = 0;
+        let mut conflicts = 0;
+        for (bank, ((h, m), c)) in self
+            .bank_hits
+            .iter()
+            .zip(&self.bank_misses)
+            .zip(&self.bank_conflicts)
+            .enumerate()
+        {
+            hits += h;
+            misses += m;
+            conflicts += c;
+            // Only banks that saw traffic get per-bank entries, keeping
+            // reports compact on wide systems.
+            if h + m + c > 0 {
+                report.add_counter(&format!("dram.bank{bank}.row_hits"), *h);
+                report.add_counter(&format!("dram.bank{bank}.row_misses"), *m);
+                report.add_counter(&format!("dram.bank{bank}.row_conflicts"), *c);
+            }
+        }
+        report.add_counter("dram.row_hits", hits);
+        report.add_counter("dram.row_misses", misses);
+        report.add_counter("dram.row_conflicts", conflicts);
+        report.set_histogram("dram.read_queue", self.read_q);
+        report.set_histogram("dram.write_queue", self.write_q);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracer() -> ChannelTracer {
+        ChannelTracer::new(
+            &TraceConfig::counting().with_sample_interval(1),
+            1,
+            4,
+            32,
+            32,
+        )
+        .expect("enabled")
+    }
+
+    #[test]
+    fn off_config_builds_nothing() {
+        assert!(ChannelTracer::new(&TraceConfig::off(), 1, 4, 32, 32).is_none());
+    }
+
+    #[test]
+    fn classification_rolls_up_per_bank_and_totals() {
+        let mut t = tracer();
+        t.on_classify(0, NeededCommand::Cas);
+        t.on_classify(0, NeededCommand::Cas);
+        t.on_classify(2, NeededCommand::Activate);
+        t.on_classify(3, NeededCommand::Precharge);
+        let r = t.into_report(100);
+        assert_eq!(r.counter("dram.row_hits"), 2);
+        assert_eq!(r.counter("dram.row_misses"), 1);
+        assert_eq!(r.counter("dram.row_conflicts"), 1);
+        assert_eq!(r.counter("dram.bank0.row_hits"), 2);
+        assert_eq!(r.counter("dram.bank2.row_misses"), 1);
+        assert_eq!(r.counter("dram.sched.cas"), 2);
+        // Untouched bank 1 stays out of the report.
+        assert_eq!(r.counter("dram.bank1.row_hits"), 0);
+        assert!(!r.counters.contains_key("dram.bank1.row_hits"));
+        assert_eq!(r.counter("dram.cycles"), 100);
+    }
+
+    #[test]
+    fn tick_samples_queue_occupancy() {
+        let mut t = tracer();
+        for now in 1..=10 {
+            t.on_tick(now, 3, 1);
+        }
+        let r = t.into_report(10);
+        let h = r.histogram("dram.read_queue").unwrap();
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 30);
+        assert_eq!(r.histogram("dram.write_queue").unwrap().sum(), 10);
+        assert_eq!(r.sink.counter_samples, 20);
+    }
+
+    #[test]
+    fn refreshes_are_counted_and_marked() {
+        let mut t = tracer();
+        t.on_refresh(50);
+        t.on_refresh(9400);
+        let r = t.into_report(10_000);
+        assert_eq!(r.counter("dram.refreshes"), 2);
+        assert_eq!(r.sink.instants, 2);
+    }
+}

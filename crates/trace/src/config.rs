@@ -1,0 +1,158 @@
+//! Trace configuration: what to record and how densely to sample.
+
+use crate::sink::{ChromeTraceSink, CountingSink, RingSink, TraceSink};
+use crate::tracer::Tracer;
+
+/// Which sink (if any) receives events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Tracing disabled — no sink is built, no hooks fire.
+    #[default]
+    Off,
+    /// Count events by kind only ([`CountingSink`]).
+    Counting,
+    /// Keep the most recent events in a bounded ring ([`RingSink`]).
+    Ring,
+    /// Retain every event in Chrome trace-event form
+    /// ([`ChromeTraceSink`]).
+    Chrome,
+}
+
+/// Instrumentation settings carried on `MendaConfig` / `DramConfig`.
+///
+/// The default is fully off; the simulators build no tracer at all in
+/// that case, so disabled tracing has zero cost and — proven by the
+/// differential test suite — zero effect on simulated cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Sink selection (off by default).
+    pub mode: TraceMode,
+    /// PU/DRAM cycles between occupancy samples (counter events and
+    /// histogram records). Must be non-zero.
+    pub sample_interval: u64,
+    /// Capacity of the ring sink in events ([`TraceMode::Ring`] only).
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            mode: TraceMode::Off,
+            sample_interval: 64,
+            ring_capacity: 4096,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Tracing disabled (the default).
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// Event counting only — cheapest enabled mode.
+    pub fn counting() -> Self {
+        Self {
+            mode: TraceMode::Counting,
+            ..Self::default()
+        }
+    }
+
+    /// Bounded ring of recent events.
+    pub fn ring() -> Self {
+        Self {
+            mode: TraceMode::Ring,
+            ..Self::default()
+        }
+    }
+
+    /// Full Chrome trace-event capture.
+    pub fn chrome() -> Self {
+        Self {
+            mode: TraceMode::Chrome,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the occupancy sampling interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn with_sample_interval(mut self, interval: u64) -> Self {
+        assert!(interval > 0, "sample interval must be positive");
+        self.sample_interval = interval;
+        self
+    }
+
+    /// Whether any sink is configured.
+    pub fn enabled(&self) -> bool {
+        self.mode != TraceMode::Off
+    }
+
+    /// Reads the mode from the `MENDA_TRACE` environment variable:
+    /// unset/empty/`0`/`off` → off, `1`/`count`/`counting` → counting,
+    /// `ring` → ring, `json`/`chrome` → Chrome; any other non-empty
+    /// value falls back to counting.
+    pub fn from_env() -> Self {
+        let mode = match std::env::var("MENDA_TRACE") {
+            Err(_) => TraceMode::Off,
+            Ok(v) => match v.to_ascii_lowercase().as_str() {
+                "" | "0" | "off" => TraceMode::Off,
+                "1" | "count" | "counting" => TraceMode::Counting,
+                "ring" => TraceMode::Ring,
+                "json" | "chrome" => TraceMode::Chrome,
+                _ => TraceMode::Counting,
+            },
+        };
+        Self {
+            mode,
+            ..Self::default()
+        }
+    }
+
+    /// Builds a tracer on `track` for the configured mode, or `None`
+    /// when tracing is off.
+    pub fn make_tracer(&self, track: u32) -> Option<Tracer> {
+        let sink: Box<dyn TraceSink> = match self.mode {
+            TraceMode::Off => return None,
+            TraceMode::Counting => Box::new(CountingSink::new()),
+            TraceMode::Ring => Box::new(RingSink::new(self.ring_capacity)),
+            TraceMode::Chrome => Box::new(ChromeTraceSink::new()),
+        };
+        Some(Tracer::new(sink, track))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_off() {
+        let cfg = TraceConfig::default();
+        assert_eq!(cfg.mode, TraceMode::Off);
+        assert!(!cfg.enabled());
+        assert!(cfg.make_tracer(0).is_none());
+    }
+
+    #[test]
+    fn constructors_select_modes() {
+        assert!(TraceConfig::counting().enabled());
+        assert_eq!(TraceConfig::ring().mode, TraceMode::Ring);
+        assert_eq!(TraceConfig::chrome().mode, TraceMode::Chrome);
+        assert!(TraceConfig::chrome().make_tracer(1).is_some());
+    }
+
+    #[test]
+    fn sample_interval_is_settable() {
+        let cfg = TraceConfig::counting().with_sample_interval(7);
+        assert_eq!(cfg.sample_interval, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample interval")]
+    fn zero_interval_rejected() {
+        let _ = TraceConfig::counting().with_sample_interval(0);
+    }
+}

@@ -1,0 +1,256 @@
+//! The cycle-stamped event taxonomy shared by every sink.
+
+/// What happened at one instrumented point.
+///
+/// Names are `&'static str` so the hot recording path never allocates:
+/// every instrumentation site names its event with a literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventData {
+    /// A span (duration) opened, e.g. one merge-sort iteration.
+    Begin(&'static str),
+    /// The matching span closed.
+    End(&'static str),
+    /// A point event, e.g. a DRAM refresh.
+    Instant(&'static str),
+    /// An interval-sampled counter value, e.g. merge-tree fill level.
+    Counter(&'static str, u64),
+}
+
+impl EventData {
+    /// The event's name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventData::Begin(n)
+            | EventData::End(n)
+            | EventData::Instant(n)
+            | EventData::Counter(n, _) => n,
+        }
+    }
+}
+
+/// One cycle-stamped trace event on one track.
+///
+/// The `track` distinguishes clock domains and components within one
+/// emitter (track 0 = PU cycles, track 1+ = DRAM channel bus cycles in
+/// the MeNDA simulator); cycles are only comparable within a track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle of the event, in the track's clock domain.
+    pub cycle: u64,
+    /// Track (timeline) the event belongs to.
+    pub track: u32,
+    /// The event itself.
+    pub data: EventData,
+}
+
+/// One event in Chrome trace-event form, as retained by
+/// [`crate::ChromeTraceSink`] and serialized by
+/// [`crate::TraceReport::chrome_json`].
+///
+/// `pid` groups one emitter (one PU after aggregation), `tid` is the
+/// track, `ts` in the JSON output is the raw `cycle`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChromeEvent {
+    /// Process id (PU index after aggregation).
+    pub pid: u32,
+    /// Thread id (the event's track).
+    pub tid: u32,
+    /// Cycle stamp.
+    pub cycle: u64,
+    /// Chrome phase: `B` (begin), `E` (end), `i` (instant), `C` (counter).
+    pub ph: char,
+    /// Event name.
+    pub name: &'static str,
+    /// Counter value (`C` events only).
+    pub value: Option<u64>,
+}
+
+impl ChromeEvent {
+    /// Converts a raw trace event (pid 0; retagged at aggregation).
+    pub fn from_event(ev: &TraceEvent) -> Self {
+        let (ph, value) = match ev.data {
+            EventData::Begin(_) => ('B', None),
+            EventData::End(_) => ('E', None),
+            EventData::Instant(_) => ('i', None),
+            EventData::Counter(_, v) => ('C', Some(v)),
+        };
+        ChromeEvent {
+            pid: 0,
+            tid: ev.track,
+            cycle: ev.cycle,
+            ph,
+            name: ev.data.name(),
+            value,
+        }
+    }
+}
+
+/// Checks well-formedness of a raw event sequence: cycles non-decreasing
+/// per track and every `Begin` matched by an `End` of the same name, in
+/// LIFO order, with no stray `End`.
+///
+/// # Errors
+///
+/// Returns a description of the first violation.
+pub fn validate_events(events: &[TraceEvent]) -> Result<(), String> {
+    let mut last: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+    let mut stacks: std::collections::BTreeMap<u32, Vec<&'static str>> =
+        std::collections::BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let prev = last.entry(ev.track).or_insert(0);
+        if ev.cycle < *prev {
+            return Err(format!(
+                "event {i} on track {}: cycle {} after {}",
+                ev.track, ev.cycle, prev
+            ));
+        }
+        *prev = ev.cycle;
+        let stack = stacks.entry(ev.track).or_default();
+        match ev.data {
+            EventData::Begin(n) => stack.push(n),
+            EventData::End(n) => match stack.pop() {
+                Some(open) if open == n => {}
+                Some(open) => {
+                    return Err(format!(
+                        "event {i} on track {}: end '{n}' closes open span '{open}'",
+                        ev.track
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "event {i} on track {}: end '{n}' without begin",
+                        ev.track
+                    ))
+                }
+            },
+            EventData::Instant(_) | EventData::Counter(_, _) => {}
+        }
+    }
+    for (track, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!("track {track}: span '{open}' never ended"));
+        }
+    }
+    Ok(())
+}
+
+/// Checks well-formedness of a Chrome event sequence, per `(pid, tid)`
+/// timeline: non-decreasing `ts` and balanced `B`/`E` spans.
+///
+/// # Errors
+///
+/// Returns a description of the first violation.
+pub fn validate_chrome(events: &[ChromeEvent]) -> Result<(), String> {
+    let mut last: std::collections::BTreeMap<(u32, u32), u64> = std::collections::BTreeMap::new();
+    let mut stacks: std::collections::BTreeMap<(u32, u32), Vec<&'static str>> =
+        std::collections::BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let key = (ev.pid, ev.tid);
+        let prev = last.entry(key).or_insert(0);
+        if ev.cycle < *prev {
+            return Err(format!(
+                "event {i} on pid {} tid {}: ts {} after {}",
+                ev.pid, ev.tid, ev.cycle, prev
+            ));
+        }
+        *prev = ev.cycle;
+        let stack = stacks.entry(key).or_default();
+        match ev.ph {
+            'B' => stack.push(ev.name),
+            'E' => match stack.pop() {
+                Some(open) if open == ev.name => {}
+                Some(open) => {
+                    return Err(format!(
+                        "event {i}: E '{}' closes open span '{open}'",
+                        ev.name
+                    ))
+                }
+                None => return Err(format!("event {i}: E '{}' without B", ev.name)),
+            },
+            'i' | 'C' => {}
+            other => return Err(format!("event {i}: unknown phase '{other}'")),
+        }
+    }
+    for ((pid, tid), stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!("pid {pid} tid {tid}: span '{open}' never ended"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, track: u32, data: EventData) -> TraceEvent {
+        TraceEvent { cycle, track, data }
+    }
+
+    #[test]
+    fn balanced_spans_validate() {
+        let events = [
+            ev(0, 0, EventData::Begin("iter")),
+            ev(5, 0, EventData::Counter("fill", 3)),
+            ev(9, 0, EventData::End("iter")),
+            ev(2, 1, EventData::Instant("refresh")),
+        ];
+        assert!(validate_events(&events).is_ok());
+    }
+
+    #[test]
+    fn decreasing_cycle_rejected() {
+        let events = [
+            ev(5, 0, EventData::Instant("a")),
+            ev(4, 0, EventData::Instant("b")),
+        ];
+        assert!(validate_events(&events).unwrap_err().contains("cycle 4"));
+    }
+
+    #[test]
+    fn tracks_have_independent_clocks() {
+        let events = [
+            ev(100, 0, EventData::Instant("a")),
+            ev(2, 1, EventData::Instant("b")),
+        ];
+        assert!(validate_events(&events).is_ok());
+    }
+
+    #[test]
+    fn unmatched_begin_rejected() {
+        let events = [ev(0, 0, EventData::Begin("iter"))];
+        assert!(validate_events(&events)
+            .unwrap_err()
+            .contains("never ended"));
+    }
+
+    #[test]
+    fn stray_end_rejected() {
+        let events = [ev(0, 0, EventData::End("iter"))];
+        assert!(validate_events(&events)
+            .unwrap_err()
+            .contains("without begin"));
+    }
+
+    #[test]
+    fn mismatched_names_rejected() {
+        let events = [
+            ev(0, 0, EventData::Begin("a")),
+            ev(1, 0, EventData::End("b")),
+        ];
+        assert!(validate_events(&events).is_err());
+    }
+
+    #[test]
+    fn chrome_conversion_maps_phases() {
+        let c = ChromeEvent::from_event(&ev(7, 2, EventData::Counter("q", 11)));
+        assert_eq!(c.ph, 'C');
+        assert_eq!(c.tid, 2);
+        assert_eq!(c.cycle, 7);
+        assert_eq!(c.value, Some(11));
+        assert_eq!(
+            ChromeEvent::from_event(&ev(0, 0, EventData::Begin("x"))).ph,
+            'B'
+        );
+    }
+}

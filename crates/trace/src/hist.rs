@@ -1,0 +1,179 @@
+//! Linear-bucket histograms for interval-sampled counters.
+
+/// A fixed-shape linear histogram with an overflow bucket.
+///
+/// Bucket `i` counts values in `[i*w, (i+1)*w)` for bucket width `w`;
+/// the last bucket additionally absorbs everything past the range.
+/// `sum` and `count` are exact regardless of bucketing, so aggregate
+/// cross-checks (mean fill level, total samples) never lose precision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bucket_width: u64,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max_seen: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram of `buckets` buckets of `bucket_width` each
+    /// (the last doubles as the overflow bucket).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` or `buckets` is zero.
+    pub fn new(bucket_width: u64, buckets: usize) -> Self {
+        assert!(bucket_width > 0, "bucket width must be positive");
+        assert!(buckets > 0, "bucket count must be positive");
+        Self {
+            bucket_width,
+            counts: vec![0; buckets],
+            count: 0,
+            sum: 0,
+            max_seen: 0,
+        }
+    }
+
+    /// A width-1 histogram resolving every value in `0..=max_value`
+    /// exactly, plus one overflow bucket.
+    pub fn up_to(max_value: u64) -> Self {
+        Self::new(1, max_value as usize + 2)
+    }
+
+    /// A histogram covering `0..=max_value` with at most 64 value buckets
+    /// (width chosen accordingly), plus one overflow bucket.
+    pub fn for_range(max_value: u64) -> Self {
+        let width = (max_value / 64).max(1);
+        Self::new(width, (max_value / width) as usize + 2)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = ((value / self.bucket_width) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max_seen = self.max_seen.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest value recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max_seen
+    }
+
+    /// Mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The configured bucket width.
+    pub fn bucket_width(&self) -> u64 {
+        self.bucket_width
+    }
+
+    /// Per-bucket sample counts (last bucket includes overflow).
+    pub fn buckets(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Accumulates `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histograms have different shapes.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            (self.bucket_width, self.counts.len()),
+            (other.bucket_width, other.counts.len()),
+            "histogram shape mismatch"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max_seen = self.max_seen.max(other.max_seen);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_buckets() {
+        let mut h = Histogram::new(4, 4);
+        for v in [0, 3, 4, 7, 8, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets(), &[2, 2, 1, 1]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 122);
+        assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    fn up_to_resolves_exactly() {
+        let mut h = Histogram::up_to(3);
+        for v in [0, 1, 1, 3, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets(), &[1, 2, 0, 1, 1]);
+    }
+
+    #[test]
+    fn for_range_bounds_bucket_count() {
+        let h = Histogram::for_range(100_000);
+        assert!(h.buckets().len() <= 66, "{}", h.buckets().len());
+        let h = Histogram::for_range(0);
+        assert_eq!(h.bucket_width(), 1);
+    }
+
+    #[test]
+    fn mean_and_empty() {
+        let mut h = Histogram::up_to(8);
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        h.record(2);
+        h.record(4);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::up_to(4);
+        let mut b = Histogram::up_to(4);
+        a.record(1);
+        b.record(1);
+        b.record(4);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 6);
+        assert_eq!(a.buckets()[1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn merge_rejects_shape_mismatch() {
+        let mut a = Histogram::up_to(4);
+        a.merge(&Histogram::up_to(8));
+    }
+}

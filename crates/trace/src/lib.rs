@@ -1,0 +1,52 @@
+//! # menda-trace — cycle-stamped instrumentation for the MeNDA simulator
+//!
+//! A zero-cost-when-disabled tracing layer shared by `menda-core` and
+//! `menda-dram`. Instrumentation sites record [`TraceEvent`]s (spans,
+//! instants, sampled counters) through a [`Tracer`] into a pluggable
+//! [`TraceSink`]:
+//!
+//! - [`CountingSink`] — event tallies only, the cheapest enabled mode;
+//! - [`RingSink`] — a bounded ring of the most recent events;
+//! - [`ChromeTraceSink`] — full capture in Chrome trace-event form,
+//!   serialized by [`TraceReport::chrome_json`] into a file that
+//!   `chrome://tracing` and Perfetto load directly.
+//!
+//! Alongside raw events, hooks maintain named scalar counters and
+//! occupancy [`Histogram`]s (merge-tree fill, queue depths, prefetch
+//! hit/miss, coalesce width, per-bank DRAM row hits); everything is
+//! collected into a [`TraceReport`] that merges hierarchically (DRAM
+//! channels into their PU, PUs into the run).
+//!
+//! Two properties make the layer safe to leave wired into the hot
+//! paths, both enforced by tests:
+//!
+//! 1. **Zero cost when disabled.** [`TraceConfig::default`] is off; no
+//!    tracer is constructed and no hook fires. The differential suite
+//!    in `menda-core` proves traced and untraced runs are
+//!    cycle-identical.
+//! 2. **Well-formed output.** [`validate_events`] / [`validate_chrome`]
+//!    check per-track cycle ordering and balanced spans;
+//!    [`json::parse`] (a hand-rolled parser — the workspace has no
+//!    external dependencies) round-trips the emitted JSON.
+//!
+//! Tracing is selected per run via `TraceConfig` on the simulator
+//! configs, or globally via the `MENDA_TRACE` environment variable
+//! (see [`TraceConfig::from_env`]).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod event;
+mod hist;
+pub mod json;
+mod report;
+mod sink;
+mod tracer;
+
+pub use config::{TraceConfig, TraceMode};
+pub use event::{validate_chrome, validate_events, ChromeEvent, EventData, TraceEvent};
+pub use hist::Histogram;
+pub use report::TraceReport;
+pub use sink::{ChromeTraceSink, CountingSink, RingSink, SinkReport, TraceSink};
+pub use tracer::Tracer;

@@ -1,0 +1,282 @@
+//! Trace sinks: where recorded events go.
+
+use std::collections::VecDeque;
+
+use crate::event::{ChromeEvent, EventData, TraceEvent};
+
+/// Scalar tallies every sink keeps (cheap regardless of mode).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Tally {
+    events: u64,
+    begins: u64,
+    ends: u64,
+    instants: u64,
+    counter_samples: u64,
+}
+
+impl Tally {
+    fn note(&mut self, ev: &TraceEvent) {
+        self.events += 1;
+        match ev.data {
+            EventData::Begin(_) => self.begins += 1,
+            EventData::End(_) => self.ends += 1,
+            EventData::Instant(_) => self.instants += 1,
+            EventData::Counter(_, _) => self.counter_samples += 1,
+        }
+    }
+}
+
+/// What a sink hands back when recording ends.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SinkReport {
+    /// Total events recorded.
+    pub events: u64,
+    /// Events dropped (ring sink overflow).
+    pub dropped: u64,
+    /// `Begin` events recorded.
+    pub begins: u64,
+    /// `End` events recorded.
+    pub ends: u64,
+    /// `Instant` events recorded.
+    pub instants: u64,
+    /// `Counter` events recorded.
+    pub counter_samples: u64,
+    /// Full event list in Chrome form (Chrome sink only).
+    pub chrome: Vec<ChromeEvent>,
+    /// Most recent raw events (ring sink only).
+    pub recent: Vec<TraceEvent>,
+    /// Start offsets in `recent` of each independently recorded residue.
+    /// Merging reports concatenates residues from emitters with separate
+    /// clocks (e.g. per-PU rings), so cycle ordering only holds within a
+    /// segment, never across segment boundaries.
+    pub recent_segments: Vec<usize>,
+}
+
+impl SinkReport {
+    /// Accumulates `other` into `self`, appending retained events.
+    pub fn merge(&mut self, other: SinkReport) {
+        self.events += other.events;
+        self.dropped += other.dropped;
+        self.begins += other.begins;
+        self.ends += other.ends;
+        self.instants += other.instants;
+        self.counter_samples += other.counter_samples;
+        self.chrome.extend(other.chrome);
+        let base = self.recent.len();
+        if !other.recent.is_empty() && other.recent_segments.is_empty() {
+            // Hand-built reports may carry residue without segment marks.
+            self.recent_segments.push(base);
+        }
+        self.recent_segments
+            .extend(other.recent_segments.iter().map(|s| s + base));
+        self.recent.extend(other.recent);
+    }
+
+    /// Rewrites the `pid` of every retained Chrome event (used when
+    /// aggregating per-PU sinks into one timeline).
+    pub fn retag_pid(&mut self, pid: u32) {
+        for ev in &mut self.chrome {
+            ev.pid = pid;
+        }
+    }
+
+    fn from_tally(t: Tally) -> Self {
+        SinkReport {
+            events: t.events,
+            begins: t.begins,
+            ends: t.ends,
+            instants: t.instants,
+            counter_samples: t.counter_samples,
+            ..Default::default()
+        }
+    }
+}
+
+/// Receives cycle-stamped events from a [`crate::Tracer`].
+///
+/// Sinks are driven on the simulation hot path, so implementations must
+/// not allocate per event beyond amortized buffer growth. `finish` is
+/// called once at the end of a run and leaves the sink empty.
+pub trait TraceSink: std::fmt::Debug + Send {
+    /// Records one event.
+    fn record(&mut self, ev: &TraceEvent);
+    /// Ends recording, returning the accumulated report.
+    fn finish(&mut self) -> SinkReport;
+}
+
+/// A sink that only counts events by kind — the cheapest enabled mode,
+/// used by the differential tests and the aggregate cross-checks.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    tally: Tally,
+}
+
+impl CountingSink {
+    /// Creates an empty counting sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.tally.note(ev);
+    }
+
+    fn finish(&mut self) -> SinkReport {
+        SinkReport::from_tally(std::mem::take(&mut self.tally))
+    }
+}
+
+/// A bounded ring buffer keeping the most recent events (oldest dropped
+/// first), for post-mortem inspection of long runs.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    buf: VecDeque<TraceEvent>,
+    dropped: u64,
+    tally: Tally,
+}
+
+impl RingSink {
+    /// Creates a ring sink holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Self {
+            capacity,
+            buf: VecDeque::with_capacity(capacity),
+            dropped: 0,
+            tally: Tally::default(),
+        }
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.tally.note(ev);
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(*ev);
+    }
+
+    fn finish(&mut self) -> SinkReport {
+        let mut report = SinkReport::from_tally(std::mem::take(&mut self.tally));
+        report.dropped = std::mem::take(&mut self.dropped);
+        report.recent = std::mem::take(&mut self.buf).into();
+        if !report.recent.is_empty() {
+            report.recent_segments = vec![0];
+        }
+        report
+    }
+}
+
+/// A sink retaining every event in Chrome trace-event form, serialized
+/// by [`crate::TraceReport::chrome_json`] into a file `chrome://tracing`
+/// and Perfetto load directly.
+#[derive(Debug, Default)]
+pub struct ChromeTraceSink {
+    events: Vec<ChromeEvent>,
+    tally: Tally,
+}
+
+impl ChromeTraceSink {
+    /// Creates an empty Chrome sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TraceSink for ChromeTraceSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.tally.note(ev);
+        self.events.push(ChromeEvent::from_event(ev));
+    }
+
+    fn finish(&mut self) -> SinkReport {
+        let mut report = SinkReport::from_tally(std::mem::take(&mut self.tally));
+        report.chrome = std::mem::take(&mut self.events);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, data: EventData) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            track: 0,
+            data,
+        }
+    }
+
+    #[test]
+    fn counting_sink_tallies_by_kind() {
+        let mut s = CountingSink::new();
+        s.record(&ev(0, EventData::Begin("a")));
+        s.record(&ev(1, EventData::Counter("c", 5)));
+        s.record(&ev(2, EventData::Counter("c", 6)));
+        s.record(&ev(3, EventData::End("a")));
+        let r = s.finish();
+        assert_eq!(r.events, 4);
+        assert_eq!(r.begins, 1);
+        assert_eq!(r.ends, 1);
+        assert_eq!(r.counter_samples, 2);
+        assert!(r.chrome.is_empty() && r.recent.is_empty());
+    }
+
+    #[test]
+    fn ring_sink_keeps_most_recent() {
+        let mut s = RingSink::new(2);
+        for i in 0..5 {
+            s.record(&ev(i, EventData::Instant("x")));
+        }
+        let r = s.finish();
+        assert_eq!(r.events, 5);
+        assert_eq!(r.dropped, 3);
+        assert_eq!(r.recent.len(), 2);
+        assert_eq!(r.recent[0].cycle, 3);
+        assert_eq!(r.recent[1].cycle, 4);
+    }
+
+    #[test]
+    fn chrome_sink_retains_everything() {
+        let mut s = ChromeTraceSink::new();
+        s.record(&ev(0, EventData::Begin("iter")));
+        s.record(&ev(9, EventData::End("iter")));
+        let r = s.finish();
+        assert_eq!(r.chrome.len(), 2);
+        assert_eq!(r.chrome[0].ph, 'B');
+        assert_eq!(r.chrome[1].cycle, 9);
+        assert_eq!(r.dropped, 0);
+    }
+
+    #[test]
+    fn merge_and_retag() {
+        let mut a = SinkReport {
+            events: 1,
+            chrome: vec![ChromeEvent {
+                pid: 0,
+                tid: 0,
+                cycle: 0,
+                ph: 'i',
+                name: "x",
+                value: None,
+            }],
+            ..Default::default()
+        };
+        let mut b = a.clone();
+        b.retag_pid(3);
+        assert_eq!(b.chrome[0].pid, 3);
+        a.merge(b);
+        assert_eq!(a.events, 2);
+        assert_eq!(a.chrome.len(), 2);
+    }
+}

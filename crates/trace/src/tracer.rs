@@ -1,0 +1,98 @@
+//! The front-end handle instrumentation sites record through.
+
+use crate::event::{EventData, TraceEvent};
+use crate::sink::{SinkReport, TraceSink};
+
+/// Records cycle-stamped events on one track into a boxed sink.
+///
+/// A `Tracer` is owned by one simulated component (a PU, a DRAM
+/// channel); it is `Send` so per-PU tracers cross thread joins when the
+/// engine runs PUs in parallel. All methods are purely observational —
+/// a tracer never feeds anything back into the simulation.
+#[derive(Debug)]
+pub struct Tracer {
+    sink: Box<dyn TraceSink>,
+    track: u32,
+}
+
+impl Tracer {
+    /// Wraps `sink`, stamping every event with `track`.
+    pub fn new(sink: Box<dyn TraceSink>, track: u32) -> Self {
+        Self { sink, track }
+    }
+
+    /// Changes the track for subsequently recorded events.
+    pub fn set_track(&mut self, track: u32) {
+        self.track = track;
+    }
+
+    /// The current track.
+    pub fn track(&self) -> u32 {
+        self.track
+    }
+
+    fn record(&mut self, cycle: u64, data: EventData) {
+        let ev = TraceEvent {
+            cycle,
+            track: self.track,
+            data,
+        };
+        self.sink.record(&ev);
+    }
+
+    /// Opens a span.
+    pub fn begin(&mut self, cycle: u64, name: &'static str) {
+        self.record(cycle, EventData::Begin(name));
+    }
+
+    /// Closes the innermost open span of `name`.
+    pub fn end(&mut self, cycle: u64, name: &'static str) {
+        self.record(cycle, EventData::End(name));
+    }
+
+    /// Records a point event.
+    pub fn instant(&mut self, cycle: u64, name: &'static str) {
+        self.record(cycle, EventData::Instant(name));
+    }
+
+    /// Records a sampled counter value.
+    pub fn counter(&mut self, cycle: u64, name: &'static str, value: u64) {
+        self.record(cycle, EventData::Counter(name, value));
+    }
+
+    /// Ends recording and returns the sink's report.
+    pub fn finish(mut self) -> SinkReport {
+        self.sink.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::ChromeTraceSink;
+
+    #[test]
+    fn tracer_stamps_track_and_cycle() {
+        let mut t = Tracer::new(Box::new(ChromeTraceSink::new()), 3);
+        t.begin(10, "span");
+        t.counter(20, "q", 5);
+        t.end(30, "span");
+        let r = t.finish();
+        assert_eq!(r.events, 3);
+        assert_eq!(r.chrome.len(), 3);
+        assert!(r.chrome.iter().all(|e| e.tid == 3));
+        assert_eq!(r.chrome[1].value, Some(5));
+    }
+
+    #[test]
+    fn set_track_applies_to_later_events() {
+        let mut t = Tracer::new(Box::new(ChromeTraceSink::new()), 0);
+        t.instant(1, "a");
+        t.set_track(2);
+        assert_eq!(t.track(), 2);
+        t.instant(2, "b");
+        let r = t.finish();
+        assert_eq!(r.chrome[0].tid, 0);
+        assert_eq!(r.chrome[1].tid, 2);
+    }
+}

@@ -1,0 +1,168 @@
+//! Trace well-formedness tests (ISSUE satellite 2): events
+//! non-decreasing in cycle, every begin matched by an end, Chrome JSON
+//! round-trips through the in-repo parser, counter histograms sum to
+//! run length.
+
+use menda_trace::{
+    json, validate_chrome, validate_events, ChromeEvent, EventData, Histogram, TraceConfig,
+    TraceEvent, TraceReport,
+};
+
+/// Drives a tracer through a synthetic "run": `iters` nested spans with
+/// interval-sampled counters, on the given track.
+fn synthetic_run(cfg: &TraceConfig, track: u32, iters: u64, cycles_per_iter: u64) -> TraceReport {
+    let mut tracer = cfg.make_tracer(track).expect("tracing enabled");
+    let mut hist = Histogram::up_to(16);
+    let mut base = 0u64;
+    for i in 0..iters {
+        tracer.begin(base, "iteration");
+        let mut c = 0;
+        while c < cycles_per_iter {
+            if c % cfg.sample_interval == 0 {
+                let fill = (i * 3 + c) % 17;
+                tracer.counter(base + c, "tree_fill", fill);
+                hist.record(fill);
+            }
+            c += 1;
+        }
+        if i % 2 == 1 {
+            tracer.instant(base + cycles_per_iter - 1, "refresh");
+        }
+        tracer.end(base + cycles_per_iter, "iteration");
+        base += cycles_per_iter;
+    }
+    let mut report = TraceReport {
+        sink: tracer.finish(),
+        ..Default::default()
+    };
+    report.add_counter("cycles", base);
+    report.set_histogram("tree_fill", hist);
+    report
+}
+
+#[test]
+fn chrome_run_is_well_formed() {
+    let cfg = TraceConfig::chrome().with_sample_interval(8);
+    let report = synthetic_run(&cfg, 0, 5, 64);
+    report.validate().expect("well-formed");
+    assert_eq!(report.sink.begins, 5);
+    assert_eq!(report.sink.ends, 5);
+    assert_eq!(report.sink.instants, 2);
+    assert_eq!(report.sink.counter_samples, 5 * 8);
+}
+
+#[test]
+fn cycles_are_non_decreasing_per_track() {
+    let cfg = TraceConfig::chrome();
+    let mut report = synthetic_run(&cfg, 0, 3, 128);
+    // A second emitter on another track restarts its clock at zero;
+    // that must validate (clock domains are independent per track)...
+    report.absorb_as(synthetic_run(&cfg, 1, 3, 100), 0);
+    report.validate().expect("independent tracks validate");
+    // ...but stitching both into ONE timeline must not.
+    for ev in &mut report.sink.chrome {
+        ev.tid = 0;
+    }
+    assert!(validate_chrome(&report.sink.chrome).is_err());
+}
+
+#[test]
+fn every_begin_is_matched() {
+    let cfg = TraceConfig::chrome();
+    let report = synthetic_run(&cfg, 0, 4, 32);
+    assert_eq!(report.sink.begins, report.sink.ends);
+    // Truncating after a Begin must be caught by the validator.
+    let mut truncated = report.sink.chrome.clone();
+    while truncated.last().map(|e| e.ph) != Some('B') {
+        truncated.pop();
+    }
+    assert!(validate_chrome(&truncated)
+        .unwrap_err()
+        .contains("never ended"));
+}
+
+#[test]
+fn chrome_json_round_trips_through_parser() {
+    let cfg = TraceConfig::chrome().with_sample_interval(16);
+    let report = synthetic_run(&cfg, 0, 3, 64);
+    let doc = json::parse(&report.chrome_json()).expect("parser accepts writer output");
+    let events = doc.get("traceEvents").expect("top-level key");
+    let events = events.as_arr().expect("array");
+    assert_eq!(events.len() as u64, report.sink.events);
+
+    // Every serialized event carries the fields Chrome requires, and
+    // they reconstruct the original event stream exactly.
+    let phases: Vec<ChromeEvent> = report.sink.chrome.clone();
+    for (ev, orig) in events.iter().zip(&phases) {
+        assert_eq!(ev.get("name").unwrap().as_str(), Some(orig.name));
+        assert_eq!(
+            ev.get("ph").unwrap().as_str(),
+            Some(orig.ph.to_string().as_str())
+        );
+        assert_eq!(ev.get("ts").unwrap().as_num(), Some(orig.cycle as f64));
+        assert_eq!(ev.get("pid").unwrap().as_num(), Some(f64::from(orig.pid)));
+        assert_eq!(ev.get("tid").unwrap().as_num(), Some(f64::from(orig.tid)));
+        match orig.value {
+            Some(v) => assert_eq!(
+                ev.get("args").unwrap().get("value").unwrap().as_num(),
+                Some(v as f64)
+            ),
+            None => assert!(ev.get("args").is_none()),
+        }
+    }
+}
+
+#[test]
+fn counter_histogram_sums_to_run_length() {
+    // With sample_interval = 1 every cycle is sampled, so the histogram
+    // sample count must equal the run length in cycles.
+    let cfg = TraceConfig::counting().with_sample_interval(1);
+    let (iters, cycles_per_iter) = (4, 96);
+    let report = synthetic_run(&cfg, 0, iters, cycles_per_iter);
+    let hist = report.histogram("tree_fill").expect("recorded");
+    assert_eq!(hist.count(), iters * cycles_per_iter);
+    assert_eq!(hist.count(), report.counter("cycles"));
+    assert_eq!(report.sink.counter_samples, hist.count());
+    // Bucket counts must account for every sample too.
+    assert_eq!(hist.buckets().iter().sum::<u64>(), hist.count());
+}
+
+#[test]
+fn ring_sink_reports_validate_even_after_overflow() {
+    let mut cfg = TraceConfig::ring().with_sample_interval(1);
+    cfg.ring_capacity = 32;
+    let report = synthetic_run(&cfg, 0, 8, 64);
+    assert!(report.sink.dropped > 0, "overflow expected");
+    assert_eq!(report.sink.recent.len(), 32);
+    report.validate().expect("ring residue stays ordered");
+}
+
+#[test]
+fn raw_event_validator_matches_chrome_validator() {
+    // The same stream must pass (or fail) both validators consistently.
+    let good = [
+        TraceEvent {
+            cycle: 0,
+            track: 0,
+            data: EventData::Begin("a"),
+        },
+        TraceEvent {
+            cycle: 3,
+            track: 0,
+            data: EventData::Counter("q", 2),
+        },
+        TraceEvent {
+            cycle: 5,
+            track: 0,
+            data: EventData::End("a"),
+        },
+    ];
+    validate_events(&good).unwrap();
+    let chrome: Vec<ChromeEvent> = good.iter().map(ChromeEvent::from_event).collect();
+    validate_chrome(&chrome).unwrap();
+
+    let bad = [good[2], good[0]];
+    assert!(validate_events(&bad).is_err());
+    let chrome_bad: Vec<ChromeEvent> = bad.iter().map(ChromeEvent::from_event).collect();
+    assert!(validate_chrome(&chrome_bad).is_err());
+}
