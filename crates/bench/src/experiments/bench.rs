@@ -1,0 +1,160 @@
+//! Simulator-performance benchmark: wall-clock cost of the cycle-exact
+//! simulation itself, with the event-driven fast-forward core on vs. the
+//! per-cycle reference path.
+//!
+//! For transposition and SpMV on N1/N4/P1/P4 this times both paths,
+//! verifies they agree bit-for-bit (panicking on divergence — the CI
+//! `bench` job relies on that as its correctness gate), and writes the
+//! measurements to `results/BENCH_5.json`.
+
+use menda_core::{spmv, MendaConfig, MendaSystem};
+use menda_sparse::gen;
+use menda_sparse::rng::StdRng;
+
+use crate::timing;
+use crate::util::{self, geomean, Scale, Table};
+
+struct Measurement {
+    matrix: &'static str,
+    kernel: &'static str,
+    cycles: u64,
+    ref_wall_s: f64,
+    ff_wall_s: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        if self.ff_wall_s > 0.0 {
+            self.ref_wall_s / self.ff_wall_s
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"matrix\": \"{}\", \"kernel\": \"{}\", \"sim_cycles\": {}, ",
+                "\"reference_wall_s\": {:.6}, \"fast_forward_wall_s\": {:.6}, ",
+                "\"speedup\": {:.3}, \"reference_cycles_per_sec\": {:.0}, ",
+                "\"fast_forward_cycles_per_sec\": {:.0}}}"
+            ),
+            self.matrix,
+            self.kernel,
+            self.cycles,
+            self.ref_wall_s,
+            self.ff_wall_s,
+            self.speedup(),
+            self.cycles as f64 / self.ref_wall_s.max(1e-12),
+            self.cycles as f64 / self.ff_wall_s.max(1e-12),
+        )
+    }
+}
+
+/// Runs the benchmark, writes `BENCH_5.json`, and returns the report.
+///
+/// # Panics
+///
+/// Panics if any fast-forwarded run diverges from its per-cycle
+/// reference in output, cycle count or statistics.
+pub fn run(scale: Scale) -> String {
+    // At the 1/64 smoke scale the scaled matrices finish in a few
+    // milliseconds and never develop the deep-queue phases the
+    // fast-forward core targets, so the measurement is all noise. The
+    // benchmark therefore never runs coarser than 1/16; an explicit
+    // `--scale 8` (or larger matrices) is honoured as-is.
+    let factor = scale.factor().min(16);
+    let mut rng = StdRng::seed_from_u64(0xBE5C);
+    let mut measurements = Vec::new();
+    for name in ["N1", "N4", "P1", "P4"] {
+        let m = gen::table3_spec(name)
+            .expect("Table 3 entry")
+            .generate_scaled(factor, rng.next_u64());
+        // One host thread so the two paths' wall clocks are directly
+        // comparable (no scheduler jitter across the 8 PU workers).
+        let cfg = |fast: bool| MendaConfig::paper().with_threads(1).with_fast_forward(fast);
+
+        let (ref_wall, reference) = timing::time(1, || MendaSystem::new(cfg(false)).transpose(&m));
+        let (ff_wall, fast) = timing::time(1, || MendaSystem::new(cfg(true)).transpose(&m));
+        assert_eq!(reference.output, m.to_csc(), "{name}: wrong transpose");
+        assert!(
+            reference.output == fast.output
+                && reference.cycles == fast.cycles
+                && reference.pu_stats == fast.pu_stats,
+            "{name}: fast-forward transposition diverged from the per-cycle reference"
+        );
+        measurements.push(Measurement {
+            matrix: name,
+            kernel: "transpose",
+            cycles: fast.cycles,
+            ref_wall_s: ref_wall.as_secs_f64(),
+            ff_wall_s: ff_wall.as_secs_f64(),
+        });
+
+        let x: Vec<f32> = (0..m.ncols())
+            .map(|_| rng.random_range(0..9) as f32 - 4.0)
+            .collect();
+        let (ref_wall, reference) = timing::time(1, || spmv::run(&cfg(false), &m, &x));
+        let (ff_wall, fast) = timing::time(1, || spmv::run(&cfg(true), &m, &x));
+        assert!(
+            reference == fast,
+            "{name}: fast-forward SpMV diverged from the per-cycle reference"
+        );
+        measurements.push(Measurement {
+            matrix: name,
+            kernel: "spmv",
+            cycles: fast.cycles,
+            ref_wall_s: ref_wall.as_secs_f64(),
+            ff_wall_s: ff_wall.as_secs_f64(),
+        });
+    }
+
+    let overall = geomean(
+        &measurements
+            .iter()
+            .map(Measurement::speedup)
+            .collect::<Vec<_>>(),
+    );
+    let json = format!
+        (
+        "{{\n  \"experiment\": \"bench\",\n  \"scale\": {},\n  \"geomean_speedup\": {:.3},\n  \"divergence\": false,\n  \"runs\": [\n{}\n  ]\n}}\n",
+        factor,
+        overall,
+        measurements
+            .iter()
+            .map(Measurement::json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    let path = util::write_artifact(&util::results_dir(), "BENCH_5.json", &json)
+        .expect("write BENCH_5.json");
+
+    let mut out = format!(
+        "Simulator benchmark: event-driven fast-forward vs per-cycle reference\n(paper 8-PU system, 1/{} scale; both paths verified bit-identical)\n\n",
+        factor
+    );
+    let mut t = Table::new(&[
+        "matrix",
+        "kernel",
+        "sim cycles",
+        "reference",
+        "fast-fwd",
+        "speedup",
+    ]);
+    for m in &measurements {
+        t.row(&[
+            m.matrix.to_string(),
+            m.kernel.to_string(),
+            format!("{}", m.cycles),
+            util::fmt_time(m.ref_wall_s),
+            util::fmt_time(m.ff_wall_s),
+            format!("{:.2}x", m.speedup()),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nGeomean wall-clock speedup: {overall:.2}x\nWrote {}\n",
+        path.display()
+    ));
+    out
+}

@@ -4,6 +4,7 @@
 //! report; the `repro` binary prints it. EXPERIMENTS.md records the
 //! paper-reported values next to a captured run.
 
+pub mod bench;
 pub mod conflicts;
 pub mod energy;
 pub mod fig10;
@@ -49,6 +50,7 @@ pub const ALL: &[&str] = &[
     "threads",
     "trace",
     "verify-dram",
+    "bench",
 ];
 
 /// Dispatches an experiment by id.
@@ -80,6 +82,7 @@ pub fn run(id: &str, scale: Scale) -> Result<String, String> {
         "threads" => Ok(threads::run(scale)),
         "trace" => Ok(trace::run(scale)),
         "verify-dram" => Ok(verify::run(scale)),
+        "bench" => Ok(bench::run(scale)),
         other => Err(format!(
             "unknown experiment '{other}'; available: {}",
             ALL.join(", ")

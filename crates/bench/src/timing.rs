@@ -36,9 +36,38 @@ pub fn bench<T>(group: &str, name: &str, samples: usize, elements: u64, mut f: i
     println!("{line}");
 }
 
+/// Times `f` over `samples` runs (no warm-up) and returns the minimum
+/// wall-clock duration together with the last run's result. The minimum
+/// is the least noise-sensitive point estimate for a deterministic
+/// simulation workload.
+pub fn time<T>(samples: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
+    let samples = samples.max(1);
+    let mut best = Duration::MAX;
+    let mut result = None;
+    for _ in 0..samples {
+        let started = Instant::now();
+        let r = std::hint::black_box(f());
+        best = best.min(started.elapsed());
+        result = Some(r);
+    }
+    (best, result.expect("samples >= 1"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn time_returns_min_and_result() {
+        let mut calls = 0u32;
+        let (d, r) = time(3, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 3);
+        assert_eq!(r, 3);
+        assert!(d <= Duration::from_secs(1));
+    }
 
     #[test]
     fn bench_runs_closure_samples_plus_warmup() {

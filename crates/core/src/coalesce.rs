@@ -47,6 +47,9 @@ pub struct CoalescingQueue {
     coalescing: bool,
     coalesced_count: u64,
     queued_count: u64,
+    /// Entries with `issued == false`, kept in sync by
+    /// `enqueue`/`mark_issued`/`complete` so `has_unissued` is O(1).
+    unissued: usize,
 }
 
 impl CoalescingQueue {
@@ -64,6 +67,7 @@ impl CoalescingQueue {
             coalescing,
             coalesced_count: 0,
             queued_count: 0,
+            unissued: 0,
         }
     }
 
@@ -110,11 +114,21 @@ impl CoalescingQueue {
             issued: false,
         });
         self.queued_count += 1;
+        self.unissued += 1;
         EnqueueOutcome::Queued
+    }
+
+    /// Whether any entry is still waiting to be issued — O(1), equivalent
+    /// to `next_to_issue().is_some()` without the slot scan.
+    pub fn has_unissued(&self) -> bool {
+        self.unissued > 0
     }
 
     /// The oldest block not yet issued to the memory interface.
     pub fn next_to_issue(&self) -> Option<u64> {
+        if self.unissued == 0 {
+            return None;
+        }
         self.entries.iter().find(|e| !e.issued).map(|e| e.block)
     }
 
@@ -127,6 +141,7 @@ impl CoalescingQueue {
             .find(|e| e.block == block && !e.issued)
         {
             e.issued = true;
+            self.unissued -= 1;
         }
     }
 
@@ -134,7 +149,11 @@ impl CoalescingQueue {
     /// notify (empty if the block was not resident).
     pub fn complete(&mut self, block: u64) -> Vec<u32> {
         if let Some(pos) = self.entries.iter().position(|e| e.block == block) {
-            self.entries.remove(pos).waiters
+            let entry = self.entries.remove(pos);
+            if !entry.issued {
+                self.unissued -= 1;
+            }
+            entry.waiters
         } else {
             Vec::new()
         }

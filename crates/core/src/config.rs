@@ -136,7 +136,7 @@ impl Default for PuConfig {
 /// Host-simulation options — knobs of the *simulator*, not the modeled
 /// hardware. They never change simulated results, only how fast the host
 /// computes them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimOptions {
     /// Worker threads the execution engine uses to simulate PUs
     /// concurrently. `None` (the default) picks
@@ -144,6 +144,22 @@ pub struct SimOptions {
     /// `[1, num_pus]`. PUs share nothing (§3.5), so any thread count
     /// produces bit-identical outputs and statistics.
     pub threads: Option<usize>,
+    /// Event-driven fast-forwarding: the PU and DRAM models jump over
+    /// provably event-free cycle spans instead of simulating them one by
+    /// one (on by default). Results are bit-identical either way — the
+    /// differential suites in `crates/core/tests/fast_forward_equivalence.rs`
+    /// and `crates/dram/tests/fast_forward.rs` enforce it; `false` keeps
+    /// the per-cycle reference path.
+    pub fast_forward: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            threads: None,
+            fast_forward: true,
+        }
+    }
 }
 
 impl SimOptions {
@@ -233,6 +249,15 @@ impl MendaConfig {
     /// host's wall-clock time changes.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.sim.threads = Some(threads);
+        self
+    }
+
+    /// With event-driven fast-forwarding on (`true`, the default) or the
+    /// per-cycle reference simulation path (`false`). Simulated results
+    /// are bit-identical for both settings; only host wall-clock time
+    /// changes.
+    pub fn with_fast_forward(mut self, on: bool) -> Self {
+        self.sim.fast_forward = on;
         self
     }
 
@@ -335,5 +360,14 @@ mod tests {
         let auto = SimOptions::default();
         assert!(auto.effective_threads(2) <= 2);
         assert!(auto.effective_threads(1) == 1);
+    }
+
+    #[test]
+    fn fast_forward_defaults_on_and_toggles() {
+        assert!(SimOptions::default().fast_forward);
+        assert!(MendaConfig::small_test().sim.fast_forward);
+        let c = MendaConfig::small_test().with_fast_forward(false);
+        assert!(!c.sim.fast_forward);
+        assert!(c.with_fast_forward(true).sim.fast_forward);
     }
 }

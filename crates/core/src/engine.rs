@@ -9,6 +9,13 @@
 //! from an atomic counter; results are reassembled in PU order, so the
 //! output is bit-identical to a serial run for any thread count
 //! ([`crate::SimOptions::threads`] picks the count).
+//!
+//! Each PU simulates under the execution discipline selected by
+//! [`crate::SimOptions::fast_forward`]: the event-driven core (default)
+//! skips quiescent spans and runs busy spans on wakeups, while `false`
+//! keeps the per-cycle poll-everything reference; the two are
+//! bit-identical in output, cycle count and statistics (see the
+//! fast-forward differential suite).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

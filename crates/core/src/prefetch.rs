@@ -114,6 +114,13 @@ pub struct PrefetchBuffer {
     pending: Option<PendingChunk>,
     packets: VecDeque<Packet>,
     nz_held: usize,
+    /// Lower bound on the free space a [`PrefetchBuffer::plan_fetch`] call
+    /// needs to do anything, learned from the last refusal and reset on
+    /// every state change that could unblock a fetch. Purely a wakeup
+    /// filter for the event-driven fast path ([`PrefetchBuffer::fetch_ready`]);
+    /// never read by `plan_fetch` itself, so the per-cycle reference path
+    /// is unaffected.
+    need_free: usize,
 }
 
 impl PrefetchBuffer {
@@ -153,6 +160,7 @@ impl PrefetchBuffer {
             pending: None,
             packets: VecDeque::new(),
             nz_held: 0,
+            need_free: 0,
         }
     }
 
@@ -164,6 +172,7 @@ impl PrefetchBuffer {
     /// Appends stream descriptors for upcoming rounds.
     pub fn assign_streams<I: IntoIterator<Item = StreamDescriptor>>(&mut self, streams: I) {
         self.streams.extend(streams);
+        self.need_free = 0;
     }
 
     /// Whether all assigned streams have been fully decoded and consumed.
@@ -204,7 +213,12 @@ impl PrefetchBuffer {
         }
         // Start the next stream if none is active.
         while self.current.is_none() {
-            let desc = self.streams.pop_front()?;
+            let Some(desc) = self.streams.pop_front() else {
+                // Nothing to fetch until new streams arrive; assign_streams
+                // resets the threshold.
+                self.need_free = usize::MAX;
+                return None;
+            };
             if desc.is_empty() {
                 self.packets.push_back(Packet::Eol);
             } else {
@@ -225,9 +239,13 @@ impl PrefetchBuffer {
             self.nz_held == 0 && self.packets.is_empty()
         };
         if !may_issue {
+            // Prefetch mode refuses only when completely full; baseline
+            // mode until fully drained.
+            self.need_free = if self.prefetch { 1 } else { self.capacity };
             return None;
         }
-        let arrays = self.array_bases(&desc).len() as u64;
+        let (bases, n_arrays) = self.array_bases(&desc);
+        let arrays = n_arrays as u64;
         let max_windows = ((self.max_fetch_blocks as u64 / arrays).max(1)) * per_block;
         let budget = (if self.prefetch { free } else { self.capacity } as u64)
             .min(max_windows.saturating_sub(next % per_block));
@@ -238,8 +256,10 @@ impl PrefetchBuffer {
         // way to make progress (the remainder of the block is re-fetched
         // later; coalescing absorbs most of the duplicate traffic).
         if budget < first_span && first_span as usize <= self.capacity {
+            self.need_free = first_span as usize;
             return None;
         }
+        self.need_free = 0;
         let mut chunk_end = (next + budget).min(desc.end);
         if chunk_end > first_window_end && chunk_end < desc.end {
             // Multi-window chunk: trim to a whole window boundary so later
@@ -249,7 +269,7 @@ impl PrefetchBuffer {
         }
         debug_assert!(chunk_end > next, "chunk must make progress");
         let mut blocks = Vec::new();
-        for base in self.array_bases(&desc) {
+        for &base in &bases[..n_arrays] {
             let first = AddressLayout::block_of(base + next * IDX_BYTES);
             let last = AddressLayout::block_of(base + (chunk_end - 1) * IDX_BYTES);
             let mut b = first;
@@ -273,18 +293,37 @@ impl PrefetchBuffer {
     }
 
     /// The base addresses of the arrays stream `desc` reads (one block load
-    /// per covered window per array).
-    fn array_bases(&self, desc: &StreamDescriptor) -> Vec<u64> {
+    /// per covered window per array), as a fixed-size array plus its live
+    /// length — this sits on the per-cycle fetch-planning path, so it must
+    /// not allocate.
+    fn array_bases(&self, desc: &StreamDescriptor) -> ([u64; 3], usize) {
         let l = &self.layout;
         match desc.kind {
-            StreamKind::CsrRow { .. } => vec![l.col_idx, l.values],
-            StreamKind::Coo { region } => l.coo[region as usize].to_vec(),
-            StreamKind::SpmvCol { .. } => vec![l.col_idx, l.values],
+            StreamKind::CsrRow { .. } | StreamKind::SpmvCol { .. } => ([l.col_idx, l.values, 0], 2),
+            StreamKind::Coo { region } => (l.coo[region as usize], 3),
             StreamKind::Pair { region } => {
                 let r = &l.coo[region as usize];
-                vec![r[0], r[2]]
+                ([r[0], r[2], 0], 2)
             }
         }
+    }
+
+    /// Whether a fetched chunk is still in flight. While one is, a
+    /// [`PrefetchBuffer::plan_fetch`] call is a guaranteed no-op (§3.4
+    /// allows at most one outstanding chunk), so event-driven callers need
+    /// not re-poll this buffer until the chunk completes.
+    pub fn has_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Whether a [`PrefetchBuffer::plan_fetch`] call could possibly make
+    /// progress right now. The event-driven fast path uses this to avoid
+    /// waking the fetch planner on pops that provably cannot unblock it
+    /// (a chunk is in flight, or less space has freed up than the planner's
+    /// last refusal demanded). The per-cycle reference path never consults
+    /// it and polls unconditionally.
+    pub fn fetch_ready(&self) -> bool {
+        self.pending.is_none() && self.capacity.saturating_sub(self.nz_held) >= self.need_free
     }
 
     /// Records that the chunk's loads were enqueued; `blocks` are the block
@@ -306,6 +345,7 @@ impl PrefetchBuffer {
             pending.awaiting.swap_remove(pos);
         }
         if pending.awaiting.is_empty() {
+            self.need_free = 0;
             let done = self.pending.take().expect("pending");
             let (desc, _) = self.current.expect("active stream");
             if done.last {
@@ -318,10 +358,11 @@ impl PrefetchBuffer {
         None
     }
 
-    /// Delivers decoded packets for a ready chunk; appends an EOL marker if
-    /// the stream ended.
-    pub fn deliver(&mut self, packets: Vec<Packet>, stream_ended: bool) {
-        for p in packets {
+    /// Delivers decoded packets for a ready chunk, draining `packets` (the
+    /// caller's buffer keeps its allocation for reuse); appends an EOL
+    /// marker if the stream ended.
+    pub fn deliver(&mut self, packets: &mut Vec<Packet>, stream_ended: bool) {
+        for p in packets.drain(..) {
             debug_assert!(!p.is_eol());
             self.nz_held += 1;
             self.packets.push_back(p);
@@ -399,10 +440,11 @@ mod tests {
             }
             let (desc, range, ended) = out.expect("chunk complete");
             assert_eq!(ended, last);
-            let packets = (range.start..range.end)
+            let mut packets: Vec<Packet> = (range.start..range.end)
                 .map(|i| Packet::nz(i as u32, desc.start as u32, 0.0))
                 .collect();
-            b.deliver(packets, ended);
+            b.deliver(&mut packets, ended);
+            assert!(packets.is_empty(), "deliver drains the staging buffer");
             if ended {
                 break;
             }
@@ -426,10 +468,10 @@ mod tests {
         b.commit_fetch(plan);
         for &blk in &plan.blocks {
             if let Some((_, range, ended)) = b.block_arrived(blk) {
-                let pk = (range.start..range.end)
+                let mut pk: Vec<Packet> = (range.start..range.end)
                     .map(|i| Packet::nz(i as u32, 0, 0.0))
                     .collect();
-                b.deliver(pk, ended);
+                b.deliver(&mut pk, ended);
             }
         }
     }
@@ -480,10 +522,10 @@ mod tests {
         b.commit_fetch(&p1);
         for &blk in &p1.blocks.clone() {
             if let Some((_, range, ended)) = b.block_arrived(blk) {
-                let pk = (range.start..range.end)
+                let mut pk: Vec<Packet> = (range.start..range.end)
                     .map(|i| Packet::nz(i as u32, 0, 0.0))
                     .collect();
-                b.deliver(pk, ended);
+                b.deliver(&mut pk, ended);
             }
         }
         assert_eq!(b.held(), 16);
@@ -520,10 +562,10 @@ mod tests {
         b.commit_fetch(&p1);
         for &blk in &p1.blocks.clone() {
             if let Some((_, range, ended)) = b.block_arrived(blk) {
-                let pk = (range.start..range.end)
+                let mut pk: Vec<Packet> = (range.start..range.end)
                     .map(|i| Packet::nz(i as u32, 0, 0.0))
                     .collect();
-                b.deliver(pk, ended);
+                b.deliver(&mut pk, ended);
             }
         }
         // Immediately plans the second stream (seamless §3.3).

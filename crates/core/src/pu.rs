@@ -11,7 +11,7 @@ use menda_trace::{Histogram, TraceConfig, TraceReport, Tracer};
 use crate::coalesce::{CoalescingQueue, EnqueueOutcome};
 use crate::config::{MendaConfig, PuConfig};
 use crate::layout::{AddressLayout, BLOCK_BYTES};
-use crate::merge_tree::{LeafSource, MergeTree, Packet};
+use crate::merge_tree::{ActiveSet, LeafSource, MergeTree, Packet};
 use crate::prefetch::{PrefetchBuffer, StreamDescriptor, StreamKind};
 use crate::stats::{IterationStats, PuStats};
 
@@ -61,8 +61,16 @@ pub enum IterSource<'a> {
 }
 
 impl IterSource<'_> {
-    fn materialize(&self, desc: &StreamDescriptor, range: std::ops::Range<u64>) -> Vec<Packet> {
-        let mut out = Vec::with_capacity((range.end - range.start) as usize);
+    /// Decodes elements `range` of stream `desc` into `out` (cleared
+    /// first; the caller's buffer keeps its allocation across chunks).
+    fn materialize_into(
+        &self,
+        desc: &StreamDescriptor,
+        range: std::ops::Range<u64>,
+        out: &mut Vec<Packet>,
+    ) {
+        out.clear();
+        out.reserve((range.end - range.start) as usize);
         match (self, desc.kind) {
             (IterSource::Csr { cols, vals }, StreamKind::CsrRow { row }) => {
                 for e in range {
@@ -90,7 +98,6 @@ impl IterSource<'_> {
             }
             _ => panic!("stream kind does not match iteration source"),
         }
-        out
     }
 }
 
@@ -175,6 +182,9 @@ pub struct PuResult {
 struct BufferPorts<'a> {
     buffers: &'a mut [PrefetchBuffer],
     popped: Vec<u32>,
+    /// Fast-forward mode: suppress wakeups that provably cannot lead to
+    /// a fetch (see [`LeafSource::pop`] below).
+    event_driven: bool,
     /// When set (tracing on), classify each leaf pop as fed/starved.
     count_feed: bool,
     /// Pops after which the buffer still had a packet ready (or the
@@ -183,6 +193,21 @@ struct BufferPorts<'a> {
     /// Pops that drained the buffer mid-stream — the leaf will bubble
     /// until the next block arrives from memory.
     starved: u64,
+}
+
+/// Read-only [`LeafSource`] view over the prefetch buffers, used by the
+/// fast-forward path to probe [`MergeTree::is_quiescent`] without taking a
+/// mutable borrow.
+struct PeekPorts<'a>(&'a [PrefetchBuffer]);
+
+impl LeafSource for PeekPorts<'_> {
+    fn peek(&self, port: usize) -> Option<Packet> {
+        self.0[port].peek()
+    }
+
+    fn pop(&mut self, _port: usize) {
+        unreachable!("quiescence probing never pops")
+    }
 }
 
 impl LeafSource for BufferPorts<'_> {
@@ -199,7 +224,15 @@ impl LeafSource for BufferPorts<'_> {
                 self.starved += 1;
             }
         }
-        self.popped.push(port as u32);
+        // Event-driven mode skips re-polling a buffer on pops that provably
+        // cannot unblock its fetch planner: a chunk is still in flight (the
+        // completion re-activates the buffer via the response path), or less
+        // space has freed up than the planner's last refusal demanded. The
+        // reference path keeps the poll-every-pop behavior; both are proven
+        // bit-identical by the fast-forward differential suite.
+        if !self.event_driven || self.buffers[port].fetch_ready() {
+            self.popped.push(port as u32);
+        }
     }
 }
 
@@ -284,6 +317,10 @@ pub struct ProcessingUnit {
     mem: MemorySystem,
     dram_tick_accum: u64,
     next_req_id: u64,
+    /// Event-driven fast-forwarding (see [`crate::config::SimOptions`]):
+    /// when set, `run_rounds` jumps over provably no-op cycle spans.
+    /// Results are bit-identical either way.
+    fast_forward: bool,
     /// Instrumentation state; `None` when tracing is off. Purely
     /// observational — it never feeds back into the simulation.
     trace: Option<PuTraceState>,
@@ -304,6 +341,7 @@ impl ProcessingUnit {
             mem: MemorySystem::new(dram),
             dram_tick_accum: 0,
             next_req_id: 0,
+            fast_forward: config.sim.fast_forward,
             trace: PuTraceState::new(&config.trace, &config.pu),
             pu_cfg: config.pu.clone(),
             ticks: config.dram_ticks_ratio(),
@@ -446,14 +484,23 @@ impl ProcessingUnit {
         };
 
         // Buffer activity tracking.
-        let mut buf_active = vec![false; l];
-        let mut buf_worklist: Vec<u32> = Vec::new();
-        let activate_buf = |idx: usize, buf_active: &mut Vec<bool>, buf_worklist: &mut Vec<u32>| {
-            if !buf_active[idx] {
-                buf_active[idx] = true;
-                buf_worklist.push(idx as u32);
-            }
-        };
+        let mut buf_active = ActiveSet::new(l);
+        // Event-driven parking for buffers whose planned fetch failed the
+        // read-queue slot pre-check: re-planning is a guaranteed discard
+        // until the queue drains to that buffer's `wake_len` (the queue
+        // only shrinks on completions in step 1, and a discarded re-plan
+        // has no other effect), so the fast path parks `(buffer, wake_len)`
+        // here instead of re-planning every cycle. `queue_wake_len` caches
+        // the loosest parked threshold for an O(1) per-cycle check. The
+        // reference path retries per cycle instead.
+        let mut queue_blocked: Vec<(u32, usize)> = Vec::new();
+        let mut queue_wake_len: usize = 0;
+        // Scratch allocations reused every cycle (never reallocated in
+        // steady state): the buffer worklist working set, the ports popped
+        // this cycle, and the packet staging buffer for decoded chunks.
+        let mut buf_scratch: Vec<u32> = Vec::with_capacity(l);
+        let mut popped_scratch: Vec<u32> = Vec::with_capacity(l);
+        let mut packet_scratch: Vec<Packet> = Vec::new();
 
         let mut cycles: u64 = 0;
         let (dram_num, dram_den) = self.ticks;
@@ -469,6 +516,132 @@ impl ProcessingUnit {
                 && self.mem.is_idle()
             {
                 break;
+            }
+            // Fast-forward: when every pipeline stage is provably unable
+            // to act (the PU is *quiescent*), jump over the longest span
+            // of cycles in which that stays true — bounded by the next
+            // DRAM-side event the PU could observe and by the next host
+            // injection cycle — bulk-accounting the stall statistics and
+            // trace samples the per-cycle path would have produced. The
+            // skipped cycles are bit-identical no-ops: every quiescence
+            // input (queues, buffers, tree, controller state) is frozen
+            // until one of those two bounds, so re-running them one by one
+            // would change nothing. `SimOptions::fast_forward = false`
+            // keeps the per-cycle reference path; the differential suite
+            // proves both produce identical results.
+            let rounds_done = tree.rounds_completed() as usize >= total_rounds;
+            if self.fast_forward {
+                let root_space = usize::from(
+                    bytes_accum + elem_bytes <= pu_cfg.output_buffer_bytes as u64
+                        && pending_ptr_blocks < 16
+                        && write_q.len() < pu_cfg.write_queue_entries,
+                );
+                let wq_full = write_q.len() >= pu_cfg.write_queue_entries;
+                // Short-circuit order: O(1) checks that are false on most
+                // busy cycles come first, so the per-cycle overhead of the
+                // probe is a couple of branches; the queue scans at the end
+                // only run on cycles that are already nearly quiescent.
+                let quiescent = buf_active.is_empty()
+                    // Tree has no scheduled PE and the root cannot merge.
+                    && tree.is_quiescent(&PeekPorts(&buffers), root_space)
+                    // Step 1 would deliver nothing: no response is ready.
+                    && self
+                        .mem
+                        .next_response_at()
+                        .is_none_or(|t| t > self.mem.now())
+                    // Step 5's post-tree drains would push nothing.
+                    && (pending_ptr_blocks == 0 || wq_full)
+                    // The final flush would push nothing.
+                    && (!rounds_done
+                        || ((bytes_accum == 0 || wq_full)
+                            && !(pending_ptr_blocks == 0
+                                && matches!(setup.out, OutputMode::FinalCsc { ncols }
+                                    if ptr_cursor < (ncols + 1).div_ceil(8)))))
+                    // Step 3 would neither issue pointer reads nor release
+                    // descriptors.
+                    && setup.gate.as_ref().is_none_or(|g| {
+                        !(ptr_outstanding < pu_cfg.pointer_read_depth
+                            && ptr_next_issue < g.blocks.len()
+                            && !read_q.is_full())
+                    })
+                    && (next_release >= padded
+                        || (next_release < n_streams
+                            && setup
+                                .gate
+                                .as_ref()
+                                .is_some_and(|g| g.release_after[next_release] > ptr_blocks_arrived)))
+                    // Step 2 would issue nothing: both issue slots blocked.
+                    && read_q
+                        .next_to_issue()
+                        .is_none_or(|b| !self.mem.can_accept(&MemRequest::read(b, 0)))
+                    && write_q
+                        .front()
+                        .is_none_or(|&b| !self.mem.can_accept(&MemRequest::write(b, 0)));
+                if quiescent {
+                    // Longest skip that keeps the DRAM side unobserved:
+                    // PU cycle `cycles + j` sees memory time
+                    // `M + (accum + (j-1)*num) / den`, which must stay
+                    // below the next memory event.
+                    let n_mem = match self.mem.next_event_cycle() {
+                        Some(ev) => {
+                            let span = (ev - self.mem.now()) * dram_den;
+                            1 + (span - 1 - self.dram_tick_accum) / dram_num
+                        }
+                        None => u64::MAX,
+                    };
+                    // Host injections run on exact PU cycles: never skip
+                    // one.
+                    let host_cap = match pu_cfg.host_read_interval {
+                        Some(interval) if !rounds_done => {
+                            (cycles / interval + 1) * interval - cycles - 1
+                        }
+                        _ => u64::MAX,
+                    };
+                    assert!(
+                        n_mem != u64::MAX || host_cap != u64::MAX,
+                        "PU deadlock suspected: quiescent with no pending events"
+                    );
+                    let n = n_mem.min(host_cap);
+                    if n > 0 {
+                        if root_space == 0 {
+                            it.output_stall_cycles += n;
+                        } else if !rounds_done {
+                            it.root_stall_cycles += n;
+                        }
+                        if let Some(ts) = self.trace.as_mut() {
+                            // checked_div: sampling is off when the
+                            // interval is 0.
+                            if let Some(q) = cycles.checked_div(ts.interval) {
+                                // No leaf pops occur in the window, so
+                                // fed/starved stay put; emit the interval
+                                // samples with the frozen occupancies.
+                                let fill = tree.occupancy() as u64;
+                                let held: usize = buffers.iter().map(|b| b.held()).sum();
+                                let mut c = (q + 1) * ts.interval;
+                                while c <= cycles + n {
+                                    let now = ts.cycle_base + c;
+                                    ts.tree_fill.record(fill);
+                                    ts.read_q_occ.record(read_q.len() as u64);
+                                    ts.write_q_occ.record(write_q.len() as u64);
+                                    ts.prefetch_held.record(held as u64);
+                                    ts.tracer.counter(now, "pu.tree_fill", fill);
+                                    ts.tracer.counter(now, "pu.read_queue", read_q.len() as u64);
+                                    ts.tracer
+                                        .counter(now, "pu.write_queue", write_q.len() as u64);
+                                    ts.tracer.counter(now, "pu.prefetch_held", held as u64);
+                                    c += ts.interval;
+                                }
+                            }
+                        }
+                        // Replicate `n` iterations of step 6 in bulk.
+                        let ticks = self.dram_tick_accum + n * dram_num;
+                        self.mem.advance(ticks / dram_den);
+                        self.dram_tick_accum = ticks % dram_den;
+                        cycles += n;
+                        assert!(cycles < max_cycles, "PU deadlock suspected");
+                        continue;
+                    }
+                }
             }
             cycles += 1;
             assert!(cycles < max_cycles, "PU deadlock suspected");
@@ -507,11 +680,13 @@ impl ProcessingUnit {
                         buf_id => {
                             let b = buf_id as usize;
                             if let Some((desc, range, ended)) = buffers[b].block_arrived(block) {
-                                let packets = setup.source.materialize(&desc, range);
-                                buffers[b].deliver(packets, ended);
+                                setup
+                                    .source
+                                    .materialize_into(&desc, range, &mut packet_scratch);
+                                buffers[b].deliver(&mut packet_scratch, ended);
                                 tree.wake_port(b);
                             }
-                            activate_buf(b, &mut buf_active, &mut buf_worklist);
+                            buf_active.insert(b);
                         }
                     }
                 }
@@ -588,24 +763,39 @@ impl ProcessingUnit {
                     let desc = setup.descriptors[next_release];
                     let b = next_release % l;
                     buffers[b].assign_streams([desc]);
-                    activate_buf(b, &mut buf_active, &mut buf_worklist);
+                    buf_active.insert(b);
                     tree.wake_port(b);
                 } else {
                     let b = next_release % l;
                     buffers[b].assign_streams([StreamDescriptor::empty()]);
-                    activate_buf(b, &mut buf_active, &mut buf_worklist);
+                    buf_active.insert(b);
                     tree.wake_port(b);
                 }
                 next_release += 1;
             }
 
-            // 4. Prefetch buffers plan fetches.
-            let mut work = std::mem::take(&mut buf_worklist);
-            work.sort_unstable();
-            work.dedup();
-            for &bi in &work {
-                buf_active[bi as usize] = false;
+            // 4. Prefetch buffers plan fetches. The worklist swaps with a
+            // retained-capacity scratch Vec so re-activations pushed below
+            // land in a buffer that never reallocates in steady state.
+            //
+            // First re-activate queue-parked buffers whose own threshold
+            // the read queue has drained to (the queue only shrinks in
+            // step 1, above); the loosest threshold gates the scan.
+            if !queue_blocked.is_empty() && read_q.len() <= queue_wake_len {
+                let qlen = read_q.len();
+                queue_wake_len = 0;
+                queue_blocked.retain(|&(bi, wake_len)| {
+                    if qlen <= wake_len {
+                        buf_active.insert(bi as usize);
+                        false
+                    } else {
+                        queue_wake_len = queue_wake_len.max(wake_len);
+                        true
+                    }
+                });
             }
+            let mut work = std::mem::take(&mut buf_scratch);
+            buf_active.drain_into(&mut work);
             for &bi in &work {
                 let b = bi as usize;
                 let had_head = buffers[b].peek().is_some();
@@ -624,15 +814,27 @@ impl ProcessingUnit {
                             }
                         }
                         buffers[b].commit_fetch(&plan);
+                    } else if self.fast_forward {
+                        // Queue pressure: park until the queue could fit a
+                        // plan of this size. The plan can only grow while
+                        // parked (pops free space, nothing else changes),
+                        // so earlier wakeups would re-plan and discard —
+                        // provably the same simulated behavior as the
+                        // reference path's retry-every-cycle below.
+                        let wake_len = pu_cfg.read_queue_entries.saturating_sub(plan.blocks.len());
+                        queue_blocked.push((bi, wake_len));
+                        queue_wake_len = queue_wake_len.max(wake_len);
                     } else {
                         // Queue pressure: retry next cycle.
-                        activate_buf(b, &mut buf_active, &mut buf_worklist);
+                        buf_active.insert(b);
                     }
                 }
                 if !had_head && buffers[b].peek().is_some() {
                     tree.wake_port(b);
                 }
             }
+            work.clear();
+            buf_scratch = work;
 
             // 5. Merge tree.
             let root_space = usize::from(
@@ -645,17 +847,20 @@ impl ProcessingUnit {
             }
             let mut ports = BufferPorts {
                 buffers: &mut buffers,
-                popped: Vec::new(),
+                popped: std::mem::take(&mut popped_scratch),
+                event_driven: self.fast_forward,
                 count_feed,
                 fed: 0,
                 starved: 0,
             };
             let popped = tree.tick(&mut ports, root_space);
-            let awoken = std::mem::take(&mut ports.popped);
+            let mut awoken = std::mem::take(&mut ports.popped);
             let (fed, starved) = (ports.fed, ports.starved);
-            for p in awoken {
-                activate_buf(p as usize, &mut buf_active, &mut buf_worklist);
+            for &p in &awoken {
+                buf_active.insert(p as usize);
             }
+            awoken.clear();
+            popped_scratch = awoken;
             if let Some(ts) = self.trace.as_mut() {
                 ts.prefetch_hits += fed;
                 ts.prefetch_misses += starved;

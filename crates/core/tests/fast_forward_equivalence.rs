@@ -1,0 +1,177 @@
+//! Differential tests for the event-driven fast-forward core (ISSUE 5).
+//!
+//! `SimOptions::fast_forward` must be a pure wall-clock optimisation: a
+//! fast-forwarded run has to be *bit-identical* to the per-cycle reference
+//! in everything the simulator reports — transposed output, PU cycle
+//! counts, per-PU statistics (which embed the DRAM command/row-hit
+//! counters), simulated seconds, and the full instrumentation report
+//! (histogram buckets, counter series, sample cycles). The live DDR4
+//! protocol checker is forced on for every run here, so each fast path is
+//! also re-validated against the JEDEC timing rules while it is compared
+//! against the reference.
+
+use menda_core::{spmv, MendaConfig, MendaSystem, TraceConfig, TransposeResult};
+use menda_dram::RowPolicy;
+use menda_sparse::gen;
+use menda_sparse::rng::StdRng;
+use menda_sparse::CsrMatrix;
+
+/// Runs `f` with the live protocol checker forced on (equivalent to
+/// `MENDA_CHECK_PROTOCOL=1`), restoring environment-driven behaviour
+/// afterwards even if `f` panics.
+fn with_checker<R>(f: impl FnOnce() -> R) -> R {
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            menda_dram::set_check_protocol_default(None);
+        }
+    }
+    menda_dram::set_check_protocol_default(Some(true));
+    let _reset = Reset;
+    f()
+}
+
+fn matrices() -> Vec<(&'static str, CsrMatrix)> {
+    let mut rng = StdRng::seed_from_u64(0xFF5);
+    vec![
+        (
+            "N1/1024",
+            gen::table3_spec("N1")
+                .unwrap()
+                .generate_scaled(1024, rng.next_u64()),
+        ),
+        (
+            "P1/1024",
+            gen::table3_spec("P1")
+                .unwrap()
+                .generate_scaled(1024, rng.next_u64()),
+        ),
+        ("banded", gen::banded(192, 1536, 12, 0.15, rng.next_u64())),
+    ]
+}
+
+fn config(pus: usize, threads: usize, policy: RowPolicy, fast: bool) -> MendaConfig {
+    let mut cfg = MendaConfig::small_test()
+        .with_channels(1)
+        .with_ranks_per_channel(pus)
+        .with_threads(threads)
+        .with_trace(TraceConfig::counting())
+        .with_fast_forward(fast);
+    cfg.dram.row_policy = policy;
+    cfg
+}
+
+/// Asserts two transposition results are bit-identical, trace report
+/// included.
+fn assert_identical(reference: &TransposeResult, fast: &TransposeResult, what: &str) {
+    assert_eq!(reference.output, fast.output, "{what}: outputs differ");
+    assert_eq!(reference.cycles, fast.cycles, "{what}: cycles differ");
+    assert_eq!(
+        reference.pu_stats, fast.pu_stats,
+        "{what}: per-PU stats differ"
+    );
+    assert_eq!(reference.seconds, fast.seconds, "{what}: seconds differ");
+    assert_eq!(
+        reference.partition, fast.partition,
+        "{what}: partitions differ"
+    );
+    assert_eq!(reference.trace, fast.trace, "{what}: trace reports differ");
+}
+
+/// The headline differential: transposition under fast-forward is
+/// bit-identical to the per-cycle reference for uniform (N1), power-law
+/// (P1) and banded matrices, under both row policies, at 1/2/4 PUs and
+/// 1/4 host threads, with the protocol checker live on both paths.
+#[test]
+fn fast_forward_transpose_is_bit_identical_to_reference() {
+    with_checker(|| {
+        for (name, m) in matrices() {
+            for policy in [RowPolicy::OpenPage, RowPolicy::ClosedPage] {
+                for pus in [1usize, 2, 4] {
+                    for threads in [1usize, 4] {
+                        let what = format!("{name} {policy:?} pus={pus} threads={threads}");
+                        let reference =
+                            MendaSystem::new(config(pus, threads, policy, false)).transpose(&m);
+                        let fast =
+                            MendaSystem::new(config(pus, threads, policy, true)).transpose(&m);
+                        assert_eq!(reference.output, m.to_csc(), "{what}: wrong transpose");
+                        assert_identical(&reference, &fast, &what);
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// SpMV exercises the FinalCsc-less dataflow (vector gather + merge): the
+/// fast path must reproduce the reference bit for bit there too.
+#[test]
+fn fast_forward_spmv_is_bit_identical_to_reference() {
+    with_checker(|| {
+        let mut rng = StdRng::seed_from_u64(0x5B4F);
+        let m = gen::table3_spec("P1")
+            .unwrap()
+            .generate_scaled(2048, rng.next_u64());
+        let x: Vec<f32> = (0..m.ncols())
+            .map(|_| rng.random_range(0..17) as f32 - 8.0)
+            .collect();
+        for policy in [RowPolicy::OpenPage, RowPolicy::ClosedPage] {
+            for pus in [1usize, 2] {
+                let what = format!("spmv {policy:?} pus={pus}");
+                let reference = spmv::run(&config(pus, 2, policy, false), &m, &x);
+                let fast = spmv::run(&config(pus, 2, policy, true), &m, &x);
+                assert_eq!(reference, fast, "{what}: SpMV results differ");
+            }
+        }
+    });
+}
+
+/// Host-interference traffic injects extra DRAM requests on a fixed PU
+/// cycle cadence; the fast path must never skip over an injection cycle.
+#[test]
+fn fast_forward_preserves_host_interference_cadence() {
+    with_checker(|| {
+        let m = gen::uniform(128, 1024, 0x1F);
+        let interfering = |interval: u64, fast: bool| {
+            let mut cfg = config(2, 1, RowPolicy::OpenPage, fast);
+            cfg.pu = cfg.pu.with_host_interference(interval);
+            cfg
+        };
+        for interval in [50u64, 97] {
+            let reference = MendaSystem::new(interfering(interval, false)).transpose(&m);
+            let fast = MendaSystem::new(interfering(interval, true)).transpose(&m);
+            assert_eq!(reference.output, m.to_csc(), "interference {interval}");
+            assert_identical(&reference, &fast, &format!("interference {interval}"));
+        }
+    });
+}
+
+/// Degenerate inputs hit the quiescence predicate's edge cases (empty
+/// worklists, instant drains); they must not deadlock or diverge.
+#[test]
+fn fast_forward_handles_degenerate_matrices() {
+    with_checker(|| {
+        let from_entries = |n: usize, entries: Vec<(usize, usize, f32)>| {
+            CsrMatrix::try_from(menda_sparse::CooMatrix::from_entries(n, n, entries).unwrap())
+                .unwrap()
+        };
+        let cases = [
+            ("empty", from_entries(4, vec![])),
+            ("single", from_entries(4, vec![(2, 1, 3.0)])),
+            (
+                "one-row",
+                from_entries(8, (0..8).map(|c| (0, c, c as f32)).collect()),
+            ),
+        ];
+        for (name, m) in cases {
+            for pus in [1usize, 2] {
+                let reference =
+                    MendaSystem::new(config(pus, 1, RowPolicy::OpenPage, false)).transpose(&m);
+                let fast =
+                    MendaSystem::new(config(pus, 1, RowPolicy::OpenPage, true)).transpose(&m);
+                assert_eq!(reference.output, m.to_csc(), "{name} pus={pus}");
+                assert_identical(&reference, &fast, &format!("{name} pus={pus}"));
+            }
+        }
+    });
+}

@@ -9,10 +9,7 @@ use crate::command::{CommandKind, CommandRecord};
 use crate::config::RowPolicy;
 use crate::scheduler::{Candidate, NeededCommand};
 use crate::trace::ChannelTracer;
-use crate::{
-    Bank, BankState, DramConfig, DramCoord, DramStats, FrfcfsPriorHit, MemRequest, MemResponse,
-    ReqKind,
-};
+use crate::{Bank, BankState, DramConfig, DramCoord, DramStats, MemRequest, MemResponse, ReqKind};
 
 /// CAS traffic to a rank is cut off once its pending refresh has been
 /// postponed this many `tREFI` intervals (the JEDEC budget of 8), so the
@@ -25,8 +22,89 @@ struct Queued {
     req: MemRequest,
     coord: DramCoord,
     enq_at: u64,
+    /// Monotonic per-queue arrival number; the queue stays sorted by it
+    /// (requests enter at the back and leave from arbitrary positions),
+    /// which lets the per-bank index map a winner back to its position.
+    seq: u64,
     /// Whether the row hit/miss/conflict outcome was already recorded.
     classified: bool,
+}
+
+/// Per-bank request index for one queue (read or write).
+///
+/// Replaces the per-cycle O(queue × banks) FR-FCFS candidate scan with
+/// O(occupied banks) work: every resident request is keyed by its arrival
+/// sequence number, each flat bank keeps its residents oldest-first, and
+/// a cached sublist of the residents hitting the bank's currently open
+/// row is rebuilt only when the bank's row state changes (ACT / PRE /
+/// auto-precharge / refresh PRE) instead of being rederived every cycle.
+#[derive(Debug)]
+struct QueueIndex {
+    /// Per flat bank: `(seq, row)` of resident requests, oldest first.
+    by_bank: Vec<VecDeque<(u64, usize)>>,
+    /// Per flat bank: seqs of requests hitting the open row, oldest
+    /// first. Empty for closed banks.
+    hits: Vec<VecDeque<u64>>,
+    /// Flat banks with at least one resident request (unordered).
+    occupied: Vec<usize>,
+    next_seq: u64,
+}
+
+impl QueueIndex {
+    fn new(banks: usize) -> Self {
+        Self {
+            by_bank: vec![VecDeque::new(); banks],
+            hits: vec![VecDeque::new(); banks],
+            occupied: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Registers an arriving request on `flat` targeting `row`; returns
+    /// the sequence number assigned to it.
+    fn push(&mut self, flat: usize, row: usize, open_row: Option<usize>) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.by_bank[flat].is_empty() {
+            self.occupied.push(flat);
+        }
+        self.by_bank[flat].push_back((seq, row));
+        if open_row == Some(row) {
+            self.hits[flat].push_back(seq);
+        }
+        seq
+    }
+
+    /// Removes a retired request.
+    fn remove(&mut self, flat: usize, seq: u64) {
+        let list = &mut self.by_bank[flat];
+        if let Some(pos) = list.iter().position(|&(s, _)| s == seq) {
+            list.remove(pos);
+        }
+        let hits = &mut self.hits[flat];
+        if let Some(pos) = hits.iter().position(|&s| s == seq) {
+            hits.remove(pos);
+        }
+        if self.by_bank[flat].is_empty() {
+            if let Some(pos) = self.occupied.iter().position(|&b| b == flat) {
+                self.occupied.swap_remove(pos);
+            }
+        }
+    }
+
+    /// Rebuilds the open-row hit cache of `flat` after its row state
+    /// changed.
+    fn on_row_change(&mut self, flat: usize, open_row: Option<usize>) {
+        let hits = &mut self.hits[flat];
+        hits.clear();
+        if let Some(row) = open_row {
+            for &(seq, r) in &self.by_bank[flat] {
+                if r == row {
+                    hits.push_back(seq);
+                }
+            }
+        }
+    }
 }
 
 /// One memory channel: read/write queues, per-bank and per-rank state, the
@@ -42,13 +120,19 @@ pub struct ChannelController {
     refresh_pending: Vec<bool>,
     read_q: VecDeque<Queued>,
     write_q: VecDeque<Queued>,
+    read_ix: QueueIndex,
+    write_ix: QueueIndex,
+    /// Earliest `refresh_due` across ranks; lets `service_refresh` skip
+    /// its per-rank scan entirely between tREFI windows.
+    refresh_next_due: u64,
+    /// Number of ranks with `refresh_pending` set.
+    refresh_pending_count: usize,
     responses: BinaryHeap<Reverse<(u64, u64)>>,
     response_data: Vec<Option<MemResponse>>,
     response_seq: u64,
     now: u64,
     bus_free_at: u64,
     draining_writes: bool,
-    scheduler: FrfcfsPriorHit,
     stats: DramStats,
     command_log: Vec<CommandRecord>,
     /// Live protocol verifier (present when `config.check_protocol`).
@@ -67,21 +151,30 @@ impl ChannelController {
     /// Creates a controller for one channel of `config`.
     pub fn new(config: DramConfig) -> Self {
         let nbanks = config.org.ranks * config.org.banks_per_rank();
+        let ranks: Vec<RankState> = (0..config.org.ranks)
+            .map(|_| RankState::new(&config.timing))
+            .collect();
+        let refresh_next_due = ranks
+            .iter()
+            .map(|r| r.refresh_due)
+            .min()
+            .unwrap_or(u64::MAX);
         Self {
             banks: vec![Bank::new(); nbanks],
-            ranks: (0..config.org.ranks)
-                .map(|_| RankState::new(&config.timing))
-                .collect(),
+            ranks,
             refresh_pending: vec![false; config.org.ranks],
             read_q: VecDeque::with_capacity(config.read_queue),
             write_q: VecDeque::with_capacity(config.write_queue),
+            read_ix: QueueIndex::new(nbanks),
+            write_ix: QueueIndex::new(nbanks),
+            refresh_next_due,
+            refresh_pending_count: 0,
             responses: BinaryHeap::new(),
             response_data: Vec::new(),
             response_seq: 0,
             now: 0,
             bus_free_at: 0,
             draining_writes: false,
-            scheduler: FrfcfsPriorHit::new(),
             stats: DramStats::new(),
             command_log: Vec::new(),
             checker: config.check_protocol.then(|| ProtocolChecker::new(&config)),
@@ -233,10 +326,13 @@ impl ChannelController {
                     self.stats.queue_full_rejections += 1;
                     return false;
                 }
+                let flat = self.flat_bank(&coord);
+                let seq = self.read_ix.push(flat, coord.row, self.open_row(flat));
                 self.read_q.push_back(Queued {
                     req: MemRequest { addr, ..req },
                     coord,
                     enq_at: self.now,
+                    seq,
                     classified: false,
                 });
                 true
@@ -246,10 +342,13 @@ impl ChannelController {
                     self.stats.queue_full_rejections += 1;
                     return false;
                 }
+                let flat = self.flat_bank(&coord);
+                let seq = self.write_ix.push(flat, coord.row, self.open_row(flat));
                 self.write_q.push_back(Queued {
                     req: MemRequest { addr, ..req },
                     coord,
                     enq_at: self.now,
+                    seq,
                     classified: false,
                 });
                 true
@@ -279,6 +378,143 @@ impl ChannelController {
         self.response_seq += 1;
         self.response_data.push(Some(resp));
         self.responses.push(Reverse((resp.done_at, seq)));
+    }
+
+    /// Earliest `done_at` among in-flight responses.
+    pub fn next_response_at(&self) -> Option<u64> {
+        self.responses.peek().map(|&Reverse((done_at, _))| done_at)
+    }
+
+    /// The earliest bus cycle strictly after `now` at which this channel's
+    /// observable state can change.
+    ///
+    /// This is a *conservative lower bound*: the controller may wake at
+    /// that cycle and find it still cannot act (a pending refresh vetoes
+    /// CAS/ACT, say — vetoes are deliberately ignored because they only
+    /// delay), but it never sleeps through a cycle where `tick()` would
+    /// have issued a command, matured a response, emitted a buffered
+    /// auto-precharge, or run refresh bookkeeping. `None` means the
+    /// channel is fully inert (no residents, no responses, refresh
+    /// disabled), so any jump is safe.
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        let mut ev = u64::MAX;
+        // Buffered auto-precharges are emitted when `now` reaches them.
+        for r in &self.pending_autopre {
+            ev = ev.min(r.cycle);
+        }
+        // Responses mature at `done_at` (observable via `pop_response`).
+        if let Some(&Reverse((done_at, _))) = self.responses.peek() {
+            ev = ev.min(done_at);
+        }
+        if self.config.refresh_enabled {
+            ev = ev.min(self.refresh_event());
+        }
+        // Starvation recovery engages when a queue front's age first
+        // exceeds tREFI.
+        for front in [self.read_q.front(), self.write_q.front()]
+            .into_iter()
+            .flatten()
+        {
+            ev = ev.min(front.enq_at + self.config.timing.t_refi + 1);
+        }
+        ev = ev.min(self.queue_issue_event(&self.read_ix, true));
+        ev = ev.min(self.queue_issue_event(&self.write_ix, false));
+        (ev != u64::MAX).then_some(ev.max(self.now + 1))
+    }
+
+    /// Earliest cycle at which `service_refresh` could act: a new rank
+    /// becoming due, a pending rank's first closable open bank, or — all
+    /// banks closed — the last bank's `tRP` expiring so REF can fire.
+    fn refresh_event(&self) -> u64 {
+        let mut ev = self.refresh_next_due;
+        if self.refresh_pending_count == 0 {
+            return ev;
+        }
+        let banks_per_rank = self.config.org.banks_per_rank();
+        for rank in 0..self.ranks.len() {
+            if !self.refresh_pending[rank] {
+                continue;
+            }
+            let base = rank * banks_per_rank;
+            let mut any_open = false;
+            let mut pre_at = u64::MAX;
+            let mut act_ready = 0u64;
+            for b in &self.banks[base..base + banks_per_rank] {
+                match b.state {
+                    BankState::Opened(_) => {
+                        any_open = true;
+                        pre_at = pre_at.min(b.next_pre);
+                    }
+                    BankState::Closed => act_ready = act_ready.max(b.next_act),
+                }
+            }
+            ev = ev.min(if any_open { pre_at } else { act_ready });
+        }
+        ev
+    }
+
+    /// Earliest cycle any command on behalf of `ix`'s residents could
+    /// become issuable. Refresh vetoes are ignored (they only delay;
+    /// `refresh_event` bounds their expiry), so this is a lower bound.
+    /// All timing inputs (bank/rank state, `bus_free_at`, queue
+    /// contents) are frozen while no command issues, which is exactly
+    /// the window this bound protects.
+    fn queue_issue_event(&self, ix: &QueueIndex, is_read: bool) -> u64 {
+        let t = &self.config.timing;
+        let cas_lat = if is_read { t.t_cl } else { t.t_cwl };
+        let mut ev = u64::MAX;
+        for &flat in &ix.occupied {
+            let bank = &self.banks[flat];
+            let (rank_idx, bg) = self.rank_bg_of(flat);
+            let rank = &self.ranks[rank_idx];
+            match bank.state {
+                BankState::Closed => {
+                    ev = ev.min(bank.next_act.max(rank.act_allowed_at(bg, t)));
+                }
+                BankState::Opened(_) => {
+                    let oldest_hit = ix.hits[flat].front().copied();
+                    if oldest_hit.is_some() {
+                        let bank_ready = if is_read { bank.next_rd } else { bank.next_wr };
+                        ev = ev.min(
+                            bank_ready
+                                .max(rank.cas_allowed_at(bg, is_read, t))
+                                .max(self.bus_free_at.saturating_sub(cas_lat)),
+                        );
+                    }
+                    let &(oldest_seq, _) = ix.by_bank[flat]
+                        .front()
+                        .expect("occupied bank has residents");
+                    if oldest_hit != Some(oldest_seq) {
+                        ev = ev.min(bank.next_pre);
+                    }
+                }
+            }
+        }
+        ev
+    }
+
+    /// Jumps directly to bus cycle `target` without simulating the
+    /// intermediate cycles, which the caller guarantees (via
+    /// [`Self::next_event_cycle`]) are no-ops: no command can issue, no
+    /// response matures, no refresh bookkeeping runs. Skipped cycles are
+    /// bulk-accounted into the stats and the trace samples the per-cycle
+    /// path would have produced are emitted at each sampling interval;
+    /// the liveness check runs once at the target (equivalent for clean
+    /// runs — its deadline comparisons are monotone in `now`).
+    pub fn fast_forward_to(&mut self, target: u64) {
+        if target <= self.now {
+            return;
+        }
+        debug_assert!(
+            self.next_event_cycle().is_none_or(|e| e > target),
+            "fast-forward across a channel event"
+        );
+        if let Some(t) = self.tracer.as_mut() {
+            t.on_idle_span(self.now, target, self.read_q.len(), self.write_q.len());
+        }
+        self.now = target;
+        self.stats.cycles = self.now;
+        self.check_liveness();
     }
 
     /// Advances one bus cycle: handles refresh, schedules at most one
@@ -382,11 +618,19 @@ impl ChannelController {
     /// bank's `tRTP`/`tWR` window or on `tRP` must not stall the due
     /// refreshes of the other ranks.
     fn service_refresh(&mut self) -> bool {
+        // Between tREFI windows nothing is due and nothing is pending:
+        // skip the per-rank/bank scan (it used to run every cycle). The
+        // cached deadline is the min over ranks, so the scan resumes on
+        // exactly the cycle the first rank's refresh becomes due.
+        if self.refresh_pending_count == 0 && self.now < self.refresh_next_due {
+            return false;
+        }
         let t = self.config.timing;
         let banks_per_rank = self.config.org.banks_per_rank();
         for rank in 0..self.ranks.len() {
-            if self.now >= self.ranks[rank].refresh_due {
+            if self.now >= self.ranks[rank].refresh_due && !self.refresh_pending[rank] {
                 self.refresh_pending[rank] = true;
+                self.refresh_pending_count += 1;
             }
             if !self.refresh_pending[rank] {
                 continue;
@@ -402,6 +646,7 @@ impl ChannelController {
                     if self.now >= bank.next_pre {
                         bank.do_precharge(self.now, &t);
                         self.stats.precharges += 1;
+                        self.on_bank_row_change(base + b);
                         self.emit(
                             self.now,
                             CommandKind::Pre,
@@ -432,6 +677,13 @@ impl ChannelController {
                     bank.next_act = bank.next_act.max(blocked_until);
                 }
                 self.refresh_pending[rank] = false;
+                self.refresh_pending_count -= 1;
+                self.refresh_next_due = self
+                    .ranks
+                    .iter()
+                    .map(|r| r.refresh_due)
+                    .min()
+                    .unwrap_or(u64::MAX);
                 self.stats.refreshes += 1;
                 if let Some(tr) = self.tracer.as_mut() {
                     tr.on_refresh(self.now);
@@ -454,50 +706,120 @@ impl ChannelController {
         false
     }
 
-    /// Builds candidates for `queue`, runs FR-FCFS-PriorHit, and issues the
-    /// chosen command. Returns whether a command was issued.
+    /// FR-FCFS-PriorHit over the per-bank index. Returns whether a
+    /// command was issued.
+    ///
+    /// Per occupied bank at most two candidates exist — the bank's oldest
+    /// open-row hit (CAS) and the bank's oldest resident (ACT on a closed
+    /// bank; PRE on an open one, legal only when that oldest resident is
+    /// not itself a hit, since a PRE for a younger request must never
+    /// close a row an older request still hits). Issuability of each
+    /// command kind is uniform across a bank's residents, so the oldest
+    /// issuable CAS across banks — else the oldest issuable ACT/PRE — is
+    /// exactly the request the full-queue scan used to select (the
+    /// debug-build shadow check below re-derives it the old way).
     fn schedule_queue(&mut self, kind: ReqKind) -> bool {
-        let mut candidates: Vec<Candidate> = Vec::new();
-        {
-            let queue = match kind {
-                ReqKind::Read => &self.read_q,
-                ReqKind::Write => &self.write_q,
-            };
-            // A PRE on behalf of a younger request must not close a row an
-            // older request still hits: record, per bank, whether any older
-            // request is a row hit.
-            let banks_per_rank = self.config.org.banks_per_rank();
-            let mut older_hit = vec![false; self.banks.len()];
-            for (pos, q) in queue.iter().enumerate() {
-                let flat = q.coord.rank * banks_per_rank
-                    + q.coord.bank_group * self.config.org.banks_per_group
-                    + q.coord.bank;
-                let bank = &self.banks[flat];
-                let needed = match bank.state {
-                    BankState::Opened(r) if r == q.coord.row => NeededCommand::Cas,
-                    BankState::Opened(_) => NeededCommand::Precharge,
-                    BankState::Closed => NeededCommand::Activate,
-                };
-                let issuable = match needed {
-                    NeededCommand::Cas => self.cas_issuable(q),
-                    NeededCommand::Activate => self.act_issuable(q),
-                    NeededCommand::Precharge => !older_hit[flat] && self.now >= bank.next_pre,
-                };
-                if needed == NeededCommand::Cas {
-                    older_hit[flat] = true;
+        let is_read = kind == ReqKind::Read;
+        let ix = match kind {
+            ReqKind::Read => &self.read_ix,
+            ReqKind::Write => &self.write_ix,
+        };
+        let mut best_cas: Option<u64> = None;
+        let mut best_other: Option<(u64, NeededCommand)> = None;
+        for &flat in &ix.occupied {
+            let &(oldest_seq, _) = ix.by_bank[flat]
+                .front()
+                .expect("occupied bank has residents");
+            match self.banks[flat].state {
+                BankState::Closed => {
+                    if best_other.is_none_or(|(s, _)| oldest_seq < s) && self.act_issuable_at(flat)
+                    {
+                        best_other = Some((oldest_seq, NeededCommand::Activate));
+                    }
                 }
-                candidates.push(Candidate {
-                    queue_pos: pos,
-                    needed,
-                    issuable_now: issuable,
-                });
+                BankState::Opened(_) => {
+                    let oldest_hit = ix.hits[flat].front().copied();
+                    if let Some(h) = oldest_hit {
+                        if best_cas.is_none_or(|s| h < s) && self.cas_issuable_at(flat, is_read) {
+                            best_cas = Some(h);
+                        }
+                    }
+                    if oldest_hit != Some(oldest_seq)
+                        && best_other.is_none_or(|(s, _)| oldest_seq < s)
+                        && self.now >= self.banks[flat].next_pre
+                    {
+                        best_other = Some((oldest_seq, NeededCommand::Precharge));
+                    }
+                }
             }
         }
-        let Some(choice) = self.scheduler.select(&candidates) else {
-            return false;
+        let (seq, needed) = match (best_cas, best_other) {
+            (Some(s), _) => (s, NeededCommand::Cas),
+            (None, Some(o)) => o,
+            (None, None) => {
+                #[cfg(debug_assertions)]
+                self.assert_matches_reference_scan(kind, None);
+                return false;
+            }
         };
+        let queue = match kind {
+            ReqKind::Read => &self.read_q,
+            ReqKind::Write => &self.write_q,
+        };
+        let queue_pos = queue
+            .binary_search_by_key(&seq, |q| q.seq)
+            .expect("indexed request resident in queue");
+        let choice = Candidate {
+            queue_pos,
+            needed,
+            issuable_now: true,
+        };
+        #[cfg(debug_assertions)]
+        self.assert_matches_reference_scan(kind, Some(choice));
         self.issue(kind, choice);
         true
+    }
+
+    /// Debug-only cross-check: re-derives the scheduling decision with
+    /// the original full-queue scan and asserts the indexed selection
+    /// matches it exactly. Compiled out of release builds.
+    #[cfg(debug_assertions)]
+    fn assert_matches_reference_scan(&self, kind: ReqKind, choice: Option<Candidate>) {
+        let queue = match kind {
+            ReqKind::Read => &self.read_q,
+            ReqKind::Write => &self.write_q,
+        };
+        let mut candidates: Vec<Candidate> = Vec::new();
+        let mut older_hit = vec![false; self.banks.len()];
+        for (pos, q) in queue.iter().enumerate() {
+            let flat = self.flat_bank(&q.coord);
+            let bank = &self.banks[flat];
+            let needed = match bank.state {
+                BankState::Opened(r) if r == q.coord.row => NeededCommand::Cas,
+                BankState::Opened(_) => NeededCommand::Precharge,
+                BankState::Closed => NeededCommand::Activate,
+            };
+            let issuable = match needed {
+                NeededCommand::Cas => self.cas_issuable(q),
+                NeededCommand::Activate => self.act_issuable(q),
+                NeededCommand::Precharge => !older_hit[flat] && self.now >= bank.next_pre,
+            };
+            if needed == NeededCommand::Cas {
+                older_hit[flat] = true;
+            }
+            candidates.push(Candidate {
+                queue_pos: pos,
+                needed,
+                issuable_now: issuable,
+            });
+        }
+        let reference = crate::FrfcfsPriorHit::new().select(&candidates);
+        assert_eq!(
+            choice.map(|c| (c.queue_pos, c.needed)),
+            reference.map(|c| (c.queue_pos, c.needed)),
+            "indexed scheduler diverged from reference scan at cycle {}",
+            self.now
+        );
     }
 
     fn flat_bank(&self, c: &DramCoord) -> usize {
@@ -506,37 +828,70 @@ impl ChannelController {
             + c.bank
     }
 
+    /// The rank and bank-group indices of flat bank `flat`.
+    fn rank_bg_of(&self, flat: usize) -> (usize, usize) {
+        let bpr = self.config.org.banks_per_rank();
+        (flat / bpr, (flat % bpr) / self.config.org.banks_per_group)
+    }
+
+    /// The row currently open on flat bank `flat`, if any.
+    fn open_row(&self, flat: usize) -> Option<usize> {
+        match self.banks[flat].state {
+            BankState::Opened(r) => Some(r),
+            BankState::Closed => None,
+        }
+    }
+
+    /// Re-syncs both queues' open-row hit caches after `flat`'s row state
+    /// changed (ACT, PRE, auto-precharge, refresh PRE).
+    fn on_bank_row_change(&mut self, flat: usize) {
+        let open_row = self.open_row(flat);
+        self.read_ix.on_row_change(flat, open_row);
+        self.write_ix.on_row_change(flat, open_row);
+    }
+
     fn cas_issuable(&self, q: &Queued) -> bool {
+        self.cas_issuable_at(self.flat_bank(&q.coord), q.req.is_read())
+    }
+
+    /// Whether a CAS may issue this cycle on flat bank `flat` (uniform
+    /// for every resident of one queue: they share rank, bank group and
+    /// direction).
+    fn cas_issuable_at(&self, flat: usize, is_read: bool) -> bool {
         let t = &self.config.timing;
-        let bank = &self.banks[self.flat_bank(&q.coord)];
-        let rank = &self.ranks[q.coord.rank];
+        let bank = &self.banks[flat];
+        let (rank_idx, bg) = self.rank_bg_of(flat);
+        let rank = &self.ranks[rank_idx];
         // A rank whose pending refresh has exhausted its postpone budget
         // takes no more CAS traffic: every CAS extends `next_pre`
         // (tRTP/write recovery), so a row-hit stream would defer REF
         // forever.
-        if self.refresh_pending[q.coord.rank]
+        if self.refresh_pending[rank_idx]
             && rank.refresh_overdue(self.now, t, REFRESH_POSTPONE_INTERVALS)
         {
             return false;
         }
-        let is_read = q.req.is_read();
         let bank_ready = if is_read {
             self.now >= bank.next_rd
         } else {
             self.now >= bank.next_wr
         };
-        let rank_ready = self.now >= rank.cas_allowed_at(q.coord.bank_group, is_read, t);
+        let rank_ready = self.now >= rank.cas_allowed_at(bg, is_read, t);
         let burst_start = self.now + if is_read { t.t_cl } else { t.t_cwl };
         bank_ready && rank_ready && burst_start >= self.bus_free_at
     }
 
     fn act_issuable(&self, q: &Queued) -> bool {
+        self.act_issuable_at(self.flat_bank(&q.coord))
+    }
+
+    /// Whether an ACT may issue this cycle on flat bank `flat`.
+    fn act_issuable_at(&self, flat: usize) -> bool {
         let t = &self.config.timing;
-        let bank = &self.banks[self.flat_bank(&q.coord)];
-        let rank = &self.ranks[q.coord.rank];
-        !self.refresh_pending[q.coord.rank]
-            && self.now >= bank.next_act
-            && self.now >= rank.act_allowed_at(q.coord.bank_group, t)
+        let (rank_idx, bg) = self.rank_bg_of(flat);
+        !self.refresh_pending[rank_idx]
+            && self.now >= self.banks[flat].next_act
+            && self.now >= self.ranks[rank_idx].act_allowed_at(bg, t)
     }
 
     fn issue(&mut self, kind: ReqKind, choice: Candidate) {
@@ -571,6 +926,7 @@ impl ChannelController {
                 };
                 self.banks[flat].do_precharge(self.now, &t);
                 self.stats.precharges += 1;
+                self.on_bank_row_change(flat);
                 self.emit(
                     self.now,
                     CommandKind::Pre,
@@ -584,6 +940,7 @@ impl ChannelController {
                 self.banks[flat].do_activate(self.now, entry.coord.row, &t);
                 self.ranks[entry.coord.rank].record_act(self.now, entry.coord.bank_group);
                 self.stats.activates += 1;
+                self.on_bank_row_change(flat);
                 self.emit(self.now, CommandKind::Act, entry.coord);
             }
             NeededCommand::Cas => {
@@ -646,10 +1003,18 @@ impl ChannelController {
                 match kind {
                     ReqKind::Read => {
                         self.read_q.remove(choice.queue_pos);
+                        self.read_ix.remove(flat, entry.seq);
                     }
                     ReqKind::Write => {
                         self.write_q.remove(choice.queue_pos);
+                        self.write_ix.remove(flat, entry.seq);
                     }
+                }
+                // The CAS closed the bank under ClosedPage (and the row
+                // state seen by the hit caches changed); the retired
+                // request itself was already dropped from both indexes.
+                if self.config.row_policy == RowPolicy::ClosedPage {
+                    self.on_bank_row_change(flat);
                 }
             }
         }

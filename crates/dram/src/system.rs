@@ -86,6 +86,51 @@ impl MemorySystem {
         }
     }
 
+    /// The earliest bus cycle strictly after `now` at which any channel's
+    /// observable state can change (see
+    /// [`ChannelController::next_event_cycle`]). `None` means every
+    /// channel is inert, so any jump is safe.
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        self.channels
+            .iter()
+            .filter_map(|c| c.next_event_cycle())
+            .min()
+    }
+
+    /// Earliest `done_at` among in-flight responses on any channel.
+    pub fn next_response_at(&self) -> Option<u64> {
+        self.channels
+            .iter()
+            .filter_map(|c| c.next_response_at())
+            .min()
+    }
+
+    /// Advances `ticks` bus cycles, jumping over provably event-free
+    /// spans instead of simulating them cycle by cycle. Tick-exact: the
+    /// resulting state (commands issued and their cycles, stats, trace
+    /// samples, responses) is bit-identical to calling [`Self::tick`]
+    /// `ticks` times, as long as no requests are enqueued and no
+    /// responses popped in between — which is how the PU model drives it.
+    pub fn advance(&mut self, ticks: u64) {
+        let end = self.now() + ticks;
+        while self.now() < end {
+            // Skip to just before the next event (the event cycle itself
+            // must run through `tick` so commands can issue there), then
+            // execute one real cycle. `next_event_cycle` is clamped to
+            // `now + 1`, so the loop always progresses.
+            let next = self.next_event_cycle().unwrap_or(u64::MAX);
+            let skip_to = next.saturating_sub(1).min(end);
+            if skip_to > self.now() {
+                for ch in &mut self.channels {
+                    ch.fast_forward_to(skip_to);
+                }
+            }
+            if self.now() < end {
+                self.tick();
+            }
+        }
+    }
+
     /// Pops one completed response, round-robin across channels.
     pub fn pop_response(&mut self) -> Option<MemResponse> {
         let n = self.channels.len();

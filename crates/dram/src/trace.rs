@@ -70,6 +70,23 @@ impl ChannelTracer {
         }
     }
 
+    /// Bulk equivalent of [`Self::on_tick`] for a fast-forwarded span:
+    /// emits exactly the samples the per-cycle path would have produced
+    /// at each sampling interval in `(from, to]`. Queue occupancies are
+    /// frozen across a skipped span (nothing enqueues or issues), so
+    /// every sample carries the same values.
+    pub(crate) fn on_idle_span(&mut self, from: u64, to: u64, read_len: usize, write_len: usize) {
+        if self.interval == 0 {
+            return;
+        }
+        // First sampling instant strictly after `from`.
+        let mut at = (from / self.interval + 1) * self.interval;
+        while at <= to {
+            self.on_tick(at, read_len, write_len);
+            at += self.interval;
+        }
+    }
+
     /// Request-classification hook: the first command issued on behalf
     /// of a request determines its row outcome on `flat` bank.
     pub(crate) fn on_classify(&mut self, flat: usize, needed: NeededCommand) {

@@ -1,0 +1,200 @@
+//! Seeded property test for the event-driven fast path at the DRAM level:
+//! random traffic driven through [`MemorySystem::advance`] must produce
+//! the same per-channel command logs (same commands, same issue cycles),
+//! the same statistics and the same response completion times as the
+//! per-cycle [`MemorySystem::tick`] reference.
+//!
+//! The driver injects requests from a pre-generated schedule with
+//! head-of-line blocking: a request whose channel queue is full blocks all
+//! later arrivals until it fits. Queue room only changes at channel
+//! events, so retrying every cycle (reference) and retrying at
+//! `next_event_cycle()` (fast) admit each request at the same cycle.
+
+use menda_dram::{DramConfig, MemRequest, MemResponse, MemorySystem, RowPolicy};
+use menda_sparse::rng::StdRng;
+
+struct Outcome {
+    logs: Vec<Vec<menda_dram::CommandRecord>>,
+    stats: Vec<menda_dram::DramStats>,
+    responses: Vec<(u64, u64, u64)>,
+}
+
+fn drive(config: &DramConfig, schedule: &[(u64, MemRequest)], horizon: u64, fast: bool) -> Outcome {
+    let mut mem = MemorySystem::new(config.clone());
+    let mut responses: Vec<MemResponse> = Vec::new();
+    let mut next = 0usize;
+    while mem.now() < horizon || next < schedule.len() {
+        while next < schedule.len() && schedule[next].0 <= mem.now() {
+            if mem.try_enqueue(schedule[next].1) {
+                next += 1;
+            } else {
+                break;
+            }
+        }
+        let blocked = next < schedule.len() && schedule[next].0 <= mem.now();
+        if fast {
+            let ticks = if blocked {
+                // Room only appears when a command issues, i.e. at the
+                // next channel event.
+                let ev = mem
+                    .next_event_cycle()
+                    .expect("blocked enqueue with no pending events: deadlock");
+                ev - mem.now()
+            } else if next < schedule.len() {
+                schedule[next].0.min(horizon.max(mem.now() + 1)) - mem.now()
+            } else {
+                horizon.saturating_sub(mem.now()).max(1)
+            };
+            mem.advance(ticks);
+        } else {
+            mem.tick();
+        }
+        responses.extend(mem.drain_responses());
+        assert!(mem.now() < horizon + 1_000_000, "driver ran away");
+    }
+    if config.log_commands {
+        mem.verify_command_logs()
+            .unwrap_or_else(|(ch, v)| panic!("channel {ch} (fast={fast}): {v}"));
+    }
+    let mut resp: Vec<(u64, u64, u64)> = responses
+        .iter()
+        .map(|r| (r.done_at, r.id, r.addr))
+        .collect();
+    resp.sort_unstable();
+    let channels = config.org.channels;
+    Outcome {
+        logs: (0..channels).map(|c| mem.command_log(c).to_vec()).collect(),
+        stats: (0..channels).map(|c| *mem.channel_stats(c)).collect(),
+        responses: resp,
+    }
+}
+
+/// Random traffic with bursty arrivals, mixed reads/writes and address
+/// locality knobs, across row policies and channel/rank shapes.
+#[test]
+fn random_traffic_matches_per_cycle_reference() {
+    let mut rng = StdRng::seed_from_u64(0x0FA5_7F0D);
+    for seed_ix in 0..24 {
+        let channels = 1 << (seed_ix % 2);
+        let ranks = 1 << (seed_ix % 3 % 2);
+        let mut config = DramConfig::ddr4_2400r()
+            .with_channels(channels)
+            .with_ranks(ranks);
+        config.log_commands = true;
+        if seed_ix % 5 == 0 {
+            config.refresh_enabled = false;
+        }
+        if seed_ix % 3 == 0 {
+            config.row_policy = RowPolicy::ClosedPage;
+        }
+        if seed_ix % 4 == 0 {
+            // Some seeds also run the live checker on both paths.
+            menda_dram::set_check_protocol_default(Some(true));
+        }
+
+        // Bursty schedule: clustered arrivals + occasional row reuse so
+        // both open-row hits and full queues occur; the horizon crosses
+        // several tREFI windows.
+        let n_reqs = 300 + rng.random_range(0..200);
+        let mut schedule = Vec::with_capacity(n_reqs);
+        let mut at = 0u64;
+        let mut hot_rows: Vec<u64> = (0..4).map(|_| rng.next_u64() % (1 << 22)).collect();
+        for i in 0..n_reqs {
+            at += match rng.random_range(0..10) {
+                0..=5 => rng.random_range(0..4) as u64,
+                6..=8 => rng.random_range(0..200) as u64,
+                _ => rng.random_range(0..4000) as u64,
+            };
+            let base = if rng.random_range(0..10) < 6 {
+                hot_rows[rng.random_range(0..hot_rows.len())]
+            } else {
+                let fresh = rng.next_u64() % (1 << 22);
+                let slot = rng.random_range(0..hot_rows.len());
+                hot_rows[slot] = fresh;
+                fresh
+            };
+            let addr = (base << 6) | (rng.next_u64() & 0x3F & !0x7);
+            let req = if rng.random_range(0..4) == 0 {
+                MemRequest::write(addr, i as u64)
+            } else {
+                MemRequest::read(addr, i as u64)
+            };
+            schedule.push((at, req));
+        }
+        let horizon = at + 40_000;
+
+        let reference = drive(&config, &schedule, horizon, false);
+        let fast = drive(&config, &schedule, horizon, true);
+        menda_dram::set_check_protocol_default(None);
+
+        for ch in 0..channels {
+            assert_eq!(
+                reference.logs[ch], fast.logs[ch],
+                "seed {seed_ix}: channel {ch} command logs diverge"
+            );
+            assert_eq!(
+                reference.stats[ch], fast.stats[ch],
+                "seed {seed_ix}: channel {ch} stats diverge"
+            );
+            assert!(
+                reference.logs[ch]
+                    .iter()
+                    .any(|c| c.kind == menda_dram::CommandKind::Ref)
+                    == config.refresh_enabled,
+                "seed {seed_ix}: refresh liveness mismatch on channel {ch}"
+            );
+        }
+        assert_eq!(
+            reference.responses, fast.responses,
+            "seed {seed_ix}: response completion times diverge"
+        );
+        assert!(
+            !reference.responses.is_empty(),
+            "seed {seed_ix}: no traffic"
+        );
+    }
+}
+
+/// The recorded fast-path command stream passes the offline protocol
+/// checker for a mixed open/closed-page multi-rank configuration.
+#[test]
+fn fast_path_command_logs_pass_offline_checker() {
+    let mut rng = StdRng::seed_from_u64(0xC4EC);
+    for policy in [RowPolicy::OpenPage, RowPolicy::ClosedPage] {
+        let mut config = DramConfig::ddr4_2400r().with_channels(2).with_ranks(2);
+        config.log_commands = true;
+        config.row_policy = policy;
+        let mut mem = MemorySystem::new(config.clone());
+        let mut sent = 0u64;
+        let mut next_inject = 0u64;
+        while mem.now() < 30_000 {
+            if sent < 400 && mem.now() >= next_inject {
+                let addr = (rng.next_u64() % (1 << 28)) & !0x7;
+                let req = if sent.is_multiple_of(3) {
+                    MemRequest::write(addr, sent)
+                } else {
+                    MemRequest::read(addr, sent)
+                };
+                if mem.try_enqueue(req) {
+                    sent += 1;
+                    next_inject = mem.now() + 7;
+                }
+            }
+            let stop = if sent < 400 {
+                next_inject.max(mem.now() + 1)
+            } else {
+                30_000
+            };
+            let ticks = mem
+                .next_event_cycle()
+                .map_or(stop, |ev| ev.min(stop))
+                .saturating_sub(mem.now())
+                .max(1);
+            mem.advance(ticks);
+            mem.drain_responses();
+        }
+        mem.verify_command_logs()
+            .unwrap_or_else(|(ch, v)| panic!("{policy:?}: channel {ch}: {v}"));
+        assert!(sent >= 400, "{policy:?}: only {sent} requests injected");
+    }
+}
