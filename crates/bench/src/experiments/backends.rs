@@ -1,0 +1,211 @@
+//! Accelerator-backend design-space comparison: the MeNDA merge-tree PU
+//! vs the SparseP-style UPMEM PIM model on the same matrices, kernels,
+//! DRAM substrate and energy accounting.
+//!
+//! Every backend runs through the same engine seam
+//! ([`menda_core::AcceleratorBackend`]), so per-backend numbers differ
+//! only by the modeled device: cycles at the device clock, the rank-level
+//! DRAM command mix, and device energy on the on-DIMM interface.
+//! Transposition is additionally verified bit-identical across backends
+//! (unique keys make the output order canonical); SpMV is verified
+//! against the dense reference to tolerance. Writes
+//! `results/BACKENDS_6.json`.
+
+use menda_core::{spmv, BackendKind, MendaConfig, MendaSystem, PuStats};
+use menda_dram::power::{energy as dram_energy, Interface};
+use menda_dram::DramStats;
+use menda_sparse::gen;
+use menda_sparse::rng::StdRng;
+
+use std::path::Path;
+
+use crate::util::{self, Scale, Table};
+
+struct Measurement {
+    matrix: &'static str,
+    kernel: &'static str,
+    backend: &'static str,
+    cycles: u64,
+    seconds: f64,
+    traffic_bytes: u64,
+    dram: DramStats,
+    device_j: f64,
+}
+
+impl Measurement {
+    fn collect(
+        matrix: &'static str,
+        kernel: &'static str,
+        kind: BackendKind,
+        cycles: u64,
+        seconds: f64,
+        pu_stats: &[PuStats],
+        cfg: &MendaConfig,
+    ) -> Self {
+        let mut dram = DramStats::new();
+        for s in pu_stats {
+            dram.merge(&s.dram);
+        }
+        let rank_cfg = cfg.dram.clone().with_channels(1).with_ranks(1);
+        let device_j: f64 = pu_stats
+            .iter()
+            .map(|s| dram_energy(&s.dram, &rank_cfg, Interface::OnDimm).total_j())
+            .sum();
+        Self {
+            matrix,
+            kernel,
+            backend: kind.label(),
+            cycles,
+            seconds,
+            traffic_bytes: pu_stats.iter().map(|s| s.total_traffic_bytes()).sum(),
+            dram,
+            device_j,
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"matrix\": \"{}\", \"kernel\": \"{}\", \"backend\": \"{}\", ",
+                "\"cycles\": {}, \"seconds\": {:.9}, \"traffic_bytes\": {}, ",
+                "\"dram\": {{\"reads\": {}, \"writes\": {}, \"activates\": {}, ",
+                "\"precharges\": {}, \"refreshes\": {}, \"row_hits\": {}, ",
+                "\"row_misses\": {}, \"row_conflicts\": {}}}, ",
+                "\"device_energy_j\": {:.9}}}"
+            ),
+            self.matrix,
+            self.kernel,
+            self.backend,
+            self.cycles,
+            self.seconds,
+            self.traffic_bytes,
+            self.dram.reads,
+            self.dram.writes,
+            self.dram.activates,
+            self.dram.precharges,
+            self.dram.refreshes,
+            self.dram.row_hits,
+            self.dram.row_misses,
+            self.dram.row_conflicts,
+            self.device_j,
+        )
+    }
+}
+
+/// Runs both backends on the Table 3 workloads, writes
+/// `BACKENDS_6.json`, and returns the report.
+///
+/// # Panics
+///
+/// Panics if either backend produces a wrong transposition, if the two
+/// backends' transpositions differ, or if SpMV misses the dense
+/// reference tolerance.
+pub fn run(scale: Scale) -> String {
+    run_to(scale, &util::results_dir())
+}
+
+/// Like [`run`], but writes the artifact into `dir`.
+///
+/// # Panics
+///
+/// Same conditions as [`run`].
+pub fn run_to(scale: Scale, dir: &Path) -> String {
+    let factor = scale.factor();
+    let cfg = MendaConfig::paper();
+    let mut rng = StdRng::seed_from_u64(0xBAC6);
+    let mut measurements = Vec::new();
+
+    for name in ["N1", "N4", "P1", "P4"] {
+        let m = gen::table3_spec(name)
+            .expect("Table 3 entry")
+            .generate_scaled(factor, rng.next_u64());
+        let golden = m.to_csc();
+        let x: Vec<f32> = (0..m.ncols())
+            .map(|_| rng.random_range(0..9) as f32 - 4.0)
+            .collect();
+        let y_golden = m.spmv(&x);
+
+        let mut outputs = Vec::new();
+        for kind in BackendKind::ALL {
+            let t = MendaSystem::new(cfg.clone()).transpose_with(&m, kind);
+            assert_eq!(
+                t.output,
+                golden,
+                "{name}: wrong transpose on {}",
+                kind.label()
+            );
+            measurements.push(Measurement::collect(
+                name,
+                "transpose",
+                kind,
+                t.cycles,
+                t.seconds,
+                &t.pu_stats,
+                &cfg,
+            ));
+            outputs.push(t.output);
+
+            let s = spmv::run_with_backend(&cfg, &m, &x, Default::default(), kind);
+            for (i, (got, want)) in s.y.iter().zip(&y_golden).enumerate() {
+                assert!(
+                    (got - want).abs() <= 1e-3 * want.abs().max(1.0),
+                    "{name}: SpMV row {i} off on {}: {got} vs {want}",
+                    kind.label()
+                );
+            }
+            measurements.push(Measurement::collect(
+                name,
+                "spmv",
+                kind,
+                s.cycles,
+                s.seconds,
+                &s.pu_stats,
+                &cfg,
+            ));
+        }
+        assert!(
+            outputs.windows(2).all(|w| w[0] == w[1]),
+            "{name}: transposition differs across backends"
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"backends\",\n  \"scale\": {},\n  \"backends\": [{}],\n  \"runs\": [\n{}\n  ]\n}}\n",
+        factor,
+        BackendKind::ALL
+            .iter()
+            .map(|k| format!("\"{}\"", k.label()))
+            .collect::<Vec<_>>()
+            .join(", "),
+        measurements
+            .iter()
+            .map(Measurement::json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    let path = util::write_artifact(dir, "BACKENDS_6.json", &json).expect("write BACKENDS_6.json");
+
+    let mut out = format!(
+        "Accelerator backends: MeNDA merge-tree PU vs SparseP-style UPMEM PIM\n(paper 8-rank system, 1/{} scale; transposition bit-identical across backends)\n\n",
+        factor
+    );
+    let mut t = Table::new(&[
+        "matrix", "kernel", "backend", "cycles", "time", "RD", "WR", "ACT", "energy",
+    ]);
+    for m in &measurements {
+        t.row(&[
+            m.matrix.to_string(),
+            m.kernel.to_string(),
+            m.backend.to_string(),
+            format!("{}", m.cycles),
+            util::fmt_time(m.seconds),
+            format!("{}", m.dram.reads),
+            format!("{}", m.dram.writes),
+            format!("{}", m.dram.activates),
+            format!("{:.2} uJ", m.device_j * 1e6),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!("\nWrote {}\n", path.display()));
+    out
+}

@@ -4,6 +4,7 @@
 //! report; the `repro` binary prints it. EXPERIMENTS.md records the
 //! paper-reported values next to a captured run.
 
+pub mod backends;
 pub mod bench;
 pub mod conflicts;
 pub mod energy;
@@ -51,6 +52,7 @@ pub const ALL: &[&str] = &[
     "trace",
     "verify-dram",
     "bench",
+    "backends",
 ];
 
 /// Dispatches an experiment by id.
@@ -83,6 +85,7 @@ pub fn run(id: &str, scale: Scale) -> Result<String, String> {
         "trace" => Ok(trace::run(scale)),
         "verify-dram" => Ok(verify::run(scale)),
         "bench" => Ok(bench::run(scale)),
+        "backends" => Ok(backends::run(scale)),
         other => Err(format!(
             "unknown experiment '{other}'; available: {}",
             ALL.join(", ")

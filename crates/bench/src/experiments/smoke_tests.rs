@@ -176,6 +176,22 @@ fn trace_writes_valid_artifacts_and_full_table() {
 }
 
 #[test]
+fn backends_reports_both_backends_and_writes_artifact() {
+    let dir = std::env::temp_dir().join("menda-backends-smoke");
+    let _ = std::fs::remove_dir_all(&dir);
+    // run_to validates internally: both backends must reproduce the
+    // golden transposition bit-identically and hit the SpMV tolerance
+    // (panic otherwise).
+    let r = experiments::backends::run_to(tiny(), &dir);
+    for marker in ["menda", "pim", "transpose", "spmv"] {
+        assert!(r.contains(marker), "{marker} missing");
+    }
+    let meta = std::fs::metadata(dir.join("BACKENDS_6.json")).expect("artifact exists");
+    assert!(meta.len() > 0, "BACKENDS_6.json is empty");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn unknown_experiment_is_an_error() {
     assert!(experiments::run("fig99", tiny()).is_err());
 }
@@ -188,11 +204,11 @@ fn all_ids_dispatch() {
     for id in experiments::ALL {
         if matches!(
             *id,
-            "fig10" | "fig13" | "fig16" | "conflicts" | "threads" | "trace"
+            "fig10" | "fig13" | "fig16" | "conflicts" | "threads" | "trace" | "backends"
         ) {
-            // "threads" runs 8-PU simulations at four thread counts and
-            // "trace" writes artifacts into the results dir; both have
-            // dedicated smoke tests.
+            // "threads" runs 8-PU simulations at four thread counts;
+            // "trace" and "backends" write artifacts into the results
+            // dir; all three have dedicated smoke tests.
             continue;
         }
         assert!(experiments::run(id, tiny()).is_ok(), "{id} failed");

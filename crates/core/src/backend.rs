@@ -1,0 +1,157 @@
+//! The accelerator backend seam.
+//!
+//! The DRAM substrate already sweeps DDR4/HBM2/LPDDR4 configurations, but
+//! until this module existed the accelerator side was hard-wired to the
+//! MeNDA processing unit. [`AcceleratorBackend`] abstracts "the compute
+//! device beside one DRAM rank" so the execution engine, the kernel specs
+//! and the repro drivers are generic over the near-memory design being
+//! simulated:
+//!
+//! * [`MendaBackend`] — the paper's merge-tree PU
+//!   ([`crate::ProcessingUnit`]): prefetch buffers, coalescing queue and
+//!   the multi-iteration merge-sort dataflow. The default; behavior is
+//!   identical to the pre-seam engine.
+//! * [`crate::pim::PimBackend`] — a SparseP-style UPMEM many-core PIM
+//!   model: DPU-like cores with local scratchpads, 1D stream partitioning
+//!   and a rank-level merge (arXiv:2204.00900).
+//!
+//! Both backends execute the same backend-agnostic [`PuJob`] descriptions
+//! against the same cycle-level [`menda_dram`] rank model, report the same
+//! [`PuResult`]/[`menda_dram::DramStats`] shapes and hand their
+//! instrumentation off through the same [`TraceReport`] path, so every
+//! kernel driver, statistic, energy model and trace consumer works
+//! unchanged on either device.
+
+use menda_trace::TraceReport;
+
+use crate::config::MendaConfig;
+use crate::job::{self, PuJob};
+use crate::pu::{ProcessingUnit, PuResult};
+
+/// One near-memory accelerator design: a factory for per-rank compute
+/// units plus the operations the execution engine needs from them.
+///
+/// Implementations must be `Sync` (the engine executes units on worker
+/// threads) and deterministic: `execute_job` must be a pure function of
+/// the unit's configuration and the job, so serial and threaded engine
+/// runs are bit-identical for any backend.
+pub trait AcceleratorBackend: Sync {
+    /// The per-rank device model (owns its rank's [`menda_dram`]
+    /// simulator).
+    type Unit: Send;
+    /// What one unit returns for one job; converted into the shared
+    /// [`PuResult`] so kernel assembly is backend-agnostic.
+    type UnitResult: Into<PuResult> + Send;
+
+    /// Stable backend identifier used in statistics, artifacts and trace
+    /// labels (e.g. `"menda"`, `"pim"`).
+    fn name(&self) -> &'static str;
+
+    /// The device clock in MHz under `config`, used to convert cycle
+    /// counts into seconds.
+    fn frequency_mhz(&self, config: &MendaConfig) -> u64;
+
+    /// Builds one unit beside one DRAM rank. Only the per-rank parts of
+    /// `config` apply; system-level fields (channels, ranks) stay with
+    /// the engine.
+    fn build_unit(&self, config: &MendaConfig) -> Self::Unit;
+
+    /// Executes one job to completion on `unit`.
+    fn execute_job(&self, unit: &mut Self::Unit, job: PuJob) -> Self::UnitResult;
+
+    /// The earliest future cycle at which `unit`'s rank can change
+    /// observable state (`None` when inert) — the fast-forward seam every
+    /// backend's event-driven execution path jumps by
+    /// ([`crate::SimOptions::fast_forward`]).
+    fn next_event_cycle(&self, unit: &Self::Unit) -> Option<u64>;
+
+    /// Ends instrumentation and hands the unit's trace report to the
+    /// engine, which retags it with the unit's id
+    /// ([`TraceReport::absorb_as`]). `None` when tracing is off.
+    fn take_trace_report(&self, unit: &mut Self::Unit) -> Option<TraceReport>;
+}
+
+/// The MeNDA merge-tree processing unit as a backend — the paper's design
+/// and the default for every existing entry point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MendaBackend;
+
+impl AcceleratorBackend for MendaBackend {
+    type Unit = ProcessingUnit;
+    type UnitResult = PuResult;
+
+    fn name(&self) -> &'static str {
+        "menda"
+    }
+
+    fn frequency_mhz(&self, config: &MendaConfig) -> u64 {
+        config.pu.frequency_mhz
+    }
+
+    fn build_unit(&self, config: &MendaConfig) -> ProcessingUnit {
+        ProcessingUnit::new(config)
+    }
+
+    fn execute_job(&self, unit: &mut ProcessingUnit, job: PuJob) -> PuResult {
+        job::execute(unit, job)
+    }
+
+    fn next_event_cycle(&self, unit: &ProcessingUnit) -> Option<u64> {
+        unit.next_event_cycle()
+    }
+
+    fn take_trace_report(&self, unit: &mut ProcessingUnit) -> Option<TraceReport> {
+        unit.take_trace_report()
+    }
+}
+
+/// Runtime backend selection for drivers that pick the accelerator from
+/// a flag or a job description rather than at compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The MeNDA merge-tree PU ([`MendaBackend`]).
+    Menda,
+    /// The SparseP-style UPMEM PIM model ([`crate::pim::PimBackend`]).
+    Pim,
+}
+
+impl BackendKind {
+    /// All selectable backends, in presentation order.
+    pub const ALL: [BackendKind; 2] = [BackendKind::Menda, BackendKind::Pim];
+
+    /// The backend's stable identifier (matches
+    /// [`AcceleratorBackend::name`]).
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackendKind::Menda => "menda",
+            BackendKind::Pim => "pim",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menda_sparse::gen;
+
+    #[test]
+    fn menda_backend_matches_direct_pu_execution() {
+        let cfg = MendaConfig::small_test();
+        let m = gen::uniform(32, 256, 17);
+        let backend = MendaBackend;
+        let mut unit = backend.build_unit(&cfg);
+        let via_backend = backend.execute_job(&mut unit, crate::job::transpose_job(m.clone(), 0));
+        let mut pu = ProcessingUnit::new(&cfg);
+        let direct = pu.transpose(&m, 0);
+        assert_eq!(via_backend, direct);
+        assert_eq!(backend.name(), "menda");
+        assert_eq!(backend.frequency_mhz(&cfg), cfg.pu.frequency_mhz);
+    }
+
+    #[test]
+    fn backend_kind_labels_are_stable() {
+        assert_eq!(BackendKind::Menda.label(), "menda");
+        assert_eq!(BackendKind::Pim.label(), "pim");
+        assert_eq!(BackendKind::ALL.len(), 2);
+    }
+}

@@ -133,6 +133,82 @@ impl Default for PuConfig {
     }
 }
 
+/// Configuration of the SparseP-style UPMEM PIM backend
+/// ([`crate::pim::PimBackend`]): many DPU-like cores beside one rank,
+/// each with a local scratchpad, 1D stream partitioning and a rank-level
+/// merge engine. Ignored by the MeNDA backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PimConfig {
+    /// DPU clock frequency in MHz (UPMEM DPUs run at ~350 MHz).
+    pub frequency_mhz: u64,
+    /// DPU-like cores per rank (a UPMEM rank hosts 64 DPUs).
+    pub dpus_per_rank: usize,
+    /// Per-DPU scratchpad (WRAM) capacity in bytes (64 KiB on UPMEM).
+    pub wram_bytes: usize,
+    /// DPU cycles to ingest and process one element (scale/compare plus
+    /// loop overhead on the in-order pipeline).
+    pub elem_cpi: u64,
+    /// DPU cycles per element per local merge-sort pass
+    /// (`n·ceil(log2 n)` passes total).
+    pub sort_cpi: u64,
+    /// Rank-level merge engine cycles per merged output element.
+    pub merge_cpi: u64,
+}
+
+impl PimConfig {
+    /// A full UPMEM-style rank: 64 DPUs at 350 MHz with 64 KiB WRAM.
+    pub fn upmem_rank() -> Self {
+        Self {
+            frequency_mhz: 350,
+            dpus_per_rank: 64,
+            wram_bytes: 64 << 10,
+            elem_cpi: 4,
+            sort_cpi: 2,
+            merge_cpi: 2,
+        }
+    }
+
+    /// A small PIM configuration for fast unit tests (8 DPUs).
+    pub fn small_test() -> Self {
+        Self {
+            dpus_per_rank: 8,
+            ..Self::upmem_rank()
+        }
+    }
+
+    /// Validates structural invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any capacity, core count or cost parameter is zero.
+    pub fn validate(&self) {
+        assert!(self.frequency_mhz > 0, "frequency_mhz must be positive");
+        assert!(self.dpus_per_rank > 0, "dpus_per_rank must be positive");
+        assert!(self.wram_bytes >= 1024, "wram_bytes must be at least 1 KiB");
+        assert!(self.elem_cpi > 0, "elem_cpi must be positive");
+        assert!(self.sort_cpi > 0, "sort_cpi must be positive");
+        assert!(self.merge_cpi > 0, "merge_cpi must be positive");
+    }
+
+    /// With a different DPU count per rank.
+    pub fn with_dpus(mut self, dpus: usize) -> Self {
+        self.dpus_per_rank = dpus;
+        self
+    }
+
+    /// With a different DPU clock frequency.
+    pub fn with_frequency(mut self, mhz: u64) -> Self {
+        self.frequency_mhz = mhz;
+        self
+    }
+}
+
+impl Default for PimConfig {
+    fn default() -> Self {
+        Self::upmem_rank()
+    }
+}
+
 /// Host-simulation options — knobs of the *simulator*, not the modeled
 /// hardware. They never change simulated results, only how fast the host
 /// computes them.
@@ -179,8 +255,12 @@ impl SimOptions {
 /// Configuration of a complete MeNDA system: one PU per DRAM rank.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MendaConfig {
-    /// Per-PU configuration.
+    /// Per-PU configuration (the MeNDA backend).
     pub pu: PuConfig,
+    /// Per-rank PIM configuration (the SparseP-style backend,
+    /// [`crate::pim::PimBackend`]). Ignored unless that backend is
+    /// selected.
+    pub pim: PimConfig,
     /// Memory channels populated with MeNDA DIMMs.
     pub channels: usize,
     /// Ranks (and therefore PUs) per channel.
@@ -204,6 +284,7 @@ impl MendaConfig {
     pub fn paper() -> Self {
         Self {
             pu: PuConfig::paper(),
+            pim: PimConfig::upmem_rank(),
             channels: 4,
             ranks_per_channel: 2,
             dram: DramConfig::ddr4_2400r(),
@@ -219,6 +300,7 @@ impl MendaConfig {
         dram.refresh_enabled = false;
         Self {
             pu: PuConfig::small_test(),
+            pim: PimConfig::small_test(),
             channels: 1,
             ranks_per_channel: 2,
             dram,
@@ -258,6 +340,12 @@ impl MendaConfig {
     /// changes.
     pub fn with_fast_forward(mut self, on: bool) -> Self {
         self.sim.fast_forward = on;
+        self
+    }
+
+    /// With a different PIM backend configuration.
+    pub fn with_pim(mut self, pim: PimConfig) -> Self {
+        self.pim = pim;
         self
     }
 

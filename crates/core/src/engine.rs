@@ -1,29 +1,34 @@
-//! The unified execution engine: maps a kernel onto per-PU jobs, runs
+//! The unified execution engine: maps a kernel onto per-unit jobs, runs
 //! them (optionally on multiple host threads), and hands the aggregated
 //! results back to the kernel for assembly.
 //!
-//! MeNDA PUs share nothing — each owns one rank and its partition (§3.5)
-//! — so the simulation of a kernel launch is embarrassingly parallel on
-//! the host: PU `p`'s result depends only on job `p`. [`Engine::run`]
-//! exploits that with `std::thread::scope` workers pulling PU indices
-//! from an atomic counter; results are reassembled in PU order, so the
-//! output is bit-identical to a serial run for any thread count
-//! ([`crate::SimOptions::threads`] picks the count).
+//! Per-rank accelerator units share nothing — each owns one rank and its
+//! partition (§3.5) — so the simulation of a kernel launch is
+//! embarrassingly parallel on the host: unit `p`'s result depends only on
+//! job `p`. [`Engine::run`] exploits that with `std::thread::scope`
+//! workers pulling unit indices from an atomic counter; results are
+//! reassembled in unit order, so the output is bit-identical to a serial
+//! run for any thread count ([`crate::SimOptions::threads`] picks the
+//! count).
 //!
-//! Each PU simulates under the execution discipline selected by
-//! [`crate::SimOptions::fast_forward`]: the event-driven core (default)
-//! skips quiescent spans and runs busy spans on wakeups, while `false`
-//! keeps the per-cycle poll-everything reference; the two are
-//! bit-identical in output, cycle count and statistics (see the
-//! fast-forward differential suite).
+//! The engine is generic over the [`AcceleratorBackend`] being simulated;
+//! [`Engine::new`] keeps the MeNDA merge-tree PU as the default and
+//! [`Engine::with_backend`] swaps in another design (e.g. the SparseP-
+//! style PIM model in [`crate::pim`]). Each unit simulates under the
+//! execution discipline selected by [`crate::SimOptions::fast_forward`]:
+//! the event-driven core (default) skips quiescent spans and runs busy
+//! spans on wakeups, while `false` keeps the per-cycle poll-everything
+//! reference; the two are bit-identical in output, cycle count and
+//! statistics (see the fast-forward differential suites).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use menda_trace::TraceReport;
 
+use crate::backend::{AcceleratorBackend, MendaBackend};
 use crate::config::MendaConfig;
-use crate::job::{self, PuJob};
-use crate::pu::{ProcessingUnit, PuResult};
+use crate::job::PuJob;
+use crate::pu::PuResult;
 use crate::stats::RunStats;
 
 /// A kernel's mapping onto the engine: how to build PU `p`'s job and how
@@ -46,28 +51,41 @@ pub trait KernelSpec: Sync {
     fn assemble(&self, results: Vec<PuResult>, run: RunStats) -> Self::Output;
 }
 
-/// Executes kernels on a configured MeNDA system, one simulated PU per
-/// rank.
+/// Executes kernels on a configured near-memory system, one simulated
+/// accelerator unit per rank. Generic over the [`AcceleratorBackend`];
+/// defaults to the MeNDA merge-tree PU.
 #[derive(Debug, Clone, Copy)]
-pub struct Engine<'a> {
+pub struct Engine<'a, B: AcceleratorBackend = MendaBackend> {
     config: &'a MendaConfig,
+    backend: B,
 }
 
 impl<'a> Engine<'a> {
-    /// Creates an engine for `config`.
+    /// Creates an engine for `config` with the default MeNDA backend.
     ///
     /// # Panics
     ///
     /// Panics if the PU configuration is invalid.
     pub fn new(config: &'a MendaConfig) -> Self {
         config.pu.validate();
-        Self { config }
+        Self {
+            config,
+            backend: MendaBackend,
+        }
+    }
+}
+
+impl<'a, B: AcceleratorBackend> Engine<'a, B> {
+    /// Creates an engine for `config` simulating `backend` in place of
+    /// the MeNDA PU beside each rank.
+    pub fn with_backend(config: &'a MendaConfig, backend: B) -> Self {
+        Self { config, backend }
     }
 
-    /// Runs one kernel launch: builds and executes one job per PU, then
-    /// assembles. With more than one worker thread the PU simulations run
-    /// concurrently; outputs and statistics are identical to a serial run
-    /// because PUs are independent.
+    /// Runs one kernel launch: builds and executes one job per unit, then
+    /// assembles. With more than one worker thread the unit simulations
+    /// run concurrently; outputs and statistics are identical to a serial
+    /// run because units are independent.
     pub fn run<S: KernelSpec>(&self, spec: &S) -> S::Output {
         let pus = self.config.num_pus();
         let threads = self.config.sim.effective_threads(pus);
@@ -79,11 +97,12 @@ impl<'a> Engine<'a> {
         let (results, reports): (Vec<PuResult>, Vec<Option<TraceReport>>) =
             outcomes.into_iter().unzip();
         let mut run = RunStats::collect(
-            self.config.pu.frequency_mhz,
+            self.backend.frequency_mhz(self.config),
             results.iter().map(|r: &PuResult| r.stats.clone()).collect(),
         );
-        // Aggregate per-PU trace reports in PU order so counters merge
-        // deterministically and Chrome pids identify the PU.
+        run.backend = self.backend.name();
+        // Aggregate per-unit trace reports in unit order so counters merge
+        // deterministically and Chrome pids identify the unit.
         let mut aggregated: Option<TraceReport> = None;
         for (p, report) in reports.into_iter().enumerate() {
             if let Some(report) = report {
@@ -97,9 +116,9 @@ impl<'a> Engine<'a> {
     }
 
     fn run_pu<S: KernelSpec>(&self, spec: &S, p: usize) -> (PuResult, Option<TraceReport>) {
-        let mut pu = ProcessingUnit::new(self.config);
-        let result = job::execute(&mut pu, spec.make_job(p));
-        (result, pu.take_trace_report())
+        let mut unit = self.backend.build_unit(self.config);
+        let result = self.backend.execute_job(&mut unit, spec.make_job(p)).into();
+        (result, self.backend.take_trace_report(&mut unit))
     }
 
     fn run_parallel<S: KernelSpec>(

@@ -46,7 +46,7 @@ pub enum JobSource {
 }
 
 impl JobSource {
-    fn iter_source(&self) -> IterSource<'_> {
+    pub(crate) fn iter_source(&self) -> IterSource<'_> {
         match self {
             JobSource::Csr(m) => IterSource::Csr {
                 cols: m.col_idx(),

@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod backend;
 mod coalesce;
 mod config;
 pub mod energy;
@@ -59,6 +60,7 @@ pub mod host;
 mod job;
 mod layout;
 mod merge_tree;
+pub mod pim;
 mod prefetch;
 mod pu;
 pub mod spgemm;
@@ -66,13 +68,15 @@ pub mod spmv;
 mod stats;
 mod system;
 
+pub use backend::{AcceleratorBackend, BackendKind, MendaBackend};
 pub use coalesce::CoalescingQueue;
-pub use config::{MendaConfig, PuConfig, SimOptions};
+pub use config::{MendaConfig, PimConfig, PuConfig, SimOptions};
 pub use engine::{Engine, KernelSpec};
-pub use job::{FinalOutput, IntermediateFormat, JobSource, PuJob};
+pub use job::{transpose_job, FinalOutput, IntermediateFormat, JobSource, PuJob};
 pub use layout::{AddressLayout, BLOCK_BYTES, IDX_BYTES, PTR_BYTES, VAL_BYTES};
 pub use merge_tree::{LeafSource, MergeTree, Packet, SliceLeafSource};
-pub use prefetch::{PrefetchBuffer, StreamDescriptor};
+pub use pim::PimBackend;
+pub use prefetch::{PrefetchBuffer, StreamDescriptor, StreamKind};
 pub use pu::{ProcessingUnit, PtrGate, PuResult};
 pub use stats::{IterationStats, PuStats, RunStats};
 pub use system::{MendaSystem, TransposeResult};

@@ -1,0 +1,744 @@
+//! A SparseP-style UPMEM PIM backend (arXiv:2204.00900).
+//!
+//! Where the MeNDA PU is a hardware merge tree beside the rank, SparseP's
+//! substrate is a commodity UPMEM rank: many in-order DPU cores, each with
+//! a small WRAM scratchpad, computing only on rank-local DRAM. This module
+//! models that design on the *same* cycle-level [`menda_dram`] rank and
+//! executes the same backend-agnostic [`PuJob`] descriptions, so the two
+//! architectures are compared under identical memory timing, statistics
+//! and energy accounting.
+//!
+//! The execution model is the natural SparseP mapping of the multi-way
+//! merge kernels (1D partitioning across cores, local compute, host-free
+//! rank-level combine):
+//!
+//! * **Phase A — stream-in and local sort.** The job's streams are
+//!   1D-partitioned contiguously across the rank's DPUs, balanced by
+//!   element count. Each DPU streams its partitions' blocks from rank
+//!   DRAM (pointer/vector blocks of a gated job are streamed first by the
+//!   rank dispatcher), ingests elements at [`PimConfig::elem_cpi`], merge-
+//!   sorts them locally (`n·ceil(log2 n)·sort_cpi`; sorts that overflow
+//!   WRAM pay extra MRAM-resident passes), then writes its sorted run to
+//!   the intermediate region.
+//! * **Phase B — rank-level merge and write-back.** The sorted runs are
+//!   streamed back and combined by a `d`-way merge at
+//!   [`PimConfig::merge_cpi`] cycles per input element (reducing equal
+//!   keys when the job asks for it), and the merged result is written in
+//!   the job's final output format.
+//!
+//! Differences from the MeNDA PU worth knowing when reading numbers:
+//! DPUs have no inter-core request coalescing, so blocks shared by
+//! adjacent stream partitions are fetched once per consumer
+//! (`loads_coalesced` stays 0); floating-point reduction order is
+//! per-run-then-merge rather than the root's global order, so reducing
+//! kernels (SpMV/SpGEMM) match MeNDA to tolerance while transposition is
+//! bit-identical; and concurrent host traffic
+//! ([`crate::PuConfig::host_read_interval`]) does not apply — a UPMEM
+//! rank is not host-accessible while kernels run.
+//!
+//! Both the per-cycle reference and the event-driven fast-forward path
+//! ([`crate::SimOptions::fast_forward`]) are supported with bit-identical
+//! results, using the same quiescence-skip bound as the PU.
+
+use menda_dram::{MemRequest, MemorySystem, ReqKind};
+use menda_trace::TraceReport;
+
+use crate::backend::AcceleratorBackend;
+use crate::config::{MendaConfig, PimConfig};
+use crate::job::{FinalOutput, IntermediateFormat, PuJob};
+use crate::layout::{AddressLayout, BLOCK_BYTES, PTR_BYTES};
+use crate::merge_tree::Packet;
+use crate::prefetch::{StreamDescriptor, StreamKind};
+use crate::pu::PuResult;
+use crate::stats::{IterationStats, PuStats};
+
+/// Bytes of one sorted-run element resident in WRAM during a local sort.
+const COO_ELEM_BYTES: u64 = 12;
+/// Cost multiplier of a sort pass whose working set lives in MRAM rather
+/// than WRAM (streaming MRAM accesses on a DPU are several times slower
+/// than WRAM; SparseP §3).
+const MRAM_PASS_FACTOR: u64 = 4;
+
+/// The SparseP-style UPMEM PIM design as an [`AcceleratorBackend`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PimBackend;
+
+impl AcceleratorBackend for PimBackend {
+    type Unit = PimUnit;
+    type UnitResult = PimRankResult;
+
+    fn name(&self) -> &'static str {
+        "pim"
+    }
+
+    fn frequency_mhz(&self, config: &MendaConfig) -> u64 {
+        config.pim.frequency_mhz
+    }
+
+    fn build_unit(&self, config: &MendaConfig) -> PimUnit {
+        PimUnit::new(config)
+    }
+
+    fn execute_job(&self, unit: &mut PimUnit, job: PuJob) -> PimRankResult {
+        unit.execute_job(job)
+    }
+
+    fn next_event_cycle(&self, unit: &PimUnit) -> Option<u64> {
+        unit.next_event_cycle()
+    }
+
+    fn take_trace_report(&self, unit: &mut PimUnit) -> Option<TraceReport> {
+        unit.take_trace_report()
+    }
+}
+
+/// One job's output from a PIM rank, convertible into the shared
+/// [`PuResult`] for backend-agnostic kernel assembly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PimRankResult {
+    /// Major sort keys of the merged output, ascending.
+    pub majors: Vec<u32>,
+    /// Minor sort keys (ascending within each major).
+    pub minors: Vec<u32>,
+    /// Values, aligned with the key arrays.
+    pub values: Vec<f32>,
+    /// Execution statistics: iteration 0 is phase A (stream-in + local
+    /// sort), iteration 1 phase B (rank merge + write-back).
+    pub stats: PuStats,
+}
+
+impl From<PimRankResult> for PuResult {
+    fn from(r: PimRankResult) -> PuResult {
+        PuResult {
+            majors: r.majors,
+            minors: r.minors,
+            values: r.values,
+            stats: r.stats,
+        }
+    }
+}
+
+/// One simulated UPMEM-style rank: `dpus_per_rank` DPU cores beside one
+/// cycle-level DRAM rank, plus the rank-level dispatcher/merge engine.
+#[derive(Debug)]
+pub struct PimUnit {
+    cfg: PimConfig,
+    /// DRAM bus cycles per DPU cycle as a (numerator, denominator) ratio.
+    ticks: (u64, u64),
+    layout: AddressLayout,
+    mem: MemorySystem,
+    dram_tick_accum: u64,
+    next_req_id: u64,
+    /// DPU-clock cycles elapsed across every job run on this unit.
+    cycles: u64,
+    fast_forward: bool,
+    /// Whether to emit a [`TraceReport`]; counters live on the unit.
+    traced: bool,
+    trace_loads: u64,
+    trace_stores: u64,
+    trace_sorted: u64,
+    trace_merged: u64,
+}
+
+impl PimUnit {
+    /// Creates a PIM rank with its own single-rank memory system,
+    /// mirroring [`crate::ProcessingUnit::new`]'s per-rank scoping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PIM configuration is invalid.
+    pub fn new(config: &MendaConfig) -> Self {
+        config.pim.validate();
+        let mut dram = config.dram.clone().with_channels(1).with_ranks(1);
+        dram.trace = config.trace;
+        Self {
+            cfg: config.pim.clone(),
+            ticks: (config.dram.clock_mhz, config.pim.frequency_mhz),
+            layout: AddressLayout::rank_default(),
+            mem: MemorySystem::new(dram),
+            dram_tick_accum: 0,
+            next_req_id: 0,
+            cycles: 0,
+            fast_forward: config.sim.fast_forward,
+            traced: config.trace.enabled(),
+            trace_loads: 0,
+            trace_stores: 0,
+            trace_sorted: 0,
+            trace_merged: 0,
+        }
+    }
+
+    /// The earliest future bus cycle at which this rank can change
+    /// observable state (`None` when inert) — the fast-forward seam.
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        self.mem.next_event_cycle()
+    }
+
+    /// Ends instrumentation and returns this rank's trace report (DPU
+    /// counters plus the rank's DRAM events), or `None` when tracing is
+    /// off.
+    pub fn take_trace_report(&mut self) -> Option<TraceReport> {
+        if !self.traced {
+            return None;
+        }
+        self.traced = false;
+        let mut report = TraceReport::default();
+        report.add_counter("pim.cycles", self.cycles);
+        report.add_counter("pim.blocks_loaded", self.trace_loads);
+        report.add_counter("pim.blocks_stored", self.trace_stores);
+        report.add_counter("pim.elems_sorted", self.trace_sorted);
+        report.add_counter("pim.elems_merged", self.trace_merged);
+        if let Some(dram) = self.mem.take_trace_report() {
+            report.merge(dram);
+        }
+        Some(report)
+    }
+
+    /// Executes one job on this rank: phase A (stream-in + local sorts)
+    /// then phase B (rank-level merge + write-back). A job with no
+    /// streams finishes immediately with empty output and zero
+    /// iterations, matching the MeNDA PU's empty-work accounting.
+    pub fn execute_job(&mut self, job: PuJob) -> PimRankResult {
+        let mut stats = PuStats::default();
+        if job.descriptors.is_empty() {
+            stats.dram = self.mem.stats();
+            return PimRankResult {
+                majors: Vec::new(),
+                minors: Vec::new(),
+                values: Vec::new(),
+                stats,
+            };
+        }
+        let d = self.cfg.dpus_per_rank;
+        let start_cycle = self.cycles;
+
+        // Decode stream contents up front; the DRAM simulator provides
+        // timing, `IterSource` provides data (same split as the PU).
+        let source = job.source.iter_source();
+        let mut scratch = Vec::new();
+        let mut elems: Vec<Vec<(u32, u32, f32)>> = Vec::with_capacity(job.descriptors.len());
+        for desc in &job.descriptors {
+            source.materialize_into(desc, desc.start..desc.end, &mut scratch);
+            elems.push(
+                scratch
+                    .iter()
+                    .map(|p| match *p {
+                        Packet::Nz {
+                            major,
+                            minor,
+                            value,
+                        } => (major, minor, value),
+                        Packet::Eol => unreachable!("materialized streams carry no EOL"),
+                    })
+                    .collect(),
+            );
+        }
+
+        // 1D partitioning: contiguous stream ranges per DPU, balanced by
+        // element count (SparseP's equal-nnz 1D scheme).
+        let lens: Vec<u64> = job.descriptors.iter().map(|s| s.end - s.start).collect();
+        let parts = partition_streams(&lens, d);
+
+        // ---- Phase A: stream-in, local sort, run write-back. ----
+        let dram_before = self.mem.stats();
+        let mut it_a = IterationStats::default();
+
+        // The dispatcher (tag `d`) streams pointer/vector blocks of a
+        // gated job; each DPU (tag `i`) streams its partitions' arrays.
+        // Requests interleave round-robin across cores at the rank port.
+        let mut lists: Vec<Vec<(u64, usize)>> = Vec::with_capacity(d + 1);
+        for (i, part) in parts.iter().enumerate() {
+            let mut list = Vec::new();
+            for desc in &job.descriptors[part.clone()] {
+                push_stream_blocks(&self.layout, desc, i, &mut list);
+            }
+            lists.push(list);
+        }
+        let mut gate_list = Vec::new();
+        if let Some(gate) = &job.gate {
+            for &b in &gate.blocks {
+                gate_list.push((gate.ptr_base + b * BLOCK_BYTES, d));
+                if let Some(vb) = gate.vector_base {
+                    gate_list.push((vb + b * BLOCK_BYTES, d));
+                }
+            }
+        }
+        lists.push(gate_list);
+        let reads = round_robin(lists);
+        let mut arrivals = vec![start_cycle; d + 1];
+        self.drive(&reads, false, &mut it_a, &mut arrivals);
+
+        // Each DPU computes once its own blocks (and the dispatcher's
+        // pointer stream) have arrived; the phase barrier is the slowest
+        // core.
+        let dispatch_done = arrivals[d];
+        let mut barrier = self.cycles;
+        let mut active = 0u64;
+        for (i, part) in parts.iter().enumerate() {
+            let n: u64 = lens[part.clone()].iter().sum();
+            if n == 0 {
+                continue;
+            }
+            active += 1;
+            let compute = n * self.cfg.elem_cpi + self.local_sort_cycles(n);
+            barrier = barrier.max(arrivals[i].max(dispatch_done) + compute);
+        }
+        self.advance_to(barrier);
+
+        // Local sorts: one run per non-empty DPU, in core order.
+        let mut runs: Vec<Vec<(u32, u32, f32)>> = Vec::new();
+        for part in &parts {
+            let mut run: Vec<(u32, u32, f32)> =
+                elems[part.clone()].iter().flatten().copied().collect();
+            if run.is_empty() {
+                continue;
+            }
+            run.sort_by_key(|&(ma, mi, _)| (ma, mi));
+            if job.reduce {
+                run = reduce_sorted(run);
+            }
+            runs.push(run);
+        }
+        let total_run_elems: u64 = runs.iter().map(|r| r.len() as u64).sum();
+        self.trace_sorted += total_run_elems;
+
+        // Write the sorted runs to the intermediate region (region 0 of
+        // the ping-pong COO space, in the job's intermediate format).
+        let run_blocks = self.intermediate_blocks(job.intermediate, total_run_elems);
+        self.drive(&run_blocks, true, &mut it_a, &mut arrivals);
+        it_a.cycles = self.cycles - start_cycle;
+        it_a.rounds = active;
+        it_a.nz_emitted = total_run_elems;
+        set_dram_delta(&mut it_a, &dram_before, &self.mem.stats());
+        stats.iterations.push(it_a);
+
+        // ---- Phase B: rank-level d-way merge, final write-back. ----
+        let phase_b_start = self.cycles;
+        let dram_before = self.mem.stats();
+        let mut it_b = IterationStats::default();
+        let mut merge_arrival = vec![self.cycles; 1];
+        let read_back: Vec<(u64, usize)> = run_blocks.iter().map(|&(addr, _)| (addr, 0)).collect();
+        self.drive(&read_back, false, &mut it_b, &mut merge_arrival);
+
+        let (majors, minors, values) = rank_merge(&runs, job.reduce);
+        self.trace_merged += majors.len() as u64;
+        self.advance_to(merge_arrival[0] + total_run_elems * self.cfg.merge_cpi);
+
+        let out_blocks = self.output_blocks(job.final_out, majors.len() as u64);
+        self.drive(&out_blocks, true, &mut it_b, &mut merge_arrival);
+        it_b.cycles = self.cycles - phase_b_start;
+        it_b.rounds = runs.len() as u64;
+        it_b.nz_emitted = majors.len() as u64;
+        set_dram_delta(&mut it_b, &dram_before, &self.mem.stats());
+        stats.iterations.push(it_b);
+
+        stats.dram = self.mem.stats();
+        PimRankResult {
+            majors,
+            minors,
+            values,
+            stats,
+        }
+    }
+
+    /// DPU cycles to merge-sort `n` resident elements:
+    /// `n·ceil(log2 n)·sort_cpi`, with passes whose working set exceeds
+    /// half the WRAM (double-buffered) charged [`MRAM_PASS_FACTOR`]×.
+    fn local_sort_cycles(&self, n: u64) -> u64 {
+        if n <= 1 {
+            return 0;
+        }
+        let passes = ceil_log2(n);
+        let chunk = (self.cfg.wram_bytes as u64 / COO_ELEM_BYTES / 2).max(1);
+        let chunks = n.div_ceil(chunk);
+        let spill = if chunks > 1 { ceil_log2(chunks) } else { 0 };
+        let wram = passes - spill;
+        n * wram * self.cfg.sort_cpi + n * spill * self.cfg.sort_cpi * MRAM_PASS_FACTOR
+    }
+
+    /// Block addresses of `total` intermediate-format elements in
+    /// ping-pong region 0, arrays interleaved (all tagged 0).
+    fn intermediate_blocks(&self, fmt: IntermediateFormat, total: u64) -> Vec<(u64, usize)> {
+        let region = &self.layout.coo[0];
+        let bases: &[u64] = match fmt {
+            IntermediateFormat::Coo => &region[..],
+            IntermediateFormat::Pair => &[region[0], region[2]],
+        };
+        let lists = bases
+            .iter()
+            .map(|&b| {
+                self.layout
+                    .elem_blocks(b, 0, total)
+                    .map(|a| (a, 0))
+                    .collect()
+            })
+            .collect();
+        round_robin(lists)
+    }
+
+    /// Block addresses of the final output: CSC index/value arrays plus
+    /// the column pointer array, or the dense vector (all tagged 0).
+    fn output_blocks(&self, out: FinalOutput, n_out: u64) -> Vec<(u64, usize)> {
+        let l = &self.layout;
+        match out {
+            FinalOutput::Csc { ncols } => {
+                let idx = l.elem_blocks(l.out_idx, 0, n_out).map(|a| (a, 0)).collect();
+                let val = l.elem_blocks(l.out_val, 0, n_out).map(|a| (a, 0)).collect();
+                let entries_per_block = BLOCK_BYTES / PTR_BYTES;
+                let ptr = (0..(ncols + 1).div_ceil(entries_per_block))
+                    .map(|b| (l.out_ptr + b * BLOCK_BYTES, 0))
+                    .collect();
+                round_robin(vec![idx, val, ptr])
+            }
+            FinalOutput::Dense { rows } => {
+                l.elem_blocks(l.out_val, 0, rows).map(|a| (a, 0)).collect()
+            }
+        }
+    }
+
+    /// Issues `reqs` through the rank port in order, one per DPU cycle
+    /// when the channel accepts, ticking DRAM at the clock ratio, until
+    /// every request has been issued and the rank is idle. Records each
+    /// read's completion cycle in `arrivals[tag]` (last arrival wins —
+    /// callers key tags so that the *latest* arrival is what gates
+    /// compute). With fast-forwarding on, provably event-free spans are
+    /// skipped with the same bound as the PU; results are bit-identical.
+    fn drive(
+        &mut self,
+        reqs: &[(u64, usize)],
+        write: bool,
+        it: &mut IterationStats,
+        arrivals: &mut [u64],
+    ) {
+        let (num, den) = self.ticks;
+        let id_base = self.next_req_id;
+        let mut next = 0usize;
+        loop {
+            if next >= reqs.len() && self.mem.is_idle() {
+                break;
+            }
+            if self.fast_forward {
+                let can_issue = next < reqs.len() && {
+                    let probe_id = self.next_req_id;
+                    let probe = if write {
+                        MemRequest::write(reqs[next].0, probe_id)
+                    } else {
+                        MemRequest::read(reqs[next].0, probe_id)
+                    };
+                    self.mem.can_accept(&probe)
+                };
+                let resp_ready = self
+                    .mem
+                    .next_response_at()
+                    .is_some_and(|t| t <= self.mem.now());
+                if !can_issue && !resp_ready {
+                    // Longest skip that keeps the DRAM side unobserved
+                    // (same bound as the PU's quiescence skip).
+                    let ev = self
+                        .mem
+                        .next_event_cycle()
+                        .expect("PIM deadlock suspected: quiescent with no pending events");
+                    let span = (ev - self.mem.now()) * den;
+                    let n = 1 + (span - 1 - self.dram_tick_accum) / num;
+                    let ticks = self.dram_tick_accum + n * num;
+                    self.mem.advance(ticks / den);
+                    self.dram_tick_accum = ticks % den;
+                    self.cycles += n;
+                    continue;
+                }
+            }
+            self.cycles += 1;
+            // 1. Responses that completed by now.
+            while let Some(resp) = self.mem.pop_response() {
+                if resp.kind == ReqKind::Read {
+                    let tag = reqs[(resp.id - id_base) as usize].1;
+                    arrivals[tag] = self.cycles;
+                }
+            }
+            // 2. Issue the next request if the channel accepts it.
+            if next < reqs.len() {
+                let (addr, _) = reqs[next];
+                let req = if write {
+                    MemRequest::write(addr, self.next_req_id)
+                } else {
+                    MemRequest::read(addr, self.next_req_id)
+                };
+                // Probe before enqueueing so a full queue is not counted
+                // as a rejection (the fast-forward path never attempts
+                // one; statistics must match it bit for bit).
+                if self.mem.can_accept(&req) && self.mem.try_enqueue(req) {
+                    self.next_req_id += 1;
+                    next += 1;
+                    if write {
+                        it.stores_issued += 1;
+                        self.trace_stores += 1;
+                    } else {
+                        it.loads_issued += 1;
+                        self.trace_loads += 1;
+                    }
+                }
+            }
+            // 3. DRAM clock (bus runs num : den faster than the DPUs).
+            self.dram_tick_accum += num;
+            while self.dram_tick_accum >= den {
+                self.mem.tick();
+                self.dram_tick_accum -= den;
+            }
+        }
+    }
+
+    /// Advances to DPU cycle `cycle` during a compute-only span. The rank
+    /// is idle here, so the tick-exact [`MemorySystem::advance`] is
+    /// bit-identical to per-cycle ticking in both execution disciplines.
+    fn advance_to(&mut self, cycle: u64) {
+        if cycle <= self.cycles {
+            return;
+        }
+        let (num, den) = self.ticks;
+        let ticks = self.dram_tick_accum + (cycle - self.cycles) * num;
+        self.mem.advance(ticks / den);
+        self.dram_tick_accum = ticks % den;
+        self.cycles = cycle;
+    }
+}
+
+/// Ceiling of log2 for `n >= 1`.
+fn ceil_log2(n: u64) -> u64 {
+    (64 - (n - 1).leading_zeros() as u64).max(1) * u64::from(n > 1)
+}
+
+/// Contiguous stream ranges per DPU, balanced by cumulative element
+/// count; the last core takes any remainder.
+fn partition_streams(lens: &[u64], d: usize) -> Vec<std::ops::Range<usize>> {
+    let total: u64 = lens.iter().sum();
+    let mut parts = Vec::with_capacity(d);
+    let mut s = 0usize;
+    let mut acc = 0u64;
+    for k in 0..d {
+        let start = s;
+        let target = total * (k as u64 + 1) / d as u64;
+        while s < lens.len() && (acc < target || k + 1 == d) {
+            acc += lens[s];
+            s += 1;
+        }
+        parts.push(start..s);
+    }
+    parts
+}
+
+/// Appends the block loads of one stream (arrays interleaved) tagged with
+/// the consuming DPU. Mirrors the PU prefetcher's per-kind array bases.
+fn push_stream_blocks(
+    layout: &AddressLayout,
+    desc: &StreamDescriptor,
+    tag: usize,
+    out: &mut Vec<(u64, usize)>,
+) {
+    let bases: Vec<u64> = match desc.kind {
+        StreamKind::CsrRow { .. } | StreamKind::SpmvCol { .. } => {
+            vec![layout.col_idx, layout.values]
+        }
+        StreamKind::Coo { region } => layout.coo[region as usize].to_vec(),
+        StreamKind::Pair { region } => {
+            let r = &layout.coo[region as usize];
+            vec![r[0], r[2]]
+        }
+    };
+    let lists = bases
+        .iter()
+        .map(|&b| {
+            layout
+                .elem_blocks(b, desc.start, desc.end)
+                .map(|a| (a, tag))
+                .collect()
+        })
+        .collect();
+    out.extend(round_robin(lists));
+}
+
+/// Interleaves several request lists one entry at a time — the rank port
+/// services cores (or arrays) round-robin.
+fn round_robin(lists: Vec<Vec<(u64, usize)>>) -> Vec<(u64, usize)> {
+    let mut iters: Vec<_> = lists.into_iter().map(|l| l.into_iter()).collect();
+    let mut out = Vec::new();
+    loop {
+        let mut any = false;
+        for it in &mut iters {
+            if let Some(x) = it.next() {
+                out.push(x);
+                any = true;
+            }
+        }
+        if !any {
+            return out;
+        }
+    }
+}
+
+/// Sums adjacent elements with equal (major, minor) keys in a sorted run.
+fn reduce_sorted(run: Vec<(u32, u32, f32)>) -> Vec<(u32, u32, f32)> {
+    let mut out: Vec<(u32, u32, f32)> = Vec::with_capacity(run.len());
+    for (ma, mi, v) in run {
+        match out.last_mut() {
+            Some(last) if last.0 == ma && last.1 == mi => last.2 += v,
+            _ => out.push((ma, mi, v)),
+        }
+    }
+    out
+}
+
+/// Stable `d`-way merge of sorted runs by (major, minor) — ties go to the
+/// earliest run, so reduction order is deterministic for any thread count.
+fn rank_merge(runs: &[Vec<(u32, u32, f32)>], reduce: bool) -> (Vec<u32>, Vec<u32>, Vec<f32>) {
+    let mut pos = vec![0usize; runs.len()];
+    let mut majors = Vec::new();
+    let mut minors = Vec::new();
+    let mut values = Vec::new();
+    loop {
+        let mut best: Option<(u32, u32, usize)> = None;
+        for (r, run) in runs.iter().enumerate() {
+            if let Some(&(ma, mi, _)) = run.get(pos[r]) {
+                if best.is_none_or(|(bma, bmi, _)| (ma, mi) < (bma, bmi)) {
+                    best = Some((ma, mi, r));
+                }
+            }
+        }
+        let Some((ma, mi, r)) = best else {
+            return (majors, minors, values);
+        };
+        let v = runs[r][pos[r]].2;
+        pos[r] += 1;
+        if reduce && majors.last() == Some(&ma) && minors.last() == Some(&mi) {
+            *values.last_mut().expect("non-empty on duplicate key") += v;
+        } else {
+            majors.push(ma);
+            minors.push(mi);
+            values.push(v);
+        }
+    }
+}
+
+/// Stores the phase's DRAM row-locality deltas into `it` (the same
+/// per-iteration accounting the PU keeps).
+fn set_dram_delta(
+    it: &mut IterationStats,
+    before: &menda_dram::DramStats,
+    after: &menda_dram::DramStats,
+) {
+    it.dram_row_hits = after.row_hits - before.row_hits;
+    it.dram_row_misses = after.row_misses - before.row_misses;
+    it.dram_row_conflicts = after.row_conflicts - before.row_conflicts;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::transpose_job;
+    use menda_sparse::gen;
+
+    fn pim_transpose(cfg: &MendaConfig, m: &menda_sparse::CsrMatrix) -> PimRankResult {
+        let mut unit = PimUnit::new(cfg);
+        unit.execute_job(transpose_job(m.clone(), 0))
+    }
+
+    #[test]
+    fn transpose_output_matches_csc_order() {
+        let m = gen::rmat(64, 512, gen::RmatParams::PAPER, 11);
+        let cfg = MendaConfig::small_test();
+        let r = pim_transpose(&cfg, &m);
+        let csc = m.to_csc();
+        // Flatten the expected CSC into (col, row, val) triples.
+        let mut expect = Vec::new();
+        for c in 0..m.ncols() {
+            for e in csc.col_ptr()[c]..csc.col_ptr()[c + 1] {
+                expect.push((c as u32, csc.row_idx()[e], csc.values()[e]));
+            }
+        }
+        let got: Vec<(u32, u32, f32)> = r
+            .majors
+            .iter()
+            .zip(&r.minors)
+            .zip(&r.values)
+            .map(|((&ma, &mi), &v)| (ma, mi, v))
+            .collect();
+        assert_eq!(got, expect);
+        assert!(r.stats.total_cycles() > 0);
+        assert_eq!(r.stats.num_iterations(), 2);
+        assert!(r.stats.total_traffic_bytes() > 0);
+    }
+
+    #[test]
+    fn empty_job_is_free() {
+        let cfg = MendaConfig::small_test();
+        let r = pim_transpose(&cfg, &menda_sparse::CsrMatrix::zeros(16, 16));
+        assert!(r.majors.is_empty());
+        assert_eq!(r.stats.num_iterations(), 0);
+        assert_eq!(r.stats.total_cycles(), 0);
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical() {
+        let m = gen::rmat(64, 768, gen::RmatParams::PAPER, 23);
+        let base = MendaConfig::small_test();
+        let ff = pim_transpose(&base.clone().with_fast_forward(true), &m);
+        let reference = pim_transpose(&base.clone().with_fast_forward(false), &m);
+        assert_eq!(ff, reference);
+    }
+
+    #[test]
+    fn more_dpus_do_not_change_the_output() {
+        let m = gen::uniform(48, 600, 5);
+        let base = MendaConfig::small_test();
+        let a = pim_transpose(
+            &base.clone().with_pim(PimConfig::small_test().with_dpus(2)),
+            &m,
+        );
+        let b = pim_transpose(
+            &base.clone().with_pim(PimConfig::small_test().with_dpus(16)),
+            &m,
+        );
+        assert_eq!(a.majors, b.majors);
+        assert_eq!(a.minors, b.minors);
+        assert_eq!(a.values, b.values);
+    }
+
+    #[test]
+    fn partition_is_contiguous_and_complete() {
+        let lens = [5u64, 0, 9, 1, 1, 7, 3];
+        let parts = partition_streams(&lens, 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].start, 0);
+        assert_eq!(parts.last().unwrap().end, lens.len());
+        for w in parts.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn sort_cost_charges_wram_spills() {
+        let cfg = MendaConfig::small_test();
+        let unit = PimUnit::new(&cfg);
+        assert_eq!(unit.local_sort_cycles(1), 0);
+        let small = unit.local_sort_cycles(1000);
+        assert_eq!(small, 1000 * 10 * cfg.pim.sort_cpi);
+        // 10_000 elements exceed the 64 KiB WRAM working set, so some
+        // passes pay the MRAM factor.
+        let big = unit.local_sort_cycles(10_000);
+        assert!(big > 10_000 * 14 * cfg.pim.sort_cpi);
+    }
+
+    #[test]
+    fn rank_merge_reduces_across_runs() {
+        let runs = vec![
+            vec![(1, 1, 1.0), (2, 0, 2.0)],
+            vec![(1, 1, 3.0), (3, 0, 4.0)],
+        ];
+        let (ma, mi, v) = rank_merge(&runs, true);
+        assert_eq!(ma, vec![1, 2, 3]);
+        assert_eq!(mi, vec![1, 0, 0]);
+        assert_eq!(v, vec![4.0, 2.0, 4.0]);
+        let (ma, _, v) = rank_merge(&runs, false);
+        assert_eq!(ma, vec![1, 1, 2, 3]);
+        assert_eq!(v, vec![1.0, 3.0, 2.0, 4.0]);
+    }
+}

@@ -63,7 +63,9 @@ pub enum IterSource<'a> {
 impl IterSource<'_> {
     /// Decodes elements `range` of stream `desc` into `out` (cleared
     /// first; the caller's buffer keeps its allocation across chunks).
-    fn materialize_into(
+    /// Shared by every backend that consumes [`crate::job::PuJob`]s: the
+    /// DRAM simulator provides timing, this provides contents.
+    pub(crate) fn materialize_into(
         &self,
         desc: &StreamDescriptor,
         range: std::ops::Range<u64>,
@@ -374,6 +376,15 @@ impl ProcessingUnit {
             report.merge(dram);
         }
         Some(report)
+    }
+
+    /// The earliest future bus cycle at which this PU's rank can change
+    /// observable state (`None` when the rank is inert) — the same event
+    /// bound the fast-forward quiescence skip inside
+    /// [`ProcessingUnit::run_rounds`] jumps by, exposed for the
+    /// [`crate::backend::AcceleratorBackend`] seam.
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        self.mem.next_event_cycle()
     }
 
     /// The DRAM command stream of this PU's rank (empty unless

@@ -21,6 +21,7 @@
 use menda_sparse::partition::RowPartition;
 use menda_sparse::CsrMatrix;
 
+use crate::backend::{AcceleratorBackend, BackendKind, MendaBackend};
 use crate::config::MendaConfig;
 use crate::engine::{Engine, KernelSpec};
 use crate::job::{FinalOutput, IntermediateFormat, JobSource, PuJob};
@@ -102,6 +103,23 @@ pub fn run_with_options(
     x: &[f32],
     options: SpmvOptions,
 ) -> SpmvResult {
+    run_on(config, a, x, options, MendaBackend)
+}
+
+/// [`run_with_options`] on an arbitrary [`AcceleratorBackend`]. Output
+/// values match the MeNDA backend to floating-point tolerance (reduction
+/// order is backend-specific), not bit for bit.
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.ncols()`.
+pub fn run_on<B: AcceleratorBackend>(
+    config: &MendaConfig,
+    a: &CsrMatrix,
+    x: &[f32],
+    options: SpmvOptions,
+    backend: B,
+) -> SpmvResult {
     assert_eq!(x.len(), a.ncols(), "vector length must equal ncols");
     let spec = SpmvSpec {
         a,
@@ -109,7 +127,21 @@ pub fn run_with_options(
         partition: RowPartition::by_nnz(a, config.num_pus()),
         options,
     };
-    Engine::new(config).run(&spec)
+    Engine::with_backend(config, backend).run(&spec)
+}
+
+/// Runtime-selected backend variant of [`run_with_options`].
+pub fn run_with_backend(
+    config: &MendaConfig,
+    a: &CsrMatrix,
+    x: &[f32],
+    options: SpmvOptions,
+    kind: BackendKind,
+) -> SpmvResult {
+    match kind {
+        BackendKind::Menda => run_on(config, a, x, options, MendaBackend),
+        BackendKind::Pim => run_on(config, a, x, options, crate::pim::PimBackend),
+    }
 }
 
 /// SpMV as an engine kernel: one gated scaled-column merge job per

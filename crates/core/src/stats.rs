@@ -80,12 +80,16 @@ impl PuStats {
 /// reduction every kernel driver previously reimplemented: execution time
 /// is the *maximum* over PUs (they run concurrently, §3.5), traffic is the
 /// *sum*, and the per-PU breakdown is kept for reporting.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RunStats {
-    /// Execution time in PU cycles (maximum over PUs).
+    /// Execution time in device cycles (maximum over PUs).
     pub cycles: u64,
-    /// Execution time in seconds at the PU clock.
+    /// Execution time in seconds at the backend's device clock.
     pub seconds: f64,
+    /// The accelerator backend that produced these statistics (see
+    /// [`crate::backend::AcceleratorBackend::name`]; `"menda"` for the
+    /// default merge-tree PU).
+    pub backend: &'static str,
     /// Per-PU statistics, indexed by PU id.
     pub pu_stats: Vec<PuStats>,
     /// Aggregated instrumentation report across PUs, present only when
@@ -101,18 +105,28 @@ impl PartialEq for RunStats {
     fn eq(&self, other: &Self) -> bool {
         self.cycles == other.cycles
             && self.seconds == other.seconds
+            && self.backend == other.backend
             && self.pu_stats == other.pu_stats
     }
 }
 
+impl Default for RunStats {
+    fn default() -> Self {
+        Self::collect(800, Vec::new())
+    }
+}
+
 impl RunStats {
-    /// Aggregates per-PU statistics at the given PU clock frequency.
+    /// Aggregates per-PU statistics at the given device clock frequency.
+    /// The backend label defaults to `"menda"`; the engine overwrites it
+    /// with the executing backend's name.
     pub fn collect(frequency_mhz: u64, pu_stats: Vec<PuStats>) -> Self {
         let cycles = pu_stats.iter().map(|s| s.total_cycles()).max().unwrap_or(0);
         let seconds = cycles as f64 / (frequency_mhz as f64 * 1e6);
         Self {
             cycles,
             seconds,
+            backend: "menda",
             pu_stats,
             trace: None,
         }

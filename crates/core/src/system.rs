@@ -5,6 +5,7 @@
 use menda_sparse::partition::RowPartition;
 use menda_sparse::{CscMatrix, CsrMatrix};
 
+use crate::backend::{AcceleratorBackend, BackendKind, MendaBackend};
 use crate::config::MendaConfig;
 use crate::engine::{Engine, KernelSpec};
 use crate::job::{self, PuJob};
@@ -94,11 +95,32 @@ impl MendaSystem {
     /// runs each PU's multi-iteration merge (§3.1) on its own rank via the
     /// execution engine, and assembles the global CSC output.
     pub fn transpose(&mut self, matrix: &CsrMatrix) -> TransposeResult {
+        self.transpose_on(matrix, MendaBackend)
+    }
+
+    /// Like [`MendaSystem::transpose`] but simulating `backend` beside
+    /// each rank in place of the MeNDA PU. Transposition keys are unique,
+    /// so the assembled output is bit-identical across backends; only the
+    /// timing and traffic statistics differ.
+    pub fn transpose_on<B: AcceleratorBackend>(
+        &mut self,
+        matrix: &CsrMatrix,
+        backend: B,
+    ) -> TransposeResult {
         let spec = TransposeSpec {
             matrix,
             partition: RowPartition::by_nnz(matrix, self.config.num_pus()),
         };
-        Engine::new(&self.config).run(&spec)
+        Engine::with_backend(&self.config, backend).run(&spec)
+    }
+
+    /// Runtime-selected backend variant of [`MendaSystem::transpose`],
+    /// for drivers that pick the accelerator from a flag.
+    pub fn transpose_with(&mut self, matrix: &CsrMatrix, kind: BackendKind) -> TransposeResult {
+        match kind {
+            BackendKind::Menda => self.transpose_on(matrix, MendaBackend),
+            BackendKind::Pim => self.transpose_on(matrix, crate::pim::PimBackend),
+        }
     }
 }
 
