@@ -2,136 +2,275 @@
 //! simulation itself, with the event-driven fast-forward core on vs. the
 //! per-cycle reference path.
 //!
-//! For transposition and SpMV on N1/N4/P1/P4 this times both paths,
-//! verifies they agree bit-for-bit (panicking on divergence — the CI
-//! `bench` job relies on that as its correctness gate), and writes the
-//! measurements to `results/BENCH_5.json`.
+//! Two tiers, covering all sixteen Table 3 matrices (N1–N8, P1–P8):
+//!
+//! * **Oracle tier** — transposition and SpMV run on *both* paths and
+//!   must agree bit-for-bit in outputs, cycles and statistics (panicking
+//!   on divergence — the CI `bench`/`bench-scale` jobs rely on that as
+//!   their correctness gate). The reference path is only tractable on
+//!   reduced matrices, so this tier never runs finer than 1/16 scale.
+//! * **Measured tier** — the requested `--scale` is honoured exactly.
+//!   At 1/16 or coarser the oracle runs double as the measurement; finer
+//!   (toward the paper's full sizes, `--scale 1`) the measured runs are
+//!   fast-forward only, each verified functionally (transposition
+//!   against [`menda_sparse::CsrMatrix::to_csc`], SpMV against the
+//!   functional golden [`menda_sparse::CsrMatrix::spmv`]).
+//!
+//! Writes `results/BENCH_7.json` with per-run cycles/sec and the
+//! fast-forward geomean relative to the reference-path geomean.
+
+use std::path::Path;
 
 use menda_core::{spmv, MendaConfig, MendaSystem};
 use menda_sparse::gen;
 use menda_sparse::rng::StdRng;
+use menda_sparse::CsrMatrix;
 
 use crate::timing;
 use crate::util::{self, geomean, Scale, Table};
+
+/// Every Table 3 matrix, uniform and power-law.
+const MATRICES: [&str; 16] = [
+    "N1", "N2", "N3", "N4", "N5", "N6", "N7", "N8", "P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8",
+];
+
+/// The oracle tier never runs coarser than this divisor: the per-cycle
+/// reference path on full-size matrices would take hours.
+const ORACLE_MAX_FACTOR: usize = 16;
 
 struct Measurement {
     matrix: &'static str,
     kernel: &'static str,
     cycles: u64,
-    ref_wall_s: f64,
+    /// Reference-path wall time; `None` for fast-forward-only runs.
+    ref_wall_s: Option<f64>,
     ff_wall_s: f64,
 }
 
 impl Measurement {
-    fn speedup(&self) -> f64 {
-        if self.ff_wall_s > 0.0 {
-            self.ref_wall_s / self.ff_wall_s
-        } else {
-            f64::INFINITY
-        }
+    fn speedup(&self) -> Option<f64> {
+        self.ref_wall_s.map(|r| {
+            if self.ff_wall_s > 0.0 {
+                r / self.ff_wall_s
+            } else {
+                f64::INFINITY
+            }
+        })
+    }
+
+    fn ff_cps(&self) -> f64 {
+        self.cycles as f64 / self.ff_wall_s.max(1e-12)
+    }
+
+    fn ref_cps(&self) -> Option<f64> {
+        self.ref_wall_s.map(|r| self.cycles as f64 / r.max(1e-12))
     }
 
     fn json(&self) -> String {
-        format!(
+        let mut s = format!(
             concat!(
                 "    {{\"matrix\": \"{}\", \"kernel\": \"{}\", \"sim_cycles\": {}, ",
-                "\"reference_wall_s\": {:.6}, \"fast_forward_wall_s\": {:.6}, ",
-                "\"speedup\": {:.3}, \"reference_cycles_per_sec\": {:.0}, ",
-                "\"fast_forward_cycles_per_sec\": {:.0}}}"
+                "\"fast_forward_wall_s\": {:.6}, \"fast_forward_cycles_per_sec\": {:.0}"
             ),
             self.matrix,
             self.kernel,
             self.cycles,
-            self.ref_wall_s,
             self.ff_wall_s,
-            self.speedup(),
-            self.cycles as f64 / self.ref_wall_s.max(1e-12),
-            self.cycles as f64 / self.ff_wall_s.max(1e-12),
-        )
+            self.ff_cps(),
+        );
+        if let (Some(r), Some(cps), Some(sp)) = (self.ref_wall_s, self.ref_cps(), self.speedup()) {
+            s.push_str(&format!(
+                ", \"reference_wall_s\": {r:.6}, \"reference_cycles_per_sec\": {cps:.0}, \"speedup\": {sp:.3}"
+            ));
+        }
+        s.push('}');
+        s
     }
 }
 
-/// Runs the benchmark, writes `BENCH_5.json`, and returns the report.
+/// The paper configuration pinned to one host thread, so the two paths'
+/// wall clocks are directly comparable (no scheduler jitter across the 8
+/// PU workers).
+fn cfg(fast: bool) -> MendaConfig {
+    MendaConfig::paper().with_threads(1).with_fast_forward(fast)
+}
+
+/// Deterministic per-matrix input vector for SpMV.
+fn x_vector(m: &CsrMatrix, seed: u64) -> Vec<f32> {
+    (0..m.ncols())
+        .map(|i| ((i as u64).wrapping_mul(2654435761).wrapping_add(seed) % 17) as f32 * 0.25 - 2.0)
+        .collect()
+}
+
+/// Oracle runs for one matrix: both kernels on both paths, asserting
+/// bit-identity. Returns the timed measurements.
+fn oracle_runs(name: &'static str, m: &CsrMatrix, seed: u64) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    let (ref_wall, reference) = timing::time(1, || MendaSystem::new(cfg(false)).transpose(m));
+    let (ff_wall, fast) = timing::time(1, || MendaSystem::new(cfg(true)).transpose(m));
+    assert_eq!(reference.output, m.to_csc(), "{name}: wrong transpose");
+    assert!(
+        reference.output == fast.output
+            && reference.cycles == fast.cycles
+            && reference.pu_stats == fast.pu_stats,
+        "{name}: fast-forward transposition diverged from the per-cycle reference"
+    );
+    out.push(Measurement {
+        matrix: name,
+        kernel: "transpose",
+        cycles: fast.cycles,
+        ref_wall_s: Some(ref_wall.as_secs_f64()),
+        ff_wall_s: ff_wall.as_secs_f64(),
+    });
+
+    let x = x_vector(m, seed);
+    let (ref_wall, reference) = timing::time(1, || spmv::run(&cfg(false), m, &x));
+    let (ff_wall, fast) = timing::time(1, || spmv::run(&cfg(true), m, &x));
+    assert!(
+        reference == fast,
+        "{name}: fast-forward SpMV diverged from the per-cycle reference"
+    );
+    out.push(Measurement {
+        matrix: name,
+        kernel: "spmv",
+        cycles: fast.cycles,
+        ref_wall_s: Some(ref_wall.as_secs_f64()),
+        ff_wall_s: ff_wall.as_secs_f64(),
+    });
+    out
+}
+
+/// Fast-forward-only runs for one matrix, each functionally verified
+/// (the bit-identity oracle for the same seeds runs at the oracle tier).
+fn measured_runs(name: &'static str, m: &CsrMatrix, seed: u64) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    let (ff_wall, fast) = timing::time(1, || MendaSystem::new(cfg(true)).transpose(m));
+    assert_eq!(fast.output, m.to_csc(), "{name}: wrong transpose");
+    out.push(Measurement {
+        matrix: name,
+        kernel: "transpose",
+        cycles: fast.cycles,
+        ref_wall_s: None,
+        ff_wall_s: ff_wall.as_secs_f64(),
+    });
+
+    let x = x_vector(m, seed);
+    let (ff_wall, fast) = timing::time(1, || spmv::run(&cfg(true), m, &x));
+    let golden = m.spmv(&x);
+    assert_eq!(fast.y.len(), golden.len(), "{name}: wrong SpMV length");
+    for (i, (got, want)) in fast.y.iter().zip(&golden).enumerate() {
+        assert!(
+            (got - want).abs() <= 1e-3 * want.abs().max(1.0),
+            "{name}: SpMV row {i}: got {got}, want {want}"
+        );
+    }
+    out.push(Measurement {
+        matrix: name,
+        kernel: "spmv",
+        cycles: fast.cycles,
+        ref_wall_s: None,
+        ff_wall_s: ff_wall.as_secs_f64(),
+    });
+    out
+}
+
+/// Runs the benchmark at the scale given on the command line, writes
+/// `BENCH_7.json` into the shared results directory, and returns the
+/// report.
 ///
 /// # Panics
 ///
-/// Panics if any fast-forwarded run diverges from its per-cycle
-/// reference in output, cycle count or statistics.
+/// Panics if any oracle run diverges between the two paths, or any
+/// measured run fails functional verification.
 pub fn run(scale: Scale) -> String {
-    // At the 1/64 smoke scale the scaled matrices finish in a few
-    // milliseconds and never develop the deep-queue phases the
-    // fast-forward core targets, so the measurement is all noise. The
-    // benchmark therefore never runs coarser than 1/16; an explicit
-    // `--scale 8` (or larger matrices) is honoured as-is.
-    let factor = scale.factor().min(16);
+    run_to(scale, &util::results_dir())
+}
+
+/// Like [`run`], but writes the artifact into `dir` (used by the smoke
+/// tests to keep scratch output out of `results/`).
+pub fn run_to(scale: Scale, dir: &Path) -> String {
+    let factor = scale.factor();
+    let oracle_factor = factor.max(ORACLE_MAX_FACTOR);
+    let two_tier = oracle_factor != factor;
+
     let mut rng = StdRng::seed_from_u64(0xBE5C);
-    let mut measurements = Vec::new();
-    for name in ["N1", "N4", "P1", "P4"] {
-        let m = gen::table3_spec(name)
-            .expect("Table 3 entry")
-            .generate_scaled(factor, rng.next_u64());
-        // One host thread so the two paths' wall clocks are directly
-        // comparable (no scheduler jitter across the 8 PU workers).
-        let cfg = |fast: bool| MendaConfig::paper().with_threads(1).with_fast_forward(fast);
-
-        let (ref_wall, reference) = timing::time(1, || MendaSystem::new(cfg(false)).transpose(&m));
-        let (ff_wall, fast) = timing::time(1, || MendaSystem::new(cfg(true)).transpose(&m));
-        assert_eq!(reference.output, m.to_csc(), "{name}: wrong transpose");
-        assert!(
-            reference.output == fast.output
-                && reference.cycles == fast.cycles
-                && reference.pu_stats == fast.pu_stats,
-            "{name}: fast-forward transposition diverged from the per-cycle reference"
-        );
-        measurements.push(Measurement {
-            matrix: name,
-            kernel: "transpose",
-            cycles: fast.cycles,
-            ref_wall_s: ref_wall.as_secs_f64(),
-            ff_wall_s: ff_wall.as_secs_f64(),
-        });
-
-        let x: Vec<f32> = (0..m.ncols())
-            .map(|_| rng.random_range(0..9) as f32 - 4.0)
+    let mut oracle = Vec::new();
+    let mut measured = Vec::new();
+    for name in MATRICES {
+        let spec = gen::table3_spec(name).expect("Table 3 entry");
+        // Seeds are drawn in a fixed order so each tier's matrices are
+        // reproducible regardless of the other tier.
+        let seed_o = rng.next_u64();
+        let seed_m = rng.next_u64();
+        let xseed = rng.next_u64();
+        let mo = spec.generate_scaled(oracle_factor, seed_o);
+        oracle.extend(oracle_runs(name, &mo, xseed));
+        if two_tier {
+            let mm = spec.generate_scaled(factor, seed_m);
+            measured.extend(measured_runs(name, &mm, xseed));
+        }
+    }
+    if !two_tier {
+        measured = oracle
+            .iter()
+            .map(|m| Measurement {
+                matrix: m.matrix,
+                kernel: m.kernel,
+                cycles: m.cycles,
+                ref_wall_s: m.ref_wall_s,
+                ff_wall_s: m.ff_wall_s,
+            })
             .collect();
-        let (ref_wall, reference) = timing::time(1, || spmv::run(&cfg(false), &m, &x));
-        let (ff_wall, fast) = timing::time(1, || spmv::run(&cfg(true), &m, &x));
-        assert!(
-            reference == fast,
-            "{name}: fast-forward SpMV diverged from the per-cycle reference"
-        );
-        measurements.push(Measurement {
-            matrix: name,
-            kernel: "spmv",
-            cycles: fast.cycles,
-            ref_wall_s: ref_wall.as_secs_f64(),
-            ff_wall_s: ff_wall.as_secs_f64(),
-        });
     }
 
-    let overall = geomean(
-        &measurements
+    // The headline ratio: fast-forward throughput at the requested scale
+    // vs the per-cycle reference path's throughput (oracle tier — the
+    // only tier where running the reference is tractable).
+    let ref_geomean_cps = geomean(
+        &oracle
             .iter()
-            .map(Measurement::speedup)
+            .filter_map(Measurement::ref_cps)
             .collect::<Vec<_>>(),
     );
-    let json = format!
-        (
-        "{{\n  \"experiment\": \"bench\",\n  \"scale\": {},\n  \"geomean_speedup\": {:.3},\n  \"divergence\": false,\n  \"runs\": [\n{}\n  ]\n}}\n",
+    let ff_geomean_cps = geomean(&measured.iter().map(Measurement::ff_cps).collect::<Vec<_>>());
+    // The oracle tier's own fast-forward geomean: scale-independent of
+    // the measured tier, so the CI `bench-scale` job (which reruns only
+    // the oracle tier) can gate on it as a throughput floor.
+    let oracle_ff_geomean_cps =
+        geomean(&oracle.iter().map(Measurement::ff_cps).collect::<Vec<_>>());
+    let vs_reference = ff_geomean_cps / ref_geomean_cps.max(1e-12);
+
+    let json = format!(
+        concat!(
+            "{{\n  \"experiment\": \"bench\",\n  \"scale\": {},\n  \"oracle_scale\": {},\n",
+            "  \"divergence\": false,\n  \"reference_geomean_cycles_per_sec\": {:.0},\n",
+            "  \"fast_forward_geomean_cycles_per_sec\": {:.0},\n",
+            "  \"oracle_fast_forward_geomean_cycles_per_sec\": {:.0},\n",
+            "  \"throughput_vs_reference_path\": {:.3},\n  \"runs\": [\n{}\n  ],\n",
+            "  \"oracle_runs\": [\n{}\n  ]\n}}\n"
+        ),
         factor,
-        overall,
-        measurements
+        oracle_factor,
+        ref_geomean_cps,
+        ff_geomean_cps,
+        oracle_ff_geomean_cps,
+        vs_reference,
+        measured
+            .iter()
+            .map(Measurement::json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+        oracle
             .iter()
             .map(Measurement::json)
             .collect::<Vec<_>>()
             .join(",\n"),
     );
-    let path = util::write_artifact(&util::results_dir(), "BENCH_5.json", &json)
-        .expect("write BENCH_5.json");
+    let path = util::write_artifact(dir, "BENCH_7.json", &json).expect("write BENCH_7.json");
 
     let mut out = format!(
-        "Simulator benchmark: event-driven fast-forward vs per-cycle reference\n(paper 8-PU system, 1/{} scale; both paths verified bit-identical)\n\n",
-        factor
+        "Simulator benchmark: event-driven fast-forward vs per-cycle reference\n\
+         (paper 8-PU system; measured at 1/{factor} scale, oracle bit-identity at 1/{oracle_factor} scale)\n\n",
     );
     let mut t = Table::new(&[
         "matrix",
@@ -139,21 +278,26 @@ pub fn run(scale: Scale) -> String {
         "sim cycles",
         "reference",
         "fast-fwd",
+        "Mcyc/s",
         "speedup",
     ]);
-    for m in &measurements {
+    for m in &measured {
         t.row(&[
             m.matrix.to_string(),
             m.kernel.to_string(),
             format!("{}", m.cycles),
-            util::fmt_time(m.ref_wall_s),
+            m.ref_wall_s.map_or("-".into(), util::fmt_time),
             util::fmt_time(m.ff_wall_s),
-            format!("{:.2}x", m.speedup()),
+            format!("{:.2}", m.ff_cps() / 1e6),
+            m.speedup().map_or("-".into(), |s| format!("{s:.2}x")),
         ]);
     }
     out.push_str(&t.render());
     out.push_str(&format!(
-        "\nGeomean wall-clock speedup: {overall:.2}x\nWrote {}\n",
+        "\nFast-forward geomean: {:.0} cycles/sec — {:.1}x the reference path's {:.0} cycles/sec\nWrote {}\n",
+        ff_geomean_cps,
+        vs_reference,
+        ref_geomean_cps,
         path.display()
     ));
     out

@@ -176,6 +176,31 @@ fn trace_writes_valid_artifacts_and_full_table() {
 }
 
 #[test]
+fn bench_honours_scale_and_writes_artifact() {
+    let dir = std::env::temp_dir().join("menda-bench-smoke");
+    let _ = std::fs::remove_dir_all(&dir);
+    // Two distinct --scale values, both coarser than the oracle floor so
+    // every run is an oracle run: the report must echo the requested
+    // scale, and run_to validates bit-identity between the fast-forward
+    // and reference paths internally (panicking on divergence).
+    for scale in [Scale(512), Scale(256)] {
+        let r = experiments::bench::run_to(scale, &dir);
+        let factor = scale.factor();
+        assert!(
+            r.contains(&format!("measured at 1/{factor} scale")),
+            "--scale {factor} not honoured:\n{r}"
+        );
+        for marker in ["N1", "P8", "transpose", "spmv", "geomean"] {
+            assert!(r.contains(marker), "{marker} missing");
+        }
+        let json = std::fs::read_to_string(dir.join("BENCH_7.json")).expect("artifact exists");
+        assert!(json.contains(&format!("\"scale\": {factor}")));
+        assert!(json.contains("\"divergence\": false"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn backends_reports_both_backends_and_writes_artifact() {
     let dir = std::env::temp_dir().join("menda-backends-smoke");
     let _ = std::fs::remove_dir_all(&dir);
@@ -204,11 +229,12 @@ fn all_ids_dispatch() {
     for id in experiments::ALL {
         if matches!(
             *id,
-            "fig10" | "fig13" | "fig16" | "conflicts" | "threads" | "trace" | "backends"
+            "fig10" | "fig13" | "fig16" | "conflicts" | "threads" | "trace" | "bench" | "backends"
         ) {
             // "threads" runs 8-PU simulations at four thread counts;
-            // "trace" and "backends" write artifacts into the results
-            // dir; all three have dedicated smoke tests.
+            // "trace", "bench" and "backends" write artifacts into the
+            // results dir; all four have dedicated smoke tests that
+            // redirect output to a scratch directory instead.
             continue;
         }
         assert!(experiments::run(id, tiny()).is_ok(), "{id} failed");

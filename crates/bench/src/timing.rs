@@ -8,6 +8,85 @@
 
 use std::time::{Duration, Instant};
 
+/// Heap-allocation accounting for the benchmark harness, enabled by the
+/// `alloc-counter` cargo feature.
+///
+/// When the feature is on, a counting [`std::alloc::GlobalAlloc`] wrapper
+/// around the system allocator is installed for the whole process, and
+/// [`alloc_counter::snapshot`] / [`alloc_counter::AllocSnapshot::delta`]
+/// expose how many allocations (and bytes) happened between two points.
+/// The `alloc_free` regression test uses this to pin the simulator's
+/// steady-state property: heap traffic scales with the *matrix*, never
+/// with the number of simulated cycles. Off by default so the normal
+/// build keeps the unwrapped system allocator.
+#[cfg(feature = "alloc-counter")]
+pub mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    /// System allocator wrapper that counts allocation calls and bytes.
+    /// `dealloc` is deliberately uncounted: the regression test cares
+    /// about allocation *pressure*, and frees never grow the heap.
+    pub struct CountingAllocator;
+
+    // SAFETY: defers every operation to `System`, which upholds the
+    // GlobalAlloc contract; the counters are side-effect-only.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(
+                new_size.saturating_sub(layout.size()) as u64,
+                Ordering::Relaxed,
+            );
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static COUNTER: CountingAllocator = CountingAllocator;
+
+    /// Counter values at one point in time; subtract two with
+    /// [`AllocSnapshot::delta`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct AllocSnapshot {
+        allocs: u64,
+        bytes: u64,
+    }
+
+    impl AllocSnapshot {
+        /// Allocation calls and net bytes requested since `earlier`.
+        #[must_use]
+        pub fn delta(&self, earlier: &AllocSnapshot) -> (u64, u64) {
+            (
+                self.allocs.wrapping_sub(earlier.allocs),
+                self.bytes.wrapping_sub(earlier.bytes),
+            )
+        }
+    }
+
+    /// Reads the process-wide counters.
+    #[must_use]
+    pub fn snapshot() -> AllocSnapshot {
+        AllocSnapshot {
+            allocs: ALLOCS.load(Ordering::Relaxed),
+            bytes: BYTES.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Runs `f` once as warm-up and then `samples` timed times, reporting one
 /// line: `group/name  min  median  [throughput]`.
 ///

@@ -49,7 +49,16 @@ pub struct CoalescingQueue {
     queued_count: u64,
     /// Entries with `issued == false`, kept in sync by
     /// `enqueue`/`mark_issued`/`complete` so `has_unissued` is O(1).
+    ///
+    /// Issue order is FIFO, so issued entries form a prefix of `entries`
+    /// and the oldest unissued entry sits at `len - unissued` — making
+    /// `next_to_issue` O(1) on the per-cycle hot path (with a linear
+    /// fallback should a caller ever issue out of order).
     unissued: usize,
+    /// Recycled waiter vectors: completions return their (cleared) waiter
+    /// storage here and enqueues reuse it, so the steady-state loop
+    /// allocates nothing.
+    waiter_pool: Vec<Vec<u32>>,
 }
 
 impl CoalescingQueue {
@@ -68,6 +77,7 @@ impl CoalescingQueue {
             coalesced_count: 0,
             queued_count: 0,
             unissued: 0,
+            waiter_pool: Vec::new(),
         }
     }
 
@@ -108,9 +118,11 @@ impl CoalescingQueue {
         if self.is_full() {
             return EnqueueOutcome::Full;
         }
+        let mut waiters = self.waiter_pool.pop().unwrap_or_default();
+        waiters.push(waiter);
         self.entries.push(Entry {
             block,
-            waiters: vec![waiter],
+            waiters,
             issued: false,
         });
         self.queued_count += 1;
@@ -129,34 +141,58 @@ impl CoalescingQueue {
         if self.unissued == 0 {
             return None;
         }
+        let first = self.entries.len() - self.unissued;
+        let e = &self.entries[first];
+        if !e.issued {
+            return Some(e.block);
+        }
+        // A caller issued out of FIFO order; fall back to the slot scan.
         self.entries.iter().find(|e| !e.issued).map(|e| e.block)
     }
 
     /// Marks `block` as issued (it stays resident until completion so late
     /// arrivals can still coalesce).
     pub fn mark_issued(&mut self, block: u64) {
-        if let Some(e) = self
-            .entries
-            .iter_mut()
-            .find(|e| e.block == block && !e.issued)
-        {
-            e.issued = true;
+        if self.unissued == 0 {
+            return;
+        }
+        let first = self.entries.len() - self.unissued;
+        let pos = if self.entries[first].block == block && !self.entries[first].issued {
+            Some(first)
+        } else {
+            self.entries
+                .iter()
+                .position(|e| e.block == block && !e.issued)
+        };
+        if let Some(pos) = pos {
+            self.entries[pos].issued = true;
             self.unissued -= 1;
         }
     }
 
-    /// Completes `block`: removes its slot and returns the waiters to
-    /// notify (empty if the block was not resident).
-    pub fn complete(&mut self, block: u64) -> Vec<u32> {
+    /// Completes `block`: removes its slot and appends the waiters to
+    /// notify onto `out` (nothing if the block was not resident). The
+    /// entry's waiter storage is recycled, so steady-state completions
+    /// are allocation-free.
+    pub fn complete_into(&mut self, block: u64, out: &mut Vec<u32>) {
         if let Some(pos) = self.entries.iter().position(|e| e.block == block) {
-            let entry = self.entries.remove(pos);
+            let mut entry = self.entries.remove(pos);
             if !entry.issued {
                 self.unissued -= 1;
             }
-            entry.waiters
-        } else {
-            Vec::new()
+            out.extend_from_slice(&entry.waiters);
+            entry.waiters.clear();
+            self.waiter_pool.push(entry.waiters);
         }
+    }
+
+    /// Completes `block`: removes its slot and returns the waiters to
+    /// notify (empty if the block was not resident). Allocating
+    /// convenience wrapper over [`CoalescingQueue::complete_into`].
+    pub fn complete(&mut self, block: u64) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.complete_into(block, &mut out);
+        out
     }
 }
 

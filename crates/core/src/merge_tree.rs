@@ -7,6 +7,18 @@
 //! parent; the root PE emits one packet per cycle into the output buffer.
 //! End-of-line (EOL) markers delimit sorted streams and let consecutive
 //! rounds of merge sort flow through the tree back to back (§3.3, Fig. 6).
+//!
+//! # Data-oriented layout
+//!
+//! The PE FIFOs are not individual queues: all `2 * (l - 1)` of them live
+//! in one contiguous struct-of-arrays slab (`keys`/`vals` ring storage plus
+//! `head`/`len` arrays), indexed by `fifo = 2 * pe + side`. Packets are
+//! stored pre-packed: the (major, minor) sort key occupies one `u64`
+//! (`major << 32 | minor`) with EOL as `u64::MAX`, so the merge decision at
+//! every PE is a single integer compare — EOL sorts after every nonzero,
+//! which reproduces the "a nonzero overtakes a waiting EOL" rule for free.
+//! A paper-scale tree (1024 leaves) thus keeps its entire FIFO state in a
+//! few contiguous KiB instead of ~2k separately allocated deques.
 
 use std::collections::VecDeque;
 
@@ -33,6 +45,10 @@ pub enum Packet {
     Eol,
 }
 
+/// Packed sort key of an EOL marker; sorts after every nonzero key, which
+/// is exactly the merge priority EOL markers need.
+const EOL_KEY: u64 = u64::MAX;
+
 impl Packet {
     /// Creates a nonzero packet.
     pub fn nz(major: u32, minor: u32, value: f32) -> Self {
@@ -54,6 +70,37 @@ impl Packet {
     /// Whether this is an EOL marker.
     pub fn is_eol(&self) -> bool {
         matches!(self, Packet::Eol)
+    }
+
+    /// Packs into the SoA (key, value) representation.
+    #[inline]
+    fn pack(self) -> (u64, f32) {
+        match self {
+            Packet::Nz {
+                major,
+                minor,
+                value,
+            } => {
+                let key = ((major as u64) << 32) | minor as u64;
+                debug_assert_ne!(key, EOL_KEY, "nonzero key collides with EOL sentinel");
+                (key, value)
+            }
+            Packet::Eol => (EOL_KEY, 0.0),
+        }
+    }
+
+    /// Unpacks from the SoA (key, value) representation.
+    #[inline]
+    fn unpack(key: u64, value: f32) -> Self {
+        if key == EOL_KEY {
+            Packet::Eol
+        } else {
+            Packet::Nz {
+                major: (key >> 32) as u32,
+                minor: key as u32,
+                value,
+            }
+        }
     }
 }
 
@@ -127,20 +174,16 @@ impl LeafSource for SliceLeafSource {
     }
 }
 
-/// One processing element: two input FIFOs.
-#[derive(Debug, Clone, Default)]
-struct Pe {
-    in0: VecDeque<Packet>,
-    in1: VecDeque<Packet>,
-}
-
 /// A fixed-universe set of active element indexes, stored as a bitmask:
-/// insertion is branch-free, membership is deduplicated for free, and
-/// draining yields ascending order — replacing a sort-and-dedup worklist
-/// on the per-cycle hot paths of the merge tree and the prefetch buffers.
+/// insertion is cheap, membership is deduplicated for free, and draining
+/// yields ascending order — replacing a sort-and-dedup worklist on the
+/// per-cycle hot paths of the merge tree and the prefetch buffers. A
+/// member count makes the emptiness probe O(1), which the fast-forward
+/// quiescence check hits every cycle.
 #[derive(Debug, Clone)]
 pub(crate) struct ActiveSet {
     words: Vec<u128>,
+    count: u32,
 }
 
 impl ActiveSet {
@@ -148,21 +191,29 @@ impl ActiveSet {
     pub(crate) fn new(n: usize) -> Self {
         Self {
             words: vec![0; n.div_ceil(128).max(1)],
+            count: 0,
         }
     }
 
     /// Adds `idx` to the set.
     pub(crate) fn insert(&mut self, idx: usize) {
-        self.words[idx >> 7] |= 1u128 << (idx & 127);
+        let w = &mut self.words[idx >> 7];
+        let bit = 1u128 << (idx & 127);
+        self.count += (*w & bit == 0) as u32;
+        *w |= bit;
     }
 
     /// Whether the set has no members.
     pub(crate) fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        self.count == 0
     }
 
     /// Appends the members to `out` in ascending order and clears the set.
     pub(crate) fn drain_into(&mut self, out: &mut Vec<u32>) {
+        if self.count == 0 {
+            return;
+        }
+        self.count = 0;
         for (wi, word) in self.words.iter_mut().enumerate() {
             let mut w = *word;
             *word = 0;
@@ -190,7 +241,15 @@ impl ActiveSet {
 pub struct MergeTree {
     leaves: usize,
     fifo_cap: usize,
-    pes: Vec<Pe>,
+    /// Packed sort keys of the FIFO slab: FIFO `2*pe + side` occupies ring
+    /// slots `[fifo * fifo_cap, (fifo + 1) * fifo_cap)`.
+    keys: Vec<u64>,
+    /// Values parallel to `keys`.
+    vals: Vec<f32>,
+    /// Ring head slot per FIFO.
+    head: Vec<u16>,
+    /// Occupancy per FIFO.
+    len: Vec<u16>,
     /// PEs scheduled to run next `tick`.
     active: ActiveSet,
     /// Reused backing storage for the per-cycle working set (the active
@@ -215,6 +274,7 @@ impl MergeTree {
             "leaves must be a power of two >= 2"
         );
         assert!(fifo_cap > 0, "fifo capacity must be positive");
+        assert!(fifo_cap <= u16::MAX as usize, "fifo capacity too large");
         let n = leaves - 1;
         let mut active = ActiveSet::new(n);
         for pe in 0..n {
@@ -223,7 +283,10 @@ impl MergeTree {
         Self {
             leaves,
             fifo_cap,
-            pes: vec![Pe::default(); n],
+            keys: vec![0; 2 * n * fifo_cap],
+            vals: vec![0.0; 2 * n * fifo_cap],
+            head: vec![0; 2 * n],
+            len: vec![0; 2 * n],
             active,
             work_scratch: Vec::with_capacity(n),
             pops: 0,
@@ -253,16 +316,14 @@ impl MergeTree {
 
     /// Whether every FIFO is empty.
     pub fn is_drained(&self) -> bool {
-        self.pes
-            .iter()
-            .all(|p| p.in0.is_empty() && p.in1.is_empty())
+        self.len.iter().all(|&l| l == 0)
     }
 
     /// Total packets currently buffered in the inter-PE FIFOs — the tree
     /// fill level sampled by the instrumentation layer. Bounded by
     /// `(leaves - 1) * 2 * fifo_entries`.
     pub fn occupancy(&self) -> usize {
-        self.pes.iter().map(|p| p.in0.len() + p.in1.len()).sum()
+        self.len.iter().map(|&l| l as usize).sum()
     }
 
     /// Marks the leaf PE serving `port` as active (call when the backing
@@ -281,6 +342,39 @@ impl MergeTree {
         self.active.insert(pe);
     }
 
+    /// Front key of FIFO `f`; only meaningful when `len[f] > 0`.
+    #[inline]
+    fn front_key(&self, f: usize) -> u64 {
+        self.keys[f * self.fifo_cap + self.head[f] as usize]
+    }
+
+    /// Pops the front of FIFO `f`; caller guarantees `len[f] > 0`.
+    #[inline]
+    fn fifo_pop(&mut self, f: usize) -> (u64, f32) {
+        let h = self.head[f] as usize;
+        let slot = f * self.fifo_cap + h;
+        let mut nh = h + 1;
+        if nh == self.fifo_cap {
+            nh = 0;
+        }
+        self.head[f] = nh as u16;
+        self.len[f] -= 1;
+        (self.keys[slot], self.vals[slot])
+    }
+
+    /// Pushes onto FIFO `f`; caller guarantees `len[f] < fifo_cap`.
+    #[inline]
+    fn fifo_push(&mut self, f: usize, key: u64, val: f32) {
+        let mut pos = self.head[f] as usize + self.len[f] as usize;
+        if pos >= self.fifo_cap {
+            pos -= self.fifo_cap;
+        }
+        let slot = f * self.fifo_cap + pos;
+        self.keys[slot] = key;
+        self.vals[slot] = val;
+        self.len[f] += 1;
+    }
+
     /// Advances one cycle.
     ///
     /// `root_space` is the number of packets the output side can accept
@@ -288,7 +382,15 @@ impl MergeTree {
     /// packet popped from the root, if any. EOL markers are consumed
     /// internally and counted in [`MergeTree::rounds_completed`]; they are
     /// also returned so callers can track run boundaries.
-    pub fn tick(&mut self, src: &mut dyn LeafSource, root_space: usize) -> Option<Packet> {
+    ///
+    /// Generic over the source so the per-PU port adapters monomorphize
+    /// (no virtual dispatch on the per-packet path); `?Sized` keeps
+    /// `&mut dyn LeafSource` callers working.
+    pub fn tick<S: LeafSource + ?Sized>(
+        &mut self,
+        src: &mut S,
+        root_space: usize,
+    ) -> Option<Packet> {
         // Root must be considered every cycle the sink has space (external
         // availability isn't tracked by internal activation).
         if root_space > 0 {
@@ -296,13 +398,16 @@ impl MergeTree {
         }
         // Drain the active set into the retained-capacity scratch Vec
         // (ascending, deduplicated by construction); activations made
-        // while stepping schedule PEs for the next cycle.
+        // while stepping schedule PEs for the next cycle. Ascending order
+        // is semantic: a parent always steps before its children, so a
+        // slot it frees this cycle can be refilled this cycle.
         let mut work = std::mem::take(&mut self.work_scratch);
         self.active.drain_into(&mut work);
         let mut rooted = None;
+        let n = self.leaves - 1;
         for &pe in &work {
             let pe = pe as usize;
-            let moved = self.step_pe(pe, src, root_space, &mut rooted);
+            let moved = self.step_pe(pe, root_space, &mut rooted);
             let pulled = self.pull_leaf(pe, src);
             if moved || pulled {
                 self.activate(pe);
@@ -310,10 +415,10 @@ impl MergeTree {
                     self.activate((pe - 1) / 2);
                 }
                 let (c0, c1) = (2 * pe + 1, 2 * pe + 2);
-                if c0 < self.pes.len() {
+                if c0 < n {
                     self.activate(c0);
                 }
-                if c1 < self.pes.len() {
+                if c1 < n {
                     self.activate(c1);
                 }
             }
@@ -335,20 +440,19 @@ impl MergeTree {
     /// is a no-op unless the root can merge (both FIFO heads present) or
     /// — on a 2-leaf tree, where the root is also the leaf PE — it can
     /// pull from `src`.
-    pub fn is_quiescent(&self, src: &dyn LeafSource, root_space: usize) -> bool {
+    pub fn is_quiescent<S: LeafSource + ?Sized>(&self, src: &S, root_space: usize) -> bool {
         if !self.active.is_empty() {
             return false;
         }
         if root_space == 0 {
             return true;
         }
-        let root = &self.pes[0];
-        if !root.in0.is_empty() && !root.in1.is_empty() {
+        if self.len[0] > 0 && self.len[1] > 0 {
             return false;
         }
         if self.leaves == 2
-            && ((root.in0.len() < self.fifo_cap && src.peek(0).is_some())
-                || (root.in1.len() < self.fifo_cap && src.peek(1).is_some()))
+            && (((self.len[0] as usize) < self.fifo_cap && src.peek(0).is_some())
+                || ((self.len[1] as usize) < self.fifo_cap && src.peek(1).is_some()))
         {
             return false;
         }
@@ -357,97 +461,75 @@ impl MergeTree {
 
     /// Performs the merge-move of PE `pe` (at most one packet toward the
     /// parent). Returns whether a packet moved.
-    fn step_pe(
-        &mut self,
-        pe: usize,
-        _src: &mut dyn LeafSource,
-        root_space: usize,
-        rooted: &mut Option<Packet>,
-    ) -> bool {
+    ///
+    /// Both input heads must be valid for a move; with packed keys the
+    /// whole priority rule is `key0 <= key1` (EOL = `u64::MAX` sorts
+    /// last), with the one special case that a pair of EOLs merges into a
+    /// single forwarded EOL.
+    #[inline]
+    fn step_pe(&mut self, pe: usize, root_space: usize, rooted: &mut Option<Packet>) -> bool {
         // Check output capacity.
         if pe == 0 {
             if root_space == 0 || rooted.is_some() {
                 return false;
             }
         } else {
-            let parent = (pe - 1) / 2;
-            let side = (pe - 1) % 2;
-            let pfifo = if side == 0 {
-                &self.pes[parent].in0
-            } else {
-                &self.pes[parent].in1
-            };
-            if pfifo.len() >= self.fifo_cap {
+            let pfifo = pe - 1; // == 2 * parent + side
+            if self.len[pfifo] as usize >= self.fifo_cap {
                 return false;
             }
         }
-        let (h0, h1) = (
-            self.pes[pe].in0.front().copied(),
-            self.pes[pe].in1.front().copied(),
-        );
-        let out = match (h0, h1) {
-            (Some(Packet::Eol), Some(Packet::Eol)) => {
-                self.pes[pe].in0.pop_front();
-                self.pes[pe].in1.pop_front();
-                Packet::Eol
-            }
-            (Some(a @ Packet::Nz { .. }), Some(Packet::Eol)) => {
-                self.pes[pe].in0.pop_front();
-                a
-            }
-            (Some(Packet::Eol), Some(b @ Packet::Nz { .. })) => {
-                self.pes[pe].in1.pop_front();
-                b
-            }
-            (Some(a @ Packet::Nz { .. }), Some(b @ Packet::Nz { .. })) => {
-                if a.key() <= b.key() {
-                    self.pes[pe].in0.pop_front();
-                    a
-                } else {
-                    self.pes[pe].in1.pop_front();
-                    b
-                }
-            }
-            _ => return false,
+        let (f0, f1) = (2 * pe, 2 * pe + 1);
+        if self.len[f0] == 0 || self.len[f1] == 0 {
+            return false;
+        }
+        let (k0, k1) = (self.front_key(f0), self.front_key(f1));
+        let (key, val) = if k0 == EOL_KEY && k1 == EOL_KEY {
+            self.fifo_pop(f0);
+            self.fifo_pop(f1);
+            (EOL_KEY, 0.0)
+        } else if k0 <= k1 {
+            self.fifo_pop(f0)
+        } else {
+            self.fifo_pop(f1)
         };
         if pe == 0 {
-            match out {
-                Packet::Eol => self.rounds_completed += 1,
-                Packet::Nz { .. } => self.pops += 1,
-            }
-            *rooted = Some(out);
-        } else {
-            let parent = (pe - 1) / 2;
-            let side = (pe - 1) % 2;
-            if side == 0 {
-                self.pes[parent].in0.push_back(out);
+            if key == EOL_KEY {
+                self.rounds_completed += 1;
             } else {
-                self.pes[parent].in1.push_back(out);
+                self.pops += 1;
             }
+            *rooted = Some(Packet::unpack(key, val));
+        } else {
+            self.fifo_push(pe - 1, key, val);
         }
         true
     }
 
     /// Pulls up to one packet per input port from the leaf source into a
     /// leaf PE's FIFOs. Returns whether anything was pulled.
-    fn pull_leaf(&mut self, pe: usize, src: &mut dyn LeafSource) -> bool {
+    #[inline]
+    fn pull_leaf<S: LeafSource + ?Sized>(&mut self, pe: usize, src: &mut S) -> bool {
         let first = self.first_leaf_pe();
         if pe < first {
             return false;
         }
         let base_port = 2 * (pe - first);
+        let (f0, f1) = (2 * pe, 2 * pe + 1);
         let mut pulled = false;
-        if self.pes[pe].in0.len() < self.fifo_cap {
+        if (self.len[f0] as usize) < self.fifo_cap {
             if let Some(pkt) = src.peek(base_port) {
                 src.pop(base_port);
-                self.pes[pe].in0.push_back(pkt);
+                let (key, val) = pkt.pack();
+                self.fifo_push(f0, key, val);
                 pulled = true;
             }
         }
-        if self.pes[pe].in1.len() < self.fifo_cap {
+        if (self.len[f1] as usize) < self.fifo_cap {
             if let Some(pkt) = src.peek(base_port + 1) {
                 src.pop(base_port + 1);
-                self.pes[pe].in1.push_back(pkt);
+                let (key, val) = pkt.pack();
+                self.fifo_push(f1, key, val);
                 pulled = true;
             }
         }
@@ -466,7 +548,6 @@ impl MergeTree {
         all
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -82,22 +82,92 @@ impl StreamDescriptor {
     }
 }
 
-/// A planned fetch: the next chunk of the current stream and the block
-/// loads it requires.
+/// A fixed-capacity inline list of block addresses. Chunk plans are built
+/// on the per-cycle fetch-planning path of every prefetch buffer, so their
+/// block lists live on the stack instead of allocating a `Vec` per plan
+/// (and another per committed chunk). Dereferences to a slice, so it reads
+/// like a `Vec<u64>` at the call sites.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockList {
+    items: [u64; Self::CAP],
+    len: u8,
+}
+
+impl BlockList {
+    /// Upper bound on blocks per chunk: `max_fetch_blocks` (capped at the
+    /// read-queue size, 32) plus one extra unaligned leading window per
+    /// backing array (at most 3).
+    pub const CAP: usize = 36;
+
+    fn new() -> Self {
+        Self {
+            items: [0; Self::CAP],
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, block: u64) {
+        assert!((self.len as usize) < Self::CAP, "chunk plan overflows");
+        self.items[self.len as usize] = block;
+        self.len += 1;
+    }
+
+    fn swap_remove(&mut self, pos: usize) {
+        debug_assert!(pos < self.len as usize);
+        self.len -= 1;
+        self.items[pos] = self.items[self.len as usize];
+    }
+}
+
+impl std::ops::Deref for BlockList {
+    type Target = [u64];
+
+    fn deref(&self) -> &[u64] {
+        &self.items[..self.len as usize]
+    }
+}
+
+impl PartialEq for BlockList {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl<'a> IntoIterator for &'a BlockList {
+    type Item = &'a u64;
+    type IntoIter = std::slice::Iter<'a, u64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Outcome of a [`PrefetchBuffer::plan_fetch`] attempt.
 #[derive(Debug, Clone, PartialEq)]
-pub struct ChunkPlan {
-    /// Elements covered.
-    pub elems: Range<u64>,
-    /// Block addresses to load (one per backing array).
-    pub blocks: Vec<u64>,
-    /// Whether this chunk ends the stream.
-    pub last: bool,
+pub enum FetchPlan {
+    /// Nothing can be fetched right now (chunk in flight, streams
+    /// exhausted, or not enough free buffer space).
+    None,
+    /// The next chunk needs `blocks` read-queue slots but the caller
+    /// offered fewer. Nothing was committed; retry when the queue drains.
+    Blocked {
+        /// Slots the chunk's loads would occupy.
+        blocks: usize,
+    },
+    /// The chunk was planned and recorded as in flight; the caller must
+    /// now enqueue every address in [`PrefetchBuffer::pending_blocks`].
+    Planned {
+        /// Elements covered by the chunk.
+        elems: Range<u64>,
+        /// Whether this chunk ends the stream.
+        last: bool,
+    },
 }
 
 #[derive(Debug, Clone)]
 struct PendingChunk {
     elems: Range<u64>,
-    awaiting: Vec<u64>,
+    awaiting: BlockList,
     last: bool,
 }
 
@@ -149,6 +219,10 @@ impl PrefetchBuffer {
     ) -> Self {
         assert!(capacity > 0, "capacity must be positive");
         assert!(max_fetch_blocks > 0, "max_fetch_blocks must be positive");
+        assert!(
+            max_fetch_blocks + 3 <= BlockList::CAP,
+            "max_fetch_blocks exceeds the inline chunk-plan capacity"
+        );
         Self {
             id,
             capacity,
@@ -202,14 +276,19 @@ impl PrefetchBuffer {
         }
     }
 
-    /// Advances stream bookkeeping and, following the §3.4 policy, returns
-    /// the chunk whose loads should be issued now, if any.
+    /// Advances stream bookkeeping and, following the §3.4 policy, plans
+    /// the chunk whose loads should be issued now, if any. `avail_slots`
+    /// is the number of read-queue slots the caller can offer: a chunk
+    /// needing more is reported as [`FetchPlan::Blocked`] *without* being
+    /// committed (and without even materializing its block list — this
+    /// sits on the per-cycle path of every buffer, and queue pressure
+    /// makes discarded plans common).
     ///
     /// Zero-length streams are consumed here directly (they emit only an
     /// EOL marker and need no memory traffic).
-    pub fn plan_fetch(&mut self) -> Option<ChunkPlan> {
+    pub fn plan_fetch(&mut self, avail_slots: usize) -> FetchPlan {
         if self.pending.is_some() {
-            return None; // at most one outstanding chunk (§3.4)
+            return FetchPlan::None; // at most one outstanding chunk (§3.4)
         }
         // Start the next stream if none is active.
         while self.current.is_none() {
@@ -217,7 +296,7 @@ impl PrefetchBuffer {
                 // Nothing to fetch until new streams arrive; assign_streams
                 // resets the threshold.
                 self.need_free = usize::MAX;
-                return None;
+                return FetchPlan::None;
             };
             if desc.is_empty() {
                 self.packets.push_back(Packet::Eol);
@@ -230,9 +309,7 @@ impl PrefetchBuffer {
         // requests are sent whenever a prefetch buffer can fit the
         // requested data"), bounded to whole block windows past the first.
         let per_block = BLOCK_BYTES / IDX_BYTES; // 16
-        let free = self
-            .capacity
-            .saturating_sub(self.nz_held + self.in_flight_nzs());
+        let free = self.capacity.saturating_sub(self.nz_held);
         let may_issue = if self.prefetch {
             free > 0
         } else {
@@ -242,7 +319,7 @@ impl PrefetchBuffer {
             // Prefetch mode refuses only when completely full; baseline
             // mode until fully drained.
             self.need_free = if self.prefetch { 1 } else { self.capacity };
-            return None;
+            return FetchPlan::None;
         }
         let (bases, n_arrays) = self.array_bases(&desc);
         let arrays = n_arrays as u64;
@@ -257,7 +334,7 @@ impl PrefetchBuffer {
         // later; coalescing absorbs most of the duplicate traffic).
         if budget < first_span && first_span as usize <= self.capacity {
             self.need_free = first_span as usize;
-            return None;
+            return FetchPlan::None;
         }
         self.need_free = 0;
         let mut chunk_end = (next + budget).min(desc.end);
@@ -268,7 +345,18 @@ impl PrefetchBuffer {
             chunk_end = chunk_end.max(first_window_end);
         }
         debug_assert!(chunk_end > next, "chunk must make progress");
-        let mut blocks = Vec::new();
+        // Count the loads analytically before building anything: a chunk
+        // the queue cannot take is refused here, cheaply.
+        let mut nblocks = 0usize;
+        for &base in &bases[..n_arrays] {
+            let first = AddressLayout::block_of(base + next * IDX_BYTES);
+            let last = AddressLayout::block_of(base + (chunk_end - 1) * IDX_BYTES);
+            nblocks += ((last - first) / BLOCK_BYTES) as usize + 1;
+        }
+        if nblocks > avail_slots {
+            return FetchPlan::Blocked { blocks: nblocks };
+        }
+        let mut blocks = BlockList::new();
         for &base in &bases[..n_arrays] {
             let first = AddressLayout::block_of(base + next * IDX_BYTES);
             let last = AddressLayout::block_of(base + (chunk_end - 1) * IDX_BYTES);
@@ -278,18 +366,21 @@ impl PrefetchBuffer {
                 b += BLOCK_BYTES;
             }
         }
-        Some(ChunkPlan {
-            elems: next..chunk_end,
-            blocks,
-            last: chunk_end == desc.end,
-        })
+        let elems = next..chunk_end;
+        let last = chunk_end == desc.end;
+        self.pending = Some(PendingChunk {
+            elems: elems.clone(),
+            awaiting: blocks,
+            last,
+        });
+        FetchPlan::Planned { elems, last }
     }
 
-    fn in_flight_nzs(&self) -> usize {
-        self.pending
-            .as_ref()
-            .map(|p| (p.elems.end - p.elems.start) as usize)
-            .unwrap_or(0)
+    /// Block addresses the in-flight chunk is waiting on; empty when no
+    /// chunk is pending. Right after [`FetchPlan::Planned`] this is the
+    /// full load list the caller must enqueue.
+    pub fn pending_blocks(&self) -> &[u64] {
+        self.pending.as_ref().map_or(&[], |p| &p.awaiting)
     }
 
     /// The base addresses of the arrays stream `desc` reads (one block load
@@ -316,6 +407,22 @@ impl PrefetchBuffer {
         self.pending.is_some()
     }
 
+    /// Whether a [`PrefetchBuffer::plan_fetch`] call offered fewer than
+    /// [`PrefetchBuffer::MIN_FETCH_SLOTS`] queue slots is a guaranteed
+    /// no-op for this buffer: a chunk is already in flight, or a stream is
+    /// mid-fetch (every real chunk loads at least one block per backing
+    /// array, so it could only be refused). The one case that must still
+    /// run is `current == None`: starting the next stream consumes
+    /// leading empty streams and emits their EOL markers — a simulated
+    /// state change that happens regardless of queue space.
+    pub fn plan_is_noop_without_slots(&self) -> bool {
+        self.pending.is_some() || self.current.is_some()
+    }
+
+    /// Minimum read-queue slots any real chunk needs: one block per
+    /// backing array, and every stream kind reads at least two arrays.
+    pub const MIN_FETCH_SLOTS: usize = 2;
+
     /// Whether a [`PrefetchBuffer::plan_fetch`] call could possibly make
     /// progress right now. The event-driven fast path uses this to avoid
     /// waking the fetch planner on pops that provably cannot unblock it
@@ -324,17 +431,6 @@ impl PrefetchBuffer {
     /// it and polls unconditionally.
     pub fn fetch_ready(&self) -> bool {
         self.pending.is_none() && self.capacity.saturating_sub(self.nz_held) >= self.need_free
-    }
-
-    /// Records that the chunk's loads were enqueued; `blocks` are the block
-    /// addresses awaited.
-    pub fn commit_fetch(&mut self, plan: &ChunkPlan) {
-        debug_assert!(self.pending.is_none());
-        self.pending = Some(PendingChunk {
-            elems: plan.elems.clone(),
-            awaiting: plan.blocks.clone(),
-            last: plan.last,
-        });
     }
 
     /// Notifies the buffer that `block` arrived. Returns the element range
@@ -389,11 +485,19 @@ mod tests {
         }
     }
 
+    /// Unwraps a [`FetchPlan::Planned`].
+    fn planned(p: FetchPlan) -> (Range<u64>, bool) {
+        match p {
+            FetchPlan::Planned { elems, last } => (elems, last),
+            other => panic!("expected a planned chunk, got {other:?}"),
+        }
+    }
+
     #[test]
     fn empty_stream_emits_bare_eol() {
         let mut b = PrefetchBuffer::new(0, 32, true, layout());
         b.assign_streams([StreamDescriptor::empty()]);
-        assert_eq!(b.plan_fetch(), None);
+        assert_eq!(b.plan_fetch(32), FetchPlan::None);
         assert_eq!(b.peek(), Some(Packet::Eol));
         b.pop();
         assert!(b.is_done());
@@ -405,13 +509,12 @@ mod tests {
         // Elements 10..40 fit the 32-entry buffer entirely: one chunk
         // covering three block windows per array (bytes 40..160).
         b.assign_streams([csr_stream(5, 10, 40)]);
-        let plan = b.plan_fetch().unwrap();
-        assert_eq!(plan.elems, 10..40);
-        assert!(plan.last);
-        assert_eq!(plan.blocks.len(), 6); // 3 windows x (idx + val)
-        b.commit_fetch(&plan);
-        // One outstanding chunk max (§3.4).
-        assert_eq!(b.plan_fetch(), None);
+        let (elems, last) = planned(b.plan_fetch(32));
+        assert_eq!(elems, 10..40);
+        assert!(last);
+        assert_eq!(b.pending_blocks().len(), 6); // 3 windows x (idx + val)
+                                                 // One outstanding chunk max (§3.4).
+        assert_eq!(b.plan_fetch(32), FetchPlan::None);
     }
 
     #[test]
@@ -420,9 +523,37 @@ mod tests {
         // 24 free entries against a long stream: chunk ends at the last
         // whole window boundary (element 16), not mid-window.
         b.assign_streams([csr_stream(5, 0, 100)]);
-        let plan = b.plan_fetch().unwrap();
-        assert_eq!(plan.elems, 0..16);
-        assert!(!plan.last);
+        let (elems, last) = planned(b.plan_fetch(32));
+        assert_eq!(elems, 0..16);
+        assert!(!last);
+    }
+
+    #[test]
+    fn blocked_chunk_commits_nothing() {
+        let mut b = PrefetchBuffer::new(0, 32, true, layout());
+        b.assign_streams([csr_stream(5, 10, 40)]);
+        // The chunk needs 6 slots; offering fewer refuses it cheaply.
+        assert_eq!(b.plan_fetch(5), FetchPlan::Blocked { blocks: 6 });
+        assert!(!b.has_pending());
+        assert!(b.pending_blocks().is_empty());
+        // A refused chunk stays plannable.
+        assert!(b.fetch_ready());
+        let (elems, _) = planned(b.plan_fetch(6));
+        assert_eq!(elems, 10..40);
+    }
+
+    /// Completes every awaited block of the pending chunk, delivering
+    /// synthetic packets.
+    fn complete_plan(b: &mut PrefetchBuffer) {
+        let blocks = b.pending_blocks().to_vec();
+        for blk in blocks {
+            if let Some((_, range, ended)) = b.block_arrived(blk) {
+                let mut pk: Vec<Packet> = (range.start..range.end)
+                    .map(|i| Packet::nz(i as u32, 0, 0.0))
+                    .collect();
+                b.deliver(&mut pk, ended);
+            }
+        }
     }
 
     #[test]
@@ -430,12 +561,11 @@ mod tests {
         let mut b = PrefetchBuffer::new(0, 64, true, layout());
         b.assign_streams([csr_stream(1, 0, 40)]);
         let mut covered = 0;
-        while let Some(plan) = b.plan_fetch() {
-            covered += plan.elems.end - plan.elems.start;
-            b.commit_fetch(&plan);
-            let last = plan.last;
+        while let FetchPlan::Planned { elems, last } = b.plan_fetch(32) {
+            covered += elems.end - elems.start;
+            let blocks = b.pending_blocks().to_vec();
             let mut out = None;
-            for &blk in &plan.blocks {
+            for blk in blocks {
                 out = b.block_arrived(blk);
             }
             let (desc, range, ended) = out.expect("chunk complete");
@@ -463,81 +593,60 @@ mod tests {
         assert!(b.is_done());
     }
 
-    /// Completes every block of `plan`, delivering synthetic packets.
-    fn complete_plan(b: &mut PrefetchBuffer, plan: &ChunkPlan) {
-        b.commit_fetch(plan);
-        for &blk in &plan.blocks {
-            if let Some((_, range, ended)) = b.block_arrived(blk) {
-                let mut pk: Vec<Packet> = (range.start..range.end)
-                    .map(|i| Packet::nz(i as u32, 0, 0.0))
-                    .collect();
-                b.deliver(&mut pk, ended);
-            }
-        }
-    }
-
     #[test]
     fn baseline_only_fetches_when_empty() {
         let mut b = PrefetchBuffer::new(0, 32, false, layout());
         b.assign_streams([csr_stream(1, 0, 48)]);
-        let plan = b.plan_fetch().unwrap();
-        assert_eq!(plan.elems, 0..32); // fills the whole buffer
-        complete_plan(&mut b, &plan);
+        let (elems, _) = planned(b.plan_fetch(32));
+        assert_eq!(elems, 0..32); // fills the whole buffer
+        complete_plan(&mut b);
         // Buffer holds 32 NZs: baseline must NOT issue the next chunk
         // until fully drained.
         assert_eq!(b.held(), 32);
-        assert_eq!(b.plan_fetch(), None);
+        assert_eq!(b.plan_fetch(32), FetchPlan::None);
         for _ in 0..31 {
             b.pop();
         }
-        assert_eq!(b.plan_fetch(), None);
+        assert_eq!(b.plan_fetch(32), FetchPlan::None);
         b.pop();
-        let next = b.plan_fetch().unwrap();
-        assert_eq!(next.elems, 32..48);
+        let (next, _) = planned(b.plan_fetch(32));
+        assert_eq!(next, 32..48);
     }
 
     #[test]
     fn prefetch_issues_when_space_fits() {
         let mut b = PrefetchBuffer::new(0, 32, true, layout());
         b.assign_streams([csr_stream(1, 0, 64)]);
-        let p1 = b.plan_fetch().unwrap();
-        assert_eq!(p1.elems, 0..32);
-        complete_plan(&mut b, &p1);
+        let (e1, _) = planned(b.plan_fetch(32));
+        assert_eq!(e1, 0..32);
+        complete_plan(&mut b);
         // Full: no prefetch.
-        assert_eq!(b.plan_fetch(), None);
+        assert_eq!(b.plan_fetch(32), FetchPlan::None);
         // Pop 16: the next 16-NZ window fits → prefetch fires (§3.4's
         // "whenever a prefetch buffer can fit the requested data").
         for _ in 0..16 {
             b.pop();
         }
-        let p2 = b.plan_fetch().unwrap();
-        assert_eq!(p2.elems, 32..48);
+        let (e2, _) = planned(b.plan_fetch(32));
+        assert_eq!(e2, 32..48);
     }
 
     #[test]
     fn prefetch_waits_when_chunk_does_not_fit() {
         let mut b = PrefetchBuffer::new(0, 16, true, layout());
         b.assign_streams([csr_stream(1, 0, 64)]);
-        let p1 = b.plan_fetch().unwrap();
-        b.commit_fetch(&p1);
-        for &blk in &p1.blocks.clone() {
-            if let Some((_, range, ended)) = b.block_arrived(blk) {
-                let mut pk: Vec<Packet> = (range.start..range.end)
-                    .map(|i| Packet::nz(i as u32, 0, 0.0))
-                    .collect();
-                b.deliver(&mut pk, ended);
-            }
-        }
+        planned(b.plan_fetch(32));
+        complete_plan(&mut b);
         assert_eq!(b.held(), 16);
         // Full: cannot prefetch.
-        assert_eq!(b.plan_fetch(), None);
+        assert_eq!(b.plan_fetch(32), FetchPlan::None);
         // Pop 15: still can't fit a 16-NZ chunk.
         for _ in 0..15 {
             b.pop();
         }
-        assert_eq!(b.plan_fetch(), None);
+        assert_eq!(b.plan_fetch(32), FetchPlan::None);
         b.pop();
-        assert!(b.plan_fetch().is_some());
+        assert!(matches!(b.plan_fetch(32), FetchPlan::Planned { .. }));
     }
 
     #[test]
@@ -548,28 +657,20 @@ mod tests {
             end: 8,
             kind: StreamKind::Coo { region: 1 },
         }]);
-        let plan = b.plan_fetch().unwrap();
-        assert_eq!(plan.blocks.len(), 3);
-        assert!(plan.last);
+        let (_, last) = planned(b.plan_fetch(32));
+        assert_eq!(b.pending_blocks().len(), 3);
+        assert!(last);
     }
 
     #[test]
     fn back_to_back_streams_queue_up() {
         let mut b = PrefetchBuffer::new(0, 32, true, layout());
         b.assign_streams([csr_stream(1, 0, 4), csr_stream(9, 100, 104)]);
-        let p1 = b.plan_fetch().unwrap();
-        assert!(p1.last);
-        b.commit_fetch(&p1);
-        for &blk in &p1.blocks.clone() {
-            if let Some((_, range, ended)) = b.block_arrived(blk) {
-                let mut pk: Vec<Packet> = (range.start..range.end)
-                    .map(|i| Packet::nz(i as u32, 0, 0.0))
-                    .collect();
-                b.deliver(&mut pk, ended);
-            }
-        }
+        let (_, last) = planned(b.plan_fetch(32));
+        assert!(last);
+        complete_plan(&mut b);
         // Immediately plans the second stream (seamless §3.3).
-        let p2 = b.plan_fetch().unwrap();
-        assert_eq!(p2.elems, 100..104);
+        let (e2, _) = planned(b.plan_fetch(32));
+        assert_eq!(e2, 100..104);
     }
 }

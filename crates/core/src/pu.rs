@@ -12,7 +12,7 @@ use crate::coalesce::{CoalescingQueue, EnqueueOutcome};
 use crate::config::{MendaConfig, PuConfig};
 use crate::layout::{AddressLayout, BLOCK_BYTES};
 use crate::merge_tree::{ActiveSet, LeafSource, MergeTree, Packet};
-use crate::prefetch::{PrefetchBuffer, StreamDescriptor, StreamKind};
+use crate::prefetch::{FetchPlan, PrefetchBuffer, StreamDescriptor, StreamKind};
 use crate::stats::{IterationStats, PuStats};
 
 /// Reserved waiter id for controller pointer-array reads.
@@ -498,20 +498,35 @@ impl ProcessingUnit {
         let mut buf_active = ActiveSet::new(l);
         // Event-driven parking for buffers whose planned fetch failed the
         // read-queue slot pre-check: re-planning is a guaranteed discard
-        // until the queue drains to that buffer's `wake_len` (the queue
-        // only shrinks on completions in step 1, and a discarded re-plan
-        // has no other effect), so the fast path parks `(buffer, wake_len)`
-        // here instead of re-planning every cycle. `queue_wake_len` caches
-        // the loosest parked threshold for an O(1) per-cycle check. The
-        // reference path retries per cycle instead.
-        let mut queue_blocked: Vec<(u32, usize)> = Vec::new();
-        let mut queue_wake_len: usize = 0;
+        // until the queue has room for the refused plan (the queue only
+        // shrinks on completions in step 1, and a discarded re-plan has no
+        // other effect), so the fast path *parks* refused buffers instead
+        // of re-planning every cycle. Parked buffers live in per-size
+        // bitmask buckets (`parked_buckets[need]`), so step 4 can union
+        // exactly the buckets the live queue could satisfy and walk their
+        // bits in buffer order — a parked buffer costs nothing per cycle
+        // until its plan could actually fit. `parked_need[b]` (0 = not
+        // parked) names the bucket holding `b`'s bit. The reference path
+        // retries per cycle instead and never parks.
+        let pw = l.div_ceil(128);
+        let need_cap = pu_cfg.read_queue_entries;
+        let mut parked_buckets: Vec<u128> = vec![0; (need_cap + 1) * pw];
+        let mut parked_union: Vec<u128> = vec![0; pw];
+        let mut parked_need: Vec<u32> = vec![0; l];
+        let mut parked_count: usize = 0;
+        // `parked_union` caches the union of the reachable need-buckets
+        // for the queue headroom `union_avail`; any park/unpark resets
+        // `union_avail` to the invalid sentinel. Busy steady-state cycles
+        // (stable parked set, stable queue length) reuse the cached words
+        // across cycles instead of re-folding the buckets.
+        let mut union_avail: usize = usize::MAX;
         // Scratch allocations reused every cycle (never reallocated in
         // steady state): the buffer worklist working set, the ports popped
         // this cycle, and the packet staging buffer for decoded chunks.
         let mut buf_scratch: Vec<u32> = Vec::with_capacity(l);
         let mut popped_scratch: Vec<u32> = Vec::with_capacity(l);
         let mut packet_scratch: Vec<Packet> = Vec::new();
+        let mut waiter_scratch: Vec<u32> = Vec::new();
 
         let mut cycles: u64 = 0;
         let (dram_num, dram_den) = self.ticks;
@@ -663,13 +678,14 @@ impl ProcessingUnit {
                     continue;
                 }
                 let block = resp.addr;
-                let waiters = read_q.complete(block);
+                waiter_scratch.clear();
+                read_q.complete_into(block, &mut waiter_scratch);
                 if let Some(ts) = self.trace.as_mut() {
                     // One completed block feeds `waiters.len()` requests —
                     // the merge width achieved by request coalescing.
-                    ts.coalesce_width.record(waiters.len() as u64);
+                    ts.coalesce_width.record(waiter_scratch.len() as u64);
                 }
-                for w in waiters {
+                for &w in &waiter_scratch {
                     match w {
                         PTR_WAITER => {
                             if let Some(g) = &setup.gate {
@@ -696,8 +712,15 @@ impl ProcessingUnit {
                                     .materialize_into(&desc, range, &mut packet_scratch);
                                 buffers[b].deliver(&mut packet_scratch, ended);
                                 tree.wake_port(b);
+                                buf_active.insert(b);
+                            } else if !self.fast_forward {
+                                // Chunk still awaiting other blocks: its
+                                // plan call is a guaranteed no-op, so the
+                                // fast path defers re-activation to the
+                                // completing block. The reference path
+                                // keeps its retry-every-cycle shape.
+                                buf_active.insert(b);
                             }
-                            buf_active.insert(b);
                         }
                     }
                 }
@@ -785,38 +808,105 @@ impl ProcessingUnit {
                 next_release += 1;
             }
 
-            // 4. Prefetch buffers plan fetches. The worklist swaps with a
-            // retained-capacity scratch Vec so re-activations pushed below
-            // land in a buffer that never reallocates in steady state.
-            //
-            // First re-activate queue-parked buffers whose own threshold
-            // the read queue has drained to (the queue only shrinks in
-            // step 1, above); the loosest threshold gates the scan.
-            if !queue_blocked.is_empty() && read_q.len() <= queue_wake_len {
-                let qlen = read_q.len();
-                queue_wake_len = 0;
-                queue_blocked.retain(|&(bi, wake_len)| {
-                    if qlen <= wake_len {
-                        buf_active.insert(bi as usize);
-                        false
-                    } else {
-                        queue_wake_len = queue_wake_len.max(wake_len);
-                        true
-                    }
-                });
-            }
+            // 4. Prefetch buffers plan fetches, in ascending buffer order.
+            // The worklist swaps with a retained-capacity scratch Vec so
+            // re-activations pushed below land in a buffer that never
+            // reallocates in steady state. On the fast path the worklist
+            // merges with the parked buffers whose refused plan size the
+            // *live* queue length could now satisfy: the walk unions only
+            // the reachable need-buckets, and both sources are consumed in
+            // ascending id order, so the attempts happen exactly where the
+            // reference path's retry-every-cycle loop would have made them
+            // succeed (every attempt it skips is a provable no-op).
             let mut work = std::mem::take(&mut buf_scratch);
             buf_active.drain_into(&mut work);
-            for &bi in &work {
-                let b = bi as usize;
+            let mut wi = 0usize;
+            let mut scan_from = 0usize;
+            loop {
+                let avail = pu_cfg.read_queue_entries - read_q.len();
+                let next_active = work.get(wi).map(|&x| x as usize);
+                let next_parked = if self.fast_forward
+                    && parked_count > 0
+                    && avail >= PrefetchBuffer::MIN_FETCH_SLOTS
+                {
+                    if avail != union_avail {
+                        union_avail = avail;
+                        let hi = avail.min(need_cap);
+                        for (w, u) in parked_union.iter_mut().enumerate() {
+                            *u = (PrefetchBuffer::MIN_FETCH_SLOTS..=hi)
+                                .map(|n| parked_buckets[n * pw + w])
+                                .fold(0, |a, x| a | x);
+                        }
+                    }
+                    next_set_bit(&parked_union, scan_from)
+                } else {
+                    None
+                };
+                let b = match (next_active, next_parked) {
+                    (None, None) => break,
+                    (Some(a), None) => {
+                        wi += 1;
+                        a
+                    }
+                    (None, Some(p)) => {
+                        scan_from = p + 1;
+                        p
+                    }
+                    (Some(a), Some(p)) => {
+                        if a <= p {
+                            wi += 1;
+                            if a == p {
+                                scan_from = p + 1;
+                            }
+                            a
+                        } else {
+                            scan_from = p + 1;
+                            p
+                        }
+                    }
+                };
+                // A parked candidate only surfaces once its plan could fit,
+                // so it re-plans for real below; clear its bucket bit.
+                if parked_need[b] != 0
+                    && (Some(b) == next_parked || avail >= parked_need[b] as usize)
+                {
+                    let nbkt = parked_need[b] as usize;
+                    parked_buckets[nbkt * pw + (b >> 7)] &= !(1u128 << (b & 127));
+                    parked_need[b] = 0;
+                    parked_count -= 1;
+                    union_avail = usize::MAX;
+                }
+                // Conservative slot budget so the whole chunk enqueues
+                // atomically (coalesced blocks would not even need slots,
+                // but partial enqueue must never happen).
+                // A plan refused for queue pressure can only grow while the
+                // buffer's stream stands still (pops free space, nothing
+                // else changes), so the size from its last refusal is a
+                // valid lower bound until the next real plan call.
+                let need = (parked_need[b] as usize).max(PrefetchBuffer::MIN_FETCH_SLOTS);
+                if self.fast_forward
+                    && avail < need
+                    && (parked_need[b] != 0 || buffers[b].plan_is_noop_without_slots())
+                {
+                    // The queue cannot fit this buffer's plan and the
+                    // attempt could not change simulated state (it is not
+                    // at a stream boundary, so no EOL emission is due).
+                    // Park, keeping the tightest threshold known. Buffers
+                    // with a chunk in flight are re-activated by the
+                    // completing response instead.
+                    if parked_need[b] == 0 && !buffers[b].has_pending() {
+                        parked_buckets[need * pw + (b >> 7)] |= 1u128 << (b & 127);
+                        parked_need[b] = need as u32;
+                        parked_count += 1;
+                        union_avail = usize::MAX;
+                    }
+                    continue;
+                }
                 let had_head = buffers[b].peek().is_some();
-                if let Some(plan) = buffers[b].plan_fetch() {
-                    // Conservative slot pre-check so the whole chunk
-                    // enqueues atomically (coalesced blocks would not even
-                    // need slots, but partial enqueue must never happen).
-                    if read_q.len() + plan.blocks.len() <= pu_cfg.read_queue_entries {
-                        for &blk in &plan.blocks {
-                            match read_q.enqueue(blk, bi) {
+                match buffers[b].plan_fetch(avail) {
+                    FetchPlan::Planned { .. } => {
+                        for &blk in buffers[b].pending_blocks() {
+                            match read_q.enqueue(blk, b as u32) {
                                 EnqueueOutcome::Full => {
                                     unreachable!("slot pre-check guarantees space")
                                 }
@@ -824,21 +914,25 @@ impl ProcessingUnit {
                                 EnqueueOutcome::Queued => {}
                             }
                         }
-                        buffers[b].commit_fetch(&plan);
-                    } else if self.fast_forward {
+                    }
+                    FetchPlan::Blocked { blocks } if self.fast_forward => {
                         // Queue pressure: park until the queue could fit a
                         // plan of this size. The plan can only grow while
                         // parked (pops free space, nothing else changes),
-                        // so earlier wakeups would re-plan and discard —
+                        // so earlier attempts would re-plan and discard —
                         // provably the same simulated behavior as the
                         // reference path's retry-every-cycle below.
-                        let wake_len = pu_cfg.read_queue_entries.saturating_sub(plan.blocks.len());
-                        queue_blocked.push((bi, wake_len));
-                        queue_wake_len = queue_wake_len.max(wake_len);
-                    } else {
+                        let nbkt = blocks.clamp(PrefetchBuffer::MIN_FETCH_SLOTS, need_cap);
+                        parked_buckets[nbkt * pw + (b >> 7)] |= 1u128 << (b & 127);
+                        parked_need[b] = nbkt as u32;
+                        parked_count += 1;
+                        union_avail = usize::MAX;
+                    }
+                    FetchPlan::Blocked { .. } => {
                         // Queue pressure: retry next cycle.
                         buf_active.insert(b);
                     }
+                    FetchPlan::None => {}
                 }
                 if !had_head && buffers[b].peek().is_some() {
                     tree.wake_port(b);
@@ -995,6 +1089,26 @@ impl ProcessingUnit {
             ts.queue_coalesced += it.loads_coalesced;
         }
         ((out_minor, out_major, out_val), boundaries, it)
+    }
+}
+
+/// First set bit at index `>= from` across the `u128` words, if any.
+/// Backs the parked-buffer walk of `run_rounds` step 4.
+fn next_set_bit(words: &[u128], from: usize) -> Option<usize> {
+    let mut wi = from >> 7;
+    if wi >= words.len() {
+        return None;
+    }
+    let mut w = words[wi] & (u128::MAX << (from & 127));
+    loop {
+        if w != 0 {
+            return Some((wi << 7) + w.trailing_zeros() as usize);
+        }
+        wi += 1;
+        if wi >= words.len() {
+            return None;
+        }
+        w = words[wi];
     }
 }
 

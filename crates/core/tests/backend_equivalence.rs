@@ -101,6 +101,34 @@ fn fast_forward_differential_holds_for_every_backend() {
     });
 }
 
+/// Scale-8 fast-forward differential on the paper configuration for
+/// every backend. Ignored by default (release-only runtime); the CI
+/// `bench-scale` job runs it with `--ignored` under the live protocol
+/// checker (equivalent to `MENDA_CHECK_PROTOCOL=1`).
+#[test]
+#[ignore = "release-scale differential; run by the CI bench-scale job"]
+fn fast_forward_scale8_differential_holds_for_every_backend() {
+    with_checker(|| {
+        let mut rng = StdRng::seed_from_u64(0xBAC68);
+        for name in ["N4", "P4"] {
+            let m = gen::table3_spec(name)
+                .unwrap()
+                .generate_scaled(8, rng.next_u64());
+            let paper = |fast: bool| MendaConfig::paper().with_threads(1).with_fast_forward(fast);
+            for kind in BackendKind::ALL {
+                let ff = MendaSystem::new(paper(true)).transpose_with(&m, kind);
+                let reference = MendaSystem::new(paper(false)).transpose_with(&m, kind);
+                let tag = format!("{name}/8 {}", kind.label());
+                assert_eq!(ff.output, m.to_csc(), "{tag}: wrong transpose");
+                assert_eq!(ff.output, reference.output, "{tag}");
+                assert_eq!(ff.cycles, reference.cycles, "{tag}");
+                assert_eq!(ff.seconds, reference.seconds, "{tag}");
+                assert_eq!(ff.pu_stats, reference.pu_stats, "{tag}");
+            }
+        }
+    });
+}
+
 /// Transposition has unique (column, row) keys, so the assembled CSC is
 /// bit-identical across backends — only timing and traffic may differ.
 #[test]

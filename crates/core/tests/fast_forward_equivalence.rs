@@ -126,6 +126,39 @@ fn fast_forward_spmv_is_bit_identical_to_reference() {
     });
 }
 
+/// Scale-8 differential on the full paper configuration (1024-leaf
+/// trees, 8 PUs, DDR4-2400): much deeper queues and far longer runs than
+/// the `small_test` cases above, so the event-driven scheduling,
+/// prefetch parking and DRAM fast-forward are exercised at realistic
+/// occupancy. Ignored by default (release-only runtime, ~minutes with
+/// the checker live); the CI `bench-scale` job runs it with
+/// `--ignored`, equivalent to `MENDA_CHECK_PROTOCOL=1`.
+#[test]
+#[ignore = "release-scale differential; run by the CI bench-scale job"]
+fn fast_forward_scale8_paper_config_is_bit_identical() {
+    with_checker(|| {
+        let mut rng = StdRng::seed_from_u64(0x5CA1E8);
+        for name in ["N1", "P1"] {
+            let m = gen::table3_spec(name)
+                .unwrap()
+                .generate_scaled(8, rng.next_u64());
+            let paper = |fast: bool| MendaConfig::paper().with_threads(1).with_fast_forward(fast);
+            let what = format!("{name}/8 paper config");
+            let reference = MendaSystem::new(paper(false)).transpose(&m);
+            let fast = MendaSystem::new(paper(true)).transpose(&m);
+            assert_eq!(reference.output, m.to_csc(), "{what}: wrong transpose");
+            assert_identical(&reference, &fast, &what);
+
+            let x: Vec<f32> = (0..m.ncols())
+                .map(|_| rng.random_range(0..17) as f32 - 8.0)
+                .collect();
+            let reference = spmv::run(&paper(false), &m, &x);
+            let fast = spmv::run(&paper(true), &m, &x);
+            assert_eq!(reference, fast, "{what}: SpMV results differ");
+        }
+    });
+}
+
 /// Host-interference traffic injects extra DRAM requests on a fixed PU
 /// cycle cadence; the fast path must never skip over an injection cycle.
 #[test]

@@ -94,6 +94,135 @@ impl Default for Bank {
     }
 }
 
+/// Struct-of-arrays bank state for one channel.
+///
+/// The scheduler's per-cycle scans (`queue_issue_event`, FR-FCFS candidate
+/// selection, refresh bookkeeping) each touch only one or two timing
+/// fields of many banks, so each field lives in its own densely packed
+/// array instead of an array of [`Bank`] structs — a scan over 16–64
+/// banks then walks one cache line per field instead of one 40-byte
+/// struct per bank. Transitions replicate [`Bank`]'s "earliest-allowed"
+/// updates exactly; the unit tests drive both layouts with the same
+/// command sequences and assert identical state.
+#[derive(Debug, Clone)]
+pub struct BankArray {
+    /// Open row per bank, or [`CLOSED_ROW`] when precharged.
+    open_row: Vec<usize>,
+    next_act: Vec<u64>,
+    next_rd: Vec<u64>,
+    next_wr: Vec<u64>,
+    next_pre: Vec<u64>,
+}
+
+/// Sentinel in [`BankArray::open_row`] marking a precharged bank. Real
+/// row indices are bounded by the organization's rows-per-bank and never
+/// reach it.
+const CLOSED_ROW: usize = usize::MAX;
+
+impl BankArray {
+    /// `banks` freshly precharged banks with no timing debt.
+    pub fn new(banks: usize) -> Self {
+        Self {
+            open_row: vec![CLOSED_ROW; banks],
+            next_act: vec![0; banks],
+            next_rd: vec![0; banks],
+            next_wr: vec![0; banks],
+            next_pre: vec![0; banks],
+        }
+    }
+
+    /// Number of banks.
+    pub fn len(&self) -> usize {
+        self.open_row.len()
+    }
+
+    /// Whether the array holds no banks.
+    pub fn is_empty(&self) -> bool {
+        self.open_row.is_empty()
+    }
+
+    /// Row-buffer state of bank `b`.
+    #[inline]
+    pub fn state(&self, b: usize) -> BankState {
+        match self.open_row[b] {
+            CLOSED_ROW => BankState::Closed,
+            row => BankState::Opened(row),
+        }
+    }
+
+    /// The row open on bank `b`, if any.
+    #[inline]
+    pub fn open_row(&self, b: usize) -> Option<usize> {
+        match self.open_row[b] {
+            CLOSED_ROW => None,
+            row => Some(row),
+        }
+    }
+
+    /// Earliest cycle an ACT may issue to bank `b`.
+    #[inline]
+    pub fn next_act(&self, b: usize) -> u64 {
+        self.next_act[b]
+    }
+
+    /// Earliest cycle a RD may issue to bank `b`.
+    #[inline]
+    pub fn next_rd(&self, b: usize) -> u64 {
+        self.next_rd[b]
+    }
+
+    /// Earliest cycle a WR may issue to bank `b`.
+    #[inline]
+    pub fn next_wr(&self, b: usize) -> u64 {
+        self.next_wr[b]
+    }
+
+    /// Earliest cycle a PRE may issue to bank `b`.
+    #[inline]
+    pub fn next_pre(&self, b: usize) -> u64 {
+        self.next_pre[b]
+    }
+
+    /// Pushes bank `b`'s earliest-allowed ACT out to at least `cycle`
+    /// (refresh `tRFC` blackout).
+    pub fn delay_act_until(&mut self, b: usize, cycle: u64) {
+        self.next_act[b] = self.next_act[b].max(cycle);
+    }
+
+    /// Applies the timing effects of an ACT issued at `now` to bank `b`.
+    pub fn do_activate(&mut self, b: usize, now: u64, row: usize, t: &DramTiming) {
+        debug_assert_eq!(self.open_row[b], CLOSED_ROW, "ACT to open bank");
+        debug_assert!(now >= self.next_act[b], "ACT violates tRC/tRP");
+        debug_assert_ne!(row, CLOSED_ROW);
+        self.open_row[b] = row;
+        self.next_rd[b] = self.next_rd[b].max(now + t.t_rcd);
+        self.next_wr[b] = self.next_wr[b].max(now + t.t_rcd);
+        self.next_pre[b] = self.next_pre[b].max(now + t.t_ras);
+        self.next_act[b] = self.next_act[b].max(now + t.t_rc);
+    }
+
+    /// Applies the timing effects of a PRE issued at `now` to bank `b`.
+    pub fn do_precharge(&mut self, b: usize, now: u64, t: &DramTiming) {
+        debug_assert!(now >= self.next_pre[b], "PRE violates tRAS/tRTP/tWR");
+        self.open_row[b] = CLOSED_ROW;
+        self.next_act[b] = self.next_act[b].max(now + t.t_rp);
+    }
+
+    /// Applies the timing effects of a RD issued at `now` to bank `b`.
+    pub fn do_read(&mut self, b: usize, now: u64, t: &DramTiming) {
+        debug_assert_ne!(self.open_row[b], CLOSED_ROW, "RD to closed bank");
+        debug_assert!(now >= self.next_rd[b], "RD violates tRCD/tCCD");
+        self.next_pre[b] = self.next_pre[b].max(now + t.t_rtp);
+    }
+
+    /// Applies the timing effects of a WR issued at `now` to bank `b`.
+    pub fn do_write(&mut self, b: usize, now: u64, t: &DramTiming) {
+        debug_assert_ne!(self.open_row[b], CLOSED_ROW, "WR to closed bank");
+        debug_assert!(now >= self.next_wr[b], "WR violates tRCD/tCCD");
+        self.next_pre[b] = self.next_pre[b].max(now + t.t_cwl + t.t_bl + t.t_wr);
+    }
+}
+
 /// Per-rank shared timing state: `tRRD`/`tFAW` activation throttling,
 /// CAS-to-CAS (`tCCD`) spacing, write-to-read turnaround and refresh
 /// bookkeeping.
@@ -280,6 +409,71 @@ mod tests {
         r.record_cas(10, 0, false, &t());
         // 10 + tCWL(12) + tBL(4) + tWTR(9) = 35
         assert_eq!(r.cas_allowed_at(0, true, &t()).max(10 + 6), 35);
+    }
+
+    /// Drives a [`Bank`] array and a [`BankArray`] with the same legal
+    /// command sequence and asserts every field stays identical — the SoA
+    /// layout must be a pure re-arrangement of the reference struct.
+    #[test]
+    fn bank_array_matches_struct_layout() {
+        let timing = t();
+        let nbanks = 8;
+        let mut aos: Vec<Bank> = vec![Bank::new(); nbanks];
+        let mut soa = BankArray::new(nbanks);
+        // Deterministic LCG; no external RNG in this crate.
+        let mut state = 0x2545_F491_4F6C_DD1D_u64;
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut now = 0u64;
+        for _ in 0..2000 {
+            let b = rng() % nbanks;
+            now += (rng() % 4) as u64;
+            match aos[b].state {
+                BankState::Closed => {
+                    let row = rng() % 4096;
+                    let at = now.max(aos[b].next_act);
+                    aos[b].do_activate(at, row, &timing);
+                    soa.do_activate(b, at, row, &timing);
+                    now = at;
+                }
+                BankState::Opened(_) => match rng() % 4 {
+                    0 => {
+                        let at = now.max(aos[b].next_pre);
+                        aos[b].do_precharge(at, &timing);
+                        soa.do_precharge(b, at, &timing);
+                        now = at;
+                    }
+                    1 => {
+                        let at = now.max(aos[b].next_wr);
+                        aos[b].do_write(at, &timing);
+                        soa.do_write(b, at, &timing);
+                        now = at;
+                    }
+                    2 => {
+                        let until = now + (rng() % 400) as u64;
+                        aos[b].next_act = aos[b].next_act.max(until);
+                        soa.delay_act_until(b, until);
+                    }
+                    _ => {
+                        let at = now.max(aos[b].next_rd);
+                        aos[b].do_read(at, &timing);
+                        soa.do_read(b, at, &timing);
+                        now = at;
+                    }
+                },
+            }
+            for (i, bank) in aos.iter().enumerate() {
+                assert_eq!(soa.state(i), bank.state, "bank {i} state");
+                assert_eq!(soa.next_act(i), bank.next_act, "bank {i} next_act");
+                assert_eq!(soa.next_rd(i), bank.next_rd, "bank {i} next_rd");
+                assert_eq!(soa.next_wr(i), bank.next_wr, "bank {i} next_wr");
+                assert_eq!(soa.next_pre(i), bank.next_pre, "bank {i} next_pre");
+            }
+        }
     }
 
     #[test]

@@ -9,7 +9,9 @@ use crate::command::{CommandKind, CommandRecord};
 use crate::config::RowPolicy;
 use crate::scheduler::{Candidate, NeededCommand};
 use crate::trace::ChannelTracer;
-use crate::{Bank, BankState, DramConfig, DramCoord, DramStats, MemRequest, MemResponse, ReqKind};
+use crate::{
+    BankArray, BankState, DramConfig, DramCoord, DramStats, MemRequest, MemResponse, ReqKind,
+};
 
 /// CAS traffic to a rank is cut off once its pending refresh has been
 /// postponed this many `tREFI` intervals (the JEDEC budget of 8), so the
@@ -115,7 +117,7 @@ impl QueueIndex {
 #[derive(Debug)]
 pub struct ChannelController {
     config: DramConfig,
-    banks: Vec<Bank>,
+    banks: BankArray,
     ranks: Vec<RankState>,
     refresh_pending: Vec<bool>,
     read_q: VecDeque<Queued>,
@@ -145,6 +147,14 @@ pub struct ChannelController {
     /// log / checker when `now` catches up so the stream stays
     /// cycle-monotonic.
     pending_autopre: Vec<CommandRecord>,
+    /// Sched-sleep cache: a failed scheduling scan stores the earliest
+    /// cycle either queue's *timing* constraints could admit any command
+    /// ([`Self::queue_issue_event`], which ignores refresh vetoes — they
+    /// only delay, so the bound is conservative). Until that cycle the
+    /// per-tick scans are provably fruitless and are skipped in O(1).
+    /// Every scheduler-state mutation (enqueue, issued command, refresh
+    /// activity) resets the cache to 0.
+    sched_sleep_until: u64,
 }
 
 impl ChannelController {
@@ -160,7 +170,7 @@ impl ChannelController {
             .min()
             .unwrap_or(u64::MAX);
         Self {
-            banks: vec![Bank::new(); nbanks],
+            banks: BankArray::new(nbanks),
             ranks,
             refresh_pending: vec![false; config.org.ranks],
             read_q: VecDeque::with_capacity(config.read_queue),
@@ -186,6 +196,7 @@ impl ChannelController {
                 config.write_queue,
             ),
             pending_autopre: Vec::new(),
+            sched_sleep_until: 0,
             config,
         }
     }
@@ -328,6 +339,13 @@ impl ChannelController {
                 }
                 let flat = self.flat_bank(&coord);
                 let seq = self.read_ix.push(flat, coord.row, self.open_row(flat));
+                // Tighten the scheduler sleep bound with just this bank's
+                // term: every other bank's earliest-issue estimate is
+                // untouched by the push (timing state is frozen while no
+                // command issues), so the incremental min equals a full
+                // re-scan.
+                let ev = self.bank_issue_event(&self.read_ix, flat, true);
+                self.sched_sleep_until = self.sched_sleep_until.min(ev);
                 self.read_q.push_back(Queued {
                     req: MemRequest { addr, ..req },
                     coord,
@@ -344,6 +362,8 @@ impl ChannelController {
                 }
                 let flat = self.flat_bank(&coord);
                 let seq = self.write_ix.push(flat, coord.row, self.open_row(flat));
+                let ev = self.bank_issue_event(&self.write_ix, flat, false);
+                self.sched_sleep_until = self.sched_sleep_until.min(ev);
                 self.write_q.push_back(Queued {
                     req: MemRequest { addr, ..req },
                     coord,
@@ -439,13 +459,13 @@ impl ChannelController {
             let mut any_open = false;
             let mut pre_at = u64::MAX;
             let mut act_ready = 0u64;
-            for b in &self.banks[base..base + banks_per_rank] {
-                match b.state {
+            for b in base..base + banks_per_rank {
+                match self.banks.state(b) {
                     BankState::Opened(_) => {
                         any_open = true;
-                        pre_at = pre_at.min(b.next_pre);
+                        pre_at = pre_at.min(self.banks.next_pre(b));
                     }
-                    BankState::Closed => act_ready = act_ready.max(b.next_act),
+                    BankState::Closed => act_ready = act_ready.max(self.banks.next_act(b)),
                 }
             }
             ev = ev.min(if any_open { pre_at } else { act_ready });
@@ -460,33 +480,48 @@ impl ChannelController {
     /// contents) are frozen while no command issues, which is exactly
     /// the window this bound protects.
     fn queue_issue_event(&self, ix: &QueueIndex, is_read: bool) -> u64 {
-        let t = &self.config.timing;
-        let cas_lat = if is_read { t.t_cl } else { t.t_cwl };
         let mut ev = u64::MAX;
         for &flat in &ix.occupied {
-            let bank = &self.banks[flat];
-            let (rank_idx, bg) = self.rank_bg_of(flat);
-            let rank = &self.ranks[rank_idx];
-            match bank.state {
-                BankState::Closed => {
-                    ev = ev.min(bank.next_act.max(rank.act_allowed_at(bg, t)));
+            ev = ev.min(self.bank_issue_event(ix, flat, is_read));
+        }
+        ev
+    }
+
+    /// The single-bank term of [`Self::queue_issue_event`]: the earliest
+    /// cycle any command serving `ix`'s residents of bank `flat` could
+    /// become issuable. Factored out so `try_enqueue` can tighten the
+    /// scheduler sleep bound incrementally — pushing a request changes
+    /// only its own bank's term, so re-scanning every occupied bank on
+    /// each enqueue is wasted work.
+    fn bank_issue_event(&self, ix: &QueueIndex, flat: usize, is_read: bool) -> u64 {
+        let t = &self.config.timing;
+        let cas_lat = if is_read { t.t_cl } else { t.t_cwl };
+        let (rank_idx, bg) = self.rank_bg_of(flat);
+        let rank = &self.ranks[rank_idx];
+        let mut ev = u64::MAX;
+        match self.banks.state(flat) {
+            BankState::Closed => {
+                ev = ev.min(self.banks.next_act(flat).max(rank.act_allowed_at(bg, t)));
+            }
+            BankState::Opened(_) => {
+                let oldest_hit = ix.hits[flat].front().copied();
+                if oldest_hit.is_some() {
+                    let bank_ready = if is_read {
+                        self.banks.next_rd(flat)
+                    } else {
+                        self.banks.next_wr(flat)
+                    };
+                    ev = ev.min(
+                        bank_ready
+                            .max(rank.cas_allowed_at(bg, is_read, t))
+                            .max(self.bus_free_at.saturating_sub(cas_lat)),
+                    );
                 }
-                BankState::Opened(_) => {
-                    let oldest_hit = ix.hits[flat].front().copied();
-                    if oldest_hit.is_some() {
-                        let bank_ready = if is_read { bank.next_rd } else { bank.next_wr };
-                        ev = ev.min(
-                            bank_ready
-                                .max(rank.cas_allowed_at(bg, is_read, t))
-                                .max(self.bus_free_at.saturating_sub(cas_lat)),
-                        );
-                    }
-                    let &(oldest_seq, _) = ix.by_bank[flat]
-                        .front()
-                        .expect("occupied bank has residents");
-                    if oldest_hit != Some(oldest_seq) {
-                        ev = ev.min(bank.next_pre);
-                    }
+                let &(oldest_seq, _) = ix.by_bank[flat]
+                    .front()
+                    .expect("occupied bank has residents");
+                if oldest_hit != Some(oldest_seq) {
+                    ev = ev.min(self.banks.next_pre(flat));
                 }
             }
         }
@@ -529,6 +564,9 @@ impl ChannelController {
         self.check_liveness();
 
         if self.config.refresh_enabled && self.service_refresh() {
+            // Refresh PRE/REF touched bank state; re-derive the sleep
+            // bound on the next scan.
+            self.sched_sleep_until = 0;
             return;
         }
 
@@ -552,6 +590,23 @@ impl ChannelController {
             return;
         }
 
+        // Sched-sleep gate: while `now` is below the cached bound no
+        // command can possibly issue from either queue (the bound is a
+        // timing lower bound over every resident, and every timing input
+        // is frozen while nothing issues), so the candidate scans are
+        // skipped outright. The starvation check above still runs every
+        // cycle — its deadline is not part of the bound.
+        if self.now < self.sched_sleep_until {
+            #[cfg(debug_assertions)]
+            {
+                // Shadow check: the full reference scan must agree that
+                // neither queue has an issuable candidate this cycle.
+                self.assert_matches_reference_scan(ReqKind::Read, None);
+                self.assert_matches_reference_scan(ReqKind::Write, None);
+            }
+            return;
+        }
+
         // Read-priority scheduling: writes are served when the read queue
         // is empty, or forced when the write queue crosses its high
         // watermark (reads would otherwise starve the write drain and the
@@ -563,15 +618,22 @@ impl ChannelController {
 
         // Opportunistic fallback: if the preferred queue cannot issue any
         // command this cycle, give the other queue the command slot.
-        if serve_writes {
-            if !self.schedule_queue(ReqKind::Write) && !self.read_q.is_empty() {
-                self.schedule_queue(ReqKind::Read);
-            }
-        } else if !self.read_q.is_empty()
-            && !self.schedule_queue(ReqKind::Read)
-            && !self.write_q.is_empty()
-        {
-            self.schedule_queue(ReqKind::Write);
+        let issued = if serve_writes {
+            self.schedule_queue(ReqKind::Write)
+                || (!self.read_q.is_empty() && self.schedule_queue(ReqKind::Read))
+        } else if !self.read_q.is_empty() {
+            self.schedule_queue(ReqKind::Read)
+                || (!self.write_q.is_empty() && self.schedule_queue(ReqKind::Write))
+        } else {
+            false
+        };
+        if !issued {
+            // Nothing could issue: sleep until the earliest cycle the
+            // timing constraints could admit any command (`u64::MAX`
+            // for empty queues — an enqueue resets the cache).
+            self.sched_sleep_until = self
+                .queue_issue_event(&self.read_ix, true)
+                .min(self.queue_issue_event(&self.write_ix, false));
         }
     }
 
@@ -586,8 +648,8 @@ impl ChannelController {
         let Some(q) = queue.front().copied() else {
             return false;
         };
-        let bank = &self.banks[self.flat_bank(&q.coord)];
-        let needed = match bank.state {
+        let flat = self.flat_bank(&q.coord);
+        let needed = match self.banks.state(flat) {
             BankState::Opened(r) if r == q.coord.row => NeededCommand::Cas,
             BankState::Opened(_) => NeededCommand::Precharge,
             BankState::Closed => NeededCommand::Activate,
@@ -595,7 +657,7 @@ impl ChannelController {
         let issuable = match needed {
             NeededCommand::Cas => self.cas_issuable(&q),
             NeededCommand::Activate => self.act_issuable(&q),
-            NeededCommand::Precharge => self.now >= bank.next_pre,
+            NeededCommand::Precharge => self.now >= self.banks.next_pre(flat),
         };
         if !issuable {
             return false;
@@ -641,12 +703,12 @@ impl ChannelController {
             // other ranks use this cycle's command slot.
             let mut any_open = false;
             for b in 0..banks_per_rank {
-                let bank = &mut self.banks[base + b];
-                if let BankState::Opened(row) = bank.state {
-                    if self.now >= bank.next_pre {
-                        bank.do_precharge(self.now, &t);
+                let flat = base + b;
+                if let BankState::Opened(row) = self.banks.state(flat) {
+                    if self.now >= self.banks.next_pre(flat) {
+                        self.banks.do_precharge(flat, self.now, &t);
                         self.stats.precharges += 1;
-                        self.on_bank_row_change(base + b);
+                        self.on_bank_row_change(flat);
                         self.emit(
                             self.now,
                             CommandKind::Pre,
@@ -668,13 +730,12 @@ impl ChannelController {
                 continue;
             }
             // All banks closed; wait for tRP to elapse on every bank.
-            let ready = (0..banks_per_rank).all(|b| self.now >= self.banks[base + b].next_act);
+            let ready = (0..banks_per_rank).all(|b| self.now >= self.banks.next_act(base + b));
             if ready {
                 self.ranks[rank].record_refresh(self.now, &t);
                 let blocked_until = self.now + t.t_rfc;
                 for b in 0..banks_per_rank {
-                    let bank = &mut self.banks[base + b];
-                    bank.next_act = bank.next_act.max(blocked_until);
+                    self.banks.delay_act_until(base + b, blocked_until);
                 }
                 self.refresh_pending[rank] = false;
                 self.refresh_pending_count -= 1;
@@ -730,7 +791,7 @@ impl ChannelController {
             let &(oldest_seq, _) = ix.by_bank[flat]
                 .front()
                 .expect("occupied bank has residents");
-            match self.banks[flat].state {
+            match self.banks.state(flat) {
                 BankState::Closed => {
                     if best_other.is_none_or(|(s, _)| oldest_seq < s) && self.act_issuable_at(flat)
                     {
@@ -746,7 +807,7 @@ impl ChannelController {
                     }
                     if oldest_hit != Some(oldest_seq)
                         && best_other.is_none_or(|(s, _)| oldest_seq < s)
-                        && self.now >= self.banks[flat].next_pre
+                        && self.now >= self.banks.next_pre(flat)
                     {
                         best_other = Some((oldest_seq, NeededCommand::Precharge));
                     }
@@ -793,8 +854,7 @@ impl ChannelController {
         let mut older_hit = vec![false; self.banks.len()];
         for (pos, q) in queue.iter().enumerate() {
             let flat = self.flat_bank(&q.coord);
-            let bank = &self.banks[flat];
-            let needed = match bank.state {
+            let needed = match self.banks.state(flat) {
                 BankState::Opened(r) if r == q.coord.row => NeededCommand::Cas,
                 BankState::Opened(_) => NeededCommand::Precharge,
                 BankState::Closed => NeededCommand::Activate,
@@ -802,7 +862,9 @@ impl ChannelController {
             let issuable = match needed {
                 NeededCommand::Cas => self.cas_issuable(q),
                 NeededCommand::Activate => self.act_issuable(q),
-                NeededCommand::Precharge => !older_hit[flat] && self.now >= bank.next_pre,
+                NeededCommand::Precharge => {
+                    !older_hit[flat] && self.now >= self.banks.next_pre(flat)
+                }
             };
             if needed == NeededCommand::Cas {
                 older_hit[flat] = true;
@@ -836,10 +898,7 @@ impl ChannelController {
 
     /// The row currently open on flat bank `flat`, if any.
     fn open_row(&self, flat: usize) -> Option<usize> {
-        match self.banks[flat].state {
-            BankState::Opened(r) => Some(r),
-            BankState::Closed => None,
-        }
+        self.banks.open_row(flat)
     }
 
     /// Re-syncs both queues' open-row hit caches after `flat`'s row state
@@ -859,7 +918,6 @@ impl ChannelController {
     /// direction).
     fn cas_issuable_at(&self, flat: usize, is_read: bool) -> bool {
         let t = &self.config.timing;
-        let bank = &self.banks[flat];
         let (rank_idx, bg) = self.rank_bg_of(flat);
         let rank = &self.ranks[rank_idx];
         // A rank whose pending refresh has exhausted its postpone budget
@@ -872,9 +930,9 @@ impl ChannelController {
             return false;
         }
         let bank_ready = if is_read {
-            self.now >= bank.next_rd
+            self.now >= self.banks.next_rd(flat)
         } else {
-            self.now >= bank.next_wr
+            self.now >= self.banks.next_wr(flat)
         };
         let rank_ready = self.now >= rank.cas_allowed_at(bg, is_read, t);
         let burst_start = self.now + if is_read { t.t_cl } else { t.t_cwl };
@@ -890,11 +948,13 @@ impl ChannelController {
         let t = &self.config.timing;
         let (rank_idx, bg) = self.rank_bg_of(flat);
         !self.refresh_pending[rank_idx]
-            && self.now >= self.banks[flat].next_act
+            && self.now >= self.banks.next_act(flat)
             && self.now >= self.ranks[rank_idx].act_allowed_at(bg, t)
     }
 
     fn issue(&mut self, kind: ReqKind, choice: Candidate) {
+        // Any issued command mutates bank/rank/bus timing state.
+        self.sched_sleep_until = 0;
         let t = self.config.timing;
         let queue = match kind {
             ReqKind::Read => &mut self.read_q,
@@ -920,11 +980,8 @@ impl ChannelController {
         match choice.needed {
             NeededCommand::Precharge => {
                 // Log the row being closed, not the requested row.
-                let open_row = match self.banks[flat].state {
-                    BankState::Opened(r) => r,
-                    BankState::Closed => entry.coord.row,
-                };
-                self.banks[flat].do_precharge(self.now, &t);
+                let open_row = self.banks.open_row(flat).unwrap_or(entry.coord.row);
+                self.banks.do_precharge(flat, self.now, &t);
                 self.stats.precharges += 1;
                 self.on_bank_row_change(flat);
                 self.emit(
@@ -937,7 +994,7 @@ impl ChannelController {
                 );
             }
             NeededCommand::Activate => {
-                self.banks[flat].do_activate(self.now, entry.coord.row, &t);
+                self.banks.do_activate(flat, self.now, entry.coord.row, &t);
                 self.ranks[entry.coord.rank].record_act(self.now, entry.coord.bank_group);
                 self.stats.activates += 1;
                 self.on_bank_row_change(flat);
@@ -946,10 +1003,10 @@ impl ChannelController {
             NeededCommand::Cas => {
                 let is_read = entry.req.is_read();
                 let cas_lat = if is_read {
-                    self.banks[flat].do_read(self.now, &t);
+                    self.banks.do_read(flat, self.now, &t);
                     t.t_cl
                 } else {
-                    self.banks[flat].do_write(self.now, &t);
+                    self.banks.do_write(flat, self.now, &t);
                     t.t_cwl
                 };
                 self.emit(
@@ -989,8 +1046,8 @@ impl ChannelController {
                     // earliest legal precharge time the bank now carries.
                     // The record is buffered until that cycle arrives so
                     // the observable command stream stays monotonic.
-                    let pre_at = self.banks[flat].next_pre;
-                    self.banks[flat].do_precharge(pre_at, &t);
+                    let pre_at = self.banks.next_pre(flat);
+                    self.banks.do_precharge(flat, pre_at, &t);
                     self.stats.precharges += 1;
                     if self.config.log_commands || self.checker.is_some() {
                         self.pending_autopre.push(CommandRecord {

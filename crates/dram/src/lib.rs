@@ -65,7 +65,7 @@ mod system;
 mod trace;
 
 pub use address::{AddressMapper, DramCoord, MappingScheme};
-pub use bank::{Bank, BankState};
+pub use bank::{Bank, BankArray, BankState};
 pub use cache::{Cache, CacheConfig, CacheHierarchy};
 pub use channel::ChannelController;
 pub use checker::{ProtocolChecker, ProtocolViolation, REFRESH_DEADLINE_INTERVALS};

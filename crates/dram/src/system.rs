@@ -111,22 +111,42 @@ impl MemorySystem {
     /// samples, responses) is bit-identical to calling [`Self::tick`]
     /// `ticks` times, as long as no requests are enqueued and no
     /// responses popped in between — which is how the PU model drives it.
+    ///
+    /// Channels share no state, so each advances independently with its
+    /// *own* event bound (tighter than the old lock-step global minimum:
+    /// one channel's event no longer forces the others through a real
+    /// tick). With [`DramConfig::parallel_channels`] set and more than
+    /// one channel, each channel runs the span on its own scoped thread.
     pub fn advance(&mut self, ticks: u64) {
         let end = self.now() + ticks;
-        while self.now() < end {
+        if self.config.parallel_channels && self.channels.len() > 1 {
+            std::thread::scope(|scope| {
+                for ch in &mut self.channels {
+                    scope.spawn(move || Self::advance_channel(ch, end));
+                }
+            });
+        } else {
+            for ch in &mut self.channels {
+                Self::advance_channel(ch, end);
+            }
+        }
+    }
+
+    /// Advances one channel to bus cycle `end`, fast-forwarding across
+    /// its event-free spans.
+    fn advance_channel(ch: &mut ChannelController, end: u64) {
+        while ch.now() < end {
             // Skip to just before the next event (the event cycle itself
             // must run through `tick` so commands can issue there), then
             // execute one real cycle. `next_event_cycle` is clamped to
             // `now + 1`, so the loop always progresses.
-            let next = self.next_event_cycle().unwrap_or(u64::MAX);
+            let next = ch.next_event_cycle().unwrap_or(u64::MAX);
             let skip_to = next.saturating_sub(1).min(end);
-            if skip_to > self.now() {
-                for ch in &mut self.channels {
-                    ch.fast_forward_to(skip_to);
-                }
+            if skip_to > ch.now() {
+                ch.fast_forward_to(skip_to);
             }
-            if self.now() < end {
-                self.tick();
+            if ch.now() < end {
+                ch.tick();
             }
         }
     }
@@ -308,6 +328,63 @@ mod tests {
         let bw = mem.utilized_bandwidth_gbs();
         assert!(bw > 5.0, "streaming bandwidth too low: {bw}");
         assert!(bw <= mem.config().peak_bandwidth_gbs() + 1e-9);
+    }
+
+    /// Phased random traffic driven three ways — per-cycle `tick`,
+    /// serial `advance`, and channel-parallel `advance` — must produce
+    /// identical responses, stats and per-channel command logs.
+    #[test]
+    fn parallel_channel_advance_matches_serial_ticking() {
+        let mk = |parallel: bool| {
+            let mut c = DramConfig::ddr4_2400r().with_channels(4);
+            c.log_commands = true;
+            c.parallel_channels = parallel;
+            MemorySystem::new(c)
+        };
+        let mut ticked = mk(false);
+        let mut serial = mk(false);
+        let mut parallel = mk(true);
+        let mut id = 0u64;
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for phase in 0..40u64 {
+            for _ in 0..8 {
+                let addr = (rng() % (1 << 26)) & !63;
+                let req = if rng() % 3 == 0 {
+                    MemRequest::write(addr, id)
+                } else {
+                    MemRequest::read(addr, id)
+                };
+                id += 1;
+                let a = ticked.try_enqueue(req);
+                let b = serial.try_enqueue(req);
+                let c = parallel.try_enqueue(req);
+                assert_eq!(a, b);
+                assert_eq!(a, c);
+            }
+            let span = 50 + (phase % 7) * 37;
+            for _ in 0..span {
+                ticked.tick();
+            }
+            serial.advance(span);
+            parallel.advance(span);
+            let r1 = ticked.drain_responses();
+            let r2 = serial.drain_responses();
+            let r3 = parallel.drain_responses();
+            assert_eq!(r1, r2, "serial advance diverged in phase {phase}");
+            assert_eq!(r1, r3, "parallel advance diverged in phase {phase}");
+        }
+        assert_eq!(ticked.stats(), serial.stats());
+        assert_eq!(ticked.stats(), parallel.stats());
+        for ch in 0..4 {
+            assert_eq!(ticked.command_log(ch), serial.command_log(ch));
+            assert_eq!(ticked.command_log(ch), parallel.command_log(ch));
+        }
     }
 
     #[test]
