@@ -1,4 +1,5 @@
-//! Regenerates the MeNDA paper's tables and figures.
+//! Regenerates the MeNDA paper's tables and figures, and fronts the
+//! resident simulation service.
 //!
 //! ```text
 //! repro all                 # every experiment at the default 1/64 scale
@@ -6,30 +7,66 @@
 //! repro fig10 --scale 16    # bigger matrices (slower, closer to paper)
 //! repro all --out results   # additionally write each report to results/<id>.txt
 //! repro --list              # available experiment ids
+//!
+//! repro job FILE            # run one JSON job description (batch path)
+//! repro serve [--addr A]    # start the resident simulation daemon
+//! repro serve-bench         # load-test the daemon, write SERVER_8.json
 //! ```
 //!
-//! Experiments that produce file artifacts themselves (e.g. `trace`)
-//! write into the shared results directory (`$MENDA_RESULTS_DIR`,
-//! default `results`); `--out DIR` points that directory at `DIR` too,
-//! so all output of a run lands in one place.
+//! Experiments that produce file artifacts (e.g. `trace`, `bench`,
+//! `serve-bench`) write into the output directory: `--out DIR` if given,
+//! else `$MENDA_RESULTS_DIR`, else `results/`. The directory is resolved
+//! once here and passed down explicitly — nothing below the CLI reads
+//! the environment.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use menda_bench::experiments;
 use menda_bench::util;
 use menda_bench::Scale;
+use menda_core::JobSpec;
+use menda_server::{ServerConfig, ServerHandle};
+
+fn usage() -> String {
+    format!(
+        concat!(
+            "usage: repro [--scale N] [--out DIR] [--list] <experiment...|all>\n",
+            "       repro job FILE [--out DIR]\n",
+            "       repro serve [--addr HOST:PORT] [--workers N] [--queue N] [--max-nnz N]\n",
+            "available experiments: {}\n",
+            "service experiments:   {}\n"
+        ),
+        experiments::ALL.join(", "),
+        experiments::SERVICE.join(", ")
+    )
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("job") => run_job(&args[1..]),
+        Some("serve") => run_serve(&args[1..]),
+        _ => run_experiments(&args),
+    }
+}
+
+/// `repro <ids> [--scale N] [--out DIR]` — the batch experiment path.
+fn run_experiments(args: &[String]) -> ExitCode {
     let mut ids: Vec<String> = Vec::new();
     let mut scale = Scale::default_scale();
+    let mut out_dir: Option<PathBuf> = None;
     let mut write_reports = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--list" => {
-                println!("available experiments: {}", experiments::ALL.join(", "));
+                println!(
+                    "available experiments: {}\nservice experiments:   {}",
+                    experiments::ALL.join(", "),
+                    experiments::SERVICE.join(", ")
+                );
                 return ExitCode::SUCCESS;
             }
             "--scale" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
@@ -41,9 +78,7 @@ fn main() -> ExitCode {
             },
             "--out" => match iter.next() {
                 Some(dir) => {
-                    // Route every artifact writer through the one
-                    // results-dir helper.
-                    std::env::set_var("MENDA_RESULTS_DIR", dir);
+                    out_dir = Some(PathBuf::from(dir));
                     write_reports = true;
                 }
                 None => {
@@ -56,20 +91,22 @@ fn main() -> ExitCode {
         }
     }
     if ids.is_empty() {
-        eprintln!("usage: repro [--scale N] [--out DIR] [--list] <experiment...|all>");
-        eprintln!("available: {}", experiments::ALL.join(", "));
+        eprintln!("{}", usage());
         return ExitCode::FAILURE;
     }
+    // The one place output location is decided: CLI flag beats the
+    // environment default. Everything below takes the directory as a
+    // parameter.
+    let dir = out_dir.unwrap_or_else(util::results_dir);
 
     for id in &ids {
         let started = Instant::now();
-        match experiments::run(id, scale) {
+        match experiments::run(id, scale, &dir) {
             Ok(report) => {
                 println!("==================== {id} ====================");
                 println!("{report}");
                 println!("[{id} completed in {:.1?}]\n", started.elapsed());
                 if write_reports {
-                    let dir = util::results_dir();
                     if let Err(e) = util::write_artifact(&dir, &format!("{id}.txt"), &report) {
                         eprintln!("error writing {id}.txt: {e}");
                         return ExitCode::FAILURE;
@@ -82,5 +119,123 @@ fn main() -> ExitCode {
             }
         }
     }
+    ExitCode::SUCCESS
+}
+
+/// `repro job FILE [--out DIR]` — executes one JSON job description
+/// through the same validated path the server uses and prints the
+/// deterministic outcome JSON (with its digest on stderr). This is the
+/// batch half of the wire/batch differential check.
+fn run_job(args: &[String]) -> ExitCode {
+    let mut file: Option<String> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => match iter.next() {
+                Some(dir) => out_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if file.is_none() => file = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument {other:?}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = file else {
+        eprintln!("repro job requires a job JSON file\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match JobSpec::from_json_str(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("invalid job: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match spec.execute() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("job failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = outcome.to_json();
+    println!("{stats}");
+    eprintln!("stats_digest: {:016x}", outcome.digest());
+    if let Some(dir) = out_dir {
+        if let Err(e) = util::write_artifact(&dir, "job_outcome.json", &format!("{stats}\n")) {
+            eprintln!("error writing job_outcome.json: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `repro serve [--addr A] [--workers N] [--queue N] [--max-nnz N]` —
+/// starts the resident daemon and serves until a client sends
+/// `{"op":"shutdown"}`.
+fn run_serve(args: &[String]) -> ExitCode {
+    let mut addr = "127.0.0.1:7870".to_string();
+    let mut config = ServerConfig::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let result = match arg.as_str() {
+            "--addr" => value(&mut iter, "--addr").map(|v| addr = v),
+            "--workers" => value(&mut iter, "--workers").and_then(|v| {
+                v.parse()
+                    .map(|n| config.workers = n)
+                    .map_err(|_| format!("--workers: invalid number {v:?}"))
+            }),
+            "--queue" => value(&mut iter, "--queue").and_then(|v| match v.parse() {
+                Ok(n) if n > 0 => {
+                    config.queue_capacity = n;
+                    Ok(())
+                }
+                _ => Err(format!("--queue: needs a positive integer, got {v:?}")),
+            }),
+            "--max-nnz" => value(&mut iter, "--max-nnz").and_then(|v| {
+                v.parse()
+                    .map(|n| config.max_job_nnz = n)
+                    .map_err(|_| format!("--max-nnz: invalid number {v:?}"))
+            }),
+            other => Err(format!("unknown flag {other:?}\n{}", usage())),
+        };
+        if let Err(message) = result {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let server = match ServerHandle::bind(&addr, config.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("repro serve: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "repro serve: listening on {} ({} workers, queue {})",
+        server.local_addr(),
+        config.effective_workers(),
+        config.queue_capacity
+    );
+    server.join();
+    println!("repro serve: shut down");
     ExitCode::SUCCESS
 }

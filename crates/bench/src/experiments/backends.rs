@@ -93,23 +93,18 @@ impl Measurement {
 }
 
 /// Runs both backends on the Table 3 workloads, writes
-/// `BACKENDS_6.json`, and returns the report.
+/// `BACKENDS_6.json` into `dir`, and returns the report.
+///
+/// # Errors
+///
+/// Returns an error if the artifact cannot be written.
 ///
 /// # Panics
 ///
 /// Panics if either backend produces a wrong transposition, if the two
 /// backends' transpositions differ, or if SpMV misses the dense
-/// reference tolerance.
-pub fn run(scale: Scale) -> String {
-    run_to(scale, &util::results_dir())
-}
-
-/// Like [`run`], but writes the artifact into `dir`.
-///
-/// # Panics
-///
-/// Same conditions as [`run`].
-pub fn run_to(scale: Scale, dir: &Path) -> String {
+/// reference tolerance — correctness gates, not input errors.
+pub fn run(scale: Scale, dir: &Path) -> Result<String, String> {
     let factor = scale.factor();
     let cfg = MendaConfig::paper();
     let mut rng = StdRng::seed_from_u64(0xBAC6);
@@ -117,7 +112,7 @@ pub fn run_to(scale: Scale, dir: &Path) -> String {
 
     for name in ["N1", "N4", "P1", "P4"] {
         let m = gen::table3_spec(name)
-            .expect("Table 3 entry")
+            .ok_or_else(|| format!("Table 3 has no entry named '{name}'"))?
             .generate_scaled(factor, rng.next_u64());
         let golden = m.to_csc();
         let x: Vec<f32> = (0..m.ncols())
@@ -183,7 +178,8 @@ pub fn run_to(scale: Scale, dir: &Path) -> String {
             .collect::<Vec<_>>()
             .join(",\n"),
     );
-    let path = util::write_artifact(dir, "BACKENDS_6.json", &json).expect("write BACKENDS_6.json");
+    let path = util::write_artifact(dir, "BACKENDS_6.json", &json)
+        .map_err(|e| format!("writing BACKENDS_6.json to {}: {e}", dir.display()))?;
 
     let mut out = format!(
         "Accelerator backends: MeNDA merge-tree PU vs SparseP-style UPMEM PIM\n(paper 8-rank system, 1/{} scale; transposition bit-identical across backends)\n\n",
@@ -207,5 +203,5 @@ pub fn run_to(scale: Scale, dir: &Path) -> String {
     }
     out.push_str(&t.render());
     out.push_str(&format!("\nWrote {}\n", path.display()));
-    out
+    Ok(out)
 }

@@ -174,21 +174,20 @@ fn measured_runs(name: &'static str, m: &CsrMatrix, seed: u64) -> Vec<Measuremen
     out
 }
 
-/// Runs the benchmark at the scale given on the command line, writes
-/// `BENCH_7.json` into the shared results directory, and returns the
-/// report.
+/// Runs the benchmark at the requested scale, writes `BENCH_7.json`
+/// into `dir`, and returns the report.
+///
+/// # Errors
+///
+/// Returns an error if the artifact cannot be written.
 ///
 /// # Panics
 ///
 /// Panics if any oracle run diverges between the two paths, or any
-/// measured run fails functional verification.
-pub fn run(scale: Scale) -> String {
-    run_to(scale, &util::results_dir())
-}
-
-/// Like [`run`], but writes the artifact into `dir` (used by the smoke
-/// tests to keep scratch output out of `results/`).
-pub fn run_to(scale: Scale, dir: &Path) -> String {
+/// measured run fails functional verification — those are correctness
+/// gates (the CI `bench`/`bench-scale` jobs rely on them), not input
+/// errors.
+pub fn run(scale: Scale, dir: &Path) -> Result<String, String> {
     let factor = scale.factor();
     let oracle_factor = factor.max(ORACLE_MAX_FACTOR);
     let two_tier = oracle_factor != factor;
@@ -197,7 +196,8 @@ pub fn run_to(scale: Scale, dir: &Path) -> String {
     let mut oracle = Vec::new();
     let mut measured = Vec::new();
     for name in MATRICES {
-        let spec = gen::table3_spec(name).expect("Table 3 entry");
+        let spec =
+            gen::table3_spec(name).ok_or_else(|| format!("Table 3 has no entry named '{name}'"))?;
         // Seeds are drawn in a fixed order so each tier's matrices are
         // reproducible regardless of the other tier.
         let seed_o = rng.next_u64();
@@ -266,7 +266,8 @@ pub fn run_to(scale: Scale, dir: &Path) -> String {
             .collect::<Vec<_>>()
             .join(",\n"),
     );
-    let path = util::write_artifact(dir, "BENCH_7.json", &json).expect("write BENCH_7.json");
+    let path = util::write_artifact(dir, "BENCH_7.json", &json)
+        .map_err(|e| format!("writing BENCH_7.json to {}: {e}", dir.display()))?;
 
     let mut out = format!(
         "Simulator benchmark: event-driven fast-forward vs per-cycle reference\n\
@@ -300,5 +301,5 @@ pub fn run_to(scale: Scale, dir: &Path) -> String {
         ref_geomean_cps,
         path.display()
     ));
-    out
+    Ok(out)
 }

@@ -1,8 +1,11 @@
 //! One module per paper artifact (table or figure).
 //!
-//! Every experiment exposes `run(scale) -> String` returning the rendered
-//! report; the `repro` binary prints it. EXPERIMENTS.md records the
-//! paper-reported values next to a captured run.
+//! Every experiment returns its rendered report; the `repro` binary
+//! prints it. Experiments that produce file artifacts take an explicit
+//! output directory — nothing in here reads or mutates process-global
+//! state, so experiments can run concurrently (e.g. under the
+//! simulation service) with different output locations. EXPERIMENTS.md
+//! records the paper-reported values next to a captured run.
 
 pub mod backends;
 pub mod bench;
@@ -17,6 +20,7 @@ pub mod fig16;
 pub mod fig2;
 pub mod fig3;
 pub mod host;
+pub mod serve;
 pub mod tables;
 pub mod threads;
 pub mod trace;
@@ -24,6 +28,8 @@ pub mod verify;
 
 #[cfg(test)]
 mod smoke_tests;
+
+use std::path::Path;
 
 use crate::util::Scale;
 
@@ -55,12 +61,19 @@ pub const ALL: &[&str] = &[
     "backends",
 ];
 
-/// Dispatches an experiment by id.
+/// Service-oriented experiments dispatchable by id but excluded from
+/// `repro all`: they benchmark the daemon (wall-clock heavy, spin up a
+/// server in-process) rather than reproduce a paper artifact.
+pub const SERVICE: &[&str] = &["serve-bench"];
+
+/// Dispatches an experiment by id. Artifacts (trace JSON, benchmark
+/// reports) are written into `dir`.
 ///
 /// # Errors
 ///
-/// Returns an error message for unknown ids.
-pub fn run(id: &str, scale: Scale) -> Result<String, String> {
+/// Returns an error message for unknown ids, for invalid inputs inside
+/// an experiment, and for artifact-write failures.
+pub fn run(id: &str, scale: Scale, dir: &Path) -> Result<String, String> {
     match id {
         "tab1" => Ok(tables::tab1()),
         "tab2" => Ok(tables::tab2()),
@@ -82,13 +95,15 @@ pub fn run(id: &str, scale: Scale) -> Result<String, String> {
         "host" => Ok(host::run(scale)),
         "conflicts" => Ok(conflicts::run(scale)),
         "threads" => Ok(threads::run(scale)),
-        "trace" => Ok(trace::run(scale)),
+        "trace" => trace::run(scale, dir),
         "verify-dram" => Ok(verify::run(scale)),
-        "bench" => Ok(bench::run(scale)),
-        "backends" => Ok(backends::run(scale)),
+        "bench" => bench::run(scale, dir),
+        "backends" => backends::run(scale, dir),
+        "serve-bench" => serve::run(scale, dir),
         other => Err(format!(
-            "unknown experiment '{other}'; available: {}",
-            ALL.join(", ")
+            "unknown experiment '{other}'; available: {}, {}",
+            ALL.join(", "),
+            SERVICE.join(", ")
         )),
     }
 }

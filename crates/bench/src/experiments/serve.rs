@@ -1,0 +1,124 @@
+//! `serve-bench`: load test of the resident simulation service.
+//!
+//! Spins up an in-process `menda-server` daemon on an ephemeral port,
+//! replays the load driver's deterministic job mix against it over
+//! several pipelined connections, and writes `SERVER_8.json` with
+//! throughput plus p50/p90/p99 end-to-end latency. A sample of wire
+//! results is differentially verified against local batch re-execution
+//! (digest + byte-level stats comparison) — any divergence or failed
+//! job fails the experiment.
+//!
+//! Not part of `repro all`: it benchmarks the service layer, not a paper
+//! artifact, and is wall-clock heavy by design. The CI `server` job runs
+//! it at reduced scale and gates on zero failed/diverged jobs.
+
+use std::path::Path;
+
+use menda_server::loadgen::{self, LoadgenOptions};
+use menda_server::{ServerConfig, ServerHandle};
+
+use crate::util::{self, Scale, Table};
+
+/// Default job count: the acceptance bar for the committed artifact.
+pub const DEFAULT_JOBS: usize = 500;
+
+/// Runs the load test with [`DEFAULT_JOBS`] jobs.
+///
+/// # Errors
+///
+/// Propagates [`run_with`] errors.
+pub fn run(scale: Scale, dir: &Path) -> Result<String, String> {
+    run_with(scale, dir, DEFAULT_JOBS)
+}
+
+/// Runs the load test with an explicit job count (the smoke tests use a
+/// small one), writes `SERVER_8.json` into `dir`, and returns the
+/// report. Fails if any job failed or any differential check diverged.
+///
+/// # Errors
+///
+/// Returns an error when the server cannot start, the driver hits a
+/// protocol violation, any job fails, any differential check diverges,
+/// or the artifact cannot be written.
+pub fn run_with(scale: Scale, dir: &Path, jobs: usize) -> Result<String, String> {
+    // Job matrices below 1/128 scale make single jobs dominated by the
+    // simulator, not the service; clamp so the load test measures
+    // scheduling behaviour at any requested --scale.
+    let matrix_scale = scale.factor().max(128);
+    let server_config = ServerConfig {
+        workers: 0, // one per core
+        queue_capacity: 32,
+        ..ServerConfig::default()
+    };
+    let mut server = ServerHandle::bind("127.0.0.1:0", server_config)
+        .map_err(|e| format!("starting in-process server: {e}"))?;
+    let options = LoadgenOptions {
+        addr: server.local_addr().to_string(),
+        connections: 4,
+        jobs,
+        window: 4,
+        scale: matrix_scale,
+        deadline_ms: None,
+        verify_every: 25,
+    };
+    let outcome = loadgen::run(&options);
+    server.shutdown(true);
+    let status = server.status();
+    server.join();
+    let report = outcome?;
+
+    if report.failed > 0 {
+        return Err(format!("{} of {} jobs failed", report.failed, jobs));
+    }
+    if report.diverged > 0 {
+        return Err(format!(
+            "{} wire results diverged from the batch path",
+            report.diverged
+        ));
+    }
+
+    let path = util::write_artifact(dir, "SERVER_8.json", &format!("{}\n", report.to_json()))
+        .map_err(|e| format!("writing SERVER_8.json to {}: {e}", dir.display()))?;
+
+    let mut out = format!(
+        "Simulation service load test: {} jobs over {} connections (window {}),\n\
+         1/{} scale matrices, {} workers, queue capacity {}\n\n",
+        report.completed,
+        report.connections,
+        report.window,
+        matrix_scale,
+        status.workers,
+        status.queue_capacity
+    );
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(&["completed jobs", &report.completed.to_string()]);
+    t.row(&["failed jobs", &report.failed.to_string()]);
+    t.row(&["backpressure retries", &report.retried.to_string()]);
+    t.row(&[
+        "differentially verified".to_string(),
+        format!("{} (0 diverged)", report.verified),
+    ]);
+    t.row(&[
+        "throughput".to_string(),
+        format!("{:.1} jobs/s", report.throughput),
+    ]);
+    t.row(&[
+        "p50 latency".to_string(),
+        format!("{:.1} ms", report.p50_ms),
+    ]);
+    t.row(&[
+        "p90 latency".to_string(),
+        format!("{:.1} ms", report.p90_ms),
+    ]);
+    t.row(&[
+        "p99 latency".to_string(),
+        format!("{:.1} ms", report.p99_ms),
+    ]);
+    t.row(&[
+        "mean latency".to_string(),
+        format!("{:.1} ms", report.mean_ms),
+    ]);
+    out.push_str(&t.render());
+    out.push_str(&format!("\nWrote {}\n", path.display()));
+    Ok(out)
+}

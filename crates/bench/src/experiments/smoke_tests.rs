@@ -5,6 +5,8 @@
 
 #![cfg(test)]
 
+use std::path::PathBuf;
+
 use crate::experiments;
 use crate::util::Scale;
 
@@ -13,8 +15,14 @@ fn tiny() -> Scale {
     Scale(512)
 }
 
+/// Scratch output dir: non-artifact experiments never write, but the
+/// dispatch signature needs one.
+fn scratch() -> PathBuf {
+    std::env::temp_dir().join("menda-smoke-scratch")
+}
+
 fn run(id: &str) -> String {
-    experiments::run(id, tiny()).expect("experiment runs")
+    experiments::run(id, tiny(), &scratch()).expect("experiment runs")
 }
 
 #[test]
@@ -152,7 +160,10 @@ fn experiments_run_clean_under_live_protocol_checking() {
     // the MeNDA PU dataflow and the energy comparison end to end.
     menda_dram::set_check_protocol_default(Some(true));
     for id in ["fig3a", "fig3b", "fig12", "energy"] {
-        assert!(experiments::run(id, tiny()).is_ok(), "{id} failed");
+        assert!(
+            experiments::run(id, tiny(), &scratch()).is_ok(),
+            "{id} failed"
+        );
     }
     menda_dram::set_check_protocol_default(None);
 }
@@ -161,10 +172,10 @@ fn experiments_run_clean_under_live_protocol_checking() {
 fn trace_writes_valid_artifacts_and_full_table() {
     let dir = std::env::temp_dir().join("menda-trace-smoke");
     let _ = std::fs::remove_dir_all(&dir);
-    // run_to validates internally: reports must be well-formed, the JSON
-    // must round-trip through the in-repo parser with events, and every
-    // utilization metric must be derivable (panic otherwise).
-    let r = experiments::trace::run_to(tiny(), &dir);
+    // The experiment validates internally: reports must be well-formed,
+    // the JSON must round-trip through the in-repo parser with events,
+    // and every utilization metric must be derivable (panic otherwise).
+    let r = experiments::trace::run(tiny(), &dir).expect("trace runs");
     for component in ["merge tree", "prefetch", "coalescer", "DRAM"] {
         assert!(r.contains(component), "{component} missing from table");
     }
@@ -181,10 +192,11 @@ fn bench_honours_scale_and_writes_artifact() {
     let _ = std::fs::remove_dir_all(&dir);
     // Two distinct --scale values, both coarser than the oracle floor so
     // every run is an oracle run: the report must echo the requested
-    // scale, and run_to validates bit-identity between the fast-forward
-    // and reference paths internally (panicking on divergence).
+    // scale, and the experiment validates bit-identity between the
+    // fast-forward and reference paths internally (panicking on
+    // divergence).
     for scale in [Scale(512), Scale(256)] {
-        let r = experiments::bench::run_to(scale, &dir);
+        let r = experiments::bench::run(scale, &dir).expect("bench runs");
         let factor = scale.factor();
         assert!(
             r.contains(&format!("measured at 1/{factor} scale")),
@@ -204,10 +216,10 @@ fn bench_honours_scale_and_writes_artifact() {
 fn backends_reports_both_backends_and_writes_artifact() {
     let dir = std::env::temp_dir().join("menda-backends-smoke");
     let _ = std::fs::remove_dir_all(&dir);
-    // run_to validates internally: both backends must reproduce the
-    // golden transposition bit-identically and hit the SpMV tolerance
-    // (panic otherwise).
-    let r = experiments::backends::run_to(tiny(), &dir);
+    // The experiment validates internally: both backends must reproduce
+    // the golden transposition bit-identically and hit the SpMV
+    // tolerance (panic otherwise).
+    let r = experiments::backends::run(tiny(), &dir).expect("backends runs");
     for marker in ["menda", "pim", "transpose", "spmv"] {
         assert!(r.contains(marker), "{marker} missing");
     }
@@ -218,7 +230,26 @@ fn backends_reports_both_backends_and_writes_artifact() {
 
 #[test]
 fn unknown_experiment_is_an_error() {
-    assert!(experiments::run("fig99", tiny()).is_err());
+    let err = experiments::run("fig99", tiny(), &scratch()).unwrap_err();
+    assert!(err.contains("unknown experiment"), "unhelpful error: {err}");
+    assert!(err.contains("serve-bench"), "error must list service ids");
+}
+
+#[test]
+fn serve_bench_completes_a_small_load_test() {
+    let dir = std::env::temp_dir().join("menda-serve-smoke");
+    let _ = std::fs::remove_dir_all(&dir);
+    // Reduced job count: this checks the wiring (in-process daemon, load
+    // driver, artifact), not throughput. The CI server job runs the full
+    // 500-job version in release mode.
+    let r = experiments::serve::run_with(tiny(), &dir, 24).expect("serve-bench runs");
+    assert!(r.contains("completed jobs"), "report incomplete:\n{r}");
+    assert!(r.contains("p99 latency"), "no percentile in report:\n{r}");
+    let json = std::fs::read_to_string(dir.join("SERVER_8.json")).expect("artifact exists");
+    assert!(json.contains("\"completed\":24"), "bad artifact: {json}");
+    assert!(json.contains("\"failed\":0"), "jobs failed: {json}");
+    assert!(json.contains("\"diverged\":0"), "divergence: {json}");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
@@ -232,11 +263,13 @@ fn all_ids_dispatch() {
             "fig10" | "fig13" | "fig16" | "conflicts" | "threads" | "trace" | "bench" | "backends"
         ) {
             // "threads" runs 8-PU simulations at four thread counts;
-            // "trace", "bench" and "backends" write artifacts into the
-            // results dir; all four have dedicated smoke tests that
-            // redirect output to a scratch directory instead.
+            // "trace", "bench" and "backends" write artifacts; all four
+            // have dedicated smoke tests with a scratch directory.
             continue;
         }
-        assert!(experiments::run(id, tiny()).is_ok(), "{id} failed");
+        assert!(
+            experiments::run(id, tiny(), &scratch()).is_ok(),
+            "{id} failed"
+        );
     }
 }

@@ -14,7 +14,7 @@ use menda_core::{spmv, MendaConfig, MendaSystem, TraceConfig};
 use menda_sparse::gen;
 use menda_trace::{json, TraceReport};
 
-use crate::util::{results_dir, write_artifact, Scale, Table};
+use crate::util::{write_artifact, Scale, Table};
 
 /// One run's derived utilization figures, one column of the table.
 struct Utilization {
@@ -89,14 +89,13 @@ fn checked_json(rep: &TraceReport, what: &str) -> String {
     text
 }
 
-/// Runs the experiment, writing trace JSON into [`results_dir`].
-pub fn run(scale: Scale) -> String {
-    run_to(scale, &results_dir())
-}
-
 /// Runs transpose + SpMV with Chrome tracing, writes `trace_*.json`
 /// into `dir`, and renders the utilization table.
-pub fn run_to(scale: Scale, dir: &Path) -> String {
+///
+/// # Errors
+///
+/// Returns an error if either trace artifact cannot be written.
+pub fn run(scale: Scale, dir: &Path) -> Result<String, String> {
     let n = (32_768 / scale.factor()).max(64);
     let m = gen::rmat(n, n * 8, gen::RmatParams::PAPER, 7);
     let cfg = MendaConfig::paper().with_trace(TraceConfig::chrome());
@@ -108,7 +107,7 @@ pub fn run_to(scale: Scale, dir: &Path) -> String {
         "trace_transpose.json",
         &checked_json(t_rep, "transpose"),
     )
-    .expect("write transpose trace");
+    .map_err(|e| format!("writing trace_transpose.json to {}: {e}", dir.display()))?;
 
     let x: Vec<f32> = (0..m.ncols())
         .map(|i| (i % 13) as f32 * 0.25 - 1.0)
@@ -116,7 +115,7 @@ pub fn run_to(scale: Scale, dir: &Path) -> String {
     let s = spmv::run(&cfg, &m, &x);
     let s_rep = s.trace.as_ref().expect("traced SpMV has a report");
     let s_path = write_artifact(dir, "trace_spmv.json", &checked_json(s_rep, "spmv"))
-        .expect("write SpMV trace");
+        .map_err(|e| format!("writing trace_spmv.json to {}: {e}", dir.display()))?;
 
     let tu = utilization(t_rep, &cfg);
     let su = utilization(s_rep, &cfg);
@@ -169,5 +168,5 @@ pub fn run_to(scale: Scale, dir: &Path) -> String {
     out.push_str(
         "\nLoad either JSON in chrome://tracing or Perfetto: pid = PU, track 0 =\nPU clock (800 MHz), tracks 1+ = DRAM channel bus clock (1200 MHz).\n",
     );
-    out
+    Ok(out)
 }

@@ -4,12 +4,15 @@ use std::fmt::Display;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The directory experiment artifacts (reports, trace JSON) are written
-/// to: `$MENDA_RESULTS_DIR` if set and non-empty, else `results` under
-/// the current working directory.
+/// The *default* output directory for experiment artifacts:
+/// `$MENDA_RESULTS_DIR` if set and non-empty, else `results` under the
+/// current working directory.
 ///
-/// Every experiment that produces files routes them through here (via
-/// [`write_artifact`]) so output location is controlled in one place.
+/// This is only consulted at the top of the CLI (when `--out` is not
+/// given). Experiments themselves never read the environment — they take
+/// an explicit directory parameter and write through [`write_artifact`],
+/// so concurrent runs (e.g. under the simulation service) can target
+/// different locations without racing on process-global state.
 pub fn results_dir() -> PathBuf {
     match std::env::var("MENDA_RESULTS_DIR") {
         Ok(dir) if !dir.is_empty() => PathBuf::from(dir),

@@ -1,0 +1,109 @@
+//! The `repro` binary must never panic on bad user input: every invalid
+//! argument, file, or job description exits nonzero with a message on
+//! stderr. These tests drive the real binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A failed run must exit nonzero via the error path — a panic would
+/// print `panicked at` and abort with a different status/stderr shape.
+fn assert_clean_failure(out: &Output, needle: &str, what: &str) {
+    assert!(!out.status.success(), "{what}: expected nonzero exit");
+    let err = stderr_of(out);
+    assert!(
+        !err.contains("panicked at"),
+        "{what}: binary panicked:\n{err}"
+    );
+    assert!(
+        err.contains(needle),
+        "{what}: stderr lacks {needle:?}:\n{err}"
+    );
+}
+
+#[test]
+fn unknown_experiment_fails_cleanly() {
+    let out = repro(&["fig99"]);
+    assert_clean_failure(&out, "unknown experiment", "unknown id");
+}
+
+#[test]
+fn bad_scale_fails_cleanly() {
+    for bad in [&["fig2b", "--scale", "zero"][..], &["fig2b", "--scale"][..]] {
+        let out = repro(bad);
+        assert_clean_failure(&out, "--scale", "bad scale");
+    }
+    let out = repro(&["fig2b", "--scale", "0"]);
+    assert_clean_failure(&out, "--scale", "zero scale");
+}
+
+#[test]
+fn no_arguments_prints_usage() {
+    let out = repro(&[]);
+    assert_clean_failure(&out, "usage:", "no args");
+}
+
+#[test]
+fn job_with_missing_file_fails_cleanly() {
+    let out = repro(&["job", "/nonexistent/job.json"]);
+    assert_clean_failure(&out, "error reading", "missing job file");
+}
+
+#[test]
+fn job_with_invalid_spec_fails_cleanly() {
+    let dir = std::env::temp_dir().join("menda-cli-smoke");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let cases: [(&str, &str, &str); 3] = [
+        ("not-json.json", "{nope", "invalid job"),
+        (
+            "bad-kernel.json",
+            r#"{"matrix": {"source": "uniform", "dim": 64, "nnz": 256}, "kernel": "fft"}"#,
+            "invalid job",
+        ),
+        (
+            "bad-matrix.json",
+            r#"{"matrix": {"source": "table3", "name": "Z9"}}"#,
+            "Z9",
+        ),
+    ];
+    for (name, contents, needle) in cases {
+        let path: PathBuf = dir.join(name);
+        std::fs::write(&path, contents).expect("write job file");
+        let out = repro(&["job", path.to_str().expect("utf8 path")]);
+        assert_clean_failure(&out, needle, name);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn job_with_valid_spec_prints_deterministic_outcome() {
+    let dir = std::env::temp_dir().join("menda-cli-job-ok");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("job.json");
+    std::fs::write(
+        &path,
+        r#"{"matrix": {"source": "uniform", "dim": 64, "nnz": 256},
+           "channels": 1, "ranks_per_channel": 1, "leaves": 16, "threads": 1}"#,
+    )
+    .expect("write job file");
+    let arg = path.to_str().expect("utf8 path");
+    let a = repro(&["job", arg]);
+    let b = repro(&["job", arg]);
+    assert!(a.status.success(), "job failed: {}", stderr_of(&a));
+    assert_eq!(a.stdout, b.stdout, "outcome JSON must be deterministic");
+    assert!(
+        stderr_of(&a).contains("stats_digest:"),
+        "digest missing from stderr"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,1241 @@
+//! Validated job descriptions: the shared entry point for batch and
+//! service execution.
+//!
+//! A [`JobSpec`] names a matrix source, a kernel, a backend and a set of
+//! configuration overrides. It parses from JSON (the wire format of
+//! `menda-server` and the file format of `repro job`), validates every
+//! field *without panicking* — untrusted input must never abort the
+//! process hosting the simulation — and executes to a [`JobOutcome`]
+//! whose [`JobOutcome::to_json`] serialization is deterministic: the same
+//! spec produces byte-identical outcome JSON whether it runs in the batch
+//! CLI or behind the daemon's worker pool. That byte-identity is what the
+//! wire-vs-batch differential suite asserts.
+//!
+//! The module deliberately routes around the panicking `validate()`
+//! helpers on [`PuConfig`](crate::PuConfig) and friends: every structural
+//! constraint they assert is re-checked here and surfaced as a
+//! [`JobError`] instead.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use menda_dram::DramConfig;
+use menda_sparse::gen;
+use menda_sparse::CsrMatrix;
+use menda_trace::json::{escape, parse, JsonValue};
+use menda_trace::TraceConfig;
+
+use crate::backend::BackendKind;
+use crate::config::MendaConfig;
+use crate::spgemm;
+use crate::spmv;
+use crate::stats::PuStats;
+use crate::system::MendaSystem;
+
+/// Largest integer a JSON `f64` represents exactly; fields above this are
+/// rejected rather than silently rounded.
+const MAX_EXACT_JSON_INT: f64 = 9_007_199_254_740_992.0; // 2^53
+
+/// An error raised while parsing, validating or executing a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The request text is not well-formed JSON or has the wrong shape.
+    Parse(String),
+    /// The request parsed but names an unknown entity or violates a
+    /// structural constraint.
+    Invalid(String),
+    /// The simulation itself failed (a caught panic — this indicates a
+    /// simulator bug, not bad input, but it must not kill a daemon).
+    Failed(String),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Parse(m) => write!(f, "parse error: {m}"),
+            JobError::Invalid(m) => write!(f, "invalid job: {m}"),
+            JobError::Failed(m) => write!(f, "job failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Where the job's input matrix comes from. Everything is generated
+/// deterministically from the spec plus the job seed, so a job
+/// description fully determines its input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatrixSource {
+    /// A Table 3 synthetic matrix by name (`N1`–`N8`, `P1`–`P8`).
+    Table3(String),
+    /// A Table 4 SuiteSparse stand-in by name (e.g. `amazon`).
+    Table4(String),
+    /// A uniform random matrix.
+    Uniform {
+        /// Square dimension.
+        dim: usize,
+        /// Number of nonzeros.
+        nnz: usize,
+    },
+    /// An R-MAT power-law matrix with the paper's parameters.
+    Rmat {
+        /// Square dimension.
+        dim: usize,
+        /// Number of nonzeros.
+        nnz: usize,
+    },
+    /// A banded matrix with off-band scatter.
+    Banded {
+        /// Square dimension.
+        dim: usize,
+        /// Number of nonzeros.
+        nnz: usize,
+        /// Half bandwidth of the diagonal band.
+        half_bandwidth: usize,
+        /// Fraction of nonzeros scattered off-band, in `[0, 1]`.
+        scatter: f64,
+    },
+}
+
+impl MatrixSource {
+    /// The nominal (unscaled) nonzero count of this source.
+    pub fn nominal_nnz(&self) -> u64 {
+        match self {
+            MatrixSource::Table3(name) => gen::table3_spec(name).map_or(0, |e| e.nnz as u64),
+            MatrixSource::Table4(name) => gen::suite_matrix(name).map_or(0, |e| e.nnz as u64),
+            MatrixSource::Uniform { nnz, .. }
+            | MatrixSource::Rmat { nnz, .. }
+            | MatrixSource::Banded { nnz, .. } => *nnz as u64,
+        }
+    }
+
+    /// The nonzero count after dividing by `scale` (the same clamping
+    /// rule as the generators: at least 1, at most `dim²`).
+    pub fn scaled_nnz(&self, scale: usize) -> u64 {
+        let (dim, nnz) = match self {
+            MatrixSource::Table3(name) => match gen::table3_spec(name) {
+                Some(e) => (e.dimension, e.nnz),
+                None => return 0,
+            },
+            MatrixSource::Table4(name) => match gen::suite_matrix(name) {
+                Some(e) => (e.dimension, e.nnz),
+                None => return 0,
+            },
+            MatrixSource::Uniform { dim, nnz }
+            | MatrixSource::Rmat { dim, nnz }
+            | MatrixSource::Banded { dim, nnz, .. } => (*dim, *nnz),
+        };
+        let dim = (dim / scale.max(1)).max(2);
+        ((nnz / scale.max(1)).max(1).min(dim.saturating_mul(dim))) as u64
+    }
+
+    fn generate(&self, scale: usize, seed: u64) -> Result<CsrMatrix, JobError> {
+        match self {
+            MatrixSource::Table3(name) => gen::table3_spec(name)
+                .map(|e| e.generate_scaled(scale, seed))
+                .ok_or_else(|| {
+                    JobError::Invalid(format!(
+                        "unknown Table 3 matrix '{name}' (expected N1-N8 or P1-P8)"
+                    ))
+                }),
+            MatrixSource::Table4(name) => gen::suite_matrix(name)
+                .map(|e| e.generate_scaled(scale, seed))
+                .ok_or_else(|| JobError::Invalid(format!("unknown Table 4 matrix '{name}'"))),
+            MatrixSource::Uniform { dim, nnz } => {
+                let dim = (dim / scale).max(2);
+                let nnz = (nnz / scale).max(1).min(dim * dim);
+                Ok(gen::uniform(dim, nnz, seed))
+            }
+            MatrixSource::Rmat { dim, nnz } => {
+                let dim = (dim / scale).max(2);
+                let nnz = (nnz / scale).max(1).min(dim * dim);
+                Ok(gen::rmat(dim, nnz, gen::RmatParams::PAPER, seed))
+            }
+            MatrixSource::Banded {
+                dim,
+                nnz,
+                half_bandwidth,
+                scatter,
+            } => {
+                let dim = (dim / scale).max(2);
+                let nnz = (nnz / scale).max(1).min(dim * dim);
+                let hb = (half_bandwidth / scale).clamp(1, dim);
+                Ok(gen::banded(dim, nnz, hb, *scatter, seed))
+            }
+        }
+    }
+
+    fn to_json(&self) -> String {
+        match self {
+            MatrixSource::Table3(name) => {
+                format!("{{\"source\": \"table3\", \"name\": \"{}\"}}", escape(name))
+            }
+            MatrixSource::Table4(name) => {
+                format!("{{\"source\": \"table4\", \"name\": \"{}\"}}", escape(name))
+            }
+            MatrixSource::Uniform { dim, nnz } => {
+                format!("{{\"source\": \"uniform\", \"dim\": {dim}, \"nnz\": {nnz}}}")
+            }
+            MatrixSource::Rmat { dim, nnz } => {
+                format!("{{\"source\": \"rmat\", \"dim\": {dim}, \"nnz\": {nnz}}}")
+            }
+            MatrixSource::Banded {
+                dim,
+                nnz,
+                half_bandwidth,
+                scatter,
+            } => format!(
+                "{{\"source\": \"banded\", \"dim\": {dim}, \"nnz\": {nnz}, \
+                 \"half_bandwidth\": {half_bandwidth}, \"scatter\": {scatter}}}"
+            ),
+        }
+    }
+}
+
+/// The kernel a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKernel {
+    /// Sparse transposition (CSR → CSC).
+    Transpose,
+    /// Sparse matrix-vector multiplication; the input vector is derived
+    /// deterministically from the job seed.
+    Spmv,
+    /// Outer-product SpGEMM (`C = A·B` with `B` generated from the same
+    /// source under a derived seed).
+    Spgemm,
+}
+
+impl JobKernel {
+    /// The kernel's stable identifier.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobKernel::Transpose => "transpose",
+            JobKernel::Spmv => "spmv",
+            JobKernel::Spgemm => "spgemm",
+        }
+    }
+
+    fn from_str(s: &str) -> Result<Self, JobError> {
+        match s {
+            "transpose" => Ok(JobKernel::Transpose),
+            "spmv" => Ok(JobKernel::Spmv),
+            "spgemm" => Ok(JobKernel::Spgemm),
+            other => Err(JobError::Invalid(format!(
+                "unknown kernel '{other}' (expected transpose, spmv or spgemm)"
+            ))),
+        }
+    }
+}
+
+/// The DRAM substrate preset a job runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DramProfile {
+    /// DDR4-2400R (the paper's configuration).
+    Ddr4_2400,
+    /// One HBM2 pseudo-channel.
+    Hbm2,
+    /// LPDDR4-3200.
+    Lpddr4,
+}
+
+impl DramProfile {
+    /// The profile's stable identifier.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DramProfile::Ddr4_2400 => "ddr4-2400",
+            DramProfile::Hbm2 => "hbm2",
+            DramProfile::Lpddr4 => "lpddr4",
+        }
+    }
+
+    fn from_str(s: &str) -> Result<Self, JobError> {
+        match s {
+            "ddr4-2400" => Ok(DramProfile::Ddr4_2400),
+            "hbm2" => Ok(DramProfile::Hbm2),
+            "lpddr4" => Ok(DramProfile::Lpddr4),
+            other => Err(JobError::Invalid(format!(
+                "unknown dram profile '{other}' (expected ddr4-2400, hbm2 or lpddr4)"
+            ))),
+        }
+    }
+
+    fn config(&self) -> DramConfig {
+        match self {
+            DramProfile::Ddr4_2400 => DramConfig::ddr4_2400r(),
+            DramProfile::Hbm2 => DramConfig::hbm2_pseudo_channel(),
+            DramProfile::Lpddr4 => DramConfig::lpddr4_3200(),
+        }
+    }
+}
+
+/// A complete, self-contained job description.
+///
+/// Every field except `matrix` has a default, so the minimal request is
+/// `{"matrix": {"source": "table3", "name": "N1"}}`. Defaults are pinned
+/// (not inherited from environment variables) so the same spec means the
+/// same simulation everywhere.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Input matrix source.
+    pub matrix: MatrixSource,
+    /// Downscaling divisor applied to the source's nominal size (1 =
+    /// full size).
+    pub scale: usize,
+    /// Seed for matrix generation (and vector derivation for SpMV).
+    pub seed: u64,
+    /// The kernel to run.
+    pub kernel: JobKernel,
+    /// The accelerator backend to simulate.
+    pub backend: BackendKind,
+    /// Memory channels (default: the paper's 4).
+    pub channels: usize,
+    /// Ranks (= accelerator units) per channel (default: the paper's 2).
+    pub ranks_per_channel: usize,
+    /// Merge-tree leaves per PU (default: the paper's 1024).
+    pub leaves: usize,
+    /// Entries per prefetch buffer (default: the paper's 32).
+    pub prefetch_buffer_entries: usize,
+    /// Stall-reducing prefetching enabled.
+    pub prefetch: bool,
+    /// Request coalescing enabled.
+    pub coalescing: bool,
+    /// PU clock in MHz.
+    pub frequency_mhz: u64,
+    /// Host worker threads for the engine (`None` = auto).
+    pub threads: Option<usize>,
+    /// Event-driven fast-forwarding (default on; results are identical
+    /// either way).
+    pub fast_forward: bool,
+    /// DRAM substrate preset.
+    pub dram: DramProfile,
+    /// DRAM refresh enabled.
+    pub refresh: bool,
+    /// Counting instrumentation: when set, the outcome reports the number
+    /// of trace events observed (simulated results are unaffected).
+    pub trace_counting: bool,
+}
+
+impl JobSpec {
+    /// A job with pinned defaults for the given matrix source.
+    pub fn new(matrix: MatrixSource) -> Self {
+        Self {
+            matrix,
+            scale: 1,
+            seed: 1,
+            kernel: JobKernel::Transpose,
+            backend: BackendKind::Menda,
+            channels: 4,
+            ranks_per_channel: 2,
+            leaves: 1024,
+            prefetch_buffer_entries: 32,
+            prefetch: true,
+            coalescing: true,
+            frequency_mhz: 800,
+            threads: None,
+            fast_forward: true,
+            dram: DramProfile::Ddr4_2400,
+            refresh: true,
+            trace_counting: false,
+        }
+    }
+
+    /// Parses a job description from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::Parse`] for malformed JSON and
+    /// [`JobError::Invalid`] for well-formed JSON that fails validation
+    /// (unknown fields are rejected so typos cannot silently change a
+    /// job's meaning).
+    pub fn from_json_str(text: &str) -> Result<Self, JobError> {
+        let value =
+            parse(text).map_err(|(pos, msg)| JobError::Parse(format!("{msg} at byte {pos}")))?;
+        Self::from_json(&value)
+    }
+
+    /// Parses a job description from an already-parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// As [`JobSpec::from_json_str`].
+    pub fn from_json(value: &JsonValue) -> Result<Self, JobError> {
+        let obj = match value {
+            JsonValue::Obj(m) => m,
+            _ => return Err(JobError::Parse("job must be a JSON object".into())),
+        };
+        const KNOWN: &[&str] = &[
+            "matrix",
+            "scale",
+            "seed",
+            "kernel",
+            "backend",
+            "channels",
+            "ranks_per_channel",
+            "leaves",
+            "prefetch_buffer_entries",
+            "prefetch",
+            "coalescing",
+            "frequency_mhz",
+            "threads",
+            "fast_forward",
+            "dram",
+            "refresh",
+            "trace",
+        ];
+        for key in obj.keys() {
+            if !KNOWN.contains(&key.as_str()) {
+                return Err(JobError::Invalid(format!("unknown field '{key}'")));
+            }
+        }
+
+        let matrix = parse_matrix(
+            obj.get("matrix")
+                .ok_or_else(|| JobError::Invalid("missing required field 'matrix'".into()))?,
+        )?;
+        let mut spec = JobSpec::new(matrix);
+        if let Some(v) = obj.get("scale") {
+            spec.scale = get_usize(v, "scale")?;
+        }
+        if let Some(v) = obj.get("seed") {
+            spec.seed = get_u64(v, "seed")?;
+        }
+        if let Some(v) = obj.get("kernel") {
+            spec.kernel = JobKernel::from_str(get_str(v, "kernel")?)?;
+        }
+        if let Some(v) = obj.get("backend") {
+            spec.backend = match get_str(v, "backend")? {
+                "menda" => BackendKind::Menda,
+                "pim" => BackendKind::Pim,
+                other => {
+                    return Err(JobError::Invalid(format!(
+                        "unknown backend '{other}' (expected menda or pim)"
+                    )))
+                }
+            };
+        }
+        if let Some(v) = obj.get("channels") {
+            spec.channels = get_usize(v, "channels")?;
+        }
+        if let Some(v) = obj.get("ranks_per_channel") {
+            spec.ranks_per_channel = get_usize(v, "ranks_per_channel")?;
+        }
+        if let Some(v) = obj.get("leaves") {
+            spec.leaves = get_usize(v, "leaves")?;
+        }
+        if let Some(v) = obj.get("prefetch_buffer_entries") {
+            spec.prefetch_buffer_entries = get_usize(v, "prefetch_buffer_entries")?;
+        }
+        if let Some(v) = obj.get("prefetch") {
+            spec.prefetch = get_bool(v, "prefetch")?;
+        }
+        if let Some(v) = obj.get("coalescing") {
+            spec.coalescing = get_bool(v, "coalescing")?;
+        }
+        if let Some(v) = obj.get("frequency_mhz") {
+            spec.frequency_mhz = get_u64(v, "frequency_mhz")?;
+        }
+        if let Some(v) = obj.get("threads") {
+            spec.threads = Some(get_usize(v, "threads")?);
+        }
+        if let Some(v) = obj.get("fast_forward") {
+            spec.fast_forward = get_bool(v, "fast_forward")?;
+        }
+        if let Some(v) = obj.get("dram") {
+            spec.dram = DramProfile::from_str(get_str(v, "dram")?)?;
+        }
+        if let Some(v) = obj.get("refresh") {
+            spec.refresh = get_bool(v, "refresh")?;
+        }
+        if let Some(v) = obj.get("trace") {
+            spec.trace_counting = match get_str(v, "trace")? {
+                "off" => false,
+                "counting" => true,
+                other => {
+                    return Err(JobError::Invalid(format!(
+                        "unknown trace mode '{other}' (expected off or counting)"
+                    )))
+                }
+            };
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Checks every structural constraint the simulator's config types
+    /// would otherwise `assert!` on, plus sanity caps that keep a single
+    /// job's resource use bounded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::Invalid`] naming the offending field.
+    pub fn validate(&self) -> Result<(), JobError> {
+        fn fail(msg: String) -> Result<(), JobError> {
+            Err(JobError::Invalid(msg))
+        }
+        match &self.matrix {
+            MatrixSource::Table3(name) => {
+                if gen::table3_spec(name).is_none() {
+                    return fail(format!(
+                        "unknown Table 3 matrix '{name}' (expected N1-N8 or P1-P8)"
+                    ));
+                }
+            }
+            MatrixSource::Table4(name) => {
+                if gen::suite_matrix(name).is_none() {
+                    return fail(format!("unknown Table 4 matrix '{name}'"));
+                }
+            }
+            MatrixSource::Uniform { dim, nnz }
+            | MatrixSource::Rmat { dim, nnz }
+            | MatrixSource::Banded { dim, nnz, .. } => {
+                if *dim < 2 {
+                    return fail(format!("matrix dim must be at least 2, got {dim}"));
+                }
+                if *dim > 1 << 28 {
+                    return fail(format!("matrix dim {dim} exceeds the 2^28 cap"));
+                }
+                if *nnz == 0 {
+                    return fail("matrix nnz must be positive".into());
+                }
+                if *nnz > 1 << 33 {
+                    return fail(format!("matrix nnz {nnz} exceeds the 2^33 cap"));
+                }
+            }
+        }
+        if let MatrixSource::Banded {
+            half_bandwidth,
+            scatter,
+            ..
+        } = &self.matrix
+        {
+            if *half_bandwidth == 0 {
+                return fail("half_bandwidth must be positive".into());
+            }
+            if !(0.0..=1.0).contains(scatter) {
+                return fail(format!("scatter must be in [0, 1], got {scatter}"));
+            }
+        }
+        if self.scale == 0 {
+            return fail("scale must be positive".into());
+        }
+        if self.channels == 0 || self.channels > 64 {
+            return fail(format!(
+                "channels must be in [1, 64], got {}",
+                self.channels
+            ));
+        }
+        if self.ranks_per_channel == 0 || self.ranks_per_channel > 8 {
+            return fail(format!(
+                "ranks_per_channel must be in [1, 8], got {}",
+                self.ranks_per_channel
+            ));
+        }
+        if !self.leaves.is_power_of_two() || self.leaves < 2 || self.leaves > 65_536 {
+            return fail(format!(
+                "leaves must be a power of two in [2, 65536], got {}",
+                self.leaves
+            ));
+        }
+        if self.prefetch_buffer_entries == 0 || self.prefetch_buffer_entries > 4096 {
+            return fail(format!(
+                "prefetch_buffer_entries must be in [1, 4096], got {}",
+                self.prefetch_buffer_entries
+            ));
+        }
+        if self.frequency_mhz == 0 || self.frequency_mhz > 100_000 {
+            return fail(format!(
+                "frequency_mhz must be in [1, 100000], got {}",
+                self.frequency_mhz
+            ));
+        }
+        if let Some(t) = self.threads {
+            if t == 0 || t > 1024 {
+                return fail(format!("threads must be in [1, 1024], got {t}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The job's admission-control cost: nonzeros it will simulate (the
+    /// SpGEMM `B` operand doubles it). Servers compare this against their
+    /// per-job size cap before queueing.
+    pub fn cost_nnz(&self) -> u64 {
+        let base = self.matrix.scaled_nnz(self.scale);
+        match self.kernel {
+            JobKernel::Spgemm => base.saturating_mul(2),
+            _ => base,
+        }
+    }
+
+    /// Builds the simulator configuration this job runs under.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::Invalid`] if validation fails.
+    pub fn build_config(&self) -> Result<MendaConfig, JobError> {
+        self.validate()?;
+        let mut dram = self.dram.config();
+        dram.refresh_enabled = self.refresh;
+        let mut config = MendaConfig {
+            pu: crate::PuConfig {
+                frequency_mhz: self.frequency_mhz,
+                leaves: self.leaves,
+                prefetch_buffer_entries: self.prefetch_buffer_entries,
+                stall_reducing_prefetch: self.prefetch,
+                request_coalescing: self.coalescing,
+                ..crate::PuConfig::paper()
+            },
+            channels: self.channels,
+            ranks_per_channel: self.ranks_per_channel,
+            dram,
+            trace: if self.trace_counting {
+                TraceConfig::counting()
+            } else {
+                TraceConfig::off()
+            },
+            ..MendaConfig::paper()
+        };
+        config.sim.fast_forward = self.fast_forward;
+        config.sim.threads = self.threads;
+        Ok(config)
+    }
+
+    /// Canonical JSON serialization with every field explicit, in fixed
+    /// order. Parsing it back yields an equal spec.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"matrix\": {}, \"scale\": {}, \"seed\": {}, \"kernel\": \"{}\", ",
+                "\"backend\": \"{}\", \"channels\": {}, \"ranks_per_channel\": {}, ",
+                "\"leaves\": {}, \"prefetch_buffer_entries\": {}, \"prefetch\": {}, ",
+                "\"coalescing\": {}, \"frequency_mhz\": {}, {}\"fast_forward\": {}, ",
+                "\"dram\": \"{}\", \"refresh\": {}, \"trace\": \"{}\"}}"
+            ),
+            self.matrix.to_json(),
+            self.scale,
+            self.seed,
+            self.kernel.label(),
+            self.backend.label(),
+            self.channels,
+            self.ranks_per_channel,
+            self.leaves,
+            self.prefetch_buffer_entries,
+            self.prefetch,
+            self.coalescing,
+            self.frequency_mhz,
+            match self.threads {
+                Some(t) => format!("\"threads\": {t}, "),
+                None => String::new(),
+            },
+            self.fast_forward,
+            self.dram.label(),
+            self.refresh,
+            if self.trace_counting {
+                "counting"
+            } else {
+                "off"
+            },
+        )
+    }
+
+    /// Runs the job to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::Invalid`] if validation fails and
+    /// [`JobError::Failed`] if the simulation panics (the panic is caught
+    /// so a hosting daemon survives; this indicates a simulator bug).
+    pub fn execute(&self) -> Result<JobOutcome, JobError> {
+        let config = self.build_config()?;
+        let spec = self.clone();
+        catch_unwind(AssertUnwindSafe(move || spec.execute_inner(&config))).map_err(|panic| {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("unknown panic");
+            JobError::Failed(msg.into())
+        })?
+    }
+
+    fn execute_inner(&self, config: &MendaConfig) -> Result<JobOutcome, JobError> {
+        let matrix = self.matrix.generate(self.scale, self.seed)?;
+        let (nrows, ncols, nnz) = (matrix.nrows(), matrix.ncols(), matrix.nnz());
+        let (cycles, seconds, checksum, out_nnz, pu_stats, trace_events) = match self.kernel {
+            JobKernel::Transpose => {
+                let r = MendaSystem::new(config.clone()).transpose_with(&matrix, self.backend);
+                let mut d = Digest::new();
+                d.push_usize_slice(r.output.col_ptr());
+                d.push_u32_slice(r.output.row_idx());
+                d.push_f32_slice(r.output.values());
+                let events = r.trace.as_ref().map(|t| t.sink.events);
+                (
+                    r.cycles,
+                    r.seconds,
+                    d.finish(),
+                    r.output.nnz() as u64,
+                    r.pu_stats,
+                    events,
+                )
+            }
+            JobKernel::Spmv => {
+                let x = derive_vector(ncols, self.seed);
+                let r = spmv::run_with_backend(
+                    config,
+                    &matrix,
+                    &x,
+                    spmv::SpmvOptions::default(),
+                    self.backend,
+                );
+                let mut d = Digest::new();
+                d.push_f32_slice(&r.y);
+                let events = r.trace.as_ref().map(|t| t.sink.events);
+                (
+                    r.cycles,
+                    r.seconds,
+                    d.finish(),
+                    r.y.len() as u64,
+                    r.pu_stats,
+                    events,
+                )
+            }
+            JobKernel::Spgemm => {
+                let b = self
+                    .matrix
+                    .generate(self.scale, self.seed ^ 0x0053_4745_4D4D_u64)?;
+                if matrix.ncols() != b.nrows() {
+                    return Err(JobError::Invalid(format!(
+                        "spgemm operands disagree: A is {}x{}, B is {}x{}",
+                        nrows,
+                        ncols,
+                        b.nrows(),
+                        b.ncols()
+                    )));
+                }
+                let r = spgemm::run_with_backend(config, &matrix, &b, self.backend);
+                let mut d = Digest::new();
+                d.push_usize_slice(r.c.row_ptr());
+                d.push_u32_slice(r.c.col_idx());
+                d.push_f32_slice(r.c.values());
+                (
+                    r.merge_cycles + r.multiply_cycles,
+                    r.seconds,
+                    d.finish(),
+                    r.c.nnz() as u64,
+                    r.pu_stats,
+                    None,
+                )
+            }
+        };
+        Ok(JobOutcome {
+            job: self.to_json(),
+            kernel: self.kernel.label(),
+            backend: self.backend.label(),
+            nrows,
+            ncols,
+            nnz,
+            out_nnz,
+            cycles,
+            seconds,
+            output_digest: checksum,
+            pu: pu_stats.iter().map(PuSummary::from_stats).collect(),
+            trace_events,
+        })
+    }
+}
+
+fn parse_matrix(value: &JsonValue) -> Result<MatrixSource, JobError> {
+    let obj = match value {
+        JsonValue::Obj(m) => m,
+        _ => return Err(JobError::Parse("'matrix' must be a JSON object".into())),
+    };
+    let source = obj
+        .get("source")
+        .ok_or_else(|| JobError::Invalid("matrix is missing required field 'source'".into()))
+        .and_then(|v| get_str(v, "source"))?;
+    let known: &[&str] = match source {
+        "table3" | "table4" => &["source", "name"],
+        "uniform" | "rmat" => &["source", "dim", "nnz"],
+        "banded" => &["source", "dim", "nnz", "half_bandwidth", "scatter"],
+        other => {
+            return Err(JobError::Invalid(format!(
+                "unknown matrix source '{other}' (expected table3, table4, uniform, rmat or banded)"
+            )))
+        }
+    };
+    for key in obj.keys() {
+        if !known.contains(&key.as_str()) {
+            return Err(JobError::Invalid(format!(
+                "unknown matrix field '{key}' for source '{source}'"
+            )));
+        }
+    }
+    let name = || {
+        obj.get("name")
+            .ok_or_else(|| JobError::Invalid(format!("matrix source '{source}' requires 'name'")))
+            .and_then(|v| get_str(v, "name"))
+            .map(str::to_string)
+    };
+    let dim_nnz = || -> Result<(usize, usize), JobError> {
+        let dim = obj
+            .get("dim")
+            .ok_or_else(|| JobError::Invalid(format!("matrix source '{source}' requires 'dim'")))
+            .and_then(|v| get_usize(v, "dim"))?;
+        let nnz = obj
+            .get("nnz")
+            .ok_or_else(|| JobError::Invalid(format!("matrix source '{source}' requires 'nnz'")))
+            .and_then(|v| get_usize(v, "nnz"))?;
+        Ok((dim, nnz))
+    };
+    match source {
+        "table3" => Ok(MatrixSource::Table3(name()?)),
+        "table4" => Ok(MatrixSource::Table4(name()?)),
+        "uniform" => {
+            let (dim, nnz) = dim_nnz()?;
+            Ok(MatrixSource::Uniform { dim, nnz })
+        }
+        "rmat" => {
+            let (dim, nnz) = dim_nnz()?;
+            Ok(MatrixSource::Rmat { dim, nnz })
+        }
+        "banded" => {
+            let (dim, nnz) = dim_nnz()?;
+            let half_bandwidth = obj
+                .get("half_bandwidth")
+                .ok_or_else(|| JobError::Invalid("banded matrix requires 'half_bandwidth'".into()))
+                .and_then(|v| get_usize(v, "half_bandwidth"))?;
+            let scatter = match obj.get("scatter") {
+                Some(v) => v
+                    .as_num()
+                    .ok_or_else(|| JobError::Parse("'scatter' must be a number".into()))?,
+                None => 0.0,
+            };
+            Ok(MatrixSource::Banded {
+                dim,
+                nnz,
+                half_bandwidth,
+                scatter,
+            })
+        }
+        _ => unreachable!("source validated above"),
+    }
+}
+
+fn get_str<'v>(v: &'v JsonValue, field: &str) -> Result<&'v str, JobError> {
+    v.as_str()
+        .ok_or_else(|| JobError::Parse(format!("'{field}' must be a string")))
+}
+
+fn get_bool(v: &JsonValue, field: &str) -> Result<bool, JobError> {
+    match v {
+        JsonValue::Bool(b) => Ok(*b),
+        _ => Err(JobError::Parse(format!("'{field}' must be a boolean"))),
+    }
+}
+
+fn get_u64(v: &JsonValue, field: &str) -> Result<u64, JobError> {
+    let n = v
+        .as_num()
+        .ok_or_else(|| JobError::Parse(format!("'{field}' must be a number")))?;
+    if n < 0.0 || n.fract() != 0.0 || n > MAX_EXACT_JSON_INT {
+        return Err(JobError::Parse(format!(
+            "'{field}' must be a non-negative integer representable in 53 bits"
+        )));
+    }
+    Ok(n as u64)
+}
+
+fn get_usize(v: &JsonValue, field: &str) -> Result<usize, JobError> {
+    get_u64(v, field).map(|n| n as usize)
+}
+
+/// Deterministic input vector for SpMV jobs, derived from the seed (the
+/// wire and batch paths must agree on it exactly).
+fn derive_vector(len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            ((i as u64).wrapping_mul(2_654_435_761).wrapping_add(seed) % 17) as f32 * 0.25 - 2.0
+        })
+        .collect()
+}
+
+/// FNV-1a 64-bit streaming digest (used for output checksums and the
+/// outcome-JSON digest the differential suite compares).
+#[derive(Debug, Clone)]
+pub struct Digest(u64);
+
+impl Default for Digest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Digest {
+    /// A fresh digest at the FNV offset basis.
+    pub fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn push_usize_slice(&mut self, xs: &[usize]) {
+        for &x in xs {
+            self.push_bytes(&(x as u64).to_le_bytes());
+        }
+    }
+
+    fn push_u32_slice(&mut self, xs: &[u32]) {
+        for &x in xs {
+            self.push_bytes(&x.to_le_bytes());
+        }
+    }
+
+    fn push_f32_slice(&mut self, xs: &[f32]) {
+        for &x in xs {
+            self.push_bytes(&x.to_bits().to_le_bytes());
+        }
+    }
+
+    /// The digest value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+
+    /// Convenience: digest of a byte string.
+    pub fn of(bytes: &[u8]) -> u64 {
+        let mut d = Digest::new();
+        d.push_bytes(bytes);
+        d.finish()
+    }
+}
+
+/// Per-PU roll-up included in a job outcome (a deterministic projection
+/// of [`PuStats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PuSummary {
+    /// Total PU cycles.
+    pub cycles: u64,
+    /// Merge iterations executed.
+    pub iterations: u64,
+    /// Load block requests issued.
+    pub loads_issued: u64,
+    /// Loads merged by coalescing.
+    pub loads_coalesced: u64,
+    /// Store block requests issued.
+    pub stores_issued: u64,
+    /// DRAM row hits.
+    pub row_hits: u64,
+    /// DRAM row misses.
+    pub row_misses: u64,
+    /// DRAM row conflicts.
+    pub row_conflicts: u64,
+    /// DRAM read transactions.
+    pub dram_reads: u64,
+    /// DRAM write transactions.
+    pub dram_writes: u64,
+}
+
+impl PuSummary {
+    fn from_stats(s: &PuStats) -> Self {
+        Self {
+            cycles: s.total_cycles(),
+            iterations: s.num_iterations() as u64,
+            loads_issued: s.iterations.iter().map(|i| i.loads_issued).sum(),
+            loads_coalesced: s.total_coalesced(),
+            stores_issued: s.iterations.iter().map(|i| i.stores_issued).sum(),
+            row_hits: s.iterations.iter().map(|i| i.dram_row_hits).sum(),
+            row_misses: s.iterations.iter().map(|i| i.dram_row_misses).sum(),
+            row_conflicts: s.iterations.iter().map(|i| i.dram_row_conflicts).sum(),
+            dram_reads: s.dram.reads,
+            dram_writes: s.dram.writes,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"cycles\": {}, \"iterations\": {}, \"loads_issued\": {}, ",
+                "\"loads_coalesced\": {}, \"stores_issued\": {}, \"row_hits\": {}, ",
+                "\"row_misses\": {}, \"row_conflicts\": {}, \"dram_reads\": {}, ",
+                "\"dram_writes\": {}}}"
+            ),
+            self.cycles,
+            self.iterations,
+            self.loads_issued,
+            self.loads_coalesced,
+            self.stores_issued,
+            self.row_hits,
+            self.row_misses,
+            self.row_conflicts,
+            self.dram_reads,
+            self.dram_writes,
+        )
+    }
+}
+
+/// The result of executing a [`JobSpec`]: simulated statistics plus an
+/// output digest, with a deterministic JSON form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// The canonical JSON of the spec that produced this outcome.
+    pub job: String,
+    /// Kernel label.
+    pub kernel: &'static str,
+    /// Backend label.
+    pub backend: &'static str,
+    /// Input rows.
+    pub nrows: usize,
+    /// Input columns.
+    pub ncols: usize,
+    /// Input nonzeros.
+    pub nnz: usize,
+    /// Output nonzeros (vector length for SpMV).
+    pub out_nnz: u64,
+    /// Simulated device cycles (max over units; both phases for SpGEMM).
+    pub cycles: u64,
+    /// Simulated seconds at the device clock.
+    pub seconds: f64,
+    /// FNV-1a digest of the kernel output's bit representation.
+    pub output_digest: u64,
+    /// Per-unit statistics roll-up.
+    pub pu: Vec<PuSummary>,
+    /// Total trace events, when counting instrumentation was requested.
+    pub trace_events: Option<u64>,
+}
+
+impl JobOutcome {
+    /// Deterministic JSON serialization: fixed key order, integer-exact
+    /// fields, digests in fixed-width hex. Byte-identical across the
+    /// batch CLI and the server for the same spec.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"job\": {}, \"kernel\": \"{}\", \"backend\": \"{}\", ",
+                "\"nrows\": {}, \"ncols\": {}, \"nnz\": {}, \"out_nnz\": {}, ",
+                "\"cycles\": {}, \"seconds\": {}, \"output_digest\": \"{:016x}\", ",
+                "\"pu\": [{}]{}}}"
+            ),
+            self.job,
+            self.kernel,
+            self.backend,
+            self.nrows,
+            self.ncols,
+            self.nnz,
+            self.out_nnz,
+            self.cycles,
+            self.seconds,
+            self.output_digest,
+            self.pu
+                .iter()
+                .map(PuSummary::to_json)
+                .collect::<Vec<_>>()
+                .join(", "),
+            match self.trace_events {
+                Some(n) => format!(", \"trace_events\": {n}"),
+                None => String::new(),
+            },
+        )
+    }
+
+    /// FNV-1a digest of [`JobOutcome::to_json`] — the compact
+    /// bit-identity witness the server sends alongside results.
+    pub fn digest(&self) -> u64 {
+        Digest::of(self.to_json().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> JobSpec {
+        let mut spec = JobSpec::new(MatrixSource::Uniform { dim: 64, nnz: 512 });
+        spec.channels = 1;
+        spec.ranks_per_channel = 2;
+        spec.leaves = 16;
+        spec.refresh = false;
+        spec.threads = Some(1);
+        spec
+    }
+
+    #[test]
+    fn minimal_json_round_trips() {
+        let spec = JobSpec::from_json_str(r#"{"matrix": {"source": "table3", "name": "N1"}}"#)
+            .expect("parses");
+        assert_eq!(spec.matrix, MatrixSource::Table3("N1".into()));
+        assert_eq!(spec.kernel, JobKernel::Transpose);
+        let round = JobSpec::from_json_str(&spec.to_json()).expect("canonical form parses");
+        assert_eq!(spec, round);
+    }
+
+    #[test]
+    fn full_json_round_trips() {
+        let text = r#"{
+            "matrix": {"source": "banded", "dim": 4096, "nnz": 65536,
+                       "half_bandwidth": 32, "scatter": 0.25},
+            "scale": 16, "seed": 42, "kernel": "spmv", "backend": "pim",
+            "channels": 2, "ranks_per_channel": 1, "leaves": 64,
+            "prefetch_buffer_entries": 8, "prefetch": false,
+            "coalescing": false, "frequency_mhz": 600, "threads": 2,
+            "fast_forward": false, "dram": "hbm2", "refresh": false,
+            "trace": "counting"
+        }"#;
+        let spec = JobSpec::from_json_str(text).expect("parses");
+        assert_eq!(spec.backend, BackendKind::Pim);
+        assert_eq!(spec.dram, DramProfile::Hbm2);
+        assert!(spec.trace_counting);
+        let round = JobSpec::from_json_str(&spec.to_json()).expect("round trips");
+        assert_eq!(spec, round);
+    }
+
+    #[test]
+    fn rejects_malformed_and_unknown() {
+        assert!(matches!(
+            JobSpec::from_json_str("{not json"),
+            Err(JobError::Parse(_))
+        ));
+        assert!(matches!(
+            JobSpec::from_json_str("[1, 2]"),
+            Err(JobError::Parse(_))
+        ));
+        let e = JobSpec::from_json_str(r#"{"matrix": {"source": "table3", "name": "Q9"}}"#)
+            .unwrap_err();
+        assert!(
+            matches!(e, JobError::Invalid(ref m) if m.contains("Q9")),
+            "{e}"
+        );
+        let e = JobSpec::from_json_str(
+            r#"{"matrix": {"source": "table3", "name": "N1"}, "kernel": "sort"}"#,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(e, JobError::Invalid(ref m) if m.contains("sort")),
+            "{e}"
+        );
+        let e =
+            JobSpec::from_json_str(r#"{"matrix": {"source": "table3", "name": "N1"}, "bogus": 1}"#)
+                .unwrap_err();
+        assert!(
+            matches!(e, JobError::Invalid(ref m) if m.contains("bogus")),
+            "{e}"
+        );
+        let e =
+            JobSpec::from_json_str(r#"{"matrix": {"source": "table3", "name": "N1", "dim": 4}}"#)
+                .unwrap_err();
+        assert!(
+            matches!(e, JobError::Invalid(ref m) if m.contains("dim")),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn rejects_structural_violations_without_panicking() {
+        let mut spec = tiny_spec();
+        spec.leaves = 48; // not a power of two — PuConfig::validate would panic
+        assert!(matches!(spec.validate(), Err(JobError::Invalid(_))));
+        assert!(spec.execute().is_err());
+
+        let mut spec = tiny_spec();
+        spec.scale = 0;
+        assert!(spec.validate().is_err());
+
+        let mut spec = tiny_spec();
+        spec.channels = 0;
+        assert!(spec.validate().is_err());
+
+        let mut spec = tiny_spec();
+        spec.frequency_mhz = 0;
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn executes_transpose_and_verifies() {
+        let spec = tiny_spec();
+        let outcome = spec.execute().expect("runs");
+        assert_eq!(outcome.kernel, "transpose");
+        assert_eq!(outcome.nnz, 512);
+        assert!(outcome.cycles > 0);
+        // Digest matches a direct recomputation of the golden transpose.
+        let m = spec.matrix.generate(1, spec.seed).unwrap();
+        let csc = m.to_csc();
+        let mut d = Digest::new();
+        d.push_usize_slice(csc.col_ptr());
+        d.push_u32_slice(csc.row_idx());
+        d.push_f32_slice(csc.values());
+        assert_eq!(outcome.output_digest, d.finish());
+    }
+
+    #[test]
+    fn outcome_json_is_deterministic_and_thread_invariant() {
+        let mut spec = tiny_spec();
+        spec.kernel = JobKernel::Spmv;
+        let a = spec.execute().expect("runs").to_json();
+        let b = spec.execute().expect("runs again").to_json();
+        assert_eq!(a, b);
+        // Host thread count must not leak into the outcome.
+        let mut threaded = spec.clone();
+        threaded.threads = Some(2);
+        let c = threaded.execute().expect("threaded run");
+        // The job echo differs (threads field), but simulated results are
+        // identical.
+        assert_eq!(
+            JobSpec::from_json_str(&spec.to_json())
+                .unwrap()
+                .execute()
+                .unwrap()
+                .output_digest,
+            c.output_digest
+        );
+        assert_eq!(spec.execute().unwrap().cycles, c.cycles);
+    }
+
+    #[test]
+    fn spgemm_executes_on_tiny_input() {
+        let mut spec = tiny_spec();
+        spec.matrix = MatrixSource::Uniform { dim: 32, nnz: 128 };
+        spec.kernel = JobKernel::Spgemm;
+        let outcome = spec.execute().expect("runs");
+        assert_eq!(outcome.kernel, "spgemm");
+        assert!(outcome.cycles > 0);
+        assert!(outcome.out_nnz > 0);
+    }
+
+    #[test]
+    fn cost_reflects_scaled_size() {
+        let mut spec = JobSpec::new(MatrixSource::Table3("N1".into()));
+        spec.scale = 64;
+        assert_eq!(spec.cost_nnz(), 3_435_973 / 64);
+        spec.kernel = JobKernel::Spgemm;
+        assert_eq!(spec.cost_nnz(), 2 * (3_435_973 / 64));
+        assert_eq!(
+            MatrixSource::Table3("nope".into()).scaled_nnz(1),
+            0,
+            "unknown names cost nothing (they are rejected by validate)"
+        );
+    }
+
+    #[test]
+    fn trace_counting_reports_events_without_perturbing_results() {
+        let plain = tiny_spec();
+        let mut traced = tiny_spec();
+        traced.trace_counting = true;
+        let p = plain.execute().expect("plain");
+        let t = traced.execute().expect("traced");
+        assert!(t.trace_events.is_some());
+        assert_eq!(p.output_digest, t.output_digest);
+        assert_eq!(p.cycles, t.cycles);
+    }
+
+    #[test]
+    fn digest_is_stable_fnv() {
+        assert_eq!(Digest::of(b""), 0xcbf2_9ce4_8422_2325);
+        // Known FNV-1a vector: "a" -> 0xaf63dc4c8601ec8c.
+        assert_eq!(Digest::of(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -58,6 +58,7 @@ pub mod energy;
 mod engine;
 pub mod host;
 mod job;
+pub mod jobspec;
 mod layout;
 mod merge_tree;
 pub mod pim;
@@ -73,6 +74,9 @@ pub use coalesce::CoalescingQueue;
 pub use config::{MendaConfig, PimConfig, PuConfig, SimOptions};
 pub use engine::{Engine, KernelSpec};
 pub use job::{transpose_job, FinalOutput, IntermediateFormat, JobSource, PuJob};
+pub use jobspec::{
+    Digest, DramProfile, JobError, JobKernel, JobOutcome, JobSpec, MatrixSource, PuSummary,
+};
 pub use layout::{AddressLayout, BLOCK_BYTES, IDX_BYTES, PTR_BYTES, VAL_BYTES};
 pub use merge_tree::{LeafSource, MergeTree, Packet, SliceLeafSource};
 pub use pim::PimBackend;

@@ -1,0 +1,102 @@
+//! Load-driver entry point: `loadgen [--addr A] [--jobs N]
+//! [--connections N] [--window N] [--scale N] [--deadline-ms N]
+//! [--verify-every N] [--out FILE]`.
+//!
+//! Drives a running daemon with the deterministic job mix, prints the
+//! report, optionally writes it as JSON, and exits nonzero when any job
+//! failed or any differential check diverged.
+
+use menda_server::loadgen::{self, LoadgenOptions};
+
+fn usage() -> String {
+    concat!(
+        "usage: loadgen [options]\n",
+        "  --addr HOST:PORT   daemon address (default 127.0.0.1:7870)\n",
+        "  --jobs N           total jobs to complete (default 500)\n",
+        "  --connections N    concurrent client connections (default 4)\n",
+        "  --window N         in-flight jobs per connection (default 4)\n",
+        "  --scale N          matrix rows per job (default 512)\n",
+        "  --deadline-ms N    per-job deadline (default: none)\n",
+        "  --verify-every N   differential-check every Nth job, 0=off (default 25)\n",
+        "  --out FILE         also write the JSON report to FILE\n",
+        "  --help             show this message\n",
+    )
+    .to_string()
+}
+
+fn parse_args(args: &[String]) -> Result<(LoadgenOptions, Option<String>), String> {
+    let mut options = LoadgenOptions::default();
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => options.addr = take("--addr")?.clone(),
+            "--jobs" => options.jobs = parse_num(take("--jobs")?, "--jobs")?,
+            "--connections" => {
+                options.connections = parse_num(take("--connections")?, "--connections")?;
+            }
+            "--window" => options.window = parse_num(take("--window")?, "--window")?,
+            "--scale" => options.scale = parse_num(take("--scale")?, "--scale")?,
+            "--deadline-ms" => {
+                options.deadline_ms = Some(parse_num(take("--deadline-ms")?, "--deadline-ms")?);
+            }
+            "--verify-every" => {
+                options.verify_every = parse_num(take("--verify-every")?, "--verify-every")?;
+            }
+            "--out" => out = Some(take("--out")?.clone()),
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok((options, out))
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag}: invalid number {value:?}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (options, out) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let report = match loadgen::run(&options) {
+        Ok(report) => report,
+        Err(message) => {
+            eprintln!("loadgen: {message}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "loadgen: {} completed, {} failed, {} retried, {}/{} verified ok, \
+         {:.1} jobs/s, p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms",
+        report.completed,
+        report.failed,
+        report.retried,
+        report.verified - report.diverged,
+        report.verified,
+        report.throughput,
+        report.p50_ms,
+        report.p90_ms,
+        report.p99_ms
+    );
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, format!("{}\n", report.to_json())) {
+            eprintln!("loadgen: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("loadgen: report written to {path}");
+    }
+    if report.failed > 0 || report.diverged > 0 {
+        std::process::exit(1);
+    }
+}
