@@ -9,6 +9,7 @@
 
 pub mod backends;
 pub mod bench;
+pub mod checkpoint;
 pub mod conflicts;
 pub mod energy;
 pub mod fig10;
@@ -21,6 +22,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod host;
 pub mod serve;
+pub mod sweep;
 pub mod tables;
 pub mod threads;
 pub mod trace;
@@ -59,12 +61,14 @@ pub const ALL: &[&str] = &[
     "verify-dram",
     "bench",
     "backends",
+    "checkpoint",
 ];
 
-/// Service-oriented experiments dispatchable by id but excluded from
-/// `repro all`: they benchmark the daemon (wall-clock heavy, spin up a
-/// server in-process) rather than reproduce a paper artifact.
-pub const SERVICE: &[&str] = &["serve-bench"];
+/// Heavyweight experiments dispatchable by id but excluded from
+/// `repro all`: they exercise the infrastructure (daemon benchmarks,
+/// design-space sweeps) rather than reproduce a paper artifact, and are
+/// wall-clock heavy.
+pub const SERVICE: &[&str] = &["serve-bench", "sweep"];
 
 /// Dispatches an experiment by id. Artifacts (trace JSON, benchmark
 /// reports) are written into `dir`.
@@ -99,7 +103,9 @@ pub fn run(id: &str, scale: Scale, dir: &Path) -> Result<String, String> {
         "verify-dram" => Ok(verify::run(scale)),
         "bench" => bench::run(scale, dir),
         "backends" => backends::run(scale, dir),
+        "checkpoint" => checkpoint::run(scale, dir),
         "serve-bench" => serve::run(scale, dir),
+        "sweep" => sweep::run(scale, dir),
         other => Err(format!(
             "unknown experiment '{other}'; available: {}, {}",
             ALL.join(", "),

@@ -229,6 +229,43 @@ fn backends_reports_both_backends_and_writes_artifact() {
 }
 
 #[test]
+fn checkpoint_round_trips_and_writes_artifact() {
+    let dir = std::env::temp_dir().join("menda-checkpoint-smoke");
+    let _ = std::fs::remove_dir_all(&dir);
+    // The experiment validates internally: every restored run must be
+    // bit-identical to the straight run (error otherwise).
+    let r = experiments::checkpoint::run(tiny(), &dir).expect("checkpoint runs");
+    assert!(r.contains("mismatches: 0"), "report:\n{r}");
+    for marker in ["menda", "pim", "ref", "ff"] {
+        assert!(r.contains(marker), "{marker} missing:\n{r}");
+    }
+    let meta = std::fs::metadata(dir.join("CHECKPOINT_9.txt")).expect("artifact exists");
+    assert!(meta.len() > 0, "CHECKPOINT_9.txt is empty");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_converges_with_prefix_reuse() {
+    let dir = std::env::temp_dir().join("menda-sweep-smoke");
+    let _ = std::fs::remove_dir_all(&dir);
+    // First run builds the prefix cache (all misses), second must hit it;
+    // both gate internally on zero cold/warm divergence.
+    let cold = experiments::sweep::run(tiny(), &dir).expect("sweep runs");
+    assert!(cold.contains("0 divergence"), "report:\n{cold}");
+    assert!(cold.contains("miss"), "first run should miss:\n{cold}");
+    let warm = experiments::sweep::run(tiny(), &dir).expect("sweep reruns");
+    assert!(
+        warm.contains("hit"),
+        "second run should hit the cache:\n{warm}"
+    );
+    assert!(!warm.contains("miss"), "stale cache keys:\n{warm}");
+    let json = std::fs::read_to_string(dir.join("SWEEP_9.json")).expect("artifact exists");
+    assert!(json.contains("\"divergences\": 0"), "bad artifact: {json}");
+    assert!(json.contains("\"cache\": \"hit\""), "bad artifact: {json}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn unknown_experiment_is_an_error() {
     let err = experiments::run("fig99", tiny(), &scratch()).unwrap_err();
     assert!(err.contains("unknown experiment"), "unhelpful error: {err}");
@@ -260,11 +297,20 @@ fn all_ids_dispatch() {
     for id in experiments::ALL {
         if matches!(
             *id,
-            "fig10" | "fig13" | "fig16" | "conflicts" | "threads" | "trace" | "bench" | "backends"
+            "fig10"
+                | "fig13"
+                | "fig16"
+                | "conflicts"
+                | "threads"
+                | "trace"
+                | "bench"
+                | "backends"
+                | "checkpoint"
         ) {
             // "threads" runs 8-PU simulations at four thread counts;
-            // "trace", "bench" and "backends" write artifacts; all four
-            // have dedicated smoke tests with a scratch directory.
+            // "trace", "bench", "backends" and "checkpoint" write
+            // artifacts; all have dedicated smoke tests with a scratch
+            // directory.
             continue;
         }
         assert!(

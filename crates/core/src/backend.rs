@@ -22,10 +22,11 @@
 //! kernel driver, statistic, energy model and trace consumer works
 //! unchanged on either device.
 
+use menda_dram::{Decoder, Encoder, SnapError};
 use menda_trace::TraceReport;
 
 use crate::config::MendaConfig;
-use crate::job::{self, PuJob};
+use crate::job::{self, JobRun, PuJob};
 use crate::pu::{ProcessingUnit, PuResult};
 
 /// One near-memory accelerator design: a factory for per-rank compute
@@ -71,6 +72,67 @@ pub trait AcceleratorBackend: Sync {
     fn take_trace_report(&self, unit: &mut Self::Unit) -> Option<TraceReport>;
 }
 
+/// A backend whose job execution can be paused at an arbitrary device
+/// cycle, serialized, and later restored bit-identically — the seam the
+/// checkpoint/replay subsystem ([`crate::checkpoint`]) builds on.
+///
+/// The contract mirrors the straight-through [`AcceleratorBackend`] path
+/// exactly: for any job, any sequence of `advance` calls with increasing
+/// pause targets — with or without an intervening
+/// `save_run`/`restore_run` round trip through fresh units — must produce
+/// the same [`PuResult`], the same cycle counts, the same
+/// [`menda_dram::DramStats`] and the same DRAM command log as a single
+/// unbounded `advance`. The differential suite
+/// `tests/checkpoint_equivalence.rs` enforces this for every backend.
+///
+/// Serialization only captures *dynamic* state; anything derivable from
+/// the job and the configuration is recomputed at restore. Checkpointing
+/// is refused while instrumentation is active (`tracing_active`) because
+/// trace sinks are not part of the simulated machine state.
+pub trait ResumableBackend: AcceleratorBackend {
+    /// An in-flight job execution on one unit: the dynamic state that a
+    /// straight-through [`AcceleratorBackend::execute_job`] keeps on its
+    /// host stack, reified so it can pause and serialize.
+    type Run: Send;
+
+    /// Starts (but does not advance) a job on `unit`.
+    fn start_job(&self, unit: &Self::Unit, job: PuJob) -> Self::Run;
+
+    /// Advances the run until it finishes (returns `true`) or the unit's
+    /// job-relative cycle count reaches `pause_at` (returns `false`).
+    /// `None` never pauses.
+    fn advance(&self, unit: &mut Self::Unit, run: &mut Self::Run, pause_at: Option<u64>) -> bool;
+
+    /// Consumes a finished run and produces its result.
+    fn finish_run(&self, unit: &Self::Unit, run: Self::Run) -> PuResult;
+
+    /// Whether `unit` currently has an instrumentation sink attached (in
+    /// which case checkpointing must be refused).
+    fn tracing_active(&self, unit: &Self::Unit) -> bool;
+
+    /// Serializes the unit-level dynamic state (cycle counters, request
+    /// ids, the rank's DRAM simulator).
+    fn save_unit(&self, unit: &Self::Unit, enc: &mut Encoder);
+
+    /// Restores state saved by [`ResumableBackend::save_unit`] into a
+    /// freshly built unit of the same configuration.
+    fn restore_unit(&self, unit: &mut Self::Unit, dec: &mut Decoder<'_>) -> Result<(), SnapError>;
+
+    /// Serializes the run-level dynamic state.
+    fn save_run(&self, run: &Self::Run, enc: &mut Encoder);
+
+    /// Rebuilds a run from `job` plus state saved by
+    /// [`ResumableBackend::save_run`]. The unit must already have been
+    /// restored ([`ResumableBackend::restore_unit`]) — run reconstruction
+    /// may consult unit geometry.
+    fn restore_run(
+        &self,
+        unit: &Self::Unit,
+        job: PuJob,
+        dec: &mut Decoder<'_>,
+    ) -> Result<Self::Run, SnapError>;
+}
+
 /// The MeNDA merge-tree processing unit as a backend — the paper's design
 /// and the default for every existing entry point.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -102,6 +164,51 @@ impl AcceleratorBackend for MendaBackend {
 
     fn take_trace_report(&self, unit: &mut ProcessingUnit) -> Option<TraceReport> {
         unit.take_trace_report()
+    }
+}
+
+impl ResumableBackend for MendaBackend {
+    type Run = JobRun;
+
+    fn start_job(&self, unit: &ProcessingUnit, job: PuJob) -> JobRun {
+        JobRun::new(unit.leaves() as u64, job)
+    }
+
+    fn advance(&self, unit: &mut ProcessingUnit, run: &mut JobRun, pause_at: Option<u64>) -> bool {
+        run.run_until(unit, pause_at)
+    }
+
+    fn finish_run(&self, unit: &ProcessingUnit, run: JobRun) -> PuResult {
+        run.finish(unit)
+    }
+
+    fn tracing_active(&self, unit: &ProcessingUnit) -> bool {
+        unit.tracing_active()
+    }
+
+    fn save_unit(&self, unit: &ProcessingUnit, enc: &mut Encoder) {
+        unit.save_unit_state(enc);
+    }
+
+    fn restore_unit(
+        &self,
+        unit: &mut ProcessingUnit,
+        dec: &mut Decoder<'_>,
+    ) -> Result<(), SnapError> {
+        unit.restore_unit_state(dec)
+    }
+
+    fn save_run(&self, run: &JobRun, enc: &mut Encoder) {
+        run.save_state(enc);
+    }
+
+    fn restore_run(
+        &self,
+        unit: &ProcessingUnit,
+        job: PuJob,
+        dec: &mut Decoder<'_>,
+    ) -> Result<JobRun, SnapError> {
+        JobRun::restore_state(unit, job, dec)
     }
 }
 

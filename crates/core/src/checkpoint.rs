@@ -1,0 +1,676 @@
+//! Checkpoint/replay for simulator runs.
+//!
+//! A checkpoint captures the *complete dynamic state* of an in-flight
+//! kernel launch — every unit's accelerator state (merge-tree PEs,
+//! prefetch buffers, request queues, parked buckets, coalescing entries —
+//! or the PIM phase machine), the per-rank DRAM simulators (bank/rank
+//! timing shadow, controller queues, refresh counters, command-log
+//! position, protocol-checker shadow), and the engine-level job progress —
+//! into a self-describing binary container. Restoring the container into a
+//! freshly built engine of the same configuration and running to
+//! completion is **bit-identical** to the uninterrupted run: same outputs,
+//! same cycle counts, same statistics, same DRAM command log. The
+//! differential suite `tests/checkpoint_equivalence.rs` enforces that
+//! contract for both backends, both execution disciplines (per-cycle
+//! reference and event-driven fast-forward) and any host thread count.
+//!
+//! # Container format (version 1)
+//!
+//! ```text
+//! magic    8 B   b"MENDACKP"
+//! version  4 B   little-endian u32, currently 1
+//! config   8 B   fnv1a fingerprint of the simulated-machine configuration
+//! backend  var   length-prefixed backend name ("menda", "pim", ...)
+//! units    var   unit count, then one length-prefixed blob per unit:
+//!                  job fingerprint (8 B) + unit state + run state
+//! checksum 8 B   fnv1a over all preceding bytes
+//! ```
+//!
+//! The config fingerprint covers everything that shapes simulated
+//! behavior (PU/PIM parameters, channel/rank topology, the full DRAM
+//! organization/timing/policy) and deliberately excludes the host-side
+//! knobs that provably don't ([`crate::SimOptions::threads`],
+//! [`crate::SimOptions::fast_forward`], tracing): a checkpoint taken under
+//! the per-cycle reference path restores into a fast-forwarding engine and
+//! vice versa.
+//!
+//! Corrupt or mismatched snapshots are rejected with a typed
+//! [`SnapshotError`] before any state is touched — restore never panics
+//! and never partially applies. A *forged* snapshot (checksum recomputed
+//! over tampered bytes) that decodes into an unreachable machine state is
+//! caught one layer deeper: restored runs execute under `catch_unwind`,
+//! so in-simulator assertions such as the PU deadlock watchdog surface as
+//! [`SnapshotError::Corrupt`] instead of unwinding into the caller.
+
+use std::fmt;
+
+use menda_dram::{fnv1a, Decoder, Encoder, MappingScheme, RowPolicy, SnapError};
+
+use crate::backend::ResumableBackend;
+use crate::config::MendaConfig;
+use crate::engine::{Engine, KernelSpec};
+use crate::job::job_fingerprint;
+use crate::pu::PuResult;
+use crate::stats::RunStats;
+
+/// Magic bytes opening every snapshot container.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"MENDACKP";
+
+/// Container format version written (and required) by this build.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why a snapshot could not be produced or restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The bytes do not start with [`SNAPSHOT_MAGIC`] (or are shorter
+    /// than a header).
+    BadMagic,
+    /// The container checksum does not match its payload — the snapshot
+    /// was truncated or corrupted in storage/transit.
+    ChecksumMismatch,
+    /// The container is a [`SNAPSHOT_VERSION`] this build cannot read.
+    BadVersion,
+    /// The snapshot was taken under a different simulated-machine
+    /// configuration (PU/PIM parameters, topology or DRAM config differ).
+    ConfigMismatch,
+    /// The snapshot was taken on a different accelerator backend.
+    BackendMismatch,
+    /// The snapshot was taken for a different kernel/input (per-unit job
+    /// fingerprints differ).
+    JobMismatch,
+    /// The payload is structurally invalid (truncated fields, impossible
+    /// values) even though the checksum matched.
+    Corrupt,
+    /// Checkpointing is refused while instrumentation is active — trace
+    /// sinks are host-side observers, not simulated machine state.
+    TracingActive,
+    /// The operation is not available for this kernel or backend.
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a MeNDA snapshot (bad magic)"),
+            SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            SnapshotError::BadVersion => write!(f, "unsupported snapshot format version"),
+            SnapshotError::ConfigMismatch => {
+                write!(f, "snapshot was taken under a different configuration")
+            }
+            SnapshotError::BackendMismatch => {
+                write!(f, "snapshot was taken on a different backend")
+            }
+            SnapshotError::JobMismatch => {
+                write!(f, "snapshot was taken for a different kernel or input")
+            }
+            SnapshotError::Corrupt => write!(f, "snapshot payload is corrupt"),
+            SnapshotError::TracingActive => {
+                write!(f, "checkpointing is not supported while tracing is active")
+            }
+            SnapshotError::Unsupported(what) => write!(f, "checkpointing unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<SnapError> for SnapshotError {
+    fn from(_: SnapError) -> Self {
+        SnapshotError::Corrupt
+    }
+}
+
+/// Fingerprint of the parts of a [`MendaConfig`] that shape simulated
+/// behavior.
+///
+/// Includes the PU and PIM parameters, the channel/rank topology and the
+/// complete per-rank DRAM configuration (organization, all timing
+/// parameters, address mapping, queue depths, clock, refresh, row policy,
+/// and the command-log/protocol-checker switches, which add serialized
+/// state to the DRAM snapshot). Excludes host-simulation knobs that are
+/// proven results-neutral — [`crate::SimOptions`] and tracing — so
+/// checkpoints restore across `threads`/`fast_forward` settings.
+pub fn config_fingerprint(config: &MendaConfig) -> u64 {
+    let mut e = Encoder::new();
+    let pu = &config.pu;
+    e.u64(pu.frequency_mhz);
+    e.usize(pu.leaves);
+    e.usize(pu.fifo_entries);
+    e.usize(pu.prefetch_buffer_entries);
+    e.usize(pu.read_queue_entries);
+    e.usize(pu.write_queue_entries);
+    e.bool(pu.stall_reducing_prefetch);
+    e.bool(pu.request_coalescing);
+    e.usize(pu.output_buffer_bytes);
+    e.usize(pu.pointer_read_depth);
+    e.opt_u64(pu.host_read_interval);
+    let pim = &config.pim;
+    e.u64(pim.frequency_mhz);
+    e.usize(pim.dpus_per_rank);
+    e.usize(pim.wram_bytes);
+    e.u64(pim.elem_cpi);
+    e.u64(pim.sort_cpi);
+    e.u64(pim.merge_cpi);
+    e.usize(config.channels);
+    e.usize(config.ranks_per_channel);
+    let d = &config.dram;
+    e.usize(d.org.channels);
+    e.usize(d.org.ranks);
+    e.usize(d.org.bank_groups);
+    e.usize(d.org.banks_per_group);
+    e.usize(d.org.rows);
+    e.usize(d.org.columns);
+    e.usize(d.org.transaction_bytes);
+    let t = &d.timing;
+    for v in [
+        t.t_rc, t.t_rcd, t.t_cl, t.t_cwl, t.t_rp, t.t_ras, t.t_bl, t.t_ccd_s, t.t_ccd_l, t.t_rrd_s,
+        t.t_rrd_l, t.t_faw, t.t_wtr, t.t_wr, t.t_rtp, t.t_refi, t.t_rfc,
+    ] {
+        e.u64(v);
+    }
+    e.u8(match d.mapping {
+        MappingScheme::RoBaRaCoCh => 0,
+        MappingScheme::ChRaBaRoCo => 1,
+        MappingScheme::RoCoBaRaCh => 2,
+    });
+    e.usize(d.read_queue);
+    e.usize(d.write_queue);
+    e.u64(d.clock_mhz);
+    e.bool(d.refresh_enabled);
+    e.bool(d.log_commands);
+    e.bool(d.check_protocol);
+    e.u8(match d.row_policy {
+        RowPolicy::OpenPage => 0,
+        RowPolicy::ClosedPage => 1,
+    });
+    fnv1a(e.as_bytes())
+}
+
+/// Outcome of a bounded checkpoint run: either the kernel finished before
+/// the pause target, or it paused and serialized.
+#[derive(Debug, Clone)]
+pub enum SnapshotOutcome<T> {
+    /// The kernel ran to completion; no snapshot was produced.
+    Finished(T),
+    /// The run paused at the target cycle; the container restores it.
+    Paused(Vec<u8>),
+}
+
+impl<T> SnapshotOutcome<T> {
+    /// The snapshot bytes, if the run paused.
+    pub fn snapshot(self) -> Option<Vec<u8>> {
+        match self {
+            SnapshotOutcome::Paused(bytes) => Some(bytes),
+            SnapshotOutcome::Finished(_) => None,
+        }
+    }
+
+    /// The kernel output, if the run finished.
+    pub fn finished(self) -> Option<T> {
+        match self {
+            SnapshotOutcome::Finished(out) => Some(out),
+            SnapshotOutcome::Paused(_) => None,
+        }
+    }
+
+    /// Whether the run paused (and so produced a snapshot).
+    pub fn is_paused(&self) -> bool {
+        matches!(self, SnapshotOutcome::Paused(_))
+    }
+}
+
+/// Per-unit worker outcome inside a checkpoint run.
+type UnitOutcome = (Option<Vec<u8>>, Option<PuResult>);
+
+impl<'a, B: ResumableBackend> Engine<'a, B> {
+    /// Runs `spec` until every unit finishes or reaches device cycle
+    /// `pause_at`, whichever comes first. Units that reach the target
+    /// serialize; if *any* unit paused the whole launch is captured as a
+    /// snapshot (finished units serialize their terminal state alongside).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::TracingActive`] when instrumentation is enabled.
+    pub fn run_to_cycle<S: KernelSpec>(
+        &self,
+        spec: &S,
+        pause_at: u64,
+    ) -> Result<SnapshotOutcome<S::Output>, SnapshotError> {
+        self.checkpoint_run(spec, None, Some(pause_at))
+    }
+
+    /// Restores a snapshot produced by [`Engine::run_to_cycle`] (or
+    /// [`Engine::resume_to_cycle`]) and runs the kernel to completion.
+    ///
+    /// `spec` must describe the same kernel launch the snapshot was taken
+    /// from — the engine revalidates the configuration fingerprint, the
+    /// backend and every per-unit job fingerprint before touching any
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] variant describing why the snapshot cannot
+    /// be restored; the engine state is untouched on error.
+    pub fn resume<S: KernelSpec>(
+        &self,
+        spec: &S,
+        snapshot: &[u8],
+    ) -> Result<S::Output, SnapshotError> {
+        match self.checkpoint_run(spec, Some(snapshot), None)? {
+            SnapshotOutcome::Finished(out) => Ok(out),
+            SnapshotOutcome::Paused(_) => unreachable!("unbounded resume cannot pause"),
+        }
+    }
+
+    /// Restores a snapshot and runs until completion or `pause_at`,
+    /// producing a new snapshot in the latter case — the building block of
+    /// incremental/preemptible simulation.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Engine::resume`].
+    pub fn resume_to_cycle<S: KernelSpec>(
+        &self,
+        spec: &S,
+        snapshot: &[u8],
+        pause_at: u64,
+    ) -> Result<SnapshotOutcome<S::Output>, SnapshotError> {
+        self.checkpoint_run(spec, Some(snapshot), Some(pause_at))
+    }
+
+    fn checkpoint_run<S: KernelSpec>(
+        &self,
+        spec: &S,
+        snapshot: Option<&[u8]>,
+        pause_at: Option<u64>,
+    ) -> Result<SnapshotOutcome<S::Output>, SnapshotError> {
+        if self.config().trace.enabled() || self.config().dram.trace.enabled() {
+            return Err(SnapshotError::TracingActive);
+        }
+        let pus = self.config().num_pus();
+        let unit_blobs: Option<Vec<&[u8]>> = match snapshot {
+            Some(bytes) => Some(self.parse_container(bytes, pus)?),
+            None => None,
+        };
+        // A *forged* snapshot (valid checksum over tampered bytes) can
+        // decode into a machine state the simulator could never reach.
+        // The in-simulator assertions that then fire — the PU deadlock
+        // watchdog, slice bounds during result assembly — must surface
+        // as `Corrupt`, not unwind into the caller, so the whole
+        // restored flow runs under `catch_unwind`.
+        if unit_blobs.is_some() {
+            return std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.checkpoint_run_inner(spec, unit_blobs, pause_at)
+            }))
+            .unwrap_or(Err(SnapshotError::Corrupt));
+        }
+        self.checkpoint_run_inner(spec, unit_blobs, pause_at)
+    }
+
+    fn checkpoint_run_inner<S: KernelSpec>(
+        &self,
+        spec: &S,
+        unit_blobs: Option<Vec<&[u8]>>,
+        pause_at: Option<u64>,
+    ) -> Result<SnapshotOutcome<S::Output>, SnapshotError> {
+        let pus = self.config().num_pus();
+        let threads = self.config().sim.effective_threads(pus);
+        let outcomes: Vec<Result<UnitOutcome, SnapshotError>> = if threads <= 1 {
+            (0..pus)
+                .map(|p| self.checkpoint_pu(spec, p, unit_blobs.as_ref().map(|b| b[p]), pause_at))
+                .collect()
+        } else {
+            self.checkpoint_parallel(spec, pus, threads, unit_blobs.as_deref(), pause_at)
+        };
+        let mut blobs = Vec::with_capacity(pus);
+        let mut results = Vec::with_capacity(pus);
+        for outcome in outcomes {
+            let (blob, result) = outcome?;
+            blobs.push(blob);
+            results.push(result);
+        }
+        if results.iter().all(|r| r.is_some()) {
+            let results: Vec<PuResult> = results.into_iter().map(|r| r.unwrap()).collect();
+            let mut run = RunStats::collect(
+                self.backend().frequency_mhz(self.config()),
+                results.iter().map(|r| r.stats.clone()).collect(),
+            );
+            run.backend = self.backend().name();
+            Ok(SnapshotOutcome::Finished(spec.assemble(results, run)))
+        } else {
+            debug_assert!(pause_at.is_some(), "unbounded run left unfinished units");
+            let blobs: Vec<Vec<u8>> = blobs
+                .into_iter()
+                .map(|b| b.expect("paused run must serialize every unit"))
+                .collect();
+            Ok(SnapshotOutcome::Paused(self.encode_container(&blobs)))
+        }
+    }
+
+    /// Runs one unit: restore (or start) its job, advance to the pause
+    /// target, and serialize unless the launch is unbounded.
+    ///
+    /// When restoring, the per-unit work runs under its own
+    /// `catch_unwind` so a forged unit blob is contained before it can
+    /// unwind through the threaded scheduler in
+    /// [`Engine::checkpoint_parallel`] (whose join would otherwise
+    /// re-panic); [`Engine::checkpoint_run`] holds the outer net around
+    /// result assembly.
+    fn checkpoint_pu<S: KernelSpec>(
+        &self,
+        spec: &S,
+        p: usize,
+        unit_blob: Option<&[u8]>,
+        pause_at: Option<u64>,
+    ) -> Result<UnitOutcome, SnapshotError> {
+        if unit_blob.is_some() {
+            return std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.checkpoint_pu_inner(spec, p, unit_blob, pause_at)
+            }))
+            .unwrap_or(Err(SnapshotError::Corrupt));
+        }
+        self.checkpoint_pu_inner(spec, p, unit_blob, pause_at)
+    }
+
+    fn checkpoint_pu_inner<S: KernelSpec>(
+        &self,
+        spec: &S,
+        p: usize,
+        unit_blob: Option<&[u8]>,
+        pause_at: Option<u64>,
+    ) -> Result<UnitOutcome, SnapshotError> {
+        let backend = self.backend();
+        let mut unit = backend.build_unit(self.config());
+        if backend.tracing_active(&unit) {
+            return Err(SnapshotError::TracingActive);
+        }
+        let job = spec.make_job(p);
+        let fingerprint = job_fingerprint(&job);
+        let mut run = match unit_blob {
+            Some(bytes) => {
+                let mut dec = Decoder::new(bytes);
+                if dec.u64()? != fingerprint {
+                    return Err(SnapshotError::JobMismatch);
+                }
+                backend.restore_unit(&mut unit, &mut dec)?;
+                let run = backend.restore_run(&unit, job, &mut dec)?;
+                if !dec.is_empty() {
+                    return Err(SnapshotError::Corrupt);
+                }
+                run
+            }
+            None => backend.start_job(&unit, job),
+        };
+        let done = backend.advance(&mut unit, &mut run, pause_at);
+        let blob = pause_at.map(|_| {
+            let mut enc = Encoder::new();
+            enc.u64(fingerprint);
+            backend.save_unit(&unit, &mut enc);
+            backend.save_run(&run, &mut enc);
+            enc.into_bytes()
+        });
+        let result = done.then(|| backend.finish_run(&unit, run));
+        Ok((blob, result))
+    }
+
+    fn checkpoint_parallel<S: KernelSpec>(
+        &self,
+        spec: &S,
+        pus: usize,
+        threads: usize,
+        unit_blobs: Option<&[&[u8]]>,
+        pause_at: Option<u64>,
+    ) -> Vec<Result<UnitOutcome, SnapshotError>> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let next = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, Result<UnitOutcome, SnapshotError>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut done = Vec::new();
+                            loop {
+                                let p = next.fetch_add(1, Ordering::Relaxed);
+                                if p >= pus {
+                                    break;
+                                }
+                                let blob = unit_blobs.map(|b| b[p]);
+                                done.push((p, self.checkpoint_pu(spec, p, blob, pause_at)));
+                            }
+                            done
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("checkpoint worker panicked"))
+                    .collect()
+            });
+        indexed.sort_unstable_by_key(|&(p, _)| p);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Assembles the versioned container around per-unit payloads.
+    fn encode_container(&self, unit_blobs: &[Vec<u8>]) -> Vec<u8> {
+        let mut e = Encoder::new();
+        for &b in SNAPSHOT_MAGIC.iter() {
+            e.u8(b);
+        }
+        e.u32(SNAPSHOT_VERSION);
+        e.u64(config_fingerprint(self.config()));
+        e.bytes(self.backend().name().as_bytes());
+        e.seq(unit_blobs.len());
+        for blob in unit_blobs {
+            e.bytes(blob);
+        }
+        let checksum = fnv1a(e.as_bytes());
+        e.u64(checksum);
+        e.into_bytes()
+    }
+
+    /// Validates the container envelope and splits out the per-unit
+    /// payloads. Precedence: magic, checksum, version, configuration,
+    /// backend, then structure.
+    fn parse_container<'s>(
+        &self,
+        bytes: &'s [u8],
+        pus: usize,
+    ) -> Result<Vec<&'s [u8]>, SnapshotError> {
+        if bytes.len() < SNAPSHOT_MAGIC.len() || bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        // Magic + version + config fingerprint + trailing checksum.
+        if bytes.len() < SNAPSHOT_MAGIC.len() + 4 + 8 + 8 {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+        let body = &bytes[..bytes.len() - 8];
+        let mut tail = Decoder::new(&bytes[bytes.len() - 8..]);
+        let stored = tail.u64().expect("8-byte tail");
+        if fnv1a(body) != stored {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+        let mut dec = Decoder::new(&body[SNAPSHOT_MAGIC.len()..]);
+        if dec.u32()? != SNAPSHOT_VERSION {
+            return Err(SnapshotError::BadVersion);
+        }
+        if dec.u64()? != config_fingerprint(self.config()) {
+            return Err(SnapshotError::ConfigMismatch);
+        }
+        if dec.bytes()? != self.backend().name().as_bytes() {
+            return Err(SnapshotError::BackendMismatch);
+        }
+        let n = dec.len_capped(1)?;
+        if n != pus {
+            return Err(SnapshotError::ConfigMismatch);
+        }
+        let mut units = Vec::with_capacity(n);
+        for _ in 0..n {
+            units.push(dec.bytes()?);
+        }
+        if !dec.is_empty() {
+            return Err(SnapshotError::Corrupt);
+        }
+        Ok(units)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MendaBackend;
+    use crate::system::TransposeSpec;
+    use menda_sparse::gen;
+    use menda_sparse::partition::RowPartition;
+
+    fn spec<'m>(m: &'m menda_sparse::CsrMatrix, cfg: &MendaConfig) -> TransposeSpec<'m> {
+        TransposeSpec::new(m, RowPartition::by_nnz(m, cfg.num_pus()))
+    }
+
+    #[test]
+    fn fingerprint_ignores_host_knobs_but_tracks_machine() {
+        let base = MendaConfig::small_test();
+        let fp = config_fingerprint(&base);
+        assert_eq!(
+            fp,
+            config_fingerprint(&base.clone().with_threads(7).with_fast_forward(false)),
+            "host-simulation knobs must not change the fingerprint"
+        );
+        assert_ne!(fp, config_fingerprint(&base.clone().with_channels(2)));
+        let mut other = base.clone();
+        other.pu.leaves *= 2;
+        assert_ne!(fp, config_fingerprint(&other));
+        let mut dram = base.clone();
+        dram.dram.timing.t_rcd += 1;
+        assert_ne!(fp, config_fingerprint(&dram));
+    }
+
+    #[test]
+    fn pause_restore_resume_matches_straight_run() {
+        let cfg = MendaConfig::small_test();
+        let m = gen::rmat(96, 768, gen::RmatParams::PAPER, 11);
+        let engine = Engine::new(&cfg);
+        let direct = engine.run(&spec(&m, &cfg));
+        let outcome = engine.run_to_cycle(&spec(&m, &cfg), 500).unwrap();
+        let snapshot = outcome.snapshot().expect("run must pause at cycle 500");
+        let resumed = engine.resume(&spec(&m, &cfg), &snapshot).unwrap();
+        assert_eq!(direct.output, resumed.output);
+        assert_eq!(direct.cycles, resumed.cycles);
+        assert_eq!(direct.pu_stats, resumed.pu_stats);
+    }
+
+    #[test]
+    fn pim_backend_pause_resume_matches_straight_run() {
+        let cfg = MendaConfig::small_test();
+        let m = gen::rmat(96, 768, gen::RmatParams::PAPER, 13);
+        let engine = Engine::with_backend(&cfg, crate::pim::PimBackend);
+        let direct = engine.run(&spec(&m, &cfg));
+        let outcome = engine.run_to_cycle(&spec(&m, &cfg), 700).unwrap();
+        let snapshot = outcome.snapshot().expect("run must pause at cycle 700");
+        let resumed = engine.resume(&spec(&m, &cfg), &snapshot).unwrap();
+        assert_eq!(direct.output, resumed.output);
+        assert_eq!(direct.cycles, resumed.cycles);
+        assert_eq!(direct.pu_stats, resumed.pu_stats);
+    }
+
+    #[test]
+    fn pause_past_completion_finishes() {
+        let cfg = MendaConfig::small_test();
+        let m = gen::uniform(24, 96, 3);
+        let engine = Engine::new(&cfg);
+        let direct = engine.run(&spec(&m, &cfg));
+        let outcome = engine.run_to_cycle(&spec(&m, &cfg), u64::MAX).unwrap();
+        let finished = outcome.finished().expect("must run to completion");
+        assert_eq!(direct.output, finished.output);
+        assert_eq!(direct.cycles, finished.cycles);
+    }
+
+    #[test]
+    fn tracing_refuses_checkpointing() {
+        let cfg = MendaConfig::small_test().with_trace(menda_trace::TraceConfig::counting());
+        let m = gen::uniform(16, 64, 5);
+        let engine = Engine::new(&cfg);
+        assert_eq!(
+            engine.run_to_cycle(&spec(&m, &cfg), 10).unwrap_err(),
+            SnapshotError::TracingActive
+        );
+    }
+
+    #[test]
+    fn container_rejects_tampering_with_typed_errors() {
+        let cfg = MendaConfig::small_test();
+        let m = gen::uniform(48, 384, 9);
+        let engine = Engine::<MendaBackend>::new(&cfg);
+        let snapshot = engine
+            .run_to_cycle(&spec(&m, &cfg), 300)
+            .unwrap()
+            .snapshot()
+            .unwrap();
+
+        // Bad magic.
+        let mut bad = snapshot.clone();
+        bad[0] ^= 0xff;
+        assert_eq!(
+            engine.resume(&spec(&m, &cfg), &bad).unwrap_err(),
+            SnapshotError::BadMagic
+        );
+        // Any mid-payload bit flip trips the checksum.
+        let mut bad = snapshot.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x10;
+        assert_eq!(
+            engine.resume(&spec(&m, &cfg), &bad).unwrap_err(),
+            SnapshotError::ChecksumMismatch
+        );
+        // Truncation trips the checksum too.
+        let short = &snapshot[..snapshot.len() - 9];
+        assert_eq!(
+            engine.resume(&spec(&m, &cfg), short).unwrap_err(),
+            SnapshotError::ChecksumMismatch
+        );
+        // A version bump with a refreshed checksum is rejected as such.
+        let mut bad = snapshot.clone();
+        bad[8] = 0xfe;
+        refresh_checksum(&mut bad);
+        assert_eq!(
+            engine.resume(&spec(&m, &cfg), &bad).unwrap_err(),
+            SnapshotError::BadVersion
+        );
+        // The untouched snapshot still restores.
+        assert!(engine.resume(&spec(&m, &cfg), &snapshot).is_ok());
+    }
+
+    #[test]
+    fn config_and_job_mismatches_are_detected() {
+        let cfg = MendaConfig::small_test();
+        let m = gen::uniform(48, 384, 9);
+        let engine = Engine::new(&cfg);
+        let snapshot = engine
+            .run_to_cycle(&spec(&m, &cfg), 300)
+            .unwrap()
+            .snapshot()
+            .unwrap();
+
+        // Different machine configuration.
+        let other_cfg = MendaConfig::small_test().with_ranks_per_channel(4);
+        let other_engine = Engine::new(&other_cfg);
+        assert_eq!(
+            other_engine
+                .resume(&spec(&m, &other_cfg), &snapshot)
+                .unwrap_err(),
+            SnapshotError::ConfigMismatch
+        );
+        // Same configuration, different input matrix.
+        let m2 = gen::uniform(48, 384, 10);
+        assert_eq!(
+            engine.resume(&spec(&m2, &cfg), &snapshot).unwrap_err(),
+            SnapshotError::JobMismatch
+        );
+    }
+
+    /// Recomputes the trailing checksum after deliberate header edits.
+    fn refresh_checksum(bytes: &mut [u8]) {
+        let n = bytes.len();
+        let sum = fnv1a(&bytes[..n - 8]);
+        bytes[n - 8..].copy_from_slice(&sum.to_le_bytes());
+    }
+}

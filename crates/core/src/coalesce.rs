@@ -194,6 +194,56 @@ impl CoalescingQueue {
         self.complete_into(block, &mut out);
         out
     }
+
+    /// Serializes the resident entries and counters. The waiter pool is
+    /// recycling storage only and is not written; `capacity` and
+    /// `coalescing` come from the configuration of the restore target.
+    pub(crate) fn save_state(&self, enc: &mut menda_dram::Encoder) {
+        enc.seq(self.entries.len());
+        for e in &self.entries {
+            enc.u64(e.block);
+            enc.u32s(&e.waiters);
+            enc.bool(e.issued);
+        }
+        enc.u64(self.coalesced_count);
+        enc.u64(self.queued_count);
+    }
+
+    /// Restores state saved by [`CoalescingQueue::save_state`] into a
+    /// freshly built queue of the same configuration. The unissued count
+    /// is recomputed from the restored entries.
+    pub(crate) fn restore_state(
+        &mut self,
+        dec: &mut menda_dram::Decoder<'_>,
+    ) -> Result<(), menda_dram::SnapError> {
+        use menda_dram::SnapError;
+        let n = dec.len_capped(17)?;
+        if n > self.capacity {
+            return Err(SnapError::BadValue);
+        }
+        let mut entries = Vec::with_capacity(self.capacity.max(n));
+        let mut unissued = 0usize;
+        for _ in 0..n {
+            let block = dec.u64()?;
+            let waiters = dec.u32s()?;
+            let issued = dec.bool()?;
+            if waiters.is_empty() {
+                return Err(SnapError::BadValue);
+            }
+            unissued += usize::from(!issued);
+            entries.push(Entry {
+                block,
+                waiters,
+                issued,
+            });
+        }
+        self.entries = entries;
+        self.unissued = unissued;
+        self.coalesced_count = dec.u64()?;
+        self.queued_count = dec.u64()?;
+        self.waiter_pool.clear();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

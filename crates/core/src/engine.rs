@@ -82,6 +82,17 @@ impl<'a, B: AcceleratorBackend> Engine<'a, B> {
         Self { config, backend }
     }
 
+    /// The configuration this engine simulates under (used by the
+    /// checkpoint entry points in [`crate::checkpoint`]).
+    pub(crate) fn config(&self) -> &'a MendaConfig {
+        self.config
+    }
+
+    /// The backend this engine drives.
+    pub(crate) fn backend(&self) -> &B {
+        &self.backend
+    }
+
     /// Runs one kernel launch: builds and executes one job per unit, then
     /// assembles. With more than one worker thread the unit simulations
     /// run concurrently; outputs and statistics are identical to a serial

@@ -25,12 +25,17 @@ use menda_sparse::CsrMatrix;
 use menda_trace::json::{escape, parse, JsonValue};
 use menda_trace::TraceConfig;
 
-use crate::backend::BackendKind;
+use menda_sparse::partition::RowPartition;
+
+use crate::backend::{AcceleratorBackend, BackendKind, MendaBackend, ResumableBackend};
+use crate::checkpoint::{SnapshotError, SnapshotOutcome};
 use crate::config::MendaConfig;
+use crate::engine::{Engine, KernelSpec};
+use crate::pim::PimBackend;
 use crate::spgemm;
 use crate::spmv;
 use crate::stats::PuStats;
-use crate::system::MendaSystem;
+use crate::system::{MendaSystem, TransposeSpec};
 
 /// Largest integer a JSON `f64` represents exactly; fields above this are
 /// rejected rather than silently rounded.
@@ -664,15 +669,11 @@ impl JobSpec {
         let (cycles, seconds, checksum, out_nnz, pu_stats, trace_events) = match self.kernel {
             JobKernel::Transpose => {
                 let r = MendaSystem::new(config.clone()).transpose_with(&matrix, self.backend);
-                let mut d = Digest::new();
-                d.push_usize_slice(r.output.col_ptr());
-                d.push_u32_slice(r.output.row_idx());
-                d.push_f32_slice(r.output.values());
                 let events = r.trace.as_ref().map(|t| t.sink.events);
                 (
                     r.cycles,
                     r.seconds,
-                    d.finish(),
+                    transpose_digest(&r),
                     r.output.nnz() as u64,
                     r.pu_stats,
                     events,
@@ -687,13 +688,11 @@ impl JobSpec {
                     spmv::SpmvOptions::default(),
                     self.backend,
                 );
-                let mut d = Digest::new();
-                d.push_f32_slice(&r.y);
                 let events = r.trace.as_ref().map(|t| t.sink.events);
                 (
                     r.cycles,
                     r.seconds,
-                    d.finish(),
+                    spmv_digest(&r),
                     r.y.len() as u64,
                     r.pu_stats,
                     events,
@@ -713,21 +712,42 @@ impl JobSpec {
                     )));
                 }
                 let r = spgemm::run_with_backend(config, &matrix, &b, self.backend);
-                let mut d = Digest::new();
-                d.push_usize_slice(r.c.row_ptr());
-                d.push_u32_slice(r.c.col_idx());
-                d.push_f32_slice(r.c.values());
                 (
                     r.merge_cycles + r.multiply_cycles,
                     r.seconds,
-                    d.finish(),
+                    spgemm_digest(&r),
                     r.c.nnz() as u64,
                     r.pu_stats,
                     None,
                 )
             }
         };
-        Ok(JobOutcome {
+        Ok(self.finish_outcome(
+            (nrows, ncols, nnz),
+            cycles,
+            seconds,
+            checksum,
+            out_nnz,
+            &pu_stats,
+            trace_events,
+        ))
+    }
+
+    /// Assembles a [`JobOutcome`] — the single construction site shared
+    /// by the straight-through and preemptible paths, so both produce
+    /// byte-identical outcome JSON.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_outcome(
+        &self,
+        (nrows, ncols, nnz): (usize, usize, usize),
+        cycles: u64,
+        seconds: f64,
+        checksum: u64,
+        out_nnz: u64,
+        pu_stats: &[PuStats],
+        trace_events: Option<u64>,
+    ) -> JobOutcome {
+        JobOutcome {
             job: self.to_json(),
             kernel: self.kernel.label(),
             backend: self.backend.label(),
@@ -740,8 +760,223 @@ impl JobSpec {
             output_digest: checksum,
             pu: pu_stats.iter().map(PuSummary::from_stats).collect(),
             trace_events,
-        })
+        }
     }
+
+    /// Checkpoint-capable execution: runs the job until it finishes or
+    /// every accelerator unit reaches device cycle `pause_at`, capturing
+    /// a restorable snapshot in the latter case. A finished job's
+    /// [`JobOutcome`] is byte-identical (JSON and digest included) to
+    /// [`JobSpec::execute`]'s — the server preemption suite asserts that.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::Invalid`] for validation failures and refused
+    /// checkpointing (tracing active), [`JobError::Failed`] for caught
+    /// simulator panics.
+    pub fn execute_to_cycle(&self, pause_at: u64) -> Result<JobProgress, JobError> {
+        self.execute_bounded(None, Some(pause_at))
+    }
+
+    /// Restores a snapshot from [`JobSpec::execute_to_cycle`] (or
+    /// [`JobSpec::resume_to_cycle`]) and runs the job to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::Invalid`] when the snapshot is corrupt or was taken
+    /// for a different job/configuration, plus [`JobSpec::execute`]'s
+    /// failure modes.
+    pub fn resume(&self, snapshot: &[u8]) -> Result<JobOutcome, JobError> {
+        match self.execute_bounded(Some(snapshot), None)? {
+            JobProgress::Finished(outcome) => Ok(outcome),
+            JobProgress::Paused(_) => unreachable!("unbounded resume cannot pause"),
+        }
+    }
+
+    /// Restores a snapshot and runs until completion or `pause_at` — the
+    /// quantum step of preemptible execution.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`JobSpec::resume`].
+    pub fn resume_to_cycle(&self, snapshot: &[u8], pause_at: u64) -> Result<JobProgress, JobError> {
+        self.execute_bounded(Some(snapshot), Some(pause_at))
+    }
+
+    fn execute_bounded(
+        &self,
+        snapshot: Option<&[u8]>,
+        pause_at: Option<u64>,
+    ) -> Result<JobProgress, JobError> {
+        let config = self.build_config()?;
+        catch_unwind(AssertUnwindSafe(|| {
+            self.execute_bounded_inner(&config, snapshot, pause_at)
+        }))
+        .map_err(|panic| {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("unknown panic");
+            JobError::Failed(msg.into())
+        })?
+    }
+
+    fn execute_bounded_inner(
+        &self,
+        config: &MendaConfig,
+        snapshot: Option<&[u8]>,
+        pause_at: Option<u64>,
+    ) -> Result<JobProgress, JobError> {
+        let matrix = self.matrix.generate(self.scale, self.seed)?;
+        let dims = (matrix.nrows(), matrix.ncols(), matrix.nnz());
+        match self.kernel {
+            JobKernel::Transpose => {
+                let spec =
+                    TransposeSpec::new(&matrix, RowPartition::by_nnz(&matrix, config.num_pus()));
+                let outcome = run_bounded(config, self.backend, &spec, snapshot, pause_at)
+                    .map_err(snapshot_error)?;
+                Ok(match outcome {
+                    SnapshotOutcome::Paused(bytes) => JobProgress::Paused(bytes),
+                    SnapshotOutcome::Finished(r) => JobProgress::Finished(self.finish_outcome(
+                        dims,
+                        r.cycles,
+                        r.seconds,
+                        transpose_digest(&r),
+                        r.output.nnz() as u64,
+                        &r.pu_stats,
+                        None,
+                    )),
+                })
+            }
+            JobKernel::Spmv => {
+                let x = derive_vector(dims.1, self.seed);
+                let spec =
+                    spmv::make_spec(&matrix, &x, spmv::SpmvOptions::default(), config.num_pus());
+                let outcome = run_bounded(config, self.backend, &spec, snapshot, pause_at)
+                    .map_err(snapshot_error)?;
+                Ok(match outcome {
+                    SnapshotOutcome::Paused(bytes) => JobProgress::Paused(bytes),
+                    SnapshotOutcome::Finished(r) => JobProgress::Finished(self.finish_outcome(
+                        dims,
+                        r.cycles,
+                        r.seconds,
+                        spmv_digest(&r),
+                        r.y.len() as u64,
+                        &r.pu_stats,
+                        None,
+                    )),
+                })
+            }
+            JobKernel::Spgemm => {
+                let b = self
+                    .matrix
+                    .generate(self.scale, self.seed ^ 0x0053_4745_4D4D_u64)?;
+                if matrix.ncols() != b.nrows() {
+                    return Err(JobError::Invalid(format!(
+                        "spgemm operands disagree: A is {}x{}, B is {}x{}",
+                        dims.0,
+                        dims.1,
+                        b.nrows(),
+                        b.ncols()
+                    )));
+                }
+                let frequency_mhz = match self.backend {
+                    BackendKind::Menda => MendaBackend.frequency_mhz(config),
+                    BackendKind::Pim => PimBackend.frequency_mhz(config),
+                };
+                let spec = spgemm::make_spec(&matrix, &b, config, frequency_mhz);
+                let outcome = run_bounded(config, self.backend, &spec, snapshot, pause_at)
+                    .map_err(snapshot_error)?;
+                Ok(match outcome {
+                    SnapshotOutcome::Paused(bytes) => JobProgress::Paused(bytes),
+                    SnapshotOutcome::Finished(r) => JobProgress::Finished(self.finish_outcome(
+                        dims,
+                        r.merge_cycles + r.multiply_cycles,
+                        r.seconds,
+                        spgemm_digest(&r),
+                        r.c.nnz() as u64,
+                        &r.pu_stats,
+                        None,
+                    )),
+                })
+            }
+        }
+    }
+}
+
+/// Progress of a bounded ([`JobSpec::execute_to_cycle`]) job execution.
+#[derive(Debug, Clone)]
+pub enum JobProgress {
+    /// The job ran to completion.
+    Finished(JobOutcome),
+    /// The job paused at the requested cycle; the snapshot resumes it
+    /// ([`JobSpec::resume`] / [`JobSpec::resume_to_cycle`]).
+    Paused(Vec<u8>),
+}
+
+/// Dispatches a bounded engine run over the runtime-selected backend.
+fn run_bounded<S: KernelSpec>(
+    config: &MendaConfig,
+    kind: BackendKind,
+    spec: &S,
+    snapshot: Option<&[u8]>,
+    pause_at: Option<u64>,
+) -> Result<SnapshotOutcome<S::Output>, SnapshotError> {
+    match kind {
+        BackendKind::Menda => run_bounded_on(config, MendaBackend, spec, snapshot, pause_at),
+        BackendKind::Pim => run_bounded_on(config, PimBackend, spec, snapshot, pause_at),
+    }
+}
+
+fn run_bounded_on<B: ResumableBackend, S: KernelSpec>(
+    config: &MendaConfig,
+    backend: B,
+    spec: &S,
+    snapshot: Option<&[u8]>,
+    pause_at: Option<u64>,
+) -> Result<SnapshotOutcome<S::Output>, SnapshotError> {
+    let engine = Engine::with_backend(config, backend);
+    match (snapshot, pause_at) {
+        (None, Some(p)) => engine.run_to_cycle(spec, p),
+        (Some(s), None) => engine.resume(spec, s).map(SnapshotOutcome::Finished),
+        (Some(s), Some(p)) => engine.resume_to_cycle(spec, s, p),
+        (None, None) => unreachable!("bounded execution needs a snapshot or a pause target"),
+    }
+}
+
+/// Maps a checkpoint-layer error onto the job-layer error type: every
+/// variant describes input this spec cannot accept (corrupt bytes, a
+/// snapshot from a different job, refused-while-tracing), so they all
+/// surface as [`JobError::Invalid`] — never a panic.
+fn snapshot_error(e: SnapshotError) -> JobError {
+    JobError::Invalid(format!("snapshot: {e}"))
+}
+
+/// Output digest of a finished transposition (shared by the batch and
+/// preemptible paths).
+fn transpose_digest(r: &crate::system::TransposeResult) -> u64 {
+    let mut d = Digest::new();
+    d.push_usize_slice(r.output.col_ptr());
+    d.push_u32_slice(r.output.row_idx());
+    d.push_f32_slice(r.output.values());
+    d.finish()
+}
+
+/// Output digest of a finished SpMV.
+fn spmv_digest(r: &spmv::SpmvResult) -> u64 {
+    let mut d = Digest::new();
+    d.push_f32_slice(&r.y);
+    d.finish()
+}
+
+/// Output digest of a finished SpGEMM.
+fn spgemm_digest(r: &spgemm::SpgemmResult) -> u64 {
+    let mut d = Digest::new();
+    d.push_usize_slice(r.c.row_ptr());
+    d.push_u32_slice(r.c.col_idx());
+    d.push_f32_slice(r.c.values());
+    d.finish()
 }
 
 fn parse_matrix(value: &JsonValue) -> Result<MatrixSource, JobError> {

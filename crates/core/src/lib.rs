@@ -52,6 +52,7 @@
 #![warn(missing_debug_implementations)]
 
 mod backend;
+pub mod checkpoint;
 mod coalesce;
 mod config;
 pub mod energy;
@@ -69,13 +70,17 @@ pub mod spmv;
 mod stats;
 mod system;
 
-pub use backend::{AcceleratorBackend, BackendKind, MendaBackend};
+pub use backend::{AcceleratorBackend, BackendKind, MendaBackend, ResumableBackend};
+pub use checkpoint::{
+    config_fingerprint, SnapshotError, SnapshotOutcome, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 pub use coalesce::CoalescingQueue;
 pub use config::{MendaConfig, PimConfig, PuConfig, SimOptions};
 pub use engine::{Engine, KernelSpec};
-pub use job::{transpose_job, FinalOutput, IntermediateFormat, JobSource, PuJob};
+pub use job::{transpose_job, FinalOutput, IntermediateFormat, JobRun, JobSource, PuJob};
 pub use jobspec::{
-    Digest, DramProfile, JobError, JobKernel, JobOutcome, JobSpec, MatrixSource, PuSummary,
+    Digest, DramProfile, JobError, JobKernel, JobOutcome, JobProgress, JobSpec, MatrixSource,
+    PuSummary,
 };
 pub use layout::{AddressLayout, BLOCK_BYTES, IDX_BYTES, PTR_BYTES, VAL_BYTES};
 pub use merge_tree::{LeafSource, MergeTree, Packet, SliceLeafSource};
@@ -83,7 +88,7 @@ pub use pim::PimBackend;
 pub use prefetch::{PrefetchBuffer, StreamDescriptor, StreamKind};
 pub use pu::{ProcessingUnit, PtrGate, PuResult};
 pub use stats::{IterationStats, PuStats, RunStats};
-pub use system::{MendaSystem, TransposeResult};
+pub use system::{MendaSystem, TransposeResult, TransposeSpec};
 // Convenience re-exports so downstream users can configure and consume
 // instrumentation without naming `menda-trace` directly.
 pub use menda_trace::{TraceConfig, TraceMode, TraceReport};

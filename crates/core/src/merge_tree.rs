@@ -102,6 +102,38 @@ impl Packet {
             }
         }
     }
+
+    /// Serializes one packet (tag byte + payload for nonzeros).
+    pub(crate) fn save_state(&self, enc: &mut menda_dram::Encoder) {
+        match *self {
+            Packet::Nz {
+                major,
+                minor,
+                value,
+            } => {
+                enc.u8(0);
+                enc.u32(major);
+                enc.u32(minor);
+                enc.f32(value);
+            }
+            Packet::Eol => enc.u8(1),
+        }
+    }
+
+    /// Decodes one packet saved by [`Packet::save_state`].
+    pub(crate) fn restore_state(
+        dec: &mut menda_dram::Decoder<'_>,
+    ) -> Result<Self, menda_dram::SnapError> {
+        match dec.u8()? {
+            0 => Ok(Packet::Nz {
+                major: dec.u32()?,
+                minor: dec.u32()?,
+                value: dec.f32()?,
+            }),
+            1 => Ok(Packet::Eol),
+            _ => Err(menda_dram::SnapError::BadValue),
+        }
+    }
 }
 
 /// Supplies packets to the leaf input ports of a [`MergeTree`].
@@ -222,6 +254,37 @@ impl ActiveSet {
                 w &= w - 1;
             }
         }
+    }
+
+    /// Serializes the membership bitmask (each `u128` word as two `u64`
+    /// halves, low first).
+    pub(crate) fn save_state(&self, enc: &mut menda_dram::Encoder) {
+        enc.seq(self.words.len());
+        for &w in &self.words {
+            enc.u64(w as u64);
+            enc.u64((w >> 64) as u64);
+        }
+    }
+
+    /// Restores a bitmask saved by [`ActiveSet::save_state`] into a set of
+    /// the same universe; the member count is recomputed from the words.
+    pub(crate) fn restore_state(
+        &mut self,
+        dec: &mut menda_dram::Decoder<'_>,
+    ) -> Result<(), menda_dram::SnapError> {
+        let n = dec.len_capped(16)?;
+        if n != self.words.len() {
+            return Err(menda_dram::SnapError::BadValue);
+        }
+        let mut count = 0u32;
+        for w in self.words.iter_mut() {
+            let lo = dec.u64()?;
+            let hi = dec.u64()?;
+            *w = (lo as u128) | ((hi as u128) << 64);
+            count += w.count_ones();
+        }
+        self.count = count;
+        Ok(())
     }
 }
 
@@ -534,6 +597,54 @@ impl MergeTree {
             }
         }
         pulled
+    }
+
+    /// Serializes the full FIFO slab and progress counters. The geometry
+    /// (`leaves`, `fifo_cap`) is not written — it is derived from the
+    /// configuration when the fresh tree is built for restore.
+    pub(crate) fn save_state(&self, enc: &mut menda_dram::Encoder) {
+        enc.u64s(&self.keys);
+        enc.f32s(&self.vals);
+        enc.u16s(&self.head);
+        enc.u16s(&self.len);
+        self.active.save_state(enc);
+        enc.u64(self.pops);
+        enc.u64(self.rounds_completed);
+    }
+
+    /// Restores state saved by [`MergeTree::save_state`] into a freshly
+    /// built tree of the same geometry. Slab lengths and ring indices are
+    /// validated against this tree's capacity, so corrupt bytes yield a
+    /// typed error instead of out-of-bounds indexing later.
+    pub(crate) fn restore_state(
+        &mut self,
+        dec: &mut menda_dram::Decoder<'_>,
+    ) -> Result<(), menda_dram::SnapError> {
+        use menda_dram::SnapError;
+        let keys = dec.u64s()?;
+        let vals = dec.f32s()?;
+        let head = dec.u16s()?;
+        let len = dec.u16s()?;
+        if keys.len() != self.keys.len()
+            || vals.len() != self.vals.len()
+            || head.len() != self.head.len()
+            || len.len() != self.len.len()
+        {
+            return Err(SnapError::BadValue);
+        }
+        if head.iter().any(|&h| h as usize >= self.fifo_cap)
+            || len.iter().any(|&l| l as usize > self.fifo_cap)
+        {
+            return Err(SnapError::BadValue);
+        }
+        self.keys = keys;
+        self.vals = vals;
+        self.head = head;
+        self.len = len;
+        self.active.restore_state(dec)?;
+        self.pops = dec.u64()?;
+        self.rounds_completed = dec.u64()?;
+        Ok(())
     }
 
     /// Functional reference: merges `streams` (each sorted by key) into one

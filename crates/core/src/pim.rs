@@ -40,10 +40,10 @@
 //! ([`crate::SimOptions::fast_forward`]) are supported with bit-identical
 //! results, using the same quiescence-skip bound as the PU.
 
-use menda_dram::{MemRequest, MemorySystem, ReqKind};
+use menda_dram::{Decoder, DramStats, Encoder, MemRequest, MemorySystem, ReqKind, SnapError};
 use menda_trace::TraceReport;
 
-use crate::backend::AcceleratorBackend;
+use crate::backend::{AcceleratorBackend, ResumableBackend};
 use crate::config::{MendaConfig, PimConfig};
 use crate::job::{FinalOutput, IntermediateFormat, PuJob};
 use crate::layout::{AddressLayout, BLOCK_BYTES, PTR_BYTES};
@@ -174,6 +174,14 @@ impl PimUnit {
         self.mem.next_event_cycle()
     }
 
+    /// The rank's DRAM command log (empty unless
+    /// [`menda_dram::DramConfig::log_commands`] is set) — mirrors
+    /// [`crate::ProcessingUnit::dram_command_log`] so differential suites
+    /// can compare command streams across backends and restore points.
+    pub fn dram_command_log(&self) -> &[menda_dram::CommandRecord] {
+        self.mem.command_log(0)
+    }
+
     /// Ends instrumentation and returns this rank's trace report (DPU
     /// counters plus the rank's DRAM events), or `None` when tracing is
     /// off.
@@ -198,147 +206,15 @@ impl PimUnit {
     /// then phase B (rank-level merge + write-back). A job with no
     /// streams finishes immediately with empty output and zero
     /// iterations, matching the MeNDA PU's empty-work accounting.
+    ///
+    /// Thin wrapper over the checkpointable [`PimRun`] phase machine with
+    /// no pause target, so the straight-through path and the
+    /// pause/restore path cannot diverge.
     pub fn execute_job(&mut self, job: PuJob) -> PimRankResult {
-        let mut stats = PuStats::default();
-        if job.descriptors.is_empty() {
-            stats.dram = self.mem.stats();
-            return PimRankResult {
-                majors: Vec::new(),
-                minors: Vec::new(),
-                values: Vec::new(),
-                stats,
-            };
-        }
-        let d = self.cfg.dpus_per_rank;
-        let start_cycle = self.cycles;
-
-        // Decode stream contents up front; the DRAM simulator provides
-        // timing, `IterSource` provides data (same split as the PU).
-        let source = job.source.iter_source();
-        let mut scratch = Vec::new();
-        let mut elems: Vec<Vec<(u32, u32, f32)>> = Vec::with_capacity(job.descriptors.len());
-        for desc in &job.descriptors {
-            source.materialize_into(desc, desc.start..desc.end, &mut scratch);
-            elems.push(
-                scratch
-                    .iter()
-                    .map(|p| match *p {
-                        Packet::Nz {
-                            major,
-                            minor,
-                            value,
-                        } => (major, minor, value),
-                        Packet::Eol => unreachable!("materialized streams carry no EOL"),
-                    })
-                    .collect(),
-            );
-        }
-
-        // 1D partitioning: contiguous stream ranges per DPU, balanced by
-        // element count (SparseP's equal-nnz 1D scheme).
-        let lens: Vec<u64> = job.descriptors.iter().map(|s| s.end - s.start).collect();
-        let parts = partition_streams(&lens, d);
-
-        // ---- Phase A: stream-in, local sort, run write-back. ----
-        let dram_before = self.mem.stats();
-        let mut it_a = IterationStats::default();
-
-        // The dispatcher (tag `d`) streams pointer/vector blocks of a
-        // gated job; each DPU (tag `i`) streams its partitions' arrays.
-        // Requests interleave round-robin across cores at the rank port.
-        let mut lists: Vec<Vec<(u64, usize)>> = Vec::with_capacity(d + 1);
-        for (i, part) in parts.iter().enumerate() {
-            let mut list = Vec::new();
-            for desc in &job.descriptors[part.clone()] {
-                push_stream_blocks(&self.layout, desc, i, &mut list);
-            }
-            lists.push(list);
-        }
-        let mut gate_list = Vec::new();
-        if let Some(gate) = &job.gate {
-            for &b in &gate.blocks {
-                gate_list.push((gate.ptr_base + b * BLOCK_BYTES, d));
-                if let Some(vb) = gate.vector_base {
-                    gate_list.push((vb + b * BLOCK_BYTES, d));
-                }
-            }
-        }
-        lists.push(gate_list);
-        let reads = round_robin(lists);
-        let mut arrivals = vec![start_cycle; d + 1];
-        self.drive(&reads, false, &mut it_a, &mut arrivals);
-
-        // Each DPU computes once its own blocks (and the dispatcher's
-        // pointer stream) have arrived; the phase barrier is the slowest
-        // core.
-        let dispatch_done = arrivals[d];
-        let mut barrier = self.cycles;
-        let mut active = 0u64;
-        for (i, part) in parts.iter().enumerate() {
-            let n: u64 = lens[part.clone()].iter().sum();
-            if n == 0 {
-                continue;
-            }
-            active += 1;
-            let compute = n * self.cfg.elem_cpi + self.local_sort_cycles(n);
-            barrier = barrier.max(arrivals[i].max(dispatch_done) + compute);
-        }
-        self.advance_to(barrier);
-
-        // Local sorts: one run per non-empty DPU, in core order.
-        let mut runs: Vec<Vec<(u32, u32, f32)>> = Vec::new();
-        for part in &parts {
-            let mut run: Vec<(u32, u32, f32)> =
-                elems[part.clone()].iter().flatten().copied().collect();
-            if run.is_empty() {
-                continue;
-            }
-            run.sort_by_key(|&(ma, mi, _)| (ma, mi));
-            if job.reduce {
-                run = reduce_sorted(run);
-            }
-            runs.push(run);
-        }
-        let total_run_elems: u64 = runs.iter().map(|r| r.len() as u64).sum();
-        self.trace_sorted += total_run_elems;
-
-        // Write the sorted runs to the intermediate region (region 0 of
-        // the ping-pong COO space, in the job's intermediate format).
-        let run_blocks = self.intermediate_blocks(job.intermediate, total_run_elems);
-        self.drive(&run_blocks, true, &mut it_a, &mut arrivals);
-        it_a.cycles = self.cycles - start_cycle;
-        it_a.rounds = active;
-        it_a.nz_emitted = total_run_elems;
-        set_dram_delta(&mut it_a, &dram_before, &self.mem.stats());
-        stats.iterations.push(it_a);
-
-        // ---- Phase B: rank-level d-way merge, final write-back. ----
-        let phase_b_start = self.cycles;
-        let dram_before = self.mem.stats();
-        let mut it_b = IterationStats::default();
-        let mut merge_arrival = vec![self.cycles; 1];
-        let read_back: Vec<(u64, usize)> = run_blocks.iter().map(|&(addr, _)| (addr, 0)).collect();
-        self.drive(&read_back, false, &mut it_b, &mut merge_arrival);
-
-        let (majors, minors, values) = rank_merge(&runs, job.reduce);
-        self.trace_merged += majors.len() as u64;
-        self.advance_to(merge_arrival[0] + total_run_elems * self.cfg.merge_cpi);
-
-        let out_blocks = self.output_blocks(job.final_out, majors.len() as u64);
-        self.drive(&out_blocks, true, &mut it_b, &mut merge_arrival);
-        it_b.cycles = self.cycles - phase_b_start;
-        it_b.rounds = runs.len() as u64;
-        it_b.nz_emitted = majors.len() as u64;
-        set_dram_delta(&mut it_b, &dram_before, &self.mem.stats());
-        stats.iterations.push(it_b);
-
-        stats.dram = self.mem.stats();
-        PimRankResult {
-            majors,
-            minors,
-            values,
-            stats,
-        }
+        let mut run = PimRun::new(self, job);
+        let done = run.run_until(self, None);
+        debug_assert!(done, "unbounded PIM job run must finish");
+        run.finish(self)
     }
 
     /// DPU cycles to merge-sort `n` resident elements:
@@ -396,100 +272,12 @@ impl PimUnit {
         }
     }
 
-    /// Issues `reqs` through the rank port in order, one per DPU cycle
-    /// when the channel accepts, ticking DRAM at the clock ratio, until
-    /// every request has been issued and the rank is idle. Records each
-    /// read's completion cycle in `arrivals[tag]` (last arrival wins —
-    /// callers key tags so that the *latest* arrival is what gates
-    /// compute). With fast-forwarding on, provably event-free spans are
-    /// skipped with the same bound as the PU; results are bit-identical.
-    fn drive(
-        &mut self,
-        reqs: &[(u64, usize)],
-        write: bool,
-        it: &mut IterationStats,
-        arrivals: &mut [u64],
-    ) {
-        let (num, den) = self.ticks;
-        let id_base = self.next_req_id;
-        let mut next = 0usize;
-        loop {
-            if next >= reqs.len() && self.mem.is_idle() {
-                break;
-            }
-            if self.fast_forward {
-                let can_issue = next < reqs.len() && {
-                    let probe_id = self.next_req_id;
-                    let probe = if write {
-                        MemRequest::write(reqs[next].0, probe_id)
-                    } else {
-                        MemRequest::read(reqs[next].0, probe_id)
-                    };
-                    self.mem.can_accept(&probe)
-                };
-                let resp_ready = self
-                    .mem
-                    .next_response_at()
-                    .is_some_and(|t| t <= self.mem.now());
-                if !can_issue && !resp_ready {
-                    // Longest skip that keeps the DRAM side unobserved
-                    // (same bound as the PU's quiescence skip).
-                    let ev = self
-                        .mem
-                        .next_event_cycle()
-                        .expect("PIM deadlock suspected: quiescent with no pending events");
-                    let span = (ev - self.mem.now()) * den;
-                    let n = 1 + (span - 1 - self.dram_tick_accum) / num;
-                    let ticks = self.dram_tick_accum + n * num;
-                    self.mem.advance(ticks / den);
-                    self.dram_tick_accum = ticks % den;
-                    self.cycles += n;
-                    continue;
-                }
-            }
-            self.cycles += 1;
-            // 1. Responses that completed by now.
-            while let Some(resp) = self.mem.pop_response() {
-                if resp.kind == ReqKind::Read {
-                    let tag = reqs[(resp.id - id_base) as usize].1;
-                    arrivals[tag] = self.cycles;
-                }
-            }
-            // 2. Issue the next request if the channel accepts it.
-            if next < reqs.len() {
-                let (addr, _) = reqs[next];
-                let req = if write {
-                    MemRequest::write(addr, self.next_req_id)
-                } else {
-                    MemRequest::read(addr, self.next_req_id)
-                };
-                // Probe before enqueueing so a full queue is not counted
-                // as a rejection (the fast-forward path never attempts
-                // one; statistics must match it bit for bit).
-                if self.mem.can_accept(&req) && self.mem.try_enqueue(req) {
-                    self.next_req_id += 1;
-                    next += 1;
-                    if write {
-                        it.stores_issued += 1;
-                        self.trace_stores += 1;
-                    } else {
-                        it.loads_issued += 1;
-                        self.trace_loads += 1;
-                    }
-                }
-            }
-            // 3. DRAM clock (bus runs num : den faster than the DPUs).
-            self.dram_tick_accum += num;
-            while self.dram_tick_accum >= den {
-                self.mem.tick();
-                self.dram_tick_accum -= den;
-            }
-        }
-    }
-
     /// Advances to DPU cycle `cycle` during a compute-only span. The rank
     /// is idle here, so the tick-exact [`MemorySystem::advance`] is
-    /// bit-identical to per-cycle ticking in both execution disciplines.
+    /// bit-identical to per-cycle ticking in both execution disciplines
+    /// (and to any split of the span — the tick accumulator carries the
+    /// remainder, so `advance_to(a); advance_to(b)` equals
+    /// `advance_to(b)` by the floor-division identity).
     fn advance_to(&mut self, cycle: u64) {
         if cycle <= self.cycles {
             return;
@@ -499,6 +287,647 @@ impl PimUnit {
         self.mem.advance(ticks / den);
         self.dram_tick_accum = ticks % den;
         self.cycles = cycle;
+    }
+
+    /// Serializes the unit-level dynamic state: clocks, request ids, the
+    /// trace counters and the rank's DRAM simulator.
+    pub(crate) fn save_unit_state(&self, enc: &mut Encoder) {
+        enc.u64(self.cycles);
+        enc.u64(self.dram_tick_accum);
+        enc.u64(self.next_req_id);
+        enc.u64(self.trace_loads);
+        enc.u64(self.trace_stores);
+        enc.u64(self.trace_sorted);
+        enc.u64(self.trace_merged);
+        self.mem.save_state(enc);
+    }
+
+    /// Restores state saved by [`PimUnit::save_unit_state`] into a
+    /// freshly built unit of the same configuration.
+    pub(crate) fn restore_unit_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), SnapError> {
+        self.cycles = dec.u64()?;
+        let accum = dec.u64()?;
+        if accum >= self.ticks.1 {
+            return Err(SnapError::BadValue);
+        }
+        self.dram_tick_accum = accum;
+        self.next_req_id = dec.u64()?;
+        self.trace_loads = dec.u64()?;
+        self.trace_stores = dec.u64()?;
+        self.trace_sorted = dec.u64()?;
+        self.trace_merged = dec.u64()?;
+        self.mem.restore_state(dec)
+    }
+}
+
+/// Where a [`PimRun`] stands in the two-phase execution pipeline. Tags
+/// are stable for serialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PimPhase {
+    /// Phase A stream-in: DPU partition blocks plus the dispatcher's
+    /// pointer/vector stream.
+    LoadStreams,
+    /// Phase A compute: element ingest + local merge sorts, gated by the
+    /// slowest core.
+    SortBarrier,
+    /// Phase A write-back of the sorted runs to the intermediate region.
+    WriteRuns,
+    /// Phase B read-back of the runs into the rank merge engine.
+    ReadRuns,
+    /// Phase B merge compute span.
+    MergeBarrier,
+    /// Phase B final-output write-back.
+    WriteOut,
+    /// Everything finished; [`PimRun::finish`] may consume the run.
+    Done,
+}
+
+impl PimPhase {
+    fn tag(self) -> u8 {
+        match self {
+            PimPhase::LoadStreams => 0,
+            PimPhase::SortBarrier => 1,
+            PimPhase::WriteRuns => 2,
+            PimPhase::ReadRuns => 3,
+            PimPhase::MergeBarrier => 4,
+            PimPhase::WriteOut => 5,
+            PimPhase::Done => 6,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, SnapError> {
+        Ok(match tag {
+            0 => PimPhase::LoadStreams,
+            1 => PimPhase::SortBarrier,
+            2 => PimPhase::WriteRuns,
+            3 => PimPhase::ReadRuns,
+            4 => PimPhase::MergeBarrier,
+            5 => PimPhase::WriteOut,
+            6 => PimPhase::Done,
+            _ => return Err(SnapError::BadValue),
+        })
+    }
+}
+
+/// A checkpointable in-flight PIM job: the phase machine equivalent of
+/// the old straight-through `execute_job`, able to pause at an arbitrary
+/// DPU cycle and serialize.
+///
+/// Everything that is a pure function of the job and the configuration —
+/// the decoded stream elements, the 1D partitioning, the per-DPU compute
+/// costs, the sorted runs, the merged output and all four request lists —
+/// is recomputed at restore. Only the dynamic state (phase, drive
+/// progress, arrival times, per-phase statistics, clock anchors) is
+/// serialized.
+///
+/// Public only to serve as [`ResumableBackend::Run`] for [`PimBackend`];
+/// drive it through the [`crate::Engine`] checkpoint entry points.
+#[derive(Debug)]
+pub struct PimRun {
+    // ---- derived from the job at construction and restore ----
+    trivial: bool,
+    d: usize,
+    reads: Vec<(u64, usize)>,
+    run_blocks: Vec<(u64, usize)>,
+    read_back: Vec<(u64, usize)>,
+    out_blocks: Vec<(u64, usize)>,
+    /// Per-DPU ingest+sort cycles (0 for cores with no elements).
+    compute: Vec<u64>,
+    active: u64,
+    total_run_elems: u64,
+    runs_count: u64,
+    merged: (Vec<u32>, Vec<u32>, Vec<f32>),
+    // ---- dynamic state ----
+    phase: PimPhase,
+    /// Next request index within the current drive phase.
+    next: usize,
+    /// `next_req_id` at entry of the current drive phase (maps response
+    /// ids back to request-list indices).
+    drive_id_base: u64,
+    /// Last read-arrival cycle per tag: DPUs `0..d`, dispatcher `d`.
+    arrivals: Vec<u64>,
+    /// Single-tag arrival slot of the phase B drives.
+    merge_arrival: Vec<u64>,
+    it_a: IterationStats,
+    it_b: IterationStats,
+    start_cycle: u64,
+    phase_b_start: u64,
+    /// DRAM stats at the start of the phase group currently accumulating
+    /// (phase A until `WriteRuns` completes, then phase B).
+    dram_before: DramStats,
+}
+
+impl PimRun {
+    /// Prepares a job for execution on `unit` without consuming cycles:
+    /// decodes streams, partitions, computes the sorted runs and the
+    /// merged output, and builds all request lists.
+    pub(crate) fn new(unit: &PimUnit, job: PuJob) -> Self {
+        let d = unit.cfg.dpus_per_rank;
+        if job.descriptors.is_empty() {
+            return Self {
+                trivial: true,
+                d,
+                reads: Vec::new(),
+                run_blocks: Vec::new(),
+                read_back: Vec::new(),
+                out_blocks: Vec::new(),
+                compute: Vec::new(),
+                active: 0,
+                total_run_elems: 0,
+                runs_count: 0,
+                merged: (Vec::new(), Vec::new(), Vec::new()),
+                phase: PimPhase::Done,
+                next: 0,
+                drive_id_base: unit.next_req_id,
+                arrivals: Vec::new(),
+                merge_arrival: vec![0; 1],
+                it_a: IterationStats::default(),
+                it_b: IterationStats::default(),
+                start_cycle: unit.cycles,
+                phase_b_start: unit.cycles,
+                dram_before: unit.mem.stats(),
+            };
+        }
+
+        // Decode stream contents up front; the DRAM simulator provides
+        // timing, `IterSource` provides data (same split as the PU).
+        let source = job.source.iter_source();
+        let mut scratch = Vec::new();
+        let mut elems: Vec<Vec<(u32, u32, f32)>> = Vec::with_capacity(job.descriptors.len());
+        for desc in &job.descriptors {
+            source.materialize_into(desc, desc.start..desc.end, &mut scratch);
+            elems.push(
+                scratch
+                    .iter()
+                    .map(|p| match *p {
+                        Packet::Nz {
+                            major,
+                            minor,
+                            value,
+                        } => (major, minor, value),
+                        Packet::Eol => unreachable!("materialized streams carry no EOL"),
+                    })
+                    .collect(),
+            );
+        }
+
+        // 1D partitioning: contiguous stream ranges per DPU, balanced by
+        // element count (SparseP's equal-nnz 1D scheme).
+        let lens: Vec<u64> = job.descriptors.iter().map(|s| s.end - s.start).collect();
+        let parts = partition_streams(&lens, d);
+
+        // The dispatcher (tag `d`) streams pointer/vector blocks of a
+        // gated job; each DPU (tag `i`) streams its partitions' arrays.
+        // Requests interleave round-robin across cores at the rank port.
+        let mut lists: Vec<Vec<(u64, usize)>> = Vec::with_capacity(d + 1);
+        for (i, part) in parts.iter().enumerate() {
+            let mut list = Vec::new();
+            for desc in &job.descriptors[part.clone()] {
+                push_stream_blocks(&unit.layout, desc, i, &mut list);
+            }
+            lists.push(list);
+        }
+        let mut gate_list = Vec::new();
+        if let Some(gate) = &job.gate {
+            for &b in &gate.blocks {
+                gate_list.push((gate.ptr_base + b * BLOCK_BYTES, d));
+                if let Some(vb) = gate.vector_base {
+                    gate_list.push((vb + b * BLOCK_BYTES, d));
+                }
+            }
+        }
+        lists.push(gate_list);
+        let reads = round_robin(lists);
+
+        // Per-DPU compute cost: elements ingested at `elem_cpi` plus the
+        // local merge sort; the phase barrier is the slowest active core.
+        let mut compute = Vec::with_capacity(d);
+        let mut active = 0u64;
+        for part in &parts {
+            let n: u64 = lens[part.clone()].iter().sum();
+            if n == 0 {
+                compute.push(0);
+            } else {
+                active += 1;
+                compute.push(n * unit.cfg.elem_cpi + unit.local_sort_cycles(n));
+            }
+        }
+
+        // Local sorts: one run per non-empty DPU, in core order.
+        let mut runs: Vec<Vec<(u32, u32, f32)>> = Vec::new();
+        for part in &parts {
+            let mut run: Vec<(u32, u32, f32)> =
+                elems[part.clone()].iter().flatten().copied().collect();
+            if run.is_empty() {
+                continue;
+            }
+            run.sort_by_key(|&(ma, mi, _)| (ma, mi));
+            if job.reduce {
+                run = reduce_sorted(run);
+            }
+            runs.push(run);
+        }
+        let total_run_elems: u64 = runs.iter().map(|r| r.len() as u64).sum();
+        let merged = rank_merge(&runs, job.reduce);
+
+        let run_blocks = unit.intermediate_blocks(job.intermediate, total_run_elems);
+        let read_back: Vec<(u64, usize)> = run_blocks.iter().map(|&(addr, _)| (addr, 0)).collect();
+        let out_blocks = unit.output_blocks(job.final_out, merged.0.len() as u64);
+
+        Self {
+            trivial: false,
+            d,
+            reads,
+            run_blocks,
+            read_back,
+            out_blocks,
+            compute,
+            active,
+            total_run_elems,
+            runs_count: runs.len() as u64,
+            merged,
+            phase: PimPhase::LoadStreams,
+            next: 0,
+            drive_id_base: unit.next_req_id,
+            arrivals: vec![unit.cycles; d + 1],
+            merge_arrival: vec![0; 1],
+            it_a: IterationStats::default(),
+            it_b: IterationStats::default(),
+            start_cycle: unit.cycles,
+            phase_b_start: unit.cycles,
+            dram_before: unit.mem.stats(),
+        }
+    }
+
+    /// The slowest active core's completion cycle for the sort barrier
+    /// (`advance_to` caps it below at the current cycle).
+    fn sort_barrier_target(&self) -> u64 {
+        let dispatch_done = self.arrivals[self.d];
+        let mut barrier = 0u64;
+        for (i, &c) in self.compute.iter().enumerate() {
+            if c > 0 {
+                barrier = barrier.max(self.arrivals[i].max(dispatch_done) + c);
+            }
+        }
+        barrier
+    }
+
+    /// Enters a drive phase: resets the request cursor and anchors the
+    /// response-id mapping at the unit's current request id.
+    fn enter_drive(&mut self, unit: &PimUnit, phase: PimPhase) {
+        self.phase = phase;
+        self.next = 0;
+        self.drive_id_base = unit.next_req_id;
+    }
+
+    /// Advances the run until it finishes (`true`) or the job-relative
+    /// cycle count reaches `pause_at` (`false`). Resumable: calling again
+    /// continues exactly where the previous call stopped, bit-identically
+    /// to an unbounded run.
+    pub(crate) fn run_until(&mut self, unit: &mut PimUnit, pause_at: Option<u64>) -> bool {
+        let pause_abs = pause_at.map(|t| self.start_cycle.saturating_add(t));
+        loop {
+            match self.phase {
+                PimPhase::Done => return true,
+                PimPhase::LoadStreams => {
+                    if !drive_until(
+                        unit,
+                        &self.reads,
+                        false,
+                        &mut self.it_a,
+                        &mut self.arrivals,
+                        &mut self.next,
+                        self.drive_id_base,
+                        pause_abs,
+                    ) {
+                        return false;
+                    }
+                    self.phase = PimPhase::SortBarrier;
+                    self.next = 0;
+                }
+                PimPhase::SortBarrier => {
+                    if !advance_to_until(unit, self.sort_barrier_target(), pause_abs) {
+                        return false;
+                    }
+                    unit.trace_sorted += self.total_run_elems;
+                    self.enter_drive(unit, PimPhase::WriteRuns);
+                }
+                PimPhase::WriteRuns => {
+                    if !drive_until(
+                        unit,
+                        &self.run_blocks,
+                        true,
+                        &mut self.it_a,
+                        &mut self.arrivals,
+                        &mut self.next,
+                        self.drive_id_base,
+                        pause_abs,
+                    ) {
+                        return false;
+                    }
+                    self.it_a.cycles = unit.cycles - self.start_cycle;
+                    self.it_a.rounds = self.active;
+                    self.it_a.nz_emitted = self.total_run_elems;
+                    set_dram_delta(&mut self.it_a, &self.dram_before, &unit.mem.stats());
+                    self.phase_b_start = unit.cycles;
+                    self.dram_before = unit.mem.stats();
+                    self.merge_arrival = vec![unit.cycles; 1];
+                    self.enter_drive(unit, PimPhase::ReadRuns);
+                }
+                PimPhase::ReadRuns => {
+                    if !drive_until(
+                        unit,
+                        &self.read_back,
+                        false,
+                        &mut self.it_b,
+                        &mut self.merge_arrival,
+                        &mut self.next,
+                        self.drive_id_base,
+                        pause_abs,
+                    ) {
+                        return false;
+                    }
+                    unit.trace_merged += self.merged.0.len() as u64;
+                    self.phase = PimPhase::MergeBarrier;
+                    self.next = 0;
+                }
+                PimPhase::MergeBarrier => {
+                    let target = self.merge_arrival[0] + self.total_run_elems * unit.cfg.merge_cpi;
+                    if !advance_to_until(unit, target, pause_abs) {
+                        return false;
+                    }
+                    self.enter_drive(unit, PimPhase::WriteOut);
+                }
+                PimPhase::WriteOut => {
+                    if !drive_until(
+                        unit,
+                        &self.out_blocks,
+                        true,
+                        &mut self.it_b,
+                        &mut self.merge_arrival,
+                        &mut self.next,
+                        self.drive_id_base,
+                        pause_abs,
+                    ) {
+                        return false;
+                    }
+                    self.it_b.cycles = unit.cycles - self.phase_b_start;
+                    self.it_b.rounds = self.runs_count;
+                    self.it_b.nz_emitted = self.merged.0.len() as u64;
+                    set_dram_delta(&mut self.it_b, &self.dram_before, &unit.mem.stats());
+                    self.phase = PimPhase::Done;
+                    self.next = 0;
+                }
+            }
+        }
+    }
+
+    /// Consumes a finished run and produces the rank result.
+    pub(crate) fn finish(self, unit: &PimUnit) -> PimRankResult {
+        debug_assert!(self.phase == PimPhase::Done, "finish on an unfinished run");
+        let mut stats = PuStats::default();
+        if !self.trivial {
+            stats.iterations.push(self.it_a);
+            stats.iterations.push(self.it_b);
+        }
+        stats.dram = unit.mem.stats();
+        let (majors, minors, values) = self.merged;
+        PimRankResult {
+            majors,
+            minors,
+            values,
+            stats,
+        }
+    }
+
+    /// Serializes the dynamic state (derived data is recomputed at
+    /// restore).
+    pub(crate) fn save_state(&self, enc: &mut Encoder) {
+        enc.u8(self.phase.tag());
+        enc.usize(self.next);
+        enc.u64(self.drive_id_base);
+        enc.u64s(&self.arrivals);
+        enc.u64s(&self.merge_arrival);
+        self.it_a.save_state(enc);
+        self.it_b.save_state(enc);
+        enc.u64(self.start_cycle);
+        enc.u64(self.phase_b_start);
+        self.dram_before.save_state(enc);
+    }
+
+    /// Rebuilds a run from the job plus state saved by
+    /// [`PimRun::save_state`]. The unit must already be restored — the
+    /// request lists and the response-id mapping are validated against
+    /// the recomputed derived data, so corrupt payloads yield
+    /// [`SnapError`] rather than panics or out-of-range execution.
+    pub(crate) fn restore_state(
+        unit: &PimUnit,
+        job: PuJob,
+        dec: &mut Decoder<'_>,
+    ) -> Result<Self, SnapError> {
+        let mut run = PimRun::new(unit, job);
+        let phase = PimPhase::from_tag(dec.u8()?)?;
+        if run.trivial && phase != PimPhase::Done {
+            return Err(SnapError::BadValue);
+        }
+        run.phase = phase;
+        run.next = dec.usize()?;
+        let cursor_limit = match phase {
+            PimPhase::LoadStreams => run.reads.len(),
+            PimPhase::WriteRuns => run.run_blocks.len(),
+            PimPhase::ReadRuns => run.read_back.len(),
+            PimPhase::WriteOut => run.out_blocks.len(),
+            PimPhase::SortBarrier | PimPhase::MergeBarrier | PimPhase::Done => 0,
+        };
+        if run.next > cursor_limit {
+            return Err(SnapError::BadValue);
+        }
+        run.drive_id_base = dec.u64()?;
+        if run.drive_id_base > unit.next_req_id {
+            return Err(SnapError::BadValue);
+        }
+        let arrivals = dec.u64s()?;
+        if !run.trivial && arrivals.len() != run.d + 1 {
+            return Err(SnapError::BadValue);
+        }
+        run.arrivals = arrivals;
+        let merge_arrival = dec.u64s()?;
+        if merge_arrival.len() != 1 {
+            return Err(SnapError::BadValue);
+        }
+        run.merge_arrival = merge_arrival;
+        run.it_a = IterationStats::restore_state(dec)?;
+        run.it_b = IterationStats::restore_state(dec)?;
+        run.start_cycle = dec.u64()?;
+        if run.start_cycle > unit.cycles {
+            return Err(SnapError::BadValue);
+        }
+        run.phase_b_start = dec.u64()?;
+        if run.phase_b_start > unit.cycles {
+            return Err(SnapError::BadValue);
+        }
+        run.dram_before.restore_state(dec)?;
+        Ok(run)
+    }
+}
+
+/// Issues `reqs` through the rank port in order, one per DPU cycle when
+/// the channel accepts, ticking DRAM at the clock ratio, until every
+/// request has been issued and the rank is idle (`true`) or the unit's
+/// cycle count reaches `pause_abs` (`false`). Records each read's
+/// completion cycle in `arrivals[tag]` (last arrival wins — callers key
+/// tags so that the *latest* arrival is what gates compute). With
+/// fast-forwarding on, provably event-free spans are skipped with the
+/// same bound as the PU (capped at the pause target); results are
+/// bit-identical across pause points and execution disciplines.
+#[allow(clippy::too_many_arguments)]
+fn drive_until(
+    unit: &mut PimUnit,
+    reqs: &[(u64, usize)],
+    write: bool,
+    it: &mut IterationStats,
+    arrivals: &mut [u64],
+    next: &mut usize,
+    id_base: u64,
+    pause_abs: Option<u64>,
+) -> bool {
+    let (num, den) = unit.ticks;
+    loop {
+        if *next >= reqs.len() && unit.mem.is_idle() {
+            return true;
+        }
+        if let Some(t) = pause_abs {
+            if unit.cycles >= t {
+                return false;
+            }
+        }
+        if unit.fast_forward {
+            let can_issue = *next < reqs.len() && {
+                let probe_id = unit.next_req_id;
+                let probe = if write {
+                    MemRequest::write(reqs[*next].0, probe_id)
+                } else {
+                    MemRequest::read(reqs[*next].0, probe_id)
+                };
+                unit.mem.can_accept(&probe)
+            };
+            let resp_ready = unit
+                .mem
+                .next_response_at()
+                .is_some_and(|t| t <= unit.mem.now());
+            if !can_issue && !resp_ready {
+                // Longest skip that keeps the DRAM side unobserved (same
+                // bound as the PU's quiescence skip), shortened to land
+                // exactly on the pause target when one is set.
+                let ev = unit
+                    .mem
+                    .next_event_cycle()
+                    .expect("PIM deadlock suspected: quiescent with no pending events");
+                let span = (ev - unit.mem.now()) * den;
+                let mut n = 1 + (span - 1 - unit.dram_tick_accum) / num;
+                if let Some(t) = pause_abs {
+                    n = n.min(t - unit.cycles);
+                }
+                let ticks = unit.dram_tick_accum + n * num;
+                unit.mem.advance(ticks / den);
+                unit.dram_tick_accum = ticks % den;
+                unit.cycles += n;
+                continue;
+            }
+        }
+        unit.cycles += 1;
+        // 1. Responses that completed by now. The id lookup is bounds-
+        //    checked so a corrupt restored queue cannot panic; in-range
+        //    execution behaves identically to direct indexing.
+        while let Some(resp) = unit.mem.pop_response() {
+            if resp.kind == ReqKind::Read {
+                if let Some(&(_, tag)) = reqs.get(resp.id.wrapping_sub(id_base) as usize) {
+                    if let Some(slot) = arrivals.get_mut(tag) {
+                        *slot = unit.cycles;
+                    }
+                }
+            }
+        }
+        // 2. Issue the next request if the channel accepts it.
+        if *next < reqs.len() {
+            let (addr, _) = reqs[*next];
+            let req = if write {
+                MemRequest::write(addr, unit.next_req_id)
+            } else {
+                MemRequest::read(addr, unit.next_req_id)
+            };
+            // Probe before enqueueing so a full queue is not counted as a
+            // rejection (the fast-forward path never attempts one;
+            // statistics must match it bit for bit).
+            if unit.mem.can_accept(&req) && unit.mem.try_enqueue(req) {
+                unit.next_req_id += 1;
+                *next += 1;
+                if write {
+                    it.stores_issued += 1;
+                    unit.trace_stores += 1;
+                } else {
+                    it.loads_issued += 1;
+                    unit.trace_loads += 1;
+                }
+            }
+        }
+        // 3. DRAM clock (bus runs num : den faster than the DPUs).
+        unit.dram_tick_accum += num;
+        while unit.dram_tick_accum >= den {
+            unit.mem.tick();
+            unit.dram_tick_accum -= den;
+        }
+    }
+}
+
+/// Pausable compute-span advance: runs [`PimUnit::advance_to`] up to
+/// `target` or the pause point, whichever comes first. Splitting the span
+/// is bit-identical to one jump because the tick accumulator carries the
+/// division remainder across calls.
+fn advance_to_until(unit: &mut PimUnit, target: u64, pause_abs: Option<u64>) -> bool {
+    let stop = pause_abs.map_or(target, |t| t.min(target));
+    unit.advance_to(stop);
+    stop >= target
+}
+
+impl ResumableBackend for PimBackend {
+    type Run = PimRun;
+
+    fn start_job(&self, unit: &PimUnit, job: PuJob) -> PimRun {
+        PimRun::new(unit, job)
+    }
+
+    fn advance(&self, unit: &mut PimUnit, run: &mut PimRun, pause_at: Option<u64>) -> bool {
+        run.run_until(unit, pause_at)
+    }
+
+    fn finish_run(&self, unit: &PimUnit, run: PimRun) -> PuResult {
+        run.finish(unit).into()
+    }
+
+    fn tracing_active(&self, unit: &PimUnit) -> bool {
+        unit.traced
+    }
+
+    fn save_unit(&self, unit: &PimUnit, enc: &mut Encoder) {
+        unit.save_unit_state(enc);
+    }
+
+    fn restore_unit(&self, unit: &mut PimUnit, dec: &mut Decoder<'_>) -> Result<(), SnapError> {
+        unit.restore_unit_state(dec)
+    }
+
+    fn save_run(&self, run: &PimRun, enc: &mut Encoder) {
+        run.save_state(enc);
+    }
+
+    fn restore_run(
+        &self,
+        unit: &PimUnit,
+        job: PuJob,
+        dec: &mut Decoder<'_>,
+    ) -> Result<PimRun, SnapError> {
+        PimRun::restore_state(unit, job, dec)
     }
 }
 

@@ -61,6 +61,43 @@ pub struct StreamDescriptor {
     pub kind: StreamKind,
 }
 
+impl StreamKind {
+    /// Serializes the kind as a tag byte plus payload.
+    pub(crate) fn save_state(&self, enc: &mut menda_dram::Encoder) {
+        match *self {
+            StreamKind::CsrRow { row } => {
+                enc.u8(0);
+                enc.u32(row);
+            }
+            StreamKind::Coo { region } => {
+                enc.u8(1);
+                enc.u8(region);
+            }
+            StreamKind::SpmvCol { scale } => {
+                enc.u8(2);
+                enc.f32(scale);
+            }
+            StreamKind::Pair { region } => {
+                enc.u8(3);
+                enc.u8(region);
+            }
+        }
+    }
+
+    /// Decodes a kind saved by [`StreamKind::save_state`].
+    pub(crate) fn restore_state(
+        dec: &mut menda_dram::Decoder<'_>,
+    ) -> Result<Self, menda_dram::SnapError> {
+        Ok(match dec.u8()? {
+            0 => StreamKind::CsrRow { row: dec.u32()? },
+            1 => StreamKind::Coo { region: dec.u8()? },
+            2 => StreamKind::SpmvCol { scale: dec.f32()? },
+            3 => StreamKind::Pair { region: dec.u8()? },
+            _ => return Err(menda_dram::SnapError::BadValue),
+        })
+    }
+}
+
 impl StreamDescriptor {
     /// An empty placeholder stream that only emits an EOL marker.
     pub fn empty() -> Self {
@@ -69,6 +106,30 @@ impl StreamDescriptor {
             end: 0,
             kind: StreamKind::CsrRow { row: 0 },
         }
+    }
+
+    /// Serializes the descriptor.
+    pub(crate) fn save_state(&self, enc: &mut menda_dram::Encoder) {
+        enc.u64(self.start);
+        enc.u64(self.end);
+        self.kind.save_state(enc);
+    }
+
+    /// Decodes a descriptor saved by [`StreamDescriptor::save_state`].
+    /// Rejects ranges whose end precedes their start.
+    pub(crate) fn restore_state(
+        dec: &mut menda_dram::Decoder<'_>,
+    ) -> Result<Self, menda_dram::SnapError> {
+        let start = dec.u64()?;
+        let end = dec.u64()?;
+        if end < start {
+            return Err(menda_dram::SnapError::BadValue);
+        }
+        Ok(Self {
+            start,
+            end,
+            kind: StreamKind::restore_state(dec)?,
+        })
     }
 
     /// Number of elements.
@@ -116,6 +177,25 @@ impl BlockList {
         debug_assert!(pos < self.len as usize);
         self.len -= 1;
         self.items[pos] = self.items[self.len as usize];
+    }
+
+    fn save_state(&self, enc: &mut menda_dram::Encoder) {
+        enc.u8(self.len);
+        for &b in self.iter() {
+            enc.u64(b);
+        }
+    }
+
+    fn restore_state(dec: &mut menda_dram::Decoder<'_>) -> Result<Self, menda_dram::SnapError> {
+        let len = dec.u8()?;
+        if len as usize > Self::CAP {
+            return Err(menda_dram::SnapError::BadValue);
+        }
+        let mut list = Self::new();
+        for _ in 0..len {
+            list.push(dec.u64()?);
+        }
+        Ok(list)
     }
 }
 
@@ -466,6 +546,107 @@ impl PrefetchBuffer {
         if stream_ended {
             self.packets.push_back(Packet::Eol);
         }
+    }
+
+    /// Serializes the buffer's dynamic state. Configuration fields (`id`,
+    /// `capacity`, `max_fetch_blocks`, `prefetch`, `layout`) are not
+    /// written — the restore target is a freshly built buffer carrying
+    /// them already.
+    pub(crate) fn save_state(&self, enc: &mut menda_dram::Encoder) {
+        enc.seq(self.streams.len());
+        for d in &self.streams {
+            d.save_state(enc);
+        }
+        match &self.current {
+            Some((desc, next)) => {
+                enc.u8(1);
+                desc.save_state(enc);
+                enc.u64(*next);
+            }
+            None => enc.u8(0),
+        }
+        match &self.pending {
+            Some(chunk) => {
+                enc.u8(1);
+                enc.u64(chunk.elems.start);
+                enc.u64(chunk.elems.end);
+                chunk.awaiting.save_state(enc);
+                enc.bool(chunk.last);
+            }
+            None => enc.u8(0),
+        }
+        enc.seq(self.packets.len());
+        for pkt in &self.packets {
+            pkt.save_state(enc);
+        }
+        enc.usize(self.need_free);
+    }
+
+    /// Restores state saved by [`PrefetchBuffer::save_state`]. The held
+    /// nonzero count is recomputed from the restored packets rather than
+    /// trusted from the payload.
+    pub(crate) fn restore_state(
+        &mut self,
+        dec: &mut menda_dram::Decoder<'_>,
+    ) -> Result<(), menda_dram::SnapError> {
+        use menda_dram::SnapError;
+        let n_streams = dec.len_capped(17)?;
+        let mut streams = VecDeque::with_capacity(n_streams);
+        for _ in 0..n_streams {
+            streams.push_back(StreamDescriptor::restore_state(dec)?);
+        }
+        let current = match dec.u8()? {
+            0 => None,
+            1 => {
+                let desc = StreamDescriptor::restore_state(dec)?;
+                let next = dec.u64()?;
+                if next < desc.start || next > desc.end {
+                    return Err(SnapError::BadValue);
+                }
+                Some((desc, next))
+            }
+            _ => return Err(SnapError::BadValue),
+        };
+        let pending = match dec.u8()? {
+            0 => None,
+            1 => {
+                let start = dec.u64()?;
+                let end = dec.u64()?;
+                if end < start {
+                    return Err(SnapError::BadValue);
+                }
+                let awaiting = BlockList::restore_state(dec)?;
+                let last = dec.bool()?;
+                // A pending chunk only exists while a stream is active.
+                if current.is_none() {
+                    return Err(SnapError::BadValue);
+                }
+                Some(PendingChunk {
+                    elems: start..end,
+                    awaiting,
+                    last,
+                })
+            }
+            _ => return Err(SnapError::BadValue),
+        };
+        let n_packets = dec.len_capped(1)?;
+        let mut packets = VecDeque::with_capacity(n_packets);
+        let mut nz_held = 0usize;
+        for _ in 0..n_packets {
+            let pkt = Packet::restore_state(dec)?;
+            nz_held += usize::from(!pkt.is_eol());
+            packets.push_back(pkt);
+        }
+        if nz_held > self.capacity {
+            return Err(SnapError::BadValue);
+        }
+        self.streams = streams;
+        self.current = current;
+        self.pending = pending;
+        self.packets = packets;
+        self.nz_held = nz_held;
+        self.need_free = dec.usize()?;
+        Ok(())
     }
 }
 

@@ -168,6 +168,321 @@ pub struct IterationSetup<'a> {
     pub reduce: bool,
 }
 
+/// Borrowed view of one iteration's inputs, shared by every step of
+/// [`ProcessingUnit::iter_loop`]. Unlike [`IterationSetup`] it borrows the
+/// descriptor slice, so the checkpointable job runner can keep descriptors
+/// alive across pause/resume without cloning per call.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct IterParams<'a> {
+    /// Stream descriptors in assignment order.
+    pub(crate) descriptors: &'a [StreamDescriptor],
+    /// Backing data.
+    pub(crate) source: IterSource<'a>,
+    /// Pointer-read gating, if the controller must read pointers first.
+    pub(crate) gate: Option<&'a PtrGate>,
+    /// Output mode.
+    pub(crate) out: OutputMode,
+    /// Merge packets with equal (major, minor) keys at the root.
+    pub(crate) reduce: bool,
+}
+
+/// The complete mutable state of one in-flight iteration of
+/// [`ProcessingUnit::iter_loop`] — every loop local lives here so an
+/// iteration can pause at a cycle boundary, serialize, and resume
+/// bit-identically. Fields are grouped into *derived geometry*
+/// (recomputed by [`IterState::new`] from the params, never serialized)
+/// and *dynamic state* (the checkpoint payload).
+#[derive(Debug)]
+pub(crate) struct IterState {
+    // --- Derived geometry (recomputable from the params). ---
+    /// Number of real stream descriptors.
+    pub(crate) n_streams: usize,
+    /// Merge rounds this iteration runs (`ceil(n_streams / leaves)`).
+    pub(crate) total_rounds: usize,
+    /// `total_rounds * leaves`: descriptor slots including padding.
+    pub(crate) padded: usize,
+    /// Output bytes per emitted element.
+    pub(crate) elem_bytes: u64,
+    /// Base addresses of the output arrays.
+    pub(crate) out_bases: Vec<u64>,
+    /// `u128` words per parked-bucket bitmask.
+    pub(crate) pw: usize,
+    /// Largest parked-bucket index (read-queue capacity).
+    pub(crate) need_cap: usize,
+    /// No streams at all: the iteration is a no-op.
+    pub(crate) trivially_done: bool,
+    // --- Dynamic state (serialized by the checkpoint layer). ---
+    pub(crate) tree: MergeTree,
+    pub(crate) buffers: Vec<PrefetchBuffer>,
+    pub(crate) read_q: CoalescingQueue,
+    pub(crate) write_q: VecDeque<u64>,
+    pub(crate) next_release: usize,
+    pub(crate) ptr_blocks_arrived: usize,
+    pub(crate) ptr_arrived_set: Vec<bool>,
+    pub(crate) ptr_next_issue: usize,
+    pub(crate) ptr_outstanding: usize,
+    pub(crate) out_minor: Vec<u32>,
+    pub(crate) out_major: Vec<u32>,
+    pub(crate) out_val: Vec<f32>,
+    pub(crate) boundaries: Vec<usize>,
+    pub(crate) bytes_accum: u64,
+    pub(crate) stored_nzs: u64,
+    pub(crate) ptr_cursor: u64,
+    pub(crate) final_flush_pushed: usize,
+    pub(crate) pending_ptr_blocks: u64,
+    pub(crate) buf_active: ActiveSet,
+    pub(crate) parked_buckets: Vec<u128>,
+    pub(crate) parked_union: Vec<u128>,
+    pub(crate) parked_need: Vec<u32>,
+    pub(crate) parked_count: usize,
+    pub(crate) union_avail: usize,
+    /// Scratch allocations reused every cycle (contents are dead between
+    /// cycles, so the checkpoint layer skips them).
+    pub(crate) buf_scratch: Vec<u32>,
+    pub(crate) popped_scratch: Vec<u32>,
+    pub(crate) packet_scratch: Vec<Packet>,
+    pub(crate) waiter_scratch: Vec<u32>,
+    pub(crate) cycles: u64,
+    pub(crate) last_key_in_run: Option<(u32, u32)>,
+    pub(crate) it: IterationStats,
+    pub(crate) dram_before: menda_dram::DramStats,
+}
+
+impl IterState {
+    /// Fresh start-of-iteration state for `pu` under `p`, mirroring what
+    /// the original monolithic loop set up before its first cycle.
+    pub(crate) fn new(pu: &ProcessingUnit, p: &IterParams<'_>) -> Self {
+        let pu_cfg = &pu.pu_cfg;
+        let l = pu_cfg.leaves;
+        let layout = pu.layout;
+        let n_streams = p.descriptors.len();
+        let total_rounds = n_streams
+            .div_ceil(l)
+            .max(if n_streams == 0 { 0 } else { 1 });
+        let elem_bytes: u64 = match p.out {
+            OutputMode::Intermediate { .. } => 12,
+            OutputMode::IntermediatePair { .. } | OutputMode::FinalCsc { .. } => 8,
+            OutputMode::FinalDense { .. } => 4,
+        };
+        let out_bases: Vec<u64> = match p.out {
+            OutputMode::Intermediate { region } => layout.coo[region as usize].to_vec(),
+            OutputMode::IntermediatePair { region } => vec![
+                layout.coo[region as usize][0],
+                layout.coo[region as usize][2],
+            ],
+            OutputMode::FinalCsc { .. } => vec![layout.out_idx, layout.out_val],
+            OutputMode::FinalDense { .. } => vec![layout.out_val],
+        };
+        let pw = l.div_ceil(128);
+        let need_cap = pu_cfg.read_queue_entries;
+        Self {
+            n_streams,
+            total_rounds,
+            padded: total_rounds * l,
+            elem_bytes,
+            out_bases,
+            pw,
+            need_cap,
+            trivially_done: n_streams == 0,
+            tree: MergeTree::new(l, pu_cfg.fifo_entries),
+            buffers: (0..l)
+                .map(|i| {
+                    PrefetchBuffer::new(
+                        i as u32,
+                        pu_cfg.prefetch_buffer_entries,
+                        pu_cfg.stall_reducing_prefetch,
+                        layout,
+                    )
+                })
+                .collect(),
+            read_q: CoalescingQueue::new(pu_cfg.read_queue_entries, pu_cfg.request_coalescing),
+            write_q: VecDeque::new(),
+            next_release: 0,
+            ptr_blocks_arrived: 0,
+            ptr_arrived_set: p
+                .gate
+                .map(|g| vec![false; g.blocks.len()])
+                .unwrap_or_default(),
+            ptr_next_issue: 0,
+            ptr_outstanding: 0,
+            out_minor: Vec::new(),
+            out_major: Vec::new(),
+            out_val: Vec::new(),
+            boundaries: Vec::new(),
+            bytes_accum: 0,
+            stored_nzs: 0,
+            ptr_cursor: 0,
+            final_flush_pushed: 0,
+            pending_ptr_blocks: 0,
+            buf_active: ActiveSet::new(l),
+            parked_buckets: vec![0; (need_cap + 1) * pw],
+            parked_union: vec![0; pw],
+            parked_need: vec![0; l],
+            parked_count: 0,
+            union_avail: usize::MAX,
+            buf_scratch: Vec::with_capacity(l),
+            popped_scratch: Vec::with_capacity(l),
+            packet_scratch: Vec::new(),
+            waiter_scratch: Vec::new(),
+            cycles: 0,
+            last_key_in_run: None,
+            it: IterationStats::default(),
+            dram_before: pu.mem.stats(),
+        }
+    }
+
+    /// Serializes the dynamic state of a paused iteration. Derived
+    /// geometry and the per-cycle scratch vectors are skipped: geometry is
+    /// recomputed from the job at restore, and the scratch contents are
+    /// dead between cycles (the loop only pauses at the top).
+    pub(crate) fn save_state(&self, enc: &mut menda_dram::Encoder) {
+        self.tree.save_state(enc);
+        enc.seq(self.buffers.len());
+        for b in &self.buffers {
+            b.save_state(enc);
+        }
+        self.read_q.save_state(enc);
+        enc.seq(self.write_q.len());
+        for &w in &self.write_q {
+            enc.u64(w);
+        }
+        enc.usize(self.next_release);
+        enc.usize(self.ptr_blocks_arrived);
+        enc.seq(self.ptr_arrived_set.len());
+        for &a in &self.ptr_arrived_set {
+            enc.bool(a);
+        }
+        enc.usize(self.ptr_next_issue);
+        enc.usize(self.ptr_outstanding);
+        enc.u32s(&self.out_minor);
+        enc.u32s(&self.out_major);
+        enc.f32s(&self.out_val);
+        enc.seq(self.boundaries.len());
+        for &b in &self.boundaries {
+            enc.usize(b);
+        }
+        enc.u64(self.bytes_accum);
+        enc.u64(self.stored_nzs);
+        enc.u64(self.ptr_cursor);
+        enc.usize(self.final_flush_pushed);
+        enc.u64(self.pending_ptr_blocks);
+        self.buf_active.save_state(enc);
+        enc.seq(self.parked_buckets.len());
+        for &w in &self.parked_buckets {
+            enc.u64(w as u64);
+            enc.u64((w >> 64) as u64);
+        }
+        enc.u32s(&self.parked_need);
+        enc.u64(self.cycles);
+        match self.last_key_in_run {
+            Some((major, minor)) => {
+                enc.u8(1);
+                enc.u32(major);
+                enc.u32(minor);
+            }
+            None => enc.u8(0),
+        }
+        self.it.save_state(enc);
+        self.dram_before.save_state(enc);
+    }
+
+    /// Rebuilds a paused iteration from bytes written by
+    /// [`IterState::save_state`]: starts from the fresh state
+    /// [`IterState::new`] derives from the job, then overlays the dynamic
+    /// payload, validating every structural quantity against the derived
+    /// geometry so corrupt bytes yield a typed error, never a panic or a
+    /// partially restored state.
+    pub(crate) fn restore_state(
+        pu: &ProcessingUnit,
+        p: &IterParams<'_>,
+        dec: &mut menda_dram::Decoder<'_>,
+    ) -> Result<Self, menda_dram::SnapError> {
+        use menda_dram::SnapError;
+        let mut st = IterState::new(pu, p);
+        st.tree.restore_state(dec)?;
+        let n_buffers = dec.len_capped(1)?;
+        if n_buffers != st.buffers.len() {
+            return Err(SnapError::BadValue);
+        }
+        for b in st.buffers.iter_mut() {
+            b.restore_state(dec)?;
+        }
+        st.read_q.restore_state(dec)?;
+        let n_writes = dec.len_capped(8)?;
+        st.write_q = (0..n_writes).map(|_| dec.u64()).collect::<Result<_, _>>()?;
+        st.next_release = dec.usize()?;
+        if st.next_release > st.padded {
+            return Err(SnapError::BadValue);
+        }
+        st.ptr_blocks_arrived = dec.usize()?;
+        let n_arrived = dec.len_capped(1)?;
+        if n_arrived != st.ptr_arrived_set.len() || st.ptr_blocks_arrived > n_arrived {
+            return Err(SnapError::BadValue);
+        }
+        for a in st.ptr_arrived_set.iter_mut() {
+            *a = dec.bool()?;
+        }
+        st.ptr_next_issue = dec.usize()?;
+        st.ptr_outstanding = dec.usize()?;
+        if st.ptr_next_issue > st.ptr_arrived_set.len() || st.ptr_outstanding > st.ptr_next_issue {
+            return Err(SnapError::BadValue);
+        }
+        st.out_minor = dec.u32s()?;
+        st.out_major = dec.u32s()?;
+        st.out_val = dec.f32s()?;
+        if st.out_minor.len() != st.out_major.len() || st.out_val.len() != st.out_major.len() {
+            return Err(SnapError::BadValue);
+        }
+        let n_bounds = dec.len_capped(8)?;
+        st.boundaries = Vec::with_capacity(n_bounds);
+        for _ in 0..n_bounds {
+            let b = dec.usize()?;
+            if b > st.out_major.len() {
+                return Err(SnapError::BadValue);
+            }
+            st.boundaries.push(b);
+        }
+        st.bytes_accum = dec.u64()?;
+        st.stored_nzs = dec.u64()?;
+        st.ptr_cursor = dec.u64()?;
+        st.final_flush_pushed = dec.usize()?;
+        if st.final_flush_pushed > st.out_bases.len() {
+            return Err(SnapError::BadValue);
+        }
+        st.pending_ptr_blocks = dec.u64()?;
+        st.buf_active.restore_state(dec)?;
+        let n_parked = dec.len_capped(16)?;
+        if n_parked != st.parked_buckets.len() {
+            return Err(SnapError::BadValue);
+        }
+        for w in st.parked_buckets.iter_mut() {
+            let lo = dec.u64()?;
+            let hi = dec.u64()?;
+            *w = (lo as u128) | ((hi as u128) << 64);
+        }
+        st.parked_need = dec.u32s()?;
+        if st.parked_need.len() != pu.pu_cfg.leaves
+            || st.parked_need.iter().any(|&n| n as usize > st.need_cap)
+        {
+            return Err(SnapError::BadValue);
+        }
+        // Derived cache state: the member count comes from the restored
+        // buckets and the union cache starts invalid (the next use rebuilds
+        // it from the buckets — same words either way).
+        st.parked_count = st.parked_need.iter().filter(|&&n| n != 0).count();
+        st.union_avail = usize::MAX;
+        st.cycles = dec.u64()?;
+        st.last_key_in_run = match dec.u8()? {
+            0 => None,
+            1 => Some((dec.u32()?, dec.u32()?)),
+            _ => return Err(SnapError::BadValue),
+        };
+        st.it = IterationStats::restore_state(dec)?;
+        st.dram_before.restore_state(dec)?;
+        Ok(st)
+    }
+}
+
 /// Result of one full PU execution (all iterations of one partition).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PuResult {
@@ -394,6 +709,33 @@ impl ProcessingUnit {
         self.mem.command_log(0)
     }
 
+    /// Whether this PU carries live instrumentation state. Checkpointing
+    /// is refused while tracing (the tracer's event stream is not
+    /// serializable), so the checkpoint layer probes this first.
+    pub(crate) fn tracing_active(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Serializes the PU-level dynamic state outside any iteration: the
+    /// DRAM clock-ratio accumulator, the request-id counter, and the full
+    /// state of the rank's memory system.
+    pub(crate) fn save_unit_state(&self, enc: &mut menda_dram::Encoder) {
+        enc.u64(self.dram_tick_accum);
+        enc.u64(self.next_req_id);
+        self.mem.save_state(enc);
+    }
+
+    /// Restores state saved by [`ProcessingUnit::save_unit_state`] into a
+    /// freshly built PU of the same configuration.
+    pub(crate) fn restore_unit_state(
+        &mut self,
+        dec: &mut menda_dram::Decoder<'_>,
+    ) -> Result<(), menda_dram::SnapError> {
+        self.dram_tick_accum = dec.u64()?;
+        self.next_req_id = dec.u64()?;
+        self.mem.restore_state(dec)
+    }
+
     /// Transposes `part` (a horizontal partition whose local row 0 is
     /// global row `row_offset`), returning the partition's nonzeros in
     /// CSC order (sorted by column, then global row) plus statistics.
@@ -408,6 +750,46 @@ impl ProcessingUnit {
     /// emitted `(minors, majors, values)`, the run boundaries (prefix
     /// lengths at each root EOL) and the iteration statistics.
     ///
+    /// Thin wrapper over [`ProcessingUnit::iter_loop`]: builds a fresh
+    /// [`IterState`], runs it to completion with no pause target, and
+    /// finalizes. The checkpointable job runner drives the same loop with
+    /// a pause cycle instead.
+    pub fn run_rounds(
+        &mut self,
+        setup: IterationSetup<'_>,
+    ) -> (EmittedTriples, Vec<usize>, IterationStats) {
+        let p = IterParams {
+            descriptors: &setup.descriptors,
+            source: setup.source,
+            gate: setup.gate.as_ref(),
+            out: setup.out,
+            reduce: setup.reduce,
+        };
+        let mut st = IterState::new(self, &p);
+        if st.trivially_done {
+            return ((Vec::new(), Vec::new(), Vec::new()), Vec::new(), st.it);
+        }
+        self.begin_iteration_trace();
+        let done = self.iter_loop(&p, &mut st, None);
+        debug_assert!(done, "unbounded iter_loop must run to completion");
+        self.finish_iteration(st)
+    }
+
+    /// Opens the `pu.iteration` trace span for an iteration about to run
+    /// (no-op when tracing is off). Paired with the close in
+    /// [`ProcessingUnit::finish_iteration`].
+    pub(crate) fn begin_iteration_trace(&mut self) {
+        if let Some(ts) = self.trace.as_mut() {
+            ts.tracer.begin(ts.cycle_base, "pu.iteration");
+        }
+    }
+
+    /// Advances one iteration's merge loop until it completes (returns
+    /// `true`) or, when `pause_at` is set, until `st.cycles` reaches that
+    /// local cycle count (returns `false` with the state parked exactly at
+    /// the top of the loop — the only point at which [`IterState`] is
+    /// serialized, so a restored state resumes bit-identically).
+    ///
     /// This is the heart of the simulator: per PU cycle it
     /// 1. delivers DRAM responses (pointer blocks to the controller FSM,
     ///    data blocks to every coalesced waiter),
@@ -420,128 +802,41 @@ impl ProcessingUnit {
     ///    (output-buffer accounting, store requests, pointer-write pacing,
     ///    optional SpMV reduction),
     /// 6. advances the rank's DRAM clock by 1.5 bus cycles.
-    pub fn run_rounds(
+    pub(crate) fn iter_loop(
         &mut self,
-        setup: IterationSetup<'_>,
-    ) -> (EmittedTriples, Vec<usize>, IterationStats) {
+        p: &IterParams<'_>,
+        st: &mut IterState,
+        pause_at: Option<u64>,
+    ) -> bool {
         let pu_cfg = self.pu_cfg.clone();
         let l = pu_cfg.leaves;
         let layout = self.layout;
-        let mut it = IterationStats::default();
-        let dram_before = self.mem.stats();
-
-        let n_streams = setup.descriptors.len();
-        let total_rounds = n_streams
-            .div_ceil(l)
-            .max(if n_streams == 0 { 0 } else { 1 });
-        if n_streams == 0 {
-            return ((Vec::new(), Vec::new(), Vec::new()), Vec::new(), it);
-        }
-        // Pad to full rounds so every buffer gets a descriptor per round.
-        let padded = total_rounds * l;
-
         let count_feed = self.trace.is_some();
-        if let Some(ts) = self.trace.as_mut() {
-            ts.tracer.begin(ts.cycle_base, "pu.iteration");
-        }
-
-        let mut tree = MergeTree::new(l, pu_cfg.fifo_entries);
-        let mut buffers: Vec<PrefetchBuffer> = (0..l)
-            .map(|i| {
-                PrefetchBuffer::new(
-                    i as u32,
-                    pu_cfg.prefetch_buffer_entries,
-                    pu_cfg.stall_reducing_prefetch,
-                    layout,
-                )
-            })
-            .collect();
-        let mut read_q = CoalescingQueue::new(pu_cfg.read_queue_entries, pu_cfg.request_coalescing);
-        let mut write_q: VecDeque<u64> = VecDeque::new();
-
-        // Controller: pointer reads + descriptor release.
-        let mut next_release = 0usize; // next descriptor index to release
-        let mut ptr_blocks_arrived = 0usize; // contiguous watermark
-        let mut ptr_arrived_set: Vec<bool> = Vec::new();
-        let mut ptr_next_issue = 0usize;
-        let mut ptr_outstanding = 0usize;
-        if let Some(g) = &setup.gate {
-            ptr_arrived_set = vec![false; g.blocks.len()];
-        }
-
-        // Output state.
-        let mut out_minor: Vec<u32> = Vec::new();
-        let mut out_major: Vec<u32> = Vec::new();
-        let mut out_val: Vec<f32> = Vec::new();
-        let mut boundaries: Vec<usize> = Vec::new();
-        let mut bytes_accum: u64 = 0; // bytes waiting in the output buffer
-        let mut stored_nzs: u64 = 0; // NZs already covered by stores
-        let mut ptr_cursor: u64 = 0; // output pointer entries finalized
-        let mut final_flush_pushed: usize = 0; // partial-block stores sent
-        let mut pending_ptr_blocks: u64 = 0; // pointer blocks awaiting store
-        let elem_bytes: u64 = match setup.out {
-            OutputMode::Intermediate { .. } => 12,
-            OutputMode::IntermediatePair { .. } | OutputMode::FinalCsc { .. } => 8,
-            OutputMode::FinalDense { .. } => 4,
-        };
-        let out_bases: Vec<u64> = match setup.out {
-            OutputMode::Intermediate { region } => layout.coo[region as usize].to_vec(),
-            OutputMode::IntermediatePair { region } => vec![
-                layout.coo[region as usize][0],
-                layout.coo[region as usize][2],
-            ],
-            OutputMode::FinalCsc { .. } => vec![layout.out_idx, layout.out_val],
-            OutputMode::FinalDense { .. } => vec![layout.out_val],
-        };
-
-        // Buffer activity tracking.
-        let mut buf_active = ActiveSet::new(l);
-        // Event-driven parking for buffers whose planned fetch failed the
-        // read-queue slot pre-check: re-planning is a guaranteed discard
-        // until the queue has room for the refused plan (the queue only
-        // shrinks on completions in step 1, and a discarded re-plan has no
-        // other effect), so the fast path *parks* refused buffers instead
-        // of re-planning every cycle. Parked buffers live in per-size
-        // bitmask buckets (`parked_buckets[need]`), so step 4 can union
-        // exactly the buckets the live queue could satisfy and walk their
-        // bits in buffer order — a parked buffer costs nothing per cycle
-        // until its plan could actually fit. `parked_need[b]` (0 = not
-        // parked) names the bucket holding `b`'s bit. The reference path
-        // retries per cycle instead and never parks.
-        let pw = l.div_ceil(128);
-        let need_cap = pu_cfg.read_queue_entries;
-        let mut parked_buckets: Vec<u128> = vec![0; (need_cap + 1) * pw];
-        let mut parked_union: Vec<u128> = vec![0; pw];
-        let mut parked_need: Vec<u32> = vec![0; l];
-        let mut parked_count: usize = 0;
-        // `parked_union` caches the union of the reachable need-buckets
-        // for the queue headroom `union_avail`; any park/unpark resets
-        // `union_avail` to the invalid sentinel. Busy steady-state cycles
-        // (stable parked set, stable queue length) reuse the cached words
-        // across cycles instead of re-folding the buckets.
-        let mut union_avail: usize = usize::MAX;
-        // Scratch allocations reused every cycle (never reallocated in
-        // steady state): the buffer worklist working set, the ports popped
-        // this cycle, and the packet staging buffer for decoded chunks.
-        let mut buf_scratch: Vec<u32> = Vec::with_capacity(l);
-        let mut popped_scratch: Vec<u32> = Vec::with_capacity(l);
-        let mut packet_scratch: Vec<Packet> = Vec::new();
-        let mut waiter_scratch: Vec<u32> = Vec::new();
-
-        let mut cycles: u64 = 0;
+        let n_streams = st.n_streams;
+        let total_rounds = st.total_rounds;
+        let padded = st.padded;
+        let elem_bytes = st.elem_bytes;
+        let pw = st.pw;
+        let need_cap = st.need_cap;
         let (dram_num, dram_den) = self.ticks;
         let max_cycles: u64 = 20_000_000_000;
-        let mut last_key_in_run: Option<(u32, u32)> = None;
 
         loop {
-            // Termination: all rounds merged and all output flushed.
-            if tree.rounds_completed() as usize >= total_rounds
-                && bytes_accum == 0
-                && pending_ptr_blocks == 0
-                && write_q.is_empty()
+            // Termination: all rounds merged and all output flushed. This
+            // check runs before the pause check so a pause target at or
+            // past completion still reports "done".
+            if st.tree.rounds_completed() as usize >= total_rounds
+                && st.bytes_accum == 0
+                && st.pending_ptr_blocks == 0
+                && st.write_q.is_empty()
                 && self.mem.is_idle()
             {
-                break;
+                return true;
+            }
+            if let Some(target) = pause_at {
+                if st.cycles >= target {
+                    return false;
+                }
             }
             // Fast-forward: when every pipeline stage is provably unable
             // to act (the PU is *quiescent*), jump over the longest span
@@ -555,52 +850,53 @@ impl ProcessingUnit {
             // would change nothing. `SimOptions::fast_forward = false`
             // keeps the per-cycle reference path; the differential suite
             // proves both produce identical results.
-            let rounds_done = tree.rounds_completed() as usize >= total_rounds;
+            let rounds_done = st.tree.rounds_completed() as usize >= total_rounds;
             if self.fast_forward {
                 let root_space = usize::from(
-                    bytes_accum + elem_bytes <= pu_cfg.output_buffer_bytes as u64
-                        && pending_ptr_blocks < 16
-                        && write_q.len() < pu_cfg.write_queue_entries,
+                    st.bytes_accum + elem_bytes <= pu_cfg.output_buffer_bytes as u64
+                        && st.pending_ptr_blocks < 16
+                        && st.write_q.len() < pu_cfg.write_queue_entries,
                 );
-                let wq_full = write_q.len() >= pu_cfg.write_queue_entries;
+                let wq_full = st.write_q.len() >= pu_cfg.write_queue_entries;
                 // Short-circuit order: O(1) checks that are false on most
                 // busy cycles come first, so the per-cycle overhead of the
                 // probe is a couple of branches; the queue scans at the end
                 // only run on cycles that are already nearly quiescent.
-                let quiescent = buf_active.is_empty()
+                let quiescent = st.buf_active.is_empty()
                     // Tree has no scheduled PE and the root cannot merge.
-                    && tree.is_quiescent(&PeekPorts(&buffers), root_space)
+                    && st.tree.is_quiescent(&PeekPorts(&st.buffers), root_space)
                     // Step 1 would deliver nothing: no response is ready.
                     && self
                         .mem
                         .next_response_at()
                         .is_none_or(|t| t > self.mem.now())
                     // Step 5's post-tree drains would push nothing.
-                    && (pending_ptr_blocks == 0 || wq_full)
+                    && (st.pending_ptr_blocks == 0 || wq_full)
                     // The final flush would push nothing.
                     && (!rounds_done
-                        || ((bytes_accum == 0 || wq_full)
-                            && !(pending_ptr_blocks == 0
-                                && matches!(setup.out, OutputMode::FinalCsc { ncols }
-                                    if ptr_cursor < (ncols + 1).div_ceil(8)))))
+                        || ((st.bytes_accum == 0 || wq_full)
+                            && !(st.pending_ptr_blocks == 0
+                                && matches!(p.out, OutputMode::FinalCsc { ncols }
+                                    if st.ptr_cursor < (ncols + 1).div_ceil(8)))))
                     // Step 3 would neither issue pointer reads nor release
                     // descriptors.
-                    && setup.gate.as_ref().is_none_or(|g| {
-                        !(ptr_outstanding < pu_cfg.pointer_read_depth
-                            && ptr_next_issue < g.blocks.len()
-                            && !read_q.is_full())
+                    && p.gate.is_none_or(|g| {
+                        !(st.ptr_outstanding < pu_cfg.pointer_read_depth
+                            && st.ptr_next_issue < g.blocks.len()
+                            && !st.read_q.is_full())
                     })
-                    && (next_release >= padded
-                        || (next_release < n_streams
-                            && setup
-                                .gate
-                                .as_ref()
-                                .is_some_and(|g| g.release_after[next_release] > ptr_blocks_arrived)))
+                    && (st.next_release >= padded
+                        || (st.next_release < n_streams
+                            && p.gate.is_some_and(
+                                |g| g.release_after[st.next_release] > st.ptr_blocks_arrived,
+                            )))
                     // Step 2 would issue nothing: both issue slots blocked.
-                    && read_q
+                    && st
+                        .read_q
                         .next_to_issue()
                         .is_none_or(|b| !self.mem.can_accept(&MemRequest::read(b, 0)))
-                    && write_q
+                    && st
+                        .write_q
                         .front()
                         .is_none_or(|&b| !self.mem.can_accept(&MemRequest::write(b, 0)));
                 if quiescent {
@@ -619,7 +915,7 @@ impl ProcessingUnit {
                     // one.
                     let host_cap = match pu_cfg.host_read_interval {
                         Some(interval) if !rounds_done => {
-                            (cycles / interval + 1) * interval - cycles - 1
+                            (st.cycles / interval + 1) * interval - st.cycles - 1
                         }
                         _ => u64::MAX,
                     };
@@ -627,33 +923,44 @@ impl ProcessingUnit {
                         n_mem != u64::MAX || host_cap != u64::MAX,
                         "PU deadlock suspected: quiescent with no pending events"
                     );
-                    let n = n_mem.min(host_cap);
+                    let mut n = n_mem.min(host_cap);
+                    // A pause target caps the skip too, so the loop pauses
+                    // exactly at the requested cycle: the split bulk
+                    // advance stays bit-identical because the tick
+                    // accumulator arithmetic below is associative over `n`.
+                    if let Some(target) = pause_at {
+                        n = n.min(target - st.cycles);
+                    }
                     if n > 0 {
                         if root_space == 0 {
-                            it.output_stall_cycles += n;
+                            st.it.output_stall_cycles += n;
                         } else if !rounds_done {
-                            it.root_stall_cycles += n;
+                            st.it.root_stall_cycles += n;
                         }
                         if let Some(ts) = self.trace.as_mut() {
                             // checked_div: sampling is off when the
                             // interval is 0.
-                            if let Some(q) = cycles.checked_div(ts.interval) {
+                            if let Some(q) = st.cycles.checked_div(ts.interval) {
                                 // No leaf pops occur in the window, so
                                 // fed/starved stay put; emit the interval
                                 // samples with the frozen occupancies.
-                                let fill = tree.occupancy() as u64;
-                                let held: usize = buffers.iter().map(|b| b.held()).sum();
+                                let fill = st.tree.occupancy() as u64;
+                                let held: usize = st.buffers.iter().map(|b| b.held()).sum();
                                 let mut c = (q + 1) * ts.interval;
-                                while c <= cycles + n {
+                                while c <= st.cycles + n {
                                     let now = ts.cycle_base + c;
                                     ts.tree_fill.record(fill);
-                                    ts.read_q_occ.record(read_q.len() as u64);
-                                    ts.write_q_occ.record(write_q.len() as u64);
+                                    ts.read_q_occ.record(st.read_q.len() as u64);
+                                    ts.write_q_occ.record(st.write_q.len() as u64);
                                     ts.prefetch_held.record(held as u64);
                                     ts.tracer.counter(now, "pu.tree_fill", fill);
-                                    ts.tracer.counter(now, "pu.read_queue", read_q.len() as u64);
                                     ts.tracer
-                                        .counter(now, "pu.write_queue", write_q.len() as u64);
+                                        .counter(now, "pu.read_queue", st.read_q.len() as u64);
+                                    ts.tracer.counter(
+                                        now,
+                                        "pu.write_queue",
+                                        st.write_q.len() as u64,
+                                    );
                                     ts.tracer.counter(now, "pu.prefetch_held", held as u64);
                                     c += ts.interval;
                                 }
@@ -663,14 +970,14 @@ impl ProcessingUnit {
                         let ticks = self.dram_tick_accum + n * dram_num;
                         self.mem.advance(ticks / dram_den);
                         self.dram_tick_accum = ticks % dram_den;
-                        cycles += n;
-                        assert!(cycles < max_cycles, "PU deadlock suspected");
+                        st.cycles += n;
+                        assert!(st.cycles < max_cycles, "PU deadlock suspected");
                         continue;
                     }
                 }
             }
-            cycles += 1;
-            assert!(cycles < max_cycles, "PU deadlock suspected");
+            st.cycles += 1;
+            assert!(st.cycles < max_cycles, "PU deadlock suspected");
 
             // 1. DRAM responses.
             while let Some(resp) = self.mem.pop_response() {
@@ -678,61 +985,63 @@ impl ProcessingUnit {
                     continue;
                 }
                 let block = resp.addr;
-                waiter_scratch.clear();
-                read_q.complete_into(block, &mut waiter_scratch);
+                st.waiter_scratch.clear();
+                st.read_q.complete_into(block, &mut st.waiter_scratch);
                 if let Some(ts) = self.trace.as_mut() {
                     // One completed block feeds `waiters.len()` requests —
                     // the merge width achieved by request coalescing.
-                    ts.coalesce_width.record(waiter_scratch.len() as u64);
+                    ts.coalesce_width.record(st.waiter_scratch.len() as u64);
                 }
-                for &w in &waiter_scratch {
+                let mut waiters = std::mem::take(&mut st.waiter_scratch);
+                for &w in &waiters {
                     match w {
                         PTR_WAITER => {
-                            if let Some(g) = &setup.gate {
+                            if let Some(g) = p.gate {
                                 // Which gate block is this?
                                 let rel =
                                     (block - AddressLayout::block_of(g.ptr_base)) / BLOCK_BYTES;
                                 if let Ok(pos) = g.blocks.binary_search(&rel) {
-                                    ptr_arrived_set[pos] = true;
-                                    while ptr_blocks_arrived < ptr_arrived_set.len()
-                                        && ptr_arrived_set[ptr_blocks_arrived]
+                                    st.ptr_arrived_set[pos] = true;
+                                    while st.ptr_blocks_arrived < st.ptr_arrived_set.len()
+                                        && st.ptr_arrived_set[st.ptr_blocks_arrived]
                                     {
-                                        ptr_blocks_arrived += 1;
+                                        st.ptr_blocks_arrived += 1;
                                     }
-                                    ptr_outstanding = ptr_outstanding.saturating_sub(1);
+                                    st.ptr_outstanding = st.ptr_outstanding.saturating_sub(1);
                                 }
                             }
                         }
                         VEC_WAITER => {}
                         buf_id => {
                             let b = buf_id as usize;
-                            if let Some((desc, range, ended)) = buffers[b].block_arrived(block) {
-                                setup
-                                    .source
-                                    .materialize_into(&desc, range, &mut packet_scratch);
-                                buffers[b].deliver(&mut packet_scratch, ended);
-                                tree.wake_port(b);
-                                buf_active.insert(b);
+                            if let Some((desc, range, ended)) = st.buffers[b].block_arrived(block) {
+                                p.source
+                                    .materialize_into(&desc, range, &mut st.packet_scratch);
+                                st.buffers[b].deliver(&mut st.packet_scratch, ended);
+                                st.tree.wake_port(b);
+                                st.buf_active.insert(b);
                             } else if !self.fast_forward {
                                 // Chunk still awaiting other blocks: its
                                 // plan call is a guaranteed no-op, so the
                                 // fast path defers re-activation to the
                                 // completing block. The reference path
                                 // keeps its retry-every-cycle shape.
-                                buf_active.insert(b);
+                                st.buf_active.insert(b);
                             }
                         }
                     }
                 }
+                waiters.clear();
+                st.waiter_scratch = waiters;
             }
 
             // 2. Memory interface: one read and one write per cycle.
-            if let Some(block) = read_q.next_to_issue() {
+            if let Some(block) = st.read_q.next_to_issue() {
                 let req = MemRequest::read(block, self.next_req_id);
                 if self.mem.can_accept(&req) && self.mem.try_enqueue(req) {
                     self.next_req_id += 1;
-                    read_q.mark_issued(block);
-                    it.loads_issued += 1;
+                    st.read_q.mark_issued(block);
+                    st.it.loads_issued += 1;
                 }
             }
             // 2b. Concurrent host access (§4): inject a host read into the
@@ -743,69 +1052,69 @@ impl ProcessingUnit {
                 // Only while the PU is actually working — otherwise the
                 // endless host stream would keep the memory system busy
                 // and the iteration could never drain to completion.
-                if cycles.is_multiple_of(interval)
-                    && (tree.rounds_completed() as usize) < total_rounds
+                if st.cycles.is_multiple_of(interval)
+                    && (st.tree.rounds_completed() as usize) < total_rounds
                 {
                     let addr =
-                        0xC000_0000u64 + (cycles / interval).wrapping_mul(0x9E37) % (64 << 20);
-                    let req = MemRequest::read(addr & !63, HOST_REQ_BIT | cycles);
+                        0xC000_0000u64 + (st.cycles / interval).wrapping_mul(0x9E37) % (64 << 20);
+                    let req = MemRequest::read(addr & !63, HOST_REQ_BIT | st.cycles);
                     if self.mem.can_accept(&req) {
                         let _ = self.mem.try_enqueue(req);
                     }
                 }
             }
-            if let Some(&block) = write_q.front() {
+            if let Some(&block) = st.write_q.front() {
                 let req = MemRequest::write(block, self.next_req_id);
                 if self.mem.can_accept(&req) && self.mem.try_enqueue(req) {
                     self.next_req_id += 1;
-                    write_q.pop_front();
-                    it.stores_issued += 1;
+                    st.write_q.pop_front();
+                    st.it.stores_issued += 1;
                 }
             }
 
             // 3. Controller FSM: pointer reads + descriptor release.
-            if let Some(g) = &setup.gate {
-                while ptr_outstanding < pu_cfg.pointer_read_depth
-                    && ptr_next_issue < g.blocks.len()
-                    && !read_q.is_full()
+            if let Some(g) = p.gate {
+                while st.ptr_outstanding < pu_cfg.pointer_read_depth
+                    && st.ptr_next_issue < g.blocks.len()
+                    && !st.read_q.is_full()
                 {
                     let block = AddressLayout::block_of(g.ptr_base)
-                        + g.blocks[ptr_next_issue] * BLOCK_BYTES;
-                    match read_q.enqueue(block, PTR_WAITER) {
+                        + g.blocks[st.ptr_next_issue] * BLOCK_BYTES;
+                    match st.read_q.enqueue(block, PTR_WAITER) {
                         EnqueueOutcome::Full => break,
                         _ => {
                             // SpMV: fetch the matching vector block too.
                             if let Some(vb) = g.vector_base {
                                 let vblock = AddressLayout::block_of(
-                                    vb + g.blocks[ptr_next_issue] * BLOCK_BYTES,
+                                    vb + g.blocks[st.ptr_next_issue] * BLOCK_BYTES,
                                 );
-                                let _ = read_q.enqueue(vblock, VEC_WAITER);
+                                let _ = st.read_q.enqueue(vblock, VEC_WAITER);
                             }
-                            ptr_next_issue += 1;
-                            ptr_outstanding += 1;
+                            st.ptr_next_issue += 1;
+                            st.ptr_outstanding += 1;
                         }
                     }
                 }
             }
-            while next_release < padded {
-                if next_release < n_streams {
-                    if let Some(g) = &setup.gate {
-                        if g.release_after[next_release] > ptr_blocks_arrived {
+            while st.next_release < padded {
+                if st.next_release < n_streams {
+                    if let Some(g) = p.gate {
+                        if g.release_after[st.next_release] > st.ptr_blocks_arrived {
                             break;
                         }
                     }
-                    let desc = setup.descriptors[next_release];
-                    let b = next_release % l;
-                    buffers[b].assign_streams([desc]);
-                    buf_active.insert(b);
-                    tree.wake_port(b);
+                    let desc = p.descriptors[st.next_release];
+                    let b = st.next_release % l;
+                    st.buffers[b].assign_streams([desc]);
+                    st.buf_active.insert(b);
+                    st.tree.wake_port(b);
                 } else {
-                    let b = next_release % l;
-                    buffers[b].assign_streams([StreamDescriptor::empty()]);
-                    buf_active.insert(b);
-                    tree.wake_port(b);
+                    let b = st.next_release % l;
+                    st.buffers[b].assign_streams([StreamDescriptor::empty()]);
+                    st.buf_active.insert(b);
+                    st.tree.wake_port(b);
                 }
-                next_release += 1;
+                st.next_release += 1;
             }
 
             // 4. Prefetch buffers plan fetches, in ascending buffer order.
@@ -818,27 +1127,28 @@ impl ProcessingUnit {
             // ascending id order, so the attempts happen exactly where the
             // reference path's retry-every-cycle loop would have made them
             // succeed (every attempt it skips is a provable no-op).
-            let mut work = std::mem::take(&mut buf_scratch);
-            buf_active.drain_into(&mut work);
+            let mut work = std::mem::take(&mut st.buf_scratch);
+            st.buf_active.drain_into(&mut work);
             let mut wi = 0usize;
             let mut scan_from = 0usize;
             loop {
-                let avail = pu_cfg.read_queue_entries - read_q.len();
+                let avail = pu_cfg.read_queue_entries - st.read_q.len();
                 let next_active = work.get(wi).map(|&x| x as usize);
                 let next_parked = if self.fast_forward
-                    && parked_count > 0
+                    && st.parked_count > 0
                     && avail >= PrefetchBuffer::MIN_FETCH_SLOTS
                 {
-                    if avail != union_avail {
-                        union_avail = avail;
+                    if avail != st.union_avail {
+                        st.union_avail = avail;
                         let hi = avail.min(need_cap);
-                        for (w, u) in parked_union.iter_mut().enumerate() {
+                        let buckets = &st.parked_buckets;
+                        for (w, u) in st.parked_union.iter_mut().enumerate() {
                             *u = (PrefetchBuffer::MIN_FETCH_SLOTS..=hi)
-                                .map(|n| parked_buckets[n * pw + w])
+                                .map(|n| buckets[n * pw + w])
                                 .fold(0, |a, x| a | x);
                         }
                     }
-                    next_set_bit(&parked_union, scan_from)
+                    next_set_bit(&st.parked_union, scan_from)
                 } else {
                     None
                 };
@@ -848,33 +1158,33 @@ impl ProcessingUnit {
                         wi += 1;
                         a
                     }
-                    (None, Some(p)) => {
-                        scan_from = p + 1;
-                        p
+                    (None, Some(q)) => {
+                        scan_from = q + 1;
+                        q
                     }
-                    (Some(a), Some(p)) => {
-                        if a <= p {
+                    (Some(a), Some(q)) => {
+                        if a <= q {
                             wi += 1;
-                            if a == p {
-                                scan_from = p + 1;
+                            if a == q {
+                                scan_from = q + 1;
                             }
                             a
                         } else {
-                            scan_from = p + 1;
-                            p
+                            scan_from = q + 1;
+                            q
                         }
                     }
                 };
                 // A parked candidate only surfaces once its plan could fit,
                 // so it re-plans for real below; clear its bucket bit.
-                if parked_need[b] != 0
-                    && (Some(b) == next_parked || avail >= parked_need[b] as usize)
+                if st.parked_need[b] != 0
+                    && (Some(b) == next_parked || avail >= st.parked_need[b] as usize)
                 {
-                    let nbkt = parked_need[b] as usize;
-                    parked_buckets[nbkt * pw + (b >> 7)] &= !(1u128 << (b & 127));
-                    parked_need[b] = 0;
-                    parked_count -= 1;
-                    union_avail = usize::MAX;
+                    let nbkt = st.parked_need[b] as usize;
+                    st.parked_buckets[nbkt * pw + (b >> 7)] &= !(1u128 << (b & 127));
+                    st.parked_need[b] = 0;
+                    st.parked_count -= 1;
+                    st.union_avail = usize::MAX;
                 }
                 // Conservative slot budget so the whole chunk enqueues
                 // atomically (coalesced blocks would not even need slots,
@@ -883,10 +1193,10 @@ impl ProcessingUnit {
                 // buffer's stream stands still (pops free space, nothing
                 // else changes), so the size from its last refusal is a
                 // valid lower bound until the next real plan call.
-                let need = (parked_need[b] as usize).max(PrefetchBuffer::MIN_FETCH_SLOTS);
+                let need = (st.parked_need[b] as usize).max(PrefetchBuffer::MIN_FETCH_SLOTS);
                 if self.fast_forward
                     && avail < need
-                    && (parked_need[b] != 0 || buffers[b].plan_is_noop_without_slots())
+                    && (st.parked_need[b] != 0 || st.buffers[b].plan_is_noop_without_slots())
                 {
                     // The queue cannot fit this buffer's plan and the
                     // attempt could not change simulated state (it is not
@@ -894,23 +1204,23 @@ impl ProcessingUnit {
                     // Park, keeping the tightest threshold known. Buffers
                     // with a chunk in flight are re-activated by the
                     // completing response instead.
-                    if parked_need[b] == 0 && !buffers[b].has_pending() {
-                        parked_buckets[need * pw + (b >> 7)] |= 1u128 << (b & 127);
-                        parked_need[b] = need as u32;
-                        parked_count += 1;
-                        union_avail = usize::MAX;
+                    if st.parked_need[b] == 0 && !st.buffers[b].has_pending() {
+                        st.parked_buckets[need * pw + (b >> 7)] |= 1u128 << (b & 127);
+                        st.parked_need[b] = need as u32;
+                        st.parked_count += 1;
+                        st.union_avail = usize::MAX;
                     }
                     continue;
                 }
-                let had_head = buffers[b].peek().is_some();
-                match buffers[b].plan_fetch(avail) {
+                let had_head = st.buffers[b].peek().is_some();
+                match st.buffers[b].plan_fetch(avail) {
                     FetchPlan::Planned { .. } => {
-                        for &blk in buffers[b].pending_blocks() {
-                            match read_q.enqueue(blk, b as u32) {
+                        for &blk in st.buffers[b].pending_blocks() {
+                            match st.read_q.enqueue(blk, b as u32) {
                                 EnqueueOutcome::Full => {
                                     unreachable!("slot pre-check guarantees space")
                                 }
-                                EnqueueOutcome::Coalesced => it.loads_coalesced += 1,
+                                EnqueueOutcome::Coalesced => st.it.loads_coalesced += 1,
                                 EnqueueOutcome::Queued => {}
                             }
                         }
@@ -923,64 +1233,65 @@ impl ProcessingUnit {
                         // provably the same simulated behavior as the
                         // reference path's retry-every-cycle below.
                         let nbkt = blocks.clamp(PrefetchBuffer::MIN_FETCH_SLOTS, need_cap);
-                        parked_buckets[nbkt * pw + (b >> 7)] |= 1u128 << (b & 127);
-                        parked_need[b] = nbkt as u32;
-                        parked_count += 1;
-                        union_avail = usize::MAX;
+                        st.parked_buckets[nbkt * pw + (b >> 7)] |= 1u128 << (b & 127);
+                        st.parked_need[b] = nbkt as u32;
+                        st.parked_count += 1;
+                        st.union_avail = usize::MAX;
                     }
                     FetchPlan::Blocked { .. } => {
                         // Queue pressure: retry next cycle.
-                        buf_active.insert(b);
+                        st.buf_active.insert(b);
                     }
                     FetchPlan::None => {}
                 }
-                if !had_head && buffers[b].peek().is_some() {
-                    tree.wake_port(b);
+                if !had_head && st.buffers[b].peek().is_some() {
+                    st.tree.wake_port(b);
                 }
             }
             work.clear();
-            buf_scratch = work;
+            st.buf_scratch = work;
 
             // 5. Merge tree.
             let root_space = usize::from(
-                bytes_accum + elem_bytes <= pu_cfg.output_buffer_bytes as u64
-                    && pending_ptr_blocks < 16
-                    && write_q.len() < pu_cfg.write_queue_entries,
+                st.bytes_accum + elem_bytes <= pu_cfg.output_buffer_bytes as u64
+                    && st.pending_ptr_blocks < 16
+                    && st.write_q.len() < pu_cfg.write_queue_entries,
             );
             if root_space == 0 {
-                it.output_stall_cycles += 1;
+                st.it.output_stall_cycles += 1;
             }
             let mut ports = BufferPorts {
-                buffers: &mut buffers,
-                popped: std::mem::take(&mut popped_scratch),
+                buffers: &mut st.buffers,
+                popped: std::mem::take(&mut st.popped_scratch),
                 event_driven: self.fast_forward,
                 count_feed,
                 fed: 0,
                 starved: 0,
             };
-            let popped = tree.tick(&mut ports, root_space);
+            let popped = st.tree.tick(&mut ports, root_space);
             let mut awoken = std::mem::take(&mut ports.popped);
             let (fed, starved) = (ports.fed, ports.starved);
-            for &p in &awoken {
-                buf_active.insert(p as usize);
+            for &port in &awoken {
+                st.buf_active.insert(port as usize);
             }
             awoken.clear();
-            popped_scratch = awoken;
+            st.popped_scratch = awoken;
             if let Some(ts) = self.trace.as_mut() {
                 ts.prefetch_hits += fed;
                 ts.prefetch_misses += starved;
-                if cycles.is_multiple_of(ts.interval) {
-                    let now = ts.cycle_base + cycles;
-                    let fill = tree.occupancy() as u64;
-                    let held: usize = buffers.iter().map(|b| b.held()).sum();
+                if st.cycles.is_multiple_of(ts.interval) {
+                    let now = ts.cycle_base + st.cycles;
+                    let fill = st.tree.occupancy() as u64;
+                    let held: usize = st.buffers.iter().map(|b| b.held()).sum();
                     ts.tree_fill.record(fill);
-                    ts.read_q_occ.record(read_q.len() as u64);
-                    ts.write_q_occ.record(write_q.len() as u64);
+                    ts.read_q_occ.record(st.read_q.len() as u64);
+                    ts.write_q_occ.record(st.write_q.len() as u64);
                     ts.prefetch_held.record(held as u64);
                     ts.tracer.counter(now, "pu.tree_fill", fill);
-                    ts.tracer.counter(now, "pu.read_queue", read_q.len() as u64);
                     ts.tracer
-                        .counter(now, "pu.write_queue", write_q.len() as u64);
+                        .counter(now, "pu.read_queue", st.read_q.len() as u64);
+                    ts.tracer
+                        .counter(now, "pu.write_queue", st.write_q.len() as u64);
                     ts.tracer.counter(now, "pu.prefetch_held", held as u64);
                 }
             }
@@ -990,75 +1301,77 @@ impl ProcessingUnit {
                     minor,
                     value,
                 }) => {
-                    it.nz_emitted += 1;
-                    let merged = setup.reduce && last_key_in_run == Some((major, minor));
+                    st.it.nz_emitted += 1;
+                    let merged = p.reduce && st.last_key_in_run == Some((major, minor));
                     if merged {
-                        let lv = out_val.last_mut().expect("reduce has prior element");
+                        let lv = st.out_val.last_mut().expect("reduce has prior element");
                         *lv += value;
                     } else {
                         // Pointer-write pacing for FinalCsc output.
-                        if let OutputMode::FinalCsc { .. } = setup.out {
+                        if let OutputMode::FinalCsc { .. } = p.out {
                             let group = major as u64 / 8; // 8 ptr entries per block
-                            if group > ptr_cursor {
-                                pending_ptr_blocks += group - ptr_cursor;
-                                ptr_cursor = group;
+                            if group > st.ptr_cursor {
+                                st.pending_ptr_blocks += group - st.ptr_cursor;
+                                st.ptr_cursor = group;
                             }
                         }
-                        out_major.push(major);
-                        out_minor.push(minor);
-                        out_val.push(value);
-                        bytes_accum += elem_bytes;
-                        last_key_in_run = Some((major, minor));
+                        st.out_major.push(major);
+                        st.out_minor.push(minor);
+                        st.out_val.push(value);
+                        st.bytes_accum += elem_bytes;
+                        st.last_key_in_run = Some((major, minor));
                         // Issue stores at block granularity per output
                         // array (16 4-byte elements per block).
-                        let emitted = out_major.len() as u64;
-                        if emitted - stored_nzs >= 16 {
-                            let off = stored_nzs * 4;
-                            for base in &out_bases {
-                                write_q.push_back(AddressLayout::block_of(base + off));
+                        let emitted = st.out_major.len() as u64;
+                        if emitted - st.stored_nzs >= 16 {
+                            let off = st.stored_nzs * 4;
+                            for base in &st.out_bases {
+                                st.write_q.push_back(AddressLayout::block_of(base + off));
                             }
-                            stored_nzs += 16;
-                            bytes_accum = bytes_accum.saturating_sub(16 * elem_bytes);
+                            st.stored_nzs += 16;
+                            st.bytes_accum = st.bytes_accum.saturating_sub(16 * elem_bytes);
                         }
                     }
                 }
                 Some(Packet::Eol) => {
-                    boundaries.push(out_major.len());
-                    last_key_in_run = None;
+                    st.boundaries.push(st.out_major.len());
+                    st.last_key_in_run = None;
                 }
                 None => {
-                    if root_space == 1 && (tree.rounds_completed() as usize) < total_rounds {
-                        it.root_stall_cycles += 1;
+                    if root_space == 1 && (st.tree.rounds_completed() as usize) < total_rounds {
+                        st.it.root_stall_cycles += 1;
                     }
                 }
             }
             // Drain one pending pointer-block store per cycle.
-            if pending_ptr_blocks > 0 && write_q.len() < pu_cfg.write_queue_entries {
-                write_q.push_back(AddressLayout::block_of(
-                    layout.out_ptr + (ptr_cursor - pending_ptr_blocks) * BLOCK_BYTES,
+            if st.pending_ptr_blocks > 0 && st.write_q.len() < pu_cfg.write_queue_entries {
+                st.write_q.push_back(AddressLayout::block_of(
+                    layout.out_ptr + (st.ptr_cursor - st.pending_ptr_blocks) * BLOCK_BYTES,
                 ));
-                pending_ptr_blocks -= 1;
+                st.pending_ptr_blocks -= 1;
             }
             // Final flush when merging finished: one partial-block store
             // per cycle so even a tiny write queue drains it.
-            if tree.rounds_completed() as usize >= total_rounds {
-                if bytes_accum > 0 && write_q.len() < pu_cfg.write_queue_entries {
-                    let off = stored_nzs * 4;
-                    write_q.push_back(AddressLayout::block_of(out_bases[final_flush_pushed] + off));
-                    final_flush_pushed += 1;
-                    if final_flush_pushed == out_bases.len() {
-                        bytes_accum = 0;
+            if st.tree.rounds_completed() as usize >= total_rounds {
+                if st.bytes_accum > 0 && st.write_q.len() < pu_cfg.write_queue_entries {
+                    let off = st.stored_nzs * 4;
+                    st.write_q.push_back(AddressLayout::block_of(
+                        st.out_bases[st.final_flush_pushed] + off,
+                    ));
+                    st.final_flush_pushed += 1;
+                    if st.final_flush_pushed == st.out_bases.len() {
+                        st.bytes_accum = 0;
                     }
                 }
                 // Trailing pointer blocks of the output CSC pointer array
                 // (the dense SpMV output is fully covered by the per-16
                 // element stores above).
-                if pending_ptr_blocks == 0 {
-                    if let OutputMode::FinalCsc { ncols } = setup.out {
+                if st.pending_ptr_blocks == 0 {
+                    if let OutputMode::FinalCsc { ncols } = p.out {
                         let total_groups = (ncols + 1).div_ceil(8);
-                        if ptr_cursor < total_groups {
-                            pending_ptr_blocks += total_groups - ptr_cursor;
-                            ptr_cursor = total_groups;
+                        if st.ptr_cursor < total_groups {
+                            st.pending_ptr_blocks += total_groups - st.ptr_cursor;
+                            st.ptr_cursor = total_groups;
                         }
                     }
                 }
@@ -1071,24 +1384,37 @@ impl ProcessingUnit {
                 self.dram_tick_accum -= dram_den;
             }
         }
+    }
 
-        it.cycles = cycles;
-        it.rounds = total_rounds as u64;
+    /// Finalizes one iteration driven through [`ProcessingUnit::iter_loop`]:
+    /// stamps the cycle/round counters and DRAM deltas into the iteration
+    /// statistics, closes the trace span, and hands back the emitted
+    /// triples and run boundaries.
+    pub(crate) fn finish_iteration(
+        &mut self,
+        mut st: IterState,
+    ) -> (EmittedTriples, Vec<usize>, IterationStats) {
+        st.it.cycles = st.cycles;
+        st.it.rounds = st.total_rounds as u64;
         let dram_after = self.mem.stats();
-        it.dram_row_hits = dram_after.row_hits - dram_before.row_hits;
-        it.dram_row_misses = dram_after.row_misses - dram_before.row_misses;
-        it.dram_row_conflicts = dram_after.row_conflicts - dram_before.row_conflicts;
+        st.it.dram_row_hits = dram_after.row_hits - st.dram_before.row_hits;
+        st.it.dram_row_misses = dram_after.row_misses - st.dram_before.row_misses;
+        st.it.dram_row_conflicts = dram_after.row_conflicts - st.dram_before.row_conflicts;
         if let Some(ts) = self.trace.as_mut() {
-            let end = ts.cycle_base + cycles;
+            let end = ts.cycle_base + st.cycles;
             ts.tracer.end(end, "pu.iteration");
             ts.cycle_base = end;
             ts.iterations += 1;
-            ts.nz_emitted += it.nz_emitted;
-            ts.loads_issued += it.loads_issued;
-            ts.stores_issued += it.stores_issued;
-            ts.queue_coalesced += it.loads_coalesced;
+            ts.nz_emitted += st.it.nz_emitted;
+            ts.loads_issued += st.it.loads_issued;
+            ts.stores_issued += st.it.stores_issued;
+            ts.queue_coalesced += st.it.loads_coalesced;
         }
-        ((out_minor, out_major, out_val), boundaries, it)
+        (
+            (st.out_minor, st.out_major, st.out_val),
+            st.boundaries,
+            st.it,
+        )
     }
 }
 

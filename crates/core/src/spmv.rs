@@ -121,13 +121,25 @@ pub fn run_on<B: AcceleratorBackend>(
     backend: B,
 ) -> SpmvResult {
     assert_eq!(x.len(), a.ncols(), "vector length must equal ncols");
-    let spec = SpmvSpec {
+    let spec = make_spec(a, x, options, config.num_pus());
+    Engine::with_backend(config, backend).run(&spec)
+}
+
+/// Builds the engine spec [`run_on`] executes, for callers that need the
+/// [`KernelSpec`] itself (the checkpointing entry points).
+pub(crate) fn make_spec<'m>(
+    a: &'m CsrMatrix,
+    x: &'m [f32],
+    options: SpmvOptions,
+    pus: usize,
+) -> SpmvSpec<'m> {
+    assert_eq!(x.len(), a.ncols(), "vector length must equal ncols");
+    SpmvSpec {
         a,
         x,
-        partition: RowPartition::by_nnz(a, config.num_pus()),
+        partition: RowPartition::by_nnz(a, pus),
         options,
-    };
-    Engine::with_backend(config, backend).run(&spec)
+    }
 }
 
 /// Runtime-selected backend variant of [`run_with_options`].
@@ -147,7 +159,10 @@ pub fn run_with_backend(
 /// SpMV as an engine kernel: one gated scaled-column merge job per
 /// partition with pair intermediates and a dense final output, assembled
 /// by summing each PU's partial vector into `y`.
-struct SpmvSpec<'m> {
+///
+/// Crate-visible so the preemptible job path ([`crate::jobspec`]) can
+/// drive SpMV through the checkpointing engine entry points.
+pub(crate) struct SpmvSpec<'m> {
     a: &'m CsrMatrix,
     x: &'m [f32],
     partition: RowPartition,

@@ -5,7 +5,8 @@
 use menda_sparse::partition::RowPartition;
 use menda_sparse::{CscMatrix, CsrMatrix};
 
-use crate::backend::{AcceleratorBackend, BackendKind, MendaBackend};
+use crate::backend::{AcceleratorBackend, BackendKind, MendaBackend, ResumableBackend};
+use crate::checkpoint::{SnapshotError, SnapshotOutcome};
 use crate::config::MendaConfig;
 use crate::engine::{Engine, KernelSpec};
 use crate::job::{self, PuJob};
@@ -122,13 +123,132 @@ impl MendaSystem {
             BackendKind::Pim => self.transpose_on(matrix, crate::pim::PimBackend),
         }
     }
+
+    /// Checkpoint-capable variant of [`MendaSystem::transpose`]: runs
+    /// until every PU finishes or reaches device cycle `pause_at`,
+    /// capturing a restorable snapshot in the latter case (see
+    /// [`crate::checkpoint`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::TracingActive`] when instrumentation is enabled.
+    pub fn transpose_to_cycle(
+        &mut self,
+        matrix: &CsrMatrix,
+        pause_at: u64,
+    ) -> Result<SnapshotOutcome<TransposeResult>, SnapshotError> {
+        self.transpose_to_cycle_on(matrix, MendaBackend, pause_at)
+    }
+
+    /// Restores a snapshot from [`MendaSystem::transpose_to_cycle`] and
+    /// runs the transposition to completion — bit-identical to the
+    /// uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] describing why the snapshot does not match
+    /// this system/matrix or cannot be decoded.
+    pub fn resume_transpose(
+        &mut self,
+        matrix: &CsrMatrix,
+        snapshot: &[u8],
+    ) -> Result<TransposeResult, SnapshotError> {
+        self.resume_transpose_on(matrix, MendaBackend, snapshot)
+    }
+
+    /// [`MendaSystem::transpose_to_cycle`] on an arbitrary resumable
+    /// backend.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`MendaSystem::transpose_to_cycle`].
+    pub fn transpose_to_cycle_on<B: ResumableBackend>(
+        &mut self,
+        matrix: &CsrMatrix,
+        backend: B,
+        pause_at: u64,
+    ) -> Result<SnapshotOutcome<TransposeResult>, SnapshotError> {
+        let spec = self.spec(matrix);
+        Engine::with_backend(&self.config, backend).run_to_cycle(&spec, pause_at)
+    }
+
+    /// [`MendaSystem::resume_transpose`] on an arbitrary resumable
+    /// backend.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`MendaSystem::resume_transpose`].
+    pub fn resume_transpose_on<B: ResumableBackend>(
+        &mut self,
+        matrix: &CsrMatrix,
+        backend: B,
+        snapshot: &[u8],
+    ) -> Result<TransposeResult, SnapshotError> {
+        let spec = self.spec(matrix);
+        Engine::with_backend(&self.config, backend).resume(&spec, snapshot)
+    }
+
+    /// Restores a snapshot and runs until completion or device cycle
+    /// `pause_at`, whichever comes first — the chaining primitive for
+    /// building ever-deeper snapshots of the same run.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`MendaSystem::resume_transpose`].
+    pub fn resume_transpose_to_cycle(
+        &mut self,
+        matrix: &CsrMatrix,
+        snapshot: &[u8],
+        pause_at: u64,
+    ) -> Result<SnapshotOutcome<TransposeResult>, SnapshotError> {
+        self.resume_transpose_to_cycle_on(matrix, MendaBackend, snapshot, pause_at)
+    }
+
+    /// [`MendaSystem::resume_transpose_to_cycle`] on an arbitrary
+    /// resumable backend.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`MendaSystem::resume_transpose`].
+    pub fn resume_transpose_to_cycle_on<B: ResumableBackend>(
+        &mut self,
+        matrix: &CsrMatrix,
+        backend: B,
+        snapshot: &[u8],
+        pause_at: u64,
+    ) -> Result<SnapshotOutcome<TransposeResult>, SnapshotError> {
+        let spec = self.spec(matrix);
+        Engine::with_backend(&self.config, backend).resume_to_cycle(&spec, snapshot, pause_at)
+    }
+
+    fn spec<'m>(&self, matrix: &'m CsrMatrix) -> TransposeSpec<'m> {
+        TransposeSpec {
+            matrix,
+            partition: RowPartition::by_nnz(matrix, self.config.num_pus()),
+        }
+    }
 }
 
 /// Transposition as an engine kernel: one gated CSR-row merge job per
 /// partition, assembled into a global CSC matrix.
-struct TransposeSpec<'m> {
+///
+/// Public so drivers can run transposition through the checkpointing
+/// engine entry points ([`crate::checkpoint`]), which need the
+/// [`KernelSpec`] rather than the [`MendaSystem`] convenience wrapper.
+#[derive(Debug)]
+pub struct TransposeSpec<'m> {
     matrix: &'m CsrMatrix,
     partition: RowPartition,
+}
+
+impl<'m> TransposeSpec<'m> {
+    /// Creates the kernel spec for transposing `matrix` under `partition`.
+    ///
+    /// Use [`RowPartition::by_nnz`] with [`MendaConfig::num_pus`] parts to
+    /// match what [`MendaSystem::transpose`] runs.
+    pub fn new(matrix: &'m CsrMatrix, partition: RowPartition) -> Self {
+        Self { matrix, partition }
+    }
 }
 
 impl KernelSpec for TransposeSpec<'_> {

@@ -223,6 +223,42 @@ impl BankArray {
     }
 }
 
+impl BankArray {
+    /// Serializes every bank's dynamic state.
+    pub(crate) fn save_state(&self, enc: &mut crate::snap::Encoder) {
+        enc.u64s(&self.open_row.iter().map(|&r| r as u64).collect::<Vec<_>>());
+        enc.u64s(&self.next_act);
+        enc.u64s(&self.next_rd);
+        enc.u64s(&self.next_wr);
+        enc.u64s(&self.next_pre);
+    }
+
+    /// Restores bank state saved by [`BankArray::save_state`]. The array
+    /// must have been freshly built for the same organization.
+    pub(crate) fn restore_state(
+        &mut self,
+        dec: &mut crate::snap::Decoder<'_>,
+    ) -> Result<(), crate::snap::SnapError> {
+        let open = dec.u64s()?;
+        let act = dec.u64s()?;
+        let rd = dec.u64s()?;
+        let wr = dec.u64s()?;
+        let pre = dec.u64s()?;
+        if [&open, &act, &rd, &wr, &pre]
+            .iter()
+            .any(|v| v.len() != self.open_row.len())
+        {
+            return Err(crate::snap::SnapError::BadValue);
+        }
+        self.open_row = open.into_iter().map(|r| r as usize).collect();
+        self.next_act = act;
+        self.next_rd = rd;
+        self.next_wr = wr;
+        self.next_pre = pre;
+        Ok(())
+    }
+}
+
 /// Per-rank shared timing state: `tRRD`/`tFAW` activation throttling,
 /// CAS-to-CAS (`tCCD`) spacing, write-to-read turnaround and refresh
 /// bookkeeping.

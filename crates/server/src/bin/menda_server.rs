@@ -1,5 +1,5 @@
 //! Daemon entry point: `menda-server [--addr A] [--workers N] [--queue N]
-//! [--max-nnz N]`.
+//! [--max-nnz N] [--preemption-quantum N]`.
 //!
 //! Binds the address, prints one status line, and serves until a client
 //! sends `{"op":"shutdown"}`. Bad arguments exit 2 with a message —
@@ -14,6 +14,10 @@ fn usage() -> String {
         "  --workers N        worker threads (default: one per core)\n",
         "  --queue N          bounded queue capacity (default 64)\n",
         "  --max-nnz N        per-job simulated-nonzero cap (default 64000000)\n",
+        "  --preemption-quantum N\n",
+        "                     slice jobs into N-device-cycle quanta via the\n",
+        "                     checkpoint subsystem (default: run to completion;\n",
+        "                     results are bit-identical either way)\n",
         "  --help             show this message\n",
     )
     .to_string()
@@ -40,6 +44,14 @@ fn parse_args(args: &[String]) -> Result<(String, ServerConfig), String> {
             }
             "--max-nnz" => {
                 config.max_job_nnz = parse_num(take("--max-nnz")?, "--max-nnz")?;
+            }
+            "--preemption-quantum" => {
+                let quantum: u64 =
+                    parse_num(take("--preemption-quantum")?, "--preemption-quantum")?;
+                if quantum == 0 {
+                    return Err("--preemption-quantum must be at least 1".into());
+                }
+                config.preemption_quantum = Some(quantum);
             }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),

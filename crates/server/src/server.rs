@@ -63,6 +63,15 @@ pub struct ServerConfig {
     pub max_job_nnz: u64,
     /// Largest accepted `deadline_ms`.
     pub max_deadline_ms: u64,
+    /// When set, workers execute jobs preemptibly in quanta of this many
+    /// device cycles through the checkpoint/replay seam
+    /// ([`JobSpec::execute_to_cycle`] / [`JobSpec::resume_to_cycle`])
+    /// instead of one uninterrupted [`JobSpec::execute`]. Outcomes are
+    /// byte-identical either way (the preemption suite asserts it); the
+    /// snapshot boundary is where a future scheduler can park a job.
+    /// Jobs with counting instrumentation fall back to uninterrupted
+    /// execution (checkpointing refuses active tracing).
+    pub preemption_quantum: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +81,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             max_job_nnz: 64_000_000,
             max_deadline_ms: 3_600_000,
+            preemption_quantum: None,
         }
     }
 }
@@ -570,7 +580,12 @@ fn worker_loop(shared: &Arc<Shared>) {
                 .reply
                 .send(Response::Started { job_id: job.id }.serialize());
             let run_started = Instant::now();
-            let result = job.spec.execute();
+            let result = match shared.config.preemption_quantum {
+                Some(quantum) if !job.spec.trace_counting => {
+                    execute_preemptible(&job.spec, quantum)
+                }
+                _ => job.spec.execute(),
+            };
             let run_wall = run_started.elapsed();
             let total = job.enqueued_at.elapsed();
             match result {
@@ -624,6 +639,38 @@ fn worker_loop(shared: &Arc<Shared>) {
 /// Propagates [`JobError`] from validation or execution.
 pub fn execute_like_worker(spec: &JobSpec) -> Result<menda_core::JobOutcome, JobError> {
     spec.execute()
+}
+
+/// Executes `spec` in preemption quanta of `quantum` device cycles: run
+/// to the first quantum boundary, snapshot, restore, run to the next,
+/// and so on until the job finishes — exactly what a worker does when
+/// [`ServerConfig::preemption_quantum`] is set. Every quantum boundary
+/// round-trips the full simulator state through the checkpoint
+/// container, so the returned [`menda_core::JobOutcome`] (JSON and
+/// output digest included) is byte-identical to an uninterrupted
+/// [`JobSpec::execute`] — the preemption differential suite asserts
+/// that.
+///
+/// # Errors
+///
+/// Propagates [`JobError`] from validation, snapshot handling or
+/// execution.
+pub fn execute_preemptible(
+    spec: &JobSpec,
+    quantum: u64,
+) -> Result<menda_core::JobOutcome, JobError> {
+    let quantum = quantum.max(1);
+    let mut pause_at = quantum;
+    let mut progress = spec.execute_to_cycle(pause_at)?;
+    loop {
+        match progress {
+            menda_core::JobProgress::Finished(outcome) => return Ok(outcome),
+            menda_core::JobProgress::Paused(snapshot) => {
+                pause_at += quantum;
+                progress = spec.resume_to_cycle(&snapshot, pause_at)?;
+            }
+        }
+    }
 }
 
 #[cfg(test)]

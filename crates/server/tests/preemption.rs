@@ -1,0 +1,159 @@
+//! Server preemption seam (ISSUE 9 satellite): a job checkpointed and
+//! restored at quantum boundaries must finish with a [`JobOutcome`]
+//! byte-identical — JSON serialization and output digest — to the
+//! uninterrupted run, both through the library seam
+//! ([`menda_server::execute_preemptible`]) and through a live daemon
+//! whose workers run with [`ServerConfig::preemption_quantum`] set.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use menda_core::{BackendKind, JobKernel, JobProgress, JobSpec, MatrixSource};
+use menda_server::{execute_preemptible, ServerConfig, ServerHandle};
+use menda_trace::json::{self, JsonValue};
+
+fn base_spec() -> JobSpec {
+    let mut spec = JobSpec::new(MatrixSource::Rmat { dim: 96, nnz: 768 });
+    spec.channels = 1;
+    spec.ranks_per_channel = 2;
+    spec.leaves = 16;
+    spec.prefetch_buffer_entries = 4;
+    spec.threads = Some(1);
+    spec.seed = 33;
+    spec
+}
+
+/// The seam proof: quantum-sliced execution equals one-shot execution,
+/// byte for byte, across kernels and backends.
+#[test]
+fn preempted_outcome_is_byte_identical() {
+    for kernel in [JobKernel::Transpose, JobKernel::Spmv, JobKernel::Spgemm] {
+        for backend in [BackendKind::Menda, BackendKind::Pim] {
+            let mut spec = base_spec();
+            spec.kernel = kernel;
+            spec.backend = backend;
+            let straight = spec.execute().expect("uninterrupted run");
+            // A small quantum forces many snapshot/restore round trips.
+            let preempted = execute_preemptible(&spec, 400).expect("preempted run");
+            assert_eq!(
+                straight.to_json(),
+                preempted.to_json(),
+                "{kernel:?}/{backend:?}: outcome JSON diverged across preemption"
+            );
+            assert_eq!(
+                straight.digest(),
+                preempted.digest(),
+                "{kernel:?}/{backend:?}: outcome digest diverged across preemption"
+            );
+        }
+    }
+}
+
+/// The snapshot is a real externalizable artifact: pause, carry the
+/// bytes across engine instances, resume, and chain further pauses.
+#[test]
+fn snapshot_round_trips_through_pause_chain() {
+    let spec = base_spec();
+    let straight = spec.execute().expect("uninterrupted run");
+    let mut progress = spec.execute_to_cycle(300).expect("first quantum");
+    let mut pause_at = 300;
+    let mut hops = 0u32;
+    let resumed = loop {
+        match progress {
+            JobProgress::Finished(outcome) => break outcome,
+            JobProgress::Paused(snapshot) => {
+                hops += 1;
+                pause_at += 300;
+                progress = spec
+                    .resume_to_cycle(&snapshot, pause_at)
+                    .expect("resume hop");
+            }
+        }
+    };
+    assert!(hops >= 2, "job too short to exercise chained pauses");
+    assert_eq!(straight.to_json(), resumed.to_json());
+}
+
+/// A snapshot from one job must not restore into another.
+#[test]
+fn snapshot_rejected_for_different_job() {
+    let spec = base_spec();
+    let other = {
+        let mut s = base_spec();
+        s.seed = 34;
+        s
+    };
+    let JobProgress::Paused(snapshot) = spec.execute_to_cycle(300).expect("pause") else {
+        panic!("job finished before the pause target");
+    };
+    let err = other.resume(&snapshot).expect_err("must reject");
+    assert!(
+        err.to_string().contains("snapshot"),
+        "unexpected error: {err}"
+    );
+    // The owning job still resumes fine.
+    assert!(spec.resume(&snapshot).is_ok());
+}
+
+/// A daemon with the preemption quantum set serves byte-identical
+/// results to the batch path.
+#[test]
+fn daemon_with_quantum_matches_batch() {
+    let server = ServerHandle::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            preemption_quantum: Some(500),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+
+    let spec = base_spec();
+    let batch = spec.execute().expect("batch run");
+
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    writer
+        .write_all(format!("{{\"op\":\"submit\",\"job\":{}}}\n", spec.to_json()).as_bytes())
+        .expect("send");
+
+    let result = loop {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).expect("recv") > 0, "hangup");
+        let value = json::parse(line.trim()).expect("response parses");
+        match value.get("type").and_then(JsonValue::as_str) {
+            Some("result") => break value,
+            Some(_) => continue,
+            None => panic!("response missing 'type': {value:?}"),
+        }
+    };
+    assert!(
+        matches!(result.get("ok"), Some(JsonValue::Bool(true))),
+        "job failed over the wire: {result:?}"
+    );
+    // The wire digest is computed over the outcome-JSON bytes, so
+    // equality here is byte-identity of the full preempted outcome
+    // against the batch outcome.
+    let wire_digest = result
+        .get("stats_digest")
+        .and_then(JsonValue::as_str)
+        .expect("stats_digest")
+        .to_string();
+    assert_eq!(wire_digest, format!("{:016x}", batch.digest()));
+    let stats = result.get("stats").expect("stats object");
+    let wire_cycles = stats
+        .get("cycles")
+        .and_then(JsonValue::as_num)
+        .expect("cycles") as u64;
+    assert_eq!(wire_cycles, batch.cycles);
+
+    let mut server = server;
+    server.shutdown(true);
+    server.join();
+}

@@ -327,10 +327,12 @@ fn cancel_removes_queued_job_and_unknown_cancel_is_rejected() {
     let victim_id = num_field(&second, "job_id") as u64;
 
     client.send(&format!("{{\"op\":\"cancel\",\"job_id\":{victim_id}}}"));
-    // The cancel ack, the victim's failure line and job 1's result
-    // interleave; collect until all observed.
+    // The cancel ack (type "accepted"), the victim's failure line and
+    // job 1's result interleave; collect until all three are observed —
+    // leaving the ack unread would desync the next round-trip below.
     let mut cancelled = false;
     let mut first_done = false;
+    let mut acked = false;
     for _ in 0..20 {
         let value = client.recv();
         match type_of(&value).as_str() {
@@ -343,14 +345,18 @@ fn cancel_removes_queued_job_and_unknown_cancel_is_rejected() {
                 assert_eq!(num_field(&value, "job_id") as u64, first_id);
                 first_done = true;
             }
-            "accepted" | "started" => {}
+            "accepted" => {
+                assert_eq!(num_field(&value, "job_id") as u64, victim_id);
+                acked = true;
+            }
+            "started" => {}
             other => panic!("unexpected response type {other:?}"),
         }
-        if cancelled && first_done {
+        if cancelled && first_done && acked {
             break;
         }
     }
-    assert!(cancelled && first_done);
+    assert!(cancelled && first_done && acked);
 
     client.send("{\"op\":\"cancel\",\"job_id\":424242}");
     let response = client.recv();
