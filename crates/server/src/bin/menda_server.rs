@@ -1,5 +1,5 @@
 //! Daemon entry point: `menda-server [--addr A] [--workers N] [--queue N]
-//! [--max-nnz N] [--preemption-quantum N]`.
+//! [--max-nnz N] [--preemption-quantum N] [--threads N]`.
 //!
 //! Binds the address, prints one status line, and serves until a client
 //! sends `{"op":"shutdown"}`. Bad arguments exit 2 with a message —
@@ -18,6 +18,9 @@ fn usage() -> String {
         "                     slice jobs into N-device-cycle quanta via the\n",
         "                     checkpoint subsystem (default: run to completion;\n",
         "                     results are bit-identical either way)\n",
+        "  --threads N        engine worker threads for jobs that leave\n",
+        "                     'threads' unset, in [1, 1024] (default: engine\n",
+        "                     auto; outcomes are bit-identical at every count)\n",
         "  --help             show this message\n",
     )
     .to_string()
@@ -52,6 +55,13 @@ fn parse_args(args: &[String]) -> Result<(String, ServerConfig), String> {
                     return Err("--preemption-quantum must be at least 1".into());
                 }
                 config.preemption_quantum = Some(quantum);
+            }
+            "--threads" => {
+                let threads: usize = parse_num(take("--threads")?, "--threads")?;
+                if !(1..=1024).contains(&threads) {
+                    return Err(format!("--threads must be in [1, 1024], got {threads}"));
+                }
+                config.default_threads = Some(threads);
             }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),

@@ -72,6 +72,12 @@ pub struct ServerConfig {
     /// Jobs with counting instrumentation fall back to uninterrupted
     /// execution (checkpointing refuses active tracing).
     pub preemption_quantum: Option<u64>,
+    /// Engine worker threads applied at admission to jobs that leave
+    /// `threads` unset (`None` keeps the engine's own auto default).
+    /// Simulated outcomes are bit-identical at every thread count —
+    /// the pipelined multi-core mode only changes the wall clock — so
+    /// this is purely a throughput knob.
+    pub default_threads: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +88,7 @@ impl Default for ServerConfig {
             max_job_nnz: 64_000_000,
             max_deadline_ms: 3_600_000,
             preemption_quantum: None,
+            default_threads: None,
         }
     }
 }
@@ -451,11 +458,16 @@ fn handle_request(
 
 fn admit(
     shared: &Arc<Shared>,
-    spec: JobSpec,
+    mut spec: JobSpec,
     tag: Option<String>,
     deadline_ms: Option<u64>,
     tx: &mpsc::Sender<String>,
 ) {
+    // The server-wide thread default applies only when the job didn't
+    // choose; an explicit `threads` in the submission always wins.
+    if spec.threads.is_none() {
+        spec.threads = shared.config.default_threads;
+    }
     let reject = |reason: RejectReason, detail: String, shared: &Arc<Shared>| {
         shared.state.lock().expect("state lock").counters.rejected += 1;
         let _ = tx.send(Response::Rejected { reason, detail }.serialize());
